@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark: end-to-end engine inference throughput and
+//! compile-time (RDP + fusion + SEP + MVC) on tiny zoo models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sod2_device::DeviceProfile;
+use sod2_frameworks::{Engine, Sod2Engine, Sod2Options};
+use sod2_models::{codebert, skipnet, ModelScale};
+
+fn engine_infer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_infer");
+    for model in [codebert(ModelScale::Tiny), skipnet(ModelScale::Tiny)] {
+        let mut engine = Sod2Engine::new(
+            model.graph.clone(),
+            DeviceProfile::s888_cpu(),
+            Sod2Options::default(),
+            &Default::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let (_, inputs) = model.sample_inputs(&mut rng);
+        group.bench_function(model.name, |b| {
+            b.iter(|| engine.infer(std::hint::black_box(&inputs)).expect("infer"))
+        });
+    }
+    group.finish();
+}
+
+fn engine_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_compile");
+    for model in [codebert(ModelScale::Tiny), skipnet(ModelScale::Tiny)] {
+        group.bench_function(model.name, |b| {
+            b.iter(|| {
+                Sod2Engine::new(
+                    std::hint::black_box(model.graph.clone()),
+                    DeviceProfile::s888_cpu(),
+                    Sod2Options::default(),
+                    &Default::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_infer, engine_compile);
+criterion_main!(benches);

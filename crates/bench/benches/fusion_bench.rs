@@ -1,0 +1,27 @@
+//! Criterion micro-benchmark: fusion-pass throughput per policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sod2_fusion::{fuse, FusionPolicy};
+use sod2_models::{codebert, ranet, ModelScale};
+
+fn fusion_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_pass");
+    for model in [codebert(ModelScale::Tiny), ranet(ModelScale::Tiny)] {
+        let rdp = sod2_rdp::analyze(&model.graph);
+        for (label, policy) in [("static", FusionPolicy::Static), ("rdp", FusionPolicy::Rdp)] {
+            group.bench_function(format!("{}/{}", model.name, label).as_str(), |b| {
+                b.iter(|| {
+                    fuse(
+                        std::hint::black_box(&model.graph),
+                        std::hint::black_box(&rdp),
+                        policy,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fusion_pass);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-benchmark: GEMM kernel variants (the MVC search space).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sod2_kernels::{gemm_naive, gemm_tiled, GemmParams};
+
+fn gemm_variants(c: &mut Criterion) {
+    let (m, k, n) = (96, 96, 96);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32).collect();
+    c.bench_function("gemm_naive_96", |bch| {
+        bch.iter(|| gemm_naive(std::hint::black_box(&a), &b, m, k, n))
+    });
+    for params in [
+        GemmParams::default(),
+        GemmParams { tile_m: 16, tile_n: 64, tile_k: 16, unroll: 8 },
+        GemmParams { tile_m: 64, tile_n: 8, tile_k: 32, unroll: 2 },
+    ] {
+        let name = format!(
+            "gemm_tiled_96_m{}n{}k{}u{}",
+            params.tile_m, params.tile_n, params.tile_k, params.unroll
+        );
+        c.bench_function(&name, |bch| {
+            bch.iter(|| gemm_tiled(std::hint::black_box(&a), &b, m, k, n, params))
+        });
+    }
+}
+
+criterion_group!(benches, gemm_variants);
+criterion_main!(benches);

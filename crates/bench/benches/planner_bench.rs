@@ -1,0 +1,42 @@
+//! Criterion micro-benchmark: execution-order and memory planners.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sod2_fusion::{fuse, FusionPolicy};
+use sod2_mem::{plan_best_fit, plan_peak_first, TensorLife};
+use sod2_models::{skipnet, ModelScale};
+use sod2_plan::{partition_units, plan_order, SepOptions, UnitGraph};
+
+fn planners(c: &mut Criterion) {
+    let model = skipnet(ModelScale::Tiny);
+    let rdp = sod2_rdp::analyze(&model.graph);
+    let fusion = fuse(&model.graph, &rdp, FusionPolicy::Rdp);
+    let ug = UnitGraph::build(&model.graph, &fusion);
+    let parts = partition_units(&model.graph, &rdp, &fusion, &ug);
+    let size = |_t: sod2_ir::TensorId| 4096usize;
+
+    c.bench_function("sep_plan_order", |b| {
+        b.iter(|| {
+            plan_order(
+                std::hint::black_box(&model.graph),
+                &ug,
+                &parts,
+                &size,
+                SepOptions::default(),
+            )
+        })
+    });
+
+    // Synthetic lifetime set for the offset planners.
+    let lives: Vec<TensorLife> = (0..64)
+        .map(|i| TensorLife::new(i, 1024 + (i * 37) % 4096, i, vec![i + 1, i + 3]))
+        .collect();
+    c.bench_function("mem_peak_first_64", |b| {
+        b.iter(|| plan_peak_first(std::hint::black_box(&lives)))
+    });
+    c.bench_function("mem_best_fit_64", |b| {
+        b.iter(|| plan_best_fit(std::hint::black_box(&lives)))
+    });
+}
+
+criterion_group!(benches, planners);
+criterion_main!(benches);

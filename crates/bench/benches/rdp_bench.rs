@@ -1,0 +1,17 @@
+//! Criterion micro-benchmark: RDP solver throughput over zoo graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sod2_models::{all_models, ModelScale};
+
+fn rdp_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rdp_solve");
+    for model in all_models(ModelScale::Tiny) {
+        group.bench_function(model.name, |b| {
+            b.iter(|| sod2_rdp::analyze(std::hint::black_box(&model.graph)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rdp_solve);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! **Table 2**: classification of ONNX operators by dynamism degree.
+
+use sod2_ir::onnx_table::{class_counts, ONNX_OP_CLASSIFICATION};
+use sod2_ir::DynamismClass;
+
+fn main() {
+    println!("Table 2: DNN operator classification by dynamism degree");
+    println!();
+    for class in [
+        DynamismClass::InputShapeDeterminedOutput,
+        DynamismClass::InputShapeDeterminedOutputShape,
+        DynamismClass::InputShapeValueDeterminedOutputShape,
+        DynamismClass::ExecutionDeterminedOutput,
+    ] {
+        let ops: Vec<&str> = ONNX_OP_CLASSIFICATION
+            .iter()
+            .filter(|r| r.class == class)
+            .map(|r| r.name)
+            .collect();
+        println!("== {class} ({} operators) ==", ops.len());
+        for chunk in ops.chunks(8) {
+            println!("   {}", chunk.join(", "));
+        }
+        println!();
+    }
+    let (a, b, c, d) = class_counts();
+    println!(
+        "totals: ISDO={a}  ISDOS={b}  ISVDOS={c}  EDO={d}  (sum={}, incl. the",
+        a + b + c + d
+    );
+    println!("customized <Switch, Combine> control-flow pair from paper §7)");
+}

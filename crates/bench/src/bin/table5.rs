@@ -1,0 +1,61 @@
+//! **Table 5**: intermediate-memory consumption (Min/Max over sampled
+//! inputs) for ORT, MNN, TVM-N, and SoD² on the mobile-CPU profile, plus
+//! the geo-mean normalized by SoD².
+
+use sod2_bench::{comparison_engines, geo_mean, par_over_models, sample_inputs, Aggregate, BenchConfig};
+use sod2_device::DeviceProfile;
+use sod2_models::all_models;
+
+fn main() {
+    let cfg = BenchConfig::from_args(12);
+    let profile = DeviceProfile::s888_cpu();
+    println!(
+        "Table 5: intermediate-result memory (MB), {} inputs/model, CPU profile",
+        cfg.samples
+    );
+    println!(
+        "{:<20} {:>7} {:>4}  {:>6} {:>6}  {:>6} {:>6}  {:>6} {:>6}  {:>6} {:>6}",
+        "model", "#layers", "dyn", "ORTmin", "ORTmax", "MNNmin", "MNNmax", "TVMmin",
+        "TVMmax", "SoDmin", "SoDmax"
+    );
+    // Per-engine mean memory per model, for the normalized geo-mean row.
+    let mut means: Vec<Vec<f64>> = vec![Vec::new(); 4]; // [sod2, ort, mnn, tvmn]
+    let rows = par_over_models(all_models(cfg.scale), |model| {
+        let mut rng = cfg.rng();
+        let inputs = sample_inputs(model, cfg.samples, &mut rng);
+        let mut engines = comparison_engines(model, &profile);
+        let aggs: Vec<Aggregate> = engines
+            .iter_mut()
+            .map(|e| Aggregate::collect(e.as_mut(), &inputs))
+            .collect();
+        (
+            model.name,
+            model.layer_count(),
+            model.dynamism.label(),
+            aggs,
+        )
+    });
+    for (name, layers, dyn_label, aggs) in rows {
+        for (i, a) in aggs.iter().enumerate() {
+            means[i].push(a.mean_memory());
+        }
+        let mm = |i: usize| aggs[i].memory_min_max_mb();
+        let (s0, s1) = mm(0);
+        let (o0, o1) = mm(1);
+        let (m0, m1) = mm(2);
+        let (t0, t1) = mm(3);
+        println!(
+            "{:<20} {:>7} {:>4}  {:>6.2} {:>6.2}  {:>6.2} {:>6.2}  {:>6.2} {:>6.2}  {:>6.2} {:>6.2}",
+            name, layers, dyn_label, o0, o1, m0, m1, t0, t1, s0, s1
+        );
+    }
+    let sod2 = geo_mean(&means[0]);
+    println!();
+    println!("geo-mean memory normalized by SoD2:");
+    println!("  ORT   : {:.2}x", geo_mean(&means[1]) / sod2);
+    println!("  MNN   : {:.2}x", geo_mean(&means[2]) / sod2);
+    println!("  TVM-N : {:.2}x", geo_mean(&means[3]) / sod2);
+    println!("  SoD2  : 1.00x");
+    println!();
+    println!("(Paper Table 5: ORT 3.64x, MNN 1.37x, TVM-N 8.62x over SoD2.)");
+}

@@ -1,0 +1,57 @@
+//! **Table 6**: end-to-end latency (Min/Max over sampled inputs, every
+//! input a fresh shape) for ORT, MNN, TVM-N, and SoD² on the mobile CPU and
+//! GPU profiles, plus geo-means normalized by SoD².
+
+use sod2_bench::{comparison_engines, geo_mean, par_over_models, sample_inputs, Aggregate, BenchConfig};
+use sod2_device::DeviceProfile;
+use sod2_models::all_models;
+
+fn main() {
+    let cfg = BenchConfig::from_args(12);
+    for profile in [DeviceProfile::s888_cpu(), DeviceProfile::s888_gpu()] {
+        println!(
+            "Table 6 ({}): end-to-end latency (ms), {} inputs/model",
+            profile.name, cfg.samples
+        );
+        println!(
+            "{:<20}  {:>7} {:>7}  {:>7} {:>7}  {:>7} {:>7}  {:>7} {:>7}",
+            "model", "ORTmin", "ORTmax", "MNNmin", "MNNmax", "TVMmin", "TVMmax",
+            "SoDmin", "SoDmax"
+        );
+        let mut means: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        let rows = par_over_models(all_models(cfg.scale), |model| {
+            let mut rng = cfg.rng();
+            let inputs = sample_inputs(model, cfg.samples, &mut rng);
+            let mut engines = comparison_engines(model, &profile);
+            let aggs: Vec<Aggregate> = engines
+                .iter_mut()
+                .map(|e| Aggregate::collect_warm(e.as_mut(), &inputs))
+                .collect();
+            (model.name, aggs)
+        });
+        for (name, aggs) in rows {
+            for (i, a) in aggs.iter().enumerate() {
+                means[i].push(a.mean_latency());
+            }
+            let mm = |i: usize| aggs[i].latency_min_max_ms();
+            let (s0, s1) = mm(0);
+            let (o0, o1) = mm(1);
+            let (m0, m1) = mm(2);
+            let (t0, t1) = mm(3);
+            println!(
+                "{:<20}  {:>7.1} {:>7.1}  {:>7.1} {:>7.1}  {:>7.1} {:>7.1}  {:>7.1} {:>7.1}",
+                name, o0, o1, m0, m1, t0, t1, s0, s1
+            );
+        }
+        let sod2 = geo_mean(&means[0]);
+        println!();
+        println!("geo-mean latency normalized by SoD2:");
+        println!("  ORT   : {:.2}x", geo_mean(&means[1]) / sod2);
+        println!("  MNN   : {:.2}x", geo_mean(&means[2]) / sod2);
+        println!("  TVM-N : {:.2}x", geo_mean(&means[3]) / sod2);
+        println!("  SoD2  : 1.00x");
+        println!();
+    }
+    println!("(Paper Table 6: CPU speedups 2.5x/1.7x/2.7x over ORT/MNN/TVM-N;");
+    println!(" GPU 3.9x/2.3x over ORT/MNN.)");
+}

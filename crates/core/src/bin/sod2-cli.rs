@@ -1,0 +1,234 @@
+//! `sod2-cli` — inspect, compile, and run the dynamic-model zoo.
+//!
+//! ```sh
+//! sod2-cli list
+//! sod2-cli analyze  <model> [--scale tiny|full]
+//! sod2-cli run      <model> [--size N] [--device s888-cpu|s888-gpu|s835-cpu|s835-gpu]
+//! sod2-cli compare  <model> [--samples N]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sod2::{DeviceProfile, Engine, MnnLike, OrtLike, Sod2Engine, Sod2Options, TvmNimbleLike};
+use sod2_models::{all_models, model_by_name, DynModel, ModelScale};
+use sod2_rdp::ShapeClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cmd = args.get(1).map(String::as_str).unwrap_or("help");
+    match cmd {
+        "list" => list(),
+        "analyze" => analyze(&args),
+        "run" => run(&args),
+        "compare" => compare(&args),
+        "export" => export(&args),
+        _ => {
+            eprintln!(
+                "usage: sod2-cli <list|analyze|run|compare|export> [model] \
+                 [--scale tiny|full] [--size N] [--samples N] [--device NAME] \
+                 [--out FILE]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn scale_of(args: &[String]) -> ModelScale {
+    match flag(args, "--scale").as_deref() {
+        Some("full") => ModelScale::Full,
+        _ => ModelScale::Tiny,
+    }
+}
+
+fn device_of(args: &[String]) -> DeviceProfile {
+    match flag(args, "--device").as_deref() {
+        Some("s888-gpu") => DeviceProfile::s888_gpu(),
+        Some("s835-cpu") => DeviceProfile::s835_cpu(),
+        Some("s835-gpu") => DeviceProfile::s835_gpu(),
+        _ => DeviceProfile::s888_cpu(),
+    }
+}
+
+fn model_of(args: &[String], scale: ModelScale) -> DynModel {
+    let name = args.get(2).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("missing model name; try `sod2-cli list`");
+        std::process::exit(2);
+    });
+    model_by_name(name, scale).unwrap_or_else(|| {
+        eprintln!("unknown model {name:?}; try `sod2-cli list`");
+        std::process::exit(2);
+    })
+}
+
+fn list() {
+    println!("{:<22} {:>8} {:>6}   input", "model", "#layers", "dyn");
+    for m in all_models(ModelScale::Full) {
+        let (lo, hi) = m.size_range();
+        println!(
+            "{:<22} {:>8} {:>6}   size {lo}..{hi}",
+            m.name,
+            m.layer_count(),
+            m.dynamism.label()
+        );
+    }
+}
+
+fn analyze(args: &[String]) {
+    let scale = scale_of(args);
+    let model = model_of(args, scale);
+    let rdp = sod2_rdp::analyze(&model.graph);
+    let (known, symbolic, op_inferred, nac, unknown) = rdp.class_counts();
+    println!("model      : {} ({} layers)", model.name, model.layer_count());
+    println!("dynamism   : {}", model.dynamism.label());
+    println!("RDP sweeps : {}", rdp.iterations);
+    println!("tensor shape classes:");
+    println!("  known constants     : {known}");
+    println!("  symbolic constants  : {symbolic}");
+    println!("  op-inferred         : {op_inferred}");
+    println!("  nac (exec-determined): {}", nac + unknown);
+    println!("  resolution rate     : {:.1}%", rdp.resolution_rate() * 100.0);
+
+    let engine = Sod2Engine::new(
+        model.graph.clone(),
+        DeviceProfile::s888_cpu(),
+        Sod2Options::default(),
+        &Default::default(),
+    );
+    println!(
+        "fusion     : {} layers → {} fused groups ({} code versions)",
+        model.layer_count(),
+        engine.fusion_plan().layer_count(),
+        engine.fusion_plan().total_versions()
+    );
+    println!("partitions : {}", engine.partitions().len());
+    // Show a few interesting symbolic shapes.
+    let mut shown = 0;
+    println!("sample symbolic shapes:");
+    for t in model.graph.tensor_ids() {
+        if shown >= 6 {
+            break;
+        }
+        if rdp.shape_class(t) == ShapeClass::OpInferred {
+            println!("  {:<28} {}", model.graph.tensor(t).name, rdp.shape(t));
+            shown += 1;
+        }
+    }
+}
+
+fn run(args: &[String]) {
+    let scale = scale_of(args);
+    let model = model_of(args, scale);
+    let profile = device_of(args);
+    let size = flag(args, "--size")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            let (lo, hi) = model.size_range();
+            (lo + hi) / 2
+        });
+    let mut rng = StdRng::seed_from_u64(42);
+    let inputs = model.make_inputs(size, &mut rng);
+    let mut engine = Sod2Engine::new(
+        model.graph.clone(),
+        profile.clone(),
+        Sod2Options::default(),
+        &Default::default(),
+    );
+    match engine.infer(&inputs) {
+        Ok(stats) => {
+            println!("model   : {} @ size {}", model.name, model.round_size(size));
+            println!("device  : {}", profile.name);
+            println!("output  : {:?}", stats.outputs[0].shape());
+            println!("latency : {:.3} ms", stats.latency.total() * 1e3);
+            println!(
+                "          kernels {:.3} ms, allocs {:.3} ms, planning {:.3} ms",
+                stats.latency.kernels * 1e3,
+                stats.latency.allocs * 1e3,
+                stats.latency.reinit * 1e3
+            );
+            println!(
+                "memory  : {:.3} MB peak intermediates",
+                stats.peak_memory_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+        Err(e) => {
+            eprintln!("inference failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn export(args: &[String]) {
+    let scale = scale_of(args);
+    let model = model_of(args, scale);
+    let out = flag(args, "--out").unwrap_or_else(|| format!("{}.sod2", model.name));
+    let bytes = sod2_ir::serialize::encode_graph(&model.graph);
+    match std::fs::write(&out, &bytes) {
+        Ok(()) => println!(
+            "wrote {} ({} layers, {} bytes incl. weights) to {out}",
+            model.name,
+            model.layer_count(),
+            bytes.len()
+        ),
+        Err(e) => {
+            eprintln!("write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn compare(args: &[String]) {
+    let scale = scale_of(args);
+    let model = model_of(args, scale);
+    let profile = device_of(args);
+    let samples: usize = flag(args, "--samples")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let mut engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(Sod2Engine::new(
+            model.graph.clone(),
+            profile.clone(),
+            Sod2Options::default(),
+            &Default::default(),
+        )),
+        Box::new(OrtLike::new(model.graph.clone(), profile.clone())),
+        Box::new(MnnLike::new(model.graph.clone(), profile.clone())),
+        Box::new(TvmNimbleLike::new(model.graph.clone(), profile)),
+    ];
+    let mut rng = StdRng::seed_from_u64(42);
+    let inputs: Vec<_> = (0..samples)
+        .map(|_| model.sample_inputs(&mut rng).1)
+        .collect();
+    println!(
+        "{:<8} {:>10} {:>12}",
+        "engine", "avg ms", "avg peak MB"
+    );
+    for e in engines.iter_mut() {
+        let mut lat = 0.0;
+        let mut mem = 0.0;
+        for i in &inputs {
+            match e.infer(i) {
+                Ok(s) => {
+                    lat += s.latency.total() * 1e3;
+                    mem += s.peak_memory_bytes as f64 / (1024.0 * 1024.0);
+                }
+                Err(err) => {
+                    eprintln!("{} failed: {err}", e.name());
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "{:<8} {:>10.2} {:>12.3}",
+            e.name(),
+            lat / samples as f64,
+            mem / samples as f64
+        );
+    }
+}

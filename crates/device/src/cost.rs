@@ -1,0 +1,218 @@
+//! Operator cost accounting and pricing.
+
+use crate::profile::DeviceProfile;
+use sod2_ir::Op;
+
+/// Resource footprint of one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCost {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes read from inputs.
+    pub bytes_read: f64,
+    /// Bytes written to outputs.
+    pub bytes_written: f64,
+}
+
+impl OpCost {
+    /// Total bytes moved.
+    pub fn bytes_moved(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Component-wise sum (used when fusing kernels).
+    pub fn merge(&self, other: &OpCost) -> OpCost {
+        OpCost {
+            flops: self.flops + other.flops,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
+    }
+}
+
+/// Computes the resource footprint of one operator application from its
+/// concrete input/output shapes (element counts) and element byte widths.
+///
+/// `in_elems[i]` / `out_elems[i]` are element counts; `in_bytes[i]` /
+/// `out_bytes[i]` are the corresponding payload sizes in bytes.
+pub fn op_cost(
+    op: &Op,
+    in_shapes: &[Vec<usize>],
+    out_shapes: &[Vec<usize>],
+    elem_size: usize,
+) -> OpCost {
+    let numel = |s: &Vec<usize>| s.iter().product::<usize>() as f64;
+    let in_total: f64 = in_shapes.iter().map(numel).sum();
+    let out_total: f64 = out_shapes.iter().map(numel).sum();
+    let es = elem_size as f64;
+
+    let flops = match op {
+        Op::Conv2d { spatial, groups } => {
+            // 2 * N * Co * OH * OW * (Ci/g) * kh * kw
+            let out = out_shapes.first().map(numel).unwrap_or(0.0);
+            let cig = in_shapes
+                .get(1)
+                .and_then(|w| w.get(1))
+                .copied()
+                .unwrap_or(1) as f64;
+            let k = (spatial.kernel[0] * spatial.kernel[1]) as f64;
+            let _ = groups;
+            2.0 * out * cig * k
+        }
+        Op::MatMul => {
+            // 2 * batch * m * k * n; k from a's last dim.
+            let out = out_shapes.first().map(numel).unwrap_or(0.0);
+            let k = in_shapes
+                .first()
+                .and_then(|a| a.last())
+                .copied()
+                .unwrap_or(1) as f64;
+            2.0 * out * k
+        }
+        Op::Gemm { trans_a, .. } => {
+            let out = out_shapes.first().map(numel).unwrap_or(0.0);
+            let k = in_shapes
+                .first()
+                .map(|a| if *trans_a { a[0] } else { a[1] })
+                .unwrap_or(1) as f64;
+            2.0 * out * k
+        }
+        Op::MaxPool2d { spatial } | Op::AvgPool2d { spatial } => {
+            let out = out_shapes.first().map(numel).unwrap_or(0.0);
+            out * (spatial.kernel[0] * spatial.kernel[1]) as f64
+        }
+        Op::Softmax { .. } | Op::LogSoftmax { .. } => 5.0 * in_total,
+        Op::LayerNorm { .. } | Op::InstanceNorm { .. } => {
+            8.0 * in_shapes.first().map(numel).unwrap_or(0.0)
+        }
+        Op::BatchNorm { .. } => 4.0 * in_shapes.first().map(numel).unwrap_or(0.0),
+        Op::Reduce { .. } | Op::ArgMax { .. } | Op::GlobalAvgPool | Op::CumSum { .. } => {
+            in_total
+        }
+        Op::Unary(_) | Op::Clip { .. } => 4.0 * in_total,
+        Op::Binary(_) | Op::Compare(_) | Op::Where => out_total,
+        Op::TopK { .. } => {
+            // Sort-dominated: n log n per lane, approximate with 10x.
+            10.0 * in_shapes.first().map(numel).unwrap_or(0.0)
+        }
+        Op::NonMaxSuppression { .. } => {
+            let n = in_shapes.first().map(numel).unwrap_or(0.0) / 4.0;
+            10.0 * n * n.max(1.0).log2()
+        }
+        // Data movement ops: no arithmetic.
+        _ => 0.0,
+    };
+    OpCost {
+        flops,
+        bytes_read: in_total * es,
+        bytes_written: out_total * es,
+    }
+}
+
+/// Prices a kernel execution on a device.
+///
+/// The roofline-style model takes the max of compute time (at the given
+/// `efficiency` fraction of peak) and memory time; `working_set_bytes`
+/// selects cached vs. uncached bandwidth; a fixed launch overhead is added.
+pub fn price_kernel(
+    profile: &DeviceProfile,
+    cost: &OpCost,
+    efficiency: f64,
+    working_set_bytes: usize,
+) -> f64 {
+    let eff = efficiency.clamp(0.01, 1.0);
+    let compute = cost.flops / (profile.flops_per_sec * eff);
+    let bw = if working_set_bytes <= profile.cache_bytes {
+        profile.mem_bandwidth * profile.cache_speedup
+    } else {
+        profile.mem_bandwidth
+    };
+    let memory = cost.bytes_moved() / bw;
+    compute.max(memory) + profile.kernel_launch_overhead
+}
+
+/// Prices one dynamic allocation.
+pub fn price_alloc(profile: &DeviceProfile, bytes: usize) -> f64 {
+    profile.alloc_overhead + bytes as f64 * profile.alloc_per_byte
+}
+
+/// Prices a full re-initialization (the MNN/TFLite strategy on shape
+/// change): shape propagation + layout selection (`SL`), schedule/tuning
+/// (`ST`), and per-tensor allocation.
+///
+/// Returns `(sl, st, alloc)` in seconds.
+pub fn price_reinit(
+    profile: &DeviceProfile,
+    num_nodes: usize,
+    num_allocs: usize,
+    alloc_bytes: usize,
+) -> (f64, f64, f64) {
+    let sl = num_nodes as f64 * profile.reinit_sl_per_node;
+    let st = num_nodes as f64 * profile.reinit_st_per_node;
+    let alloc = num_allocs as f64 * profile.reinit_alloc_per_tensor
+        + alloc_bytes as f64 * profile.alloc_per_byte;
+    (sl, st, alloc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sod2_ir::Spatial2d;
+
+    #[test]
+    fn conv_flops() {
+        let op = Op::Conv2d {
+            spatial: Spatial2d::same(3),
+            groups: 1,
+        };
+        let c = op_cost(
+            &op,
+            &[vec![1, 16, 8, 8], vec![32, 16, 3, 3]],
+            &[vec![1, 32, 8, 8]],
+            4,
+        );
+        // 2 * (1*32*8*8) * 16 * 9
+        assert_eq!(c.flops, 2.0 * 2048.0 * 16.0 * 9.0);
+        assert!(c.bytes_read > 0.0 && c.bytes_written > 0.0);
+    }
+
+    #[test]
+    fn matmul_flops() {
+        let c = op_cost(&Op::MatMul, &[vec![4, 8], vec![8, 16]], &[vec![4, 16]], 4);
+        assert_eq!(c.flops, 2.0 * 64.0 * 8.0);
+    }
+
+    #[test]
+    fn cache_speedup_applies() {
+        let p = DeviceProfile::s888_cpu();
+        let cost = OpCost {
+            flops: 0.0,
+            bytes_read: 1e6,
+            bytes_written: 0.0,
+        };
+        let fast = price_kernel(&p, &cost, 1.0, 1024);
+        let slow = price_kernel(&p, &cost, 1.0, p.cache_bytes + 1);
+        assert!(slow > fast * 2.0);
+    }
+
+    #[test]
+    fn reinit_scales_with_nodes() {
+        let p = DeviceProfile::s888_cpu();
+        let (sl1, st1, _) = price_reinit(&p, 100, 0, 0);
+        let (sl2, st2, _) = price_reinit(&p, 200, 0, 0);
+        assert!((sl2 / sl1 - 2.0).abs() < 1e-9);
+        assert!((st2 / st1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_alloc_dominates() {
+        let gpu = DeviceProfile::s888_gpu();
+        let cpu = DeviceProfile::s888_cpu();
+        let b = 10 * 1024 * 1024;
+        assert!(price_alloc(&gpu, b) > 5.0 * price_alloc(&cpu, b));
+        // Re-initialization allocation (fresh buffer creation + mapping) is
+        // far costlier than steady-state pool allocation — the source of
+        // Table 1's giant GPU "Alloc" phase.
+        assert!(gpu.reinit_alloc_per_tensor > 50.0 * gpu.alloc_overhead);
+    }
+}

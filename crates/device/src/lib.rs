@@ -1,0 +1,32 @@
+//! # sod2-device — deterministic device cost model
+//!
+//! Stand-in for the paper's Snapdragon 888 / 835 testbeds (see DESIGN.md's
+//! substitution table). Provides:
+//!
+//! - [`DeviceProfile`]: four calibrated profiles (S888/S835 × CPU/GPU),
+//! - [`op_cost`] / [`price_kernel`] / [`price_alloc`] / [`price_reinit`]:
+//!   roofline-style pricing of kernels and of the overhead events
+//!   (allocations, re-initialization phases, shape functions) that
+//!   distinguish the execution strategies the paper compares,
+//! - [`gemm_efficiency`] and [`ShapeClass`]: the shape-dependent kernel
+//!   efficiency landscape searched by multi-version code generation.
+//!
+//! # Examples
+//!
+//! ```
+//! use sod2_device::{DeviceProfile, price_alloc};
+//!
+//! let gpu = DeviceProfile::s888_gpu();
+//! let cpu = DeviceProfile::s888_cpu();
+//! // Dynamic allocation is far more expensive on the mobile GPU —
+//! // the effect behind Table 1's 30-second GPU "Alloc" column.
+//! assert!(price_alloc(&gpu, 1 << 20) > price_alloc(&cpu, 1 << 20));
+//! ```
+
+mod cost;
+mod profile;
+mod tuning;
+
+pub use cost::{op_cost, price_alloc, price_kernel, price_reinit, OpCost};
+pub use profile::{DeviceKind, DeviceProfile};
+pub use tuning::{conv_efficiency, gemm_efficiency, ShapeClass};

@@ -1,0 +1,181 @@
+//! Device profiles.
+//!
+//! These stand in for the paper's hardware (§5.1): a Snapdragon 888
+//! (Kryo 680 CPU, Adreno 660 GPU) and a Snapdragon 835 (Kryo 280,
+//! Adreno 540). Parameter magnitudes are calibrated to reproduce the
+//! *qualitative* behaviour the paper measures:
+//!
+//! - mobile GPUs have higher arithmetic throughput but pay far more per
+//!   kernel launch and per dynamic buffer allocation (Table 1's 30-second
+//!   GPU "Alloc" column),
+//! - re-initialization (shape propagation / layout selection / schedule
+//!   tuning) costs scale with layer count and dwarf single-inference time,
+//! - the S835's smaller cache and bandwidth amplify the benefit of
+//!   memory-footprint reductions (Fig. 13).
+
+/// Compute device kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Mobile CPU (multi-core, cache-sensitive).
+    Cpu,
+    /// Mobile GPU (high throughput, high launch/alloc overhead).
+    Gpu,
+}
+
+/// A priced execution target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// CPU or GPU behaviour class.
+    pub kind: DeviceKind,
+    /// Effective peak floating-point rate (FLOP/s) at efficiency 1.0.
+    pub flops_per_sec: f64,
+    /// Main-memory bandwidth (bytes/s).
+    pub mem_bandwidth: f64,
+    /// Bandwidth multiplier when the working set fits in cache.
+    pub cache_speedup: f64,
+    /// Last-level cache size in bytes.
+    pub cache_bytes: usize,
+    /// Fixed cost per kernel launch (s).
+    pub kernel_launch_overhead: f64,
+    /// Fixed cost per dynamic allocation (s) plus a per-byte term.
+    pub alloc_overhead: f64,
+    /// Per-byte dynamic allocation cost (s/byte) — models GPU buffer
+    /// creation + mapping.
+    pub alloc_per_byte: f64,
+    /// Per-tensor allocation cost during *re-initialization* (s): fresh
+    /// buffer creation + mapping + layout conversion, far costlier than
+    /// steady-state pool allocation (Table 1's giant GPU "Alloc" phase).
+    pub reinit_alloc_per_tensor: f64,
+    /// Shape-propagation + layout-selection cost per node during
+    /// re-initialization (s) — Table 1's "SL" column.
+    pub reinit_sl_per_node: f64,
+    /// Schedule/tuning cost per node during re-initialization (s) —
+    /// Table 1's "ST" column.
+    pub reinit_st_per_node: f64,
+    /// Cost of one runtime shape-function evaluation (s) — the TVM/Nimble
+    /// VM overhead per dynamic operator.
+    pub shape_func_cost: f64,
+    /// Baseline kernel efficiency (fraction of peak) for untuned code.
+    pub base_efficiency: f64,
+}
+
+impl DeviceProfile {
+    /// Snapdragon 888 Kryo 680 CPU (8 threads, f32).
+    pub fn s888_cpu() -> Self {
+        DeviceProfile {
+            name: "Snapdragon 888 CPU",
+            kind: DeviceKind::Cpu,
+            flops_per_sec: 60e9,
+            mem_bandwidth: 30e9,
+            cache_speedup: 4.0,
+            cache_bytes: 4 * 1024 * 1024,
+            kernel_launch_overhead: 2e-6,
+            alloc_overhead: 4e-7,
+            alloc_per_byte: 1e-12,
+            reinit_alloc_per_tensor: 1.5e-6,
+            reinit_sl_per_node: 0.5e-6,
+            reinit_st_per_node: 8e-6,
+            shape_func_cost: 3e-6,
+            base_efficiency: 0.35,
+        }
+    }
+
+    /// Snapdragon 888 Adreno 660 GPU (f16 pipeline).
+    pub fn s888_gpu() -> Self {
+        DeviceProfile {
+            name: "Snapdragon 888 GPU",
+            kind: DeviceKind::Gpu,
+            flops_per_sec: 220e9,
+            mem_bandwidth: 40e9,
+            cache_speedup: 6.0,
+            cache_bytes: 1024 * 1024,
+            kernel_launch_overhead: 5e-6,
+            alloc_overhead: 8e-6,
+            alloc_per_byte: 1e-11,
+            reinit_alloc_per_tensor: 1.2e-3,
+            reinit_sl_per_node: 0.1e-6,
+            reinit_st_per_node: 50e-6,
+            shape_func_cost: 10e-6,
+            base_efficiency: 0.30,
+        }
+    }
+
+    /// Snapdragon 835 Kryo 280 CPU.
+    pub fn s835_cpu() -> Self {
+        DeviceProfile {
+            name: "Snapdragon 835 CPU",
+            kind: DeviceKind::Cpu,
+            flops_per_sec: 22e9,
+            mem_bandwidth: 12e9,
+            cache_speedup: 3.0,
+            cache_bytes: 2 * 1024 * 1024,
+            kernel_launch_overhead: 3e-6,
+            alloc_overhead: 6e-7,
+            alloc_per_byte: 1.5e-12,
+            reinit_alloc_per_tensor: 2.5e-6,
+            reinit_sl_per_node: 0.8e-6,
+            reinit_st_per_node: 14e-6,
+            shape_func_cost: 5e-6,
+            base_efficiency: 0.32,
+        }
+    }
+
+    /// Snapdragon 835 Adreno 540 GPU.
+    pub fn s835_gpu() -> Self {
+        DeviceProfile {
+            name: "Snapdragon 835 GPU",
+            kind: DeviceKind::Gpu,
+            flops_per_sec: 70e9,
+            mem_bandwidth: 18e9,
+            cache_speedup: 4.0,
+            cache_bytes: 512 * 1024,
+            kernel_launch_overhead: 8e-6,
+            alloc_overhead: 12e-6,
+            alloc_per_byte: 1.5e-11,
+            reinit_alloc_per_tensor: 2e-3,
+            reinit_sl_per_node: 0.15e-6,
+            reinit_st_per_node: 80e-6,
+            shape_func_cost: 15e-6,
+            base_efficiency: 0.26,
+        }
+    }
+
+    /// All four evaluation profiles (S888/S835 × CPU/GPU).
+    pub fn all() -> Vec<DeviceProfile> {
+        vec![
+            DeviceProfile::s888_cpu(),
+            DeviceProfile::s888_gpu(),
+            DeviceProfile::s835_cpu(),
+            DeviceProfile::s835_gpu(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_pays_more_for_allocation() {
+        let cpu = DeviceProfile::s888_cpu();
+        let gpu = DeviceProfile::s888_gpu();
+        assert!(gpu.alloc_overhead > 10.0 * cpu.alloc_overhead);
+        assert!(gpu.kernel_launch_overhead > cpu.kernel_launch_overhead);
+    }
+
+    #[test]
+    fn s835_has_smaller_cache_and_bandwidth() {
+        let new = DeviceProfile::s888_cpu();
+        let old = DeviceProfile::s835_cpu();
+        assert!(old.cache_bytes < new.cache_bytes);
+        assert!(old.mem_bandwidth < new.mem_bandwidth);
+        assert!(old.flops_per_sec < new.flops_per_sec);
+    }
+
+    #[test]
+    fn four_profiles() {
+        assert_eq!(DeviceProfile::all().len(), 4);
+    }
+}

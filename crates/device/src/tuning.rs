@@ -1,0 +1,230 @@
+//! Kernel-efficiency model for multi-version code generation.
+//!
+//! The paper's auto-tuner (§4.4.2) searches tiling / unrolling / loop
+//! permutation settings per *shape class* (fat, regular, skinny matrices).
+//! We model the efficiency (fraction of device peak) a GEMM configuration
+//! achieves as a smooth deterministic function of the configuration and the
+//! matrix shape on a device — giving the genetic tuner a realistic,
+//! shape-dependent landscape with distinct optima per class.
+
+use crate::profile::{DeviceKind, DeviceProfile};
+use sod2_kernels::{ConvParams, GemmParams};
+
+/// Shape class of a GEMM/CONV workload (paper §4.4.2: "our auto-tuner
+/// considers fat, regular, and skinny matrices").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ShapeClass {
+    /// `m` ≫ `n` (tall-and-thin output).
+    Skinny,
+    /// Balanced `m`/`n`.
+    Regular,
+    /// `n` ≫ `m` (short-and-wide output).
+    Fat,
+}
+
+impl ShapeClass {
+    /// Classifies an output matrix `m × n`.
+    pub fn of(m: usize, n: usize) -> Self {
+        let (m, n) = (m.max(1) as f64, n.max(1) as f64);
+        let ratio = m / n;
+        if ratio >= 4.0 {
+            ShapeClass::Skinny
+        } else if ratio <= 0.25 {
+            ShapeClass::Fat
+        } else {
+            ShapeClass::Regular
+        }
+    }
+
+    /// All classes (for exhaustive version tables).
+    pub fn all() -> [ShapeClass; 3] {
+        [ShapeClass::Skinny, ShapeClass::Regular, ShapeClass::Fat]
+    }
+}
+
+/// Models the efficiency (0, 1] a tiled GEMM configuration achieves for an
+/// `m × k × n` problem on a device.
+///
+/// The landscape encodes the usual effects:
+/// - tiles must fit the cache (footprint penalty),
+/// - tiles should align with the matrix aspect (skinny wants tall tiles,
+///   fat wants wide tiles),
+/// - moderate unrolling helps, excessive unrolling hurts (register spill),
+/// - GPUs prefer wider tiles (coalescing) and higher unroll.
+pub fn gemm_efficiency(
+    params: GemmParams,
+    m: usize,
+    k: usize,
+    n: usize,
+    profile: &DeviceProfile,
+) -> f64 {
+    let (tm, tn, tk) = (
+        params.tile_m.max(1) as f64,
+        params.tile_n.max(1) as f64,
+        params.tile_k.max(1) as f64,
+    );
+    let (m, k, n) = (m.max(1) as f64, k.max(1) as f64, n.max(1) as f64);
+
+    // 1. Cache-fit: tile footprint (A tile + B tile + C tile, f32).
+    let footprint = 4.0 * (tm * tk + tk * tn + tm * tn);
+    let cache = profile.cache_bytes as f64 * 0.5;
+    let fit = if footprint <= cache {
+        1.0
+    } else {
+        (cache / footprint).sqrt()
+    };
+
+    // 2. Aspect match: ideal tile aspect tracks the output aspect, softly.
+    let want_aspect = (m / n).clamp(0.125, 8.0);
+    let have_aspect = tm / tn;
+    let aspect = 1.0 / (1.0 + 0.35 * (have_aspect.ln() - want_aspect.ln()).abs());
+
+    // 3. Utilization: tiles larger than the problem waste work.
+    let util = (m / tm).min(1.0) * (n / tn).min(1.0) * (k / tk).min(1.0);
+    let util = util.powf(0.3);
+
+    // 4. Unroll: device-dependent sweet spot.
+    let ideal_unroll: f64 = match profile.kind {
+        DeviceKind::Cpu => 4.0,
+        DeviceKind::Gpu => 8.0,
+    };
+    let u = params.unroll.max(1) as f64;
+    let unroll = 1.0 / (1.0 + 0.25 * (u.ln() - ideal_unroll.ln()).abs());
+
+    // 5. GPU coalescing: reward wide tn.
+    let coalesce = match profile.kind {
+        DeviceKind::Cpu => 1.0,
+        DeviceKind::Gpu => (tn / 32.0).min(1.0).powf(0.4),
+    };
+
+    let raw = fit * aspect * util * unroll * coalesce;
+    // Scale into [base_efficiency, ~0.95].
+    (profile.base_efficiency + (0.95 - profile.base_efficiency) * raw).clamp(0.01, 0.95)
+}
+
+/// Models the efficiency a blocked/tiled convolution configuration
+/// achieves for an output of `co` channels by `spatial` positions with a
+/// per-output reduction of `k` terms, on a device.
+///
+/// Encodes: weight-block cache fit, width-tile row reuse, and utilization
+/// (tiles larger than the problem waste work); GPUs prefer wider tiles.
+pub fn conv_efficiency(
+    params: ConvParams,
+    co: usize,
+    spatial: usize,
+    k: usize,
+    profile: &DeviceProfile,
+) -> f64 {
+    let (bo, tw) = (params.block_oc.max(1) as f64, params.tile_w.max(1) as f64);
+    let (co, spatial, k) = (co.max(1) as f64, spatial.max(1) as f64, k.max(1) as f64);
+
+    // 1. Weight block must fit cache: bo * k floats.
+    let footprint = 4.0 * bo * k + 4.0 * tw * k;
+    let cache = profile.cache_bytes as f64 * 0.25;
+    let fit = if footprint <= cache {
+        1.0
+    } else {
+        (cache / footprint).sqrt()
+    };
+
+    // 2. Row reuse grows with the width tile, with diminishing returns.
+    let reuse = (tw.ln_1p() / 32f64.ln_1p()).min(1.0);
+
+    // 3. Utilization: oversized blocks/tiles waste lanes.
+    let util = (co / bo).min(1.0) * (spatial / tw).min(1.0);
+    let util = util.powf(0.3);
+
+    // 4. GPUs want wide tiles for coalescing.
+    let coalesce = match profile.kind {
+        DeviceKind::Cpu => 1.0,
+        DeviceKind::Gpu => (tw / 16.0).min(1.0).powf(0.4),
+    };
+
+    let raw = fit * (0.5 + 0.5 * reuse) * util * coalesce;
+    (profile.base_efficiency + (0.92 - profile.base_efficiency) * raw).clamp(0.01, 0.92)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DeviceProfile;
+
+    #[test]
+    fn shape_class_boundaries() {
+        assert_eq!(ShapeClass::of(1024, 64), ShapeClass::Skinny);
+        assert_eq!(ShapeClass::of(64, 1024), ShapeClass::Fat);
+        assert_eq!(ShapeClass::of(256, 256), ShapeClass::Regular);
+    }
+
+    #[test]
+    fn efficiency_in_range() {
+        let p = DeviceProfile::s888_cpu();
+        for tm in [2, 16, 128] {
+            for tn in [2, 16, 128] {
+                let e = gemm_efficiency(
+                    GemmParams {
+                        tile_m: tm,
+                        tile_n: tn,
+                        tile_k: 16,
+                        unroll: 4,
+                    },
+                    512,
+                    512,
+                    512,
+                    &p,
+                );
+                assert!(e > 0.0 && e <= 0.95);
+            }
+        }
+    }
+
+    #[test]
+    fn skinny_prefers_tall_tiles() {
+        let p = DeviceProfile::s888_cpu();
+        let tall = GemmParams { tile_m: 64, tile_n: 8, tile_k: 32, unroll: 4 };
+        let wide = GemmParams { tile_m: 8, tile_n: 64, tile_k: 32, unroll: 4 };
+        let e_tall = gemm_efficiency(tall, 2048, 64, 64, &p);
+        let e_wide = gemm_efficiency(wide, 2048, 64, 64, &p);
+        assert!(e_tall > e_wide);
+    }
+
+    #[test]
+    fn oversized_tiles_penalized() {
+        let p = DeviceProfile::s835_cpu();
+        let huge = GemmParams { tile_m: 2048, tile_n: 2048, tile_k: 512, unroll: 4 };
+        let sane = GemmParams::default();
+        assert!(
+            gemm_efficiency(sane, 512, 512, 512, &p)
+                > gemm_efficiency(huge, 512, 512, 512, &p)
+        );
+    }
+
+    #[test]
+    fn conv_efficiency_sane() {
+        let p = DeviceProfile::s888_cpu();
+        let small = ConvParams { block_oc: 1, tile_w: 1 };
+        let good = ConvParams { block_oc: 8, tile_w: 16 };
+        let huge = ConvParams { block_oc: 4096, tile_w: 4096 };
+        let e_small = conv_efficiency(small, 32, 1024, 144, &p);
+        let e_good = conv_efficiency(good, 32, 1024, 144, &p);
+        let e_huge = conv_efficiency(huge, 32, 1024, 144, &p);
+        assert!(e_good > e_small, "{e_good} !> {e_small}");
+        assert!(e_good > e_huge);
+        for e in [e_small, e_good, e_huge] {
+            assert!(e > 0.0 && e <= 0.92);
+        }
+    }
+
+    #[test]
+    fn gpu_rewards_wide_tiles_more_than_cpu() {
+        let cpu = DeviceProfile::s888_cpu();
+        let gpu = DeviceProfile::s888_gpu();
+        let narrow = GemmParams { tile_m: 32, tile_n: 4, tile_k: 32, unroll: 8 };
+        let wide = GemmParams { tile_m: 32, tile_n: 64, tile_k: 32, unroll: 8 };
+        let gpu_gain = gemm_efficiency(wide, 256, 256, 256, &gpu)
+            / gemm_efficiency(narrow, 256, 256, 256, &gpu);
+        let cpu_gain = gemm_efficiency(wide, 256, 256, 256, &cpu)
+            / gemm_efficiency(narrow, 256, 256, 256, &cpu);
+        assert!(gpu_gain > cpu_gain);
+    }
+}

@@ -1,0 +1,134 @@
+//! The engine interface and shared helpers.
+
+use sod2_ir::Graph;
+use sod2_runtime::{ExecError, LatencyBreakdown};
+use sod2_sym::{Bindings, DimExpr, ShapeValue};
+use sod2_tensor::Tensor;
+
+/// Result of one inference through an engine.
+#[derive(Debug)]
+pub struct InferenceStats {
+    /// Output tensors.
+    pub outputs: Vec<Tensor>,
+    /// Priced latency breakdown on the engine's device profile.
+    pub latency: LatencyBreakdown,
+    /// Peak intermediate-memory footprint the engine's allocator reserved
+    /// (paper Table 5's metric; excludes weights).
+    pub peak_memory_bytes: usize,
+    /// Whether this inference triggered a re-initialization.
+    pub reinitialized: bool,
+}
+
+/// A DNN execution engine — SoD² or one of the baselines.
+///
+/// Engines are stateful: they cache compiled artifacts across calls, which
+/// is exactly where the strategies differ (re-initialization vs. static
+/// plans vs. per-run dynamic work). Engines are `Send` so harnesses can
+/// evaluate models on worker threads.
+pub trait Engine: Send {
+    /// Engine display name.
+    fn name(&self) -> &'static str;
+
+    /// Runs one inference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors.
+    fn infer(&mut self, inputs: &[Tensor]) -> Result<InferenceStats, ExecError>;
+}
+
+/// Extracts symbol bindings by matching the graph's symbolic input
+/// annotations against concrete input shapes.
+///
+/// # Errors
+///
+/// Returns an error message when a concrete shape contradicts a known
+/// annotation dimension.
+pub fn bindings_from_inputs(graph: &Graph, inputs: &[Tensor]) -> Result<Bindings, String> {
+    let mut b = Bindings::new();
+    for (&tid, tensor) in graph.inputs().iter().zip(inputs) {
+        let info = graph.tensor(tid);
+        let ShapeValue::Ranked(dims) = &info.shape else {
+            continue;
+        };
+        if dims.len() != tensor.rank() {
+            return Err(format!(
+                "input {} rank {} != annotation rank {}",
+                info.name,
+                tensor.rank(),
+                dims.len()
+            ));
+        }
+        for (dv, &actual) in dims.iter().zip(tensor.shape()) {
+            match dv.as_expr() {
+                Some(DimExpr::Sym(name)) => {
+                    let prev = b.insert(name.to_string(), actual as i64);
+                    if let Some(p) = prev {
+                        if p != actual as i64 {
+                            return Err(format!(
+                                "symbol {name} bound to both {p} and {actual}"
+                            ));
+                        }
+                    }
+                }
+                Some(e) => {
+                    if let Some(k) = e.as_const() {
+                        if k != actual as i64 {
+                            return Err(format!(
+                                "input {} dim {k} != concrete {actual}",
+                                info.name
+                            ));
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+    Ok(b)
+}
+
+/// A key identifying a concrete input-shape configuration (what static
+/// engines cache their compiled state under).
+pub fn shape_key(inputs: &[Tensor]) -> Vec<Vec<usize>> {
+    inputs.iter().map(|t| t.shape().to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sod2_ir::DType;
+
+    #[test]
+    fn bindings_extracted_from_symbolic_inputs() {
+        let mut g = Graph::new();
+        let _ = g.add_input(
+            "x",
+            DType::F32,
+            vec![1.into(), DimExpr::sym("H"), DimExpr::sym("W")],
+        );
+        let t = Tensor::zeros(&[1, 5, 7]);
+        let b = bindings_from_inputs(&g, &[t]).expect("bind");
+        assert_eq!(b.get("H"), Some(&5));
+        assert_eq!(b.get("W"), Some(&7));
+    }
+
+    #[test]
+    fn conflicting_bindings_rejected() {
+        let mut g = Graph::new();
+        let _ = g.add_input(
+            "x",
+            DType::F32,
+            vec![DimExpr::sym("S"), DimExpr::sym("S")],
+        );
+        assert!(bindings_from_inputs(&g, &[Tensor::zeros(&[3, 4])]).is_err());
+        assert!(bindings_from_inputs(&g, &[Tensor::zeros(&[4, 4])]).is_ok());
+    }
+
+    #[test]
+    fn const_annotation_mismatch_rejected() {
+        let mut g = Graph::new();
+        let _ = g.add_input("x", DType::F32, vec![3.into()]);
+        assert!(bindings_from_inputs(&g, &[Tensor::zeros(&[4])]).is_err());
+    }
+}

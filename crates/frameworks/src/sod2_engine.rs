@@ -1,0 +1,271 @@
+//! The SoD² engine: RDP → fusion → static execution planning → dynamic
+//! memory planning → multi-version kernels, with native `<Switch,Combine>`
+//! control flow. Each optimization can be toggled off for the Fig. 5/6
+//! breakdown studies.
+
+use crate::common::{bindings_from_inputs, Engine, InferenceStats};
+use sod2_device::DeviceProfile;
+use sod2_fusion::{fuse, FusionPlan, FusionPolicy};
+use sod2_ir::{Graph, NodeId, TensorId};
+use sod2_mem::{plan_sod2, size_class_peak, MemoryPlan, TensorLife};
+use sod2_mvc::VersionTable;
+use sod2_plan::{
+    naive_unit_order, partition_units, plan_order, unit_lifetimes, Partition, SepOptions,
+    UnitGraph,
+};
+use sod2_rdp::{analyze, RdpResult};
+use sod2_runtime::{execute, ExecConfig, ExecError, RunOutcome, TraceEvent};
+use sod2_sym::Bindings;
+use sod2_tensor::Tensor;
+
+/// Which optimizations the engine applies (paper §5.3's ladder).
+#[derive(Debug, Clone, Copy)]
+pub struct Sod2Options {
+    /// Fusion policy (the "No opt." baseline keeps static fusion).
+    pub fusion: FusionPolicy,
+    /// Static execution planning (§4.3).
+    pub sep: bool,
+    /// Dynamic memory planning (§4.4.1).
+    pub dmp: bool,
+    /// Multi-version code generation (§4.4.2).
+    pub mvc: bool,
+    /// Native control flow (dead branches skipped); `false` reproduces the
+    /// "execute-all, strip-out-invalid" comparison of Fig. 9.
+    pub native_control_flow: bool,
+}
+
+impl Default for Sod2Options {
+    fn default() -> Self {
+        Sod2Options {
+            fusion: FusionPolicy::Rdp,
+            sep: true,
+            dmp: true,
+            mvc: true,
+            native_control_flow: true,
+        }
+    }
+}
+
+impl Sod2Options {
+    /// The "No opt." baseline of Fig. 5/6: static fusion and constant
+    /// folding only, no RDP-enabled optimization.
+    pub fn no_opt() -> Self {
+        Sod2Options {
+            fusion: FusionPolicy::Static,
+            sep: false,
+            dmp: false,
+            mvc: false,
+            native_control_flow: true,
+        }
+    }
+}
+
+/// The SoD² execution engine.
+pub struct Sod2Engine {
+    graph: Graph,
+    profile: DeviceProfile,
+    opts: Sod2Options,
+    rdp: RdpResult,
+    fusion_plan: FusionPlan,
+    unit_graph: UnitGraph,
+    partitions: Vec<Partition>,
+    unit_order: Vec<usize>,
+    node_order: Vec<NodeId>,
+    table: Option<VersionTable>,
+}
+
+impl Sod2Engine {
+    /// Compiles a graph for a device (the pre-deployment phase, §4.1).
+    ///
+    /// `repr_bindings` provide representative symbol values used only to
+    /// compare symbolic tensor sizes during execution-order planning.
+    pub fn new(
+        graph: Graph,
+        profile: DeviceProfile,
+        opts: Sod2Options,
+        repr_bindings: &Bindings,
+    ) -> Self {
+        // General static optimizations first (the paper's baseline already
+        // includes constant folding): fold + prune, then analyze.
+        let (graph, _pass_stats) = sod2_runtime::fold_constants(&graph);
+        let rdp = analyze(&graph);
+        let fusion_plan = fuse(&graph, &rdp, opts.fusion);
+        let unit_graph = UnitGraph::build(&graph, &fusion_plan);
+        let partitions = partition_units(&graph, &rdp, &fusion_plan, &unit_graph);
+        // Representative sizes for order planning: symbolic byte counts
+        // evaluated at the provided bindings, unspecified symbols at a
+        // moderate default so relative magnitudes stay meaningful.
+        const DEFAULT_DIM: i64 = 32;
+        let size_of = |t: TensorId| -> usize {
+            rdp.symbolic_bytes(&graph, t)
+                .and_then(|e| e.eval_with_default(repr_bindings, DEFAULT_DIM))
+                .map(|b| b.max(0) as usize)
+                .unwrap_or(4096)
+        };
+        let unit_order = if opts.sep {
+            let planned =
+                plan_order(&graph, &unit_graph, &partitions, &size_of, SepOptions::default())
+                    .unit_order;
+            if opts.dmp {
+                planned
+            } else {
+                // Without DMP the engine pays the pooling allocator's peak,
+                // so judge candidate orders by that objective instead.
+                let pooled = |order: &[usize]| {
+                    let lives: Vec<TensorLife> =
+                        unit_lifetimes(&graph, &unit_graph, order, &size_of)
+                            .into_iter()
+                            .filter(|l| l.size > 0)
+                            .collect();
+                    size_class_peak(&lives)
+                };
+                let naive = naive_unit_order(&unit_graph);
+                if pooled(&planned) <= pooled(&naive) {
+                    planned
+                } else {
+                    naive
+                }
+            }
+        } else {
+            naive_unit_order(&unit_graph)
+        };
+        let node_order: Vec<NodeId> = unit_order
+            .iter()
+            .flat_map(|&u| unit_graph.units[u].nodes.iter().copied())
+            .collect();
+        let table = if opts.mvc {
+            Some(VersionTable::tune(&profile, 0xC0DE))
+        } else {
+            None
+        };
+        Sod2Engine {
+            graph,
+            profile,
+            opts,
+            rdp,
+            fusion_plan,
+            unit_graph,
+            partitions,
+            unit_order,
+            node_order,
+            table,
+        }
+    }
+
+    /// The compiled fusion plan.
+    pub fn fusion_plan(&self) -> &FusionPlan {
+        &self.fusion_plan
+    }
+
+    /// The RDP analysis result.
+    pub fn rdp(&self) -> &RdpResult {
+        &self.rdp
+    }
+
+    /// The partitions (Fig. 8 data).
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// The planned unit order.
+    pub fn unit_order(&self) -> &[usize] {
+        &self.unit_order
+    }
+
+    /// The unit graph.
+    pub fn unit_graph(&self) -> &UnitGraph {
+        &self.unit_graph
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Lifetimes of the tensors materialized in `outcome`, on the planned
+    /// order (dead-branch tensors excluded — a native-control-flow win).
+    fn observed_lifetimes(&self, outcome: &RunOutcome) -> Vec<TensorLife> {
+        let size_of = |t: TensorId| -> usize {
+            outcome
+                .concrete_shapes
+                .get(&t)
+                .map(|s| {
+                    s.iter().product::<usize>()
+                        * self.graph.tensor(t).dtype.size_bytes()
+                })
+                .unwrap_or(0)
+        };
+        unit_lifetimes(&self.graph, &self.unit_graph, &self.unit_order, &size_of)
+            .into_iter()
+            .filter(|l| l.size > 0)
+            .collect()
+    }
+
+    /// Runs inference and returns the memory plan alongside the stats
+    /// (used by the memory-planner ablation experiment).
+    pub fn infer_with_plan(
+        &mut self,
+        inputs: &[Tensor],
+    ) -> Result<(InferenceStats, MemoryPlan), ExecError> {
+        let _bindings = bindings_from_inputs(&self.graph, inputs)
+            .map_err(ExecError::BadInputs)?;
+        let cfg = ExecConfig {
+            fusion: Some(&self.fusion_plan),
+            node_order: Some(&self.node_order),
+            version_table: self.table.as_ref(),
+            execute_all_branches: !self.opts.native_control_flow,
+            fused_interpreter: true,
+        };
+        let outcome = execute(&self.graph, inputs, &cfg)?;
+        let lives = self.observed_lifetimes(&outcome);
+        // Dynamic memory planning (§4.4.1): with DMP the offset plan packs
+        // tensors into one arena; without it the engine falls back to a
+        // pooling allocator (size-class high-water marks — what running
+        // without a plan actually costs).
+        let plan = if self.opts.dmp {
+            plan_sod2(&lives)
+        } else {
+            let mut p = MemoryPlan::conservative(&lives);
+            p.peak = size_class_peak(&lives);
+            p
+        };
+        let mut trace = outcome.trace;
+        if self.opts.dmp {
+            // One arena allocation per inference, plus the (cheap) runtime
+            // plan-generation work, proportional to the sub-graph count.
+            trace.push(TraceEvent::Alloc { bytes: plan.peak });
+            let plan_gen = self.unit_order.len() as f64
+                * self.profile.reinit_sl_per_node
+                * 0.1;
+            trace.push(TraceEvent::Reinit {
+                sl: plan_gen,
+                st: 0.0,
+                alloc: 0.0,
+            });
+        } else {
+            for &b in &outcome.alloc_sizes {
+                trace.push(TraceEvent::Alloc { bytes: b });
+            }
+        }
+        let latency = trace.price(&self.profile);
+        Ok((
+            InferenceStats {
+                outputs: outcome.outputs,
+                latency,
+                peak_memory_bytes: plan.peak,
+                reinitialized: false,
+            },
+            plan,
+        ))
+    }
+}
+
+impl Engine for Sod2Engine {
+    fn name(&self) -> &'static str {
+        "SoD2"
+    }
+
+    fn infer(&mut self, inputs: &[Tensor]) -> Result<InferenceStats, ExecError> {
+        self.infer_with_plan(inputs).map(|(stats, _)| stats)
+    }
+}

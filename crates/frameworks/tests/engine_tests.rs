@@ -1,0 +1,257 @@
+//! Cross-engine tests: the qualitative claims of the paper's evaluation
+//! must hold on the zoo models — identical outputs, SoD² lowest memory and
+//! latency under shape change, re-initialization only where the paper says
+//! it happens.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sod2_device::DeviceProfile;
+use sod2_frameworks::{
+    Engine, MnnLike, OrtLike, Sod2Engine, Sod2Options, TfLiteLike, TvmNimbleLike,
+};
+use sod2_models::{codebert, skipnet, yolo_v6, DynModel, ModelScale};
+use sod2_tensor::Tensor;
+
+fn engines_for(model: &DynModel) -> Vec<Box<dyn Engine>> {
+    let p = DeviceProfile::s888_cpu();
+    vec![
+        Box::new(Sod2Engine::new(
+            model.graph.clone(),
+            p.clone(),
+            Sod2Options::default(),
+            &Default::default(),
+        )),
+        Box::new(MnnLike::new(model.graph.clone(), p.clone())),
+        Box::new(OrtLike::new(model.graph.clone(), p.clone())),
+        Box::new(TvmNimbleLike::new(model.graph.clone(), p.clone())),
+        Box::new(TfLiteLike::new(model.graph.clone(), p)),
+    ]
+}
+
+fn inputs_for(model: &DynModel, seed: u64, n: usize) -> Vec<Vec<Tensor>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| model.sample_inputs(&mut rng).1).collect()
+}
+
+#[test]
+fn all_engines_agree_on_outputs() {
+    for model in [codebert(ModelScale::Tiny), skipnet(ModelScale::Tiny), yolo_v6(ModelScale::Tiny)] {
+        let samples = inputs_for(&model, 11, 3);
+        let mut engines = engines_for(&model);
+        for inputs in &samples {
+            let reference = engines[0].infer(inputs).expect("sod2 runs");
+            for e in engines.iter_mut().skip(1) {
+                let got = e.infer(inputs).unwrap_or_else(|err| {
+                    panic!("{} failed on {}: {err}", e.name(), model.name)
+                });
+                assert_eq!(got.outputs.len(), reference.outputs.len());
+                for (a, b) in got.outputs.iter().zip(&reference.outputs) {
+                    assert!(
+                        a.approx_eq(b, 1e-3),
+                        "{} disagrees with SoD2 on {}",
+                        e.name(),
+                        model.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sod2_never_reinitializes_under_shape_change() {
+    let model = codebert(ModelScale::Tiny);
+    let samples = inputs_for(&model, 17, 4);
+    let mut sod2 = Sod2Engine::new(
+        model.graph.clone(),
+        DeviceProfile::s888_cpu(),
+        Sod2Options::default(),
+        &Default::default(),
+    );
+    let mut mnn = MnnLike::new(model.graph.clone(), DeviceProfile::s888_cpu());
+    let mut mnn_reinits = 0;
+    for inputs in &samples {
+        assert!(!sod2.infer(inputs).expect("sod2").reinitialized);
+        if mnn.infer(inputs).expect("mnn").reinitialized {
+            mnn_reinits += 1;
+        }
+    }
+    assert!(mnn_reinits >= 3, "distinct shapes must re-init MNN");
+}
+
+#[test]
+fn mnn_amortizes_repeat_shapes() {
+    let model = codebert(ModelScale::Tiny);
+    let mut rng = StdRng::seed_from_u64(23);
+    let inputs = model.make_inputs(32, &mut rng);
+    let mut mnn = MnnLike::new(model.graph.clone(), DeviceProfile::s888_cpu());
+    let first = mnn.infer(&inputs).expect("mnn");
+    let second = mnn.infer(&inputs).expect("mnn");
+    assert!(first.reinitialized && !second.reinitialized);
+    assert!(
+        first.latency.total() > 2.0 * second.latency.total(),
+        "re-init must dominate: {} vs {}",
+        first.latency.total(),
+        second.latency.total()
+    );
+}
+
+#[test]
+fn sod2_has_lowest_memory_and_latency_under_changing_shapes() {
+    for model in [codebert(ModelScale::Tiny), skipnet(ModelScale::Tiny)] {
+        let samples = inputs_for(&model, 29, 4);
+        let mut engines = engines_for(&model);
+        let mut avg_latency = vec![0.0f64; engines.len()];
+        let mut avg_memory = vec![0.0f64; engines.len()];
+        for inputs in &samples {
+            for (i, e) in engines.iter_mut().enumerate() {
+                let s = e.infer(inputs).expect("runs");
+                avg_latency[i] += s.latency.total();
+                avg_memory[i] += s.peak_memory_bytes as f64;
+            }
+        }
+        for i in 1..avg_latency.len() {
+            assert!(
+                avg_latency[0] < avg_latency[i],
+                "{}: SoD2 latency {} !< engine{} {}",
+                model.name,
+                avg_latency[0],
+                i,
+                avg_latency[i]
+            );
+            assert!(
+                avg_memory[0] <= avg_memory[i],
+                "{}: SoD2 memory {} !<= engine{} {}",
+                model.name,
+                avg_memory[0],
+                i,
+                avg_memory[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn optimization_ladder_is_monotone_in_memory() {
+    // Fig. 5's ladder: +RDP-fusion, +SEP, +DMP each reduce (or keep) peak.
+    let model = codebert(ModelScale::Tiny);
+    let mut rng = StdRng::seed_from_u64(31);
+    let inputs = model.make_inputs(48, &mut rng);
+    let p = DeviceProfile::s888_cpu();
+    let configs = [
+        Sod2Options::no_opt(),
+        Sod2Options {
+            fusion: sod2_fusion::FusionPolicy::Rdp,
+            sep: false,
+            dmp: false,
+            mvc: false,
+            native_control_flow: true,
+        },
+        Sod2Options {
+            fusion: sod2_fusion::FusionPolicy::Rdp,
+            sep: true,
+            dmp: false,
+            mvc: false,
+            native_control_flow: true,
+        },
+        Sod2Options {
+            fusion: sod2_fusion::FusionPolicy::Rdp,
+            sep: true,
+            dmp: true,
+            mvc: false,
+            native_control_flow: true,
+        },
+    ];
+    let mut bindings = sod2_sym::Bindings::new();
+    bindings.insert("L".into(), 48);
+    let peaks: Vec<usize> = configs
+        .iter()
+        .map(|o| {
+            let mut e = Sod2Engine::new(model.graph.clone(), p.clone(), *o, &bindings);
+            e.infer(&inputs).expect("runs").peak_memory_bytes
+        })
+        .collect();
+    assert!(
+        peaks[1] <= peaks[0],
+        "RDP fusion must not increase memory: {peaks:?}"
+    );
+    // SEP is judged at compile time on representative sizes; allow a small
+    // slack against the runtime-observed pooled peak.
+    assert!(
+        peaks[2] as f64 <= peaks[1] as f64 * 1.1,
+        "SEP regressed memory: {peaks:?}"
+    );
+    assert!(peaks[3] <= peaks[2], "DMP must not increase memory: {peaks:?}");
+    assert!(peaks[3] < peaks[0], "full ladder must reduce memory: {peaks:?}");
+}
+
+#[test]
+fn mvc_reduces_latency_only() {
+    let model = codebert(ModelScale::Tiny);
+    let mut rng = StdRng::seed_from_u64(37);
+    let inputs = model.make_inputs(64, &mut rng);
+    let p = DeviceProfile::s888_cpu();
+    let without = Sod2Options {
+        mvc: false,
+        ..Default::default()
+    };
+    let mut e1 = Sod2Engine::new(model.graph.clone(), p.clone(), without, &Default::default());
+    let mut e2 = Sod2Engine::new(
+        model.graph.clone(),
+        p,
+        Sod2Options::default(),
+        &Default::default(),
+    );
+    let s1 = e1.infer(&inputs).expect("runs");
+    let s2 = e2.infer(&inputs).expect("runs");
+    assert!(s2.latency.total() < s1.latency.total());
+    assert_eq!(s1.peak_memory_bytes, s2.peak_memory_bytes);
+}
+
+#[test]
+fn tflite_budget_triggers_rematerialization() {
+    let model = codebert(ModelScale::Tiny);
+    let mut rng = StdRng::seed_from_u64(41);
+    let inputs = model.make_inputs(64, &mut rng);
+    let p = DeviceProfile::s888_cpu();
+    let mut unbounded = TfLiteLike::new(model.graph.clone(), p.clone());
+    let base = unbounded.infer(&inputs).expect("runs");
+    let budget = base.peak_memory_bytes / 2;
+    let mut bounded = TfLiteLike::new(model.graph.clone(), p).with_memory_budget(budget);
+    let capped = bounded.infer(&inputs).expect("runs");
+    assert!(capped.peak_memory_bytes <= base.peak_memory_bytes);
+    // Same-shape second inference isolates the remat kernel cost.
+    let base2 = unbounded.infer(&inputs).expect("runs");
+    let capped2 = bounded.infer(&inputs).expect("runs");
+    assert!(capped2.latency.total() >= base2.latency.total());
+}
+
+#[test]
+fn native_control_flow_beats_execute_all() {
+    // Fig. 9's complement: with gating enabled SoD2 skips dead branches.
+    let model = skipnet(ModelScale::Tiny);
+    let samples = inputs_for(&model, 43, 4);
+    let p = DeviceProfile::s888_cpu();
+    let mut native = Sod2Engine::new(
+        model.graph.clone(),
+        p.clone(),
+        Sod2Options::default(),
+        &Default::default(),
+    );
+    let mut all = Sod2Engine::new(
+        model.graph.clone(),
+        p,
+        Sod2Options {
+            native_control_flow: false,
+            ..Default::default()
+        },
+        &Default::default(),
+    );
+    let mut t_native = 0.0;
+    let mut t_all = 0.0;
+    for inputs in &samples {
+        t_native += native.infer(inputs).expect("runs").latency.total();
+        t_all += all.infer(inputs).expect("runs").latency.total();
+    }
+    assert!(t_native <= t_all, "native {t_native} !<= execute-all {t_all}");
+}

@@ -1,0 +1,33 @@
+//! # sod2-fusion — operator fusion for dynamic DNNs
+//!
+//! Implements the paper's §4.2: a DNNFusion-style fusion pass whose
+//! legality tests are powered by RDP analysis results. Three policies give
+//! the Fig. 7 comparison points: no fusion, static-only fusion
+//! ("SFusion"), and RDP-enabled fusion with bounded multi-versioning.
+//!
+//! # Examples
+//!
+//! ```
+//! use sod2_ir::{Graph, Op, DType, UnaryOp, BinaryOp};
+//! use sod2_sym::DimExpr;
+//! use sod2_fusion::{fuse, FusionPolicy};
+//!
+//! // relu(x) + x with a symbolic batch dim: static fusion gives up,
+//! // RDP fusion proves the shapes equal and fuses.
+//! let mut g = Graph::new();
+//! let x = g.add_input("x", DType::F32, vec![DimExpr::sym("N"), 8.into()]);
+//! let r = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+//! let y = g.add_simple("add", Op::Binary(BinaryOp::Add), &[r, x], DType::F32);
+//! g.mark_output(y);
+//! let rdp = sod2_rdp::analyze(&g);
+//! assert_eq!(fuse(&g, &rdp, FusionPolicy::Static).layer_count(), 2);
+//! assert_eq!(fuse(&g, &rdp, FusionPolicy::Rdp).layer_count(), 1);
+//! ```
+
+mod mapping;
+mod plan;
+mod variants;
+
+pub use mapping::{mapping_type, MappingType};
+pub use plan::{fuse, FusionGroup, FusionPlan, FusionPolicy, MAX_GROUP_SIZE, MAX_VERSIONS};
+pub use variants::{group_variants, BroadcastVariants};

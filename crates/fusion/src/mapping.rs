@@ -1,0 +1,89 @@
+//! DNNFusion-style operator mapping classification.
+//!
+//! SoD² builds on DNNFusion's fusion framework (paper §4.2); DNNFusion
+//! classifies operators by how output elements map to input elements. The
+//! fusion pass uses this classification to decide which operators may join
+//! a fused group: element-wise (one-to-one) operators chain freely, at most
+//! one "heavy" many-to-many operator anchors a group, view-like reorganize
+//! operators are free when shapes are resolved, and opaque operators never
+//! fuse.
+
+use sod2_ir::Op;
+
+/// How an operator's output elements map to its input elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingType {
+    /// Element-wise (`Add`, `Relu`, `Sigmoid`, …) — fuses freely.
+    OneToOne,
+    /// Each output element reads many inputs (`Conv`, `MatMul`, `Softmax`,
+    /// reductions) — anchors a group; at most one per group.
+    ManyToMany,
+    /// Pure data reorganization (`Reshape`, `Transpose`, `Slice`, …) —
+    /// fusable as a view when shapes are statically resolved.
+    Reorganize,
+    /// Not fusable (`NonZero`, `TopK`, control flow, shape producers).
+    Opaque,
+}
+
+/// Classifies an operator for fusion.
+pub fn mapping_type(op: &Op) -> MappingType {
+    use MappingType::*;
+    match op {
+        Op::Binary(_)
+        | Op::Compare(_)
+        | Op::Unary(_)
+        | Op::Cast { .. }
+        | Op::Clip { .. }
+        | Op::Where
+        | Op::BatchNorm { .. } => OneToOne,
+        Op::Conv2d { .. }
+        | Op::MatMul
+        | Op::Gemm { .. }
+        | Op::MaxPool2d { .. }
+        | Op::AvgPool2d { .. }
+        | Op::GlobalAvgPool
+        | Op::Reduce { .. }
+        | Op::ArgMax { .. }
+        | Op::Softmax { .. }
+        | Op::LogSoftmax { .. }
+        | Op::CumSum { .. }
+        | Op::InstanceNorm { .. }
+        | Op::LayerNorm { .. } => ManyToMany,
+        Op::Reshape
+        | Op::Transpose { .. }
+        | Op::Flatten { .. }
+        | Op::Unsqueeze { .. }
+        | Op::Squeeze { .. }
+        | Op::Identity
+        | Op::Slice { .. }
+        | Op::Pad { .. }
+        | Op::Expand => Reorganize,
+        Op::Split { .. } => Opaque, // multi-output: boundaries materialize
+        _ => Opaque,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sod2_ir::{BinaryOp, Spatial2d, UnaryOp};
+
+    #[test]
+    fn classification_samples() {
+        assert_eq!(mapping_type(&Op::Binary(BinaryOp::Add)), MappingType::OneToOne);
+        assert_eq!(mapping_type(&Op::Unary(UnaryOp::Relu)), MappingType::OneToOne);
+        assert_eq!(
+            mapping_type(&Op::Conv2d {
+                spatial: Spatial2d::same(3),
+                groups: 1
+            }),
+            MappingType::ManyToMany
+        );
+        assert_eq!(mapping_type(&Op::Reshape), MappingType::Reorganize);
+        assert_eq!(mapping_type(&Op::NonZero), MappingType::Opaque);
+        assert_eq!(
+            mapping_type(&Op::Switch { num_branches: 2 }),
+            MappingType::Opaque
+        );
+    }
+}

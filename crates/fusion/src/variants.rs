@@ -1,0 +1,183 @@
+//! Multi-version fused code: variant enumeration and runtime selection.
+//!
+//! When RDP cannot resolve a broadcast dimension inside a fused group, the
+//! compiler generates one specialized code version per outcome of the
+//! "is this dimension 1, or equal to the output?" question — `2^k` versions
+//! for `k` ambiguous dimensions (paper §4.2 and §4.4.2). This module
+//! enumerates those ambiguous sites for a group and selects the concrete
+//! variant once runtime shapes are known, completing the
+//! count-versions → pick-version pipeline.
+
+use crate::mapping::{mapping_type, MappingType};
+use crate::plan::FusionPlan;
+use sod2_ir::{Graph, TensorId};
+use sod2_rdp::RdpResult;
+use sod2_sym::DimValue;
+
+/// The ambiguous broadcast sites of one fused group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastVariants {
+    /// `(input tensor, axis counted from the right)` pairs whose 1-vs-equal
+    /// status is unknown at compile time, in deterministic order.
+    pub ambiguous: Vec<(TensorId, usize)>,
+}
+
+impl BroadcastVariants {
+    /// Number of specialized code versions required (`2^k`).
+    pub fn num_versions(&self) -> usize {
+        1usize << self.ambiguous.len()
+    }
+
+    /// Selects the runtime variant: bit *i* is set exactly when the *i*-th
+    /// ambiguous dimension turns out to be `1`.
+    ///
+    /// `shape_of` maps a tensor to its concrete shape.
+    pub fn select(&self, shape_of: impl Fn(TensorId) -> Vec<usize>) -> usize {
+        let mut key = 0usize;
+        for (i, (t, axis_from_right)) in self.ambiguous.iter().enumerate() {
+            let shape = shape_of(*t);
+            let dim = if *axis_from_right < shape.len() {
+                shape[shape.len() - 1 - axis_from_right]
+            } else {
+                1 // rank-extended: behaves as 1
+            };
+            if dim == 1 {
+                key |= 1 << i;
+            }
+        }
+        key
+    }
+}
+
+/// Enumerates the ambiguous broadcast sites of fused group `group_idx`
+/// (mirrors the legality analysis that counted the group's versions).
+pub fn group_variants(
+    graph: &Graph,
+    rdp: &RdpResult,
+    plan: &FusionPlan,
+    group_idx: usize,
+) -> BroadcastVariants {
+    let mut ambiguous = Vec::new();
+    let group = &plan.groups[group_idx];
+    for &nid in &group.nodes {
+        let node = graph.node(nid);
+        if mapping_type(&node.op) != MappingType::OneToOne {
+            continue;
+        }
+        let out = rdp.shape(node.outputs[0]);
+        let Some(od) = out.dims() else { continue };
+        let broadcasting: &[usize] = match &node.op {
+            sod2_ir::Op::Binary(_) | sod2_ir::Op::Compare(_) => &[0, 1],
+            sod2_ir::Op::Where => &[0, 1, 2],
+            _ => &[0],
+        };
+        for &idx in broadcasting {
+            let input = node.inputs[idx];
+            // The fused (chain) edge itself is never ambiguous — only the
+            // side operands are. Inputs produced inside the group are the
+            // chain edges.
+            let from_inside = graph
+                .producer(input)
+                .map(|p| group.nodes.contains(&p))
+                .unwrap_or(false);
+            if from_inside {
+                continue;
+            }
+            let Some(id) = rdp.shape(input).dims() else {
+                continue;
+            };
+            if id.len() > od.len() {
+                continue;
+            }
+            for i in 0..id.len() {
+                let a = &id[id.len() - 1 - i];
+                let b = &od[od.len() - 1 - i];
+                if let (DimValue::Expr(x), DimValue::Expr(y)) = (a, b) {
+                    if x == y || x.as_const() == Some(1) {
+                        continue;
+                    }
+                    if x.as_const().is_some() && y.as_const().is_some() {
+                        continue;
+                    }
+                    ambiguous.push((input, i));
+                }
+            }
+        }
+    }
+    ambiguous.sort_unstable_by_key(|&(t, a)| (t.0, a));
+    ambiguous.dedup();
+    BroadcastVariants { ambiguous }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{fuse, FusionPolicy};
+    use sod2_ir::{BinaryOp, DType, Op, UnaryOp};
+    use sod2_rdp::analyze;
+    use sod2_sym::DimExpr;
+
+    /// The paper's Fig. 4 setup: sigmoid(A[n, m]) + B[p, q] with nothing
+    /// relating the symbols — both trailing dims are ambiguous.
+    fn ambiguous_graph() -> (Graph, TensorId, TensorId) {
+        let mut g = Graph::new();
+        let a = g.add_input(
+            "a",
+            DType::F32,
+            vec![DimExpr::sym("n"), DimExpr::sym("m")],
+        );
+        let b = g.add_input(
+            "b",
+            DType::F32,
+            vec![DimExpr::sym("p"), DimExpr::sym("q")],
+        );
+        let s = g.add_simple("sig", Op::Unary(UnaryOp::Sigmoid), &[a], DType::F32);
+        let y = g.add_simple("add", Op::Binary(BinaryOp::Add), &[s, b], DType::F32);
+        g.mark_output(y);
+        (g, a, b)
+    }
+
+    #[test]
+    fn variant_count_matches_fusion_versions() {
+        let (g, _, b) = ambiguous_graph();
+        let rdp = analyze(&g);
+        let plan = fuse(&g, &rdp, FusionPolicy::Rdp);
+        assert_eq!(plan.layer_count(), 1);
+        let variants = group_variants(&g, &rdp, &plan, 0);
+        assert_eq!(variants.num_versions(), plan.groups[0].num_versions);
+        assert_eq!(variants.ambiguous.len(), 2);
+        assert!(variants.ambiguous.iter().all(|&(t, _)| t == b));
+    }
+
+    #[test]
+    fn runtime_selection_distinguishes_broadcast_cases() {
+        let (g, _, b) = ambiguous_graph();
+        let rdp = analyze(&g);
+        let plan = fuse(&g, &rdp, FusionPolicy::Rdp);
+        let variants = group_variants(&g, &rdp, &plan, 0);
+        // b = [4, 4]: nothing is 1 → variant 0 (the fully-indexed version).
+        let v = variants.select(|t| if t == b { vec![4, 4] } else { vec![4, 4] });
+        assert_eq!(v, 0);
+        // b = [1, 4]: the row dim broadcasts → exactly one bit set.
+        let v = variants.select(|t| if t == b { vec![1, 4] } else { vec![4, 4] });
+        assert_eq!(v.count_ones(), 1);
+        // b = [1, 1]: both broadcast → both bits set (the cheapest variant).
+        let v = variants.select(|t| if t == b { vec![1, 1] } else { vec![4, 4] });
+        assert_eq!(v, variants.num_versions() - 1);
+    }
+
+    #[test]
+    fn resolved_groups_have_one_version() {
+        // relu(x) + x: shapes provably equal → no ambiguity.
+        let mut g = Graph::new();
+        let x = g.add_input("x", DType::F32, vec![DimExpr::sym("n"), 8.into()]);
+        let r = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+        let y = g.add_simple("add", Op::Binary(BinaryOp::Add), &[r, x], DType::F32);
+        g.mark_output(y);
+        let rdp = analyze(&g);
+        let plan = fuse(&g, &rdp, FusionPolicy::Rdp);
+        let variants = group_variants(&g, &rdp, &plan, 0);
+        assert_eq!(variants.num_versions(), 1);
+        assert_eq!(variants.select(|_| vec![3, 8]), 0);
+    }
+}

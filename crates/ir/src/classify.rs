@@ -1,0 +1,190 @@
+//! Operator classification by dynamism degree (paper §3, Table 2).
+//!
+//! Four classes, ordered by increasing dynamism:
+//!
+//! 1. **ISDO** — *Input Shape Determined Output*: output shape **and value**
+//!    follow from input shapes alone (`Shape`, `ConstantOfShape`, `EyeLike`).
+//! 2. **ISDOS** — *Input Shape Determined Output Shape*: output shape follows
+//!    from input shapes; values need all input values (`Conv`, `MatMul`, …).
+//! 3. **ISVDOS** — *Input Shape & Value Determined Output Shape*: the output
+//!    shape additionally depends on some input *values* (`Reshape`, `Range`).
+//! 4. **EDO** — *Execution Determined Output*: the output shape is only known
+//!    after materializing the output (`NonZero`, `If`, `<Switch, Combine>`).
+//!
+//! The paper notes (§3 *Discussion*) that classification is *contextual*: an
+//! ISVDOS operator whose shape-determining inputs are constants behaves like
+//! ISDOS. [`classify_with_const_inputs`] implements that refinement; the RDP
+//! solver uses it to pick transfer functions as constants are discovered.
+
+use crate::op::Op;
+use std::fmt;
+
+/// Dynamism degree of an operator (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DynamismClass {
+    /// Input Shape Determined Output.
+    InputShapeDeterminedOutput,
+    /// Input Shape Determined Output Shape.
+    InputShapeDeterminedOutputShape,
+    /// Input Shape & Value Determined Output Shape.
+    InputShapeValueDeterminedOutputShape,
+    /// Execution Determined Output.
+    ExecutionDeterminedOutput,
+}
+
+impl DynamismClass {
+    /// Short label used in reports (matches the paper's abbreviations).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            DynamismClass::InputShapeDeterminedOutput => "ISDO",
+            DynamismClass::InputShapeDeterminedOutputShape => "ISDOS",
+            DynamismClass::InputShapeValueDeterminedOutputShape => "ISVDOS",
+            DynamismClass::ExecutionDeterminedOutput => "EDO",
+        }
+    }
+}
+
+impl fmt::Display for DynamismClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abbrev())
+    }
+}
+
+/// Classifies an operator in isolation (paper Table 2).
+pub fn classify(op: &Op) -> DynamismClass {
+    use DynamismClass::*;
+    match op {
+        Op::Shape | Op::Size | Op::ConstantOfShape { .. } | Op::EyeLike => {
+            InputShapeDeterminedOutput
+        }
+        Op::Binary(_)
+        | Op::Compare(_)
+        | Op::Unary(_)
+        | Op::Cast { .. }
+        | Op::Clip { .. }
+        | Op::Where
+        | Op::Softmax { .. }
+        | Op::Conv2d { .. }
+        | Op::MatMul
+        | Op::Gemm { .. }
+        | Op::MaxPool2d { .. }
+        | Op::AvgPool2d { .. }
+        | Op::GlobalAvgPool
+        | Op::Reduce { .. }
+        | Op::ArgMax { .. }
+        | Op::Concat { .. }
+        | Op::Transpose { .. }
+        | Op::Flatten { .. }
+        | Op::LayerNorm { .. }
+        | Op::BatchNorm { .. }
+        | Op::Gather { .. }
+        | Op::Pad { .. }
+        | Op::Slice { .. }
+        | Op::Unsqueeze { .. }
+        | Op::Squeeze { .. }
+        | Op::Identity
+        | Op::Split { .. }
+        | Op::CumSum { .. }
+        | Op::LogSoftmax { .. }
+        | Op::InstanceNorm { .. } => InputShapeDeterminedOutputShape,
+        Op::Reshape
+        | Op::Expand
+        | Op::Range
+        | Op::SliceDyn
+        | Op::TopK { .. }
+        | Op::Resize
+        | Op::Tile
+        | Op::OneHot => InputShapeValueDeterminedOutputShape,
+        Op::NonZero
+        | Op::NonMaxSuppression { .. }
+        | Op::Switch { .. }
+        | Op::Combine { .. } => ExecutionDeterminedOutput,
+    }
+}
+
+/// Indices of the inputs whose **values** (not just shapes) determine the
+/// output shape of an ISVDOS operator (the paper's subset `(p, …, q)`).
+///
+/// Returns an empty slice for non-ISVDOS operators.
+pub fn shape_determining_inputs(op: &Op) -> &'static [usize] {
+    match op {
+        Op::Reshape | Op::Expand | Op::Tile | Op::Resize => &[1],
+        Op::Range => &[0, 1, 2],
+        Op::SliceDyn => &[1, 2],
+        Op::TopK { .. } => &[1],
+        Op::OneHot => &[1],
+        _ => &[],
+    }
+}
+
+/// Contextual classification refinement (paper §3 *Discussion*):
+/// an ISVDOS operator whose shape-determining inputs are all constants
+/// degrades to ISDOS, enabling the less-dynamic transfer functions.
+///
+/// `input_is_const[i]` reports whether input *i*'s value is statically
+/// known (a graph constant or a value RDP has resolved).
+pub fn classify_with_const_inputs(op: &Op, input_is_const: &[bool]) -> DynamismClass {
+    let base = classify(op);
+    if base == DynamismClass::InputShapeValueDeterminedOutputShape {
+        let deps = shape_determining_inputs(op);
+        if !deps.is_empty()
+            && deps
+                .iter()
+                .all(|&i| input_is_const.get(i).copied().unwrap_or(false))
+        {
+            return DynamismClass::InputShapeDeterminedOutputShape;
+        }
+    }
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BinaryOp, Spatial2d};
+
+    #[test]
+    fn table2_representatives() {
+        use DynamismClass::*;
+        assert_eq!(classify(&Op::Shape), InputShapeDeterminedOutput);
+        assert_eq!(
+            classify(&Op::Conv2d {
+                spatial: Spatial2d::same(3),
+                groups: 1
+            }),
+            InputShapeDeterminedOutputShape
+        );
+        assert_eq!(classify(&Op::MatMul), InputShapeDeterminedOutputShape);
+        assert_eq!(
+            classify(&Op::Reshape),
+            InputShapeValueDeterminedOutputShape
+        );
+        assert_eq!(classify(&Op::Range), InputShapeValueDeterminedOutputShape);
+        assert_eq!(classify(&Op::NonZero), ExecutionDeterminedOutput);
+        assert_eq!(
+            classify(&Op::Switch { num_branches: 2 }),
+            ExecutionDeterminedOutput
+        );
+    }
+
+    #[test]
+    fn contextual_refinement() {
+        // Reshape with a constant target shape behaves like ISDOS.
+        let got = classify_with_const_inputs(&Op::Reshape, &[false, true]);
+        assert_eq!(got, DynamismClass::InputShapeDeterminedOutputShape);
+        // …but not when the target is computed at runtime.
+        let got = classify_with_const_inputs(&Op::Reshape, &[false, false]);
+        assert_eq!(got, DynamismClass::InputShapeValueDeterminedOutputShape);
+        // Non-ISVDOS ops are unaffected.
+        let got = classify_with_const_inputs(&Op::Binary(BinaryOp::Add), &[true, true]);
+        assert_eq!(got, DynamismClass::InputShapeDeterminedOutputShape);
+    }
+
+    #[test]
+    fn ordering_reflects_dynamism_degree() {
+        use DynamismClass::*;
+        assert!(InputShapeDeterminedOutput < InputShapeDeterminedOutputShape);
+        assert!(InputShapeDeterminedOutputShape < InputShapeValueDeterminedOutputShape);
+        assert!(InputShapeValueDeterminedOutputShape < ExecutionDeterminedOutput);
+    }
+}

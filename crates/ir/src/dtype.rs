@@ -1,0 +1,119 @@
+//! Element data types for tensors.
+
+use std::fmt;
+
+/// Element type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 32-bit IEEE float (CPU execution; the paper's mobile GPU path uses
+    /// f16 — the device cost model accounts for that, storage stays f32).
+    F32,
+    /// 64-bit signed integer (shape/index tensors).
+    I64,
+    /// Boolean.
+    Bool,
+    /// Unsigned byte (quantized inputs / masks).
+    U8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::I64 => 8,
+            DType::Bool | DType::U8 => 1,
+        }
+    }
+
+    /// `true` for integer-family types.
+    pub fn is_integer(self) -> bool {
+        matches!(self, DType::I64 | DType::U8)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::I64 => "i64",
+            DType::Bool => "bool",
+            DType::U8 => "u8",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Raw constant payload embedded in a graph (weights, shape constants).
+///
+/// The IR is independent of the tensor runtime; the runtime converts this
+/// into its own representation at load time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstData {
+    /// 32-bit float payload.
+    F32(Vec<f32>),
+    /// 64-bit integer payload.
+    I64(Vec<i64>),
+    /// Boolean payload.
+    Bool(Vec<bool>),
+    /// Byte payload.
+    U8(Vec<u8>),
+}
+
+impl ConstData {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            ConstData::F32(v) => v.len(),
+            ConstData::I64(v) => v.len(),
+            ConstData::Bool(v) => v.len(),
+            ConstData::U8(v) => v.len(),
+        }
+    }
+
+    /// `true` if the payload has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The element type of the payload.
+    pub fn dtype(&self) -> DType {
+        match self {
+            ConstData::F32(_) => DType::F32,
+            ConstData::I64(_) => DType::I64,
+            ConstData::Bool(_) => DType::Bool,
+            ConstData::U8(_) => DType::U8,
+        }
+    }
+
+    /// Integer view of the payload, when it is integer-typed.
+    pub fn as_i64s(&self) -> Option<&[i64]> {
+        match self {
+            ConstData::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+        assert_eq!(DType::U8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn const_data_accessors() {
+        let d = ConstData::I64(vec![1, 2, 3]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.dtype(), DType::I64);
+        assert_eq!(d.as_i64s(), Some(&[1i64, 2, 3][..]));
+        assert_eq!(ConstData::F32(vec![]).as_i64s(), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! The full ONNX operator classification table (paper Table 2).
+//!
+//! The paper classifies "150 operators used in ONNX" into the four dynamism
+//! classes. This module reproduces that table as static data — it drives the
+//! Table 2 report and documents how operators outside the executable subset
+//! in [`crate::Op`] would be treated by RDP.
+//!
+//! `<Switch, Combine>` are the paper's customized control-flow pair, not
+//! part of the ONNX standard (paper Table 2 footnote).
+
+use crate::classify::DynamismClass;
+
+/// One row of the classification table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnnxOpClass {
+    /// ONNX operator name.
+    pub name: &'static str,
+    /// Dynamism class.
+    pub class: DynamismClass,
+}
+
+const fn row(name: &'static str, class: DynamismClass) -> OnnxOpClass {
+    OnnxOpClass { name, class }
+}
+
+use DynamismClass::{
+    ExecutionDeterminedOutput as EDO, InputShapeDeterminedOutput as ISDO,
+    InputShapeDeterminedOutputShape as ISDOS,
+    InputShapeValueDeterminedOutputShape as ISVDOS,
+};
+
+/// Classification of 150 ONNX operators plus the `<Switch, Combine>` pair.
+pub const ONNX_OP_CLASSIFICATION: &[OnnxOpClass] = &[
+    // ===== Input Shape Determined Output =====
+    row("Shape", ISDO),
+    row("Size", ISDO),
+    row("ConstantOfShape", ISDO),
+    row("EyeLike", ISDO),
+    // ===== Input Shape Determined Output Shape =====
+    row("Abs", ISDOS),
+    row("Acos", ISDOS),
+    row("Acosh", ISDOS),
+    row("Add", ISDOS),
+    row("And", ISDOS),
+    row("ArgMax", ISDOS),
+    row("ArgMin", ISDOS),
+    row("Asin", ISDOS),
+    row("Asinh", ISDOS),
+    row("Atan", ISDOS),
+    row("Atanh", ISDOS),
+    row("AveragePool", ISDOS),
+    row("BatchNormalization", ISDOS),
+    row("BitShift", ISDOS),
+    row("BitwiseAnd", ISDOS),
+    row("BitwiseNot", ISDOS),
+    row("BitwiseOr", ISDOS),
+    row("BitwiseXor", ISDOS),
+    row("Cast", ISDOS),
+    row("CastLike", ISDOS),
+    row("Ceil", ISDOS),
+    row("Celu", ISDOS),
+    row("Clip", ISDOS),
+    row("Concat", ISDOS),
+    row("Conv", ISDOS),
+    row("ConvInteger", ISDOS),
+    row("ConvTranspose", ISDOS),
+    row("Cos", ISDOS),
+    row("Cosh", ISDOS),
+    row("CumSum", ISDOS),
+    row("DepthToSpace", ISDOS),
+    row("DequantizeLinear", ISDOS),
+    row("Det", ISDOS),
+    row("Div", ISDOS),
+    row("Dropout", ISDOS),
+    row("Einsum", ISDOS),
+    row("Elu", ISDOS),
+    row("Equal", ISDOS),
+    row("Erf", ISDOS),
+    row("Exp", ISDOS),
+    row("Flatten", ISDOS),
+    row("Floor", ISDOS),
+    row("GRU", ISDOS),
+    row("Gather", ISDOS),
+    row("GatherElements", ISDOS),
+    row("GatherND", ISDOS),
+    row("Gelu", ISDOS),
+    row("Gemm", ISDOS),
+    row("GlobalAveragePool", ISDOS),
+    row("GlobalLpPool", ISDOS),
+    row("GlobalMaxPool", ISDOS),
+    row("Greater", ISDOS),
+    row("GreaterOrEqual", ISDOS),
+    row("GridSample", ISDOS),
+    row("HardSigmoid", ISDOS),
+    row("HardSwish", ISDOS),
+    row("Hardmax", ISDOS),
+    row("Identity", ISDOS),
+    row("InstanceNormalization", ISDOS),
+    row("IsInf", ISDOS),
+    row("IsNaN", ISDOS),
+    row("LRN", ISDOS),
+    row("LSTM", ISDOS),
+    row("LayerNormalization", ISDOS),
+    row("LeakyRelu", ISDOS),
+    row("Less", ISDOS),
+    row("LessOrEqual", ISDOS),
+    row("Log", ISDOS),
+    row("LogSoftmax", ISDOS),
+    row("LpNormalization", ISDOS),
+    row("LpPool", ISDOS),
+    row("MatMul", ISDOS),
+    row("MatMulInteger", ISDOS),
+    row("Max", ISDOS),
+    row("MaxPool", ISDOS),
+    row("MaxRoiPool", ISDOS),
+    row("Mean", ISDOS),
+    row("MeanVarianceNormalization", ISDOS),
+    row("Min", ISDOS),
+    row("Mish", ISDOS),
+    row("Mod", ISDOS),
+    row("Mul", ISDOS),
+    row("Neg", ISDOS),
+    row("Not", ISDOS),
+    row("Or", ISDOS),
+    row("PRelu", ISDOS),
+    row("Pow", ISDOS),
+    row("QLinearConv", ISDOS),
+    row("QLinearMatMul", ISDOS),
+    row("QuantizeLinear", ISDOS),
+    row("RNN", ISDOS),
+    row("Reciprocal", ISDOS),
+    row("ReduceL1", ISDOS),
+    row("ReduceL2", ISDOS),
+    row("ReduceLogSum", ISDOS),
+    row("ReduceLogSumExp", ISDOS),
+    row("ReduceMax", ISDOS),
+    row("ReduceMean", ISDOS),
+    row("ReduceMin", ISDOS),
+    row("ReduceProd", ISDOS),
+    row("ReduceSum", ISDOS),
+    row("ReduceSumSquare", ISDOS),
+    row("Relu", ISDOS),
+    row("ReverseSequence", ISDOS),
+    row("RoiAlign", ISDOS),
+    row("Round", ISDOS),
+    row("Scatter", ISDOS),
+    row("ScatterElements", ISDOS),
+    row("ScatterND", ISDOS),
+    row("Selu", ISDOS),
+    row("Shrink", ISDOS),
+    row("Sigmoid", ISDOS),
+    row("Sign", ISDOS),
+    row("Sin", ISDOS),
+    row("Sinh", ISDOS),
+    row("Softmax", ISDOS),
+    row("Softplus", ISDOS),
+    row("Softsign", ISDOS),
+    row("SpaceToDepth", ISDOS),
+    row("Split", ISDOS),
+    row("Sqrt", ISDOS),
+    row("Squeeze", ISDOS),
+    row("Sub", ISDOS),
+    row("Sum", ISDOS),
+    row("Tan", ISDOS),
+    row("Tanh", ISDOS),
+    row("ThresholdedRelu", ISDOS),
+    row("Transpose", ISDOS),
+    row("Trilu", ISDOS),
+    row("Unsqueeze", ISDOS),
+    row("Where", ISDOS),
+    row("Xor", ISDOS),
+    // ===== Input Shape & Value Determined Output Shape =====
+    row("Expand", ISVDOS),
+    row("GroupNormalization", ISVDOS),
+    row("MaxUnpool", ISVDOS),
+    row("OneHot", ISVDOS),
+    row("Pad", ISVDOS),
+    row("Range", ISVDOS),
+    row("Reshape", ISVDOS),
+    row("Resize", ISVDOS),
+    row("Slice", ISVDOS),
+    row("SplitToSequence", ISVDOS),
+    row("Tile", ISVDOS),
+    row("TopK", ISVDOS),
+    row("Upsample", ISVDOS),
+    // ===== Execution Determined Output =====
+    row("Compress", EDO),
+    row("If", EDO),
+    row("Loop", EDO),
+    row("NonMaxSuppression", EDO),
+    row("NonZero", EDO),
+    row("Scan", EDO),
+    row("StringSplit", EDO),
+    row("Unique", EDO),
+    // Customized control-flow pair (not in the ONNX standard).
+    row("Switch", EDO),
+    row("Combine", EDO),
+];
+
+/// Count of table rows per class, in class order
+/// `(ISDO, ISDOS, ISVDOS, EDO)`.
+pub fn class_counts() -> (usize, usize, usize, usize) {
+    let mut c = (0, 0, 0, 0);
+    for r in ONNX_OP_CLASSIFICATION {
+        match r.class {
+            ISDO => c.0 += 1,
+            ISDOS => c.1 += 1,
+            ISVDOS => c.2 += 1,
+            EDO => c.3 += 1,
+        }
+    }
+    c
+}
+
+/// Looks up an ONNX operator name in the table.
+pub fn lookup(name: &str) -> Option<DynamismClass> {
+    ONNX_OP_CLASSIFICATION
+        .iter()
+        .find(|r| r.name == name)
+        .map(|r| r.class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_at_least_150_onnx_ops() {
+        // 150 ONNX ops + the customized <Switch, Combine> pair.
+        assert!(ONNX_OP_CLASSIFICATION.len() >= 152);
+    }
+
+    #[test]
+    fn no_duplicate_rows() {
+        let mut names: Vec<&str> =
+            ONNX_OP_CLASSIFICATION.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate operator rows");
+    }
+
+    #[test]
+    fn representatives_match_paper_table2() {
+        assert_eq!(lookup("Shape"), Some(ISDO));
+        assert_eq!(lookup("Conv"), Some(ISDOS));
+        assert_eq!(lookup("MatMul"), Some(ISDOS));
+        assert_eq!(lookup("Reshape"), Some(ISVDOS));
+        assert_eq!(lookup("Range"), Some(ISVDOS));
+        assert_eq!(lookup("If"), Some(EDO));
+        assert_eq!(lookup("Loop"), Some(EDO));
+        assert_eq!(lookup("Switch"), Some(EDO));
+        assert_eq!(lookup("Combine"), Some(EDO));
+        assert_eq!(lookup("NoSuchOp"), None);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let (a, b, c, d) = class_counts();
+        assert_eq!(a + b + c + d, ONNX_OP_CLASSIFICATION.len());
+        assert_eq!(a, 4); // Shape, Size, ConstantOfShape, EyeLike
+    }
+}

@@ -1,0 +1,31 @@
+//! Serializer robustness: arbitrary byte strings must decode to an error
+//! or a structurally valid graph — never panic.
+
+use proptest::prelude::*;
+use sod2_ir::serialize::decode_graph;
+
+proptest! {
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(g) = decode_graph(&data) {
+            // If something decodes, it must hold together.
+            let _ = sod2_ir::validate(&g);
+        }
+    }
+
+    /// Mutated valid encodings also never panic.
+    #[test]
+    fn mutated_encodings_never_panic(pos in 0usize..2048, flip in any::<u8>()) {
+        let mut g = sod2_ir::Graph::new();
+        let x = g.add_input("x", sod2_ir::DType::F32, vec![sod2_sym::DimExpr::sym("N")]);
+        let y = g.add_simple("relu", sod2_ir::Op::Unary(sod2_ir::UnaryOp::Relu), &[x], sod2_ir::DType::F32);
+        g.mark_output(y);
+        let mut bytes = sod2_ir::serialize::encode_graph(&g);
+        if pos < bytes.len() && flip != 0 {
+            bytes[pos] ^= flip;
+        }
+        if let Ok(g) = decode_graph(&bytes) {
+            let _ = sod2_ir::validate(&g);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Convolution and pooling kernels (NCHW layout).
+
+use crate::error::{dtype_err, shape_err, KernelError};
+use sod2_ir::Spatial2d;
+use sod2_tensor::Tensor;
+
+/// Tiling configuration for the convolution kernel (multi-version codegen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvParams {
+    /// Output-channel block size.
+    pub block_oc: usize,
+    /// Output-width tile.
+    pub tile_w: usize,
+}
+
+impl Default for ConvParams {
+    fn default() -> Self {
+        ConvParams {
+            block_oc: 8,
+            tile_w: 16,
+        }
+    }
+}
+
+/// Direct 2-D convolution: `x[N,Ci,H,W] * w[Co,Ci/g,kh,kw] (+ b[Co])`.
+pub fn conv2d(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    spatial: &Spatial2d,
+    groups: usize,
+) -> Result<Tensor, KernelError> {
+    conv2d_with_params(x, w, bias, spatial, groups, ConvParams::default())
+}
+
+/// Direct 2-D convolution with an explicit kernel configuration: output
+/// channels are processed in blocks of `params.block_oc` and output rows
+/// in width-tiles of `params.tile_w` — the loop structure the multi-version
+/// code generator specializes per shape class.
+pub fn conv2d_with_params(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    spatial: &Spatial2d,
+    groups: usize,
+    params: ConvParams,
+) -> Result<Tensor, KernelError> {
+    let xv = x.as_f32().map_err(|e| dtype_err("Conv", e.to_string()))?;
+    let wv = w.as_f32().map_err(|e| dtype_err("Conv", e.to_string()))?;
+    let xs = x.shape();
+    let ws = w.shape();
+    if xs.len() != 4 || ws.len() != 4 {
+        return Err(shape_err("Conv", "x and w must be rank 4"));
+    }
+    let (n, ci, h, wd) = (xs[0], xs[1], xs[2], xs[3]);
+    let (co, cig, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+    if groups == 0 || ci % groups != 0 || co % groups != 0 {
+        return Err(shape_err("Conv", format!("bad groups {groups} for C={ci}")));
+    }
+    if cig != ci / groups {
+        return Err(shape_err(
+            "Conv",
+            format!("weight C/g {cig} != input C/g {}", ci / groups),
+        ));
+    }
+    if kh != spatial.kernel[0] || kw != spatial.kernel[1] {
+        return Err(shape_err("Conv", "weight kernel dims disagree with attrs"));
+    }
+    let oh = spatial.out_extent(0, h as i64);
+    let ow = spatial.out_extent(1, wd as i64);
+    if oh <= 0 || ow <= 0 {
+        return Err(shape_err("Conv", format!("non-positive output {oh}x{ow}")));
+    }
+    let (oh, ow) = (oh as usize, ow as usize);
+    let bv = match bias {
+        Some(b) => Some(b.as_f32().map_err(|e| dtype_err("Conv", e.to_string()))?),
+        None => None,
+    };
+    let (sh, sw) = (spatial.stride[0] as i64, spatial.stride[1] as i64);
+    let (ph, pw) = (spatial.padding[0] as i64, spatial.padding[1] as i64);
+    let co_per_g = co / groups;
+    let block_oc = params.block_oc.max(1);
+    let tile_w = params.tile_w.max(1);
+    let mut out = vec![0f32; n * co * oh * ow];
+    for b in 0..n {
+        for g in 0..groups {
+            // Output-channel blocking: weights for a block stay hot while
+            // the input window streams through.
+            for oc0 in (0..co_per_g).step_by(block_oc) {
+                let oc1 = (oc0 + block_oc).min(co_per_g);
+                for oy in 0..oh {
+                    // Width tiling: consecutive output columns share input
+                    // rows.
+                    for ox0 in (0..ow).step_by(tile_w) {
+                        let ox1 = (ox0 + tile_w).min(ow);
+                        for ocg in oc0..oc1 {
+                            let oc = g * co_per_g + ocg;
+                            let bias_v = bv.map(|v| v[oc]).unwrap_or(0.0);
+                            for ox in ox0..ox1 {
+                                let mut acc = bias_v;
+                                for icg in 0..cig {
+                                    let ic = g * cig + icg;
+                                    for ky in 0..kh {
+                                        let iy = oy as i64 * sh - ph + ky as i64;
+                                        if iy < 0 || iy >= h as i64 {
+                                            continue;
+                                        }
+                                        let xrow =
+                                            ((b * ci + ic) * h + iy as usize) * wd;
+                                        let wrow = ((oc * cig + icg) * kh + ky) * kw;
+                                        for kx in 0..kw {
+                                            let ix = ox as i64 * sw - pw + kx as i64;
+                                            if ix < 0 || ix >= wd as i64 {
+                                                continue;
+                                            }
+                                            acc += xv[xrow + ix as usize] * wv[wrow + kx];
+                                        }
+                                    }
+                                }
+                                out[((b * co + oc) * oh + oy) * ow + ox] = acc;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_f32(&[n, co, oh, ow], out))
+}
+
+/// Pooling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Maximum.
+    Max,
+    /// Average (count includes only in-bounds elements).
+    Avg,
+}
+
+/// 2-D max/average pooling on NCHW.
+pub fn pool2d(x: &Tensor, spatial: &Spatial2d, mode: PoolMode) -> Result<Tensor, KernelError> {
+    let xv = x.as_f32().map_err(|e| dtype_err("Pool", e.to_string()))?;
+    let xs = x.shape();
+    if xs.len() != 4 {
+        return Err(shape_err("Pool", "x must be rank 4"));
+    }
+    let (n, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
+    let oh = spatial.out_extent(0, h as i64);
+    let ow = spatial.out_extent(1, w as i64);
+    if oh <= 0 || ow <= 0 {
+        return Err(shape_err("Pool", format!("non-positive output {oh}x{ow}")));
+    }
+    let (oh, ow) = (oh as usize, ow as usize);
+    let (kh, kw) = (spatial.kernel[0], spatial.kernel[1]);
+    let (sh, sw) = (spatial.stride[0] as i64, spatial.stride[1] as i64);
+    let (ph, pw) = (spatial.padding[0] as i64, spatial.padding[1] as i64);
+    let mut out = vec![0f32; n * c * oh * ow];
+    for b in 0..n {
+        for ch in 0..c {
+            let plane = &xv[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = if mode == PoolMode::Max {
+                        f32::NEG_INFINITY
+                    } else {
+                        0.0
+                    };
+                    let mut count = 0usize;
+                    for ky in 0..kh {
+                        let iy = oy as i64 * sh - ph + ky as i64;
+                        if iy < 0 || iy >= h as i64 {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = ox as i64 * sw - pw + kx as i64;
+                            if ix < 0 || ix >= w as i64 {
+                                continue;
+                            }
+                            let v = plane[iy as usize * w + ix as usize];
+                            match mode {
+                                PoolMode::Max => acc = acc.max(v),
+                                PoolMode::Avg => acc += v,
+                            }
+                            count += 1;
+                        }
+                    }
+                    out[((b * c + ch) * oh + oy) * ow + ox] = match mode {
+                        PoolMode::Max => acc,
+                        PoolMode::Avg => {
+                            if count == 0 {
+                                0.0
+                            } else {
+                                acc / count as f32
+                            }
+                        }
+                    };
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_f32(&[n, c, oh, ow], out))
+}
+
+/// Global average pooling: `[N,C,H,W] -> [N,C,1,1]`.
+pub fn global_avg_pool(x: &Tensor) -> Result<Tensor, KernelError> {
+    let xv = x.as_f32().map_err(|e| dtype_err("GAP", e.to_string()))?;
+    let xs = x.shape();
+    if xs.len() != 4 {
+        return Err(shape_err("GAP", "x must be rank 4"));
+    }
+    let (n, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
+    let hw = (h * w) as f32;
+    let mut out = vec![0f32; n * c];
+    for i in 0..n * c {
+        let s: f32 = xv[i * h * w..(i + 1) * h * w].iter().sum();
+        out[i] = s / hw;
+    }
+    Ok(Tensor::from_f32(&[n, c, 1, 1], out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_params_do_not_change_results() {
+        let x = Tensor::from_f32(&[1, 3, 9, 9], (0..243).map(|i| (i % 11) as f32 - 5.0).collect());
+        let w = Tensor::from_f32(&[6, 3, 3, 3], (0..162).map(|i| (i % 7) as f32 * 0.1).collect());
+        let s = Spatial2d::new(3, 2, 1);
+        let reference = conv2d(&x, &w, None, &s, 1).expect("conv");
+        for params in [
+            ConvParams { block_oc: 1, tile_w: 1 },
+            ConvParams { block_oc: 4, tile_w: 3 },
+            ConvParams { block_oc: 64, tile_w: 64 },
+        ] {
+            let got = conv2d_with_params(&x, &w, None, &s, 1, params).expect("conv");
+            assert!(got.approx_eq(&reference, 1e-4), "{params:?}");
+        }
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 conv with identity weight passes channels through.
+        let x = Tensor::from_f32(&[1, 2, 2, 2], (0..8).map(|i| i as f32).collect());
+        let w = Tensor::from_f32(&[2, 2, 1, 1], vec![1., 0., 0., 1.]);
+        let s = Spatial2d::new(1, 1, 0);
+        let y = conv2d(&x, &w, None, &s, 1).expect("conv");
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        assert_eq!(y.as_f32().expect("f32"), x.as_f32().expect("f32"));
+    }
+
+    #[test]
+    fn conv_3x3_sum_kernel() {
+        // All-ones 3x3 kernel with pad 1 computes neighborhood sums.
+        let x = Tensor::from_f32(&[1, 1, 3, 3], (1..=9).map(|i| i as f32).collect());
+        let w = Tensor::from_f32(&[1, 1, 3, 3], vec![1.0; 9]);
+        let s = Spatial2d::same(3);
+        let y = conv2d(&x, &w, None, &s, 1).expect("conv");
+        // Center output = sum 1..9 = 45.
+        assert_eq!(y.as_f32().expect("f32")[4], 45.0);
+        // Corner output = 1+2+4+5 = 12.
+        assert_eq!(y.as_f32().expect("f32")[0], 12.0);
+    }
+
+    #[test]
+    fn conv_stride_shape() {
+        let x = Tensor::zeros(&[1, 3, 224, 224]);
+        let w = Tensor::zeros(&[16, 3, 7, 7]);
+        let s = Spatial2d::new(7, 2, 3);
+        let y = conv2d(&x, &w, None, &s, 1).expect("conv");
+        assert_eq!(y.shape(), &[1, 16, 112, 112]);
+    }
+
+    #[test]
+    fn depthwise_groups() {
+        let x = Tensor::from_f32(&[1, 2, 2, 2], vec![1., 2., 3., 4., 10., 20., 30., 40.]);
+        let w = Tensor::from_f32(&[2, 1, 1, 1], vec![2.0, 3.0]);
+        let s = Spatial2d::new(1, 1, 0);
+        let y = conv2d(&x, &w, None, &s, 2).expect("conv");
+        assert_eq!(
+            y.as_f32().expect("f32"),
+            &[2., 4., 6., 8., 30., 60., 90., 120.]
+        );
+    }
+
+    #[test]
+    fn maxpool_and_avgpool() {
+        let x = Tensor::from_f32(&[1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let s = Spatial2d::new(2, 2, 0);
+        let mx = pool2d(&x, &s, PoolMode::Max).expect("max");
+        assert_eq!(mx.as_f32().expect("f32"), &[4.0]);
+        let av = pool2d(&x, &s, PoolMode::Avg).expect("avg");
+        assert_eq!(av.as_f32().expect("f32"), &[2.5]);
+    }
+
+    #[test]
+    fn global_avg() {
+        let x = Tensor::from_f32(&[1, 2, 1, 2], vec![1., 3., 10., 30.]);
+        let y = global_avg_pool(&x).expect("gap");
+        assert_eq!(y.shape(), &[1, 2, 1, 1]);
+        assert_eq!(y.as_f32().expect("f32"), &[2.0, 20.0]);
+    }
+
+    #[test]
+    fn conv_with_bias() {
+        let x = Tensor::zeros(&[1, 1, 1, 1]);
+        let w = Tensor::from_f32(&[1, 1, 1, 1], vec![1.0]);
+        let b = Tensor::from_f32(&[1], vec![5.0]);
+        let s = Spatial2d::new(1, 1, 0);
+        let y = conv2d(&x, &w, Some(&b), &s, 1).expect("conv");
+        assert_eq!(y.as_f32().expect("f32"), &[5.0]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Execution-determined kernels: `NonZero` and a simplified NMS.
+
+use crate::error::{dtype_err, shape_err, KernelError};
+use sod2_tensor::{Data, Indexer, Tensor};
+
+/// `NonZero(x)` — returns indices of non-zero elements as `i64[rank, n]`.
+pub fn non_zero(x: &Tensor) -> Result<Tensor, KernelError> {
+    let rank = x.rank().max(1);
+    let ix = Indexer::new(x.shape());
+    let mut hits: Vec<Vec<usize>> = Vec::new();
+    match x.data() {
+        Data::F32(v) => {
+            for (i, &e) in v.iter().enumerate() {
+                if e != 0.0 {
+                    hits.push(ix.coords(i));
+                }
+            }
+        }
+        Data::I64(v) => {
+            for (i, &e) in v.iter().enumerate() {
+                if e != 0 {
+                    hits.push(ix.coords(i));
+                }
+            }
+        }
+        Data::Bool(v) => {
+            for (i, &e) in v.iter().enumerate() {
+                if e {
+                    hits.push(ix.coords(i));
+                }
+            }
+        }
+        Data::U8(_) => return Err(dtype_err("NonZero", "u8 not supported")),
+    }
+    let n = hits.len();
+    let mut out = vec![0i64; rank * n];
+    for (j, c) in hits.iter().enumerate() {
+        for (d, &cv) in c.iter().enumerate() {
+            out[d * n + j] = cv as i64;
+        }
+    }
+    Ok(Tensor::from_i64(&[rank, n], out))
+}
+
+/// Simplified non-max suppression over `boxes[n, 4]` (x1, y1, x2, y2) and
+/// `scores[n]`; greedily keeps up to `max_output` boxes whose IoU with every
+/// kept box is below `iou_threshold`.
+pub fn non_max_suppression(
+    boxes: &Tensor,
+    scores: &Tensor,
+    iou_threshold: &Tensor,
+    max_output: usize,
+) -> Result<Tensor, KernelError> {
+    let bv = boxes
+        .as_f32()
+        .map_err(|e| dtype_err("NMS", e.to_string()))?;
+    let sv = scores
+        .as_f32()
+        .map_err(|e| dtype_err("NMS", e.to_string()))?;
+    let thr = iou_threshold
+        .as_f32()
+        .map_err(|e| dtype_err("NMS", e.to_string()))?
+        .first()
+        .copied()
+        .unwrap_or(0.5);
+    let bs = boxes.shape();
+    if bs.len() != 2 || bs[1] != 4 {
+        return Err(shape_err("NMS", "boxes must be [n, 4]"));
+    }
+    let n = bs[0];
+    if sv.len() != n {
+        return Err(shape_err("NMS", "scores must be [n]"));
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        sv[b].partial_cmp(&sv[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let area = |i: usize| -> f32 {
+        let b = &bv[i * 4..i * 4 + 4];
+        ((b[2] - b[0]).max(0.0)) * ((b[3] - b[1]).max(0.0))
+    };
+    let iou = |i: usize, j: usize| -> f32 {
+        let (a, b) = (&bv[i * 4..i * 4 + 4], &bv[j * 4..j * 4 + 4]);
+        let x1 = a[0].max(b[0]);
+        let y1 = a[1].max(b[1]);
+        let x2 = a[2].min(b[2]);
+        let y2 = a[3].min(b[3]);
+        let inter = (x2 - x1).max(0.0) * (y2 - y1).max(0.0);
+        let union = area(i) + area(j) - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    };
+    let mut kept: Vec<i64> = Vec::new();
+    for &cand in &order {
+        if kept.len() >= max_output {
+            break;
+        }
+        if kept.iter().all(|&k| iou(cand, k as usize) < thr) {
+            kept.push(cand as i64);
+        }
+    }
+    let k = kept.len();
+    Ok(Tensor::from_i64(&[k], kept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonzero_coords() {
+        let x = Tensor::from_f32(&[2, 2], vec![0., 1., 2., 0.]);
+        let y = non_zero(&x).expect("nonzero");
+        assert_eq!(y.shape(), &[2, 2]);
+        // Non-zeros at (0,1) and (1,0), column-per-hit layout.
+        assert_eq!(y.as_i64().expect("i64"), &[0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn nonzero_count_is_dynamic() {
+        let a = Tensor::from_f32(&[4], vec![0., 0., 0., 1.]);
+        let b = Tensor::from_f32(&[4], vec![1., 1., 1., 1.]);
+        assert_eq!(non_zero(&a).expect("nz").shape(), &[1, 1]);
+        assert_eq!(non_zero(&b).expect("nz").shape(), &[1, 4]);
+    }
+
+    #[test]
+    fn nms_suppresses_overlaps() {
+        // Two heavily overlapping boxes + one separate.
+        let boxes = Tensor::from_f32(
+            &[3, 4],
+            vec![
+                0., 0., 10., 10., //
+                1., 1., 11., 11., //
+                50., 50., 60., 60.,
+            ],
+        );
+        let scores = Tensor::from_f32(&[3], vec![0.9, 0.8, 0.7]);
+        let thr = Tensor::from_f32(&[1], vec![0.5]);
+        let kept = non_max_suppression(&boxes, &scores, &thr, 10).expect("nms");
+        assert_eq!(kept.as_i64().expect("i64"), &[0, 2]);
+    }
+
+    #[test]
+    fn nms_respects_max_output() {
+        let boxes = Tensor::from_f32(
+            &[3, 4],
+            vec![
+                0., 0., 1., 1., //
+                10., 10., 11., 11., //
+                20., 20., 21., 21.,
+            ],
+        );
+        let scores = Tensor::from_f32(&[3], vec![0.5, 0.9, 0.7]);
+        let thr = Tensor::from_f32(&[1], vec![0.5]);
+        let kept = non_max_suppression(&boxes, &scores, &thr, 2).expect("nms");
+        assert_eq!(kept.as_i64().expect("i64"), &[1, 2]);
+    }
+}

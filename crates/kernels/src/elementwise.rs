@@ -1,0 +1,349 @@
+//! Element-wise kernels: unary, binary (broadcasting), compare, select.
+
+use crate::error::{dtype_err, shape_err, KernelError};
+use sod2_ir::{BinaryOp, CompareOp, DType, UnaryOp};
+use sod2_tensor::{broadcast_output_shape, BroadcastIndexer, Data, Tensor};
+
+/// Applies a unary function element-wise.
+pub fn unary(op: UnaryOp, x: &Tensor) -> Result<Tensor, KernelError> {
+    let xs = x
+        .as_f32()
+        .map_err(|e| dtype_err("Unary", e.to_string()))?;
+    let f = unary_fn(op);
+    let out: Vec<f32> = xs.iter().map(|&v| f(v)).collect();
+    Ok(Tensor::from_f32(x.shape(), out))
+}
+
+/// The scalar function for a [`UnaryOp`].
+pub fn unary_fn(op: UnaryOp) -> fn(f32) -> f32 {
+    match op {
+        UnaryOp::Relu => |v| v.max(0.0),
+        UnaryOp::LeakyRelu => |v| if v >= 0.0 { v } else { 0.01 * v },
+        UnaryOp::Sigmoid => |v| 1.0 / (1.0 + (-v).exp()),
+        UnaryOp::Tanh => f32::tanh,
+        UnaryOp::Gelu => |v| {
+            0.5 * v
+                * (1.0
+                    + ((2.0f32 / std::f32::consts::PI).sqrt()
+                        * (v + 0.044_715 * v * v * v))
+                        .tanh())
+        },
+        UnaryOp::Erf => erf_f32,
+        UnaryOp::Exp => f32::exp,
+        UnaryOp::Log => f32::ln,
+        UnaryOp::Sqrt => f32::sqrt,
+        UnaryOp::Neg => |v| -v,
+        UnaryOp::Abs => f32::abs,
+        UnaryOp::Round => |v| v.round_ties_even(),
+        UnaryOp::Floor => f32::floor,
+        UnaryOp::Ceil => f32::ceil,
+        UnaryOp::Softplus => |v| (1.0 + v.exp()).ln(),
+        UnaryOp::Silu => |v| v / (1.0 + (-v).exp()),
+        UnaryOp::HardSigmoid => |v| (v / 6.0 + 0.5).clamp(0.0, 1.0),
+        UnaryOp::HardSwish => |v| v * (v / 6.0 + 0.5).clamp(0.0, 1.0),
+        UnaryOp::Elu => |v| if v >= 0.0 { v } else { v.exp_m1() },
+        UnaryOp::Selu => |v| {
+            const ALPHA: f32 = 1.673_263_2;
+            const SCALE: f32 = 1.050_701;
+            if v >= 0.0 {
+                SCALE * v
+            } else {
+                SCALE * ALPHA * v.exp_m1()
+            }
+        },
+        UnaryOp::Sign => |v| {
+            if v > 0.0 {
+                1.0
+            } else if v < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        },
+        UnaryOp::Reciprocal => |v| 1.0 / v,
+        UnaryOp::Sin => f32::sin,
+        UnaryOp::Cos => f32::cos,
+    }
+}
+
+/// Abramowitz–Stegun rational approximation of `erf` (|err| < 1.5e-7).
+#[allow(clippy::excessive_precision)] // published coefficients, kept verbatim
+fn erf_f32(x: f32) -> f32 {
+    let sign = x.signum();
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Element-wise binary arithmetic with broadcasting (f32 or i64).
+pub fn binary(op: BinaryOp, a: &Tensor, b: &Tensor) -> Result<Tensor, KernelError> {
+    let out_shape = broadcast_output_shape(a.shape(), b.shape())
+        .ok_or_else(|| shape_err("Binary", format!("{:?} vs {:?}", a.shape(), b.shape())))?;
+    match (a.data(), b.data()) {
+        (Data::F32(_), Data::F32(_)) => {
+            let f = binary_fn_f32(op);
+            broadcast_zip_f32(&out_shape, a, b, f)
+        }
+        (Data::I64(_), Data::I64(_)) => {
+            let f = binary_fn_i64(op);
+            broadcast_zip_i64(&out_shape, a, b, f)
+        }
+        _ => Err(dtype_err(
+            "Binary",
+            format!("{} vs {}", a.dtype_name(), b.dtype_name()),
+        )),
+    }
+}
+
+fn binary_fn_f32(op: BinaryOp) -> fn(f32, f32) -> f32 {
+    match op {
+        BinaryOp::Add => |x, y| x + y,
+        BinaryOp::Sub => |x, y| x - y,
+        BinaryOp::Mul => |x, y| x * y,
+        BinaryOp::Div => |x, y| x / y,
+        BinaryOp::Pow => f32::powf,
+        BinaryOp::Min => f32::min,
+        BinaryOp::Max => f32::max,
+        BinaryOp::Mod => |x, y| x - y * (x / y).floor(),
+    }
+}
+
+fn binary_fn_i64(op: BinaryOp) -> fn(i64, i64) -> i64 {
+    match op {
+        BinaryOp::Add => |x, y| x.wrapping_add(y),
+        BinaryOp::Sub => |x, y| x.wrapping_sub(y),
+        BinaryOp::Mul => |x, y| x.wrapping_mul(y),
+        BinaryOp::Div => |x, y| if y == 0 { 0 } else { x.div_euclid(y) },
+        BinaryOp::Pow => |x, y| x.pow(y.clamp(0, 63) as u32),
+        BinaryOp::Min => i64::min,
+        BinaryOp::Max => i64::max,
+        BinaryOp::Mod => |x, y| if y == 0 { 0 } else { x.rem_euclid(y) },
+    }
+}
+
+fn broadcast_zip_f32(
+    out_shape: &[usize],
+    a: &Tensor,
+    b: &Tensor,
+    f: fn(f32, f32) -> f32,
+) -> Result<Tensor, KernelError> {
+    let (av, bv) = (
+        a.as_f32().map_err(|e| dtype_err("Binary", e.to_string()))?,
+        b.as_f32().map_err(|e| dtype_err("Binary", e.to_string()))?,
+    );
+    let n: usize = out_shape.iter().product();
+    let mut out = vec![0f32; n];
+    if a.shape() == out_shape && b.shape() == out_shape {
+        // Fast path: identical shapes.
+        for i in 0..n {
+            out[i] = f(av[i], bv[i]);
+        }
+    } else {
+        let ia = BroadcastIndexer::new(out_shape, a.shape());
+        let ib = BroadcastIndexer::new(out_shape, b.shape());
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(av[ia.src_offset(i)], bv[ib.src_offset(i)]);
+        }
+    }
+    Ok(Tensor::from_f32(out_shape, out))
+}
+
+fn broadcast_zip_i64(
+    out_shape: &[usize],
+    a: &Tensor,
+    b: &Tensor,
+    f: fn(i64, i64) -> i64,
+) -> Result<Tensor, KernelError> {
+    let (av, bv) = (
+        a.as_i64().map_err(|e| dtype_err("Binary", e.to_string()))?,
+        b.as_i64().map_err(|e| dtype_err("Binary", e.to_string()))?,
+    );
+    let n: usize = out_shape.iter().product();
+    let ia = BroadcastIndexer::new(out_shape, a.shape());
+    let ib = BroadcastIndexer::new(out_shape, b.shape());
+    let out: Vec<i64> = (0..n)
+        .map(|i| f(av[ia.src_offset(i)], bv[ib.src_offset(i)]))
+        .collect();
+    Ok(Tensor::from_i64(out_shape, out))
+}
+
+/// Element-wise comparison with broadcasting; returns a `bool` tensor.
+pub fn compare(op: CompareOp, a: &Tensor, b: &Tensor) -> Result<Tensor, KernelError> {
+    let out_shape = broadcast_output_shape(a.shape(), b.shape())
+        .ok_or_else(|| shape_err("Compare", format!("{:?} vs {:?}", a.shape(), b.shape())))?;
+    let n: usize = out_shape.iter().product();
+    let ia = BroadcastIndexer::new(&out_shape, a.shape());
+    let ib = BroadcastIndexer::new(&out_shape, b.shape());
+    let out: Vec<bool> = match (a.data(), b.data()) {
+        (Data::F32(av), Data::F32(bv)) => (0..n)
+            .map(|i| {
+                let (x, y) = (av[ia.src_offset(i)], bv[ib.src_offset(i)]);
+                match op {
+                    CompareOp::Equal => x == y,
+                    CompareOp::Less => x < y,
+                    CompareOp::Greater => x > y,
+                }
+            })
+            .collect(),
+        (Data::I64(av), Data::I64(bv)) => (0..n)
+            .map(|i| {
+                let (x, y) = (av[ia.src_offset(i)], bv[ib.src_offset(i)]);
+                match op {
+                    CompareOp::Equal => x == y,
+                    CompareOp::Less => x < y,
+                    CompareOp::Greater => x > y,
+                }
+            })
+            .collect(),
+        _ => {
+            return Err(dtype_err(
+                "Compare",
+                format!("{} vs {}", a.dtype_name(), b.dtype_name()),
+            ))
+        }
+    };
+    Ok(Tensor::from_bool(&out_shape, out))
+}
+
+/// `Where(cond, a, b)` with broadcasting.
+pub fn where_select(cond: &Tensor, a: &Tensor, b: &Tensor) -> Result<Tensor, KernelError> {
+    let ab = broadcast_output_shape(a.shape(), b.shape())
+        .ok_or_else(|| shape_err("Where", "a/b not compatible"))?;
+    let out_shape = broadcast_output_shape(cond.shape(), &ab)
+        .ok_or_else(|| shape_err("Where", "cond not compatible"))?;
+    let cv = cond
+        .as_bool()
+        .map_err(|e| dtype_err("Where", e.to_string()))?;
+    let av = a.as_f32().map_err(|e| dtype_err("Where", e.to_string()))?;
+    let bv = b.as_f32().map_err(|e| dtype_err("Where", e.to_string()))?;
+    let n: usize = out_shape.iter().product();
+    let ic = BroadcastIndexer::new(&out_shape, cond.shape());
+    let ia = BroadcastIndexer::new(&out_shape, a.shape());
+    let ib = BroadcastIndexer::new(&out_shape, b.shape());
+    let out: Vec<f32> = (0..n)
+        .map(|i| {
+            if cv[ic.src_offset(i)] {
+                av[ia.src_offset(i)]
+            } else {
+                bv[ib.src_offset(i)]
+            }
+        })
+        .collect();
+    Ok(Tensor::from_f32(&out_shape, out))
+}
+
+/// `Clip(x, min, max)`.
+pub fn clip(x: &Tensor, min: f32, max: f32) -> Result<Tensor, KernelError> {
+    let xs = x.as_f32().map_err(|e| dtype_err("Clip", e.to_string()))?;
+    Ok(Tensor::from_f32(
+        x.shape(),
+        xs.iter().map(|v| v.clamp(min, max)).collect(),
+    ))
+}
+
+/// `Cast(x)` to a target dtype.
+pub fn cast(x: &Tensor, to: DType) -> Result<Tensor, KernelError> {
+    let shape = x.shape().to_vec();
+    let out = match (x.data(), to) {
+        (Data::F32(v), DType::F32) => Data::F32(v.clone()),
+        (Data::F32(v), DType::I64) => Data::I64(v.iter().map(|&x| x as i64).collect()),
+        (Data::F32(v), DType::Bool) => Data::Bool(v.iter().map(|&x| x != 0.0).collect()),
+        (Data::F32(v), DType::U8) => {
+            Data::U8(v.iter().map(|&x| x.clamp(0.0, 255.0) as u8).collect())
+        }
+        (Data::I64(v), DType::F32) => Data::F32(v.iter().map(|&x| x as f32).collect()),
+        (Data::I64(v), DType::I64) => Data::I64(v.clone()),
+        (Data::I64(v), DType::Bool) => Data::Bool(v.iter().map(|&x| x != 0).collect()),
+        (Data::I64(v), DType::U8) => {
+            Data::U8(v.iter().map(|&x| x.clamp(0, 255) as u8).collect())
+        }
+        (Data::Bool(v), DType::F32) => {
+            Data::F32(v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect())
+        }
+        (Data::Bool(v), DType::I64) => {
+            Data::I64(v.iter().map(|&x| i64::from(x)).collect())
+        }
+        (Data::Bool(v), DType::Bool) => Data::Bool(v.clone()),
+        (Data::Bool(v), DType::U8) => Data::U8(v.iter().map(|&x| u8::from(x)).collect()),
+        (Data::U8(v), DType::F32) => Data::F32(v.iter().map(|&x| f32::from(x)).collect()),
+        (Data::U8(v), DType::I64) => Data::I64(v.iter().map(|&x| i64::from(x)).collect()),
+        (Data::U8(v), DType::Bool) => Data::Bool(v.iter().map(|&x| x != 0).collect()),
+        (Data::U8(v), DType::U8) => Data::U8(v.clone()),
+    };
+    Tensor::new(&shape, out).map_err(|e| shape_err("Cast", e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_and_sigmoid() {
+        let x = Tensor::from_f32(&[3], vec![-1.0, 0.0, 2.0]);
+        let r = unary(UnaryOp::Relu, &x).expect("relu");
+        assert_eq!(r.as_f32().expect("f32"), &[0.0, 0.0, 2.0]);
+        let s = unary(UnaryOp::Sigmoid, &x).expect("sigmoid");
+        assert!((s.as_f32().expect("f32")[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn broadcast_add_row() {
+        let a = Tensor::from_f32(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_f32(&[3], vec![10., 20., 30.]);
+        let c = binary(BinaryOp::Add, &a, &b).expect("add");
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.as_f32().expect("f32"), &[11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn broadcast_incompatible_errors() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(binary(BinaryOp::Add, &a, &b).is_err());
+    }
+
+    #[test]
+    fn i64_arithmetic() {
+        let a = Tensor::from_i64(&[2], vec![10, 20]);
+        let b = Tensor::from_i64(&[2], vec![3, 5]);
+        let c = binary(BinaryOp::Div, &a, &b).expect("div");
+        assert_eq!(c.as_i64().expect("i64"), &[3, 4]);
+    }
+
+    #[test]
+    fn compare_and_where() {
+        let a = Tensor::from_f32(&[3], vec![1., 5., 3.]);
+        let b = Tensor::from_f32(&[3], vec![2., 2., 3.]);
+        let m = compare(CompareOp::Greater, &a, &b).expect("cmp");
+        assert_eq!(m.as_bool().expect("bool"), &[false, true, false]);
+        let w = where_select(&m, &a, &b).expect("where");
+        assert_eq!(w.as_f32().expect("f32"), &[2., 5., 3.]);
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let x = Tensor::from_f32(&[2], vec![1.7, -2.3]);
+        let i = cast(&x, DType::I64).expect("cast");
+        assert_eq!(i.as_i64().expect("i64"), &[1, -2]);
+        let f = cast(&i, DType::F32).expect("cast");
+        assert_eq!(f.as_f32().expect("f32"), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf_f32(0.0)).abs() < 1e-6);
+        assert!((erf_f32(1.0) - 0.8427008).abs() < 1e-5);
+        assert!((erf_f32(-1.0) + 0.8427008).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_bounds() {
+        let x = Tensor::from_f32(&[3], vec![-5., 0.5, 5.]);
+        let c = clip(&x, 0.0, 1.0).expect("clip");
+        assert_eq!(c.as_f32().expect("f32"), &[0.0, 0.5, 1.0]);
+    }
+}

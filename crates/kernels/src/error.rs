@@ -1,0 +1,72 @@
+//! Kernel error type.
+
+use std::fmt;
+
+/// Errors raised during kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// Input shapes are invalid for the operator.
+    ShapeError {
+        /// Operator mnemonic.
+        op: &'static str,
+        /// Explanation.
+        reason: String,
+    },
+    /// Input dtypes are invalid for the operator.
+    DTypeError {
+        /// Operator mnemonic.
+        op: &'static str,
+        /// Explanation.
+        reason: String,
+    },
+    /// Wrong number of inputs.
+    ArityError {
+        /// Operator mnemonic.
+        op: &'static str,
+        /// Inputs received.
+        got: usize,
+    },
+    /// The operator is not executable by the kernel library (handled by the
+    /// executor instead, e.g. `Switch`/`Combine`).
+    NotExecutable {
+        /// Operator mnemonic.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::ShapeError { op, reason } => {
+                write!(f, "{op}: invalid shapes: {reason}")
+            }
+            KernelError::DTypeError { op, reason } => {
+                write!(f, "{op}: invalid dtypes: {reason}")
+            }
+            KernelError::ArityError { op, got } => {
+                write!(f, "{op}: wrong input count {got}")
+            }
+            KernelError::NotExecutable { op } => {
+                write!(f, "{op}: not executable as a kernel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Convenience constructor for shape errors.
+pub fn shape_err(op: &'static str, reason: impl Into<String>) -> KernelError {
+    KernelError::ShapeError {
+        op,
+        reason: reason.into(),
+    }
+}
+
+/// Convenience constructor for dtype errors.
+pub fn dtype_err(op: &'static str, reason: impl Into<String>) -> KernelError {
+    KernelError::DTypeError {
+        op,
+        reason: reason.into(),
+    }
+}

@@ -1,0 +1,209 @@
+//! Single-entry operator dispatcher used by every execution engine.
+
+use crate::conv::{conv2d_with_params, global_avg_pool, pool2d, ConvParams, PoolMode};
+use crate::dynamic::{non_max_suppression, non_zero};
+use crate::elementwise::{binary, cast, clip, compare, unary, where_select};
+use crate::error::KernelError;
+use crate::linalg::{gemm, matmul_with_params, GemmParams};
+use crate::reduce::{argmax, batch_norm, cumsum, instance_norm, layer_norm, log_softmax, reduce, softmax, topk};
+use crate::shape_ops::{
+    concat, constant_of_shape, expand, eye_like, flatten, gather, one_hot, pad, range,
+    reshape, resize_nearest, shape_of, size_of, slice, split, squeeze, tile,
+    transpose, unsqueeze,
+};
+use sod2_ir::Op;
+use sod2_tensor::Tensor;
+
+/// Executes one operator on concrete tensors.
+///
+/// `Switch` / `Combine` are control flow, not kernels: the executor resolves
+/// them, and calling them here returns [`KernelError::NotExecutable`].
+///
+/// # Errors
+///
+/// Propagates kernel errors (shape/dtype/arity violations).
+pub fn execute_op(op: &Op, inputs: &[&Tensor]) -> Result<Vec<Tensor>, KernelError> {
+    execute_op_with_variants(op, inputs, GemmParams::default(), ConvParams::default())
+}
+
+/// Executes one operator, using a specific GEMM configuration for `MatMul`
+/// (the hook the multi-version code generator uses to run a tuned variant).
+///
+/// # Errors
+///
+/// Propagates kernel errors (shape/dtype/arity violations).
+pub fn execute_op_with_gemm(
+    op: &Op,
+    inputs: &[&Tensor],
+    gemm_params: GemmParams,
+) -> Result<Vec<Tensor>, KernelError> {
+    execute_op_with_variants(op, inputs, gemm_params, ConvParams::default())
+}
+
+/// Executes one operator with explicit tuned-kernel configurations for
+/// both hotspot families (GEMM and CONV).
+///
+/// # Errors
+///
+/// Propagates kernel errors (shape/dtype/arity violations).
+pub fn execute_op_with_variants(
+    op: &Op,
+    inputs: &[&Tensor],
+    gemm_params: GemmParams,
+    conv_params: ConvParams,
+) -> Result<Vec<Tensor>, KernelError> {
+    let arity = op.input_arity();
+    if !arity.accepts(inputs.len()) {
+        return Err(KernelError::ArityError {
+            op: op.mnemonic(),
+            got: inputs.len(),
+        });
+    }
+    let one = |t: Result<Tensor, KernelError>| t.map(|t| vec![t]);
+    match op {
+        Op::Shape => Ok(vec![shape_of(inputs[0])]),
+        Op::Size => Ok(vec![size_of(inputs[0])]),
+        Op::ConstantOfShape { value } => one(constant_of_shape(inputs[0], *value)),
+        Op::EyeLike => one(eye_like(inputs[0])),
+        Op::Binary(b) => one(binary(*b, inputs[0], inputs[1])),
+        Op::Compare(c) => one(compare(*c, inputs[0], inputs[1])),
+        Op::Unary(u) => one(unary(*u, inputs[0])),
+        Op::Cast { to } => one(cast(inputs[0], *to)),
+        Op::Clip { min, max } => one(clip(inputs[0], *min, *max)),
+        Op::Where => one(where_select(inputs[0], inputs[1], inputs[2])),
+        Op::Softmax { axis } => one(softmax(inputs[0], *axis)),
+        Op::Conv2d { spatial, groups } => one(conv2d_with_params(
+            inputs[0],
+            inputs[1],
+            inputs.get(2).copied(),
+            spatial,
+            *groups,
+            conv_params,
+        )),
+        Op::MatMul => one(matmul_with_params(inputs[0], inputs[1], gemm_params)),
+        Op::Gemm { trans_a, trans_b } => one(gemm(
+            inputs[0],
+            inputs[1],
+            inputs.get(2).copied(),
+            *trans_a,
+            *trans_b,
+        )),
+        Op::MaxPool2d { spatial } => one(pool2d(inputs[0], spatial, PoolMode::Max)),
+        Op::AvgPool2d { spatial } => one(pool2d(inputs[0], spatial, PoolMode::Avg)),
+        Op::GlobalAvgPool => one(global_avg_pool(inputs[0])),
+        Op::Reduce { op: r, axes, keep_dims } => {
+            one(reduce(*r, inputs[0], axes, *keep_dims))
+        }
+        Op::ArgMax { axis, keep_dims } => one(argmax(inputs[0], *axis, *keep_dims)),
+        Op::Concat { axis } => one(concat(inputs, *axis)),
+        Op::Transpose { perm } => one(transpose(inputs[0], perm)),
+        Op::Flatten { axis } => one(flatten(inputs[0], *axis)),
+        Op::LayerNorm { epsilon } => {
+            one(layer_norm(inputs[0], inputs[1], inputs[2], *epsilon))
+        }
+        Op::BatchNorm { epsilon } => one(batch_norm(
+            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], *epsilon,
+        )),
+        Op::Gather { axis } => one(gather(inputs[0], inputs[1], *axis)),
+        Op::Pad { pads, value } => one(pad(inputs[0], pads, *value)),
+        Op::Slice { starts, ends } => one(slice(inputs[0], starts, ends)),
+        Op::Unsqueeze { axes } => one(unsqueeze(inputs[0], axes)),
+        Op::Squeeze { axes } => one(squeeze(inputs[0], axes)),
+        Op::Identity => Ok(vec![inputs[0].clone()]),
+        Op::Split { axis, splits } => split(inputs[0], *axis, splits),
+        Op::CumSum { axis } => one(cumsum(inputs[0], *axis)),
+        Op::LogSoftmax { axis } => one(log_softmax(inputs[0], *axis)),
+        Op::InstanceNorm { epsilon } => {
+            one(instance_norm(inputs[0], inputs[1], inputs[2], *epsilon))
+        }
+        Op::Reshape => one(reshape(inputs[0], inputs[1])),
+        Op::Expand => one(expand(inputs[0], inputs[1])),
+        Op::Range => one(range(inputs[0], inputs[1], inputs[2])),
+        Op::SliceDyn => {
+            let starts = inputs[1]
+                .as_i64()
+                .map_err(|e| crate::error::dtype_err("SliceDyn", e.to_string()))?;
+            let ends = inputs[2]
+                .as_i64()
+                .map_err(|e| crate::error::dtype_err("SliceDyn", e.to_string()))?;
+            one(slice(inputs[0], starts, ends))
+        }
+        Op::TopK { axis } => {
+            let k = inputs[1]
+                .as_i64()
+                .map_err(|e| crate::error::dtype_err("TopK", e.to_string()))?
+                .first()
+                .copied()
+                .unwrap_or(0);
+            if k < 0 {
+                return Err(crate::error::shape_err("TopK", "negative k"));
+            }
+            let (v, i) = topk(inputs[0], k as usize, *axis)?;
+            Ok(vec![v, i])
+        }
+        Op::Resize => one(resize_nearest(inputs[0], inputs[1])),
+        Op::Tile => one(tile(inputs[0], inputs[1])),
+        Op::OneHot => one(one_hot(inputs[0], inputs[1])),
+        Op::NonZero => one(non_zero(inputs[0])),
+        Op::NonMaxSuppression { max_output } => {
+            one(non_max_suppression(inputs[0], inputs[1], inputs[2], *max_output))
+        }
+        Op::Switch { .. } | Op::Combine { .. } => Err(KernelError::NotExecutable {
+            op: op.mnemonic(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sod2_ir::{BinaryOp, Spatial2d, UnaryOp};
+
+    #[test]
+    fn dispatch_binary_unary() {
+        let a = Tensor::from_f32(&[2], vec![1., -2.]);
+        let out = execute_op(&Op::Binary(BinaryOp::Add), &[&a, &a]).expect("add");
+        assert_eq!(out[0].as_f32().expect("f32"), &[2., -4.]);
+        let out = execute_op(&Op::Unary(UnaryOp::Relu), &[&a]).expect("relu");
+        assert_eq!(out[0].as_f32().expect("f32"), &[1., 0.]);
+    }
+
+    #[test]
+    fn dispatch_arity_checked() {
+        let a = Tensor::zeros(&[1]);
+        let e = execute_op(&Op::MatMul, &[&a]).expect_err("arity");
+        assert!(matches!(e, KernelError::ArityError { .. }));
+    }
+
+    #[test]
+    fn control_flow_not_executable() {
+        let a = Tensor::zeros(&[1]);
+        let s = Tensor::scalar_i64(0);
+        let e = execute_op(&Op::Switch { num_branches: 2 }, &[&a, &s]).expect_err("cf");
+        assert!(matches!(e, KernelError::NotExecutable { .. }));
+    }
+
+    #[test]
+    fn dispatch_topk_two_outputs() {
+        let x = Tensor::from_f32(&[4], vec![1., 3., 2., 4.]);
+        let k = Tensor::scalar_i64(2);
+        let out = execute_op(&Op::TopK { axis: 0 }, &[&x, &k]).expect("topk");
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].as_f32().expect("f32"), &[4., 3.]);
+    }
+
+    #[test]
+    fn dispatch_conv() {
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let w = Tensor::zeros(&[2, 1, 3, 3]);
+        let out = execute_op(
+            &Op::Conv2d {
+                spatial: Spatial2d::same(3),
+                groups: 1,
+            },
+            &[&x, &w],
+        )
+        .expect("conv");
+        assert_eq!(out[0].shape(), &[1, 2, 4, 4]);
+    }
+}

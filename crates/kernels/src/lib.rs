@@ -1,0 +1,40 @@
+//! # sod2-kernels — executable operator kernels
+//!
+//! Reference CPU implementations of every executable operator in the
+//! [`sod2_ir::Op`] set, plus the tiled GEMM/Conv variants whose
+//! configurations the multi-version code generator (paper §4.4.2) searches.
+//!
+//! The single entry point for engines is [`execute_op`]; individual kernels
+//! are also exported for direct use by fused-group execution and tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use sod2_ir::{Op, BinaryOp};
+//! use sod2_tensor::Tensor;
+//! use sod2_kernels::execute_op;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let a = Tensor::from_f32(&[2], vec![1.0, 2.0]);
+//! let b = Tensor::from_f32(&[2], vec![3.0, 4.0]);
+//! let out = execute_op(&Op::Binary(BinaryOp::Add), &[&a, &b])?;
+//! assert_eq!(out[0].as_f32()?, &[4.0, 6.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod conv;
+pub mod dynamic;
+pub mod elementwise;
+mod error;
+pub mod fused;
+mod exec;
+pub mod linalg;
+pub mod reduce;
+pub mod shape_ops;
+
+pub use conv::{conv2d_with_params, ConvParams, PoolMode};
+pub use error::KernelError;
+pub use fused::{fused_elementwise, fused_output_shape, FusedStep};
+pub use exec::{execute_op, execute_op_with_gemm, execute_op_with_variants};
+pub use linalg::{gemm_naive, gemm_tiled, matmul_with_params, GemmParams};

@@ -1,0 +1,291 @@
+//! Matrix-multiply kernels, including the tiled variants searched by the
+//! multi-version code generator (paper §4.4.2).
+
+use crate::error::{dtype_err, shape_err, KernelError};
+use sod2_tensor::{broadcast_output_shape, Tensor};
+
+/// Tiling/unrolling configuration for the tiled GEMM kernel — the search
+/// space of the genetic auto-tuner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmParams {
+    /// Tile height (rows of A / C).
+    pub tile_m: usize,
+    /// Tile width (cols of B / C).
+    pub tile_n: usize,
+    /// Reduction tile depth.
+    pub tile_k: usize,
+    /// Inner-loop unroll factor over `k` (1, 2, 4, or 8).
+    pub unroll: usize,
+}
+
+impl Default for GemmParams {
+    fn default() -> Self {
+        GemmParams {
+            tile_m: 32,
+            tile_n: 32,
+            tile_k: 32,
+            unroll: 4,
+        }
+    }
+}
+
+/// Plain rank-2 GEMM: `C[m,n] = A[m,k] * B[k,n]` (reference kernel).
+pub fn gemm_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// Tiled GEMM with configurable tile sizes and unrolling.
+pub fn gemm_tiled(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    params: GemmParams,
+) -> Vec<f32> {
+    let mut c = vec![0f32; m * n];
+    let (tm, tn, tk) = (
+        params.tile_m.max(1),
+        params.tile_n.max(1),
+        params.tile_k.max(1),
+    );
+    for i0 in (0..m).step_by(tm) {
+        let i1 = (i0 + tm).min(m);
+        for p0 in (0..k).step_by(tk) {
+            let p1 = (p0 + tk).min(k);
+            for j0 in (0..n).step_by(tn) {
+                let j1 = (j0 + tn).min(n);
+                for i in i0..i1 {
+                    for p in p0..p1 {
+                        let av = a[i * k + p];
+                        let brow = &b[p * n..p * n + n];
+                        let crow = &mut c[i * n..i * n + n];
+                        let mut j = j0;
+                        // Unrolled inner loop.
+                        while j + params.unroll <= j1 {
+                            for u in 0..params.unroll {
+                                crow[j + u] += av * brow[j + u];
+                            }
+                            j += params.unroll;
+                        }
+                        while j < j1 {
+                            crow[j] += av * brow[j];
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Batched `MatMul` with broadcasting over leading batch dimensions.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, KernelError> {
+    matmul_with_params(a, b, GemmParams::default())
+}
+
+/// Batched `MatMul` using a specific tiled-kernel configuration.
+pub fn matmul_with_params(
+    a: &Tensor,
+    b: &Tensor,
+    params: GemmParams,
+) -> Result<Tensor, KernelError> {
+    let av = a.as_f32().map_err(|e| dtype_err("MatMul", e.to_string()))?;
+    let bv = b.as_f32().map_err(|e| dtype_err("MatMul", e.to_string()))?;
+    let (ash, bsh) = (a.shape(), b.shape());
+    if ash.len() < 2 || bsh.len() < 2 {
+        return Err(shape_err("MatMul", "inputs must be rank >= 2"));
+    }
+    let (m, ka) = (ash[ash.len() - 2], ash[ash.len() - 1]);
+    let (kb, n) = (bsh[bsh.len() - 2], bsh[bsh.len() - 1]);
+    if ka != kb {
+        return Err(shape_err("MatMul", format!("inner dims {ka} vs {kb}")));
+    }
+    let batch_a = &ash[..ash.len() - 2];
+    let batch_b = &bsh[..bsh.len() - 2];
+    let batch = broadcast_output_shape(batch_a, batch_b)
+        .ok_or_else(|| shape_err("MatMul", "batch dims not broadcastable"))?;
+    let batch_count: usize = batch.iter().product();
+
+    // Map a batch index in the output to flat matrix offsets in a and b.
+    let idx_of = |batch_coords: &[usize], src_batch: &[usize]| -> usize {
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..src_batch.len()).rev() {
+            let out_axis = batch.len() - src_batch.len() + i;
+            let c = if src_batch[i] == 1 {
+                0
+            } else {
+                batch_coords[out_axis]
+            };
+            off += c * stride;
+            stride *= src_batch[i];
+        }
+        off
+    };
+
+    let mut out = Vec::with_capacity(batch_count * m * n);
+    let mut coords = vec![0usize; batch.len()];
+    for bi in 0..batch_count {
+        // Decode bi into coords.
+        let mut rem = bi;
+        for i in (0..batch.len()).rev() {
+            coords[i] = rem % batch[i];
+            rem /= batch[i];
+        }
+        let ao = idx_of(&coords, batch_a) * m * ka;
+        let bo = idx_of(&coords, batch_b) * kb * n;
+        let c = gemm_tiled(&av[ao..ao + m * ka], &bv[bo..bo + kb * n], m, ka, n, params);
+        out.extend(c);
+    }
+    let mut out_shape = batch;
+    out_shape.push(m);
+    out_shape.push(n);
+    Ok(Tensor::from_f32(&out_shape, out))
+}
+
+/// `Gemm(a, b[, c])` on rank-2 inputs with optional transposes and bias.
+pub fn gemm(
+    a: &Tensor,
+    b: &Tensor,
+    c: Option<&Tensor>,
+    trans_a: bool,
+    trans_b: bool,
+) -> Result<Tensor, KernelError> {
+    let av = a.as_f32().map_err(|e| dtype_err("Gemm", e.to_string()))?;
+    let bv = b.as_f32().map_err(|e| dtype_err("Gemm", e.to_string()))?;
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(shape_err("Gemm", "inputs must be rank 2"));
+    }
+    let at = maybe_transpose(av, a.shape(), trans_a);
+    let bt = maybe_transpose(bv, b.shape(), trans_b);
+    let (m, ka) = (at.1, at.2);
+    let (kb, n) = (bt.1, bt.2);
+    if ka != kb {
+        return Err(shape_err("Gemm", format!("inner dims {ka} vs {kb}")));
+    }
+    let mut out = gemm_tiled(&at.0, &bt.0, m, ka, n, GemmParams::default());
+    if let Some(bias) = c {
+        let bvv = bias
+            .as_f32()
+            .map_err(|e| dtype_err("Gemm", e.to_string()))?;
+        // Bias broadcasts over rows ([n] or [m, n] or scalar).
+        match bias.numel() {
+            x if x == n => {
+                for i in 0..m {
+                    for j in 0..n {
+                        out[i * n + j] += bvv[j];
+                    }
+                }
+            }
+            x if x == m * n => {
+                for (o, bb) in out.iter_mut().zip(bvv) {
+                    *o += bb;
+                }
+            }
+            1 => {
+                for o in out.iter_mut() {
+                    *o += bvv[0];
+                }
+            }
+            _ => return Err(shape_err("Gemm", "bias shape not broadcastable")),
+        }
+    }
+    Ok(Tensor::from_f32(&[m, n], out))
+}
+
+/// Returns `(data, rows, cols)`, materializing a transpose when requested.
+fn maybe_transpose(v: &[f32], shape: &[usize], trans: bool) -> (Vec<f32>, usize, usize) {
+    let (r, c) = (shape[0], shape[1]);
+    if !trans {
+        (v.to_vec(), r, c)
+    } else {
+        let mut out = vec![0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = v[i * c + j];
+            }
+        }
+        (out, c, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiled_matches_naive() {
+        let m = 17;
+        let k = 23;
+        let n = 13;
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 - 2.0).collect();
+        let want = gemm_naive(&a, &b, m, k, n);
+        for params in [
+            GemmParams::default(),
+            GemmParams { tile_m: 4, tile_n: 8, tile_k: 16, unroll: 1 },
+            GemmParams { tile_m: 64, tile_n: 2, tile_k: 3, unroll: 8 },
+        ] {
+            let got = gemm_tiled(&a, &b, m, k, n, params);
+            for (x, y) in want.iter().zip(&got) {
+                assert!((x - y).abs() < 1e-4, "params {params:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_rank2() {
+        let a = Tensor::from_f32(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_f32(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b).expect("matmul");
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_f32().expect("f32"), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_batched_broadcast() {
+        // a: [2, 1, 2, 2], b: [2, 2] -> out [2, 1, 2, 2]
+        let a = Tensor::from_f32(&[2, 1, 2, 2], vec![1., 0., 0., 1., 2., 0., 0., 2.]);
+        let b = Tensor::from_f32(&[2, 2], vec![1., 2., 3., 4.]);
+        let c = matmul(&a, &b).expect("matmul");
+        assert_eq!(c.shape(), &[2, 1, 2, 2]);
+        assert_eq!(
+            c.as_f32().expect("f32"),
+            &[1., 2., 3., 4., 2., 4., 6., 8.]
+        );
+    }
+
+    #[test]
+    fn matmul_inner_dim_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn gemm_with_transpose_and_bias() {
+        let a = Tensor::from_f32(&[3, 2], vec![1., 4., 2., 5., 3., 6.]); // a^T = [[1,2,3],[4,5,6]]
+        let b = Tensor::from_f32(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let bias = Tensor::from_f32(&[2], vec![100., 200.]);
+        let c = gemm(&a, &b, Some(&bias), true, false).expect("gemm");
+        assert_eq!(c.shape(), &[2, 2]);
+        // a^T·b = [[58, 64], [139, 154]] plus bias [100, 200] per column.
+        assert_eq!(c.as_f32().expect("f32"), &[158., 264., 239., 354.]);
+    }
+}

@@ -1,0 +1,403 @@
+//! Reductions, normalizations, softmax, and top-k.
+
+use crate::error::{dtype_err, shape_err, KernelError};
+use sod2_ir::{normalize_axis, ReduceOp};
+use sod2_tensor::{Indexer, Tensor};
+
+/// Reduction over the given axes (empty = all axes).
+pub fn reduce(
+    op: ReduceOp,
+    x: &Tensor,
+    axes: &[i64],
+    keep_dims: bool,
+) -> Result<Tensor, KernelError> {
+    let xv = x.as_f32().map_err(|e| dtype_err("Reduce", e.to_string()))?;
+    let rank = x.rank();
+    let reduced: Vec<usize> = if axes.is_empty() {
+        (0..rank).collect()
+    } else {
+        axes.iter()
+            .map(|&a| normalize_axis(a, rank).ok_or_else(|| shape_err("Reduce", "bad axis")))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    let in_ix = Indexer::new(x.shape());
+    let mut out_shape: Vec<usize> = Vec::new();
+    let mut out_full: Vec<usize> = Vec::new(); // with kept 1s, for index math
+    for (i, &d) in x.shape().iter().enumerate() {
+        if reduced.contains(&i) {
+            out_full.push(1);
+            if keep_dims {
+                out_shape.push(1);
+            }
+        } else {
+            out_full.push(d);
+            out_shape.push(d);
+        }
+    }
+    let out_ix = Indexer::new(&out_full);
+    let n_out = out_ix.numel();
+    let init = match op {
+        ReduceOp::Sum | ReduceOp::Mean => 0.0,
+        ReduceOp::Max => f32::NEG_INFINITY,
+        ReduceOp::Min => f32::INFINITY,
+        ReduceOp::Prod => 1.0,
+    };
+    let mut acc = vec![init; n_out];
+    let mut counts = vec![0usize; n_out];
+    for (i, &v) in xv.iter().enumerate() {
+        let mut c = in_ix.coords(i);
+        for &r in &reduced {
+            c[r] = 0;
+        }
+        let o = out_ix.offset(&c);
+        match op {
+            ReduceOp::Sum | ReduceOp::Mean => acc[o] += v,
+            ReduceOp::Max => acc[o] = acc[o].max(v),
+            ReduceOp::Min => acc[o] = acc[o].min(v),
+            ReduceOp::Prod => acc[o] *= v,
+        }
+        counts[o] += 1;
+    }
+    if op == ReduceOp::Mean {
+        for (a, &c) in acc.iter_mut().zip(&counts) {
+            if c > 0 {
+                *a /= c as f32;
+            }
+        }
+    }
+    Ok(Tensor::from_f32(&out_shape, acc))
+}
+
+/// Index of the maximum along `axis` (ONNX `ArgMax`), output `i64`.
+pub fn argmax(x: &Tensor, axis: i64, keep_dims: bool) -> Result<Tensor, KernelError> {
+    let xv = x.as_f32().map_err(|e| dtype_err("ArgMax", e.to_string()))?;
+    let rank = x.rank();
+    let ax = normalize_axis(axis, rank).ok_or_else(|| shape_err("ArgMax", "bad axis"))?;
+    let dims = x.shape();
+    let axis_len = dims[ax];
+    let outer: usize = dims[..ax].iter().product();
+    let inner: usize = dims[ax + 1..].iter().product();
+    let mut out = vec![0i64; outer * inner];
+    for o in 0..outer {
+        for i in 0..inner {
+            let mut best = f32::NEG_INFINITY;
+            let mut best_idx = 0i64;
+            for a in 0..axis_len {
+                let v = xv[(o * axis_len + a) * inner + i];
+                if v > best {
+                    best = v;
+                    best_idx = a as i64;
+                }
+            }
+            out[o * inner + i] = best_idx;
+        }
+    }
+    let mut out_shape: Vec<usize> = Vec::new();
+    for (i, &d) in dims.iter().enumerate() {
+        if i == ax {
+            if keep_dims {
+                out_shape.push(1);
+            }
+        } else {
+            out_shape.push(d);
+        }
+    }
+    Ok(Tensor::from_i64(&out_shape, out))
+}
+
+/// Numerically stable softmax along `axis`.
+pub fn softmax(x: &Tensor, axis: i64) -> Result<Tensor, KernelError> {
+    let xv = x.as_f32().map_err(|e| dtype_err("Softmax", e.to_string()))?;
+    let rank = x.rank();
+    let ax = normalize_axis(axis, rank).ok_or_else(|| shape_err("Softmax", "bad axis"))?;
+    let dims = x.shape();
+    let axis_len = dims[ax];
+    let outer: usize = dims[..ax].iter().product();
+    let inner: usize = dims[ax + 1..].iter().product();
+    let mut out = vec![0f32; xv.len()];
+    for o in 0..outer {
+        for i in 0..inner {
+            let at = |a: usize| (o * axis_len + a) * inner + i;
+            let mut mx = f32::NEG_INFINITY;
+            for a in 0..axis_len {
+                mx = mx.max(xv[at(a)]);
+            }
+            let mut sum = 0f32;
+            for a in 0..axis_len {
+                let e = (xv[at(a)] - mx).exp();
+                out[at(a)] = e;
+                sum += e;
+            }
+            for a in 0..axis_len {
+                out[at(a)] /= sum;
+            }
+        }
+    }
+    Ok(Tensor::from_f32(dims, out))
+}
+
+/// `log(softmax(x))` along `axis`, numerically stable.
+pub fn log_softmax(x: &Tensor, axis: i64) -> Result<Tensor, KernelError> {
+    let sm = softmax(x, axis)?;
+    let v = sm.as_f32().map_err(|e| dtype_err("LogSoftmax", e.to_string()))?;
+    Ok(Tensor::from_f32(
+        x.shape(),
+        v.iter().map(|&p| p.max(1e-30).ln()).collect(),
+    ))
+}
+
+/// Cumulative sum along `axis`.
+pub fn cumsum(x: &Tensor, axis: i64) -> Result<Tensor, KernelError> {
+    let xv = x.as_f32().map_err(|e| dtype_err("CumSum", e.to_string()))?;
+    let rank = x.rank();
+    let ax = normalize_axis(axis, rank).ok_or_else(|| shape_err("CumSum", "bad axis"))?;
+    let dims = x.shape();
+    let axis_len = dims[ax];
+    let outer: usize = dims[..ax].iter().product();
+    let inner: usize = dims[ax + 1..].iter().product();
+    let mut out = xv.to_vec();
+    for o in 0..outer {
+        for i in 0..inner {
+            for a in 1..axis_len {
+                let cur = (o * axis_len + a) * inner + i;
+                let prev = (o * axis_len + a - 1) * inner + i;
+                out[cur] += out[prev];
+            }
+        }
+    }
+    Ok(Tensor::from_f32(dims, out))
+}
+
+/// Instance normalization over spatial dims per (n, c), NCHW:
+/// `(x - μ_{n,c}) / σ_{n,c} * scale_c + bias_c`.
+pub fn instance_norm(
+    x: &Tensor,
+    scale: &Tensor,
+    bias: &Tensor,
+    epsilon: f32,
+) -> Result<Tensor, KernelError> {
+    let xv = x.as_f32().map_err(|e| dtype_err("InstanceNorm", e.to_string()))?;
+    let sv = scale
+        .as_f32()
+        .map_err(|e| dtype_err("InstanceNorm", e.to_string()))?;
+    let bv = bias
+        .as_f32()
+        .map_err(|e| dtype_err("InstanceNorm", e.to_string()))?;
+    let dims = x.shape();
+    if dims.len() < 3 {
+        return Err(shape_err("InstanceNorm", "rank must be >= 3"));
+    }
+    let (n, c) = (dims[0], dims[1]);
+    if sv.len() != c || bv.len() != c {
+        return Err(shape_err("InstanceNorm", "scale/bias must match C"));
+    }
+    let spatial: usize = dims[2..].iter().product();
+    let mut out = vec![0f32; xv.len()];
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * spatial;
+            let plane = &xv[base..base + spatial];
+            let mean: f32 = plane.iter().sum::<f32>() / spatial as f32;
+            let var: f32 =
+                plane.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / spatial as f32;
+            let inv = 1.0 / (var + epsilon).sqrt();
+            for i in 0..spatial {
+                out[base + i] = (plane[i] - mean) * inv * sv[ch] + bv[ch];
+            }
+        }
+    }
+    Ok(Tensor::from_f32(dims, out))
+}
+
+/// Layer normalization over the last axis: `(x - μ)/σ * scale + bias`.
+pub fn layer_norm(
+    x: &Tensor,
+    scale: &Tensor,
+    bias: &Tensor,
+    epsilon: f32,
+) -> Result<Tensor, KernelError> {
+    let xv = x.as_f32().map_err(|e| dtype_err("LayerNorm", e.to_string()))?;
+    let sv = scale
+        .as_f32()
+        .map_err(|e| dtype_err("LayerNorm", e.to_string()))?;
+    let bv = bias
+        .as_f32()
+        .map_err(|e| dtype_err("LayerNorm", e.to_string()))?;
+    let dims = x.shape();
+    let d = *dims.last().ok_or_else(|| shape_err("LayerNorm", "rank 0"))?;
+    if sv.len() != d || bv.len() != d {
+        return Err(shape_err("LayerNorm", "scale/bias must match last dim"));
+    }
+    let rows = xv.len() / d;
+    let mut out = vec![0f32; xv.len()];
+    for r in 0..rows {
+        let row = &xv[r * d..(r + 1) * d];
+        let mean: f32 = row.iter().sum::<f32>() / d as f32;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv = 1.0 / (var + epsilon).sqrt();
+        for j in 0..d {
+            out[r * d + j] = (row[j] - mean) * inv * sv[j] + bv[j];
+        }
+    }
+    Ok(Tensor::from_f32(dims, out))
+}
+
+/// Inference-mode batch normalization over the channel axis (1) of NCHW.
+pub fn batch_norm(
+    x: &Tensor,
+    scale: &Tensor,
+    bias: &Tensor,
+    mean: &Tensor,
+    var: &Tensor,
+    epsilon: f32,
+) -> Result<Tensor, KernelError> {
+    let xv = x.as_f32().map_err(|e| dtype_err("BatchNorm", e.to_string()))?;
+    let sv = scale
+        .as_f32()
+        .map_err(|e| dtype_err("BatchNorm", e.to_string()))?;
+    let bv = bias
+        .as_f32()
+        .map_err(|e| dtype_err("BatchNorm", e.to_string()))?;
+    let mv = mean
+        .as_f32()
+        .map_err(|e| dtype_err("BatchNorm", e.to_string()))?;
+    let vv = var
+        .as_f32()
+        .map_err(|e| dtype_err("BatchNorm", e.to_string()))?;
+    let dims = x.shape();
+    if dims.len() < 2 {
+        return Err(shape_err("BatchNorm", "rank must be >= 2"));
+    }
+    let c = dims[1];
+    if [sv.len(), bv.len(), mv.len(), vv.len()] != [c, c, c, c] {
+        return Err(shape_err("BatchNorm", "per-channel params must match C"));
+    }
+    let n = dims[0];
+    let spatial: usize = dims[2..].iter().product();
+    let mut out = vec![0f32; xv.len()];
+    for b in 0..n {
+        for ch in 0..c {
+            let inv = 1.0 / (vv[ch] + epsilon).sqrt();
+            let base = (b * c + ch) * spatial;
+            for i in 0..spatial {
+                out[base + i] = (xv[base + i] - mv[ch]) * inv * sv[ch] + bv[ch];
+            }
+        }
+    }
+    Ok(Tensor::from_f32(dims, out))
+}
+
+/// `TopK` along `axis`: returns `(values, indices)`, sorted descending.
+pub fn topk(x: &Tensor, k: usize, axis: i64) -> Result<(Tensor, Tensor), KernelError> {
+    let xv = x.as_f32().map_err(|e| dtype_err("TopK", e.to_string()))?;
+    let rank = x.rank();
+    let ax = normalize_axis(axis, rank).ok_or_else(|| shape_err("TopK", "bad axis"))?;
+    let dims = x.shape();
+    let axis_len = dims[ax];
+    if k > axis_len {
+        return Err(shape_err("TopK", format!("k={k} > axis len {axis_len}")));
+    }
+    let outer: usize = dims[..ax].iter().product();
+    let inner: usize = dims[ax + 1..].iter().product();
+    let mut out_shape = dims.to_vec();
+    out_shape[ax] = k;
+    let mut values = vec![0f32; outer * k * inner];
+    let mut indices = vec![0i64; outer * k * inner];
+    let mut lane: Vec<(f32, usize)> = Vec::with_capacity(axis_len);
+    for o in 0..outer {
+        for i in 0..inner {
+            lane.clear();
+            for a in 0..axis_len {
+                lane.push((xv[(o * axis_len + a) * inner + i], a));
+            }
+            lane.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+            for (j, &(v, idx)) in lane.iter().take(k).enumerate() {
+                values[(o * k + j) * inner + i] = v;
+                indices[(o * k + j) * inner + i] = idx as i64;
+            }
+        }
+    }
+    Ok((
+        Tensor::from_f32(&out_shape, values),
+        Tensor::from_i64(&out_shape, indices),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_sum_axis() {
+        let x = Tensor::from_f32(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let y = reduce(ReduceOp::Sum, &x, &[1], false).expect("sum");
+        assert_eq!(y.shape(), &[2]);
+        assert_eq!(y.as_f32().expect("f32"), &[6., 15.]);
+        let y = reduce(ReduceOp::Sum, &x, &[0], true).expect("sum");
+        assert_eq!(y.shape(), &[1, 3]);
+        assert_eq!(y.as_f32().expect("f32"), &[5., 7., 9.]);
+    }
+
+    #[test]
+    fn reduce_mean_all() {
+        let x = Tensor::from_f32(&[2, 2], vec![1., 2., 3., 4.]);
+        let y = reduce(ReduceOp::Mean, &x, &[], false).expect("mean");
+        assert_eq!(y.shape(), &[] as &[usize]);
+        assert_eq!(y.as_f32().expect("f32"), &[2.5]);
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let x = Tensor::from_f32(&[2, 3], vec![1., 9., 3., 7., 5., 6.]);
+        let y = argmax(&x, 1, false).expect("argmax");
+        assert_eq!(y.as_i64().expect("i64"), &[1, 0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_f32(&[2, 4], vec![1., 2., 3., 4., -1., 0., 1., 2.]);
+        let y = softmax(&x, -1).expect("softmax");
+        let v = y.as_f32().expect("f32");
+        let s1: f32 = v[..4].iter().sum();
+        let s2: f32 = v[4..].iter().sum();
+        assert!((s1 - 1.0).abs() < 1e-6 && (s2 - 1.0).abs() < 1e-6);
+        assert!(v[3] > v[2] && v[2] > v[1]);
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let x = Tensor::from_f32(&[1, 4], vec![1., 2., 3., 4.]);
+        let scale = Tensor::from_f32(&[4], vec![1.0; 4]);
+        let bias = Tensor::from_f32(&[4], vec![0.0; 4]);
+        let y = layer_norm(&x, &scale, &bias, 1e-5).expect("ln");
+        let v = y.as_f32().expect("f32");
+        let mean: f32 = v.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+    }
+
+    #[test]
+    fn batchnorm_applies_stats() {
+        let x = Tensor::from_f32(&[1, 2, 1, 1], vec![10.0, 20.0]);
+        let one = Tensor::from_f32(&[2], vec![1.0, 1.0]);
+        let zero = Tensor::from_f32(&[2], vec![0.0, 0.0]);
+        let mean = Tensor::from_f32(&[2], vec![10.0, 10.0]);
+        let var = Tensor::from_f32(&[2], vec![1.0, 1.0]);
+        let y = batch_norm(&x, &one, &zero, &mean, &var, 0.0).expect("bn");
+        let v = y.as_f32().expect("f32");
+        assert!((v[0] - 0.0).abs() < 1e-5 && (v[1] - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn topk_sorted_descending() {
+        let x = Tensor::from_f32(&[5], vec![3., 1., 4., 1., 5.]);
+        let (v, i) = topk(&x, 3, 0).expect("topk");
+        assert_eq!(v.as_f32().expect("f32"), &[5., 4., 3.]);
+        assert_eq!(i.as_i64().expect("i64"), &[4, 2, 0]);
+    }
+
+    #[test]
+    fn topk_k_too_large() {
+        let x = Tensor::from_f32(&[2], vec![1., 2.]);
+        assert!(topk(&x, 3, 0).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Tests for the extended operator set (Split, CumSum, LogSoftmax,
+//! InstanceNorm, Mod, ReduceProd, and the new unary functions).
+
+use sod2_ir::{BinaryOp, DType, Op, ReduceOp, UnaryOp};
+use sod2_kernels::execute_op;
+use sod2_tensor::Tensor;
+
+#[test]
+fn split_partitions_axis() {
+    let x = Tensor::from_f32(&[2, 5], (0..10).map(|i| i as f32).collect());
+    let outs = execute_op(
+        &Op::Split {
+            axis: 1,
+            splits: vec![2, 3],
+        },
+        &[&x],
+    )
+    .expect("split");
+    assert_eq!(outs.len(), 2);
+    assert_eq!(outs[0].shape(), &[2, 2]);
+    assert_eq!(outs[1].shape(), &[2, 3]);
+    assert_eq!(outs[0].as_f32().expect("f32"), &[0., 1., 5., 6.]);
+    assert_eq!(outs[1].as_f32().expect("f32"), &[2., 3., 4., 7., 8., 9.]);
+}
+
+#[test]
+fn split_rejects_bad_sums() {
+    let x = Tensor::zeros(&[4]);
+    assert!(execute_op(
+        &Op::Split {
+            axis: 0,
+            splits: vec![1, 2],
+        },
+        &[&x],
+    )
+    .is_err());
+}
+
+#[test]
+fn cumsum_scans() {
+    let x = Tensor::from_f32(&[2, 3], vec![1., 2., 3., 10., 20., 30.]);
+    let y = execute_op(&Op::CumSum { axis: 1 }, &[&x]).expect("cumsum");
+    assert_eq!(y[0].as_f32().expect("f32"), &[1., 3., 6., 10., 30., 60.]);
+    let y = execute_op(&Op::CumSum { axis: 0 }, &[&x]).expect("cumsum");
+    assert_eq!(y[0].as_f32().expect("f32"), &[1., 2., 3., 11., 22., 33.]);
+}
+
+#[test]
+fn log_softmax_matches_log_of_softmax() {
+    let x = Tensor::from_f32(&[1, 4], vec![0.5, -1.0, 2.0, 0.0]);
+    let ls = execute_op(&Op::LogSoftmax { axis: -1 }, &[&x]).expect("logsoftmax");
+    let sm = execute_op(&Op::Softmax { axis: -1 }, &[&x]).expect("softmax");
+    for (a, b) in ls[0]
+        .as_f32()
+        .expect("f32")
+        .iter()
+        .zip(sm[0].as_f32().expect("f32"))
+    {
+        assert!((a - b.ln()).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn instance_norm_zero_mean_per_plane() {
+    let x = Tensor::from_f32(&[1, 2, 1, 4], vec![1., 2., 3., 4., 10., 20., 30., 40.]);
+    let scale = Tensor::from_f32(&[2], vec![1.0, 1.0]);
+    let bias = Tensor::from_f32(&[2], vec![0.0, 5.0]);
+    let y = execute_op(&Op::InstanceNorm { epsilon: 1e-5 }, &[&x, &scale, &bias])
+        .expect("instancenorm");
+    let v = y[0].as_f32().expect("f32");
+    let m0: f32 = v[..4].iter().sum::<f32>() / 4.0;
+    let m1: f32 = v[4..].iter().sum::<f32>() / 4.0;
+    assert!(m0.abs() < 1e-5);
+    assert!((m1 - 5.0).abs() < 1e-4);
+}
+
+#[test]
+fn mod_is_euclidean_for_ints() {
+    let a = Tensor::from_i64(&[3], vec![7, -7, 7]);
+    let b = Tensor::from_i64(&[3], vec![3, 3, -3]);
+    let y = execute_op(&Op::Binary(BinaryOp::Mod), &[&a, &b]).expect("mod");
+    assert_eq!(y[0].as_i64().expect("i64"), &[1, 2, 1]);
+}
+
+#[test]
+fn reduce_prod() {
+    let x = Tensor::from_f32(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+    let y = execute_op(
+        &Op::Reduce {
+            op: ReduceOp::Prod,
+            axes: vec![1],
+            keep_dims: false,
+        },
+        &[&x],
+    )
+    .expect("prod");
+    assert_eq!(y[0].as_f32().expect("f32"), &[6., 120.]);
+}
+
+#[test]
+fn new_unaries_sane() {
+    let x = Tensor::from_f32(&[3], vec![-2.0, 0.0, 2.0]);
+    let y = execute_op(&Op::Unary(UnaryOp::HardSigmoid), &[&x]).expect("unary");
+    let v = y[0].as_f32().expect("f32");
+    assert!((v[0] - (1.0f32 / 6.0)).abs() < 1e-6);
+    assert!((v[1] - 0.5).abs() < 1e-6);
+    assert!((v[2] - (2.0 / 6.0 + 0.5)).abs() < 1e-6);
+
+    let y = execute_op(&Op::Unary(UnaryOp::Sign), &[&x]).expect("unary");
+    assert_eq!(y[0].as_f32().expect("f32"), &[-1.0, 0.0, 1.0]);
+
+    // ELU/SELU/HardSwish are zero at zero; Reciprocal(0) is infinite.
+    let z = Tensor::from_f32(&[1], vec![0.0]);
+    for op in [UnaryOp::Elu, UnaryOp::Selu, UnaryOp::HardSwish] {
+        let y = execute_op(&Op::Unary(op), &[&z]).expect("unary");
+        assert!(y[0].as_f32().expect("f32")[0].abs() < 1e-6, "{op:?}");
+    }
+    let y = execute_op(&Op::Unary(UnaryOp::Reciprocal), &[&z]).expect("unary");
+    assert!(y[0].as_f32().expect("f32")[0].is_infinite());
+
+    // Sin/Cos at known points.
+    let p = Tensor::from_f32(&[1], vec![std::f32::consts::FRAC_PI_2]);
+    let sy = execute_op(&Op::Unary(UnaryOp::Sin), &[&p]).expect("unary");
+    let cy = execute_op(&Op::Unary(UnaryOp::Cos), &[&p]).expect("unary");
+    assert!((sy[0].as_f32().expect("f32")[0] - 1.0).abs() < 1e-6);
+    assert!(cy[0].as_f32().expect("f32")[0].abs() < 1e-6);
+}
+
+#[test]
+fn split_shapes_inferred_by_rdp() {
+    use sod2_sym::{DimExpr, DimValue, ShapeValue};
+    let mut g = sod2_ir::Graph::new();
+    let x = g.add_input("x", DType::F32, vec![DimExpr::sym("N"), 6.into()]);
+    let outs = g.add_node(
+        "split",
+        Op::Split {
+            axis: 1,
+            splits: vec![2, 4],
+        },
+        &[x],
+        DType::F32,
+    );
+    g.mark_output(outs[0]);
+    g.mark_output(outs[1]);
+    let rdp = sod2_rdp::analyze(&g);
+    assert_eq!(
+        rdp.shape(outs[0]),
+        &ShapeValue::Ranked(vec![DimValue::sym("N"), DimValue::known(2)])
+    );
+    assert_eq!(
+        rdp.shape(outs[1]),
+        &ShapeValue::Ranked(vec![DimValue::sym("N"), DimValue::known(4)])
+    );
+}

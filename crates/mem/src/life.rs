@@ -1,0 +1,193 @@
+//! Tensor lifetimes and plan validation.
+
+use std::collections::HashMap;
+
+/// Lifetime of one intermediate tensor over an execution order.
+///
+/// Steps index the chosen operator order (0-based). A tensor is *live* from
+/// its defining step through its last use, inclusive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorLife {
+    /// Caller-chosen identifier (e.g. a `TensorId` index).
+    pub key: usize,
+    /// Payload size in bytes.
+    pub size: usize,
+    /// Step producing the tensor.
+    pub def: usize,
+    /// Steps consuming the tensor (possibly empty for outputs kept alive
+    /// to the end).
+    pub uses: Vec<usize>,
+}
+
+impl TensorLife {
+    /// Creates a lifetime record.
+    pub fn new(key: usize, size: usize, def: usize, uses: Vec<usize>) -> Self {
+        TensorLife { key, size, def, uses }
+    }
+
+    /// Last step at which the tensor must still exist.
+    pub fn last_use(&self) -> usize {
+        self.uses.iter().copied().max().unwrap_or(self.def)
+    }
+
+    /// `true` when the tensor is live at `step`.
+    pub fn live_at(&self, step: usize) -> bool {
+        step >= self.def && step <= self.last_use()
+    }
+
+    /// `true` when two lifetimes overlap.
+    pub fn overlaps(&self, other: &TensorLife) -> bool {
+        self.def <= other.last_use() && other.def <= self.last_use()
+    }
+}
+
+/// An offset assignment into a single linear arena.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryPlan {
+    /// Byte offset per tensor key.
+    pub offsets: HashMap<usize, usize>,
+    /// Total arena size (peak memory) in bytes.
+    pub peak: usize,
+}
+
+impl MemoryPlan {
+    /// A plan giving every tensor a private slot (no reuse) — the
+    /// conservative strategy of static engines.
+    pub fn conservative(lives: &[TensorLife]) -> MemoryPlan {
+        let mut offsets = HashMap::new();
+        let mut cursor = 0usize;
+        for l in lives {
+            offsets.insert(l.key, cursor);
+            cursor += l.size;
+        }
+        MemoryPlan {
+            offsets,
+            peak: cursor,
+        }
+    }
+}
+
+/// The information-theoretic lower bound: the largest sum of sizes of
+/// simultaneously live tensors over all steps.
+pub fn peak_live_bytes(lives: &[TensorLife]) -> usize {
+    let max_step = lives.iter().map(TensorLife::last_use).max().unwrap_or(0);
+    let mut best = 0usize;
+    for step in 0..=max_step {
+        let total: usize = lives
+            .iter()
+            .filter(|l| l.live_at(step))
+            .map(|l| l.size)
+            .sum();
+        best = best.max(total);
+    }
+    best
+}
+
+/// The step at which live bytes peak.
+pub fn peak_step(lives: &[TensorLife]) -> usize {
+    let max_step = lives.iter().map(TensorLife::last_use).max().unwrap_or(0);
+    let mut best = (0usize, 0usize);
+    for step in 0..=max_step {
+        let total: usize = lives
+            .iter()
+            .filter(|l| l.live_at(step))
+            .map(|l| l.size)
+            .sum();
+        if total > best.1 {
+            best = (step, total);
+        }
+    }
+    best.0
+}
+
+/// Validates that no two lifetime-overlapping tensors share bytes and the
+/// plan's peak covers every allocation.
+///
+/// Returns an error message when the plan is unsound.
+pub fn validate_plan(lives: &[TensorLife], plan: &MemoryPlan) -> Result<(), String> {
+    for l in lives {
+        let off = *plan
+            .offsets
+            .get(&l.key)
+            .ok_or_else(|| format!("tensor {} missing from plan", l.key))?;
+        if off + l.size > plan.peak {
+            return Err(format!(
+                "tensor {} at [{off}, {}) exceeds peak {}",
+                l.key,
+                off + l.size,
+                plan.peak
+            ));
+        }
+    }
+    for (i, a) in lives.iter().enumerate() {
+        for b in &lives[i + 1..] {
+            if !a.overlaps(b) {
+                continue;
+            }
+            let (ao, bo) = (plan.offsets[&a.key], plan.offsets[&b.key]);
+            let disjoint = ao + a.size <= bo || bo + b.size <= ao;
+            if !disjoint {
+                return Err(format!(
+                    "live tensors {} and {} overlap in memory",
+                    a.key, b.key
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetime_queries() {
+        let l = TensorLife::new(0, 16, 2, vec![4, 6]);
+        assert_eq!(l.last_use(), 6);
+        assert!(l.live_at(2) && l.live_at(6));
+        assert!(!l.live_at(1) && !l.live_at(7));
+    }
+
+    #[test]
+    fn overlap_symmetry() {
+        let a = TensorLife::new(0, 1, 0, vec![3]);
+        let b = TensorLife::new(1, 1, 3, vec![5]);
+        let c = TensorLife::new(2, 1, 4, vec![5]);
+        assert!(a.overlaps(&b) && b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn peak_lower_bound() {
+        let lives = vec![
+            TensorLife::new(0, 100, 0, vec![2]),
+            TensorLife::new(1, 50, 1, vec![3]),
+            TensorLife::new(2, 25, 3, vec![4]),
+        ];
+        assert_eq!(peak_live_bytes(&lives), 150);
+        assert_eq!(peak_step(&lives), 1);
+    }
+
+    #[test]
+    fn conservative_never_reuses() {
+        let lives = vec![
+            TensorLife::new(0, 100, 0, vec![1]),
+            TensorLife::new(1, 100, 2, vec![3]),
+        ];
+        let plan = MemoryPlan::conservative(&lives);
+        assert_eq!(plan.peak, 200);
+        validate_plan(&lives, &plan).expect("valid");
+    }
+
+    #[test]
+    fn validator_catches_overlap() {
+        let lives = vec![
+            TensorLife::new(0, 10, 0, vec![2]),
+            TensorLife::new(1, 10, 1, vec![3]),
+        ];
+        let mut plan = MemoryPlan::conservative(&lives);
+        plan.offsets.insert(1, 5); // collide with tensor 0
+        assert!(validate_plan(&lives, &plan).is_err());
+    }
+}

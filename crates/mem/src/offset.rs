@@ -1,0 +1,278 @@
+//! Offset-assignment planners (paper §4.4.1).
+//!
+//! Three strategies matching the paper's comparison:
+//!
+//! - [`plan_peak_first`] — SoD²'s planner: place the tensors live at the
+//!   peak-usage step first, then sweep outward in both directions reusing
+//!   freed slots. The paper reports 1.05× of the exhaustive optimum on
+//!   ConvNet-AIG.
+//! - [`plan_best_fit`] — the MNN-style greedy: allocate in execution order
+//!   into the smallest free gap that fits (1.16× optimum in the paper).
+//! - [`plan_exhaustive`] — permutation search with first-fit placement,
+//!   feasible for small sub-graphs; the reference "optimal" of §4.4.1.
+
+use crate::life::{peak_step, MemoryPlan, TensorLife};
+use std::collections::HashMap;
+
+/// First-fit placement of `t` against already-placed overlapping tensors.
+fn first_fit(
+    t: &TensorLife,
+    lives: &HashMap<usize, TensorLife>,
+    offsets: &HashMap<usize, usize>,
+) -> usize {
+    // Collect occupied intervals from overlapping, already-placed tensors.
+    let mut occupied: Vec<(usize, usize)> = offsets
+        .iter()
+        .filter_map(|(k, &off)| {
+            let o = &lives[k];
+            if o.overlaps(t) {
+                Some((off, off + o.size))
+            } else {
+                None
+            }
+        })
+        .collect();
+    occupied.sort_unstable();
+    let mut cursor = 0usize;
+    for (start, end) in occupied {
+        if start >= cursor + t.size {
+            break; // gap fits
+        }
+        cursor = cursor.max(end);
+    }
+    cursor
+}
+
+/// Best-fit placement: the smallest gap that holds `t` (lowest offset on
+/// ties), appending at the end when no gap fits.
+fn best_fit(
+    t: &TensorLife,
+    lives: &HashMap<usize, TensorLife>,
+    offsets: &HashMap<usize, usize>,
+) -> usize {
+    let mut occupied: Vec<(usize, usize)> = offsets
+        .iter()
+        .filter_map(|(k, &off)| {
+            let o = &lives[k];
+            if o.overlaps(t) {
+                Some((off, off + o.size))
+            } else {
+                None
+            }
+        })
+        .collect();
+    occupied.sort_unstable();
+    // Merge intervals, then scan gaps.
+    let mut merged: Vec<(usize, usize)> = Vec::new();
+    for (s, e) in occupied {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    let mut best: Option<(usize, usize)> = None; // (gap_size, offset)
+    let mut cursor = 0usize;
+    for &(s, e) in &merged {
+        if s > cursor {
+            let gap = s - cursor;
+            if gap >= t.size && best.map(|(g, _)| gap < g).unwrap_or(true) {
+                best = Some((gap, cursor));
+            }
+        }
+        cursor = cursor.max(e);
+    }
+    match best {
+        Some((_, off)) => off,
+        None => cursor,
+    }
+}
+
+fn plan_with_order<F>(lives: &[TensorLife], order: &[usize], place: F) -> MemoryPlan
+where
+    F: Fn(&TensorLife, &HashMap<usize, TensorLife>, &HashMap<usize, usize>) -> usize,
+{
+    let by_key: HashMap<usize, TensorLife> =
+        lives.iter().map(|l| (l.key, l.clone())).collect();
+    let mut offsets: HashMap<usize, usize> = HashMap::new();
+    let mut peak = 0usize;
+    for &key in order {
+        let t = &by_key[&key];
+        let off = place(t, &by_key, &offsets);
+        peak = peak.max(off + t.size);
+        offsets.insert(key, off);
+    }
+    MemoryPlan { offsets, peak }
+}
+
+/// SoD²'s peak-first planner (paper §4.4.1): tensors live at the step of
+/// peak usage are placed first (largest first), then the remaining tensors
+/// in order of distance from the peak step, each with first-fit.
+pub fn plan_peak_first(lives: &[TensorLife]) -> MemoryPlan {
+    if lives.is_empty() {
+        return MemoryPlan::default();
+    }
+    let pstep = peak_step(lives);
+    let mut order: Vec<&TensorLife> = lives.iter().collect();
+    order.sort_by_key(|l| {
+        let at_peak = l.live_at(pstep);
+        let dist = if at_peak {
+            0
+        } else if l.def > pstep {
+            l.def - pstep
+        } else {
+            pstep - l.last_use()
+        };
+        // Peak residents first (by descending size), then by distance.
+        (usize::from(!at_peak), dist, usize::MAX - l.size)
+    });
+    let keys: Vec<usize> = order.iter().map(|l| l.key).collect();
+    plan_with_order(lives, &keys, first_fit)
+}
+
+/// First-fit in definition order: the classic interval-graph strategy —
+/// optimal whenever tensor sizes are uniform (rolling-buffer patterns),
+/// and a strong portfolio member otherwise.
+pub fn plan_first_fit(lives: &[TensorLife]) -> MemoryPlan {
+    let mut order: Vec<&TensorLife> = lives.iter().collect();
+    order.sort_by_key(|l| (l.def, l.key));
+    let keys: Vec<usize> = order.iter().map(|l| l.key).collect();
+    plan_with_order(lives, &keys, first_fit)
+}
+
+/// SoD²'s production planner: a portfolio of the peak-first sweep, the
+/// first-fit interval strategy, and the best-fit greedy — the paper's
+/// §4.4.1 planner seeded at the peak location, hardened so that dynamic
+/// memory planning never loses to the greedy fallback it replaces.
+pub fn plan_sod2(lives: &[TensorLife]) -> MemoryPlan {
+    [
+        plan_peak_first(lives),
+        plan_first_fit(lives),
+        plan_best_fit(lives),
+    ]
+    .into_iter()
+    .min_by_key(|p| p.peak)
+    .expect("nonempty portfolio")
+}
+
+/// MNN-style greedy: allocate in execution (definition) order, choosing the
+/// minimal free slot that holds the tensor (paper §4.4.1's baseline).
+pub fn plan_best_fit(lives: &[TensorLife]) -> MemoryPlan {
+    let mut order: Vec<&TensorLife> = lives.iter().collect();
+    order.sort_by_key(|l| (l.def, l.key));
+    let keys: Vec<usize> = order.iter().map(|l| l.key).collect();
+    plan_with_order(lives, &keys, best_fit)
+}
+
+/// Exhaustive reference: tries every placement order with first-fit and
+/// keeps the best. Exponential — callers must bound the tensor count.
+///
+/// # Panics
+///
+/// Panics when `lives.len() > 9` (9! ≈ 363k orders is the practical cap).
+pub fn plan_exhaustive(lives: &[TensorLife]) -> MemoryPlan {
+    assert!(
+        lives.len() <= 9,
+        "exhaustive planning is capped at 9 tensors, got {}",
+        lives.len()
+    );
+    if lives.is_empty() {
+        return MemoryPlan::default();
+    }
+    let mut keys: Vec<usize> = lives.iter().map(|l| l.key).collect();
+    let mut best: Option<MemoryPlan> = None;
+    permute(&mut keys, 0, &mut |order| {
+        let plan = plan_with_order(lives, order, first_fit);
+        if best.as_ref().map(|b| plan.peak < b.peak).unwrap_or(true) {
+            best = Some(plan);
+        }
+    });
+    best.unwrap_or_default()
+}
+
+fn permute(keys: &mut Vec<usize>, from: usize, visit: &mut impl FnMut(&[usize])) {
+    if from == keys.len() {
+        visit(keys);
+        return;
+    }
+    for i in from..keys.len() {
+        keys.swap(from, i);
+        permute(keys, from + 1, visit);
+        keys.swap(from, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::life::{peak_live_bytes, validate_plan};
+
+    fn chain(sizes: &[usize]) -> Vec<TensorLife> {
+        // t[i] defined at step i, used at step i+1 (a simple op chain).
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| TensorLife::new(i, s, i, vec![i + 1]))
+            .collect()
+    }
+
+    #[test]
+    fn chain_reuses_memory() {
+        let lives = chain(&[100, 100, 100, 100]);
+        let plan = plan_peak_first(&lives);
+        validate_plan(&lives, &plan).expect("valid");
+        // Adjacent tensors overlap pairwise: peak = 200, far below 400.
+        assert_eq!(plan.peak, 200);
+        let bf = plan_best_fit(&lives);
+        validate_plan(&lives, &bf).expect("valid");
+        assert_eq!(bf.peak, 200);
+    }
+
+    #[test]
+    fn peak_first_at_least_lower_bound() {
+        let lives = vec![
+            TensorLife::new(0, 64, 0, vec![1, 5]),
+            TensorLife::new(1, 32, 1, vec![2]),
+            TensorLife::new(2, 128, 2, vec![3]),
+            TensorLife::new(3, 32, 3, vec![4]),
+            TensorLife::new(4, 64, 4, vec![5]),
+            TensorLife::new(5, 16, 5, vec![6]),
+        ];
+        let lb = peak_live_bytes(&lives);
+        let plan = plan_peak_first(&lives);
+        validate_plan(&lives, &plan).expect("valid");
+        assert!(plan.peak >= lb);
+        // And beats conservative.
+        assert!(plan.peak < lives.iter().map(|l| l.size).sum());
+    }
+
+    #[test]
+    fn exhaustive_is_no_worse() {
+        let lives = vec![
+            TensorLife::new(0, 60, 0, vec![2]),
+            TensorLife::new(1, 40, 1, vec![3]),
+            TensorLife::new(2, 100, 2, vec![4]),
+            TensorLife::new(3, 30, 3, vec![5]),
+            TensorLife::new(4, 70, 4, vec![5]),
+        ];
+        let opt = plan_exhaustive(&lives);
+        let pf = plan_peak_first(&lives);
+        let bf = plan_best_fit(&lives);
+        validate_plan(&lives, &opt).expect("valid");
+        assert!(opt.peak <= pf.peak);
+        assert!(opt.peak <= bf.peak);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at 9")]
+    fn exhaustive_bounds_input() {
+        let lives = chain(&[1; 12]);
+        let _ = plan_exhaustive(&lives);
+    }
+
+    #[test]
+    fn empty_plans() {
+        assert_eq!(plan_peak_first(&[]).peak, 0);
+        assert_eq!(plan_best_fit(&[]).peak, 0);
+        assert_eq!(plan_exhaustive(&[]).peak, 0);
+    }
+}

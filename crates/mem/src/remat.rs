@@ -1,0 +1,141 @@
+//! Rematerialization under a fixed memory budget.
+//!
+//! Models the XLA-style rematerialization policy the paper gives TFLite in
+//! the Fig. 11 experiment ("TFLite fixes its memory consumption to match
+//! SoD²'s, and uses the XLA rematerialization policy to handle the
+//! out-of-memory cases"): when peak live bytes exceed the budget, tensors
+//! with idle gaps are dropped after a use and recomputed before the next,
+//! trading recompute time for memory.
+
+use crate::life::{peak_live_bytes, TensorLife};
+
+/// Result of budget-constrained rematerialization planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RematPlan {
+    /// Achieved peak live bytes after splitting lifetimes.
+    pub achieved_peak: usize,
+    /// Number of recompute events inserted.
+    pub recompute_events: usize,
+    /// Total bytes that must be recomputed (sum of sizes over events).
+    pub recompute_bytes: usize,
+    /// The split lifetimes (for downstream offset planning).
+    pub lives: Vec<TensorLife>,
+}
+
+/// Greedy rematerialization: while the peak exceeds `budget`, pick the
+/// largest tensor that is *idle* across the current peak step (live but not
+/// used there, with a use both before and after) and split its lifetime at
+/// the gap, counting one recompute event.
+pub fn rematerialize(lives: &[TensorLife], budget: usize) -> RematPlan {
+    let mut lives: Vec<TensorLife> = lives.to_vec();
+    let mut next_key = lives.iter().map(|l| l.key).max().unwrap_or(0) + 1;
+    let mut events = 0usize;
+    let mut bytes = 0usize;
+    loop {
+        let peak = peak_live_bytes(&lives);
+        if peak <= budget {
+            return RematPlan {
+                achieved_peak: peak,
+                recompute_events: events,
+                recompute_bytes: bytes,
+                lives,
+            };
+        }
+        let pstep = crate::life::peak_step(&lives);
+        // Find the best split candidate: live across pstep, idle there,
+        // with uses strictly before and after. Prefer the largest.
+        let mut candidate: Option<(usize, usize, usize)> = None; // (idx, before, after)
+        for (i, l) in lives.iter().enumerate() {
+            // Must be live across the peak step but *idle* there: a tensor
+            // defined or used at the peak step cannot be dropped around it.
+            if !l.live_at(pstep) || l.def == pstep || l.uses.contains(&pstep) {
+                continue;
+            }
+            let before = l
+                .uses
+                .iter()
+                .copied()
+                .filter(|&u| u < pstep)
+                .max()
+                .or(if l.def < pstep { Some(l.def) } else { None });
+            let after = l.uses.iter().copied().filter(|&u| u > pstep).min();
+            if let (Some(b), Some(a)) = (before, after) {
+                if a > b + 1 {
+                    let better = match candidate {
+                        Some((j, _, _)) => l.size > lives[j].size,
+                        None => true,
+                    };
+                    if better {
+                        candidate = Some((i, b, a));
+                    }
+                }
+            }
+        }
+        let Some((idx, before, after)) = candidate else {
+            // Nothing splittable: budget unreachable.
+            return RematPlan {
+                achieved_peak: peak,
+                recompute_events: events,
+                recompute_bytes: bytes,
+                lives,
+            };
+        };
+        // Split: original lifetime ends at `before`; a recomputed clone is
+        // defined right before `after`.
+        let (size, old_uses) = {
+            let l = &lives[idx];
+            (l.size, l.uses.clone())
+        };
+        let first_uses: Vec<usize> = old_uses.iter().copied().filter(|&u| u <= before).collect();
+        let second_uses: Vec<usize> = old_uses.iter().copied().filter(|&u| u >= after).collect();
+        lives[idx].uses = first_uses;
+        lives.push(TensorLife::new(next_key, size, after - 1, second_uses));
+        next_key += 1;
+        events += 1;
+        bytes += size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_remat_when_budget_suffices() {
+        let lives = vec![
+            TensorLife::new(0, 100, 0, vec![1]),
+            TensorLife::new(1, 100, 1, vec![2]),
+        ];
+        let plan = rematerialize(&lives, 1000);
+        assert_eq!(plan.recompute_events, 0);
+        assert_eq!(plan.achieved_peak, peak_live_bytes(&lives));
+    }
+
+    #[test]
+    fn splits_long_idle_tensor() {
+        // Tensor 0 is live 0..=10 but only used at 1 and 10; tensors 1..4
+        // stack up in between, pushing the peak over budget.
+        let lives = vec![
+            TensorLife::new(0, 100, 0, vec![1, 10]),
+            TensorLife::new(1, 80, 4, vec![6]),
+            TensorLife::new(2, 80, 5, vec![7]),
+        ];
+        let unbounded = peak_live_bytes(&lives);
+        assert_eq!(unbounded, 260);
+        let plan = rematerialize(&lives, 180);
+        assert!(plan.recompute_events >= 1);
+        assert!(plan.achieved_peak <= 180);
+        assert_eq!(plan.recompute_bytes, 100 * plan.recompute_events);
+    }
+
+    #[test]
+    fn unreachable_budget_reports_best_effort() {
+        let lives = vec![
+            TensorLife::new(0, 100, 0, vec![1]),
+            TensorLife::new(1, 100, 1, vec![2]),
+        ];
+        // Peak 200 cannot be reduced: both are live together at the use.
+        let plan = rematerialize(&lives, 50);
+        assert_eq!(plan.achieved_peak, 200);
+    }
+}

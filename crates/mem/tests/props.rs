@@ -1,0 +1,108 @@
+//! Property tests: every planner produces sound plans within known bounds.
+
+use proptest::prelude::*;
+use sod2_mem::{
+    peak_live_bytes, plan_best_fit, plan_exhaustive, plan_peak_first, rematerialize,
+    validate_plan, MemoryPlan, TensorLife,
+};
+
+fn lives_strategy(max_tensors: usize) -> impl Strategy<Value = Vec<TensorLife>> {
+    proptest::collection::vec(
+        (0usize..20, 1usize..256, proptest::collection::vec(1usize..8, 0..3)),
+        1..=max_tensors,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(key, (def, size, gaps))| {
+                let mut uses = Vec::new();
+                let mut step = def;
+                for g in gaps {
+                    step += g;
+                    uses.push(step);
+                }
+                TensorLife::new(key, size, def, uses)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// All planners produce non-overlapping assignments whose peak is at
+    /// least the live-bytes lower bound and at most the no-reuse sum.
+    #[test]
+    fn planners_sound_and_bounded(lives in lives_strategy(14)) {
+        let lb = peak_live_bytes(&lives);
+        let total: usize = lives.iter().map(|l| l.size).sum();
+        for plan in [plan_peak_first(&lives), plan_best_fit(&lives)] {
+            prop_assert!(validate_plan(&lives, &plan).is_ok());
+            prop_assert!(plan.peak >= lb, "peak {} < lower bound {lb}", plan.peak);
+            prop_assert!(plan.peak <= total);
+        }
+        let cons = MemoryPlan::conservative(&lives);
+        prop_assert!(validate_plan(&lives, &cons).is_ok());
+        prop_assert_eq!(cons.peak, total);
+    }
+
+    /// The exhaustive reference is valid and no worse than either greedy.
+    #[test]
+    fn exhaustive_dominates(lives in lives_strategy(6)) {
+        let opt = plan_exhaustive(&lives);
+        prop_assert!(validate_plan(&lives, &opt).is_ok());
+        prop_assert!(opt.peak <= plan_peak_first(&lives).peak);
+        prop_assert!(opt.peak <= plan_best_fit(&lives).peak);
+        prop_assert!(opt.peak >= peak_live_bytes(&lives));
+    }
+
+    /// Rematerialization never increases peak live bytes and accounts its
+    /// recompute bytes consistently.
+    #[test]
+    fn remat_reduces_or_preserves(lives in lives_strategy(10), frac in 0.3f64..1.0) {
+        let peak = peak_live_bytes(&lives);
+        let budget = ((peak as f64) * frac) as usize;
+        let plan = rematerialize(&lives, budget);
+        prop_assert!(plan.achieved_peak <= peak);
+        // Splitting preserves total use steps.
+        let orig_uses: usize = lives.iter().map(|l| l.uses.len()).sum();
+        let new_uses: usize = plan.lives.iter().map(|l| l.uses.len()).sum();
+        prop_assert_eq!(orig_uses, new_uses);
+    }
+}
+
+proptest! {
+    /// Behavioural soundness: replay every lifetime against an arena built
+    /// from each planner's offsets — at every use step, each live tensor's
+    /// payload must be exactly what its definition wrote (address reuse
+    /// never corrupts live data).
+    #[test]
+    fn arena_replay_never_corrupts(lives in lives_strategy(12)) {
+        for plan in [plan_peak_first(&lives), plan_best_fit(&lives)] {
+            let mut arena = sod2_mem::Arena::new(plan);
+            let max_step = lives.iter().map(|l| l.last_use()).max().unwrap_or(0);
+            for step in 0..=max_step {
+                // Definitions first: write a per-tensor pattern.
+                for l in &lives {
+                    if l.def == step {
+                        let pattern: Vec<u8> =
+                            (0..l.size).map(|i| (l.key as u8) ^ (i as u8)).collect();
+                        arena.write(l.key, &pattern);
+                    }
+                }
+                // Then check every live tensor's payload is intact.
+                for l in &lives {
+                    if l.def <= step && step <= l.last_use() {
+                        let got = arena.read(l.key, l.size);
+                        for (i, &b) in got.iter().enumerate() {
+                            prop_assert_eq!(
+                                b,
+                                (l.key as u8) ^ (i as u8),
+                                "tensor {} corrupted at byte {} (step {})",
+                                l.key, i, step
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

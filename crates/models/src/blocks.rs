@@ -1,0 +1,285 @@
+//! Shared graph-building blocks for the model zoo.
+
+use sod2_ir::{
+    BinaryOp, ConstData, DType, Graph, Op, ReduceOp, Spatial2d, TensorId, UnaryOp,
+};
+
+/// Deterministic pseudo-random weight payload (no RNG dependency; models
+/// must be bit-identical across runs and engines).
+pub fn weights(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Small, centered values keep deep nets numerically tame.
+            ((state % 2001) as f32 - 1000.0) / 25_000.0
+        })
+        .collect()
+}
+
+/// Adds a dense constant with deterministic contents.
+pub fn dense(g: &mut Graph, name: &str, shape: &[i64]) -> TensorId {
+    let len: i64 = shape.iter().product();
+    let seed = name
+        .bytes()
+        .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+    g.add_const(name, shape, ConstData::F32(weights(seed, len as usize)))
+}
+
+/// `Conv → BatchNorm → ReLU` (3 nodes), NCHW.
+pub fn conv_bn_relu(
+    g: &mut Graph,
+    name: &str,
+    x: TensorId,
+    cin: usize,
+    cout: usize,
+    kernel: usize,
+    stride: usize,
+) -> TensorId {
+    let w = dense(
+        g,
+        &format!("{name}.w"),
+        &[cout as i64, cin as i64, kernel as i64, kernel as i64],
+    );
+    let spatial = Spatial2d::new(kernel, stride, kernel / 2);
+    let c = g.add_simple(
+        format!("{name}.conv"),
+        Op::Conv2d { spatial, groups: 1 },
+        &[x, w],
+        DType::F32,
+    );
+    let ones = g.add_const(
+        format!("{name}.bn.scale"),
+        &[cout as i64],
+        ConstData::F32(vec![1.0; cout]),
+    );
+    let zeros = g.add_const(
+        format!("{name}.bn.bias"),
+        &[cout as i64],
+        ConstData::F32(vec![0.0; cout]),
+    );
+    let mean = g.add_const(
+        format!("{name}.bn.mean"),
+        &[cout as i64],
+        ConstData::F32(vec![0.0; cout]),
+    );
+    let var = g.add_const(
+        format!("{name}.bn.var"),
+        &[cout as i64],
+        ConstData::F32(vec![1.0; cout]),
+    );
+    let b = g.add_simple(
+        format!("{name}.bn"),
+        Op::BatchNorm { epsilon: 1e-5 },
+        &[c, ones, zeros, mean, var],
+        DType::F32,
+    );
+    g.add_simple(format!("{name}.relu"), Op::Unary(UnaryOp::Relu), &[b], DType::F32)
+}
+
+/// A 2-conv residual block: `x + conv(conv(x))` (≈ 7 nodes).
+pub fn residual_block(g: &mut Graph, name: &str, x: TensorId, channels: usize) -> TensorId {
+    let a = conv_bn_relu(g, &format!("{name}.c1"), x, channels, channels, 3, 1);
+    let b = conv_bn_relu(g, &format!("{name}.c2"), a, channels, channels, 3, 1);
+    g.add_simple(
+        format!("{name}.add"),
+        Op::Binary(BinaryOp::Add),
+        &[b, x],
+        DType::F32,
+    )
+}
+
+/// An input-dependent binary gate (≈ 5 nodes): global-average-pool the
+/// features, project to 2 logits, and `ArgMax` to an `i64` selector — the
+/// SkipNet/ConvNet-AIG/BlockDrop gating pattern.
+pub fn input_gate(g: &mut Graph, name: &str, x: TensorId, channels: usize) -> TensorId {
+    let gap = g.add_simple(format!("{name}.gap"), Op::GlobalAvgPool, &[x], DType::F32);
+    let flat = g.add_simple(format!("{name}.flat"), Op::Flatten { axis: 1 }, &[gap], DType::F32);
+    let w = dense(g, &format!("{name}.w"), &[channels as i64, 2]);
+    let logits = g.add_simple(
+        format!("{name}.proj"),
+        Op::Gemm {
+            trans_a: false,
+            trans_b: false,
+        },
+        &[flat, w],
+        DType::F32,
+    );
+    let sel2d = g.add_simple(
+        format!("{name}.argmax"),
+        Op::ArgMax {
+            axis: 1,
+            keep_dims: false,
+        },
+        &[logits],
+        DType::I64,
+    );
+    // [1] i64 selector.
+    sel2d
+}
+
+/// A gated residual block (paper Fig. 1(d) shape): `Switch` routes the
+/// features either through a residual block or an identity skip; `Combine`
+/// merges. Gate is computed from the input features (≈ 15 nodes).
+pub fn gated_residual_block(
+    g: &mut Graph,
+    name: &str,
+    x: TensorId,
+    channels: usize,
+) -> TensorId {
+    let sel = input_gate(g, &format!("{name}.gate"), x, channels);
+    let branches = g.add_node(
+        format!("{name}.switch"),
+        Op::Switch { num_branches: 2 },
+        &[x, sel],
+        DType::F32,
+    );
+    let heavy = residual_block(g, &format!("{name}.res"), branches[0], channels);
+    let skip = g.add_simple(
+        format!("{name}.skip"),
+        Op::Identity,
+        &[branches[1]],
+        DType::F32,
+    );
+    g.add_simple(
+        format!("{name}.combine"),
+        Op::Combine { num_branches: 2 },
+        &[heavy, skip, sel],
+        DType::F32,
+    )
+}
+
+/// One transformer encoder layer over `[B, L, D]` (≈ 21 nodes): pre-LN
+/// self-attention (Q/K/V projections, scores, softmax, context, output
+/// projection, residual) plus a GELU MLP with residual.
+pub fn transformer_layer(
+    g: &mut Graph,
+    name: &str,
+    x: TensorId,
+    d_model: usize,
+) -> TensorId {
+    let d = d_model as i64;
+    let ln_s = g.add_const(
+        format!("{name}.ln1.s"),
+        &[d],
+        ConstData::F32(vec![1.0; d_model]),
+    );
+    let ln_b = g.add_const(
+        format!("{name}.ln1.b"),
+        &[d],
+        ConstData::F32(vec![0.0; d_model]),
+    );
+    let h = g.add_simple(
+        format!("{name}.ln1"),
+        Op::LayerNorm { epsilon: 1e-5 },
+        &[x, ln_s, ln_b],
+        DType::F32,
+    );
+    let wq = dense(g, &format!("{name}.wq"), &[d, d]);
+    let wk = dense(g, &format!("{name}.wk"), &[d, d]);
+    let wv = dense(g, &format!("{name}.wv"), &[d, d]);
+    let q = g.add_simple(format!("{name}.q"), Op::MatMul, &[h, wq], DType::F32);
+    let k = g.add_simple(format!("{name}.k"), Op::MatMul, &[h, wk], DType::F32);
+    let v = g.add_simple(format!("{name}.v"), Op::MatMul, &[h, wv], DType::F32);
+    let kt = g.add_simple(
+        format!("{name}.kt"),
+        Op::Transpose {
+            perm: vec![0, 2, 1],
+        },
+        &[k],
+        DType::F32,
+    );
+    let scores = g.add_simple(format!("{name}.scores"), Op::MatMul, &[q, kt], DType::F32);
+    let scale = g.add_const(
+        format!("{name}.scale"),
+        &[1],
+        ConstData::F32(vec![1.0 / (d_model as f32).sqrt()]),
+    );
+    let scaled = g.add_simple(
+        format!("{name}.scaled"),
+        Op::Binary(BinaryOp::Mul),
+        &[scores, scale],
+        DType::F32,
+    );
+    let attn = g.add_simple(
+        format!("{name}.softmax"),
+        Op::Softmax { axis: -1 },
+        &[scaled],
+        DType::F32,
+    );
+    let ctx = g.add_simple(format!("{name}.ctx"), Op::MatMul, &[attn, v], DType::F32);
+    let wo = dense(g, &format!("{name}.wo"), &[d, d]);
+    let proj = g.add_simple(format!("{name}.proj"), Op::MatMul, &[ctx, wo], DType::F32);
+    let res1 = g.add_simple(
+        format!("{name}.res1"),
+        Op::Binary(BinaryOp::Add),
+        &[proj, x],
+        DType::F32,
+    );
+    // MLP.
+    let ln2_s = g.add_const(
+        format!("{name}.ln2.s"),
+        &[d],
+        ConstData::F32(vec![1.0; d_model]),
+    );
+    let ln2_b = g.add_const(
+        format!("{name}.ln2.b"),
+        &[d],
+        ConstData::F32(vec![0.0; d_model]),
+    );
+    let h2 = g.add_simple(
+        format!("{name}.ln2"),
+        Op::LayerNorm { epsilon: 1e-5 },
+        &[res1, ln2_s, ln2_b],
+        DType::F32,
+    );
+    let w1 = dense(g, &format!("{name}.w1"), &[d, 2 * d]);
+    let w2 = dense(g, &format!("{name}.w2"), &[2 * d, d]);
+    let m1 = g.add_simple(format!("{name}.m1"), Op::MatMul, &[h2, w1], DType::F32);
+    let gelu = g.add_simple(
+        format!("{name}.gelu"),
+        Op::Unary(UnaryOp::Gelu),
+        &[m1],
+        DType::F32,
+    );
+    let m2 = g.add_simple(format!("{name}.m2"), Op::MatMul, &[gelu, w2], DType::F32);
+    g.add_simple(
+        format!("{name}.res2"),
+        Op::Binary(BinaryOp::Add),
+        &[m2, res1],
+        DType::F32,
+    )
+}
+
+/// Token embedding: `Gather(table, ids)` over `[1, L]` i64 ids → `[1, L, D]`.
+pub fn embedding(
+    g: &mut Graph,
+    name: &str,
+    ids: TensorId,
+    vocab: usize,
+    d_model: usize,
+) -> TensorId {
+    let table = dense(g, &format!("{name}.table"), &[vocab as i64, d_model as i64]);
+    g.add_simple(
+        format!("{name}.gather"),
+        Op::Gather { axis: 0 },
+        &[table, ids],
+        DType::F32,
+    )
+}
+
+/// Mean-pool over the sequence axis of `[B, L, D]` (classifier head input).
+pub fn seq_mean_pool(g: &mut Graph, name: &str, x: TensorId) -> TensorId {
+    g.add_simple(
+        name,
+        Op::Reduce {
+            op: ReduceOp::Mean,
+            axes: vec![1],
+            keep_dims: false,
+        },
+        &[x],
+        DType::F32,
+    )
+}

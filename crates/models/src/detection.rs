@@ -1,0 +1,191 @@
+//! YOLO-V6 [36]: single-stage detector with shape dynamism (inputs must be
+//! multiples of the stride) and an execution-determined tail (NMS).
+//!
+//! The neck upsamples deep features to match shallower ones using a
+//! `Shape → Slice → Resize` chain whose target sizes RDP resolves
+//! symbolically; the head flattens predictions into `[HW, 5]` boxes+score
+//! and ends in `NonMaxSuppression` — a genuinely execution-determined
+//! output shape.
+
+use crate::blocks::{conv_bn_relu, dense, residual_block};
+use crate::model::{DynModel, Dynamism, InputKind, ModelScale};
+use sod2_ir::{ConstData, DType, Graph, Op, TensorId};
+use sod2_sym::DimExpr;
+
+const C: usize = 8;
+
+/// Backbone stage: a stride-2 downsample conv plus `blocks` residual
+/// blocks.
+fn stage(g: &mut Graph, name: &str, x: TensorId, cin: usize, blocks: usize) -> TensorId {
+    let mut t = conv_bn_relu(g, &format!("{name}.down"), x, cin, C, 3, 2);
+    for i in 0..blocks {
+        t = residual_block(g, &format!("{name}.b{i}"), t, C);
+    }
+    t
+}
+
+/// Upsamples `deep` to `shallow`'s spatial size (Shape → Slice → Resize)
+/// and concatenates along channels.
+fn upsample_merge(
+    g: &mut Graph,
+    name: &str,
+    deep: TensorId,
+    shallow: TensorId,
+) -> TensorId {
+    let s = g.add_simple(format!("{name}.shape"), Op::Shape, &[shallow], DType::I64);
+    let hw = g.add_simple(
+        format!("{name}.hw"),
+        Op::Slice {
+            starts: vec![2],
+            ends: vec![4],
+        },
+        &[s],
+        DType::I64,
+    );
+    let up = g.add_simple(format!("{name}.resize"), Op::Resize, &[deep, hw], DType::F32);
+    let cat = g.add_simple(
+        format!("{name}.concat"),
+        Op::Concat { axis: 1 },
+        &[up, shallow],
+        DType::F32,
+    );
+    conv_bn_relu(g, &format!("{name}.fuse"), cat, 2 * C, C, 3, 1)
+}
+
+/// Builds YOLO-V6 at the given scale.
+pub fn yolo_v6(scale: ModelScale) -> DynModel {
+    let stage_blocks: [usize; 4] = match scale {
+        ModelScale::Tiny => [1, 1, 1, 1],
+        ModelScale::Full => [12, 23, 33, 12],
+    };
+    let mut g = Graph::new();
+    let s = DimExpr::sym("S");
+    let x = g.add_input("image", DType::F32, vec![1.into(), 3.into(), s.clone(), s]);
+    let stem = conv_bn_relu(&mut g, "stem", x, 3, C, 3, 2);
+    let p2 = stage(&mut g, "stage1", stem, C, stage_blocks[0]);
+    let p3 = stage(&mut g, "stage2", p2, C, stage_blocks[1]);
+    let p4 = stage(&mut g, "stage3", p3, C, stage_blocks[2]);
+    let p5 = stage(&mut g, "stage4", p4, C, stage_blocks[3]);
+
+    // Neck: top-down path with dynamic upsampling.
+    let n4 = upsample_merge(&mut g, "neck45", p5, p4);
+    let n3 = upsample_merge(&mut g, "neck34", n4, p3);
+
+    // Head on the finest neck level: predictions [1, 5, H, W].
+    let head = conv_bn_relu(&mut g, "head.conv", n3, C, C, 3, 1);
+    let wp = dense(&mut g, "head.pred.w", &[5, C as i64, 1, 1]);
+    let pred = g.add_simple(
+        "head.pred",
+        Op::Conv2d {
+            spatial: sod2_ir::Spatial2d::new(1, 1, 0),
+            groups: 1,
+        },
+        &[head, wp],
+        DType::F32,
+    );
+    // Flatten to [HW, 5]: [1,5,H,W] → reshape [5, HW] → transpose.
+    let minus = g.add_i64_const("head.flat_tgt", &[5, -1]);
+    let flat = g.add_simple("head.flat", Op::Reshape, &[pred, minus], DType::F32);
+    let dets = g.add_simple(
+        "head.dets",
+        Op::Transpose { perm: vec![1, 0] },
+        &[flat],
+        DType::F32,
+    );
+    let boxes = g.add_simple(
+        "head.boxes",
+        Op::Slice {
+            starts: vec![0, 0],
+            ends: vec![i64::MAX, 4],
+        },
+        &[dets],
+        DType::F32,
+    );
+    let score_col = g.add_simple(
+        "head.score_col",
+        Op::Slice {
+            starts: vec![0, 4],
+            ends: vec![i64::MAX, 5],
+        },
+        &[dets],
+        DType::F32,
+    );
+    let scores = g.add_simple(
+        "head.scores",
+        Op::Squeeze { axes: vec![1] },
+        &[score_col],
+        DType::F32,
+    );
+    let thr = g.add_const("nms.iou", &[1], ConstData::F32(vec![0.5]));
+    let kept = g.add_simple(
+        "nms",
+        Op::NonMaxSuppression { max_output: 16 },
+        &[boxes, scores, thr],
+        DType::I64,
+    );
+    // Gather the surviving boxes — consumes the execution-determined shape.
+    let out = g.add_simple("select", Op::Gather { axis: 0 }, &[boxes, kept], DType::F32);
+    g.mark_output(out);
+    DynModel {
+        name: "YOLO-V6",
+        dynamism: Dynamism::Shape,
+        graph: g,
+        input_kind: InputKind::Image {
+            channels: 3,
+            min: 32,
+            max: 64,
+            multiple: 16,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sod2_runtime::{execute, ExecConfig};
+
+    #[test]
+    fn yolo_builds_and_runs() {
+        let m = yolo_v6(ModelScale::Tiny);
+        sod2_ir::validate(&m.graph).expect("valid graph");
+        let mut rng = StdRng::seed_from_u64(5);
+        let (_, inputs) = m.sample_inputs(&mut rng);
+        let out = execute(&m.graph, &inputs, &ExecConfig::default()).expect("runs");
+        // Output: [k, 4] surviving boxes, k execution-determined.
+        assert_eq!(out.outputs[0].shape().len(), 2);
+        assert_eq!(out.outputs[0].shape()[1], 4);
+    }
+
+    #[test]
+    fn input_sizes_snap_to_multiple() {
+        let m = yolo_v6(ModelScale::Tiny);
+        assert_eq!(m.round_size(33), 32);
+        assert_eq!(m.round_size(49), 48);
+    }
+
+    #[test]
+    fn full_scale_layer_count() {
+        let m = yolo_v6(ModelScale::Full);
+        assert!(
+            (540..=660).contains(&m.layer_count()),
+            "got {}",
+            m.layer_count()
+        );
+    }
+
+    #[test]
+    fn nms_output_depends_on_execution() {
+        let m = yolo_v6(ModelScale::Tiny);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ks = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let (_, inputs) = m.sample_inputs(&mut rng);
+            let out = execute(&m.graph, &inputs, &ExecConfig::default()).expect("runs");
+            ks.insert(out.outputs[0].shape()[0]);
+        }
+        // The number of surviving boxes varies across inputs.
+        assert!(!ks.is_empty());
+    }
+}

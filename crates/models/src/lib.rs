@@ -1,0 +1,111 @@
+//! # sod2-models — the dynamic-model zoo
+//!
+//! Structure-faithful synthetic reconstructions of the 10 dynamic DNNs the
+//! paper evaluates (Table 5): shape-dynamic transformers and detectors,
+//! control-flow-dynamic gated CNNs, and both-dynamism early-exit networks.
+//! Channel widths are scaled down so paper-scale *layer counts* execute on
+//! commodity CPUs; see DESIGN.md's substitution table.
+//!
+//! # Examples
+//!
+//! ```
+//! use sod2_models::{all_models, ModelScale};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let zoo = all_models(ModelScale::Tiny);
+//! assert_eq!(zoo.len(), 10);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let (size, inputs) = zoo[0].sample_inputs(&mut rng);
+//! assert!(size > 0 && !inputs.is_empty());
+//! ```
+
+mod blocks;
+mod detection;
+mod model;
+mod transformer;
+mod vision;
+
+pub use blocks::{
+    conv_bn_relu, dense, embedding, gated_residual_block, input_gate, residual_block,
+    seq_mean_pool, transformer_layer, weights,
+};
+pub use detection::yolo_v6;
+pub use model::{DynModel, Dynamism, InputKind, ModelScale};
+pub use transformer::{codebert, conformer, segment_anything, stable_diffusion_encoder};
+pub use vision::{blockdrop, convnet_aig, dgnet, ranet, skipnet};
+
+/// Builds the full 10-model zoo in the paper's Table 5 order.
+pub fn all_models(scale: ModelScale) -> Vec<DynModel> {
+    vec![
+        stable_diffusion_encoder(scale),
+        segment_anything(scale),
+        conformer(scale),
+        codebert(scale),
+        yolo_v6(scale),
+        skipnet(scale),
+        dgnet(scale),
+        convnet_aig(scale),
+        ranet(scale),
+        blockdrop(scale),
+    ]
+}
+
+/// Looks a model up by (case-insensitive) name fragment.
+pub fn model_by_name(name: &str, scale: ModelScale) -> Option<DynModel> {
+    let lower = name.to_ascii_lowercase();
+    all_models(scale)
+        .into_iter()
+        .find(|m| m.name.to_ascii_lowercase().contains(&lower))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_is_complete_and_distinct() {
+        let zoo = all_models(ModelScale::Tiny);
+        assert_eq!(zoo.len(), 10);
+        let mut names: Vec<&str> = zoo.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(model_by_name("yolo", ModelScale::Tiny).is_some());
+        assert!(model_by_name("CodeBERT", ModelScale::Tiny).is_some());
+        assert!(model_by_name("nonexistent", ModelScale::Tiny).is_none());
+    }
+
+    #[test]
+    fn dynamism_labels_match_paper_table5() {
+        use Dynamism::*;
+        let zoo = all_models(ModelScale::Tiny);
+        let expect = [
+            ("StableDiffusion-Enc", Shape),
+            ("SegmentAnything", Shape),
+            ("Conformer", Shape),
+            ("CodeBERT", Shape),
+            ("YOLO-V6", Shape),
+            ("SkipNet", Both),
+            ("DGNet", ControlFlow),
+            ("ConvNet-AIG", Both),
+            ("RaNet", Both),
+            ("BlockDrop", Both),
+        ];
+        for (m, (name, dy)) in zoo.iter().zip(expect) {
+            assert_eq!(m.name, name);
+            assert_eq!(m.dynamism, dy, "{name}");
+        }
+    }
+
+    #[test]
+    fn all_graphs_validate() {
+        for m in all_models(ModelScale::Tiny) {
+            sod2_ir::validate(&m.graph)
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", m.name));
+        }
+    }
+}

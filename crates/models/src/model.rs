@@ -1,0 +1,191 @@
+//! The model wrapper and input samplers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sod2_tensor::Tensor;
+
+/// Kind of dynamism a model exhibits (paper Table 5's "S" / "C" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dynamism {
+    /// Dynamic input shapes only.
+    Shape,
+    /// Dynamic control flow only.
+    ControlFlow,
+    /// Both.
+    Both,
+}
+
+impl Dynamism {
+    /// The paper's abbreviation.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dynamism::Shape => "S",
+            Dynamism::ControlFlow => "C",
+            Dynamism::Both => "S+C",
+        }
+    }
+}
+
+/// What the model consumes and the sampling range of its primary dynamic
+/// size (paper §5.1's per-model input ranges, scaled to the simulator).
+#[derive(Debug, Clone, Copy)]
+pub enum InputKind {
+    /// One image `[1, C, S, S]`; `S` ∈ `[min, max]` rounded to `multiple`.
+    Image {
+        /// Input channels.
+        channels: usize,
+        /// Minimum side.
+        min: usize,
+        /// Maximum side.
+        max: usize,
+        /// Side must be a multiple of this (YOLO-V6: 32 in the paper).
+        multiple: usize,
+    },
+    /// Token ids `[1, L]`; `L` ∈ `[min, max]`, rounded to `multiple`
+    /// (sequence-length padding buckets — real serving systems quantize
+    /// lengths, which is also what lets static engines amortize re-inits).
+    Tokens {
+        /// Vocabulary size.
+        vocab: usize,
+        /// Minimum length.
+        min: usize,
+        /// Maximum length.
+        max: usize,
+        /// Length bucket size.
+        multiple: usize,
+    },
+    /// Audio features `[1, L, F]`; `L` ∈ `[min, max]` rounded to `multiple`.
+    Audio {
+        /// Feature width.
+        features: usize,
+        /// Minimum length.
+        min: usize,
+        /// Maximum length.
+        max: usize,
+        /// Length bucket size.
+        multiple: usize,
+    },
+    /// Image plus prompt tokens (StableDiffusion-Encoder, SegmentAnything).
+    ImageAndTokens {
+        /// Image channels.
+        channels: usize,
+        /// Minimum side.
+        min: usize,
+        /// Maximum side.
+        max: usize,
+        /// Side multiple.
+        multiple: usize,
+        /// Vocabulary size.
+        vocab: usize,
+        /// Fixed prompt length.
+        prompt_len: usize,
+    },
+}
+
+/// A zoo model: graph + metadata + input generation.
+pub struct DynModel {
+    /// Model name (paper Table 5 row).
+    pub name: &'static str,
+    /// Dynamism kind.
+    pub dynamism: Dynamism,
+    /// The extended computational graph.
+    pub graph: sod2_ir::Graph,
+    /// Input specification.
+    pub input_kind: InputKind,
+}
+
+impl DynModel {
+    /// Range of the primary dynamic size.
+    pub fn size_range(&self) -> (usize, usize) {
+        match self.input_kind {
+            InputKind::Image { min, max, .. }
+            | InputKind::Tokens { min, max, .. }
+            | InputKind::Audio { min, max, .. }
+            | InputKind::ImageAndTokens { min, max, .. } => (min, max),
+        }
+    }
+
+    /// Rounds a requested size to the model's constraint.
+    pub fn round_size(&self, s: usize) -> usize {
+        let (min, max) = self.size_range();
+        let s = s.clamp(min, max);
+        match self.input_kind {
+            InputKind::Image { multiple, .. }
+            | InputKind::ImageAndTokens { multiple, .. }
+            | InputKind::Tokens { multiple, .. }
+            | InputKind::Audio { multiple, .. } => (s / multiple).max(1) * multiple,
+        }
+    }
+
+    /// Samples a valid primary size.
+    pub fn sample_size(&self, rng: &mut StdRng) -> usize {
+        let (min, max) = self.size_range();
+        self.round_size(rng.gen_range(min..=max))
+    }
+
+    /// Builds concrete inputs for a primary size.
+    pub fn make_inputs(&self, size: usize, rng: &mut StdRng) -> Vec<Tensor> {
+        let size = self.round_size(size);
+        match self.input_kind {
+            InputKind::Image { channels, .. } => {
+                vec![random_image(rng, channels, size)]
+            }
+            InputKind::Tokens { vocab, .. } => vec![random_tokens(rng, vocab, size)],
+            InputKind::Audio { features, .. } => {
+                let data: Vec<f32> =
+                    (0..size * features).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                vec![Tensor::from_f32(&[1, size, features], data)]
+            }
+            InputKind::ImageAndTokens {
+                channels,
+                vocab,
+                prompt_len,
+                ..
+            } => vec![
+                random_image(rng, channels, size),
+                random_tokens(rng, vocab, prompt_len),
+            ],
+        }
+    }
+
+    /// Samples a size and builds inputs.
+    pub fn sample_inputs(&self, rng: &mut StdRng) -> (usize, Vec<Tensor>) {
+        let s = self.sample_size(rng);
+        (s, self.make_inputs(s, rng))
+    }
+
+    /// Number of operator layers in the graph (paper Table 5's "#Layers").
+    pub fn layer_count(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+fn random_image(rng: &mut StdRng, channels: usize, side: usize) -> Tensor {
+    // Per-channel mean offsets give images distinct global statistics so
+    // that input-dependent gates (SkipNet & friends) actually vary across
+    // samples — uniform noise alone averages out under global pooling.
+    let means: Vec<f32> = (0..channels).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut data = Vec::with_capacity(channels * side * side);
+    for &m in &means {
+        for _ in 0..side * side {
+            data.push(m + rng.gen_range(-0.3..0.3));
+        }
+    }
+    Tensor::from_f32(&[1, channels, side, side], data)
+}
+
+fn random_tokens(rng: &mut StdRng, vocab: usize, len: usize) -> Tensor {
+    let data: Vec<i64> = (0..len).map(|_| rng.gen_range(0..vocab as i64)).collect();
+    Tensor::from_i64(&[1, len], data)
+}
+
+/// Model scale: `Tiny` keeps tests fast; `Full` matches the paper's layer
+/// counts for the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelScale {
+    /// A few blocks per model (unit/integration tests).
+    #[default]
+    Tiny,
+    /// Paper-scale layer counts (Table 5).
+    Full,
+}

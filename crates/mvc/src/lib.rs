@@ -1,0 +1,307 @@
+//! # sod2-mvc — multi-version code generation
+//!
+//! The paper's §4.4.2: hotspot operators (CONV/GEMM) get several tuned
+//! kernel versions, selected at runtime by tensor shape. SoD² "relies on an
+//! auto-tuner based on Genetic Algorithm to generate the exploration space
+//! (e.g., tiling shapes, loop permutation, and unrolling settings)" and,
+//! thanks to RDP, only needs versions per *shape class* (fat / regular /
+//! skinny) instead of per concrete shape.
+//!
+//! - [`tune_for_class`]: the GA search over [`GemmParams`] for one shape
+//!   class on one device,
+//! - [`grid_search`]: an exhaustive reference the GA is validated against,
+//! - [`VersionTable`]: the per-device version table with runtime selection,
+//! - [`versions_without_rdp`]: how many versions a shape-oblivious engine
+//!   would need (one per distinct concrete shape).
+//!
+//! # Examples
+//!
+//! ```
+//! use sod2_device::DeviceProfile;
+//! use sod2_mvc::VersionTable;
+//!
+//! let table = VersionTable::tune(&DeviceProfile::s888_cpu(), 42);
+//! // Runtime selection by output-matrix shape:
+//! let params = table.select(2048, 64);
+//! assert!(params.tile_m >= params.tile_n); // skinny → tall tiles
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sod2_device::{conv_efficiency, gemm_efficiency, DeviceProfile, ShapeClass};
+use sod2_kernels::{ConvParams, GemmParams};
+use std::collections::HashMap;
+
+/// Representative problem sizes per shape class, used as tuning targets.
+pub fn representative_shape(class: ShapeClass) -> (usize, usize, usize) {
+    match class {
+        ShapeClass::Skinny => (2048, 256, 64),
+        ShapeClass::Regular => (512, 512, 512),
+        ShapeClass::Fat => (64, 256, 2048),
+    }
+}
+
+const TILE_CHOICES: [usize; 7] = [2, 4, 8, 16, 32, 64, 128];
+const UNROLL_CHOICES: [usize; 4] = [1, 2, 4, 8];
+
+fn random_params(rng: &mut StdRng) -> GemmParams {
+    GemmParams {
+        tile_m: TILE_CHOICES[rng.gen_range(0..TILE_CHOICES.len())],
+        tile_n: TILE_CHOICES[rng.gen_range(0..TILE_CHOICES.len())],
+        tile_k: TILE_CHOICES[rng.gen_range(0..TILE_CHOICES.len())],
+        unroll: UNROLL_CHOICES[rng.gen_range(0..UNROLL_CHOICES.len())],
+    }
+}
+
+fn mutate(p: GemmParams, rng: &mut StdRng) -> GemmParams {
+    let mut q = p;
+    let step = |v: usize, rng: &mut StdRng| -> usize {
+        let idx = TILE_CHOICES.iter().position(|&c| c == v).unwrap_or(3);
+        let ni =
+            (idx as i64 + rng.gen_range(-1..=1)).clamp(0, TILE_CHOICES.len() as i64 - 1);
+        TILE_CHOICES[ni as usize]
+    };
+    match rng.gen_range(0..4) {
+        0 => q.tile_m = step(q.tile_m, rng),
+        1 => q.tile_n = step(q.tile_n, rng),
+        2 => q.tile_k = step(q.tile_k, rng),
+        _ => q.unroll = UNROLL_CHOICES[rng.gen_range(0..UNROLL_CHOICES.len())],
+    }
+    q
+}
+
+fn crossover(a: GemmParams, b: GemmParams, rng: &mut StdRng) -> GemmParams {
+    GemmParams {
+        tile_m: if rng.gen_bool(0.5) { a.tile_m } else { b.tile_m },
+        tile_n: if rng.gen_bool(0.5) { a.tile_n } else { b.tile_n },
+        tile_k: if rng.gen_bool(0.5) { a.tile_k } else { b.tile_k },
+        unroll: if rng.gen_bool(0.5) { a.unroll } else { b.unroll },
+    }
+}
+
+/// Genetic-algorithm search for the best [`GemmParams`] for one shape
+/// class on one device. Deterministic for a given `seed`.
+///
+/// Returns the best configuration and its modeled efficiency.
+pub fn tune_for_class(
+    class: ShapeClass,
+    profile: &DeviceProfile,
+    seed: u64,
+) -> (GemmParams, f64) {
+    let (m, k, n) = representative_shape(class);
+    let mut rng = StdRng::seed_from_u64(seed ^ class as u64);
+    let fitness = |p: GemmParams| gemm_efficiency(p, m, k, n, profile);
+
+    const POP: usize = 24;
+    const GENERATIONS: usize = 30;
+    let mut pop: Vec<(GemmParams, f64)> = (0..POP)
+        .map(|_| {
+            let p = random_params(&mut rng);
+            (p, fitness(p))
+        })
+        .collect();
+    for _ in 0..GENERATIONS {
+        pop.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        pop.truncate(POP / 2);
+        let elite = pop.len();
+        while pop.len() < POP {
+            let i = rng.gen_range(0..elite);
+            let j = rng.gen_range(0..elite);
+            let mut child = crossover(pop[i].0, pop[j].0, &mut rng);
+            if rng.gen_bool(0.5) {
+                child = mutate(child, &mut rng);
+            }
+            let f = fitness(child);
+            pop.push((child, f));
+        }
+    }
+    pop.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    pop[0]
+}
+
+/// Exhaustive grid search over the full configuration space — the
+/// reference optimum used to validate the GA.
+pub fn grid_search(class: ShapeClass, profile: &DeviceProfile) -> (GemmParams, f64) {
+    let (m, k, n) = representative_shape(class);
+    let mut best = (GemmParams::default(), f64::MIN);
+    for &tm in &TILE_CHOICES {
+        for &tn in &TILE_CHOICES {
+            for &tk in &TILE_CHOICES {
+                for &u in &UNROLL_CHOICES {
+                    let p = GemmParams {
+                        tile_m: tm,
+                        tile_n: tn,
+                        tile_k: tk,
+                        unroll: u,
+                    };
+                    let f = gemm_efficiency(p, m, k, n, profile);
+                    if f > best.1 {
+                        best = (p, f);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Representative conv workloads per shape class (`co`, `spatial`, `k`).
+fn representative_conv(class: ShapeClass) -> (usize, usize, usize) {
+    match class {
+        // Deep & narrow: many channels, small feature map (late stages).
+        ShapeClass::Skinny => (256, 64, 1152),
+        ShapeClass::Regular => (64, 1024, 576),
+        // Shallow & wide: few channels, large feature map (early stages).
+        ShapeClass::Fat => (16, 16384, 27),
+    }
+}
+
+const CONV_BLOCKS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+const CONV_TILES: [usize; 5] = [4, 8, 16, 32, 64];
+
+/// Exhaustive search for the best conv configuration per class (the space
+/// is tiny, so a grid suffices where GEMM uses the GA).
+pub fn tune_conv_for_class(class: ShapeClass, profile: &DeviceProfile) -> (ConvParams, f64) {
+    let (co, spatial, k) = representative_conv(class);
+    let mut best = (ConvParams::default(), f64::MIN);
+    for &bo in &CONV_BLOCKS {
+        for &tw in &CONV_TILES {
+            let p = ConvParams { block_oc: bo, tile_w: tw };
+            let e = conv_efficiency(p, co, spatial, k, profile);
+            if e > best.1 {
+                best = (p, e);
+            }
+        }
+    }
+    best
+}
+
+/// A per-device table of tuned kernel versions, one per shape class, for
+/// both hotspot operator families (GEMM and CONV — paper §4.4.2).
+#[derive(Debug, Clone)]
+pub struct VersionTable {
+    versions: HashMap<ShapeClass, (GemmParams, f64)>,
+    conv_versions: HashMap<ShapeClass, (ConvParams, f64)>,
+    /// The device's untuned baseline efficiency.
+    pub base_efficiency: f64,
+}
+
+impl VersionTable {
+    /// Tunes all shape classes (GA for GEMM, grid for CONV).
+    pub fn tune(profile: &DeviceProfile, seed: u64) -> VersionTable {
+        let mut versions = HashMap::new();
+        let mut conv_versions = HashMap::new();
+        for class in ShapeClass::all() {
+            versions.insert(class, tune_for_class(class, profile, seed));
+            conv_versions.insert(class, tune_conv_for_class(class, profile));
+        }
+        VersionTable {
+            versions,
+            conv_versions,
+            base_efficiency: profile.base_efficiency,
+        }
+    }
+
+    /// Number of kernel versions in the table (the paper's point: RDP
+    /// bounds this at the number of shape classes).
+    pub fn num_versions(&self) -> usize {
+        self.versions.len() + self.conv_versions.len()
+    }
+
+    /// Selects the tuned GEMM configuration for an output matrix `m × n`.
+    pub fn select(&self, m: usize, n: usize) -> GemmParams {
+        self.versions[&ShapeClass::of(m, n)].0
+    }
+
+    /// Selects the tuned CONV configuration for an output of `co` channels
+    /// by `spatial` positions.
+    pub fn select_conv(&self, co: usize, spatial: usize) -> ConvParams {
+        self.conv_versions[&ShapeClass::of(co, spatial)].0
+    }
+
+    /// The modeled efficiency of the selected GEMM version for `m × n`.
+    pub fn efficiency(&self, m: usize, n: usize) -> f64 {
+        self.versions[&ShapeClass::of(m, n)].1
+    }
+
+    /// The modeled efficiency of the selected CONV version.
+    pub fn conv_efficiency_of(&self, co: usize, spatial: usize) -> f64 {
+        self.conv_versions[&ShapeClass::of(co, spatial)].1
+    }
+}
+
+/// Versions a shape-oblivious multi-version scheme needs: one per distinct
+/// concrete output shape observed (what static engines pre-generate, or
+/// re-tune on every re-initialization).
+pub fn versions_without_rdp(shapes: &[(usize, usize)]) -> usize {
+    let mut distinct: Vec<(usize, usize)> = shapes.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    distinct.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ga_matches_grid_search_closely() {
+        let p = DeviceProfile::s888_cpu();
+        for class in ShapeClass::all() {
+            let (_, ga) = tune_for_class(class, &p, 7);
+            let (_, grid) = grid_search(class, &p);
+            assert!(ga >= 0.95 * grid, "{class:?}: GA {ga:.3} vs grid {grid:.3}");
+        }
+    }
+
+    #[test]
+    fn tuned_beats_baseline() {
+        let p = DeviceProfile::s835_gpu();
+        let table = VersionTable::tune(&p, 11);
+        for class in ShapeClass::all() {
+            let (m, _, n) = representative_shape(class);
+            assert!(table.efficiency(m, n) > p.base_efficiency);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let p = DeviceProfile::s888_cpu();
+        let a = tune_for_class(ShapeClass::Regular, &p, 3);
+        let b = tune_for_class(ShapeClass::Regular, &p, 3);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn table_has_versions_per_family_and_class() {
+        let table = VersionTable::tune(&DeviceProfile::s888_cpu(), 1);
+        assert_eq!(table.num_versions(), 6); // 3 GEMM + 3 CONV
+    }
+
+    #[test]
+    fn conv_tuning_beats_baseline() {
+        let p = DeviceProfile::s835_cpu();
+        let table = VersionTable::tune(&p, 2);
+        for class in ShapeClass::all() {
+            let (co, spatial, _) = super::representative_conv(class);
+            assert!(table.conv_efficiency_of(co, spatial) > p.base_efficiency);
+        }
+    }
+
+    #[test]
+    fn version_counting_without_rdp() {
+        let shapes = vec![(224, 64), (224, 64), (256, 64), (320, 64)];
+        assert_eq!(versions_without_rdp(&shapes), 3);
+    }
+
+    #[test]
+    fn selection_by_shape_class() {
+        let table = VersionTable::tune(&DeviceProfile::s888_cpu(), 5);
+        let skinny = table.select(4096, 32);
+        let fat = table.select(32, 4096);
+        // Tuned tiles should track the aspect.
+        assert!(skinny.tile_m >= skinny.tile_n);
+        assert!(fat.tile_n >= fat.tile_m);
+    }
+}

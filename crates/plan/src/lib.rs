@@ -1,0 +1,42 @@
+//! # sod2-plan — static execution planning (SEP)
+//!
+//! The paper's §4.3: choosing the operator execution order to minimize
+//! peak intermediate memory, guided by RDP.
+//!
+//! - [`UnitGraph`]: fused groups collapsed into schedulable units,
+//! - [`partition_units`]: graph partitioning at `nac` boundaries, with the
+//!   Fig. 8 sub-graph classification,
+//! - [`plan_order`]: exact bitmask-DP search for small partitions, a
+//!   memory-aware greedy list scheduler for large ones,
+//! - [`unit_lifetimes`] / [`order_peak_bytes`]: lifetime extraction feeding
+//!   the memory planners in `sod2-mem`.
+//!
+//! # Examples
+//!
+//! ```
+//! use sod2_ir::{Graph, Op, DType, UnaryOp};
+//! use sod2_plan::{UnitGraph, partition_units, plan_order, SepOptions};
+//! use sod2_fusion::{fuse, FusionPolicy};
+//!
+//! let mut g = Graph::new();
+//! let x = g.add_input("x", DType::F32, vec![8.into()]);
+//! let r = g.add_simple("r", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+//! g.mark_output(r);
+//! let rdp = sod2_rdp::analyze(&g);
+//! let fusion = fuse(&g, &rdp, FusionPolicy::Rdp);
+//! let ug = UnitGraph::build(&g, &fusion);
+//! let parts = partition_units(&g, &rdp, &fusion, &ug);
+//! let plan = plan_order(&g, &ug, &parts, &|_t| 64, SepOptions::default());
+//! assert_eq!(plan.node_order.len(), 1);
+//! ```
+
+mod order;
+mod partition;
+mod units;
+
+pub use order::{
+    naive_unit_order, order_peak_bytes, plan_order, unit_lifetimes, ExecutionPlan,
+    SepOptions,
+};
+pub use partition::{partition_units, Partition, SubgraphClass, MAX_PARTITION_UNITS};
+pub use units::{Unit, UnitGraph};

@@ -1,0 +1,160 @@
+//! Graph partitioning at `nac` boundaries (paper §4.3).
+//!
+//! Operators whose output shapes are execution-determined "disable further
+//! analysis and execution planning. Such operators, it turns out, provide
+//! an opportunity to partition the original graph into sub-graphs that can
+//! be independently analyzed." Each partition is classified by the most
+//! dynamic constant kind it contains — the buckets of paper Fig. 8.
+
+use crate::units::UnitGraph;
+use sod2_fusion::FusionPlan;
+use sod2_ir::Graph;
+use sod2_rdp::{RdpResult, ShapeClass};
+
+/// Classification of one sub-graph (paper Fig. 8's legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubgraphClass {
+    /// Every materialized tensor shape is a known constant.
+    AllKnown,
+    /// Known + symbolic + op-inferred constants; the payload is the number
+    /// of code versions required to optimize the sub-graph.
+    Mixed {
+        /// Code versions required (1, 2–4, or 5–8 in the paper's buckets).
+        versions: usize,
+    },
+    /// Contains an execution-determined (nac) shape.
+    WithNac,
+}
+
+/// A scheduling partition: a contiguous (in topological order) span of
+/// units that can be planned independently.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Unit ids in this partition, in topological order.
+    pub units: Vec<usize>,
+    /// The partition's dynamism classification.
+    pub class: SubgraphClass,
+}
+
+/// Maximum units per partition: the paper plans "a sub-graph sg with a
+/// limited number of operators"; oversized spans are chopped so exact
+/// search stays feasible within each piece.
+pub const MAX_PARTITION_UNITS: usize = 48;
+
+/// Splits the unit graph into partitions and classifies each one. Cuts
+/// happen after every unit that (a) materializes an execution-determined
+/// (`nac`) tensor, or (b) contains an Execution-Determined-Output operator
+/// (`Switch`/`Combine`/`NonZero`/NMS — Table 2's EDO class), the points the
+/// paper identifies as "an opportunity to partition the original graph";
+/// spans longer than [`MAX_PARTITION_UNITS`] are also chopped.
+pub fn partition_units(
+    graph: &Graph,
+    rdp: &RdpResult,
+    fusion: &FusionPlan,
+    ug: &UnitGraph,
+) -> Vec<Partition> {
+    let mut partitions: Vec<Partition> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    // Units are topologically renumbered, so a linear scan suffices.
+    for u in &ug.units {
+        let has_nac_output = u
+            .outputs
+            .iter()
+            .any(|&t| matches!(rdp.shape_class(t), ShapeClass::Nac | ShapeClass::Unknown));
+        let has_edo_op = u.nodes.iter().any(|&n| {
+            sod2_ir::classify(&graph.node(n).op)
+                == sod2_ir::DynamismClass::ExecutionDeterminedOutput
+        });
+        current.push(u.id);
+        if has_nac_output || has_edo_op || current.len() >= MAX_PARTITION_UNITS {
+            partitions.push(classify_partition(graph, rdp, fusion, ug, current));
+            current = Vec::new();
+        }
+    }
+    if !current.is_empty() {
+        partitions.push(classify_partition(graph, rdp, fusion, ug, current));
+    }
+    partitions
+}
+
+fn classify_partition(
+    _graph: &Graph,
+    rdp: &RdpResult,
+    fusion: &FusionPlan,
+    ug: &UnitGraph,
+    units: Vec<usize>,
+) -> Partition {
+    let mut worst = ShapeClass::Known;
+    let mut versions = 1usize;
+    for &uid in &units {
+        versions = versions.saturating_mul(fusion.groups[uid].num_versions);
+        for &t in &ug.units[uid].outputs {
+            let c = rdp.shape_class(t);
+            if c > worst {
+                worst = c;
+            }
+        }
+    }
+    let class = match worst {
+        ShapeClass::Known => SubgraphClass::AllKnown,
+        ShapeClass::Symbolic | ShapeClass::OpInferred => SubgraphClass::Mixed {
+            versions: versions.min(8),
+        },
+        ShapeClass::Nac | ShapeClass::Unknown => SubgraphClass::WithNac,
+    };
+    Partition { units, class }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sod2_fusion::{fuse, FusionPolicy};
+    use sod2_ir::{DType, Op, UnaryOp};
+    use sod2_rdp::analyze;
+    use sod2_sym::DimExpr;
+
+    #[test]
+    fn nac_cuts_partitions() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", DType::F32, vec![DimExpr::sym("n")]);
+        let r = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+        let nz = g.add_simple("nz", Op::NonZero, &[r], DType::I64);
+        let c = g.add_simple("cast", Op::Cast { to: DType::F32 }, &[nz], DType::F32);
+        let s = g.add_simple("sig", Op::Unary(UnaryOp::Sigmoid), &[c], DType::F32);
+        g.mark_output(s);
+        let rdp = analyze(&g);
+        let plan = fuse(&g, &rdp, FusionPolicy::Rdp);
+        let ug = UnitGraph::build(&g, &plan);
+        let parts = partition_units(&g, &rdp, &plan, &ug);
+        assert!(parts.len() >= 2, "NonZero must cut the graph");
+        assert_eq!(parts[0].class, SubgraphClass::WithNac); // ends at NonZero
+    }
+
+    #[test]
+    fn static_graph_single_all_known_partition() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", DType::F32, vec![4.into()]);
+        let r = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+        g.mark_output(r);
+        let rdp = analyze(&g);
+        let plan = fuse(&g, &rdp, FusionPolicy::Rdp);
+        let ug = UnitGraph::build(&g, &plan);
+        let parts = partition_units(&g, &rdp, &plan, &ug);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].class, SubgraphClass::AllKnown);
+    }
+
+    #[test]
+    fn symbolic_graph_is_mixed() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", DType::F32, vec![DimExpr::sym("n")]);
+        let r = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+        g.mark_output(r);
+        let rdp = analyze(&g);
+        let plan = fuse(&g, &rdp, FusionPolicy::Rdp);
+        let ug = UnitGraph::build(&g, &plan);
+        let parts = partition_units(&g, &rdp, &plan, &ug);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].class, SubgraphClass::Mixed { versions: 1 });
+    }
+}

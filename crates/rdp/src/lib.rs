@@ -1,0 +1,38 @@
+//! # sod2-rdp — Rank and Dimension Propagation
+//!
+//! The paper's primary static analysis (§4.1): an iterative forward +
+//! backward data-flow analysis over the extended computational graph that
+//! infers every intermediate tensor's **rank and dimensions** — as known
+//! constants, symbolic constants, or op-inferred expressions — together
+//! with the **values** of shape-carrying integer tensors.
+//!
+//! - [`analyze`] / [`analyze_with_report`]: the chaotic-iteration solver
+//!   (paper Alg. 1),
+//! - [`transfer::forward`] / [`backward::backward`]: per-operator-class
+//!   transfer functions (the 16 kinds of paper Table 3),
+//! - [`RdpResult`]: fixpoint state plus classification helpers used by the
+//!   fusion, planning, and memory passes.
+//!
+//! # Examples
+//!
+//! ```
+//! use sod2_ir::{Graph, Op, DType};
+//! use sod2_sym::DimExpr;
+//! use sod2_rdp::analyze;
+//!
+//! // x : f32[N, 8]  →  Shape  →  value {N, 8} known statically.
+//! let mut g = Graph::new();
+//! let x = g.add_input("x", DType::F32, vec![DimExpr::sym("N"), 8.into()]);
+//! let s = g.add_simple("shape", Op::Shape, &[x], DType::I64);
+//! g.mark_output(s);
+//! let rdp = analyze(&g);
+//! assert!(rdp.value(s).is_fully_symbolic());
+//! ```
+
+pub mod backward;
+mod result;
+mod solver;
+pub mod transfer;
+
+pub use result::{classify_shape, RdpResult, ShapeClass};
+pub use solver::{analyze, analyze_with_report, RdpReport};

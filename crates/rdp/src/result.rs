@@ -1,0 +1,159 @@
+//! Analysis results and derived classifications.
+
+use sod2_ir::{Graph, TensorId};
+use sod2_sym::{Bindings, ConstKind, DimValue, ShapeValue, SymValue};
+
+/// Per-tensor outcome of RDP (paper §5.3's sub-graph buckets are derived
+/// from this classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ShapeClass {
+    /// Every dimension is a known integer constant.
+    Known,
+    /// Every dimension is an expression; at least one is a bare symbol and
+    /// none are composite.
+    Symbolic,
+    /// Every dimension is an expression; at least one is op-inferred.
+    OpInferred,
+    /// Some dimension (or the rank itself) is execution-determined.
+    Nac,
+    /// Analysis never reached this tensor (dead code).
+    Unknown,
+}
+
+/// The fixpoint state of Rank and Dimension Propagation over one graph.
+#[derive(Debug, Clone)]
+pub struct RdpResult {
+    /// Shape lattice state, indexed by [`TensorId`].
+    pub shapes: Vec<ShapeValue>,
+    /// Value lattice state, indexed by [`TensorId`].
+    pub values: Vec<SymValue>,
+    /// Sweeps until fixpoint.
+    pub iterations: usize,
+}
+
+impl RdpResult {
+    /// Shape state of a tensor.
+    pub fn shape(&self, t: TensorId) -> &ShapeValue {
+        &self.shapes[t.0 as usize]
+    }
+
+    /// Value state of a tensor.
+    pub fn value(&self, t: TensorId) -> &SymValue {
+        &self.values[t.0 as usize]
+    }
+
+    /// Classifies a tensor's inferred shape.
+    pub fn shape_class(&self, t: TensorId) -> ShapeClass {
+        classify_shape(self.shape(t))
+    }
+
+    /// Evaluates a tensor's shape to concrete dimensions under symbol
+    /// bindings, when the shape is fully symbolic.
+    pub fn concrete_shape(&self, t: TensorId, bindings: &Bindings) -> Option<Vec<i64>> {
+        self.shape(t).eval(bindings)
+    }
+
+    /// The symbolic byte size of a tensor (element count × element size),
+    /// when fully symbolic.
+    pub fn symbolic_bytes(
+        &self,
+        graph: &Graph,
+        t: TensorId,
+    ) -> Option<sod2_sym::DimExpr> {
+        let elems = self.shape(t).num_elements()?;
+        let esz = graph.tensor(t).dtype.size_bytes() as i64;
+        Some(sod2_sym::DimExpr::mul(
+            elems,
+            sod2_sym::DimExpr::Const(esz),
+        ))
+    }
+
+    /// Counts tensors per shape class — the raw data behind Fig. 8-style
+    /// breakdowns. Order: `(known, symbolic, op_inferred, nac, unknown)`.
+    pub fn class_counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for s in &self.shapes {
+            match classify_shape(s) {
+                ShapeClass::Known => c.0 += 1,
+                ShapeClass::Symbolic => c.1 += 1,
+                ShapeClass::OpInferred => c.2 += 1,
+                ShapeClass::Nac => c.3 += 1,
+                ShapeClass::Unknown => c.4 += 1,
+            }
+        }
+        c
+    }
+
+    /// Fraction of tensors whose shape analysis produced a usable static
+    /// result (known/symbolic/op-inferred).
+    pub fn resolution_rate(&self) -> f64 {
+        let (k, s, o, n, u) = self.class_counts();
+        let resolved = k + s + o;
+        let total = resolved + n + u;
+        if total == 0 {
+            1.0
+        } else {
+            resolved as f64 / total as f64
+        }
+    }
+}
+
+/// Classifies a single shape lattice value.
+pub fn classify_shape(s: &ShapeValue) -> ShapeClass {
+    match s {
+        ShapeValue::Undef => ShapeClass::Unknown,
+        ShapeValue::Nac => ShapeClass::Nac,
+        ShapeValue::Ranked(dims) => {
+            let mut worst = ShapeClass::Known;
+            for d in dims {
+                match d {
+                    DimValue::Undef => return ShapeClass::Unknown,
+                    DimValue::Nac => return ShapeClass::Nac,
+                    DimValue::Expr(e) => match e.kind() {
+                        ConstKind::Known => {}
+                        ConstKind::Symbolic => {
+                            if worst < ShapeClass::Symbolic {
+                                worst = ShapeClass::Symbolic;
+                            }
+                        }
+                        ConstKind::OpInferred => {
+                            if worst < ShapeClass::OpInferred {
+                                worst = ShapeClass::OpInferred;
+                            }
+                        }
+                    },
+                }
+            }
+            worst
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sod2_sym::DimExpr;
+
+    #[test]
+    fn classify_buckets() {
+        assert_eq!(classify_shape(&ShapeValue::known(&[1, 2])), ShapeClass::Known);
+        assert_eq!(
+            classify_shape(&ShapeValue::Ranked(vec![
+                DimValue::sym("n"),
+                DimValue::known(2)
+            ])),
+            ShapeClass::Symbolic
+        );
+        assert_eq!(
+            classify_shape(&ShapeValue::Ranked(vec![DimValue::Expr(
+                DimExpr::sym("n") + DimExpr::from(1)
+            )])),
+            ShapeClass::OpInferred
+        );
+        assert_eq!(
+            classify_shape(&ShapeValue::Ranked(vec![DimValue::Nac])),
+            ShapeClass::Nac
+        );
+        assert_eq!(classify_shape(&ShapeValue::Undef), ShapeClass::Unknown);
+    }
+}

@@ -1,0 +1,229 @@
+//! End-to-end solver tests reproducing the paper's worked examples
+//! (Fig. 1 and Fig. 3) plus control-flow merging.
+
+use sod2_ir::{BinaryOp, DType, Graph, Op, UnaryOp};
+use sod2_rdp::{analyze, analyze_with_report, ShapeClass};
+use sod2_sym::{DimExpr, DimValue, ShapeValue, SymValue};
+
+/// Paper Fig. 3(a): a forward chain through ISDOS → ISDO → value arithmetic
+/// → ISVDOS, ending with an op-inferred output shape `(a, min(a, b))`.
+#[test]
+fn fig3a_forward_chain() {
+    let mut g = Graph::new();
+    let x = g.add_input(
+        "x",
+        DType::F32,
+        vec![DimExpr::sym("a"), DimExpr::sym("b")],
+    );
+    let r = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+    let s = g.add_simple("shape", Op::Shape, &[r], DType::I64);
+    let i0 = g.add_i64_const("idx0", &[0]);
+    let i1 = g.add_i64_const("idx1", &[1]);
+    let g0 = g.add_simple("g0", Op::Gather { axis: 0 }, &[s, i0], DType::I64);
+    let g1 = g.add_simple("g1", Op::Gather { axis: 0 }, &[s, i1], DType::I64);
+    let m = g.add_simple("min", Op::Binary(BinaryOp::Min), &[g0, g1], DType::I64);
+    let t = g.add_simple("tgt", Op::Concat { axis: 0 }, &[g0, m], DType::I64);
+    let y = g.add_simple("reshape", Op::Reshape, &[x, t], DType::F32);
+    g.mark_output(y);
+
+    let rdp = analyze(&g);
+    // V(g0) = {a}, V(m) = {min(a,b)}, V(t) = {a, min(a,b)}.
+    assert_eq!(
+        rdp.value(t),
+        &SymValue::Elems(vec![
+            DimValue::sym("a"),
+            DimValue::Expr(DimExpr::min(DimExpr::sym("a"), DimExpr::sym("b"))),
+        ])
+    );
+    // S(y) = [a, min(a, b)] — op-inferred constants.
+    assert_eq!(
+        rdp.shape(y),
+        &ShapeValue::Ranked(vec![
+            DimValue::sym("a"),
+            DimValue::Expr(DimExpr::min(DimExpr::sym("a"), DimExpr::sym("b"))),
+        ])
+    );
+    assert_eq!(rdp.shape_class(y), ShapeClass::OpInferred);
+}
+
+/// Paper Fig. 1(a): `Shape → ConstantOfShape` — the value produced by the
+/// ISDO op fully determines the downstream shape.
+#[test]
+fn fig1a_shape_to_constantofshape() {
+    let mut g = Graph::new();
+    let x = g.add_input(
+        "x",
+        DType::F32,
+        vec![DimExpr::sym("a"), DimExpr::sym("b")],
+    );
+    let s = g.add_simple("shape", Op::Shape, &[x], DType::I64);
+    let c = g.add_simple(
+        "cos",
+        Op::ConstantOfShape { value: 0.0 },
+        &[s],
+        DType::F32,
+    );
+    let out = g.add_simple("add", Op::Binary(BinaryOp::Add), &[c, x], DType::F32);
+    g.mark_output(out);
+
+    let rdp = analyze(&g);
+    assert_eq!(
+        rdp.shape(c),
+        &ShapeValue::Ranked(vec![DimValue::sym("a"), DimValue::sym("b")])
+    );
+    assert_eq!(
+        rdp.shape(out),
+        &ShapeValue::Ranked(vec![DimValue::sym("a"), DimValue::sym("b")])
+    );
+}
+
+/// Backward transfer (paper Fig. 3(b) in spirit): a `Reshape` whose target
+/// arrives at runtime leaves its output `nac`, but the consuming `MatMul`'s
+/// weight pins the contracted dimension — backward propagation upgrades it.
+#[test]
+fn backward_refines_reshape_output() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![DimExpr::sym("n"), 64.into()]);
+    // The reshape target is a *runtime* input — statically unknowable.
+    let tgt = g.add_input("tgt", DType::I64, vec![2.into()]);
+    let a = g.add_simple("reshape", Op::Reshape, &[x, tgt], DType::F32);
+    let w = g.add_const(
+        "w",
+        &[64, 128],
+        sod2_ir::ConstData::F32(vec![0.0; 64 * 128]),
+    );
+    let y = g.add_simple("mm", Op::MatMul, &[a, w], DType::F32);
+    g.mark_output(y);
+
+    let (rdp, report) = analyze_with_report(&g);
+    // Forward alone: a = [nac, nac]; backward from MatMul pins K = 64.
+    let dims = rdp.shape(a).dims().expect("rank known from target length");
+    assert_eq!(dims.len(), 2);
+    assert_eq!(dims[1], DimValue::known(64));
+    assert!(dims[0].is_nac());
+    // Output: [nac, 128].
+    let ydims = rdp.shape(y).dims().expect("ranked");
+    assert_eq!(ydims[1], DimValue::known(128));
+    assert!(report.inconsistencies.is_empty());
+}
+
+/// Paper Fig. 1(d): `<Switch, Combine>` — agreeing branches keep the
+/// symbolic shape; disagreeing branches merge to nac.
+#[test]
+fn switch_combine_merge() {
+    let mut g = Graph::new();
+    let x = g.add_input(
+        "x",
+        DType::F32,
+        vec![DimExpr::sym("n"), DimExpr::from(16)],
+    );
+    let sel = g.add_input("sel", DType::I64, vec![1.into()]);
+    let branches = g.add_node("switch", Op::Switch { num_branches: 2 }, &[x, sel], DType::F32);
+    let b0 = g.add_simple("b0", Op::Unary(UnaryOp::Relu), &[branches[0]], DType::F32);
+    let b1 = g.add_simple("b1", Op::Identity, &[branches[1]], DType::F32);
+    let out = g.add_simple(
+        "combine",
+        Op::Combine { num_branches: 2 },
+        &[b0, b1, sel],
+        DType::F32,
+    );
+    g.mark_output(out);
+
+    let rdp = analyze(&g);
+    assert_eq!(
+        rdp.shape(out),
+        &ShapeValue::Ranked(vec![DimValue::sym("n"), DimValue::known(16)])
+    );
+
+    // Disagreeing variant: one branch halves the feature dim via matmul.
+    let mut g = Graph::new();
+    let x = g.add_input(
+        "x",
+        DType::F32,
+        vec![DimExpr::sym("n"), DimExpr::from(16)],
+    );
+    let sel = g.add_input("sel", DType::I64, vec![1.into()]);
+    let br = g.add_node("switch", Op::Switch { num_branches: 2 }, &[x, sel], DType::F32);
+    let w = g.add_const("w", &[16, 8], sod2_ir::ConstData::F32(vec![0.0; 128]));
+    let b0 = g.add_simple("b0", Op::MatMul, &[br[0], w], DType::F32);
+    let b1 = g.add_simple("b1", Op::Identity, &[br[1]], DType::F32);
+    let out = g.add_simple(
+        "combine",
+        Op::Combine { num_branches: 2 },
+        &[b0, b1, sel],
+        DType::F32,
+    );
+    g.mark_output(out);
+    let rdp = analyze(&g);
+    assert_eq!(
+        rdp.shape(out),
+        &ShapeValue::Ranked(vec![DimValue::sym("n"), DimValue::Nac])
+    );
+}
+
+/// The solver reaches a fixpoint in a small number of sweeps on a deep
+/// chain (chaotic iteration over a DFS order converges fast on DAGs).
+#[test]
+fn convergence_is_fast_on_deep_chains() {
+    let mut g = Graph::new();
+    let mut t = g.add_input("x", DType::F32, vec![DimExpr::sym("n"), 32.into()]);
+    for i in 0..200 {
+        t = g.add_simple(format!("relu{i}"), Op::Unary(UnaryOp::Relu), &[t], DType::F32);
+    }
+    g.mark_output(t);
+    let rdp = analyze(&g);
+    assert!(rdp.iterations <= 3, "took {} sweeps", rdp.iterations);
+    assert_eq!(rdp.shape_class(t), ShapeClass::Symbolic);
+}
+
+/// Fully known input shapes propagate to fully known everywhere (the static
+/// special case the paper's Fig. 12 relies on).
+#[test]
+fn static_graph_fully_resolves() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![1.into(), 8.into()]);
+    let w = g.add_const("w", &[8, 4], sod2_ir::ConstData::F32(vec![0.1; 32]));
+    let h = g.add_simple("mm", Op::MatMul, &[x, w], DType::F32);
+    let y = g.add_simple("sm", Op::Softmax { axis: -1 }, &[h], DType::F32);
+    g.mark_output(y);
+    let rdp = analyze(&g);
+    assert_eq!(rdp.shape(y), &ShapeValue::known(&[1, 4]));
+    assert!((rdp.resolution_rate() - 1.0).abs() < 1e-9);
+}
+
+/// Shape arithmetic through `Concat` of gathered dims and scalars — the
+/// typical transformer "reshape to [B, L, H, D]" pattern.
+#[test]
+fn transformer_reshape_pattern() {
+    let mut g = Graph::new();
+    let x = g.add_input(
+        "x",
+        DType::F32,
+        vec![DimExpr::sym("B"), DimExpr::sym("L"), 64.into()],
+    );
+    let s = g.add_simple("shape", Op::Shape, &[x], DType::I64);
+    let bl = g.add_simple(
+        "bl",
+        Op::Slice {
+            starts: vec![0],
+            ends: vec![2],
+        },
+        &[s],
+        DType::I64,
+    );
+    let heads = g.add_i64_const("heads", &[8, 8]);
+    let tgt = g.add_simple("tgt", Op::Concat { axis: 0 }, &[bl, heads], DType::I64);
+    let y = g.add_simple("reshape", Op::Reshape, &[x, tgt], DType::F32);
+    g.mark_output(y);
+
+    let rdp = analyze(&g);
+    assert_eq!(
+        rdp.shape(y),
+        &ShapeValue::Ranked(vec![
+            DimValue::sym("B"),
+            DimValue::sym("L"),
+            DimValue::known(8),
+            DimValue::known(8),
+        ])
+    );
+}

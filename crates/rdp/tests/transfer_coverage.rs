@@ -1,0 +1,247 @@
+//! Per-operator transfer-function coverage: every ISVDOS operator's shape
+//! rule exercised symbolically through the full solver, plus the paper's
+//! Fig. 3(b) backward-chain example.
+
+use sod2_ir::{ConstData, DType, Graph, Op, UnaryOp};
+use sod2_rdp::analyze;
+use sod2_sym::{DimExpr, DimValue, ShapeValue};
+
+fn sym(n: &str) -> DimExpr {
+    DimExpr::sym(n)
+}
+
+#[test]
+fn pad_adds_constants() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![sym("h"), sym("w")]);
+    let y = g.add_simple(
+        "pad",
+        Op::Pad {
+            pads: vec![1, 2, 3, 4], // before: (1,2), after: (3,4)
+            value: 0.0,
+        },
+        &[x],
+        DType::F32,
+    );
+    g.mark_output(y);
+    let rdp = analyze(&g);
+    assert_eq!(
+        rdp.shape(y),
+        &ShapeValue::from_exprs(vec![
+            sym("h") + DimExpr::from(4),
+            sym("w") + DimExpr::from(6)
+        ])
+    );
+}
+
+#[test]
+fn static_slice_with_sentinels() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![sym("n"), 10.into()]);
+    // [:, 2:8] — first axis untouched.
+    let y = g.add_simple(
+        "slice",
+        Op::Slice {
+            starts: vec![0, 2],
+            ends: vec![i64::MAX, 8],
+        },
+        &[x],
+        DType::F32,
+    );
+    g.mark_output(y);
+    let rdp = analyze(&g);
+    let dims = rdp.shape(y).dims().expect("ranked");
+    // Axis 0: max(0, n - 0) = n is the simplified form under dims >= 1...
+    // the transfer keeps `max(0, n)`; evaluate to check semantics.
+    let mut b = sod2_sym::Bindings::new();
+    b.insert("n".into(), 7);
+    assert_eq!(dims[0].eval(&b), Some(7));
+    assert_eq!(dims[1].as_const(), Some(6));
+}
+
+#[test]
+fn expand_broadcasts_symbolically() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![1.into(), sym("c")]);
+    let tgt = g.add_i64_const("tgt", &[4, 1]);
+    let y = g.add_simple("expand", Op::Expand, &[x, tgt], DType::F32);
+    g.mark_output(y);
+    let rdp = analyze(&g);
+    assert_eq!(
+        rdp.shape(y),
+        &ShapeValue::Ranked(vec![DimValue::known(4), DimValue::sym("c")])
+    );
+}
+
+#[test]
+fn tile_multiplies_dims() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![sym("n"), 3.into()]);
+    let reps = g.add_i64_const("reps", &[2, 5]);
+    let y = g.add_simple("tile", Op::Tile, &[x, reps], DType::F32);
+    g.mark_output(y);
+    let rdp = analyze(&g);
+    assert_eq!(
+        rdp.shape(y),
+        &ShapeValue::from_exprs(vec![DimExpr::from(2) * sym("n"), 15.into()])
+    );
+}
+
+#[test]
+fn onehot_appends_depth() {
+    let mut g = Graph::new();
+    let idx = g.add_input("idx", DType::I64, vec![sym("n")]);
+    let depth = g.add_i64_const("depth", &[12]);
+    let y = g.add_simple("onehot", Op::OneHot, &[idx, depth], DType::F32);
+    g.mark_output(y);
+    let rdp = analyze(&g);
+    assert_eq!(
+        rdp.shape(y),
+        &ShapeValue::Ranked(vec![DimValue::sym("n"), DimValue::known(12)])
+    );
+}
+
+#[test]
+fn topk_replaces_axis_with_k() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![sym("n"), sym("m")]);
+    let k = g.add_i64_const("k", &[5]);
+    let outs = g.add_node("topk", Op::TopK { axis: -1 }, &[x, k], DType::F32);
+    g.mark_output(outs[0]);
+    g.mark_output(outs[1]);
+    let rdp = analyze(&g);
+    for &t in &outs {
+        assert_eq!(
+            rdp.shape(t),
+            &ShapeValue::Ranked(vec![DimValue::sym("n"), DimValue::known(5)])
+        );
+    }
+}
+
+#[test]
+fn topk_with_runtime_k_is_nac_on_axis_only() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![sym("n"), sym("m")]);
+    let k = g.add_input("k", DType::I64, vec![1.into()]);
+    let outs = g.add_node("topk", Op::TopK { axis: 1 }, &[x, k], DType::F32);
+    g.mark_output(outs[0]);
+    g.mark_output(outs[1]);
+    let rdp = analyze(&g);
+    let dims = rdp.shape(outs[0]).dims().expect("rank survives");
+    assert_eq!(dims[0], DimValue::sym("n"));
+    assert!(dims[1].is_nac(), "runtime k must be nac");
+}
+
+#[test]
+fn resize_with_shape_chain_resolves() {
+    // Resize driven by another tensor's Shape — the YOLO neck pattern.
+    let mut g = Graph::new();
+    let small = g.add_input("small", DType::F32, vec![1.into(), 4.into(), sym("h"), sym("w")]);
+    let big = g.add_input(
+        "big",
+        DType::F32,
+        vec![1.into(), 4.into(), DimExpr::from(2) * sym("h"), DimExpr::from(2) * sym("w")],
+    );
+    let s = g.add_simple("shape", Op::Shape, &[big], DType::I64);
+    let hw = g.add_simple(
+        "hw",
+        Op::Slice {
+            starts: vec![2],
+            ends: vec![4],
+        },
+        &[s],
+        DType::I64,
+    );
+    let y = g.add_simple("resize", Op::Resize, &[small, hw], DType::F32);
+    g.mark_output(y);
+    let rdp = analyze(&g);
+    assert_eq!(
+        rdp.shape(y),
+        &ShapeValue::from_exprs(vec![
+            1.into(),
+            4.into(),
+            DimExpr::from(2) * sym("h"),
+            DimExpr::from(2) * sym("w"),
+        ])
+    );
+}
+
+#[test]
+fn range_from_shape_value() {
+    // Range(0, Size(x), 1): length = numel(x) symbolically.
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![sym("a"), sym("b")]);
+    let size = g.add_simple("size", Op::Size, &[x], DType::I64);
+    let start = g.add_i64_const("start", &[0]);
+    let step = g.add_i64_const("step", &[1]);
+    let sq_start = g.add_simple("s0", Op::Squeeze { axes: vec![] }, &[start], DType::I64);
+    let sq_size = g.add_simple("s1", Op::Squeeze { axes: vec![] }, &[size], DType::I64);
+    let sq_step = g.add_simple("s2", Op::Squeeze { axes: vec![] }, &[step], DType::I64);
+    let r = g.add_simple("range", Op::Range, &[sq_start, sq_size, sq_step], DType::I64);
+    g.mark_output(r);
+    let rdp = analyze(&g);
+    let dims = rdp.shape(r).dims().expect("ranked");
+    let mut b = sod2_sym::Bindings::new();
+    b.insert("a".into(), 3);
+    b.insert("b".into(), 4);
+    assert_eq!(dims[0].eval(&b), Some(12));
+}
+
+/// Fig. 3(b) in spirit: known output shapes flow backward through a chain
+/// of shape-preserving ISDOS operators into an unknown region.
+#[test]
+fn fig3b_backward_chain() {
+    let mut g = Graph::new();
+    // The chain's head has an unknowable shape (runtime reshape)…
+    let x = g.add_input("x", DType::F32, vec![DimExpr::from(4) * sym("a") * sym("b")]);
+    let tgt = g.add_input("tgt", DType::I64, vec![2.into()]);
+    let r = g.add_simple("reshape", Op::Reshape, &[x, tgt], DType::F32);
+    let u1 = g.add_simple("u1", Op::Unary(UnaryOp::Relu), &[r], DType::F32);
+    let u2 = g.add_simple("u2", Op::Unary(UnaryOp::Sigmoid), &[u1], DType::F32);
+    // …but the tail multiplies with a tensor of known symbolic shape, and
+    // MatMul pins the contracted dimension backward through u2, u1, r.
+    let w = g.add_const("w", &[64, 8], ConstData::F32(vec![0.0; 512]));
+    let y = g.add_simple("mm", Op::MatMul, &[u2, w], DType::F32);
+    g.mark_output(y);
+    let rdp = analyze(&g);
+    for t in [u2, u1, r] {
+        let dims = rdp.shape(t).dims().expect("rank known");
+        assert_eq!(
+            dims[1],
+            DimValue::known(64),
+            "backward transfer must pin the contracted dim of {t}"
+        );
+    }
+}
+
+#[test]
+fn reduce_prod_of_shape_equals_size() {
+    // ReduceProd(Shape(x)) is the "numel" idiom: its tracked value must be
+    // the symbolic product of dims, interchangeable with Size(x).
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![sym("a"), sym("b"), 4.into()]);
+    let s = g.add_simple("shape", Op::Shape, &[x], DType::I64);
+    let numel = g.add_simple(
+        "numel",
+        Op::Reduce {
+            op: sod2_ir::ReduceOp::Prod,
+            axes: vec![],
+            keep_dims: false,
+        },
+        &[s],
+        DType::I64,
+    );
+    let size = g.add_simple("size", Op::Size, &[x], DType::I64);
+    g.mark_output(numel);
+    g.mark_output(size);
+    let rdp = analyze(&g);
+    let want = sym("a") * sym("b") * DimExpr::from(4);
+    assert_eq!(
+        rdp.value(numel).elems().and_then(|e| e.first().cloned()),
+        Some(sod2_sym::DimValue::Expr(want.clone()))
+    );
+    assert_eq!(
+        rdp.value(size).elems().and_then(|e| e.first().cloned()),
+        Some(sod2_sym::DimValue::Expr(want))
+    );
+}

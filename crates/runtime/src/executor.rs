@@ -1,0 +1,702 @@
+//! The graph executor.
+//!
+//! Executes an extended computational graph on concrete input tensors,
+//! resolving `<Switch, Combine>` control flow (either natively — dead
+//! branches are skipped — or in the baselines' "execute all paths, strip
+//! invalid results" mode), accounting live intermediate memory, and
+//! emitting kernel [`TraceEvent`]s at fused-group granularity.
+
+use crate::trace::{ExecutionTrace, TraceEvent};
+use sod2_fusion::FusionPlan;
+use sod2_ir::{ConstData, Graph, Node, NodeId, Op, TensorId};
+use sod2_kernels::{execute_op_with_variants, fused::FusedStep, fused_elementwise, ConvParams, GemmParams, KernelError};
+use sod2_mvc::VersionTable;
+use sod2_tensor::{Data, Tensor};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Execution configuration.
+#[derive(Default)]
+pub struct ExecConfig<'a> {
+    /// Fusion plan: members of a group execute as one accounted kernel and
+    /// their internal tensors never count as materialized memory.
+    pub fusion: Option<&'a FusionPlan>,
+    /// Execution order from static execution planning (defaults to the
+    /// graph's topological order).
+    pub node_order: Option<&'a [NodeId]>,
+    /// Multi-version kernel table: `MatMul`/`Gemm`/`Conv` pick a tuned
+    /// variant by output shape.
+    pub version_table: Option<&'a VersionTable>,
+    /// Execute every `Switch` branch and strip invalid results at
+    /// `Combine` (the strategy of ORT/MNN/TVM-N per the paper §5).
+    pub execute_all_branches: bool,
+    /// Execute eligible fused groups through the single-pass fused
+    /// element-wise interpreter (`sod2_kernels::fused`): intermediates are
+    /// genuinely never materialized, not just unaccounted.
+    pub fused_interpreter: bool,
+}
+
+/// Execution errors.
+#[derive(Debug)]
+pub enum ExecError {
+    /// A kernel failed.
+    Kernel(KernelError),
+    /// Wrong number or dtype of graph inputs.
+    BadInputs(String),
+    /// Control flow was malformed at runtime (bad selector, dead output).
+    ControlFlow(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Kernel(e) => write!(f, "kernel error: {e}"),
+            ExecError::BadInputs(s) => write!(f, "bad inputs: {s}"),
+            ExecError::ControlFlow(s) => write!(f, "control flow: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<KernelError> for ExecError {
+    fn from(e: KernelError) -> Self {
+        ExecError::Kernel(e)
+    }
+}
+
+/// The result of one inference.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Output tensors, in `graph.outputs()` order.
+    pub outputs: Vec<Tensor>,
+    /// Kernel-only execution trace (engines add their overhead events).
+    pub trace: ExecutionTrace,
+    /// Peak bytes of simultaneously live materialized intermediates.
+    pub peak_live_bytes: usize,
+    /// Sizes (bytes) of every materialized intermediate tensor, in
+    /// allocation order — the allocation stream engines price.
+    pub alloc_sizes: Vec<usize>,
+    /// Concrete shape of every tensor that was produced.
+    pub concrete_shapes: HashMap<TensorId, Vec<usize>>,
+    /// How many `Switch` branches executed (live + dead-but-executed).
+    pub branches_executed: usize,
+}
+
+#[derive(Clone)]
+enum Slot {
+    Missing,
+    Live(Tensor),
+    Dead,
+}
+
+/// Converts an IR constant payload into a runtime tensor.
+pub(crate) fn const_tensor_pub(shape: &[i64], data: &ConstData) -> Tensor {
+    const_tensor(shape, data)
+}
+
+/// Converts an IR constant payload into a runtime tensor.
+fn const_tensor(shape: &[i64], data: &ConstData) -> Tensor {
+    let dims: Vec<usize> = shape.iter().map(|&d| d as usize).collect();
+    let payload = match data {
+        ConstData::F32(v) => Data::F32(v.clone()),
+        ConstData::I64(v) => Data::I64(v.clone()),
+        ConstData::Bool(v) => Data::Bool(v.clone()),
+        ConstData::U8(v) => Data::U8(v.clone()),
+    };
+    Tensor::new(&dims, payload).expect("validated const payload")
+}
+
+/// Executes a graph on concrete inputs.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on kernel failures, input mismatches, or malformed
+/// control flow.
+pub fn execute(
+    graph: &Graph,
+    inputs: &[Tensor],
+    cfg: &ExecConfig<'_>,
+) -> Result<RunOutcome, ExecError> {
+    if inputs.len() != graph.inputs().len() {
+        return Err(ExecError::BadInputs(format!(
+            "expected {} inputs, got {}",
+            graph.inputs().len(),
+            inputs.len()
+        )));
+    }
+    let mut env: Vec<Slot> = vec![Slot::Missing; graph.num_tensors()];
+    for t in graph.tensor_ids() {
+        let info = graph.tensor(t);
+        if let Some(data) = &info.const_data {
+            let shape = info
+                .shape
+                .as_known()
+                .ok_or_else(|| ExecError::BadInputs("constant with unknown shape".into()))?;
+            env[t.0 as usize] = Slot::Live(const_tensor(&shape, data));
+        }
+    }
+    for (&t, tensor) in graph.inputs().iter().zip(inputs) {
+        env[t.0 as usize] = Slot::Live(tensor.clone());
+    }
+
+    // Refcounts over materialized tensors for live-memory accounting.
+    let consumer_index = graph.consumer_index();
+    let default_order;
+    let order: &[NodeId] = match cfg.node_order {
+        Some(o) => o,
+        None => {
+            default_order = graph.topo_order();
+            &default_order
+        }
+    };
+    let internal: HashSet<TensorId> = cfg
+        .fusion
+        .map(|f| f.internal_tensors(graph))
+        .unwrap_or_default();
+    let (chain_member, chains) = match (cfg.fused_interpreter, cfg.fusion) {
+        (true, Some(f)) => build_chains(graph, f),
+        _ => (HashMap::new(), Vec::new()),
+    };
+    // Per-chain runtime state: computed final tensor or observed deadness.
+    let mut chain_results: Vec<Option<Option<Tensor>>> = vec![None; chains.len()];
+    let mut remaining_uses: HashMap<TensorId, usize> = HashMap::new();
+    for t in graph.tensor_ids() {
+        let mut uses = consumer_index.get(&t).map(Vec::len).unwrap_or(0);
+        if graph.outputs().contains(&t) {
+            uses += 1; // held to the end
+        }
+        remaining_uses.insert(t, uses);
+    }
+
+    // Group nodes by fusion unit, preserving the given order: a unit's
+    // kernel event is emitted when its last member completes.
+    let group_of = |n: NodeId| -> usize {
+        match cfg.fusion {
+            Some(f) => f.group_of(n),
+            None => n.0 as usize,
+        }
+    };
+    let mut group_members_left: HashMap<usize, usize> = HashMap::new();
+    for &n in order {
+        *group_members_left.entry(group_of(n)).or_insert(0) += 1;
+    }
+
+    let mut trace = ExecutionTrace::new();
+    let mut live_bytes = 0usize;
+    let mut peak = 0usize;
+    let mut alloc_sizes = Vec::new();
+    let mut concrete_shapes: HashMap<TensorId, Vec<usize>> = HashMap::new();
+    let mut branches_executed = 0usize;
+    // Accumulated per-group cost (flops only; bytes use external I/O).
+    let mut group_flops: HashMap<usize, f64> = HashMap::new();
+    let mut group_ops: HashMap<usize, usize> = HashMap::new();
+    let mut group_eff: HashMap<usize, Option<f64>> = HashMap::new();
+    let mut group_ext_read: HashMap<usize, f64> = HashMap::new();
+    let mut group_ext_write: HashMap<usize, f64> = HashMap::new();
+
+    for &nid in order {
+        let node = graph.node(nid);
+        let gid = group_of(nid);
+        // Fused-chain members bypass per-node execution entirely.
+        if let Some(&cidx) = chain_member.get(&nid) {
+            let chain = &chains[cidx];
+            if nid == chain.members[0] {
+                // Execute (or kill) the whole chain once, at its head.
+                let mut dead = matches!(env[chain.seed.0 as usize], Slot::Dead);
+                for st in &chain.steps {
+                    if let ChainStep::Binary { other, .. } = st {
+                        dead |= matches!(env[other.0 as usize], Slot::Dead);
+                    }
+                }
+                chain_results[cidx] = Some(if dead {
+                    None
+                } else {
+                    let seed = match &env[chain.seed.0 as usize] {
+                        Slot::Live(t) => t,
+                        _ => {
+                            return Err(ExecError::ControlFlow(format!(
+                                "fused chain seed {} unavailable",
+                                chain.seed
+                            )))
+                        }
+                    };
+                    let mut steps: Vec<FusedStep<'_>> = Vec::with_capacity(chain.steps.len());
+                    let mut ext_read = seed.byte_size() as f64;
+                    let mut flops_per_elem = 0.0f64;
+                    for st in &chain.steps {
+                        steps.push(match st {
+                            ChainStep::Unary(u) => {
+                                flops_per_elem += 4.0;
+                                FusedStep::Unary(*u)
+                            }
+                            ChainStep::Clip { min, max } => {
+                                flops_per_elem += 1.0;
+                                FusedStep::Clip { min: *min, max: *max }
+                            }
+                            ChainStep::Binary { op, other, chain_is_lhs } => {
+                                flops_per_elem += 1.0;
+                                let t = match &env[other.0 as usize] {
+                                    Slot::Live(t) => t,
+                                    _ => {
+                                        return Err(ExecError::ControlFlow(format!(
+                                            "fused chain operand {other} unavailable"
+                                        )))
+                                    }
+                                };
+                                ext_read += t.byte_size() as f64;
+                                FusedStep::Binary { op: *op, other: t, chain_is_lhs: *chain_is_lhs }
+                            }
+                        });
+                    }
+                    let out = fused_elementwise(seed, &steps)?;
+                    trace.push(TraceEvent::Kernel {
+                        name: format!("fused[{}]", chain.members.len()),
+                        cost: sod2_device::OpCost {
+                            flops: flops_per_elem * out.numel() as f64,
+                            bytes_read: ext_read,
+                            bytes_written: out.byte_size() as f64,
+                        },
+                        efficiency: None,
+                        working_set: live_bytes + out.byte_size(),
+                        fused_ops: chain.members.len(),
+                    });
+                    Some(out)
+                });
+            }
+            // Install only the final output; mid-members stay immaterial.
+            if nid == *chain.members.last().expect("nonempty chain") {
+                match chain_results[cidx].clone().expect("chain head ran first") {
+                    Some(tensor) => {
+                        let t = chain.final_output;
+                        concrete_shapes.insert(t, tensor.shape().to_vec());
+                        let b = tensor.byte_size();
+                        live_bytes += b;
+                        alloc_sizes.push(b);
+                        peak = peak.max(live_bytes);
+                        env[t.0 as usize] = Slot::Live(tensor);
+                    }
+                    None => {
+                        env[chain.final_output.0 as usize] = Slot::Dead;
+                    }
+                }
+            } else if chain_results[cidx].as_ref().map(Option::is_none).unwrap_or(false) {
+                // Dead chain: every member output is dead.
+                for &t in &node.outputs {
+                    env[t.0 as usize] = Slot::Dead;
+                }
+            }
+            // Release inputs and retire the group-member counter.
+            for &t in node.inputs.iter() {
+                let uses = remaining_uses.get_mut(&t).expect("tracked tensor");
+                *uses = uses.saturating_sub(1);
+                if *uses == 0 {
+                    let is_intermediate =
+                        graph.producer(t).is_some() && !internal.contains(&t);
+                    if is_intermediate {
+                        if let Slot::Live(ten) = &env[t.0 as usize] {
+                            live_bytes = live_bytes.saturating_sub(ten.byte_size());
+                        }
+                    }
+                    if !graph.outputs().contains(&t) {
+                        env[t.0 as usize] = match env[t.0 as usize] {
+                            Slot::Dead => Slot::Dead,
+                            _ => Slot::Missing,
+                        };
+                    }
+                }
+            }
+            let left = group_members_left.get_mut(&gid).expect("member counted");
+            *left -= 1;
+            continue;
+        }
+        // Collect inputs; propagate deadness (Combine handles its own).
+        let is_combine = matches!(node.op, Op::Combine { .. });
+        let mut dead = false;
+        if !is_combine {
+            for &t in &node.inputs {
+                if matches!(env[t.0 as usize], Slot::Dead) {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        // Per-output results: `None` marks a dead branch output.
+        let results: Vec<Option<Tensor>> = if dead {
+            vec![None; node.outputs.len()]
+        } else {
+            run_node(graph, node, &env, cfg, &mut branches_executed)?
+        };
+
+        // Account flops and efficiency before moving results into env.
+        let any_live = results.iter().any(Option::is_some);
+        {
+            let res: Vec<&Tensor> = results.iter().flatten().collect();
+            if any_live && !node.op.is_control_flow() {
+                let in_shapes: Vec<Vec<usize>> = node
+                    .inputs
+                    .iter()
+                    .map(|&t| match &env[t.0 as usize] {
+                        Slot::Live(ten) => ten.shape().to_vec(),
+                        _ => Vec::new(),
+                    })
+                    .collect();
+                let out_shapes: Vec<Vec<usize>> =
+                    res.iter().map(|t| t.shape().to_vec()).collect();
+                let cost = sod2_device::op_cost(&node.op, &in_shapes, &out_shapes, 4);
+                *group_flops.entry(gid).or_insert(0.0) += cost.flops;
+                *group_ops.entry(gid).or_insert(0) += 1;
+                // External reads: inputs produced outside the group.
+                for &t in &node.inputs {
+                    let external = match graph.producer(t) {
+                        Some(p) => group_of(p) != gid,
+                        None => true,
+                    };
+                    if external {
+                        if let Slot::Live(ten) = &env[t.0 as usize] {
+                            *group_ext_read.entry(gid).or_insert(0.0) +=
+                                ten.byte_size() as f64;
+                        }
+                    }
+                }
+                for (k, ten) in results.iter().enumerate() {
+                    if let Some(ten) = ten {
+                        if !internal.contains(&node.outputs[k]) {
+                            *group_ext_write.entry(gid).or_insert(0.0) +=
+                                ten.byte_size() as f64;
+                        }
+                    }
+                }
+                // Multi-version selection for hotspot ops.
+                if let Some(table) = cfg.version_table {
+                    if let Some((m, n)) = hotspot_mn(&node.op, &res) {
+                        let e = match node.op {
+                            Op::Conv2d { .. } => table.conv_efficiency_of(m, n),
+                            _ => table.efficiency(m, n),
+                        };
+                        let slot = group_eff.entry(gid).or_insert(None);
+                        *slot = Some(slot.map_or(e, |prev: f64| prev.min(e)));
+                    }
+                }
+            }
+        }
+
+        // Install results.
+        for (k, result) in results.into_iter().enumerate() {
+            let t = node.outputs[k];
+            match result {
+                Some(tensor) => {
+                    concrete_shapes.insert(t, tensor.shape().to_vec());
+                    let materialized = !internal.contains(&t);
+                    if materialized {
+                        let b = tensor.byte_size();
+                        live_bytes += b;
+                        alloc_sizes.push(b);
+                        peak = peak.max(live_bytes);
+                    }
+                    env[t.0 as usize] = Slot::Live(tensor);
+                }
+                None => {
+                    env[t.0 as usize] = Slot::Dead;
+                }
+            }
+        }
+
+        // Release inputs whose uses are exhausted.
+        for &t in node.inputs.iter() {
+            let uses = remaining_uses.get_mut(&t).expect("tracked tensor");
+            *uses = uses.saturating_sub(1);
+            if *uses == 0 {
+                let is_intermediate = graph.producer(t).is_some() && !internal.contains(&t);
+                if is_intermediate {
+                    if let Slot::Live(ten) = &env[t.0 as usize] {
+                        live_bytes = live_bytes.saturating_sub(ten.byte_size());
+                    }
+                }
+                if !graph.outputs().contains(&t) {
+                    env[t.0 as usize] = match env[t.0 as usize] {
+                        Slot::Dead => Slot::Dead,
+                        _ => Slot::Missing,
+                    };
+                }
+            }
+        }
+
+        // Emit the group kernel event when its last member retires.
+        let left = group_members_left.get_mut(&gid).expect("member counted");
+        *left -= 1;
+        if *left == 0 && group_ops.get(&gid).copied().unwrap_or(0) > 0 {
+            trace.push(TraceEvent::Kernel {
+                name: node.name.clone(),
+                cost: sod2_device::OpCost {
+                    flops: group_flops.get(&gid).copied().unwrap_or(0.0),
+                    bytes_read: group_ext_read.get(&gid).copied().unwrap_or(0.0),
+                    bytes_written: group_ext_write.get(&gid).copied().unwrap_or(0.0),
+                },
+                efficiency: group_eff.get(&gid).copied().flatten(),
+                working_set: live_bytes,
+                fused_ops: group_ops.get(&gid).copied().unwrap_or(1),
+            });
+        }
+    }
+
+    let mut outputs = Vec::with_capacity(graph.outputs().len());
+    for &t in graph.outputs() {
+        match &env[t.0 as usize] {
+            Slot::Live(ten) => outputs.push(ten.clone()),
+            _ => {
+                return Err(ExecError::ControlFlow(format!(
+                    "graph output {t} was never produced (dead branch?)"
+                )))
+            }
+        }
+    }
+    Ok(RunOutcome {
+        outputs,
+        trace,
+        peak_live_bytes: peak,
+        alloc_sizes,
+        concrete_shapes,
+        branches_executed,
+    })
+}
+
+/// One step of a pre-planned fused chain (operand held by tensor id).
+#[derive(Debug, Clone)]
+enum ChainStep {
+    Unary(sod2_ir::UnaryOp),
+    Clip { min: f32, max: f32 },
+    Binary { op: sod2_ir::BinaryOp, other: TensorId, chain_is_lhs: bool },
+}
+
+/// A fused-group execution plan: a linear element-wise chain.
+#[derive(Debug, Clone)]
+struct ChainPlan {
+    members: Vec<NodeId>,
+    seed: TensorId,
+    steps: Vec<ChainStep>,
+    final_output: TensorId,
+}
+
+/// Identifies fusion groups executable as single-pass element-wise chains:
+/// every member is a unary/clip/binary f32 operator, each member consumes
+/// the previous member's output, and all other operands come from outside
+/// the group.
+fn build_chains(
+    graph: &Graph,
+    fusion: &sod2_fusion::FusionPlan,
+) -> (HashMap<NodeId, usize>, Vec<ChainPlan>) {
+    let mut member_of: HashMap<NodeId, usize> = HashMap::new();
+    let mut plans: Vec<ChainPlan> = Vec::new();
+    'groups: for group in &fusion.groups {
+        if group.nodes.len() < 2 {
+            continue;
+        }
+        let mut steps: Vec<ChainStep> = Vec::new();
+        let mut seed: Option<TensorId> = None;
+        let mut prev_out: Option<TensorId> = None;
+        for (i, &nid) in group.nodes.iter().enumerate() {
+            let node = graph.node(nid);
+            if node.outputs.len() != 1
+                || graph.tensor(node.outputs[0]).dtype != sod2_ir::DType::F32
+            {
+                continue 'groups;
+            }
+            // Determine the chain input for members after the first.
+            let chain_in = prev_out;
+            let step = match &node.op {
+                Op::Unary(u) => {
+                    if i == 0 {
+                        seed = Some(node.inputs[0]);
+                    } else if Some(node.inputs[0]) != chain_in {
+                        continue 'groups;
+                    }
+                    ChainStep::Unary(*u)
+                }
+                Op::Clip { min, max } => {
+                    if i == 0 {
+                        seed = Some(node.inputs[0]);
+                    } else if Some(node.inputs[0]) != chain_in {
+                        continue 'groups;
+                    }
+                    ChainStep::Clip { min: *min, max: *max }
+                }
+                Op::Binary(b) => {
+                    let (other, lhs) = if i == 0 {
+                        seed = Some(node.inputs[0]);
+                        (node.inputs[1], true)
+                    } else if Some(node.inputs[0]) == chain_in {
+                        (node.inputs[1], true)
+                    } else if Some(node.inputs[1]) == chain_in {
+                        (node.inputs[0], false)
+                    } else {
+                        continue 'groups;
+                    };
+                    // Operand must come from outside the group and be f32.
+                    if graph.tensor(other).dtype != sod2_ir::DType::F32 {
+                        continue 'groups;
+                    }
+                    if let Some(p) = graph.producer(other) {
+                        if group.nodes.contains(&p) {
+                            continue 'groups;
+                        }
+                    }
+                    ChainStep::Binary { op: *b, other, chain_is_lhs: lhs }
+                }
+                _ => continue 'groups,
+            };
+            steps.push(step);
+            prev_out = Some(node.outputs[0]);
+        }
+        let Some(seed) = seed else { continue };
+        let Some(final_output) = prev_out else { continue };
+        if graph.tensor(seed).dtype != sod2_ir::DType::F32 {
+            continue;
+        }
+        let idx = plans.len();
+        for &nid in &group.nodes {
+            member_of.insert(nid, idx);
+        }
+        plans.push(ChainPlan {
+            members: group.nodes.clone(),
+            seed,
+            steps,
+            final_output,
+        });
+    }
+    (member_of, plans)
+}
+
+/// Output-matrix dimensions for multi-version hotspot kernels.
+fn hotspot_mn(op: &Op, outputs: &[&Tensor]) -> Option<(usize, usize)> {
+    match op {
+        Op::MatMul | Op::Gemm { .. } => {
+            let s = outputs.first()?.shape();
+            if s.len() >= 2 {
+                Some((s[s.len() - 2], s[s.len() - 1]))
+            } else {
+                None
+            }
+        }
+        Op::Conv2d { .. } => {
+            let s = outputs.first()?.shape();
+            if s.len() == 4 {
+                Some((s[1], s[2] * s[3]))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn run_node(
+    _graph: &Graph,
+    node: &Node,
+    env: &[Slot],
+    cfg: &ExecConfig<'_>,
+    branches_executed: &mut usize,
+) -> Result<Vec<Option<Tensor>>, ExecError> {
+    let live = |t: TensorId| -> Result<&Tensor, ExecError> {
+        match &env[t.0 as usize] {
+            Slot::Live(ten) => Ok(ten),
+            Slot::Dead => Err(ExecError::ControlFlow(format!("{t} is dead"))),
+            Slot::Missing => Err(ExecError::ControlFlow(format!("{t} was never produced"))),
+        }
+    };
+    match &node.op {
+        Op::Switch { num_branches } => {
+            let data = live(node.inputs[0])?.clone();
+            let sel = selector(live(node.inputs[1])?)?;
+            if sel as usize >= *num_branches {
+                return Err(ExecError::ControlFlow(format!(
+                    "selector {sel} out of range for {num_branches} branches"
+                )));
+            }
+            *branches_executed += if cfg.execute_all_branches {
+                *num_branches
+            } else {
+                1
+            };
+            // All branches live in execute-all mode; otherwise only the
+            // selected branch's output exists and the rest are dead.
+            let out = (0..*num_branches)
+                .map(|k| {
+                    if cfg.execute_all_branches || k as i64 == sel {
+                        Some(data.clone())
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            Ok(out)
+        }
+        Op::Combine { num_branches } => {
+            // A dead selector means the whole merge region sits inside an
+            // outer dead branch (nested gating): the merge result is dead.
+            if matches!(env[node.inputs[*num_branches].0 as usize], Slot::Dead) {
+                return Ok(vec![None]);
+            }
+            let sel = selector(live(node.inputs[*num_branches])?)?;
+            if sel as usize >= *num_branches {
+                return Err(ExecError::ControlFlow(format!(
+                    "selector {sel} out of range for {num_branches} branches"
+                )));
+            }
+            let chosen = node.inputs[sel as usize];
+            Ok(vec![Some(live(chosen)?.clone())])
+        }
+        op => {
+            let mut ins: Vec<&Tensor> = Vec::with_capacity(node.inputs.len());
+            for &t in &node.inputs {
+                ins.push(live(t)?);
+            }
+            let (gemm, conv) = select_variants(op, &ins, cfg.version_table);
+            let outs = execute_op_with_variants(op, &ins, gemm, conv)?;
+            Ok(outs.into_iter().map(Some).collect())
+        }
+    }
+}
+
+/// Chooses the tuned GEMM/CONV variants for a hotspot op from its *input*
+/// shapes (runtime version selection, paper §4.4.2).
+fn select_variants(
+    op: &Op,
+    ins: &[&Tensor],
+    table: Option<&VersionTable>,
+) -> (GemmParams, ConvParams) {
+    let defaults = (GemmParams::default(), ConvParams::default());
+    let Some(table) = table else {
+        return defaults;
+    };
+    match op {
+        Op::MatMul => {
+            let a = ins[0].shape();
+            let b = ins[1].shape();
+            if a.len() >= 2 && b.len() >= 2 {
+                return (table.select(a[a.len() - 2], b[b.len() - 1]), defaults.1);
+            }
+            defaults
+        }
+        Op::Conv2d { spatial, .. } => {
+            let x = ins[0].shape();
+            let w = ins[1].shape();
+            if x.len() == 4 && w.len() == 4 {
+                let co = w[0];
+                let oh = spatial.out_extent(0, x[2] as i64).max(1) as usize;
+                let ow = spatial.out_extent(1, x[3] as i64).max(1) as usize;
+                return (defaults.0, table.select_conv(co, oh * ow));
+            }
+            defaults
+        }
+        _ => defaults,
+    }
+}
+
+fn selector(t: &Tensor) -> Result<i64, ExecError> {
+    t.as_i64()
+        .map_err(|e| ExecError::ControlFlow(e.to_string()))?
+        .first()
+        .copied()
+        .ok_or_else(|| ExecError::ControlFlow("empty selector".into()))
+}

@@ -1,0 +1,39 @@
+//! # sod2-runtime — the execution engine substrate
+//!
+//! Executes extended computational graphs on concrete tensors:
+//!
+//! - [`execute`]: the interpreter, with native `<Switch, Combine>` control
+//!   flow (dead branches skipped) or the baselines' execute-all-branches
+//!   mode, fused-group kernel accounting, live-memory tracking, and
+//!   multi-version kernel selection,
+//! - [`ExecutionTrace`] / [`TraceEvent`] / [`LatencyBreakdown`]: priceable
+//!   event streams that the engines in `sod2-frameworks` extend with their
+//!   strategy-specific overhead events (re-initialization, shape functions,
+//!   per-tensor allocation).
+//!
+//! # Examples
+//!
+//! ```
+//! use sod2_ir::{Graph, Op, DType, UnaryOp};
+//! use sod2_tensor::Tensor;
+//! use sod2_runtime::{execute, ExecConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = Graph::new();
+//! let x = g.add_input("x", DType::F32, vec![sod2_sym::DimExpr::sym("N")]);
+//! let y = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+//! g.mark_output(y);
+//! let out = execute(&g, &[Tensor::from_f32(&[3], vec![-1.0, 0.0, 2.0])],
+//!                   &ExecConfig::default())?;
+//! assert_eq!(out.outputs[0].as_f32()?, &[0.0, 0.0, 2.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod executor;
+pub mod passes;
+mod trace;
+
+pub use executor::{execute, ExecConfig, ExecError, RunOutcome};
+pub use passes::{eliminate_dead_nodes, fold_constants, PassStats};
+pub use trace::{ExecutionTrace, LatencyBreakdown, TraceEvent};

@@ -1,0 +1,175 @@
+//! Symbolic NumPy-style broadcasting over lattice shapes.
+//!
+//! Broadcasting is the main source of fusion ambiguity in dynamic DNNs
+//! (paper §4.2, Fig. 4): for element-wise operators, each pair of aligned
+//! dimensions must be equal or one of them must be `1`. When dimensions are
+//! only symbolically known, RDP can still often prove equality (canonical
+//! [`DimExpr`] forms) or prove a dimension is the constant `1`.
+//!
+//! Because tensor dimensions are ≥ 1, a *legal* broadcast of `a` and `b`
+//! always produces `max(a, b)`; this is the symbolic result used when
+//! neither equality nor a constant-1 can be proven. The fusion pass
+//! separately counts such *ambiguous* dimensions to derive the number of
+//! code versions required.
+
+use crate::expr::DimExpr;
+use crate::lattice::{DimValue, ShapeValue};
+use std::fmt;
+
+/// Error raised when two shapes are provably not broadcast-compatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastError {
+    /// Left dimension that failed to unify.
+    pub left: DimValue,
+    /// Right dimension that failed to unify.
+    pub right: DimValue,
+    /// Aligned axis (from the right) where unification failed.
+    pub axis_from_right: usize,
+}
+
+impl fmt::Display for BroadcastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dimensions {} and {} are not broadcast-compatible (axis {} from the right)",
+            self.left, self.right, self.axis_from_right
+        )
+    }
+}
+
+impl std::error::Error for BroadcastError {}
+
+/// Broadcasts a single pair of aligned dimensions.
+///
+/// # Errors
+///
+/// Returns [`BroadcastError`] only when both dimensions are known constants,
+/// differ, and neither is `1` — i.e. when incompatibility is *provable*.
+pub fn broadcast_dims(a: &DimValue, b: &DimValue) -> Result<DimValue, BroadcastError> {
+    match (a, b) {
+        (DimValue::Undef, _) | (_, DimValue::Undef) => Ok(DimValue::Undef),
+        (DimValue::Nac, _) | (_, DimValue::Nac) => Ok(DimValue::Nac),
+        (DimValue::Expr(x), DimValue::Expr(y)) => {
+            if x == y {
+                return Ok(DimValue::Expr(x.clone()));
+            }
+            match (x.as_const(), y.as_const()) {
+                (Some(1), _) => Ok(DimValue::Expr(y.clone())),
+                (_, Some(1)) => Ok(DimValue::Expr(x.clone())),
+                (Some(cx), Some(cy)) if cx != cy => Err(BroadcastError {
+                    left: a.clone(),
+                    right: b.clone(),
+                    axis_from_right: 0,
+                }),
+                // At least one side is symbolic: legal broadcasts yield
+                // max(x, y) since every dimension is >= 1.
+                _ => Ok(DimValue::Expr(DimExpr::max(x.clone(), y.clone()))),
+            }
+        }
+    }
+}
+
+/// Broadcasts two lattice shapes, right-aligning ranks per NumPy rules.
+///
+/// Missing leading dimensions are treated as `1`. `⊥` and `⊤` propagate as
+/// in the shape lattice (`⊥` dominates, `⊤` yields `⊤`).
+///
+/// # Errors
+///
+/// Returns [`BroadcastError`] when some aligned dimension pair is provably
+/// incompatible.
+pub fn broadcast_shapes(
+    a: &ShapeValue,
+    b: &ShapeValue,
+) -> Result<ShapeValue, BroadcastError> {
+    let (da, db) = match (a, b) {
+        (ShapeValue::Nac, _) | (_, ShapeValue::Nac) => return Ok(ShapeValue::Nac),
+        (ShapeValue::Undef, _) | (_, ShapeValue::Undef) => {
+            return Ok(ShapeValue::Undef)
+        }
+        (ShapeValue::Ranked(da), ShapeValue::Ranked(db)) => (da, db),
+    };
+    let rank = da.len().max(db.len());
+    let one = DimValue::known(1);
+    let mut out = vec![DimValue::Undef; rank];
+    for i in 0..rank {
+        // i counts from the right.
+        let x = if i < da.len() { &da[da.len() - 1 - i] } else { &one };
+        let y = if i < db.len() { &db[db.len() - 1 - i] } else { &one };
+        let d = broadcast_dims(x, y).map_err(|mut e| {
+            e.axis_from_right = i;
+            e
+        })?;
+        out[rank - 1 - i] = d;
+    }
+    Ok(ShapeValue::Ranked(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: i64) -> DimValue {
+        DimValue::known(v)
+    }
+
+    fn s(n: &str) -> DimValue {
+        DimValue::sym(n)
+    }
+
+    #[test]
+    fn equal_dims_broadcast_to_self() {
+        assert_eq!(broadcast_dims(&s("n"), &s("n")), Ok(s("n")));
+        assert_eq!(broadcast_dims(&k(4), &k(4)), Ok(k(4)));
+    }
+
+    #[test]
+    fn one_broadcasts_away() {
+        assert_eq!(broadcast_dims(&k(1), &s("n")), Ok(s("n")));
+        assert_eq!(broadcast_dims(&s("n"), &k(1)), Ok(s("n")));
+        assert_eq!(broadcast_dims(&k(1), &k(7)), Ok(k(7)));
+    }
+
+    #[test]
+    fn provable_mismatch_errors() {
+        assert!(broadcast_dims(&k(2), &k(3)).is_err());
+    }
+
+    #[test]
+    fn ambiguous_symbolic_yields_max() {
+        let r = broadcast_dims(&s("n"), &k(4)).expect("legal");
+        assert_eq!(
+            r,
+            DimValue::Expr(DimExpr::max(DimExpr::sym("n"), DimExpr::from(4i64)))
+        );
+    }
+
+    #[test]
+    fn rank_extension() {
+        let a = ShapeValue::known(&[3, 4]);
+        let b = ShapeValue::known(&[2, 1, 4]);
+        assert_eq!(
+            broadcast_shapes(&a, &b),
+            Ok(ShapeValue::known(&[2, 3, 4]))
+        );
+    }
+
+    #[test]
+    fn nac_dominates_undef_propagates() {
+        let a = ShapeValue::Nac;
+        let b = ShapeValue::known(&[2]);
+        assert_eq!(broadcast_shapes(&a, &b), Ok(ShapeValue::Nac));
+        assert_eq!(
+            broadcast_shapes(&ShapeValue::Undef, &b),
+            Ok(ShapeValue::Undef)
+        );
+    }
+
+    #[test]
+    fn error_reports_axis() {
+        let a = ShapeValue::known(&[2, 5]);
+        let b = ShapeValue::known(&[3, 5]);
+        let err = broadcast_shapes(&a, &b).expect_err("provable mismatch");
+        assert_eq!(err.axis_from_right, 1);
+    }
+}

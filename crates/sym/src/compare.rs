@@ -1,0 +1,187 @@
+//! Conservative symbolic comparison of dimension expressions.
+//!
+//! SoD²'s execution planner compares tensor sizes that are "derived from
+//! the same set of symbolic constants" (paper §4.3) without knowing their
+//! values. This module provides the sound-but-incomplete order used there:
+//! [`DimExpr::is_provably_le`] answers *yes* only when `b − a` is provably
+//! non-negative for every binding with all symbols ≥ 1 (tensor dimensions
+//! are always at least 1).
+
+use crate::expr::DimExpr;
+
+impl DimExpr {
+    /// Is this expression provably ≥ 0 for every binding with all symbols
+    /// ≥ 1? Sound but incomplete: `false` means "unknown", not "negative".
+    pub fn is_provably_nonnegative(&self) -> bool {
+        self.lower_bound() >= 0
+    }
+
+    /// Is `self ≤ other` for every binding with all symbols ≥ 1?
+    /// Sound but incomplete.
+    pub fn is_provably_le(&self, other: &DimExpr) -> bool {
+        if self == other {
+            return true;
+        }
+        DimExpr::sub(other.clone(), self.clone()).is_provably_nonnegative()
+    }
+
+    /// A lower bound of the expression's value over all bindings with
+    /// symbols ≥ 1 (may be −∞ ≈ `i64::MIN` when nothing can be said).
+    ///
+    /// The bound is conservative: the true minimum is never below it.
+    fn lower_bound(&self) -> i64 {
+        match self {
+            DimExpr::Const(v) => *v,
+            DimExpr::Sym(_) => 1,
+            DimExpr::Add(terms) => {
+                let mut acc = 0i64;
+                for t in terms {
+                    let lb = t.lower_bound();
+                    if lb == i64::MIN {
+                        return i64::MIN;
+                    }
+                    acc = acc.saturating_add(lb);
+                }
+                acc
+            }
+            DimExpr::Mul(factors) => {
+                // Only handle the sign-stable cases: all factors provably
+                // >= 0, or a single negative constant times a >= 0 tail.
+                let mut neg_const: Option<i64> = None;
+                let mut min_prod = 1i64;
+                for f in factors {
+                    let lb = f.lower_bound();
+                    if lb < 0 {
+                        match (f.as_const(), neg_const) {
+                            (Some(c), None) => {
+                                neg_const = Some(c);
+                                continue;
+                            }
+                            _ => return i64::MIN,
+                        }
+                    }
+                    min_prod = min_prod.saturating_mul(lb);
+                }
+                match neg_const {
+                    // c * x with c < 0 and x >= min_prod: no finite lower
+                    // bound over unbounded symbols unless the tail is a
+                    // constant.
+                    Some(c) => {
+                        if factors.iter().skip(1).all(|f| f.is_const()) {
+                            c.saturating_mul(min_prod)
+                        } else {
+                            i64::MIN
+                        }
+                    }
+                    None => min_prod,
+                }
+            }
+            DimExpr::FloorDiv(a, b) => {
+                // For a >= 0 and b >= 1 the quotient is >= 0.
+                let (la, lb) = (a.lower_bound(), b.lower_bound());
+                if la >= 0 && lb >= 1 {
+                    0
+                } else {
+                    i64::MIN
+                }
+            }
+            DimExpr::CeilDiv(a, b) => {
+                let (la, lb) = (a.lower_bound(), b.lower_bound());
+                if la >= 0 && lb >= 1 {
+                    0
+                } else {
+                    i64::MIN
+                }
+            }
+            DimExpr::Mod(_, b) => {
+                // Euclidean remainder is >= 0 whenever the divisor can't
+                // be 0... it is non-negative by definition here.
+                if b.lower_bound() >= 1 {
+                    0
+                } else {
+                    i64::MIN
+                }
+            }
+            DimExpr::Min(ops) => {
+                ops.iter().map(DimExpr::lower_bound).min().unwrap_or(i64::MIN)
+            }
+            DimExpr::Max(ops) => {
+                ops.iter().map(DimExpr::lower_bound).max().unwrap_or(i64::MIN)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: &str) -> DimExpr {
+        DimExpr::sym(n)
+    }
+
+    fn c(v: i64) -> DimExpr {
+        DimExpr::Const(v)
+    }
+
+    #[test]
+    fn constants_ordered() {
+        assert!(c(3).is_provably_le(&c(5)));
+        assert!(!c(5).is_provably_le(&c(3)));
+    }
+
+    #[test]
+    fn symbol_at_least_one() {
+        // 1 <= n for any dimension symbol n.
+        assert!(c(1).is_provably_le(&s("n")));
+        // n <= 2n.
+        assert!(s("n").is_provably_le(&(c(2) * s("n"))));
+        // 2n <= n is NOT provable.
+        assert!(!(c(2) * s("n")).is_provably_le(&s("n")));
+    }
+
+    #[test]
+    fn sums_and_products() {
+        // n*m <= n*m + 4.
+        let nm = s("n") * s("m");
+        assert!(nm.is_provably_le(&(nm.clone() + c(4))));
+        // n*m <= 2*n*m (difference is n*m, provably >= 1).
+        assert!(nm.is_provably_le(&(c(2) * nm.clone())));
+        // n <= n*m holds mathematically (m >= 1) but needs factoring the
+        // difference as n*(m-1); the conservative bound stays silent —
+        // incompleteness, not unsoundness.
+        assert!(!s("n").is_provably_le(&nm));
+        // Unrelated symbols are incomparable.
+        assert!(!s("a").is_provably_le(&s("b")));
+        assert!(!s("b").is_provably_le(&s("a")));
+    }
+
+    #[test]
+    fn min_max_bounds() {
+        // min(n, 3) <= n + 3? lower bound of (n + 3 - min(n,3)) — min's
+        // contribution enters negatively, giving no finite bound; but
+        // min(n, m) <= max(n, m)+k style facts via direct bounds:
+        assert!(DimExpr::min(s("n"), c(3)).is_provably_nonnegative());
+        assert!(DimExpr::max(s("n"), c(-5)).is_provably_nonnegative());
+        assert!(!DimExpr::max(c(-5), c(-2) * s("q")).is_provably_nonnegative());
+    }
+
+    #[test]
+    fn incompleteness_is_safe() {
+        // n - m + m == n is canonicalized, so this IS provable:
+        let e = s("n") - s("m") + s("m");
+        assert!(e.is_provably_le(&s("n")));
+        // but n - m alone has no finite lower bound.
+        assert!(!(s("n") - s("m")).is_provably_nonnegative());
+    }
+
+    #[test]
+    fn conv_arithmetic_monotone() {
+        // (S-1)/2 + 1 <= S  (for S >= 1): difference = S - (S-1)/2 - 1;
+        // not provable with the simple bound — check the safe direction:
+        let half = DimExpr::floor_div(s("S") - c(1), c(2)) + c(1);
+        assert!(half.is_provably_nonnegative());
+        // And the quotient is <= itself plus anything non-negative.
+        assert!(half.is_provably_le(&(half.clone() + s("S"))));
+    }
+}

@@ -1,0 +1,769 @@
+//! Symbolic dimension expressions.
+//!
+//! A [`DimExpr`] is an integer-valued expression over named symbolic
+//! constants. Expressions are kept in a canonical (normalized) form by the
+//! smart constructors so that structural equality approximates semantic
+//! equality for the forms that occur during Rank and Dimension Propagation:
+//! sums and products are flattened, sorted, and constant-folded, and simple
+//! algebraic identities (`x * 1`, `x + 0`, `min(x, x)`, …) are rewritten.
+//!
+//! The paper's RDP lattice (Fig. 2) distinguishes *known constants*,
+//! *symbolic constants*, and *op-inferred constants* (operations over other
+//! constants). All three are represented here as a single expression type;
+//! [`DimExpr::kind`] recovers the paper's classification.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Classification of an expression in the RDP constant domain (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConstKind {
+    /// A fully known integer constant, e.g. `224`.
+    Known,
+    /// A bare symbolic constant, e.g. `H`.
+    Symbolic,
+    /// An operation over other constants, e.g. `2 * H + 1`.
+    OpInferred,
+}
+
+/// An integer-valued symbolic expression over named dimension symbols.
+///
+/// # Examples
+///
+/// ```
+/// use sod2_sym::DimExpr;
+///
+/// let h = DimExpr::sym("H");
+/// let e = h.clone() * DimExpr::from(2) + DimExpr::from(4);
+/// assert_eq!(e.to_string(), "2*H + 4");
+/// let mut bindings = std::collections::BTreeMap::new();
+/// bindings.insert("H".to_string(), 3);
+/// assert_eq!(e.eval(&bindings), Some(10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DimExpr {
+    /// A known integer constant.
+    Const(i64),
+    /// A named symbolic constant.
+    Sym(Arc<str>),
+    /// Flattened n-ary sum. Invariant: ≥ 2 terms, sorted, no nested `Add`,
+    /// at most one trailing `Const`, and no zero constant term.
+    Add(Vec<DimExpr>),
+    /// Flattened n-ary product. Invariant: ≥ 2 factors, sorted, no nested
+    /// `Mul`, at most one leading `Const`, and no unit constant factor.
+    Mul(Vec<DimExpr>),
+    /// Floor division.
+    FloorDiv(Box<DimExpr>, Box<DimExpr>),
+    /// Ceiling division (common for pooled/strided output sizes).
+    CeilDiv(Box<DimExpr>, Box<DimExpr>),
+    /// Remainder.
+    Mod(Box<DimExpr>, Box<DimExpr>),
+    /// n-ary minimum. Invariant: ≥ 2 distinct sorted operands.
+    Min(Vec<DimExpr>),
+    /// n-ary maximum. Invariant: ≥ 2 distinct sorted operands.
+    Max(Vec<DimExpr>),
+}
+
+/// Bindings from symbol names to concrete values used by [`DimExpr::eval`].
+pub type Bindings = BTreeMap<String, i64>;
+
+#[allow(clippy::should_implement_trait)] // `add`/`sub`/`mul` are the
+// canonicalizing smart constructors; the std operator traits are ALSO
+// implemented and delegate to them.
+impl DimExpr {
+    /// Creates a symbolic constant with the given name.
+    pub fn sym(name: impl AsRef<str>) -> Self {
+        DimExpr::Sym(Arc::from(name.as_ref()))
+    }
+
+    /// Creates a known integer constant.
+    pub fn constant(v: i64) -> Self {
+        DimExpr::Const(v)
+    }
+
+    /// Returns the constant value if this expression is fully known.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            DimExpr::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this expression is a known constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, DimExpr::Const(_))
+    }
+
+    /// Classifies this expression per the RDP constant domain (paper Fig. 2).
+    pub fn kind(&self) -> ConstKind {
+        match self {
+            DimExpr::Const(_) => ConstKind::Known,
+            DimExpr::Sym(_) => ConstKind::Symbolic,
+            _ => ConstKind::OpInferred,
+        }
+    }
+
+    /// Canonical sum of two expressions with constant folding.
+    pub fn add(a: DimExpr, b: DimExpr) -> DimExpr {
+        let mut terms = Vec::new();
+        collect_add(a, &mut terms);
+        collect_add(b, &mut terms);
+        normalize_add(terms)
+    }
+
+    /// Canonical difference (`a - b`), represented as `a + (-1)*b`.
+    pub fn sub(a: DimExpr, b: DimExpr) -> DimExpr {
+        DimExpr::add(a, DimExpr::mul(DimExpr::Const(-1), b))
+    }
+
+    /// Canonical product of two expressions with constant folding.
+    pub fn mul(a: DimExpr, b: DimExpr) -> DimExpr {
+        let mut factors = Vec::new();
+        collect_mul(a, &mut factors);
+        collect_mul(b, &mut factors);
+        normalize_mul(factors)
+    }
+
+    /// Floor division `a / b` (panics in debug if `b` is the constant 0).
+    pub fn floor_div(a: DimExpr, b: DimExpr) -> DimExpr {
+        debug_assert!(b.as_const() != Some(0), "division by constant zero");
+        match (&a, &b) {
+            (DimExpr::Const(x), DimExpr::Const(y)) if *y != 0 => {
+                DimExpr::Const(floor_div_i64(*x, *y))
+            }
+            _ if b.as_const() == Some(1) => a,
+            _ if a == b => DimExpr::Const(1),
+            _ if a.as_const() == Some(0) => DimExpr::Const(0),
+            _ => {
+                // (k*x) / k => x  when k is a positive constant factor.
+                if let (DimExpr::Mul(fs), Some(k)) = (&a, b.as_const()) {
+                    if k > 0 {
+                        if let Some(DimExpr::Const(c)) = fs.first() {
+                            if c % k == 0 {
+                                let rest: Vec<DimExpr> = fs[1..].to_vec();
+                                let folded = normalize_mul_with_const(c / k, rest);
+                                return folded;
+                            }
+                        }
+                    }
+                }
+                DimExpr::FloorDiv(Box::new(a), Box::new(b))
+            }
+        }
+    }
+
+    /// Ceiling division `ceil(a / b)`.
+    pub fn ceil_div(a: DimExpr, b: DimExpr) -> DimExpr {
+        debug_assert!(b.as_const() != Some(0), "division by constant zero");
+        match (&a, &b) {
+            (DimExpr::Const(x), DimExpr::Const(y)) if *y != 0 => {
+                // Euclidean-style ceiling for positive divisors.
+                DimExpr::Const(ceil_div_i64(*x, *y))
+            }
+            _ if b.as_const() == Some(1) => a,
+            _ if a == b => DimExpr::Const(1),
+            _ if a.as_const() == Some(0) => DimExpr::Const(0),
+            _ => DimExpr::CeilDiv(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Remainder `a mod b`.
+    pub fn modulo(a: DimExpr, b: DimExpr) -> DimExpr {
+        debug_assert!(b.as_const() != Some(0), "modulo by constant zero");
+        match (&a, &b) {
+            (DimExpr::Const(x), DimExpr::Const(y)) if *y != 0 => {
+                DimExpr::Const(x.rem_euclid(*y))
+            }
+            _ if b.as_const() == Some(1) => DimExpr::Const(0),
+            _ if a == b => DimExpr::Const(0),
+            _ => DimExpr::Mod(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Canonical minimum.
+    pub fn min(a: DimExpr, b: DimExpr) -> DimExpr {
+        let mut ops = BTreeSet::new();
+        collect_minmax(a, true, &mut ops);
+        collect_minmax(b, true, &mut ops);
+        normalize_minmax(ops, true)
+    }
+
+    /// Canonical maximum.
+    pub fn max(a: DimExpr, b: DimExpr) -> DimExpr {
+        let mut ops = BTreeSet::new();
+        collect_minmax(a, false, &mut ops);
+        collect_minmax(b, false, &mut ops);
+        normalize_minmax(ops, false)
+    }
+
+    /// Evaluates the expression under the given symbol bindings.
+    ///
+    /// Returns `None` if a symbol is unbound or a division/modulo by zero
+    /// occurs.
+    pub fn eval(&self, bindings: &Bindings) -> Option<i64> {
+        match self {
+            DimExpr::Const(v) => Some(*v),
+            DimExpr::Sym(s) => bindings.get(s.as_ref()).copied(),
+            DimExpr::Add(ts) => {
+                let mut acc = 0i64;
+                for t in ts {
+                    acc = acc.checked_add(t.eval(bindings)?)?;
+                }
+                Some(acc)
+            }
+            DimExpr::Mul(fs) => {
+                let mut acc = 1i64;
+                for f in fs {
+                    acc = acc.checked_mul(f.eval(bindings)?)?;
+                }
+                Some(acc)
+            }
+            DimExpr::FloorDiv(a, b) => {
+                let (x, y) = (a.eval(bindings)?, b.eval(bindings)?);
+                if y == 0 {
+                    None
+                } else {
+                    Some(floor_div_i64(x, y))
+                }
+            }
+            DimExpr::CeilDiv(a, b) => {
+                let (x, y) = (a.eval(bindings)?, b.eval(bindings)?);
+                if y == 0 {
+                    None
+                } else {
+                    Some(ceil_div_i64(x, y))
+                }
+            }
+            DimExpr::Mod(a, b) => {
+                let (x, y) = (a.eval(bindings)?, b.eval(bindings)?);
+                if y == 0 {
+                    None
+                } else {
+                    Some(x.rem_euclid(y))
+                }
+            }
+            DimExpr::Min(ops) => ops.iter().map(|o| o.eval(bindings)).try_fold(
+                i64::MAX,
+                |acc, v| v.map(|v| acc.min(v)),
+            ),
+            DimExpr::Max(ops) => ops.iter().map(|o| o.eval(bindings)).try_fold(
+                i64::MIN,
+                |acc, v| v.map(|v| acc.max(v)),
+            ),
+        }
+    }
+
+    /// Evaluates the expression, substituting `default` for any symbol
+    /// missing from `bindings` (useful for planning with representative
+    /// sizes when only some symbols are pinned).
+    pub fn eval_with_default(&self, bindings: &Bindings, default: i64) -> Option<i64> {
+        let mut full = bindings.clone();
+        for name in self.symbols() {
+            full.entry(name).or_insert(default);
+        }
+        self.eval(&full)
+    }
+
+    /// Collects the set of symbol names appearing in the expression.
+    pub fn symbols(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut BTreeSet<String>) {
+        match self {
+            DimExpr::Const(_) => {}
+            DimExpr::Sym(s) => {
+                out.insert(s.to_string());
+            }
+            DimExpr::Add(v) | DimExpr::Mul(v) | DimExpr::Min(v) | DimExpr::Max(v) => {
+                for e in v {
+                    e.collect_symbols(out);
+                }
+            }
+            DimExpr::FloorDiv(a, b) | DimExpr::CeilDiv(a, b) | DimExpr::Mod(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+        }
+    }
+
+    /// Substitutes symbols by expressions, re-normalizing the result.
+    pub fn substitute(&self, map: &BTreeMap<String, DimExpr>) -> DimExpr {
+        match self {
+            DimExpr::Const(v) => DimExpr::Const(*v),
+            DimExpr::Sym(s) => map
+                .get(s.as_ref())
+                .cloned()
+                .unwrap_or_else(|| self.clone()),
+            DimExpr::Add(ts) => ts
+                .iter()
+                .map(|t| t.substitute(map))
+                .reduce(DimExpr::add)
+                .expect("Add invariant: >= 2 terms"),
+            DimExpr::Mul(fs) => fs
+                .iter()
+                .map(|f| f.substitute(map))
+                .reduce(DimExpr::mul)
+                .expect("Mul invariant: >= 2 factors"),
+            DimExpr::FloorDiv(a, b) => {
+                DimExpr::floor_div(a.substitute(map), b.substitute(map))
+            }
+            DimExpr::CeilDiv(a, b) => {
+                DimExpr::ceil_div(a.substitute(map), b.substitute(map))
+            }
+            DimExpr::Mod(a, b) => DimExpr::modulo(a.substitute(map), b.substitute(map)),
+            DimExpr::Min(ops) => ops
+                .iter()
+                .map(|o| o.substitute(map))
+                .reduce(DimExpr::min)
+                .expect("Min invariant: >= 2 operands"),
+            DimExpr::Max(ops) => ops
+                .iter()
+                .map(|o| o.substitute(map))
+                .reduce(DimExpr::max)
+                .expect("Max invariant: >= 2 operands"),
+        }
+    }
+
+    /// Number of nodes in the expression tree (used to bound growth).
+    pub fn size(&self) -> usize {
+        match self {
+            DimExpr::Const(_) | DimExpr::Sym(_) => 1,
+            DimExpr::Add(v) | DimExpr::Mul(v) | DimExpr::Min(v) | DimExpr::Max(v) => {
+                1 + v.iter().map(DimExpr::size).sum::<usize>()
+            }
+            DimExpr::FloorDiv(a, b) | DimExpr::CeilDiv(a, b) | DimExpr::Mod(a, b) => {
+                1 + a.size() + b.size()
+            }
+        }
+    }
+}
+
+/// Mathematical floor division (rounds toward negative infinity).
+fn floor_div_i64(x: i64, y: i64) -> i64 {
+    let q = x / y;
+    if x % y != 0 && ((x < 0) != (y < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Mathematical ceiling division (rounds toward positive infinity).
+fn ceil_div_i64(x: i64, y: i64) -> i64 {
+    let q = x / y;
+    if x % y != 0 && ((x < 0) == (y < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+fn collect_add(e: DimExpr, out: &mut Vec<DimExpr>) {
+    match e {
+        DimExpr::Add(ts) => out.extend(ts),
+        other => out.push(other),
+    }
+}
+
+fn collect_mul(e: DimExpr, out: &mut Vec<DimExpr>) {
+    match e {
+        DimExpr::Mul(fs) => out.extend(fs),
+        other => out.push(other),
+    }
+}
+
+fn collect_minmax(e: DimExpr, is_min: bool, out: &mut BTreeSet<DimExpr>) {
+    match (e, is_min) {
+        (DimExpr::Min(ops), true) | (DimExpr::Max(ops), false) => {
+            for o in ops {
+                out.insert(o);
+            }
+        }
+        (other, _) => {
+            out.insert(other);
+        }
+    }
+}
+
+/// Normalizes a flattened term list into a canonical `Add`.
+///
+/// Groups structurally identical non-constant terms into coefficient-scaled
+/// terms (`x + x -> 2*x`) and folds constants.
+fn normalize_add(terms: Vec<DimExpr>) -> DimExpr {
+    let mut constant = 0i64;
+    // term (without leading constant coefficient) -> coefficient
+    let mut coeffs: BTreeMap<DimExpr, i64> = BTreeMap::new();
+    for t in terms {
+        match t {
+            DimExpr::Const(c) => constant = constant.saturating_add(c),
+            DimExpr::Mul(fs) => {
+                // Split off a leading constant coefficient if present.
+                if let Some(DimExpr::Const(c)) = fs.first() {
+                    let rest = fs[1..].to_vec();
+                    let key = if rest.len() == 1 {
+                        rest.into_iter().next().expect("len checked")
+                    } else {
+                        DimExpr::Mul(rest)
+                    };
+                    *coeffs.entry(key).or_insert(0) += c;
+                } else {
+                    *coeffs.entry(DimExpr::Mul(fs)).or_insert(0) += 1;
+                }
+            }
+            other => *coeffs.entry(other).or_insert(0) += 1,
+        }
+    }
+    let mut out: Vec<DimExpr> = Vec::new();
+    for (term, coeff) in coeffs {
+        match coeff {
+            0 => {}
+            1 => out.push(term),
+            c => out.push(normalize_mul_with_const(c, vec![term])),
+        }
+    }
+    out.sort();
+    if constant != 0 {
+        out.push(DimExpr::Const(constant));
+    }
+    match out.len() {
+        0 => DimExpr::Const(0),
+        1 => out.into_iter().next().expect("len checked"),
+        _ => DimExpr::Add(out),
+    }
+}
+
+/// Normalizes a flattened factor list into a canonical `Mul`.
+fn normalize_mul(factors: Vec<DimExpr>) -> DimExpr {
+    let mut constant = 1i64;
+    let mut rest: Vec<DimExpr> = Vec::new();
+    for f in factors {
+        match f {
+            DimExpr::Const(c) => constant = constant.saturating_mul(c),
+            other => rest.push(other),
+        }
+    }
+    normalize_mul_with_const(constant, rest)
+}
+
+/// Builds `constant * rest[0] * rest[1] * …` in canonical form.
+fn normalize_mul_with_const(constant: i64, mut rest: Vec<DimExpr>) -> DimExpr {
+    if constant == 0 {
+        return DimExpr::Const(0);
+    }
+    // Flatten any nested Mul that snuck in through the key-splitting path.
+    let mut flat = Vec::with_capacity(rest.len());
+    for r in rest.drain(..) {
+        collect_mul(r, &mut flat);
+    }
+    let mut constant = constant;
+    let mut rest: Vec<DimExpr> = Vec::new();
+    for f in flat {
+        match f {
+            DimExpr::Const(c) => constant = constant.saturating_mul(c),
+            other => rest.push(other),
+        }
+    }
+    if constant == 0 {
+        return DimExpr::Const(0);
+    }
+    rest.sort();
+    // Distribute a constant coefficient over the first sum factor so that
+    // `2*(H + 1)` and `2*H + 2` share one canonical form regardless of how
+    // the product was assembled (keeps normalization idempotent).
+    if constant != 1 {
+        if let Some(pos) = rest.iter().position(|f| matches!(f, DimExpr::Add(_))) {
+            let DimExpr::Add(terms) = rest.remove(pos) else {
+                unreachable!("position matched Add");
+            };
+            let distributed = normalize_add(
+                terms
+                    .into_iter()
+                    .map(|t| DimExpr::mul(DimExpr::Const(constant), t))
+                    .collect(),
+            );
+            rest.push(distributed);
+            // The new constant coefficient is 1, so this recursion is finite.
+            return normalize_mul(rest);
+        }
+    }
+    match (constant, rest.len()) {
+        (c, 0) => DimExpr::Const(c),
+        (1, 1) => rest.into_iter().next().expect("len checked"),
+        (1, _) => DimExpr::Mul(rest),
+        (c, _) => {
+            let mut v = Vec::with_capacity(rest.len() + 1);
+            v.push(DimExpr::Const(c));
+            v.extend(rest);
+            DimExpr::Mul(v)
+        }
+    }
+}
+
+fn normalize_minmax(ops: BTreeSet<DimExpr>, is_min: bool) -> DimExpr {
+    // Fold all constants into a single representative.
+    let mut constant: Option<i64> = None;
+    let mut rest: Vec<DimExpr> = Vec::new();
+    for o in ops {
+        match o {
+            DimExpr::Const(c) => {
+                constant = Some(match constant {
+                    None => c,
+                    Some(prev) => {
+                        if is_min {
+                            prev.min(c)
+                        } else {
+                            prev.max(c)
+                        }
+                    }
+                });
+            }
+            other => rest.push(other),
+        }
+    }
+    if let Some(c) = constant {
+        rest.push(DimExpr::Const(c));
+    }
+    rest.sort();
+    rest.dedup();
+    match rest.len() {
+        0 => unreachable!("min/max of zero operands"),
+        1 => rest.into_iter().next().expect("len checked"),
+        _ => {
+            if is_min {
+                DimExpr::Min(rest)
+            } else {
+                DimExpr::Max(rest)
+            }
+        }
+    }
+}
+
+impl From<i64> for DimExpr {
+    fn from(v: i64) -> Self {
+        DimExpr::Const(v)
+    }
+}
+
+impl From<i32> for DimExpr {
+    fn from(v: i32) -> Self {
+        DimExpr::Const(i64::from(v))
+    }
+}
+
+impl From<usize> for DimExpr {
+    fn from(v: usize) -> Self {
+        DimExpr::Const(v as i64)
+    }
+}
+
+impl From<&str> for DimExpr {
+    fn from(name: &str) -> Self {
+        DimExpr::sym(name)
+    }
+}
+
+impl std::ops::Add for DimExpr {
+    type Output = DimExpr;
+    fn add(self, rhs: DimExpr) -> DimExpr {
+        DimExpr::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for DimExpr {
+    type Output = DimExpr;
+    fn sub(self, rhs: DimExpr) -> DimExpr {
+        DimExpr::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for DimExpr {
+    type Output = DimExpr;
+    fn mul(self, rhs: DimExpr) -> DimExpr {
+        DimExpr::mul(self, rhs)
+    }
+}
+
+impl fmt::Display for DimExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn paren(e: &DimExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match e {
+                DimExpr::Add(_) => write!(f, "({e})"),
+                _ => write!(f, "{e}"),
+            }
+        }
+        match self {
+            DimExpr::Const(v) => write!(f, "{v}"),
+            DimExpr::Sym(s) => write!(f, "{s}"),
+            DimExpr::Add(ts) => {
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+            DimExpr::Mul(fs) => {
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "*")?;
+                    }
+                    paren(x, f)?;
+                }
+                Ok(())
+            }
+            DimExpr::FloorDiv(a, b) => {
+                paren(a, f)?;
+                write!(f, " / ")?;
+                paren(b, f)
+            }
+            DimExpr::CeilDiv(a, b) => {
+                write!(f, "ceil(")?;
+                write!(f, "{a} / {b})")
+            }
+            DimExpr::Mod(a, b) => {
+                paren(a, f)?;
+                write!(f, " % ")?;
+                paren(b, f)
+            }
+            DimExpr::Min(ops) => {
+                write!(f, "min(")?;
+                for (i, o) in ops.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                write!(f, ")")
+            }
+            DimExpr::Max(ops) => {
+                write!(f, "max(")?;
+                for (i, o) in ops.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: &str) -> DimExpr {
+        DimExpr::sym(n)
+    }
+
+    fn c(v: i64) -> DimExpr {
+        DimExpr::Const(v)
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(c(2) + c(3), c(5));
+        assert_eq!(c(2) * c(3), c(6));
+        assert_eq!(DimExpr::floor_div(c(7), c(2)), c(3));
+        assert_eq!(DimExpr::ceil_div(c(7), c(2)), c(4));
+        assert_eq!(DimExpr::modulo(c(7), c(2)), c(1));
+        assert_eq!(DimExpr::min(c(7), c(2)), c(2));
+        assert_eq!(DimExpr::max(c(7), c(2)), c(7));
+    }
+
+    #[test]
+    fn add_identities() {
+        assert_eq!(s("x") + c(0), s("x"));
+        assert_eq!(s("x") + s("x"), c(2) * s("x"));
+        assert_eq!(s("x") - s("x"), c(0));
+        assert_eq!((s("x") + c(3)) + (s("y") + c(4)), s("x") + s("y") + c(7));
+    }
+
+    #[test]
+    fn mul_identities() {
+        assert_eq!(s("x") * c(1), s("x"));
+        assert_eq!(s("x") * c(0), c(0));
+        assert_eq!(c(2) * (c(3) * s("x")), c(6) * s("x"));
+    }
+
+    #[test]
+    fn commutativity_canonical() {
+        assert_eq!(s("a") + s("b"), s("b") + s("a"));
+        assert_eq!(s("a") * s("b"), s("b") * s("a"));
+        assert_eq!(DimExpr::min(s("a"), s("b")), DimExpr::min(s("b"), s("a")));
+    }
+
+    #[test]
+    fn div_simplification() {
+        assert_eq!(DimExpr::floor_div(s("x"), c(1)), s("x"));
+        assert_eq!(DimExpr::floor_div(s("x"), s("x")), c(1));
+        assert_eq!(DimExpr::floor_div(c(4) * s("x"), c(2)), c(2) * s("x"));
+    }
+
+    #[test]
+    fn min_max_dedup() {
+        assert_eq!(DimExpr::min(s("x"), s("x")), s("x"));
+        assert_eq!(
+            DimExpr::min(DimExpr::min(s("a"), s("b")), s("c")),
+            DimExpr::min(s("a"), DimExpr::min(s("b"), s("c")))
+        );
+    }
+
+    #[test]
+    fn eval_with_bindings() {
+        let e = (s("H") + c(2)) * s("W");
+        let mut b = Bindings::new();
+        b.insert("H".into(), 3);
+        b.insert("W".into(), 4);
+        assert_eq!(e.eval(&b), Some(20));
+        b.remove("W");
+        assert_eq!(e.eval(&b), None);
+    }
+
+    #[test]
+    fn substitution() {
+        let e = s("H") * c(2);
+        let mut m = BTreeMap::new();
+        m.insert("H".to_string(), c(5));
+        assert_eq!(e.substitute(&m), c(10));
+        let mut m2 = BTreeMap::new();
+        m2.insert("H".to_string(), s("W") + c(1));
+        assert_eq!(e.substitute(&m2), c(2) * s("W") + c(2));
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(c(4).kind(), ConstKind::Known);
+        assert_eq!(s("N").kind(), ConstKind::Symbolic);
+        assert_eq!((s("N") + c(1)).kind(), ConstKind::OpInferred);
+    }
+
+    #[test]
+    fn display_round_trippable_forms() {
+        assert_eq!((c(2) * s("H") + c(4)).to_string(), "2*H + 4");
+        assert_eq!(DimExpr::min(s("a"), c(3)).to_string(), "min(3, a)");
+    }
+
+    #[test]
+    fn ceil_div_negative_operands() {
+        assert_eq!(DimExpr::ceil_div(c(-7), c(2)), c(-3));
+        assert_eq!(DimExpr::ceil_div(c(7), c(-2)), c(-3));
+    }
+
+    #[test]
+    fn symbols_collected() {
+        let e = (s("a") + s("b")) * DimExpr::min(s("c"), c(4));
+        let syms = e.symbols();
+        assert_eq!(
+            syms.into_iter().collect::<Vec<_>>(),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+    }
+}

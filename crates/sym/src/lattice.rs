@@ -1,0 +1,378 @@
+//! The RDP data-flow lattice (paper Fig. 2).
+//!
+//! Each analyzed property (a dimension, a shape, a tensor value element) is
+//! mapped to a lattice value: `undef` (⊤), one of the constant kinds (known,
+//! symbolic, op-inferred — all represented as a [`DimExpr`]), or `nac`
+//! (not-a-constant, ⊥). The meet operator `∧` follows the standard constant
+//! propagation rules with the product-lattice extension for shapes and
+//! element vectors.
+
+use crate::expr::{Bindings, ConstKind, DimExpr};
+use std::fmt;
+
+/// Lattice value for a single dimension (or scalar tensor element).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DimValue {
+    /// ⊤ — not yet analyzed.
+    Undef,
+    /// A constant: known, symbolic, or op-inferred (see [`DimExpr::kind`]).
+    Expr(DimExpr),
+    /// ⊥ — proven not to be a (symbolic) constant.
+    Nac,
+}
+
+impl DimValue {
+    /// Creates a known-constant value.
+    pub fn known(v: i64) -> Self {
+        DimValue::Expr(DimExpr::Const(v))
+    }
+
+    /// Creates a symbolic-constant value.
+    pub fn sym(name: impl AsRef<str>) -> Self {
+        DimValue::Expr(DimExpr::sym(name))
+    }
+
+    /// Returns the contained expression, if any.
+    pub fn as_expr(&self) -> Option<&DimExpr> {
+        match self {
+            DimValue::Expr(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Returns the known constant, if this value is one.
+    pub fn as_const(&self) -> Option<i64> {
+        self.as_expr().and_then(DimExpr::as_const)
+    }
+
+    /// Returns `true` for ⊤.
+    pub fn is_undef(&self) -> bool {
+        matches!(self, DimValue::Undef)
+    }
+
+    /// Returns `true` for ⊥.
+    pub fn is_nac(&self) -> bool {
+        matches!(self, DimValue::Nac)
+    }
+
+    /// RDP constant-kind of the contained expression, or `None` at ⊤/⊥.
+    pub fn kind(&self) -> Option<ConstKind> {
+        self.as_expr().map(DimExpr::kind)
+    }
+
+    /// The meet (greatest lower bound) of two lattice values.
+    ///
+    /// `undef ∧ x = x`; `nac ∧ x = nac`; two constants meet to themselves if
+    /// structurally equal (canonical forms make this a useful test) and to
+    /// `nac` otherwise.
+    pub fn meet(&self, other: &DimValue) -> DimValue {
+        match (self, other) {
+            (DimValue::Undef, x) | (x, DimValue::Undef) => x.clone(),
+            (DimValue::Nac, _) | (_, DimValue::Nac) => DimValue::Nac,
+            (DimValue::Expr(a), DimValue::Expr(b)) => {
+                if a == b {
+                    DimValue::Expr(a.clone())
+                } else {
+                    DimValue::Nac
+                }
+            }
+        }
+    }
+
+    /// Lattice ordering check: `self ⊒ other` (self is higher or equal).
+    ///
+    /// Used by the solver's debug monotonicity assertion: a transfer step may
+    /// only move values *down* the lattice.
+    pub fn is_at_least(&self, other: &DimValue) -> bool {
+        match (self, other) {
+            (DimValue::Undef, _) => true,
+            (_, DimValue::Nac) => true,
+            (DimValue::Expr(a), DimValue::Expr(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Evaluates the value under symbol bindings, if it is a constant.
+    pub fn eval(&self, bindings: &Bindings) -> Option<i64> {
+        self.as_expr().and_then(|e| e.eval(bindings))
+    }
+}
+
+impl From<DimExpr> for DimValue {
+    fn from(e: DimExpr) -> Self {
+        DimValue::Expr(e)
+    }
+}
+
+impl From<i64> for DimValue {
+    fn from(v: i64) -> Self {
+        DimValue::known(v)
+    }
+}
+
+impl fmt::Display for DimValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimValue::Undef => write!(f, "⊤"),
+            DimValue::Expr(e) => write!(f, "{e}"),
+            DimValue::Nac => write!(f, "⊥"),
+        }
+    }
+}
+
+/// Lattice value for a tensor *shape* (rank + dimensions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeValue {
+    /// ⊤ — rank and dimensions unknown and unanalyzed.
+    Undef,
+    /// Known rank; each dimension is its own [`DimValue`].
+    Ranked(Vec<DimValue>),
+    /// ⊥ — even the rank is execution-dependent.
+    Nac,
+}
+
+impl ShapeValue {
+    /// Creates a fully known shape.
+    pub fn known(dims: &[i64]) -> Self {
+        ShapeValue::Ranked(dims.iter().map(|&d| DimValue::known(d)).collect())
+    }
+
+    /// Creates a ranked shape from expressions.
+    pub fn from_exprs(dims: Vec<DimExpr>) -> Self {
+        ShapeValue::Ranked(dims.into_iter().map(DimValue::Expr).collect())
+    }
+
+    /// A ranked shape with every dimension ⊥ (rank known, dims unknown).
+    pub fn ranked_nac(rank: usize) -> Self {
+        ShapeValue::Ranked(vec![DimValue::Nac; rank])
+    }
+
+    /// Returns the dimensions if the rank is known.
+    pub fn dims(&self) -> Option<&[DimValue]> {
+        match self {
+            ShapeValue::Ranked(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Returns the rank if known.
+    pub fn rank(&self) -> Option<usize> {
+        self.dims().map(<[DimValue]>::len)
+    }
+
+    /// Returns concrete dimensions if every dim is a known constant.
+    pub fn as_known(&self) -> Option<Vec<i64>> {
+        self.dims()?
+            .iter()
+            .map(DimValue::as_const)
+            .collect::<Option<Vec<_>>>()
+    }
+
+    /// Returns `true` if every dimension is a known constant.
+    pub fn is_fully_known(&self) -> bool {
+        self.as_known().is_some()
+    }
+
+    /// Returns `true` if the shape is ranked and no dimension is ⊥ or ⊤
+    /// (i.e. each dim is a known/symbolic/op-inferred constant).
+    pub fn is_fully_symbolic(&self) -> bool {
+        self.dims()
+            .map(|d| d.iter().all(|v| v.as_expr().is_some()))
+            .unwrap_or(false)
+    }
+
+    /// Returns `true` for ⊤.
+    pub fn is_undef(&self) -> bool {
+        matches!(self, ShapeValue::Undef)
+    }
+
+    /// Returns `true` if this shape gives no usable static information:
+    /// either ⊥, ⊤, or a ranked shape where some dim is ⊥.
+    pub fn has_nac(&self) -> bool {
+        match self {
+            ShapeValue::Nac => true,
+            ShapeValue::Undef => false,
+            ShapeValue::Ranked(d) => d.iter().any(DimValue::is_nac),
+        }
+    }
+
+    /// The symbolic element count (product of dims), if all dims are
+    /// expressions.
+    pub fn num_elements(&self) -> Option<DimExpr> {
+        let dims = self.dims()?;
+        let mut acc = DimExpr::Const(1);
+        for d in dims {
+            acc = DimExpr::mul(acc, d.as_expr()?.clone());
+        }
+        Some(acc)
+    }
+
+    /// Evaluates the shape to concrete dimensions under symbol bindings.
+    pub fn eval(&self, bindings: &Bindings) -> Option<Vec<i64>> {
+        self.dims()?
+            .iter()
+            .map(|d| d.eval(bindings))
+            .collect::<Option<Vec<_>>>()
+    }
+
+    /// Product-lattice meet: mismatched ranks go to ⊥, otherwise dims meet
+    /// element-wise.
+    pub fn meet(&self, other: &ShapeValue) -> ShapeValue {
+        match (self, other) {
+            (ShapeValue::Undef, x) | (x, ShapeValue::Undef) => x.clone(),
+            (ShapeValue::Nac, _) | (_, ShapeValue::Nac) => ShapeValue::Nac,
+            (ShapeValue::Ranked(a), ShapeValue::Ranked(b)) => {
+                if a.len() != b.len() {
+                    ShapeValue::Nac
+                } else {
+                    ShapeValue::Ranked(
+                        a.iter().zip(b).map(|(x, y)| x.meet(y)).collect(),
+                    )
+                }
+            }
+        }
+    }
+
+    /// Lattice ordering check: `self ⊒ other`.
+    pub fn is_at_least(&self, other: &ShapeValue) -> bool {
+        match (self, other) {
+            (ShapeValue::Undef, _) => true,
+            (_, ShapeValue::Nac) => true,
+            (ShapeValue::Ranked(a), ShapeValue::Ranked(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| x.is_at_least(y))
+            }
+            _ => false,
+        }
+    }
+
+    /// Refines `self` with information from `other`, keeping the *more
+    /// precise* of the two per dimension. Unlike `meet`, a known constant in
+    /// either operand survives a ⊥ in the other — this implements the
+    /// "inference results should be the same" bidirectional agreement used
+    /// by forward/backward propagation rather than path merging.
+    pub fn refine(&self, other: &ShapeValue) -> ShapeValue {
+        match (self, other) {
+            (ShapeValue::Undef, x) | (x, ShapeValue::Undef) => x.clone(),
+            (ShapeValue::Nac, x) | (x, ShapeValue::Nac) => x.clone(),
+            (ShapeValue::Ranked(a), ShapeValue::Ranked(b)) => {
+                if a.len() != b.len() {
+                    // Disagreement on rank: keep self (solver flags this).
+                    self.clone()
+                } else {
+                    ShapeValue::Ranked(
+                        a.iter()
+                            .zip(b)
+                            .map(|(x, y)| match (x, y) {
+                                (DimValue::Undef, v) | (v, DimValue::Undef) => v.clone(),
+                                (DimValue::Nac, v) | (v, DimValue::Nac) => v.clone(),
+                                _ => x.meet(y),
+                            })
+                            .collect(),
+                    )
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ShapeValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeValue::Undef => write!(f, "⊤"),
+            ShapeValue::Nac => write!(f, "⊥"),
+            ShapeValue::Ranked(dims) => {
+                write!(f, "[")?;
+                for (i, d) in dims.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: i64) -> DimValue {
+        DimValue::known(v)
+    }
+
+    #[test]
+    fn dim_meet_rules() {
+        let a = DimValue::sym("a");
+        assert_eq!(DimValue::Undef.meet(&a), a);
+        assert_eq!(a.meet(&DimValue::Undef), a);
+        assert_eq!(a.meet(&DimValue::Nac), DimValue::Nac);
+        assert_eq!(a.meet(&a), a);
+        assert_eq!(a.meet(&k(3)), DimValue::Nac);
+        assert_eq!(k(3).meet(&k(3)), k(3));
+    }
+
+    #[test]
+    fn dim_ordering() {
+        let a = DimValue::sym("a");
+        assert!(DimValue::Undef.is_at_least(&a));
+        assert!(a.is_at_least(&DimValue::Nac));
+        assert!(a.is_at_least(&a));
+        assert!(!a.is_at_least(&k(3)));
+        assert!(!DimValue::Nac.is_at_least(&a));
+    }
+
+    #[test]
+    fn shape_meet_rank_mismatch() {
+        let s1 = ShapeValue::known(&[1, 2]);
+        let s2 = ShapeValue::known(&[1, 2, 3]);
+        assert_eq!(s1.meet(&s2), ShapeValue::Nac);
+    }
+
+    #[test]
+    fn shape_meet_elementwise() {
+        let s1 = ShapeValue::known(&[1, 2]);
+        let s2 = ShapeValue::Ranked(vec![k(1), DimValue::sym("b")]);
+        assert_eq!(
+            s1.meet(&s2),
+            ShapeValue::Ranked(vec![k(1), DimValue::Nac])
+        );
+    }
+
+    #[test]
+    fn shape_refine_keeps_precision() {
+        let nac_dims = ShapeValue::Ranked(vec![DimValue::Nac, k(4)]);
+        let sym_dims = ShapeValue::Ranked(vec![DimValue::sym("n"), DimValue::Undef]);
+        let refined = nac_dims.refine(&sym_dims);
+        assert_eq!(
+            refined,
+            ShapeValue::Ranked(vec![DimValue::sym("n"), k(4)])
+        );
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let s = ShapeValue::known(&[2, 3]);
+        assert!(s.is_fully_known());
+        assert_eq!(s.as_known(), Some(vec![2, 3]));
+        assert_eq!(s.rank(), Some(2));
+        assert_eq!(s.num_elements().and_then(|e| e.as_const()), Some(6));
+
+        let sym = ShapeValue::from_exprs(vec![DimExpr::sym("n"), DimExpr::Const(3)]);
+        assert!(!sym.is_fully_known());
+        assert!(sym.is_fully_symbolic());
+        let mut b = Bindings::new();
+        b.insert("n".into(), 5);
+        assert_eq!(sym.eval(&b), Some(vec![5, 3]));
+    }
+
+    #[test]
+    fn has_nac_detection() {
+        assert!(ShapeValue::Nac.has_nac());
+        assert!(!ShapeValue::Undef.has_nac());
+        assert!(ShapeValue::Ranked(vec![k(1), DimValue::Nac]).has_nac());
+        assert!(!ShapeValue::known(&[1]).has_nac());
+    }
+}

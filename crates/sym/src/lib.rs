@@ -1,0 +1,33 @@
+//! # sod2-sym — symbolic dimensions and the RDP lattice
+//!
+//! Foundation crate for the SoD² reproduction. It provides:
+//!
+//! - [`DimExpr`]: canonicalized integer expressions over named symbolic
+//!   dimensions (the paper's *known*, *symbolic*, and *op-inferred*
+//!   constants — Fig. 2),
+//! - [`DimValue`], [`ShapeValue`], [`SymValue`]: the data-flow lattice used
+//!   by Rank and Dimension Propagation, with `meet` and ordering operators,
+//! - broadcasting helpers shared by the analysis and the runtime.
+//!
+//! # Examples
+//!
+//! ```
+//! use sod2_sym::{DimExpr, ShapeValue};
+//!
+//! // The output height of a stride-2 conv on a symbolic input height H:
+//! let h = DimExpr::sym("H");
+//! let out = DimExpr::floor_div(h - DimExpr::from(3), DimExpr::from(2)) + DimExpr::from(1);
+//! let shape = ShapeValue::from_exprs(vec![DimExpr::from(1), out]);
+//! assert!(shape.is_fully_symbolic());
+//! ```
+
+mod broadcast;
+mod compare;
+mod expr;
+mod lattice;
+mod value;
+
+pub use broadcast::{broadcast_dims, broadcast_shapes, BroadcastError};
+pub use expr::{Bindings, ConstKind, DimExpr};
+pub use lattice::{DimValue, ShapeValue};
+pub use value::SymValue;

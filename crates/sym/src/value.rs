@@ -1,0 +1,162 @@
+//! Lattice values for tensor *contents* (the V-map of RDP).
+//!
+//! RDP tracks values, not just shapes, because for several operator classes
+//! the output **shape** depends on an input **value** (e.g. the target shape
+//! tensor of `Reshape`, the `k` of `TopK`). The tensors whose values matter
+//! are small integer tensors (shape vectors, axes, sizes), so the value map
+//! stores a flat vector of per-element [`DimValue`]s.
+
+use crate::expr::Bindings;
+use crate::lattice::DimValue;
+use std::fmt;
+
+/// Lattice value for a tensor's contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymValue {
+    /// ⊤ — not yet analyzed.
+    Undef,
+    /// Known element count with per-element lattice values (row-major).
+    Elems(Vec<DimValue>),
+    /// ⊥ — contents are execution-dependent / not tracked.
+    Nac,
+}
+
+impl SymValue {
+    /// Creates a value from known integers.
+    pub fn known(vals: &[i64]) -> Self {
+        SymValue::Elems(vals.iter().map(|&v| DimValue::known(v)).collect())
+    }
+
+    /// Creates a scalar known value.
+    pub fn scalar(v: i64) -> Self {
+        SymValue::known(&[v])
+    }
+
+    /// Returns the elements if tracked.
+    pub fn elems(&self) -> Option<&[DimValue]> {
+        match self {
+            SymValue::Elems(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Returns fully known integer contents, if every element is known.
+    pub fn as_known(&self) -> Option<Vec<i64>> {
+        self.elems()?
+            .iter()
+            .map(DimValue::as_const)
+            .collect::<Option<Vec<_>>>()
+    }
+
+    /// Returns `true` for ⊤.
+    pub fn is_undef(&self) -> bool {
+        matches!(self, SymValue::Undef)
+    }
+
+    /// Returns `true` for ⊥.
+    pub fn is_nac(&self) -> bool {
+        matches!(self, SymValue::Nac)
+    }
+
+    /// Returns `true` if every element is a (possibly symbolic) constant.
+    pub fn is_fully_symbolic(&self) -> bool {
+        self.elems()
+            .map(|e| e.iter().all(|v| v.as_expr().is_some()))
+            .unwrap_or(false)
+    }
+
+    /// Evaluates the contents to concrete integers under bindings.
+    pub fn eval(&self, bindings: &Bindings) -> Option<Vec<i64>> {
+        self.elems()?
+            .iter()
+            .map(|d| d.eval(bindings))
+            .collect::<Option<Vec<_>>>()
+    }
+
+    /// Product-lattice meet; element-count mismatch goes to ⊥.
+    pub fn meet(&self, other: &SymValue) -> SymValue {
+        match (self, other) {
+            (SymValue::Undef, x) | (x, SymValue::Undef) => x.clone(),
+            (SymValue::Nac, _) | (_, SymValue::Nac) => SymValue::Nac,
+            (SymValue::Elems(a), SymValue::Elems(b)) => {
+                if a.len() != b.len() {
+                    SymValue::Nac
+                } else {
+                    SymValue::Elems(a.iter().zip(b).map(|(x, y)| x.meet(y)).collect())
+                }
+            }
+        }
+    }
+
+    /// Lattice ordering check: `self ⊒ other`.
+    pub fn is_at_least(&self, other: &SymValue) -> bool {
+        match (self, other) {
+            (SymValue::Undef, _) => true,
+            (_, SymValue::Nac) => true,
+            (SymValue::Elems(a), SymValue::Elems(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.is_at_least(y))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for SymValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymValue::Undef => write!(f, "⊤"),
+            SymValue::Nac => write!(f, "⊥"),
+            SymValue::Elems(e) => {
+                write!(f, "{{")?;
+                for (i, v) in e.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::DimExpr;
+
+    #[test]
+    fn known_roundtrip() {
+        let v = SymValue::known(&[1, 2, 3]);
+        assert_eq!(v.as_known(), Some(vec![1, 2, 3]));
+        assert!(v.is_fully_symbolic());
+    }
+
+    #[test]
+    fn meet_len_mismatch_is_nac() {
+        let a = SymValue::known(&[1]);
+        let b = SymValue::known(&[1, 2]);
+        assert_eq!(a.meet(&b), SymValue::Nac);
+    }
+
+    #[test]
+    fn meet_elementwise() {
+        let a = SymValue::Elems(vec![DimValue::known(1), DimValue::sym("n")]);
+        let b = SymValue::Elems(vec![DimValue::known(1), DimValue::known(4)]);
+        assert_eq!(
+            a.meet(&b),
+            SymValue::Elems(vec![DimValue::known(1), DimValue::Nac])
+        );
+    }
+
+    #[test]
+    fn eval_symbolic_contents() {
+        let v = SymValue::Elems(vec![
+            DimValue::Expr(DimExpr::sym("n") * DimExpr::from(2i64)),
+            DimValue::known(7),
+        ]);
+        let mut b = Bindings::new();
+        b.insert("n".into(), 3);
+        assert_eq!(v.eval(&b), Some(vec![6, 7]));
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the symbolic expression engine and lattice.
+
+use proptest::prelude::*;
+use sod2_sym::{broadcast_dims, Bindings, DimExpr, DimValue, ShapeValue, SymValue};
+
+/// An unsimplified "spec" expression evaluated naively, used as the oracle
+/// against the canonicalizing smart constructors.
+#[derive(Debug, Clone)]
+enum Spec {
+    Const(i64),
+    Sym(usize),
+    Add(Box<Spec>, Box<Spec>),
+    Sub(Box<Spec>, Box<Spec>),
+    Mul(Box<Spec>, Box<Spec>),
+    FloorDiv(Box<Spec>, Box<Spec>),
+    CeilDiv(Box<Spec>, Box<Spec>),
+    Min(Box<Spec>, Box<Spec>),
+    Max(Box<Spec>, Box<Spec>),
+}
+
+const SYM_NAMES: [&str; 4] = ["a", "b", "c", "d"];
+
+impl Spec {
+    fn build(&self) -> DimExpr {
+        match self {
+            Spec::Const(v) => DimExpr::Const(*v),
+            Spec::Sym(i) => DimExpr::sym(SYM_NAMES[*i]),
+            Spec::Add(x, y) => DimExpr::add(x.build(), y.build()),
+            Spec::Sub(x, y) => DimExpr::sub(x.build(), y.build()),
+            Spec::Mul(x, y) => DimExpr::mul(x.build(), y.build()),
+            Spec::FloorDiv(x, y) => DimExpr::floor_div(x.build(), y.build()),
+            Spec::CeilDiv(x, y) => DimExpr::ceil_div(x.build(), y.build()),
+            Spec::Min(x, y) => DimExpr::min(x.build(), y.build()),
+            Spec::Max(x, y) => DimExpr::max(x.build(), y.build()),
+        }
+    }
+
+    fn eval(&self, env: &[i64; 4]) -> Option<i64> {
+        Some(match self {
+            Spec::Const(v) => *v,
+            Spec::Sym(i) => env[*i],
+            Spec::Add(x, y) => x.eval(env)?.checked_add(y.eval(env)?)?,
+            Spec::Sub(x, y) => x.eval(env)?.checked_sub(y.eval(env)?)?,
+            Spec::Mul(x, y) => x.eval(env)?.checked_mul(y.eval(env)?)?,
+            Spec::FloorDiv(x, y) => {
+                let (a, b) = (x.eval(env)?, y.eval(env)?);
+                if b == 0 {
+                    return None;
+                }
+                (a as f64 / b as f64).floor() as i64
+            }
+            Spec::CeilDiv(x, y) => {
+                let (a, b) = (x.eval(env)?, y.eval(env)?);
+                if b == 0 {
+                    return None;
+                }
+                (a as f64 / b as f64).ceil() as i64
+            }
+            Spec::Min(x, y) => x.eval(env)?.min(y.eval(env)?),
+            Spec::Max(x, y) => x.eval(env)?.max(y.eval(env)?),
+        })
+    }
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    let leaf = prop_oneof![
+        (-20i64..=20).prop_map(Spec::Const),
+        (0usize..4).prop_map(Spec::Sym),
+    ];
+    leaf.prop_recursive(4, 48, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Spec::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Spec::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Spec::Mul(Box::new(a), Box::new(b))),
+            // Divisors are positive constants: the smart constructors
+            // assert against a provably zero divisor, and dynamic-DNN
+            // dimension arithmetic only ever divides by strides/factors.
+            (inner.clone(), 1i64..=9).prop_map(|(a, d)| {
+                Spec::FloorDiv(Box::new(a), Box::new(Spec::Const(d)))
+            }),
+            (inner.clone(), 1i64..=9).prop_map(|(a, d)| {
+                Spec::CeilDiv(Box::new(a), Box::new(Spec::Const(d)))
+            }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Spec::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Spec::Max(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn dimvalue_strategy() -> impl Strategy<Value = DimValue> {
+    prop_oneof![
+        Just(DimValue::Undef),
+        Just(DimValue::Nac),
+        (1i64..=16).prop_map(DimValue::known),
+        (0usize..4).prop_map(|i| DimValue::sym(SYM_NAMES[i])),
+    ]
+}
+
+fn env_bindings(env: &[i64; 4]) -> Bindings {
+    let mut b = Bindings::new();
+    for (i, name) in SYM_NAMES.iter().enumerate() {
+        b.insert((*name).to_string(), env[i]);
+    }
+    b
+}
+
+proptest! {
+    /// The canonicalizing constructors never change an expression's value.
+    #[test]
+    fn simplifier_is_sound(spec in spec_strategy(),
+                           env in [1i64..=9, 1i64..=9, 1i64..=9, 1i64..=9]) {
+        // Restrict to positive symbol bindings (tensor dimensions are >= 1);
+        // specs with constant subexpressions may still go negative, which the
+        // smart constructors must also preserve.
+        let oracle = spec.eval(&env);
+        let expr = spec.build();
+        let got = expr.eval(&env_bindings(&env));
+        // Division-by-zero is `None` in both; overflow saturates in the
+        // canonical form, so only compare when the oracle stayed in range.
+        if let Some(v) = oracle {
+            if v.abs() < (1 << 40) {
+                prop_assert_eq!(got, Some(v), "expr = {}", expr);
+            }
+        }
+    }
+
+    /// Canonical forms are stable: rebuilding from the canonical tree is a
+    /// no-op (idempotence of normalization).
+    #[test]
+    fn canonicalization_idempotent(spec in spec_strategy()) {
+        let e = spec.build();
+        let rebuilt = e.substitute(&Default::default());
+        prop_assert_eq!(&rebuilt, &e, "rebuild of {} changed", e);
+    }
+
+    /// Meet is commutative, associative, and idempotent on `DimValue`.
+    #[test]
+    fn meet_laws(a in dimvalue_strategy(), b in dimvalue_strategy(), c in dimvalue_strategy()) {
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+        prop_assert_eq!(a.meet(&a), a.clone());
+    }
+
+    /// meet(a, b) is a lower bound of both operands.
+    #[test]
+    fn meet_is_lower_bound(a in dimvalue_strategy(), b in dimvalue_strategy()) {
+        let m = a.meet(&b);
+        prop_assert!(a.is_at_least(&m));
+        prop_assert!(b.is_at_least(&m));
+    }
+
+    /// Symbolic broadcast agrees with concrete NumPy broadcast semantics.
+    #[test]
+    fn broadcast_matches_concrete(x in 1i64..=8, y in 1i64..=8) {
+        let a = DimValue::known(x);
+        let b = DimValue::known(y);
+        let r = broadcast_dims(&a, &b);
+        if x == y || x == 1 || y == 1 {
+            let expect = DimValue::known(x.max(y));
+            prop_assert_eq!(r, Ok(expect));
+        } else {
+            prop_assert!(r.is_err());
+        }
+    }
+
+    /// Shape meet laws lift from dim meet laws.
+    #[test]
+    fn shape_meet_laws(d1 in proptest::collection::vec(dimvalue_strategy(), 0..4),
+                       d2 in proptest::collection::vec(dimvalue_strategy(), 0..4)) {
+        let s1 = ShapeValue::Ranked(d1);
+        let s2 = ShapeValue::Ranked(d2);
+        prop_assert_eq!(s1.meet(&s2), s2.meet(&s1));
+        prop_assert_eq!(s1.meet(&s1), s1.clone());
+        prop_assert!(s1.is_at_least(&s1.meet(&s2)));
+    }
+
+    /// SymValue meet laws.
+    #[test]
+    fn value_meet_laws(e1 in proptest::collection::vec(dimvalue_strategy(), 0..4),
+                       e2 in proptest::collection::vec(dimvalue_strategy(), 0..4)) {
+        let v1 = SymValue::Elems(e1);
+        let v2 = SymValue::Elems(e2);
+        prop_assert_eq!(v1.meet(&v2), v2.meet(&v1));
+        prop_assert_eq!(v1.meet(&v1), v1.clone());
+        prop_assert!(v1.is_at_least(&v1.meet(&v2)));
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests for index arithmetic: the broadcast indexer must agree
+//! with naive multi-dimensional coordinate math on random shapes.
+
+use proptest::prelude::*;
+use sod2_tensor::{broadcast_output_shape, BroadcastIndexer, Indexer};
+
+/// A random source shape plus a broadcast-compatible output shape: each
+/// source dim is either kept or set to 1, and extra leading dims may be
+/// prepended.
+fn compatible_shapes() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    proptest::collection::vec((1usize..5, any::<bool>()), 1..4).prop_flat_map(|spec| {
+        let out_tail: Vec<usize> = spec.iter().map(|&(d, _)| d).collect();
+        let src: Vec<usize> = spec
+            .iter()
+            .map(|&(d, squash)| if squash { 1 } else { d })
+            .collect();
+        proptest::collection::vec(1usize..4, 0..3).prop_map(move |lead| {
+            let mut out = lead;
+            out.extend(&out_tail);
+            (src.clone(), out)
+        })
+    })
+}
+
+proptest! {
+    /// `BroadcastIndexer` returns exactly the offset computed by projecting
+    /// output coordinates onto the source shape.
+    #[test]
+    fn broadcast_indexer_matches_naive((src, out) in compatible_shapes()) {
+        prop_assume!(broadcast_output_shape(&src, &out) == Some(out.clone()));
+        let bi = BroadcastIndexer::new(&out, &src);
+        let out_ix = Indexer::new(&out);
+        let src_ix = Indexer::new(&src);
+        let n: usize = out.iter().product();
+        for off in 0..n {
+            let coords = out_ix.coords(off);
+            // Project: drop leading dims, clamp broadcast (size-1) dims.
+            let proj: Vec<usize> = coords[out.len() - src.len()..]
+                .iter()
+                .zip(&src)
+                .map(|(&c, &d)| if d == 1 { 0 } else { c })
+                .collect();
+            prop_assert_eq!(bi.src_offset(off), src_ix.offset(&proj));
+        }
+    }
+
+    /// Round trip: `coords(offset(c)) == c` for every coordinate.
+    #[test]
+    fn indexer_roundtrips(shape in proptest::collection::vec(1usize..5, 1..4)) {
+        let ix = Indexer::new(&shape);
+        let n: usize = shape.iter().product();
+        for off in 0..n {
+            let c = ix.coords(off);
+            prop_assert_eq!(ix.offset(&c), off);
+            for (ci, di) in c.iter().zip(&shape) {
+                prop_assert!(ci < di);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+#!/bin/bash
+# Full-scale reproduction run: all tables and figures, results into results/.
+set -u
+cd /root/repo
+BIN=./target/release
+run() { echo "=== $1 ($(date +%H:%M:%S)) ==="; $BIN/$1 "${@:2}" > results/$1.txt 2>&1; }
+run table2
+run table1
+run memplan_ablation
+run fig7
+run fig8
+run fig5 --samples 3
+run fig9 --samples 3
+run fig12 --samples 3
+run fig11 --samples 3
+run table7 --samples 2
+run fig10
+run fig6 --samples 3
+run fig13 --samples 3
+run table5 --samples 12
+run table6 --samples 12
+run wallclock codebert
+echo ALL_BENCHES_DONE

@@ -1,0 +1,1 @@
+//! Workspace-root crate hosting integration tests and runnable examples.

@@ -1,0 +1,80 @@
+//! RDP soundness across the model zoo: every shape the analysis predicts
+//! symbolically must match the shape observed at execution time, for every
+//! tensor the execution actually produced, at multiple input sizes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sod2_frameworks::bindings_from_inputs;
+use sod2_models::{all_models, ModelScale};
+use sod2_rdp::analyze;
+use sod2_runtime::{execute, ExecConfig};
+
+#[test]
+fn predicted_shapes_match_observed_for_all_models() {
+    for model in all_models(ModelScale::Tiny) {
+        let rdp = analyze(&model.graph);
+        let mut rng = StdRng::seed_from_u64(101);
+        for _ in 0..3 {
+            let (_, inputs) = model.sample_inputs(&mut rng);
+            let bindings =
+                bindings_from_inputs(&model.graph, &inputs).expect("bindings");
+            let outcome = execute(
+                &model.graph,
+                &inputs,
+                &ExecConfig {
+                    execute_all_branches: true, // exercise every tensor
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{} failed: {e}", model.name));
+            let mut checked = 0usize;
+            for (t, observed) in &outcome.concrete_shapes {
+                // Only fully symbolic predictions are falsifiable.
+                if let Some(predicted) = rdp.shape(*t).eval(&bindings) {
+                    let got: Vec<i64> = observed.iter().map(|&d| d as i64).collect();
+                    assert_eq!(
+                        predicted, got,
+                        "{}: tensor {} predicted {predicted:?} observed {got:?}",
+                        model.name, t
+                    );
+                    checked += 1;
+                }
+            }
+            assert!(
+                checked * 2 >= outcome.concrete_shapes.len(),
+                "{}: RDP resolved too few shapes ({checked}/{})",
+                model.name,
+                outcome.concrete_shapes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn rdp_converges_fast_on_every_model() {
+    for model in all_models(ModelScale::Tiny) {
+        let rdp = analyze(&model.graph);
+        assert!(
+            rdp.iterations <= 6,
+            "{} took {} sweeps",
+            model.name,
+            rdp.iterations
+        );
+    }
+}
+
+#[test]
+fn rdp_resolution_rate_is_high() {
+    // Paper Fig. 8: over 90% of sub-graphs are statically analyzable. Our
+    // per-tensor analogue: the vast majority of tensors resolve.
+    for model in all_models(ModelScale::Tiny) {
+        let rdp = analyze(&model.graph);
+        let rate = rdp.resolution_rate();
+        assert!(
+            rate > 0.9,
+            "{}: only {:.1}% of tensors resolved",
+            model.name,
+            rate * 100.0
+        );
+    }
+}

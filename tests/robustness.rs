@@ -1,0 +1,157 @@
+//! Failure injection and edge cases: the system must fail loudly and
+//! cleanly — wrong inputs produce errors, not panics or silent garbage —
+//! and degenerate-but-legal inputs still work.
+
+use sod2::{Compiler, DeviceProfile};
+use sod2_ir::{BinaryOp, DType, Graph, Op, UnaryOp};
+use sod2_runtime::{execute, ExecConfig, ExecError};
+use sod2_sym::DimExpr;
+use sod2_tensor::Tensor;
+
+fn simple_graph() -> Graph {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![DimExpr::sym("N"), 4.into()]);
+    let y = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+    g.mark_output(y);
+    g
+}
+
+#[test]
+fn wrong_input_count_is_an_error() {
+    let g = simple_graph();
+    let err = execute(&g, &[], &ExecConfig::default());
+    assert!(matches!(err, Err(ExecError::BadInputs(_))));
+    let err = execute(
+        &g,
+        &[Tensor::zeros(&[1, 4]), Tensor::zeros(&[1, 4])],
+        &ExecConfig::default(),
+    );
+    assert!(matches!(err, Err(ExecError::BadInputs(_))));
+}
+
+#[test]
+fn wrong_input_dtype_is_an_error() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![2.into()]);
+    let y = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+    g.mark_output(y);
+    let err = execute(&g, &[Tensor::from_i64(&[2], vec![1, 2])], &ExecConfig::default());
+    assert!(matches!(err, Err(ExecError::Kernel(_))));
+}
+
+#[test]
+fn engine_rejects_contradicting_shapes() {
+    // Annotation says [S, S] (square); a rectangular input must be refused.
+    let mut g = Graph::new();
+    let s = DimExpr::sym("S");
+    let x = g.add_input("x", DType::F32, vec![s.clone(), s]);
+    let y = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+    g.mark_output(y);
+    let mut model = Compiler::new(DeviceProfile::s888_cpu()).compile(g);
+    assert!(model.run(&[Tensor::zeros(&[3, 5])]).is_err());
+    assert!(model.run(&[Tensor::zeros(&[4, 4])]).is_ok());
+}
+
+#[test]
+fn selector_out_of_range_is_an_error() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![1.into()]);
+    let sel = g.add_input("sel", DType::I64, vec![1.into()]);
+    let br = g.add_node("sw", Op::Switch { num_branches: 2 }, &[x, sel], DType::F32);
+    let b0 = g.add_simple("b0", Op::Identity, &[br[0]], DType::F32);
+    let b1 = g.add_simple("b1", Op::Identity, &[br[1]], DType::F32);
+    let y = g.add_simple("c", Op::Combine { num_branches: 2 }, &[b0, b1, sel], DType::F32);
+    g.mark_output(y);
+    let err = execute(
+        &g,
+        &[Tensor::zeros(&[1]), Tensor::from_i64(&[1], vec![7])],
+        &ExecConfig::default(),
+    );
+    assert!(matches!(err, Err(ExecError::ControlFlow(_))));
+    // Negative selectors too.
+    let err = execute(
+        &g,
+        &[Tensor::zeros(&[1]), Tensor::from_i64(&[1], vec![-1])],
+        &ExecConfig::default(),
+    );
+    assert!(err.is_err());
+}
+
+#[test]
+fn nan_and_inf_propagate_without_crashing() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    let s = g.add_simple("sm", Op::Softmax { axis: 0 }, &[x], DType::F32);
+    g.mark_output(s);
+    let input = Tensor::from_f32(&[4], vec![f32::NAN, 1.0, f32::INFINITY, -1.0]);
+    let out = execute(&g, &[input], &ExecConfig::default()).expect("runs");
+    // Results may be NaN — but the engine must not panic or hang.
+    assert_eq!(out.outputs[0].shape(), &[4]);
+}
+
+#[test]
+fn size_one_dynamic_dims_work() {
+    let g = simple_graph();
+    let out = execute(&g, &[Tensor::zeros(&[1, 4])], &ExecConfig::default()).expect("runs");
+    assert_eq!(out.outputs[0].shape(), &[1, 4]);
+}
+
+#[test]
+fn zero_extent_dynamic_dims_work() {
+    // N = 0: an empty batch is legal and produces an empty output.
+    let g = simple_graph();
+    let out = execute(
+        &g,
+        &[Tensor::from_f32(&[0, 4], vec![])],
+        &ExecConfig::default(),
+    )
+    .expect("runs");
+    assert_eq!(out.outputs[0].shape(), &[0, 4]);
+    assert_eq!(out.outputs[0].numel(), 0);
+}
+
+#[test]
+fn broadcast_mismatch_reported_not_panicked() {
+    let mut g = Graph::new();
+    let a = g.add_input("a", DType::F32, vec![DimExpr::sym("n")]);
+    let b = g.add_input("b", DType::F32, vec![DimExpr::sym("m")]);
+    let y = g.add_simple("add", Op::Binary(BinaryOp::Add), &[a, b], DType::F32);
+    g.mark_output(y);
+    // n=2 vs m=3 is a provable runtime broadcast violation.
+    let err = execute(
+        &g,
+        &[Tensor::zeros(&[2]), Tensor::zeros(&[3])],
+        &ExecConfig::default(),
+    );
+    assert!(matches!(err, Err(ExecError::Kernel(_))));
+}
+
+#[test]
+fn rdp_handles_degenerate_graphs() {
+    // Outputs directly wired to inputs; no operators at all.
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![2.into()]);
+    g.mark_output(x);
+    let rdp = sod2_rdp::analyze(&g);
+    assert_eq!(rdp.shape(x).as_known(), Some(vec![2]));
+    let out = execute(&g, &[Tensor::zeros(&[2])], &ExecConfig::default()).expect("runs");
+    assert_eq!(out.outputs.len(), 1);
+}
+
+#[test]
+fn engines_survive_repeated_extreme_sizes() {
+    let model = sod2_models::codebert(sod2_models::ModelScale::Tiny);
+    let (lo, hi) = model.size_range();
+    let mut engine = sod2::Sod2Engine::new(
+        model.graph.clone(),
+        DeviceProfile::s888_cpu(),
+        sod2::Sod2Options::default(),
+        &Default::default(),
+    );
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    for size in [lo, hi, lo, hi, lo] {
+        let inputs = model.make_inputs(size, &mut rng);
+        let stats = sod2::Engine::infer(&mut engine, &inputs).expect("runs");
+        assert!(!stats.reinitialized);
+    }
+}

@@ -1,0 +1,27 @@
+#!/bin/bash
+# CI gate: build, tests, formatting, lints, and the static analyzer over
+# every model in the zoo. Fails fast on the first broken stage.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "=== build (release) ==="
+cargo build --release --workspace
+
+echo "=== tests (workspace) ==="
+cargo test --workspace -q
+
+echo "=== rustfmt ==="
+cargo fmt --all --check
+
+echo "=== clippy ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== analyzer over model zoo ==="
+CLI=./target/release/sod2-cli
+models=$($CLI list | awk 'NR>1 {print $1}')
+for m in $models; do
+    echo "--- analyze $m ---"
+    $CLI analyze "$m" --json > /dev/null
+done
+
+echo "=== CI OK ==="

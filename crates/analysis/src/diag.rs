@@ -1,0 +1,266 @@
+//! The diagnostics framework: typed findings with severity and anchors,
+//! collected into a [`Report`] with text and JSON renderers.
+
+use sod2_ir::{Graph, NodeId, TensorId};
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational — a measurement or observation, nothing wrong.
+    Info,
+    /// Suspicious but not unsound (dead code, unused results).
+    Warning,
+    /// A soundness defect: the graph, analysis, or plan is wrong.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Anchor {
+    /// A node (operator).
+    Node(NodeId),
+    /// A tensor.
+    Tensor(TensorId),
+    /// The graph (or a derived artifact) as a whole.
+    Graph,
+}
+
+impl fmt::Display for Anchor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Anchor::Node(n) => write!(f, "{n}"),
+            Anchor::Tensor(t) => write!(f, "{t}"),
+            Anchor::Graph => write!(f, "graph"),
+        }
+    }
+}
+
+/// One finding from an analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code, e.g. `ir/dtype-mismatch`.
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// What the finding points at.
+    pub anchor: Anchor,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(code: &'static str, anchor: Anchor, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            anchor,
+            message: message.into(),
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(code: &'static str, anchor: Anchor, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            anchor,
+            message: message.into(),
+        }
+    }
+
+    /// An info-severity diagnostic.
+    pub fn info(code: &'static str, anchor: Anchor, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Info,
+            anchor,
+            message: message.into(),
+        }
+    }
+
+    /// Resolves the anchor to a human-readable name within `graph`.
+    pub fn anchor_name(&self, graph: &Graph) -> String {
+        match self.anchor {
+            Anchor::Node(n) if (n.0 as usize) < graph.num_nodes() => {
+                format!("{} ({})", graph.node(n).name, n)
+            }
+            Anchor::Tensor(t) if (t.0 as usize) < graph.num_tensors() => {
+                format!("{} ({})", graph.tensor(t).name, t)
+            }
+            other => other.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.anchor, self.message
+        )
+    }
+}
+
+/// A collection of diagnostics from one or more passes.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends findings from one pass.
+    pub fn extend(&mut self, findings: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(findings);
+    }
+
+    /// `true` when any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// `(errors, warnings, infos)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for d in &self.diagnostics {
+            match d.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warning => c.1 += 1,
+                Severity::Info => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// `true` when a finding with this code is present.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Renders a plain-text listing, resolving anchors against `graph`
+    /// when provided.
+    pub fn render_text(&self, graph: Option<&Graph>) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let anchor = match graph {
+                Some(g) => d.anchor_name(g),
+                None => d.anchor.to_string(),
+            };
+            out.push_str(&format!(
+                "{:<7} {:<24} {:<32} {}\n",
+                d.severity.to_string(),
+                d.code,
+                anchor,
+                d.message
+            ));
+        }
+        let (e, w, i) = self.counts();
+        out.push_str(&format!("{e} error(s), {w} warning(s), {i} info\n"));
+        out
+    }
+
+    /// Renders the report as a JSON array of finding objects.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                r#"{{"code":"{}","severity":"{}","anchor":"{}","message":"{}"}}"#,
+                json_escape(d.code),
+                d.severity,
+                json_escape(&d.anchor.to_string()),
+                json_escape(&d.message)
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn report_counts_and_queries() {
+        let mut r = Report::new();
+        r.extend([
+            Diagnostic::error("x/err", Anchor::Graph, "boom"),
+            Diagnostic::warning("x/warn", Anchor::Node(NodeId(0)), "hmm"),
+            Diagnostic::info("x/info", Anchor::Tensor(TensorId(1)), "fyi"),
+        ]);
+        assert!(r.has_errors());
+        assert_eq!(r.counts(), (1, 1, 1));
+        assert!(r.has_code("x/warn"));
+        assert!(!r.has_code("x/nope"));
+        assert_eq!(r.errors().count(), 1);
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let mut r = Report::new();
+        r.extend([Diagnostic::error("c", Anchor::Graph, "a \"quoted\"\nthing")]);
+        let j = r.render_json();
+        assert!(j.contains(r#"\"quoted\""#));
+        assert!(j.contains("\\n"));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+
+    #[test]
+    fn text_rendering_summarizes() {
+        let mut r = Report::new();
+        r.extend([Diagnostic::warning("c", Anchor::Graph, "msg")]);
+        let t = r.render_text(None);
+        assert!(t.contains("0 error(s), 1 warning(s), 0 info"));
+    }
+}

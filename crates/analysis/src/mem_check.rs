@@ -1,0 +1,100 @@
+//! Memory-plan verification: lifts `sod2_mem`'s typed [`PlanViolation`]s
+//! into diagnostics and cross-checks every offset planner against the
+//! live-range lower bound.
+
+use crate::diag::{Anchor, Diagnostic};
+use sod2_ir::TensorId;
+use sod2_mem::{
+    peak_live_bytes, plan_best_fit, plan_exhaustive, plan_first_fit, plan_peak_first, plan_sod2,
+    verify_plan_aligned, MemoryPlan, PlanViolation, TensorLife,
+};
+
+/// `plan_exhaustive` permutes lifetimes and is capped at this many.
+const EXHAUSTIVE_LIMIT: usize = 9;
+
+/// A named offset-planning strategy.
+type Planner = fn(&[TensorLife]) -> MemoryPlan;
+
+fn violation_code(v: &PlanViolation) -> &'static str {
+    match v {
+        PlanViolation::MissingOffset { .. } => "mem/missing-offset",
+        PlanViolation::ExceedsArena { .. } => "mem/out-of-arena",
+        PlanViolation::Overlap { .. } => "mem/overlap",
+        PlanViolation::Misaligned { .. } => "mem/misaligned",
+    }
+}
+
+fn violation_anchor(v: &PlanViolation) -> Anchor {
+    let key = match v {
+        PlanViolation::MissingOffset { key }
+        | PlanViolation::ExceedsArena { key, .. }
+        | PlanViolation::Misaligned { key, .. } => *key,
+        PlanViolation::Overlap { a, .. } => *a,
+    };
+    Anchor::Tensor(TensorId(key as u32))
+}
+
+/// Verifies one memory plan against its lifetimes: every violation becomes
+/// an error diagnostic, and a plan whose peak undercuts the live-range
+/// lower bound is reported too (it cannot be sound — some pair of
+/// simultaneously live tensors must overlap or spill).
+pub fn verify_memory_plan(
+    lives: &[TensorLife],
+    plan: &MemoryPlan,
+    alignment: usize,
+) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = verify_plan_aligned(lives, plan, alignment)
+        .into_iter()
+        .map(|v| Diagnostic::error(violation_code(&v), violation_anchor(&v), v.to_string()))
+        .collect();
+    let lower = peak_live_bytes(lives);
+    if plan.peak < lower {
+        out.push(Diagnostic::error(
+            "mem/below-lower-bound",
+            Anchor::Graph,
+            format!(
+                "plan claims peak {} below the live-range lower bound {}",
+                plan.peak, lower
+            ),
+        ));
+    }
+    out
+}
+
+/// Runs every offset planner over the same lifetimes, verifies each plan,
+/// and reports per-planner fragmentation (peak over the lower bound) as
+/// info findings. The exhaustive planner only participates below its
+/// permutation cap.
+pub fn compare_planners(lives: &[TensorLife]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let lower = peak_live_bytes(lives);
+    let mut planners: Vec<(&'static str, Planner)> = vec![
+        ("peak-first", plan_peak_first),
+        ("first-fit", plan_first_fit),
+        ("best-fit", plan_best_fit),
+        ("sod2", plan_sod2),
+    ];
+    if lives.len() <= EXHAUSTIVE_LIMIT {
+        planners.push(("exhaustive", plan_exhaustive));
+    }
+    for (name, planner) in planners {
+        let plan = planner(lives);
+        for mut d in verify_memory_plan(lives, &plan, 1) {
+            d.message = format!("[{name}] {}", d.message);
+            out.push(d);
+        }
+        if lower > 0 {
+            let overhead = plan.peak.saturating_sub(lower);
+            out.push(Diagnostic::info(
+                "mem/fragmentation",
+                Anchor::Graph,
+                format!(
+                    "{name}: peak {} vs lower bound {lower} ({:.1}% overhead)",
+                    plan.peak,
+                    100.0 * overhead as f64 / lower as f64
+                ),
+            ));
+        }
+    }
+    out
+}

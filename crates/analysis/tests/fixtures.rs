@@ -1,0 +1,431 @@
+//! Known-bad-graph fixtures: every diagnostic code the analyzer can emit
+//! must actually fire on a graph (or plan) constructed to violate it.
+
+use sod2_analysis::{
+    check_monotonicity, compare_planners, lint_graph, report_inconsistencies, verify_fusion,
+    verify_fusion_internals, verify_memory_plan, verify_node_order, verify_observed_shapes,
+    verify_unit_order, Report,
+};
+use sod2_fusion::{fuse, FusionGroup, FusionPlan, FusionPolicy};
+use sod2_ir::{BinaryOp, DType, Graph, NodeId, Op, TensorId, UnaryOp};
+use sod2_mem::{MemoryPlan, TensorLife};
+use sod2_plan::UnitGraph;
+use sod2_rdp::{analyze, RdpReport, RdpResult, RdpTrace};
+use sod2_sym::{Bindings, DimValue, ShapeValue, SymValue};
+use std::collections::{HashMap, HashSet};
+
+fn report_of(diags: Vec<sod2_analysis::Diagnostic>) -> Report {
+    let mut r = Report::new();
+    r.extend(diags);
+    r
+}
+
+fn chain_graph() -> (Graph, TensorId, TensorId, TensorId) {
+    // x → relu → sigmoid → output
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    let a = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+    let b = g.add_simple("sig", Op::Unary(UnaryOp::Sigmoid), &[a], DType::F32);
+    g.mark_output(b);
+    (g, x, a, b)
+}
+
+// ---------------------------------------------------------------- IR lints
+
+#[test]
+fn fires_ir_structure_on_empty_graph_and_unproduced_operand() {
+    let g = Graph::new();
+    let r = report_of(lint_graph(&g));
+    assert!(r.has_code("ir/structure"), "no-outputs must fire");
+
+    // `ghost` exists but nothing produces it and it is neither a graph
+    // input nor a constant (the builder can't express this; from_parts
+    // does not reject it).
+    let g = Graph::from_parts(
+        vec![
+            ("x".into(), DType::F32, ShapeValue::known(&[4]), None),
+            ("ghost".into(), DType::F32, ShapeValue::known(&[4]), None),
+            ("y".into(), DType::F32, ShapeValue::known(&[4]), None),
+        ],
+        vec![(
+            "relu".into(),
+            Op::Unary(UnaryOp::Relu),
+            vec![TensorId(1)],
+            vec![TensorId(2)],
+        )],
+        vec![TensorId(0)],
+        vec![TensorId(2)],
+    )
+    .expect("from_parts does not track producedness of operands");
+    let r = report_of(lint_graph(&g));
+    assert!(r.has_code("ir/structure"), "unproduced operand must fire");
+}
+
+#[test]
+fn fires_ir_cycle_on_mutually_dependent_nodes() {
+    let g = Graph::from_parts(
+        vec![
+            ("x".into(), DType::F32, ShapeValue::known(&[4]), None),
+            ("a".into(), DType::F32, ShapeValue::known(&[4]), None),
+            ("b".into(), DType::F32, ShapeValue::known(&[4]), None),
+        ],
+        vec![
+            (
+                "n0".into(),
+                Op::Unary(UnaryOp::Relu),
+                vec![TensorId(2)],
+                vec![TensorId(1)],
+            ),
+            (
+                "n1".into(),
+                Op::Unary(UnaryOp::Relu),
+                vec![TensorId(1)],
+                vec![TensorId(2)],
+            ),
+        ],
+        vec![TensorId(0)],
+        vec![TensorId(2)],
+    )
+    .expect("from_parts does not check acyclicity");
+    let r = report_of(lint_graph(&g));
+    assert!(r.has_code("ir/cycle"), "{}", r.render_text(None));
+}
+
+#[test]
+fn fires_ir_dtype_mismatch_on_wrongly_typed_shape_output() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    // Shape must produce I64; declare F32.
+    let s = g.add_simple("shape", Op::Shape, &[x], DType::F32);
+    g.mark_output(s);
+    let r = report_of(lint_graph(&g));
+    assert!(r.has_code("ir/dtype-mismatch"), "{}", r.render_text(None));
+}
+
+#[test]
+fn fires_ir_operand_dtype_on_float_reshape_spec() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    // Reshape's shape operand must be I64; feed it the F32 data tensor.
+    let y = g.add_simple("reshape", Op::Reshape, &[x, x], DType::F32);
+    g.mark_output(y);
+    let r = report_of(lint_graph(&g));
+    assert!(r.has_code("ir/operand-dtype"), "{}", r.render_text(None));
+}
+
+#[test]
+fn fires_ir_dead_node_and_unused_output() {
+    let (mut g, x, _, _) = chain_graph();
+    // A node nothing depends on.
+    g.add_simple("dead", Op::Unary(UnaryOp::Tanh), &[x], DType::F32);
+    let r = report_of(lint_graph(&g));
+    assert!(r.has_code("ir/dead-node"), "{}", r.render_text(None));
+
+    // TopK is live through its values output; indices stay unconsumed.
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![8.into()]);
+    let outs = g.add_node("topk", Op::TopK { axis: 0 }, &[x, x], DType::F32);
+    g.mark_output(outs[0]);
+    let r = report_of(lint_graph(&g));
+    assert!(r.has_code("ir/unused-output"), "{}", r.render_text(None));
+}
+
+#[test]
+fn fires_ir_switch_pairing_on_unmerged_branch_and_unguarded_combine() {
+    // Switch whose second branch dead-ends in an unconsumed relu.
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    let sel = g.add_input("sel", DType::I64, vec![1.into()]);
+    let outs = g.add_node("sw", Op::Switch { num_branches: 2 }, &[x, sel], DType::F32);
+    g.mark_output(outs[0]);
+    g.add_simple("lost", Op::Unary(UnaryOp::Relu), &[outs[1]], DType::F32);
+    let r = report_of(lint_graph(&g));
+    assert!(r.has_code("ir/switch-pairing"), "{}", r.render_text(None));
+
+    // Combine fed by plain nodes — no Switch upstream.
+    let mut g = Graph::new();
+    let a = g.add_input("a", DType::F32, vec![4.into()]);
+    let b = g.add_input("b", DType::F32, vec![4.into()]);
+    let sel = g.add_input("sel", DType::I64, vec![1.into()]);
+    let y = g.add_simple(
+        "comb",
+        Op::Combine { num_branches: 2 },
+        &[a, b, sel],
+        DType::F32,
+    );
+    g.mark_output(y);
+    let r = report_of(lint_graph(&g));
+    assert!(r.has_code("ir/switch-pairing"), "{}", r.render_text(None));
+}
+
+// ---------------------------------------------------------------- RDP
+
+#[test]
+fn fires_rdp_rank_and_dim_mismatch_and_unreached() {
+    let (g, x, a, b) = chain_graph();
+    let rdp = analyze(&g);
+    let bindings = Bindings::new();
+
+    // Execution observed rank 2 where RDP proved rank 1.
+    let mut observed: HashMap<TensorId, Vec<usize>> = HashMap::new();
+    observed.insert(a, vec![4, 1]);
+    let r = report_of(verify_observed_shapes(&g, &rdp, &observed, &bindings));
+    assert!(r.has_code("rdp/rank-mismatch"), "{}", r.render_text(None));
+
+    // Execution observed 5 where RDP proved the constant 4.
+    observed.clear();
+    observed.insert(b, vec![5]);
+    let r = report_of(verify_observed_shapes(&g, &rdp, &observed, &bindings));
+    assert!(r.has_code("rdp/dim-mismatch"), "{}", r.render_text(None));
+
+    // A lattice left at undef for an executed tensor.
+    let fake = RdpResult {
+        shapes: vec![ShapeValue::Undef; g.num_tensors()],
+        values: vec![SymValue::Undef; g.num_tensors()],
+        iterations: 1,
+    };
+    observed.clear();
+    observed.insert(x, vec![4]);
+    let r = report_of(verify_observed_shapes(&g, &fake, &observed, &bindings));
+    assert!(r.has_code("rdp/unreached"), "{}", r.render_text(None));
+}
+
+#[test]
+fn fires_rdp_non_monotone_on_lattice_ascent() {
+    let (g, _, _, _) = chain_graph();
+    let nt = g.num_tensors();
+    let resolved = vec![ShapeValue::known(&[4]); nt];
+    let mut regressed = resolved.clone();
+    regressed[1] = ShapeValue::Undef; // resolved → undef: moved up
+    let trace = RdpTrace {
+        shape_sweeps: vec![resolved.clone(), regressed],
+    };
+    let r = report_of(check_monotonicity(&g, &trace));
+    assert!(r.has_code("rdp/non-monotone"), "{}", r.render_text(None));
+
+    // A rewritten (not refined) dimension expression is also an ascent.
+    let mut rewritten = resolved.clone();
+    rewritten[1] = ShapeValue::Ranked(vec![DimValue::known(7)]);
+    let trace = RdpTrace {
+        shape_sweeps: vec![resolved, rewritten],
+    };
+    let r = report_of(check_monotonicity(&g, &trace));
+    assert!(r.has_code("rdp/non-monotone"), "{}", r.render_text(None));
+}
+
+#[test]
+fn fires_rdp_inconsistency_from_solver_report() {
+    let report = RdpReport {
+        iterations: 2,
+        inconsistencies: vec!["node x: rank disagreement 2 vs 3".into()],
+    };
+    let r = report_of(report_inconsistencies(&report));
+    assert!(r.has_code("rdp/inconsistency"));
+    assert!(!r.has_errors(), "inconsistencies are warnings");
+}
+
+// ---------------------------------------------------------------- memory
+
+#[test]
+fn fires_every_memory_plan_violation_code() {
+    let lives = vec![
+        TensorLife::new(0, 64, 0, vec![2]),
+        TensorLife::new(1, 64, 1, vec![3]),
+    ];
+    // Key 1 missing, key 0 out of the declared arena.
+    let plan = MemoryPlan {
+        offsets: HashMap::from([(0, 16)]),
+        peak: 32,
+    };
+    let r = report_of(verify_memory_plan(&lives, &plan, 1));
+    assert!(r.has_code("mem/missing-offset"), "{}", r.render_text(None));
+    assert!(r.has_code("mem/out-of-arena"), "{}", r.render_text(None));
+    assert!(
+        r.has_code("mem/below-lower-bound"),
+        "{}",
+        r.render_text(None)
+    );
+
+    // Two simultaneously live tensors at the same offset.
+    let plan = MemoryPlan {
+        offsets: HashMap::from([(0, 0), (1, 0)]),
+        peak: 128,
+    };
+    let r = report_of(verify_memory_plan(&lives, &plan, 1));
+    assert!(r.has_code("mem/overlap"), "{}", r.render_text(None));
+
+    // Offset 16 breaks 64-byte alignment.
+    let plan = MemoryPlan {
+        offsets: HashMap::from([(0, 16), (1, 128)]),
+        peak: 256,
+    };
+    let r = report_of(verify_memory_plan(&lives, &plan, 64));
+    assert!(r.has_code("mem/misaligned"), "{}", r.render_text(None));
+}
+
+#[test]
+fn planner_comparison_reports_fragmentation_info() {
+    let lives = vec![
+        TensorLife::new(0, 100, 0, vec![1]),
+        TensorLife::new(1, 50, 1, vec![2]),
+        TensorLife::new(2, 50, 2, vec![3]),
+    ];
+    let r = report_of(compare_planners(&lives));
+    assert!(r.has_code("mem/fragmentation"));
+    assert!(!r.has_errors(), "{}", r.render_text(None));
+}
+
+// ---------------------------------------------------------------- plans
+
+fn two_unit_setup() -> (Graph, UnitGraph) {
+    let (g, _, _, _) = chain_graph();
+    let rdp = analyze(&g);
+    let fusion = fuse(&g, &rdp, FusionPolicy::None);
+    let ug = UnitGraph::build(&g, &fusion);
+    (g, ug)
+}
+
+#[test]
+fn fires_plan_order_codes_on_bad_unit_orders() {
+    let (_, ug) = two_unit_setup();
+    assert!(ug.units.len() >= 2);
+
+    let r = report_of(verify_unit_order(&ug, &[]));
+    assert!(r.has_code("plan/order-size"), "{}", r.render_text(None));
+
+    let dup: Vec<usize> = vec![0; ug.units.len()];
+    let r = report_of(verify_unit_order(&ug, &dup));
+    assert!(
+        r.has_code("plan/order-duplicate"),
+        "{}",
+        r.render_text(None)
+    );
+
+    let mut reversed: Vec<usize> = (0..ug.units.len()).collect();
+    reversed.reverse();
+    let r = report_of(verify_unit_order(&ug, &reversed));
+    assert!(
+        r.has_code("plan/order-dependency"),
+        "{}",
+        r.render_text(None)
+    );
+}
+
+#[test]
+fn fires_plan_order_codes_on_bad_node_orders() {
+    let (g, _, _, _) = chain_graph();
+    let ids: Vec<NodeId> = g.nodes().iter().map(|n| n.id).collect();
+    let mut reversed = ids.clone();
+    reversed.reverse();
+    let r = report_of(verify_node_order(&g, &reversed));
+    assert!(
+        r.has_code("plan/order-dependency"),
+        "{}",
+        r.render_text(None)
+    );
+
+    let r = report_of(verify_node_order(&g, &vec![ids[0]; ids.len()]));
+    assert!(
+        r.has_code("plan/order-duplicate"),
+        "{}",
+        r.render_text(None)
+    );
+}
+
+#[test]
+fn fires_fusion_assignment_codes() {
+    let (g, _, _, _) = chain_graph();
+    let empty = FusionPlan::from_groups(vec![]);
+    let r = report_of(verify_fusion(&g, &empty));
+    assert!(
+        r.has_code("fusion/unassigned-node"),
+        "{}",
+        r.render_text(None)
+    );
+
+    let n0 = g.nodes()[0].id;
+    let n1 = g.nodes()[1].id;
+    let dup = FusionPlan::from_groups(vec![
+        FusionGroup {
+            nodes: vec![n0, n1],
+            num_versions: 1,
+        },
+        FusionGroup {
+            nodes: vec![n0],
+            num_versions: 1,
+        },
+    ]);
+    let r = report_of(verify_fusion(&g, &dup));
+    assert!(
+        r.has_code("fusion/duplicate-node"),
+        "{}",
+        r.render_text(None)
+    );
+}
+
+#[test]
+fn fires_fusion_group_cycle_on_split_diamond() {
+    // a → b → c with a and c forced into one group: group0 ⇄ group1.
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    let a = g.add_simple("a", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+    let b = g.add_simple("b", Op::Unary(UnaryOp::Sigmoid), &[a], DType::F32);
+    let c = g.add_simple("c", Op::Binary(BinaryOp::Add), &[a, b], DType::F32);
+    g.mark_output(c);
+    let na = g.producer(a).unwrap();
+    let nb = g.producer(b).unwrap();
+    let nc = g.producer(c).unwrap();
+    let plan = FusionPlan::from_groups(vec![
+        FusionGroup {
+            nodes: vec![na, nc],
+            num_versions: 1,
+        },
+        FusionGroup {
+            nodes: vec![nb],
+            num_versions: 1,
+        },
+    ]);
+    let r = report_of(verify_fusion(&g, &plan));
+    assert!(r.has_code("fusion/group-cycle"), "{}", r.render_text(None));
+}
+
+#[test]
+fn fires_fusion_internal_leak() {
+    let (g, _, a, b) = chain_graph();
+    let n0 = g.producer(a).unwrap();
+    let n1 = g.producer(b).unwrap();
+    // Claim the cross-group tensor a — and the graph output b — are fused
+    // away.
+    let plan = FusionPlan::from_groups(vec![
+        FusionGroup {
+            nodes: vec![n0],
+            num_versions: 1,
+        },
+        FusionGroup {
+            nodes: vec![n1],
+            num_versions: 1,
+        },
+    ]);
+    let internals: HashSet<TensorId> = [a, b].into_iter().collect();
+    let r = report_of(verify_fusion_internals(&g, &plan, &internals));
+    assert!(
+        r.has_code("fusion/internal-leak"),
+        "{}",
+        r.render_text(None)
+    );
+    assert!(r.errors().count() >= 2, "both claims must be flagged");
+}
+
+// --------------------------------------------------- clean-graph baseline
+
+#[test]
+fn clean_pipeline_artifacts_verify() {
+    let (g, _, _, _) = chain_graph();
+    let r = report_of(lint_graph(&g));
+    assert!(!r.has_errors(), "{}", r.render_text(Some(&g)));
+
+    let rdp = analyze(&g);
+    let fusion = fuse(&g, &rdp, FusionPolicy::Rdp);
+    let r = report_of(verify_fusion(&g, &fusion));
+    assert!(r.diagnostics.is_empty(), "{}", r.render_text(Some(&g)));
+}

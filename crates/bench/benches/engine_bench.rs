@@ -2,11 +2,11 @@
 //! compile-time (RDP + fusion + SEP + MVC) on tiny zoo models.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sod2_device::DeviceProfile;
 use sod2_frameworks::{Engine, Sod2Engine, Sod2Options};
 use sod2_models::{codebert, skipnet, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
 
 fn engine_infer(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_infer");

@@ -12,8 +12,18 @@ fn gemm_variants(c: &mut Criterion) {
     });
     for params in [
         GemmParams::default(),
-        GemmParams { tile_m: 16, tile_n: 64, tile_k: 16, unroll: 8 },
-        GemmParams { tile_m: 64, tile_n: 8, tile_k: 32, unroll: 2 },
+        GemmParams {
+            tile_m: 16,
+            tile_n: 64,
+            tile_k: 16,
+            unroll: 8,
+        },
+        GemmParams {
+            tile_m: 64,
+            tile_n: 8,
+            tile_k: 32,
+            unroll: 2,
+        },
     ] {
         let name = format!(
             "gemm_tiled_96_m{}n{}k{}u{}",

@@ -29,8 +29,8 @@ fn main() {
                 .map(|i| sod2.infer(i).expect("sod2").peak_memory_bytes)
                 .collect();
             let budget = peaks.iter().copied().max().unwrap_or(0);
-            let mut tflite = TfLiteLike::new(model.graph.clone(), profile.clone())
-                .with_memory_budget(budget);
+            let mut tflite =
+                TfLiteLike::new(model.graph.clone(), profile.clone()).with_memory_budget(budget);
             let mut s_lat = Vec::new();
             let mut t_lat = Vec::new();
             for i in &inputs {
@@ -38,11 +38,7 @@ fn main() {
                 s_lat.push(sod2.infer(i).expect("sod2").latency.total());
                 t_lat.push(tflite.infer(i).expect("tflite").latency.total());
             }
-            println!(
-                "{:<14} {:>9.2}x",
-                model.name,
-                mean(&t_lat) / mean(&s_lat)
-            );
+            println!("{:<14} {:>9.2}x", model.name, mean(&t_lat) / mean(&s_lat));
         }
         println!();
     }

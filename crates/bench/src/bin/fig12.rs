@@ -25,8 +25,7 @@ fn main() {
             let inputs: Vec<_> = (0..cfg.samples)
                 .map(|_| model.make_inputs(mid, &mut rng))
                 .collect();
-            let bindings =
-                bindings_from_inputs(&model.graph, &inputs[0]).expect("bindings");
+            let bindings = bindings_from_inputs(&model.graph, &inputs[0]).expect("bindings");
             let frozen = sod2::freeze(&model.graph, &bindings);
 
             // Static reference: full information at compile time, static

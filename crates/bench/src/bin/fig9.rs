@@ -11,10 +11,7 @@ fn main() {
     let cfg = BenchConfig::from_args(4);
     let profile = DeviceProfile::s888_cpu();
     println!("Fig. 9: SoD2 vs MNN with identical (execute-all) paths, CPU");
-    println!(
-        "{:<14} {:>14} {:>16}",
-        "model", "speedup", "memory ratio"
-    );
+    println!("{:<14} {:>14} {:>16}", "model", "speedup", "memory ratio");
     for model in [
         skipnet(cfg.scale),
         convnet_aig(cfg.scale),

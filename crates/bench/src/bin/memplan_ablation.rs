@@ -4,10 +4,10 @@
 
 use sod2_bench::{mean, BenchConfig};
 use sod2_fusion::{fuse, FusionPolicy};
+use sod2_mem::{plan_best_fit, plan_exhaustive, plan_peak_first, TensorLife};
 use sod2_models::convnet_aig;
 use sod2_plan::{naive_unit_order, unit_lifetimes, UnitGraph};
 use sod2_runtime::{execute, ExecConfig};
-use sod2_mem::{plan_best_fit, plan_exhaustive, plan_peak_first, TensorLife};
 
 fn main() {
     let cfg = BenchConfig::from_args(1);
@@ -55,8 +55,14 @@ fn main() {
     }
     println!("Memory-planner ablation on ConvNet-AIG sub-graphs (paper §4.4.1)");
     println!("  sub-graphs evaluated : {}", ratios_pf.len());
-    println!("  SoD2 peak-first      : {:.3}x of exhaustive optimum", mean(&ratios_pf));
-    println!("  MNN-style best-fit   : {:.3}x of exhaustive optimum", mean(&ratios_bf));
+    println!(
+        "  SoD2 peak-first      : {:.3}x of exhaustive optimum",
+        mean(&ratios_pf)
+    );
+    println!(
+        "  MNN-style best-fit   : {:.3}x of exhaustive optimum",
+        mean(&ratios_bf)
+    );
     println!();
     println!("(Paper: peak-first 1.05x, greedy 1.16x of optimal.)");
 }

@@ -11,7 +11,11 @@ fn main() {
     let cfg = BenchConfig::from_args(1);
     println!("Table 1: re-initialization overhead on input-shape change (MNN strategy)");
     println!("model            device   SL(ms)   ST(ms)  Alloc(ms)  Infer(ms)");
-    for model in [yolo_v6(cfg.scale), conformer(cfg.scale), codebert(cfg.scale)] {
+    for model in [
+        yolo_v6(cfg.scale),
+        conformer(cfg.scale),
+        codebert(cfg.scale),
+    ] {
         for profile in [DeviceProfile::s888_cpu(), DeviceProfile::s888_gpu()] {
             let mut rng = cfg.rng();
             let mut engine = MnnLike::new(model.graph.clone(), profile.clone());
@@ -25,7 +29,11 @@ fn main() {
             println!(
                 "{:<16} {:<7} {:>8.1} {:>8.1} {:>10.1} {:>10.1}",
                 model.name,
-                if profile.kind == sod2_device::DeviceKind::Cpu { "CPU" } else { "GPU" },
+                if profile.kind == sod2_device::DeviceKind::Cpu {
+                    "CPU"
+                } else {
+                    "GPU"
+                },
                 sl * 1e3,
                 st * 1e3,
                 alloc * 1e3,

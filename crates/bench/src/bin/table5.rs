@@ -2,7 +2,9 @@
 //! inputs) for ORT, MNN, TVM-N, and SoD² on the mobile-CPU profile, plus
 //! the geo-mean normalized by SoD².
 
-use sod2_bench::{comparison_engines, geo_mean, par_over_models, sample_inputs, Aggregate, BenchConfig};
+use sod2_bench::{
+    comparison_engines, geo_mean, par_over_models, sample_inputs, Aggregate, BenchConfig,
+};
 use sod2_device::DeviceProfile;
 use sod2_models::all_models;
 
@@ -15,8 +17,17 @@ fn main() {
     );
     println!(
         "{:<20} {:>7} {:>4}  {:>6} {:>6}  {:>6} {:>6}  {:>6} {:>6}  {:>6} {:>6}",
-        "model", "#layers", "dyn", "ORTmin", "ORTmax", "MNNmin", "MNNmax", "TVMmin",
-        "TVMmax", "SoDmin", "SoDmax"
+        "model",
+        "#layers",
+        "dyn",
+        "ORTmin",
+        "ORTmax",
+        "MNNmin",
+        "MNNmax",
+        "TVMmin",
+        "TVMmax",
+        "SoDmin",
+        "SoDmax"
     );
     // Per-engine mean memory per model, for the normalized geo-mean row.
     let mut means: Vec<Vec<f64>> = vec![Vec::new(); 4]; // [sod2, ort, mnn, tvmn]

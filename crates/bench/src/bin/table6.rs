@@ -2,7 +2,9 @@
 //! input a fresh shape) for ORT, MNN, TVM-N, and SoD² on the mobile CPU and
 //! GPU profiles, plus geo-means normalized by SoD².
 
-use sod2_bench::{comparison_engines, geo_mean, par_over_models, sample_inputs, Aggregate, BenchConfig};
+use sod2_bench::{
+    comparison_engines, geo_mean, par_over_models, sample_inputs, Aggregate, BenchConfig,
+};
 use sod2_device::DeviceProfile;
 use sod2_models::all_models;
 
@@ -15,8 +17,7 @@ fn main() {
         );
         println!(
             "{:<20}  {:>7} {:>7}  {:>7} {:>7}  {:>7} {:>7}  {:>7} {:>7}",
-            "model", "ORTmin", "ORTmax", "MNNmin", "MNNmax", "TVMmin", "TVMmax",
-            "SoDmin", "SoDmax"
+            "model", "ORTmin", "ORTmax", "MNNmin", "MNNmax", "TVMmin", "TVMmax", "SoDmin", "SoDmax"
         );
         let mut means: Vec<Vec<f64>> = vec![Vec::new(); 4];
         let rows = par_over_models(all_models(cfg.scale), |model| {

@@ -12,9 +12,7 @@ fn main() {
     let profile = DeviceProfile::s888_cpu();
     let (min, max) = model.size_range();
     let percentiles = [0.01, 0.25, 0.50, 0.75, 1.00];
-    println!(
-        "Table 7: SoD2 speedup over each baseline by input-size percentile (YOLO-V6, CPU)"
-    );
+    println!("Table 7: SoD2 speedup over each baseline by input-size percentile (YOLO-V6, CPU)");
     println!("{:<10} {:>7} {:>7} {:>7}", "pct", "ORT", "MNN", "TVM-N");
     for (pi, p) in percentiles.iter().enumerate() {
         let size = model.round_size(min + ((max - min) as f64 * p) as usize);

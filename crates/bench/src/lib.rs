@@ -11,13 +11,13 @@
 //!   runs), also settable via the `SOD2_SCALE` environment variable,
 //! - `--seed S` — RNG seed (default 42).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sod2_device::DeviceProfile;
 use sod2_frameworks::{
     Engine, MnnLike, OrtLike, Sod2Engine, Sod2Options, TfLiteLike, TvmNimbleLike,
 };
 use sod2_models::{DynModel, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
 use sod2_tensor::Tensor;
 
 /// Command-line configuration shared by the bench binaries.
@@ -79,10 +79,7 @@ impl BenchConfig {
 
 /// The engines compared in Tables 5–6, constructed for one device.
 /// Order: `[SoD2, ORT, MNN, TVM-N]`.
-pub fn comparison_engines(
-    model: &DynModel,
-    profile: &DeviceProfile,
-) -> Vec<Box<dyn Engine>> {
+pub fn comparison_engines(model: &DynModel, profile: &DeviceProfile) -> Vec<Box<dyn Engine>> {
     vec![
         Box::new(Sod2Engine::new(
             model.graph.clone(),
@@ -122,8 +119,7 @@ impl Aggregate {
     pub fn collect_warm(engine: &mut dyn Engine, inputs: &[Vec<Tensor>]) -> Aggregate {
         let mut seen = std::collections::HashSet::new();
         for ins in inputs {
-            let key: Vec<Vec<usize>> =
-                ins.iter().map(|t| t.shape().to_vec()).collect();
+            let key: Vec<Vec<usize>> = ins.iter().map(|t| t.shape().to_vec()).collect();
             if seen.insert(key) {
                 let _ = engine.infer(ins);
             }
@@ -207,17 +203,16 @@ where
     F: Fn(&DynModel) -> R + Sync,
 {
     let mut rows: Vec<Option<R>> = models.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, m) in models.iter().enumerate() {
             let f = &f;
-            handles.push((i, scope.spawn(move |_| f(m))));
+            handles.push((i, scope.spawn(move || f(m))));
         }
         for (i, h) in handles {
             rows[i] = Some(h.join().expect("bench worker panicked"));
         }
-    })
-    .expect("bench scope");
+    });
     rows.into_iter().map(|r| r.expect("row computed")).collect()
 }
 

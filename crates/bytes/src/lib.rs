@@ -1,0 +1,205 @@
+//! In-workspace stand-in for the `bytes` crate, covering the subset the
+//! serializer in `sod2-ir` uses: [`BytesMut`] as a growable little-endian
+//! writer and [`Bytes`] as a consuming reader cursor. Keeping the same crate
+//! name and method surface lets the workspace build with an empty registry
+//! cache (no network), which tier-1 verification requires.
+//!
+//! Semantics match the real crate for this subset: `get_*`/`copy_to_*` panic
+//! when the buffer holds fewer bytes than requested, so callers must bounds
+//! check with [`Buf::remaining`] first (the serializer's `need()` helper).
+
+/// Read side: a cursor over bytes, consumed front to back.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32;
+    /// Reads `n` bytes into a new [`Bytes`].
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+    /// Fills `dst` from the front of the buffer.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+/// Write side: append-only little-endian encoding.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32);
+}
+
+/// An owned, readable byte buffer with a consuming cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copies a slice into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// The unread remainder as a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.remaining() >= n, "buffer underflow");
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes {
+            data: self.take(n).to_vec(),
+            pos: 0,
+        }
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(self.take(dst.len()));
+    }
+}
+
+/// An owned, growable byte buffer for encoding.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// The encoded bytes as a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into a readable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_i64_le(-42);
+        w.put_f32_le(1.5);
+        w.put_slice(b"abc");
+        let mut r = Bytes::copy_from_slice(&w.to_vec());
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f32_le(), 1.5);
+        let tail = r.copy_to_bytes(3);
+        assert_eq!(tail.to_vec(), b"abc");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut r = Bytes::copy_from_slice(&[1, 2]);
+        let _ = r.get_u32_le();
+    }
+}

@@ -2,15 +2,20 @@
 //!
 //! ```sh
 //! sod2-cli list
-//! sod2-cli analyze  <model> [--scale tiny|full]
+//! sod2-cli analyze  <model> [--scale tiny|full] [--json]
 //! sod2-cli run      <model> [--size N] [--device s888-cpu|s888-gpu|s835-cpu|s835-gpu]
 //! sod2-cli compare  <model> [--samples N]
 //! ```
+//!
+//! `analyze` runs the full `sod2-analysis` diagnostic suite (IR lints, RDP
+//! cross-validation against a concrete execution, plan and memory-plan
+//! verification) and exits non-zero when any error-severity finding is
+//! reported.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sod2::{DeviceProfile, Engine, MnnLike, OrtLike, Sod2Engine, Sod2Options, TvmNimbleLike};
 use sod2_models::{all_models, model_by_name, DynModel, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
 use sod2_rdp::ShapeClass;
 
 fn main() {
@@ -82,10 +87,24 @@ fn list() {
 
 fn analyze(args: &[String]) {
     let scale = scale_of(args);
+    let json = args.iter().any(|a| a == "--json");
     let model = model_of(args, scale);
     let rdp = sod2_rdp::analyze(&model.graph);
+    if json {
+        // Machine-readable mode: diagnostics only.
+        let report = diagnose_model(&model);
+        println!("{}", report.render_json());
+        if report.has_errors() {
+            std::process::exit(1);
+        }
+        return;
+    }
     let (known, symbolic, op_inferred, nac, unknown) = rdp.class_counts();
-    println!("model      : {} ({} layers)", model.name, model.layer_count());
+    println!(
+        "model      : {} ({} layers)",
+        model.name,
+        model.layer_count()
+    );
     println!("dynamism   : {}", model.dynamism.label());
     println!("RDP sweeps : {}", rdp.iterations);
     println!("tensor shape classes:");
@@ -93,7 +112,10 @@ fn analyze(args: &[String]) {
     println!("  symbolic constants  : {symbolic}");
     println!("  op-inferred         : {op_inferred}");
     println!("  nac (exec-determined): {}", nac + unknown);
-    println!("  resolution rate     : {:.1}%", rdp.resolution_rate() * 100.0);
+    println!(
+        "  resolution rate     : {:.1}%",
+        rdp.resolution_rate() * 100.0
+    );
 
     let engine = Sod2Engine::new(
         model.graph.clone(),
@@ -120,6 +142,30 @@ fn analyze(args: &[String]) {
             shown += 1;
         }
     }
+
+    let report = diagnose_model(&model);
+    println!("diagnostics:");
+    print!("{}", report.render_text(Some(&model.graph)));
+    if report.has_errors() {
+        std::process::exit(1);
+    }
+}
+
+/// Runs the full diagnostic suite: static analysis plus one concrete
+/// inference at a representative input size for RDP cross-validation.
+fn diagnose_model(model: &DynModel) -> sod2_analysis::Report {
+    let mut engine = Sod2Engine::new(
+        model.graph.clone(),
+        DeviceProfile::s888_cpu(),
+        Sod2Options::default(),
+        &Default::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(42);
+    let (_, inputs) = model.sample_inputs(&mut rng);
+    engine.diagnose(&inputs).unwrap_or_else(|e| {
+        eprintln!("diagnostic inference failed: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn run(args: &[String]) {
@@ -205,10 +251,7 @@ fn compare(args: &[String]) {
     let inputs: Vec<_> = (0..samples)
         .map(|_| model.sample_inputs(&mut rng).1)
         .collect();
-    println!(
-        "{:<8} {:>10} {:>12}",
-        "engine", "avg ms", "avg peak MB"
-    );
+    println!("{:<8} {:>10} {:>12}", "engine", "avg ms", "avg peak MB");
     for e in engines.iter_mut() {
         let mut lat = 0.0;
         let mut mem = 0.0;

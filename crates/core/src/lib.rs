@@ -44,8 +44,7 @@
 
 pub use sod2_device::{DeviceKind, DeviceProfile};
 pub use sod2_frameworks::{
-    Engine, InferenceStats, MnnLike, OrtLike, Sod2Engine, Sod2Options, TfLiteLike,
-    TvmNimbleLike,
+    Engine, InferenceStats, MnnLike, OrtLike, Sod2Engine, Sod2Options, TfLiteLike, TvmNimbleLike,
 };
 pub use sod2_fusion::FusionPolicy;
 pub use sod2_ir::{Graph, Op};
@@ -98,12 +97,7 @@ impl Compiler {
     /// Compiles a graph into a runnable model.
     pub fn compile(&self, graph: Graph) -> CompiledModel {
         CompiledModel {
-            engine: Sod2Engine::new(
-                graph,
-                self.profile.clone(),
-                self.opts,
-                &self.repr_bindings,
-            ),
+            engine: Sod2Engine::new(graph, self.profile.clone(), self.opts, &self.repr_bindings),
         }
     }
 }

@@ -86,9 +86,7 @@ pub fn op_cost(
             8.0 * in_shapes.first().map(numel).unwrap_or(0.0)
         }
         Op::BatchNorm { .. } => 4.0 * in_shapes.first().map(numel).unwrap_or(0.0),
-        Op::Reduce { .. } | Op::ArgMax { .. } | Op::GlobalAvgPool | Op::CumSum { .. } => {
-            in_total
-        }
+        Op::Reduce { .. } | Op::ArgMax { .. } | Op::GlobalAvgPool | Op::CumSum { .. } => in_total,
         Op::Unary(_) | Op::Clip { .. } => 4.0 * in_total,
         Op::Binary(_) | Op::Compare(_) | Op::Where => out_total,
         Op::TopK { .. } => {

@@ -181,8 +181,18 @@ mod tests {
     #[test]
     fn skinny_prefers_tall_tiles() {
         let p = DeviceProfile::s888_cpu();
-        let tall = GemmParams { tile_m: 64, tile_n: 8, tile_k: 32, unroll: 4 };
-        let wide = GemmParams { tile_m: 8, tile_n: 64, tile_k: 32, unroll: 4 };
+        let tall = GemmParams {
+            tile_m: 64,
+            tile_n: 8,
+            tile_k: 32,
+            unroll: 4,
+        };
+        let wide = GemmParams {
+            tile_m: 8,
+            tile_n: 64,
+            tile_k: 32,
+            unroll: 4,
+        };
         let e_tall = gemm_efficiency(tall, 2048, 64, 64, &p);
         let e_wide = gemm_efficiency(wide, 2048, 64, 64, &p);
         assert!(e_tall > e_wide);
@@ -191,20 +201,33 @@ mod tests {
     #[test]
     fn oversized_tiles_penalized() {
         let p = DeviceProfile::s835_cpu();
-        let huge = GemmParams { tile_m: 2048, tile_n: 2048, tile_k: 512, unroll: 4 };
+        let huge = GemmParams {
+            tile_m: 2048,
+            tile_n: 2048,
+            tile_k: 512,
+            unroll: 4,
+        };
         let sane = GemmParams::default();
         assert!(
-            gemm_efficiency(sane, 512, 512, 512, &p)
-                > gemm_efficiency(huge, 512, 512, 512, &p)
+            gemm_efficiency(sane, 512, 512, 512, &p) > gemm_efficiency(huge, 512, 512, 512, &p)
         );
     }
 
     #[test]
     fn conv_efficiency_sane() {
         let p = DeviceProfile::s888_cpu();
-        let small = ConvParams { block_oc: 1, tile_w: 1 };
-        let good = ConvParams { block_oc: 8, tile_w: 16 };
-        let huge = ConvParams { block_oc: 4096, tile_w: 4096 };
+        let small = ConvParams {
+            block_oc: 1,
+            tile_w: 1,
+        };
+        let good = ConvParams {
+            block_oc: 8,
+            tile_w: 16,
+        };
+        let huge = ConvParams {
+            block_oc: 4096,
+            tile_w: 4096,
+        };
         let e_small = conv_efficiency(small, 32, 1024, 144, &p);
         let e_good = conv_efficiency(good, 32, 1024, 144, &p);
         let e_huge = conv_efficiency(huge, 32, 1024, 144, &p);
@@ -219,8 +242,18 @@ mod tests {
     fn gpu_rewards_wide_tiles_more_than_cpu() {
         let cpu = DeviceProfile::s888_cpu();
         let gpu = DeviceProfile::s888_gpu();
-        let narrow = GemmParams { tile_m: 32, tile_n: 4, tile_k: 32, unroll: 8 };
-        let wide = GemmParams { tile_m: 32, tile_n: 64, tile_k: 32, unroll: 8 };
+        let narrow = GemmParams {
+            tile_m: 32,
+            tile_n: 4,
+            tile_k: 32,
+            unroll: 8,
+        };
+        let wide = GemmParams {
+            tile_m: 32,
+            tile_n: 64,
+            tile_k: 32,
+            unroll: 8,
+        };
         let gpu_gain = gemm_efficiency(wide, 256, 256, 256, &gpu)
             / gemm_efficiency(narrow, 256, 256, 256, &gpu);
         let cpu_gain = gemm_efficiency(wide, 256, 256, 256, &cpu)

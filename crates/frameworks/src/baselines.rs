@@ -24,9 +24,7 @@ use crate::common::{shape_key, Engine, InferenceStats};
 use sod2_device::{price_reinit, DeviceProfile, OpCost};
 use sod2_fusion::{fuse, FusionPlan, FusionPolicy};
 use sod2_ir::{Graph, TensorId};
-use sod2_mem::{
-    peak_live_bytes, plan_best_fit, rematerialize, size_class_peak, TensorLife,
-};
+use sod2_mem::{peak_live_bytes, plan_best_fit, rematerialize, size_class_peak, TensorLife};
 use sod2_mvc::VersionTable;
 use sod2_plan::{naive_unit_order, unit_lifetimes, UnitGraph};
 use sod2_rdp::{analyze, RdpResult, ShapeClass};
@@ -91,10 +89,7 @@ impl Compiled {
             outcome
                 .concrete_shapes
                 .get(&t)
-                .map(|s| {
-                    s.iter().product::<usize>()
-                        * self.graph.tensor(t).dtype.size_bytes()
-                })
+                .map(|s| s.iter().product::<usize>() * self.graph.tensor(t).dtype.size_bytes())
                 .unwrap_or(0)
         };
         unit_lifetimes(&self.graph, &self.unit_graph, &self.unit_order, &size_of)

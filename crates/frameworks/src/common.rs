@@ -65,9 +65,7 @@ pub fn bindings_from_inputs(graph: &Graph, inputs: &[Tensor]) -> Result<Bindings
                     let prev = b.insert(name.to_string(), actual as i64);
                     if let Some(p) = prev {
                         if p != actual as i64 {
-                            return Err(format!(
-                                "symbol {name} bound to both {p} and {actual}"
-                            ));
+                            return Err(format!("symbol {name} bound to both {p} and {actual}"));
                         }
                     }
                 }
@@ -116,11 +114,7 @@ mod tests {
     #[test]
     fn conflicting_bindings_rejected() {
         let mut g = Graph::new();
-        let _ = g.add_input(
-            "x",
-            DType::F32,
-            vec![DimExpr::sym("S"), DimExpr::sym("S")],
-        );
+        let _ = g.add_input("x", DType::F32, vec![DimExpr::sym("S"), DimExpr::sym("S")]);
         assert!(bindings_from_inputs(&g, &[Tensor::zeros(&[3, 4])]).is_err());
         assert!(bindings_from_inputs(&g, &[Tensor::zeros(&[4, 4])]).is_ok());
     }

@@ -18,7 +18,7 @@
 //! use sod2_frameworks::{Engine, Sod2Engine, Sod2Options};
 //! use sod2_device::DeviceProfile;
 //! use sod2_models::{codebert, ModelScale};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use sod2_prng::{rngs::StdRng, SeedableRng};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let model = codebert(ModelScale::Tiny);

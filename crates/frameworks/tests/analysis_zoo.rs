@@ -1,0 +1,57 @@
+//! The analyzer must report zero errors over the whole model zoo: every
+//! graph passes the IR lints, RDP's predictions agree with observed
+//! execution, and every compiled plan verifies.
+
+use sod2_analysis::Severity;
+use sod2_device::DeviceProfile;
+use sod2_frameworks::{Sod2Engine, Sod2Options};
+use sod2_models::{all_models, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
+
+#[test]
+fn analyzer_reports_zero_errors_on_model_zoo() {
+    let mut rng = StdRng::seed_from_u64(23);
+    for model in all_models(ModelScale::Tiny) {
+        let mut engine = Sod2Engine::new(
+            model.graph.clone(),
+            DeviceProfile::s888_cpu(),
+            Sod2Options::default(),
+            &Default::default(),
+        );
+        for _ in 0..2 {
+            let (_, inputs) = model.sample_inputs(&mut rng);
+            let report = engine
+                .diagnose(&inputs)
+                .unwrap_or_else(|e| panic!("{}: diagnose failed: {e}", model.name));
+            assert!(
+                !report.has_errors(),
+                "{}: analyzer found errors:\n{}",
+                model.name,
+                report.render_text(Some(&model.graph))
+            );
+        }
+    }
+}
+
+#[test]
+fn analyzer_produces_planner_comparison_info() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = sod2_models::codebert(ModelScale::Tiny);
+    let mut engine = Sod2Engine::new(
+        model.graph.clone(),
+        DeviceProfile::s888_cpu(),
+        Sod2Options::default(),
+        &Default::default(),
+    );
+    let (_, inputs) = model.sample_inputs(&mut rng);
+    let report = engine.diagnose(&inputs).expect("diagnose runs");
+    assert!(report.has_code("mem/fragmentation"));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.severity == Severity::Info));
+    // Renderers stay well-formed on real reports.
+    let json = report.render_json();
+    assert!(json.starts_with('[') && json.ends_with(']'));
+}

@@ -70,8 +70,14 @@ mod tests {
 
     #[test]
     fn classification_samples() {
-        assert_eq!(mapping_type(&Op::Binary(BinaryOp::Add)), MappingType::OneToOne);
-        assert_eq!(mapping_type(&Op::Unary(UnaryOp::Relu)), MappingType::OneToOne);
+        assert_eq!(
+            mapping_type(&Op::Binary(BinaryOp::Add)),
+            MappingType::OneToOne
+        );
+        assert_eq!(
+            mapping_type(&Op::Unary(UnaryOp::Relu)),
+            MappingType::OneToOne
+        );
         assert_eq!(
             mapping_type(&Op::Conv2d {
                 spatial: Spatial2d::same(3),

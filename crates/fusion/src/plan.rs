@@ -62,6 +62,19 @@ pub struct FusionPlan {
 }
 
 impl FusionPlan {
+    /// Rebuilds a plan from raw groups. The node→group map is derived; on
+    /// duplicate membership the later group wins. Intended for plan
+    /// verification tooling and tests — [`fuse`] is the production path.
+    pub fn from_groups(groups: Vec<FusionGroup>) -> FusionPlan {
+        let mut group_of = HashMap::new();
+        for (g, group) in groups.iter().enumerate() {
+            for &n in &group.nodes {
+                group_of.insert(n, g);
+            }
+        }
+        FusionPlan { groups, group_of }
+    }
+
     /// Number of fused layers (groups) — Fig. 7(a)'s metric.
     pub fn layer_count(&self) -> usize {
         self.groups.len()
@@ -142,8 +155,7 @@ pub fn fuse(graph: &Graph, rdp: &RdpResult, policy: FusionPolicy) -> FusionPlan 
                 }
                 match try_fuse_into(graph, rdp, policy, &groups[gidx], node, input) {
                     EdgeFuse::Yes(factor) => {
-                        let new_versions =
-                            groups[gidx].num_versions.saturating_mul(factor);
+                        let new_versions = groups[gidx].num_versions.saturating_mul(factor);
                         if new_versions > MAX_VERSIONS {
                             continue;
                         }
@@ -317,11 +329,7 @@ fn shape_resolved(s: &ShapeValue, policy: FusionPolicy) -> bool {
 ///
 /// Implements the paper's Fig. 4 counting: each aligned dimension pair that
 /// RDP cannot resolve to "equal" or "constant 1" doubles the versions.
-fn broadcast_versions(
-    input: &ShapeValue,
-    out: &ShapeValue,
-    policy: FusionPolicy,
-) -> Option<usize> {
+fn broadcast_versions(input: &ShapeValue, out: &ShapeValue, policy: FusionPolicy) -> Option<usize> {
     let (id, od) = match (input.dims(), out.dims()) {
         (Some(i), Some(o)) => (i, o),
         _ => return None,
@@ -367,11 +375,7 @@ mod tests {
     fn conv_block(dynamic: bool) -> (Graph, usize) {
         let mut g = Graph::new();
         let h: DimExpr = if dynamic { DimExpr::sym("H") } else { 8.into() };
-        let x = g.add_input(
-            "x",
-            DType::F32,
-            vec![1.into(), 4.into(), h.clone(), h],
-        );
+        let x = g.add_input("x", DType::F32, vec![1.into(), 4.into(), h.clone(), h]);
         let w = g.add_const("w", &[4, 4, 3, 3], ConstData::F32(vec![0.0; 4 * 4 * 9]));
         let c = g.add_simple(
             "conv",
@@ -416,16 +420,8 @@ mod tests {
         // sigmoid(a[n, m]) + b[p, q] where nothing relates (n,m) to (p,q):
         // RDP yields Max() broadcast dims; 2 ambiguous dims → 4 versions.
         let mut g = Graph::new();
-        let a = g.add_input(
-            "a",
-            DType::F32,
-            vec![DimExpr::sym("n"), DimExpr::sym("m")],
-        );
-        let b = g.add_input(
-            "b",
-            DType::F32,
-            vec![DimExpr::sym("p"), DimExpr::sym("q")],
-        );
+        let a = g.add_input("a", DType::F32, vec![DimExpr::sym("n"), DimExpr::sym("m")]);
+        let b = g.add_input("b", DType::F32, vec![DimExpr::sym("p"), DimExpr::sym("q")]);
         let s = g.add_simple("sig", Op::Unary(UnaryOp::Sigmoid), &[a], DType::F32);
         let y = g.add_simple("add", Op::Binary(BinaryOp::Add), &[s, b], DType::F32);
         g.mark_output(y);
@@ -441,11 +437,7 @@ mod tests {
         // Paper Fig. 4: A[I', J', K'] where RDP proves I'=I, J'=1, K'=1.
         // Model: A = x[I, 1, 1] (annotation shares the symbol), B = y[I,J,K].
         let mut g = Graph::new();
-        let a = g.add_input(
-            "a",
-            DType::F32,
-            vec![DimExpr::sym("I"), 1.into(), 1.into()],
-        );
+        let a = g.add_input("a", DType::F32, vec![DimExpr::sym("I"), 1.into(), 1.into()]);
         let b = g.add_input(
             "b",
             DType::F32,
@@ -492,12 +484,7 @@ mod tests {
         let mut g = Graph::new();
         let x = g.add_input("x", DType::F32, vec![DimExpr::sym("n")]);
         let nz = g.add_simple("nz", Op::NonZero, &[x], DType::I64);
-        let c = g.add_simple(
-            "cast",
-            Op::Cast { to: DType::F32 },
-            &[nz],
-            DType::F32,
-        );
+        let c = g.add_simple("cast", Op::Cast { to: DType::F32 }, &[nz], DType::F32);
         let r = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[c], DType::F32);
         g.mark_output(r);
         let rdp = analyze(&g);

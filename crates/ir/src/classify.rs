@@ -95,10 +95,9 @@ pub fn classify(op: &Op) -> DynamismClass {
         | Op::Resize
         | Op::Tile
         | Op::OneHot => InputShapeValueDeterminedOutputShape,
-        Op::NonZero
-        | Op::NonMaxSuppression { .. }
-        | Op::Switch { .. }
-        | Op::Combine { .. } => ExecutionDeterminedOutput,
+        Op::NonZero | Op::NonMaxSuppression { .. } | Op::Switch { .. } | Op::Combine { .. } => {
+            ExecutionDeterminedOutput
+        }
     }
 }
 
@@ -155,10 +154,7 @@ mod tests {
             InputShapeDeterminedOutputShape
         );
         assert_eq!(classify(&Op::MatMul), InputShapeDeterminedOutputShape);
-        assert_eq!(
-            classify(&Op::Reshape),
-            InputShapeValueDeterminedOutputShape
-        );
+        assert_eq!(classify(&Op::Reshape), InputShapeValueDeterminedOutputShape);
         assert_eq!(classify(&Op::Range), InputShapeValueDeterminedOutputShape);
         assert_eq!(classify(&Op::NonZero), ExecutionDeterminedOutput);
         assert_eq!(

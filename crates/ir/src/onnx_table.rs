@@ -25,8 +25,7 @@ const fn row(name: &'static str, class: DynamismClass) -> OnnxOpClass {
 
 use DynamismClass::{
     ExecutionDeterminedOutput as EDO, InputShapeDeterminedOutput as ISDO,
-    InputShapeDeterminedOutputShape as ISDOS,
-    InputShapeValueDeterminedOutputShape as ISVDOS,
+    InputShapeDeterminedOutputShape as ISDOS, InputShapeValueDeterminedOutputShape as ISVDOS,
 };
 
 /// Classification of 150 ONNX operators plus the `<Switch, Combine>` pair.
@@ -232,8 +231,7 @@ mod tests {
 
     #[test]
     fn no_duplicate_rows() {
-        let mut names: Vec<&str> =
-            ONNX_OP_CLASSIFICATION.iter().map(|r| r.name).collect();
+        let mut names: Vec<&str> = ONNX_OP_CLASSIFICATION.iter().map(|r| r.name).collect();
         names.sort_unstable();
         let before = names.len();
         names.dedup();

@@ -496,11 +496,21 @@ impl Op {
             MaxPool2d { .. } => "MaxPool",
             AvgPool2d { .. } => "AveragePool",
             GlobalAvgPool => "GlobalAveragePool",
-            Reduce { op: ReduceOp::Sum, .. } => "ReduceSum",
-            Reduce { op: ReduceOp::Mean, .. } => "ReduceMean",
-            Reduce { op: ReduceOp::Max, .. } => "ReduceMax",
-            Reduce { op: ReduceOp::Min, .. } => "ReduceMin",
-            Reduce { op: ReduceOp::Prod, .. } => "ReduceProd",
+            Reduce {
+                op: ReduceOp::Sum, ..
+            } => "ReduceSum",
+            Reduce {
+                op: ReduceOp::Mean, ..
+            } => "ReduceMean",
+            Reduce {
+                op: ReduceOp::Max, ..
+            } => "ReduceMax",
+            Reduce {
+                op: ReduceOp::Min, ..
+            } => "ReduceMin",
+            Reduce {
+                op: ReduceOp::Prod, ..
+            } => "ReduceProd",
             ArgMax { .. } => "ArgMax",
             Concat { .. } => "Concat",
             Transpose { .. } => "Transpose",

@@ -152,7 +152,12 @@ fn get_expr(buf: &mut Bytes) -> Result<DimExpr, DecodeError> {
                 _ => DimExpr::modulo(a, b),
             }
         }
-        t => return Err(DecodeError::BadTag { what: "expr", tag: t }),
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "expr",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -195,12 +200,22 @@ fn get_shape(buf: &mut Bytes) -> Result<ShapeValue, DecodeError> {
                     0 => DimValue::Undef,
                     2 => DimValue::Nac,
                     1 => DimValue::Expr(get_expr(buf)?),
-                    t => return Err(DecodeError::BadTag { what: "dim", tag: t }),
+                    t => {
+                        return Err(DecodeError::BadTag {
+                            what: "dim",
+                            tag: t,
+                        })
+                    }
                 });
             }
             ShapeValue::Ranked(dims)
         }
-        t => return Err(DecodeError::BadTag { what: "shape", tag: t }),
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "shape",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -219,7 +234,12 @@ fn dtype_from(tag: u8) -> Result<DType, DecodeError> {
         1 => DType::I64,
         2 => DType::Bool,
         3 => DType::U8,
-        t => return Err(DecodeError::BadTag { what: "dtype", tag: t }),
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "dtype",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -277,7 +297,12 @@ fn get_const(buf: &mut Bytes) -> Result<ConstData, DecodeError> {
             buf.copy_to_slice(&mut v);
             ConstData::U8(v)
         }
-        t => return Err(DecodeError::BadTag { what: "const", tag: t }),
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "const",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -296,7 +321,14 @@ fn get_i64s(buf: &mut Bytes) -> Result<Vec<i64>, DecodeError> {
 }
 
 fn put_spatial(out: &mut BytesMut, s: &Spatial2d) {
-    for v in [s.kernel[0], s.kernel[1], s.stride[0], s.stride[1], s.padding[0], s.padding[1]] {
+    for v in [
+        s.kernel[0],
+        s.kernel[1],
+        s.stride[0],
+        s.stride[1],
+        s.padding[0],
+        s.padding[1],
+    ] {
         out.put_u32_le(v as u32);
     }
 }
@@ -317,21 +349,66 @@ fn get_spatial(buf: &mut Bytes) -> Result<Spatial2d, DecodeError> {
 fn unary_tag(u: UnaryOp) -> u8 {
     use UnaryOp::*;
     match u {
-        Relu => 0, LeakyRelu => 1, Sigmoid => 2, Tanh => 3, Gelu => 4, Erf => 5,
-        Exp => 6, Log => 7, Sqrt => 8, Neg => 9, Abs => 10, Round => 11, Floor => 12,
-        Ceil => 13, Softplus => 14, Silu => 15, HardSigmoid => 16, HardSwish => 17,
-        Elu => 18, Selu => 19, Sign => 20, Reciprocal => 21, Sin => 22, Cos => 23,
+        Relu => 0,
+        LeakyRelu => 1,
+        Sigmoid => 2,
+        Tanh => 3,
+        Gelu => 4,
+        Erf => 5,
+        Exp => 6,
+        Log => 7,
+        Sqrt => 8,
+        Neg => 9,
+        Abs => 10,
+        Round => 11,
+        Floor => 12,
+        Ceil => 13,
+        Softplus => 14,
+        Silu => 15,
+        HardSigmoid => 16,
+        HardSwish => 17,
+        Elu => 18,
+        Selu => 19,
+        Sign => 20,
+        Reciprocal => 21,
+        Sin => 22,
+        Cos => 23,
     }
 }
 
 fn unary_from(tag: u8) -> Result<UnaryOp, DecodeError> {
     use UnaryOp::*;
     Ok(match tag {
-        0 => Relu, 1 => LeakyRelu, 2 => Sigmoid, 3 => Tanh, 4 => Gelu, 5 => Erf,
-        6 => Exp, 7 => Log, 8 => Sqrt, 9 => Neg, 10 => Abs, 11 => Round, 12 => Floor,
-        13 => Ceil, 14 => Softplus, 15 => Silu, 16 => HardSigmoid, 17 => HardSwish,
-        18 => Elu, 19 => Selu, 20 => Sign, 21 => Reciprocal, 22 => Sin, 23 => Cos,
-        t => return Err(DecodeError::BadTag { what: "unary", tag: t }),
+        0 => Relu,
+        1 => LeakyRelu,
+        2 => Sigmoid,
+        3 => Tanh,
+        4 => Gelu,
+        5 => Erf,
+        6 => Exp,
+        7 => Log,
+        8 => Sqrt,
+        9 => Neg,
+        10 => Abs,
+        11 => Round,
+        12 => Floor,
+        13 => Ceil,
+        14 => Softplus,
+        15 => Silu,
+        16 => HardSigmoid,
+        17 => HardSwish,
+        18 => Elu,
+        19 => Selu,
+        20 => Sign,
+        21 => Reciprocal,
+        22 => Sin,
+        23 => Cos,
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "unary",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -391,7 +468,11 @@ fn put_op(out: &mut BytesMut, op: &Op) {
             put_spatial(out, spatial);
         }
         Op::GlobalAvgPool => out.put_u8(16),
-        Op::Reduce { op, axes, keep_dims } => {
+        Op::Reduce {
+            op,
+            axes,
+            keep_dims,
+        } => {
             out.put_u8(17);
             out.put_u8(*op as u8);
             put_i64s(out, axes);
@@ -494,23 +575,50 @@ fn get_op(buf: &mut Bytes) -> Result<Op, DecodeError> {
     fn binary_from(tag: u8) -> Result<BinaryOp, DecodeError> {
         use BinaryOp::*;
         Ok(match tag {
-            0 => Add, 1 => Sub, 2 => Mul, 3 => Div, 4 => Pow, 5 => Min, 6 => Max,
+            0 => Add,
+            1 => Sub,
+            2 => Mul,
+            3 => Div,
+            4 => Pow,
+            5 => Min,
+            6 => Max,
             7 => Mod,
-            t => return Err(DecodeError::BadTag { what: "binary", tag: t }),
+            t => {
+                return Err(DecodeError::BadTag {
+                    what: "binary",
+                    tag: t,
+                })
+            }
         })
     }
     fn compare_from(tag: u8) -> Result<CompareOp, DecodeError> {
         use CompareOp::*;
         Ok(match tag {
-            0 => Equal, 1 => Less, 2 => Greater,
-            t => return Err(DecodeError::BadTag { what: "compare", tag: t }),
+            0 => Equal,
+            1 => Less,
+            2 => Greater,
+            t => {
+                return Err(DecodeError::BadTag {
+                    what: "compare",
+                    tag: t,
+                })
+            }
         })
     }
     fn reduce_from(tag: u8) -> Result<ReduceOp, DecodeError> {
         use ReduceOp::*;
         Ok(match tag {
-            0 => Sum, 1 => Mean, 2 => Max, 3 => Min, 4 => Prod,
-            t => return Err(DecodeError::BadTag { what: "reduce", tag: t }),
+            0 => Sum,
+            1 => Mean,
+            2 => Max,
+            3 => Min,
+            4 => Prod,
+            t => {
+                return Err(DecodeError::BadTag {
+                    what: "reduce",
+                    tag: t,
+                })
+            }
         })
     }
     need(buf, 1)?;
@@ -520,7 +628,9 @@ fn get_op(buf: &mut Bytes) -> Result<Op, DecodeError> {
         1 => Op::Size,
         2 => {
             need(buf, 4)?;
-            Op::ConstantOfShape { value: buf.get_f32_le() }
+            Op::ConstantOfShape {
+                value: buf.get_f32_le(),
+            }
         }
         3 => Op::EyeLike,
         4 => {
@@ -537,73 +647,119 @@ fn get_op(buf: &mut Bytes) -> Result<Op, DecodeError> {
         }
         7 => {
             need(buf, 1)?;
-            Op::Cast { to: dtype_from(buf.get_u8())? }
+            Op::Cast {
+                to: dtype_from(buf.get_u8())?,
+            }
         }
         8 => {
             need(buf, 8)?;
-            Op::Clip { min: buf.get_f32_le(), max: buf.get_f32_le() }
+            Op::Clip {
+                min: buf.get_f32_le(),
+                max: buf.get_f32_le(),
+            }
         }
         9 => Op::Where,
         10 => {
             need(buf, 8)?;
-            Op::Softmax { axis: buf.get_i64_le() }
+            Op::Softmax {
+                axis: buf.get_i64_le(),
+            }
         }
         11 => {
             let spatial = get_spatial(buf)?;
             need(buf, 4)?;
-            Op::Conv2d { spatial, groups: buf.get_u32_le() as usize }
+            Op::Conv2d {
+                spatial,
+                groups: buf.get_u32_le() as usize,
+            }
         }
         12 => Op::MatMul,
         13 => {
             need(buf, 2)?;
-            Op::Gemm { trans_a: buf.get_u8() != 0, trans_b: buf.get_u8() != 0 }
+            Op::Gemm {
+                trans_a: buf.get_u8() != 0,
+                trans_b: buf.get_u8() != 0,
+            }
         }
-        14 => Op::MaxPool2d { spatial: get_spatial(buf)? },
-        15 => Op::AvgPool2d { spatial: get_spatial(buf)? },
+        14 => Op::MaxPool2d {
+            spatial: get_spatial(buf)?,
+        },
+        15 => Op::AvgPool2d {
+            spatial: get_spatial(buf)?,
+        },
         16 => Op::GlobalAvgPool,
         17 => {
             need(buf, 1)?;
             let op = reduce_from(buf.get_u8())?;
             let axes = get_i64s(buf)?;
             need(buf, 1)?;
-            Op::Reduce { op, axes, keep_dims: buf.get_u8() != 0 }
+            Op::Reduce {
+                op,
+                axes,
+                keep_dims: buf.get_u8() != 0,
+            }
         }
         18 => {
             need(buf, 9)?;
-            Op::ArgMax { axis: buf.get_i64_le(), keep_dims: buf.get_u8() != 0 }
+            Op::ArgMax {
+                axis: buf.get_i64_le(),
+                keep_dims: buf.get_u8() != 0,
+            }
         }
         19 => {
             need(buf, 8)?;
-            Op::Concat { axis: buf.get_i64_le() }
+            Op::Concat {
+                axis: buf.get_i64_le(),
+            }
         }
         20 => {
             let perm = get_i64s(buf)?;
-            Op::Transpose { perm: perm.into_iter().map(|p| p as usize).collect() }
+            Op::Transpose {
+                perm: perm.into_iter().map(|p| p as usize).collect(),
+            }
         }
         21 => {
             need(buf, 8)?;
-            Op::Flatten { axis: buf.get_i64_le() }
+            Op::Flatten {
+                axis: buf.get_i64_le(),
+            }
         }
         22 => {
             need(buf, 4)?;
-            Op::LayerNorm { epsilon: buf.get_f32_le() }
+            Op::LayerNorm {
+                epsilon: buf.get_f32_le(),
+            }
         }
         23 => {
             need(buf, 4)?;
-            Op::BatchNorm { epsilon: buf.get_f32_le() }
+            Op::BatchNorm {
+                epsilon: buf.get_f32_le(),
+            }
         }
         24 => {
             need(buf, 8)?;
-            Op::Gather { axis: buf.get_i64_le() }
+            Op::Gather {
+                axis: buf.get_i64_le(),
+            }
         }
         25 => {
             let pads = get_i64s(buf)?;
             need(buf, 4)?;
-            Op::Pad { pads, value: buf.get_f32_le() }
+            Op::Pad {
+                pads,
+                value: buf.get_f32_le(),
+            }
         }
-        26 => Op::Slice { starts: get_i64s(buf)?, ends: get_i64s(buf)? },
-        27 => Op::Unsqueeze { axes: get_i64s(buf)? },
-        28 => Op::Squeeze { axes: get_i64s(buf)? },
+        26 => Op::Slice {
+            starts: get_i64s(buf)?,
+            ends: get_i64s(buf)?,
+        },
+        27 => Op::Unsqueeze {
+            axes: get_i64s(buf)?,
+        },
+        28 => Op::Squeeze {
+            axes: get_i64s(buf)?,
+        },
         29 => Op::Identity,
         30 => Op::Reshape,
         31 => Op::Expand,
@@ -611,7 +767,9 @@ fn get_op(buf: &mut Bytes) -> Result<Op, DecodeError> {
         33 => Op::SliceDyn,
         34 => {
             need(buf, 8)?;
-            Op::TopK { axis: buf.get_i64_le() }
+            Op::TopK {
+                axis: buf.get_i64_le(),
+            }
         }
         35 => Op::Resize,
         36 => Op::Tile,
@@ -619,32 +777,47 @@ fn get_op(buf: &mut Bytes) -> Result<Op, DecodeError> {
         38 => Op::NonZero,
         39 => {
             need(buf, 4)?;
-            Op::NonMaxSuppression { max_output: buf.get_u32_le() as usize }
+            Op::NonMaxSuppression {
+                max_output: buf.get_u32_le() as usize,
+            }
         }
         40 => {
             need(buf, 4)?;
-            Op::Switch { num_branches: buf.get_u32_le() as usize }
+            Op::Switch {
+                num_branches: buf.get_u32_le() as usize,
+            }
         }
         41 => {
             need(buf, 4)?;
-            Op::Combine { num_branches: buf.get_u32_le() as usize }
+            Op::Combine {
+                num_branches: buf.get_u32_le() as usize,
+            }
         }
         42 => {
             need(buf, 8)?;
             let axis = buf.get_i64_le();
-            Op::Split { axis, splits: get_i64s(buf)? }
+            Op::Split {
+                axis,
+                splits: get_i64s(buf)?,
+            }
         }
         43 => {
             need(buf, 8)?;
-            Op::CumSum { axis: buf.get_i64_le() }
+            Op::CumSum {
+                axis: buf.get_i64_le(),
+            }
         }
         44 => {
             need(buf, 8)?;
-            Op::LogSoftmax { axis: buf.get_i64_le() }
+            Op::LogSoftmax {
+                axis: buf.get_i64_le(),
+            }
         }
         45 => {
             need(buf, 4)?;
-            Op::InstanceNorm { epsilon: buf.get_f32_le() }
+            Op::InstanceNorm {
+                epsilon: buf.get_f32_le(),
+            }
         }
         t => return Err(DecodeError::BadTag { what: "op", tag: t }),
     })
@@ -779,7 +952,10 @@ mod tests {
         let a = g.add_simple("add", Op::Binary(BinaryOp::Add), &[r, gth], DType::F32);
         let outs = g.add_node(
             "split",
-            Op::Split { axis: 1, splits: vec![1, 1] },
+            Op::Split {
+                axis: 1,
+                splits: vec![1, 1],
+            },
             &[a],
             DType::F32,
         );

@@ -75,13 +75,19 @@ pub fn validate(g: &Graph) -> Result<(), ValidateError> {
     for n in g.nodes() {
         for &t in n.inputs.iter().chain(n.outputs.iter()) {
             if t.0 >= num_tensors {
-                return Err(ValidateError::DanglingTensor { node: n.id, tensor: t });
+                return Err(ValidateError::DanglingTensor {
+                    node: n.id,
+                    tensor: t,
+                });
             }
         }
         for &t in &n.inputs {
             let info = g.tensor(t);
             if g.producer(t).is_none() && !info.is_const() && !g.inputs().contains(&t) {
-                return Err(ValidateError::Unproduced { node: n.id, tensor: t });
+                return Err(ValidateError::Unproduced {
+                    node: n.id,
+                    tensor: t,
+                });
             }
         }
         // Control-flow pairing sanity: Combine's selector must be its last

@@ -105,8 +105,7 @@ pub fn conv2d_with_params(
                                         if iy < 0 || iy >= h as i64 {
                                             continue;
                                         }
-                                        let xrow =
-                                            ((b * ci + ic) * h + iy as usize) * wd;
+                                        let xrow = ((b * ci + ic) * h + iy as usize) * wd;
                                         let wrow = ((oc * cig + icg) * kh + ky) * kw;
                                         for kx in 0..kw {
                                             let ix = ox as i64 * sw - pw + kx as i64;
@@ -224,14 +223,29 @@ mod tests {
 
     #[test]
     fn conv_params_do_not_change_results() {
-        let x = Tensor::from_f32(&[1, 3, 9, 9], (0..243).map(|i| (i % 11) as f32 - 5.0).collect());
-        let w = Tensor::from_f32(&[6, 3, 3, 3], (0..162).map(|i| (i % 7) as f32 * 0.1).collect());
+        let x = Tensor::from_f32(
+            &[1, 3, 9, 9],
+            (0..243).map(|i| (i % 11) as f32 - 5.0).collect(),
+        );
+        let w = Tensor::from_f32(
+            &[6, 3, 3, 3],
+            (0..162).map(|i| (i % 7) as f32 * 0.1).collect(),
+        );
         let s = Spatial2d::new(3, 2, 1);
         let reference = conv2d(&x, &w, None, &s, 1).expect("conv");
         for params in [
-            ConvParams { block_oc: 1, tile_w: 1 },
-            ConvParams { block_oc: 4, tile_w: 3 },
-            ConvParams { block_oc: 64, tile_w: 64 },
+            ConvParams {
+                block_oc: 1,
+                tile_w: 1,
+            },
+            ConvParams {
+                block_oc: 4,
+                tile_w: 3,
+            },
+            ConvParams {
+                block_oc: 64,
+                tile_w: 64,
+            },
         ] {
             let got = conv2d_with_params(&x, &w, None, &s, 1, params).expect("conv");
             assert!(got.approx_eq(&reference, 1e-4), "{params:?}");

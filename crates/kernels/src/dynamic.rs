@@ -73,7 +73,9 @@ pub fn non_max_suppression(
     }
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        sv[b].partial_cmp(&sv[a]).unwrap_or(std::cmp::Ordering::Equal)
+        sv[b]
+            .partial_cmp(&sv[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let area = |i: usize| -> f32 {
         let b = &bv[i * 4..i * 4 + 4];

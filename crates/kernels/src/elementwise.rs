@@ -6,9 +6,7 @@ use sod2_tensor::{broadcast_output_shape, BroadcastIndexer, Data, Tensor};
 
 /// Applies a unary function element-wise.
 pub fn unary(op: UnaryOp, x: &Tensor) -> Result<Tensor, KernelError> {
-    let xs = x
-        .as_f32()
-        .map_err(|e| dtype_err("Unary", e.to_string()))?;
+    let xs = x.as_f32().map_err(|e| dtype_err("Unary", e.to_string()))?;
     let f = unary_fn(op);
     let out: Vec<f32> = xs.iter().map(|&v| f(v)).collect();
     Ok(Tensor::from_f32(x.shape(), out))
@@ -24,9 +22,7 @@ pub fn unary_fn(op: UnaryOp) -> fn(f32) -> f32 {
         UnaryOp::Gelu => |v| {
             0.5 * v
                 * (1.0
-                    + ((2.0f32 / std::f32::consts::PI).sqrt()
-                        * (v + 0.044_715 * v * v * v))
-                        .tanh())
+                    + ((2.0f32 / std::f32::consts::PI).sqrt() * (v + 0.044_715 * v * v * v)).tanh())
         },
         UnaryOp::Erf => erf_f32,
         UnaryOp::Exp => f32::exp,
@@ -258,15 +254,11 @@ pub fn cast(x: &Tensor, to: DType) -> Result<Tensor, KernelError> {
         (Data::I64(v), DType::F32) => Data::F32(v.iter().map(|&x| x as f32).collect()),
         (Data::I64(v), DType::I64) => Data::I64(v.clone()),
         (Data::I64(v), DType::Bool) => Data::Bool(v.iter().map(|&x| x != 0).collect()),
-        (Data::I64(v), DType::U8) => {
-            Data::U8(v.iter().map(|&x| x.clamp(0, 255) as u8).collect())
-        }
+        (Data::I64(v), DType::U8) => Data::U8(v.iter().map(|&x| x.clamp(0, 255) as u8).collect()),
         (Data::Bool(v), DType::F32) => {
             Data::F32(v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect())
         }
-        (Data::Bool(v), DType::I64) => {
-            Data::I64(v.iter().map(|&x| i64::from(x)).collect())
-        }
+        (Data::Bool(v), DType::I64) => Data::I64(v.iter().map(|&x| i64::from(x)).collect()),
         (Data::Bool(v), DType::Bool) => Data::Bool(v.clone()),
         (Data::Bool(v), DType::U8) => Data::U8(v.iter().map(|&x| u8::from(x)).collect()),
         (Data::U8(v), DType::F32) => Data::F32(v.iter().map(|&x| f32::from(x)).collect()),

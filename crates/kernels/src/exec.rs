@@ -5,11 +5,12 @@ use crate::dynamic::{non_max_suppression, non_zero};
 use crate::elementwise::{binary, cast, clip, compare, unary, where_select};
 use crate::error::KernelError;
 use crate::linalg::{gemm, matmul_with_params, GemmParams};
-use crate::reduce::{argmax, batch_norm, cumsum, instance_norm, layer_norm, log_softmax, reduce, softmax, topk};
+use crate::reduce::{
+    argmax, batch_norm, cumsum, instance_norm, layer_norm, log_softmax, reduce, softmax, topk,
+};
 use crate::shape_ops::{
-    concat, constant_of_shape, expand, eye_like, flatten, gather, one_hot, pad, range,
-    reshape, resize_nearest, shape_of, size_of, slice, split, squeeze, tile,
-    transpose, unsqueeze,
+    concat, constant_of_shape, expand, eye_like, flatten, gather, one_hot, pad, range, reshape,
+    resize_nearest, shape_of, size_of, slice, split, squeeze, tile, transpose, unsqueeze,
 };
 use sod2_ir::Op;
 use sod2_tensor::Tensor;
@@ -91,16 +92,16 @@ pub fn execute_op_with_variants(
         Op::MaxPool2d { spatial } => one(pool2d(inputs[0], spatial, PoolMode::Max)),
         Op::AvgPool2d { spatial } => one(pool2d(inputs[0], spatial, PoolMode::Avg)),
         Op::GlobalAvgPool => one(global_avg_pool(inputs[0])),
-        Op::Reduce { op: r, axes, keep_dims } => {
-            one(reduce(*r, inputs[0], axes, *keep_dims))
-        }
+        Op::Reduce {
+            op: r,
+            axes,
+            keep_dims,
+        } => one(reduce(*r, inputs[0], axes, *keep_dims)),
         Op::ArgMax { axis, keep_dims } => one(argmax(inputs[0], *axis, *keep_dims)),
         Op::Concat { axis } => one(concat(inputs, *axis)),
         Op::Transpose { perm } => one(transpose(inputs[0], perm)),
         Op::Flatten { axis } => one(flatten(inputs[0], *axis)),
-        Op::LayerNorm { epsilon } => {
-            one(layer_norm(inputs[0], inputs[1], inputs[2], *epsilon))
-        }
+        Op::LayerNorm { epsilon } => one(layer_norm(inputs[0], inputs[1], inputs[2], *epsilon)),
         Op::BatchNorm { epsilon } => one(batch_norm(
             inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], *epsilon,
         )),
@@ -145,12 +146,15 @@ pub fn execute_op_with_variants(
         Op::Tile => one(tile(inputs[0], inputs[1])),
         Op::OneHot => one(one_hot(inputs[0], inputs[1])),
         Op::NonZero => one(non_zero(inputs[0])),
-        Op::NonMaxSuppression { max_output } => {
-            one(non_max_suppression(inputs[0], inputs[1], inputs[2], *max_output))
+        Op::NonMaxSuppression { max_output } => one(non_max_suppression(
+            inputs[0],
+            inputs[1],
+            inputs[2],
+            *max_output,
+        )),
+        Op::Switch { .. } | Op::Combine { .. } => {
+            Err(KernelError::NotExecutable { op: op.mnemonic() })
         }
-        Op::Switch { .. } | Op::Combine { .. } => Err(KernelError::NotExecutable {
-            op: op.mnemonic(),
-        }),
     }
 }
 

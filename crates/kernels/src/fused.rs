@@ -79,10 +79,7 @@ pub fn fused_output_shape(
 /// # Errors
 ///
 /// Returns kernel errors for non-f32 operands or incompatible broadcasts.
-pub fn fused_elementwise(
-    seed: &Tensor,
-    steps: &[FusedStep<'_>],
-) -> Result<Tensor, KernelError> {
+pub fn fused_elementwise(seed: &Tensor, steps: &[FusedStep<'_>]) -> Result<Tensor, KernelError> {
     let out_shape = fused_output_shape(seed, steps)?;
     let n: usize = out_shape.iter().product();
     let seed_v = seed
@@ -113,7 +110,9 @@ pub fn fused_elementwise(
             v = match s {
                 FusedStep::Unary(u) => unary_fn(*u)(v),
                 FusedStep::Clip { min, max } => v.clamp(*min, *max),
-                FusedStep::Binary { op, chain_is_lhs, .. } => {
+                FusedStep::Binary {
+                    op, chain_is_lhs, ..
+                } => {
                     let operand = operand.as_ref().expect("binary step has operand");
                     let o = operand.values[operand.ix.src_offset(i)];
                     if *chain_is_lhs {

@@ -27,14 +27,14 @@ pub mod conv;
 pub mod dynamic;
 pub mod elementwise;
 mod error;
-pub mod fused;
 mod exec;
+pub mod fused;
 pub mod linalg;
 pub mod reduce;
 pub mod shape_ops;
 
 pub use conv::{conv2d_with_params, ConvParams, PoolMode};
 pub use error::KernelError;
-pub use fused::{fused_elementwise, fused_output_shape, FusedStep};
 pub use exec::{execute_op, execute_op_with_gemm, execute_op_with_variants};
+pub use fused::{fused_elementwise, fused_output_shape, FusedStep};
 pub use linalg::{gemm_naive, gemm_tiled, matmul_with_params, GemmParams};

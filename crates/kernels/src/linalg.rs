@@ -239,8 +239,18 @@ mod tests {
         let want = gemm_naive(&a, &b, m, k, n);
         for params in [
             GemmParams::default(),
-            GemmParams { tile_m: 4, tile_n: 8, tile_k: 16, unroll: 1 },
-            GemmParams { tile_m: 64, tile_n: 2, tile_k: 3, unroll: 8 },
+            GemmParams {
+                tile_m: 4,
+                tile_n: 8,
+                tile_k: 16,
+                unroll: 1,
+            },
+            GemmParams {
+                tile_m: 64,
+                tile_n: 2,
+                tile_k: 3,
+                unroll: 8,
+            },
         ] {
             let got = gemm_tiled(&a, &b, m, k, n, params);
             for (x, y) in want.iter().zip(&got) {
@@ -265,10 +275,7 @@ mod tests {
         let b = Tensor::from_f32(&[2, 2], vec![1., 2., 3., 4.]);
         let c = matmul(&a, &b).expect("matmul");
         assert_eq!(c.shape(), &[2, 1, 2, 2]);
-        assert_eq!(
-            c.as_f32().expect("f32"),
-            &[1., 2., 3., 4., 2., 4., 6., 8.]
-        );
+        assert_eq!(c.as_f32().expect("f32"), &[1., 2., 3., 4., 2., 4., 6., 8.]);
     }
 
     #[test]

@@ -107,7 +107,9 @@ pub fn argmax(x: &Tensor, axis: i64, keep_dims: bool) -> Result<Tensor, KernelEr
 
 /// Numerically stable softmax along `axis`.
 pub fn softmax(x: &Tensor, axis: i64) -> Result<Tensor, KernelError> {
-    let xv = x.as_f32().map_err(|e| dtype_err("Softmax", e.to_string()))?;
+    let xv = x
+        .as_f32()
+        .map_err(|e| dtype_err("Softmax", e.to_string()))?;
     let rank = x.rank();
     let ax = normalize_axis(axis, rank).ok_or_else(|| shape_err("Softmax", "bad axis"))?;
     let dims = x.shape();
@@ -139,7 +141,9 @@ pub fn softmax(x: &Tensor, axis: i64) -> Result<Tensor, KernelError> {
 /// `log(softmax(x))` along `axis`, numerically stable.
 pub fn log_softmax(x: &Tensor, axis: i64) -> Result<Tensor, KernelError> {
     let sm = softmax(x, axis)?;
-    let v = sm.as_f32().map_err(|e| dtype_err("LogSoftmax", e.to_string()))?;
+    let v = sm
+        .as_f32()
+        .map_err(|e| dtype_err("LogSoftmax", e.to_string()))?;
     Ok(Tensor::from_f32(
         x.shape(),
         v.iter().map(|&p| p.max(1e-30).ln()).collect(),
@@ -176,7 +180,9 @@ pub fn instance_norm(
     bias: &Tensor,
     epsilon: f32,
 ) -> Result<Tensor, KernelError> {
-    let xv = x.as_f32().map_err(|e| dtype_err("InstanceNorm", e.to_string()))?;
+    let xv = x
+        .as_f32()
+        .map_err(|e| dtype_err("InstanceNorm", e.to_string()))?;
     let sv = scale
         .as_f32()
         .map_err(|e| dtype_err("InstanceNorm", e.to_string()))?;
@@ -216,7 +222,9 @@ pub fn layer_norm(
     bias: &Tensor,
     epsilon: f32,
 ) -> Result<Tensor, KernelError> {
-    let xv = x.as_f32().map_err(|e| dtype_err("LayerNorm", e.to_string()))?;
+    let xv = x
+        .as_f32()
+        .map_err(|e| dtype_err("LayerNorm", e.to_string()))?;
     let sv = scale
         .as_f32()
         .map_err(|e| dtype_err("LayerNorm", e.to_string()))?;
@@ -224,7 +232,9 @@ pub fn layer_norm(
         .as_f32()
         .map_err(|e| dtype_err("LayerNorm", e.to_string()))?;
     let dims = x.shape();
-    let d = *dims.last().ok_or_else(|| shape_err("LayerNorm", "rank 0"))?;
+    let d = *dims
+        .last()
+        .ok_or_else(|| shape_err("LayerNorm", "rank 0"))?;
     if sv.len() != d || bv.len() != d {
         return Err(shape_err("LayerNorm", "scale/bias must match last dim"));
     }
@@ -251,7 +261,9 @@ pub fn batch_norm(
     var: &Tensor,
     epsilon: f32,
 ) -> Result<Tensor, KernelError> {
-    let xv = x.as_f32().map_err(|e| dtype_err("BatchNorm", e.to_string()))?;
+    let xv = x
+        .as_f32()
+        .map_err(|e| dtype_err("BatchNorm", e.to_string()))?;
     let sv = scale
         .as_f32()
         .map_err(|e| dtype_err("BatchNorm", e.to_string()))?;

@@ -275,8 +275,7 @@ pub fn pad(x: &Tensor, pads: &[i64], value: f32) -> Result<Tensor, KernelError> 
 /// `Gather(data, indices, axis)`.
 pub fn gather(data: &Tensor, indices: &Tensor, axis: i64) -> Result<Tensor, KernelError> {
     let dims = data.shape();
-    let ax =
-        normalize_axis(axis, dims.len()).ok_or_else(|| shape_err("Gather", "bad axis"))?;
+    let ax = normalize_axis(axis, dims.len()).ok_or_else(|| shape_err("Gather", "bad axis"))?;
     let iv = indices
         .as_i64()
         .map_err(|e| dtype_err("Gather", e.to_string()))?;
@@ -290,7 +289,9 @@ pub fn gather(data: &Tensor, indices: &Tensor, axis: i64) -> Result<Tensor, Kern
     let k = iv.len();
     macro_rules! do_gather {
         ($get:ident, $ctor:path, $zero:expr) => {{
-            let v = data.$get().map_err(|e| dtype_err("Gather", e.to_string()))?;
+            let v = data
+                .$get()
+                .map_err(|e| dtype_err("Gather", e.to_string()))?;
             let mut out = vec![$zero; outer * k * inner];
             for o in 0..outer {
                 for (j, &raw) in iv.iter().enumerate() {
@@ -426,7 +427,10 @@ pub fn split(x: &Tensor, axis: i64, splits: &[i64]) -> Result<Vec<Tensor>, Kerne
     if total != x.shape()[ax] as i64 || splits.iter().any(|&s| s < 0) {
         return Err(shape_err(
             "Split",
-            format!("splits {splits:?} do not sum to axis extent {}", x.shape()[ax]),
+            format!(
+                "splits {splits:?} do not sum to axis extent {}",
+                x.shape()[ax]
+            ),
         ));
     }
     let mut outs = Vec::with_capacity(splits.len());

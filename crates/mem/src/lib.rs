@@ -12,10 +12,14 @@
 //! - [`rematerialize`] — the XLA-style budget-constrained policy used by
 //!   the Fig. 11 TFLite comparison.
 //!
+//! Plans are checked with [`verify_plan`], which returns typed
+//! [`PlanViolation`]s (interval-sweep overlap detection, arena bounds,
+//! optional alignment via [`verify_plan_aligned`]).
+//!
 //! # Examples
 //!
 //! ```
-//! use sod2_mem::{TensorLife, plan_peak_first, validate_plan};
+//! use sod2_mem::{TensorLife, plan_peak_first, verify_plan};
 //!
 //! // A 3-op chain: each tensor feeds the next step only.
 //! let lives = vec![
@@ -24,7 +28,7 @@
 //!     TensorLife::new(2, 1024, 2, vec![3]),
 //! ];
 //! let plan = plan_peak_first(&lives);
-//! validate_plan(&lives, &plan).unwrap();
+//! assert!(verify_plan(&lives, &plan).is_empty());
 //! assert_eq!(plan.peak, 2048); // reuse, not 3072
 //! ```
 
@@ -35,7 +39,10 @@ mod remat;
 mod size_class;
 
 pub use arena::Arena;
-pub use life::{peak_live_bytes, peak_step, validate_plan, MemoryPlan, TensorLife};
+pub use life::{
+    peak_live_bytes, peak_step, verify_plan, verify_plan_aligned, MemoryPlan, PlanViolation,
+    TensorLife,
+};
 pub use offset::{plan_best_fit, plan_exhaustive, plan_first_fit, plan_peak_first, plan_sod2};
 pub use remat::{rematerialize, RematPlan};
 pub use size_class::size_class_peak;

@@ -1,6 +1,7 @@
 //! Tensor lifetimes and plan validation.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 /// Lifetime of one intermediate tensor over an execution order.
 ///
@@ -22,7 +23,12 @@ pub struct TensorLife {
 impl TensorLife {
     /// Creates a lifetime record.
     pub fn new(key: usize, size: usize, def: usize, uses: Vec<usize>) -> Self {
-        TensorLife { key, size, def, uses }
+        TensorLife {
+            key,
+            size,
+            def,
+            uses,
+        }
     }
 
     /// Last step at which the tensor must still exist.
@@ -100,41 +106,154 @@ pub fn peak_step(lives: &[TensorLife]) -> usize {
     best.0
 }
 
-/// Validates that no two lifetime-overlapping tensors share bytes and the
-/// plan's peak covers every allocation.
+/// A defect found in an offset plan by [`verify_plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanViolation {
+    /// A live tensor has no offset in the plan.
+    MissingOffset {
+        /// Tensor key.
+        key: usize,
+    },
+    /// A tensor's byte range extends past the declared arena peak.
+    ExceedsArena {
+        /// Tensor key.
+        key: usize,
+        /// Assigned offset.
+        offset: usize,
+        /// End of the byte range (`offset + size`).
+        end: usize,
+        /// Declared arena size.
+        peak: usize,
+    },
+    /// Two tensors are live at the same step and share bytes.
+    Overlap {
+        /// First tensor key (smaller).
+        a: usize,
+        /// Second tensor key.
+        b: usize,
+        /// A step at which both are live.
+        step: usize,
+    },
+    /// A tensor's offset is not a multiple of the required alignment.
+    Misaligned {
+        /// Tensor key.
+        key: usize,
+        /// Assigned offset.
+        offset: usize,
+        /// Required alignment in bytes.
+        alignment: usize,
+    },
+}
+
+impl fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanViolation::MissingOffset { key } => {
+                write!(f, "tensor {key} missing from plan")
+            }
+            PlanViolation::ExceedsArena {
+                key,
+                offset,
+                end,
+                peak,
+            } => {
+                write!(f, "tensor {key} at [{offset}, {end}) exceeds peak {peak}")
+            }
+            PlanViolation::Overlap { a, b, step } => {
+                write!(
+                    f,
+                    "live tensors {a} and {b} overlap in memory at step {step}"
+                )
+            }
+            PlanViolation::Misaligned {
+                key,
+                offset,
+                alignment,
+            } => {
+                write!(
+                    f,
+                    "tensor {key} at offset {offset} breaks {alignment}-byte alignment"
+                )
+            }
+        }
+    }
+}
+
+/// Verifies an offset plan against the lifetimes it claims to serve:
+/// every tensor is placed, fits inside the arena, and no two tensors that
+/// are live at the same step share bytes.
 ///
-/// Returns an error message when the plan is unsound.
-pub fn validate_plan(lives: &[TensorLife], plan: &MemoryPlan) -> Result<(), String> {
+/// Overlaps are found by an interval sweep over execution steps: at each
+/// step the live tensors are ordered by offset and only address-adjacent
+/// neighbours are compared, so densely planned graphs verify in roughly
+/// `O(steps · live · log live)` instead of all-pairs.
+pub fn verify_plan(lives: &[TensorLife], plan: &MemoryPlan) -> Vec<PlanViolation> {
+    verify_plan_aligned(lives, plan, 1)
+}
+
+/// [`verify_plan`] plus an offset-alignment requirement (in bytes).
+pub fn verify_plan_aligned(
+    lives: &[TensorLife],
+    plan: &MemoryPlan,
+    alignment: usize,
+) -> Vec<PlanViolation> {
+    let mut out = Vec::new();
+    let mut placed: Vec<(&TensorLife, usize)> = Vec::with_capacity(lives.len());
     for l in lives {
-        let off = *plan
-            .offsets
-            .get(&l.key)
-            .ok_or_else(|| format!("tensor {} missing from plan", l.key))?;
+        let Some(&off) = plan.offsets.get(&l.key) else {
+            out.push(PlanViolation::MissingOffset { key: l.key });
+            continue;
+        };
         if off + l.size > plan.peak {
-            return Err(format!(
-                "tensor {} at [{off}, {}) exceeds peak {}",
-                l.key,
-                off + l.size,
-                plan.peak
-            ));
+            out.push(PlanViolation::ExceedsArena {
+                key: l.key,
+                offset: off,
+                end: off + l.size,
+                peak: plan.peak,
+            });
+        }
+        if alignment > 1 && off % alignment != 0 {
+            out.push(PlanViolation::Misaligned {
+                key: l.key,
+                offset: off,
+                alignment,
+            });
+        }
+        placed.push((l, off));
+    }
+    // Interval sweep: per step, sort the live set by offset and compare
+    // address-adjacent entries only.
+    let max_step = placed.iter().map(|(l, _)| l.last_use()).max().unwrap_or(0);
+    let mut reported: HashSet<(usize, usize)> = HashSet::new();
+    for step in 0..=max_step {
+        let mut active: Vec<&(&TensorLife, usize)> = placed
+            .iter()
+            .filter(|(l, _)| l.size > 0 && l.live_at(step))
+            .collect();
+        active.sort_by_key(|(l, off)| (*off, l.key));
+        // Running farthest-end: a tensor starting before the farthest end
+        // seen so far collides with the tensor that produced that end.
+        let mut farthest: Option<(usize, usize)> = None; // (end, key)
+        for (l, off) in active {
+            if let Some((end, key)) = farthest {
+                if *off < end {
+                    let pair = (key.min(l.key), key.max(l.key));
+                    if reported.insert(pair) {
+                        out.push(PlanViolation::Overlap {
+                            a: pair.0,
+                            b: pair.1,
+                            step,
+                        });
+                    }
+                }
+            }
+            let end = off + l.size;
+            if farthest.map(|(e, _)| end > e).unwrap_or(true) {
+                farthest = Some((end, l.key));
+            }
         }
     }
-    for (i, a) in lives.iter().enumerate() {
-        for b in &lives[i + 1..] {
-            if !a.overlaps(b) {
-                continue;
-            }
-            let (ao, bo) = (plan.offsets[&a.key], plan.offsets[&b.key]);
-            let disjoint = ao + a.size <= bo || bo + b.size <= ao;
-            if !disjoint {
-                return Err(format!(
-                    "live tensors {} and {} overlap in memory",
-                    a.key, b.key
-                ));
-            }
-        }
-    }
-    Ok(())
+    out
 }
 
 #[cfg(test)]
@@ -177,17 +296,80 @@ mod tests {
         ];
         let plan = MemoryPlan::conservative(&lives);
         assert_eq!(plan.peak, 200);
-        validate_plan(&lives, &plan).expect("valid");
+        assert!(verify_plan(&lives, &plan).is_empty());
     }
 
     #[test]
-    fn validator_catches_overlap() {
+    fn verifier_catches_overlap() {
         let lives = vec![
             TensorLife::new(0, 10, 0, vec![2]),
             TensorLife::new(1, 10, 1, vec![3]),
         ];
         let mut plan = MemoryPlan::conservative(&lives);
         plan.offsets.insert(1, 5); // collide with tensor 0
-        assert!(validate_plan(&lives, &plan).is_err());
+        let violations = verify_plan(&lives, &plan);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::Overlap { a: 0, b: 1, .. })));
+    }
+
+    #[test]
+    fn verifier_catches_spanning_overlap() {
+        // A wide tensor spans a small one that is not address-adjacent in
+        // sorted order: 0:[0,100) 1:[10,20) 2:[30,40) — 2 overlaps 0.
+        let lives = vec![
+            TensorLife::new(0, 100, 0, vec![3]),
+            TensorLife::new(1, 10, 0, vec![3]),
+            TensorLife::new(2, 10, 0, vec![3]),
+        ];
+        let mut plan = MemoryPlan {
+            offsets: HashMap::new(),
+            peak: 100,
+        };
+        plan.offsets.insert(0, 0);
+        plan.offsets.insert(1, 10);
+        plan.offsets.insert(2, 30);
+        let violations = verify_plan(&lives, &plan);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::Overlap { a: 0, b: 2, .. })));
+    }
+
+    #[test]
+    fn verifier_catches_missing_and_out_of_arena() {
+        let lives = vec![
+            TensorLife::new(0, 10, 0, vec![1]),
+            TensorLife::new(1, 10, 2, vec![3]),
+        ];
+        let plan = MemoryPlan {
+            offsets: [(0usize, 95usize)].into_iter().collect(),
+            peak: 100,
+        };
+        let violations = verify_plan(&lives, &plan);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::ExceedsArena { key: 0, .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::MissingOffset { key: 1 })));
+    }
+
+    #[test]
+    fn verifier_checks_alignment() {
+        let lives = vec![TensorLife::new(0, 8, 0, vec![1])];
+        let plan = MemoryPlan {
+            offsets: [(0usize, 4usize)].into_iter().collect(),
+            peak: 64,
+        };
+        assert!(verify_plan_aligned(&lives, &plan, 4).is_empty());
+        let violations = verify_plan_aligned(&lives, &plan, 64);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            PlanViolation::Misaligned {
+                key: 0,
+                offset: 4,
+                alignment: 64
+            }
+        )));
     }
 }

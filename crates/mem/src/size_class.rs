@@ -20,8 +20,7 @@ pub fn size_class_peak(lives: &[TensorLife]) -> usize {
     // Per class, track live count over steps and remember the peak.
     let mut peaks: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
     for step in 0..=max_step {
-        let mut counts: std::collections::HashMap<u32, usize> =
-            std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
         for l in lives {
             if l.live_at(step) {
                 *counts.entry(class_of(l.size)).or_insert(0) += 1;

@@ -2,13 +2,17 @@
 
 use proptest::prelude::*;
 use sod2_mem::{
-    peak_live_bytes, plan_best_fit, plan_exhaustive, plan_peak_first, rematerialize,
-    validate_plan, MemoryPlan, TensorLife,
+    peak_live_bytes, plan_best_fit, plan_exhaustive, plan_peak_first, rematerialize, verify_plan,
+    MemoryPlan, TensorLife,
 };
 
 fn lives_strategy(max_tensors: usize) -> impl Strategy<Value = Vec<TensorLife>> {
     proptest::collection::vec(
-        (0usize..20, 1usize..256, proptest::collection::vec(1usize..8, 0..3)),
+        (
+            0usize..20,
+            1usize..256,
+            proptest::collection::vec(1usize..8, 0..3),
+        ),
         1..=max_tensors,
     )
     .prop_map(|raw| {
@@ -35,12 +39,12 @@ proptest! {
         let lb = peak_live_bytes(&lives);
         let total: usize = lives.iter().map(|l| l.size).sum();
         for plan in [plan_peak_first(&lives), plan_best_fit(&lives)] {
-            prop_assert!(validate_plan(&lives, &plan).is_ok());
+            prop_assert!(verify_plan(&lives, &plan).is_empty());
             prop_assert!(plan.peak >= lb, "peak {} < lower bound {lb}", plan.peak);
             prop_assert!(plan.peak <= total);
         }
         let cons = MemoryPlan::conservative(&lives);
-        prop_assert!(validate_plan(&lives, &cons).is_ok());
+        prop_assert!(verify_plan(&lives, &cons).is_empty());
         prop_assert_eq!(cons.peak, total);
     }
 
@@ -48,7 +52,7 @@ proptest! {
     #[test]
     fn exhaustive_dominates(lives in lives_strategy(6)) {
         let opt = plan_exhaustive(&lives);
-        prop_assert!(validate_plan(&lives, &opt).is_ok());
+        prop_assert!(verify_plan(&lives, &opt).is_empty());
         prop_assert!(opt.peak <= plan_peak_first(&lives).peak);
         prop_assert!(opt.peak <= plan_best_fit(&lives).peak);
         prop_assert!(opt.peak >= peak_live_bytes(&lives));

@@ -1,8 +1,6 @@
 //! Shared graph-building blocks for the model zoo.
 
-use sod2_ir::{
-    BinaryOp, ConstData, DType, Graph, Op, ReduceOp, Spatial2d, TensorId, UnaryOp,
-};
+use sod2_ir::{BinaryOp, ConstData, DType, Graph, Op, ReduceOp, Spatial2d, TensorId, UnaryOp};
 
 /// Deterministic pseudo-random weight payload (no RNG dependency; models
 /// must be bit-identical across runs and engines).
@@ -76,7 +74,12 @@ pub fn conv_bn_relu(
         &[c, ones, zeros, mean, var],
         DType::F32,
     );
-    g.add_simple(format!("{name}.relu"), Op::Unary(UnaryOp::Relu), &[b], DType::F32)
+    g.add_simple(
+        format!("{name}.relu"),
+        Op::Unary(UnaryOp::Relu),
+        &[b],
+        DType::F32,
+    )
 }
 
 /// A 2-conv residual block: `x + conv(conv(x))` (≈ 7 nodes).
@@ -96,7 +99,12 @@ pub fn residual_block(g: &mut Graph, name: &str, x: TensorId, channels: usize) -
 /// SkipNet/ConvNet-AIG/BlockDrop gating pattern.
 pub fn input_gate(g: &mut Graph, name: &str, x: TensorId, channels: usize) -> TensorId {
     let gap = g.add_simple(format!("{name}.gap"), Op::GlobalAvgPool, &[x], DType::F32);
-    let flat = g.add_simple(format!("{name}.flat"), Op::Flatten { axis: 1 }, &[gap], DType::F32);
+    let flat = g.add_simple(
+        format!("{name}.flat"),
+        Op::Flatten { axis: 1 },
+        &[gap],
+        DType::F32,
+    );
     let w = dense(g, &format!("{name}.w"), &[channels as i64, 2]);
     let logits = g.add_simple(
         format!("{name}.proj"),
@@ -123,12 +131,7 @@ pub fn input_gate(g: &mut Graph, name: &str, x: TensorId, channels: usize) -> Te
 /// A gated residual block (paper Fig. 1(d) shape): `Switch` routes the
 /// features either through a residual block or an identity skip; `Combine`
 /// merges. Gate is computed from the input features (≈ 15 nodes).
-pub fn gated_residual_block(
-    g: &mut Graph,
-    name: &str,
-    x: TensorId,
-    channels: usize,
-) -> TensorId {
+pub fn gated_residual_block(g: &mut Graph, name: &str, x: TensorId, channels: usize) -> TensorId {
     let sel = input_gate(g, &format!("{name}.gate"), x, channels);
     let branches = g.add_node(
         format!("{name}.switch"),
@@ -154,12 +157,7 @@ pub fn gated_residual_block(
 /// One transformer encoder layer over `[B, L, D]` (≈ 21 nodes): pre-LN
 /// self-attention (Q/K/V projections, scores, softmax, context, output
 /// projection, residual) plus a GELU MLP with residual.
-pub fn transformer_layer(
-    g: &mut Graph,
-    name: &str,
-    x: TensorId,
-    d_model: usize,
-) -> TensorId {
+pub fn transformer_layer(g: &mut Graph, name: &str, x: TensorId, d_model: usize) -> TensorId {
     let d = d_model as i64;
     let ln_s = g.add_const(
         format!("{name}.ln1.s"),

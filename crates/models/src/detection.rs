@@ -26,12 +26,7 @@ fn stage(g: &mut Graph, name: &str, x: TensorId, cin: usize, blocks: usize) -> T
 
 /// Upsamples `deep` to `shallow`'s spatial size (Shape → Slice → Resize)
 /// and concatenates along channels.
-fn upsample_merge(
-    g: &mut Graph,
-    name: &str,
-    deep: TensorId,
-    shallow: TensorId,
-) -> TensorId {
+fn upsample_merge(g: &mut Graph, name: &str, deep: TensorId, shallow: TensorId) -> TensorId {
     let s = g.add_simple(format!("{name}.shape"), Op::Shape, &[shallow], DType::I64);
     let hw = g.add_simple(
         format!("{name}.hw"),
@@ -42,7 +37,12 @@ fn upsample_merge(
         &[s],
         DType::I64,
     );
-    let up = g.add_simple(format!("{name}.resize"), Op::Resize, &[deep, hw], DType::F32);
+    let up = g.add_simple(
+        format!("{name}.resize"),
+        Op::Resize,
+        &[deep, hw],
+        DType::F32,
+    );
     let cat = g.add_simple(
         format!("{name}.concat"),
         Op::Concat { axis: 1 },
@@ -142,8 +142,8 @@ pub fn yolo_v6(scale: ModelScale) -> DynModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sod2_prng::rngs::StdRng;
+    use sod2_prng::SeedableRng;
     use sod2_runtime::{execute, ExecConfig};
 
     #[test]

@@ -10,7 +10,7 @@
 //!
 //! ```
 //! use sod2_models::{all_models, ModelScale};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use sod2_prng::{rngs::StdRng, SeedableRng};
 //!
 //! let zoo = all_models(ModelScale::Tiny);
 //! assert_eq!(zoo.len(), 10);
@@ -104,8 +104,7 @@ mod tests {
     #[test]
     fn all_graphs_validate() {
         for m in all_models(ModelScale::Tiny) {
-            sod2_ir::validate(&m.graph)
-                .unwrap_or_else(|e| panic!("{} invalid: {e}", m.name));
+            sod2_ir::validate(&m.graph).unwrap_or_else(|e| panic!("{} invalid: {e}", m.name));
         }
     }
 }

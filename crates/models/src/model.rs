@@ -1,7 +1,7 @@
 //! The model wrapper and input samplers.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sod2_prng::rngs::StdRng;
+use sod2_prng::Rng;
 use sod2_tensor::Tensor;
 
 /// Kind of dynamism a model exhibits (paper Table 5's "S" / "C" column).
@@ -132,8 +132,9 @@ impl DynModel {
             }
             InputKind::Tokens { vocab, .. } => vec![random_tokens(rng, vocab, size)],
             InputKind::Audio { features, .. } => {
-                let data: Vec<f32> =
-                    (0..size * features).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let data: Vec<f32> = (0..size * features)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect();
                 vec![Tensor::from_f32(&[1, size, features], data)]
             }
             InputKind::ImageAndTokens {
@@ -168,7 +169,7 @@ fn random_image(rng: &mut StdRng, channels: usize, side: usize) -> Tensor {
     let mut data = Vec::with_capacity(channels * side * side);
     for &m in &means {
         for _ in 0..side * side {
-            data.push(m + rng.gen_range(-0.3..0.3));
+            data.push(m + rng.gen_range(-0.3f32..0.3));
         }
     }
     Tensor::from_f32(&[1, channels, side, side], data)

@@ -20,10 +20,30 @@ fn image_to_sequence(g: &mut Graph, name: &str, x: TensorId) -> TensorId {
     let i1 = g.add_i64_const(format!("{name}.i1"), &[1]);
     let i2 = g.add_i64_const(format!("{name}.i2"), &[2]);
     let i3 = g.add_i64_const(format!("{name}.i3"), &[3]);
-    let n = g.add_simple(format!("{name}.n"), Op::Gather { axis: 0 }, &[s, i0], DType::I64);
-    let c = g.add_simple(format!("{name}.c"), Op::Gather { axis: 0 }, &[s, i1], DType::I64);
-    let h = g.add_simple(format!("{name}.h"), Op::Gather { axis: 0 }, &[s, i2], DType::I64);
-    let w = g.add_simple(format!("{name}.w"), Op::Gather { axis: 0 }, &[s, i3], DType::I64);
+    let n = g.add_simple(
+        format!("{name}.n"),
+        Op::Gather { axis: 0 },
+        &[s, i0],
+        DType::I64,
+    );
+    let c = g.add_simple(
+        format!("{name}.c"),
+        Op::Gather { axis: 0 },
+        &[s, i1],
+        DType::I64,
+    );
+    let h = g.add_simple(
+        format!("{name}.h"),
+        Op::Gather { axis: 0 },
+        &[s, i2],
+        DType::I64,
+    );
+    let w = g.add_simple(
+        format!("{name}.w"),
+        Op::Gather { axis: 0 },
+        &[s, i3],
+        DType::I64,
+    );
     let hw = g.add_simple(
         format!("{name}.hw"),
         Op::Binary(BinaryOp::Mul),
@@ -36,7 +56,12 @@ fn image_to_sequence(g: &mut Graph, name: &str, x: TensorId) -> TensorId {
         &[n, c, hw],
         DType::I64,
     );
-    let r = g.add_simple(format!("{name}.reshape"), Op::Reshape, &[x, tgt], DType::F32);
+    let r = g.add_simple(
+        format!("{name}.reshape"),
+        Op::Reshape,
+        &[x, tgt],
+        DType::F32,
+    );
     g.add_simple(
         format!("{name}.transpose"),
         Op::Transpose {
@@ -249,7 +274,12 @@ pub fn stable_diffusion_encoder(scale: ModelScale) -> DynModel {
     // image sequence (RDP proves the broadcast dim is 1 — fusable).
     let text = embedding(&mut g, "text.emb", prompt, VOCAB, D_MODEL);
     let pooled = seq_mean_pool(&mut g, "text.pool", text);
-    let cond = g.add_simple("text.unsq", Op::Unsqueeze { axes: vec![1] }, &[pooled], DType::F32);
+    let cond = g.add_simple(
+        "text.unsq",
+        Op::Unsqueeze { axes: vec![1] },
+        &[pooled],
+        DType::F32,
+    );
     seq = g.add_simple(
         "condition",
         Op::Binary(BinaryOp::Add),
@@ -292,7 +322,12 @@ pub fn segment_anything(scale: ModelScale) -> DynModel {
     let mut seq = image_to_sequence(&mut g, "to_seq", pe);
     let pr = embedding(&mut g, "prompt.emb", prompt, VOCAB, D_MODEL);
     let pp = seq_mean_pool(&mut g, "prompt.pool", pr);
-    let cond = g.add_simple("prompt.unsq", Op::Unsqueeze { axes: vec![1] }, &[pp], DType::F32);
+    let cond = g.add_simple(
+        "prompt.unsq",
+        Op::Unsqueeze { axes: vec![1] },
+        &[pp],
+        DType::F32,
+    );
     seq = g.add_simple(
         "modulate",
         Op::Binary(BinaryOp::Add),
@@ -305,12 +340,7 @@ pub fn segment_anything(scale: ModelScale) -> DynModel {
     // Mask head: per-token score.
     let wm = dense(&mut g, "mask.w", &[D_MODEL as i64, 1]);
     let mask = g.add_simple("mask.proj", Op::MatMul, &[seq, wm], DType::F32);
-    let out = g.add_simple(
-        "mask.act",
-        Op::Unary(UnaryOp::Sigmoid),
-        &[mask],
-        DType::F32,
-    );
+    let out = g.add_simple("mask.act", Op::Unary(UnaryOp::Sigmoid), &[mask], DType::F32);
     g.mark_output(out);
     DynModel {
         name: "SegmentAnything",
@@ -330,8 +360,8 @@ pub fn segment_anything(scale: ModelScale) -> DynModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sod2_prng::rngs::StdRng;
+    use sod2_prng::SeedableRng;
     use sod2_runtime::{execute, ExecConfig};
 
     fn smoke(m: &DynModel) {

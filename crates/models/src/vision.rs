@@ -9,16 +9,25 @@
 
 use crate::blocks::{conv_bn_relu, dense, gated_residual_block, residual_block};
 use crate::model::{DynModel, Dynamism, InputKind, ModelScale};
-use sod2_ir::{
-    CompareOp, ConstData, DType, Graph, Op, ReduceOp, TensorId,
-};
+use sod2_ir::{CompareOp, ConstData, DType, Graph, Op, ReduceOp, TensorId};
 use sod2_sym::DimExpr;
 
 const STEM_C: usize = 8;
 
-fn classifier_head(g: &mut Graph, name: &str, x: TensorId, channels: usize, classes: usize) -> TensorId {
+fn classifier_head(
+    g: &mut Graph,
+    name: &str,
+    x: TensorId,
+    channels: usize,
+    classes: usize,
+) -> TensorId {
     let gap = g.add_simple(format!("{name}.gap"), Op::GlobalAvgPool, &[x], DType::F32);
-    let flat = g.add_simple(format!("{name}.flat"), Op::Flatten { axis: 1 }, &[gap], DType::F32);
+    let flat = g.add_simple(
+        format!("{name}.flat"),
+        Op::Flatten { axis: 1 },
+        &[gap],
+        DType::F32,
+    );
     let w = dense(g, &format!("{name}.fc"), &[channels as i64, classes as i64]);
     g.add_simple(
         format!("{name}.logits"),
@@ -98,7 +107,11 @@ pub fn dgnet(scale: ModelScale) -> DynModel {
         ModelScale::Full => 56,
     };
     let mut g = Graph::new();
-    let x = g.add_input("image", DType::F32, vec![1.into(), 3.into(), 32.into(), 32.into()]);
+    let x = g.add_input(
+        "image",
+        DType::F32,
+        vec![1.into(), 3.into(), 32.into(), 32.into()],
+    );
     let mut t = conv_bn_relu(&mut g, "stem", x, 3, STEM_C, 3, 2);
     for i in 0..blocks {
         t = gated_residual_block(&mut g, &format!("block{i}"), t, STEM_C);
@@ -226,7 +239,12 @@ pub fn ranet(scale: ModelScale) -> DynModel {
 
     // Confidence gate 1: exit if max softmax > τ (selector 1 = exit).
     let gate = |g: &mut Graph, name: &str, logits: TensorId| -> TensorId {
-        let sm = g.add_simple(format!("{name}.sm"), Op::Softmax { axis: -1 }, &[logits], DType::F32);
+        let sm = g.add_simple(
+            format!("{name}.sm"),
+            Op::Softmax { axis: -1 },
+            &[logits],
+            DType::F32,
+        );
         let mx = g.add_simple(
             format!("{name}.max"),
             Op::Reduce {
@@ -244,18 +262,33 @@ pub fn ranet(scale: ModelScale) -> DynModel {
             &[mx, tau],
             DType::Bool,
         );
-        g.add_simple(format!("{name}.sel"), Op::Cast { to: DType::I64 }, &[conf], DType::I64)
+        g.add_simple(
+            format!("{name}.sel"),
+            Op::Cast { to: DType::I64 },
+            &[conf],
+            DType::I64,
+        )
     };
     let sel1 = gate(&mut g, "gate1", logits1);
 
     // Continue path: medium resolution (branch 0 live when sel == 0).
-    let br1 = g.add_node("switch1", Op::Switch { num_branches: 2 }, &[x, sel1], DType::F32);
+    let br1 = g.add_node(
+        "switch1",
+        Op::Switch { num_branches: 2 },
+        &[x, sel1],
+        DType::F32,
+    );
     let mid = g.add_i64_const("size.mid", &[24, 24]);
     let x2 = g.add_simple("resize.mid", Op::Resize, &[br1[0], mid], DType::F32);
     let logits2 = subnet(&mut g, "sub2", x2, k2);
 
     let sel2 = gate(&mut g, "gate2", logits2);
-    let br2 = g.add_node("switch2", Op::Switch { num_branches: 2 }, &[br1[0], sel2], DType::F32);
+    let br2 = g.add_node(
+        "switch2",
+        Op::Switch { num_branches: 2 },
+        &[br1[0], sel2],
+        DType::F32,
+    );
     let logits3 = subnet(&mut g, "sub3", br2[0], k3);
 
     // Combine back-to-front: deepest refinement wins when it ran.
@@ -288,8 +321,8 @@ pub fn ranet(scale: ModelScale) -> DynModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sod2_prng::rngs::StdRng;
+    use sod2_prng::SeedableRng;
     use sod2_runtime::{execute, ExecConfig};
 
     fn smoke(m: &DynModel) {

@@ -26,10 +26,10 @@
 //! assert!(params.tile_m >= params.tile_n); // skinny → tall tiles
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sod2_device::{conv_efficiency, gemm_efficiency, DeviceProfile, ShapeClass};
 use sod2_kernels::{ConvParams, GemmParams};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Representative problem sizes per shape class, used as tuning targets.
@@ -57,8 +57,7 @@ fn mutate(p: GemmParams, rng: &mut StdRng) -> GemmParams {
     let mut q = p;
     let step = |v: usize, rng: &mut StdRng| -> usize {
         let idx = TILE_CHOICES.iter().position(|&c| c == v).unwrap_or(3);
-        let ni =
-            (idx as i64 + rng.gen_range(-1..=1)).clamp(0, TILE_CHOICES.len() as i64 - 1);
+        let ni = (idx as i64 + rng.gen_range(-1i64..=1)).clamp(0, TILE_CHOICES.len() as i64 - 1);
         TILE_CHOICES[ni as usize]
     };
     match rng.gen_range(0..4) {
@@ -72,10 +71,26 @@ fn mutate(p: GemmParams, rng: &mut StdRng) -> GemmParams {
 
 fn crossover(a: GemmParams, b: GemmParams, rng: &mut StdRng) -> GemmParams {
     GemmParams {
-        tile_m: if rng.gen_bool(0.5) { a.tile_m } else { b.tile_m },
-        tile_n: if rng.gen_bool(0.5) { a.tile_n } else { b.tile_n },
-        tile_k: if rng.gen_bool(0.5) { a.tile_k } else { b.tile_k },
-        unroll: if rng.gen_bool(0.5) { a.unroll } else { b.unroll },
+        tile_m: if rng.gen_bool(0.5) {
+            a.tile_m
+        } else {
+            b.tile_m
+        },
+        tile_n: if rng.gen_bool(0.5) {
+            a.tile_n
+        } else {
+            b.tile_n
+        },
+        tile_k: if rng.gen_bool(0.5) {
+            a.tile_k
+        } else {
+            b.tile_k
+        },
+        unroll: if rng.gen_bool(0.5) {
+            a.unroll
+        } else {
+            b.unroll
+        },
     }
 }
 
@@ -83,11 +98,7 @@ fn crossover(a: GemmParams, b: GemmParams, rng: &mut StdRng) -> GemmParams {
 /// class on one device. Deterministic for a given `seed`.
 ///
 /// Returns the best configuration and its modeled efficiency.
-pub fn tune_for_class(
-    class: ShapeClass,
-    profile: &DeviceProfile,
-    seed: u64,
-) -> (GemmParams, f64) {
+pub fn tune_for_class(class: ShapeClass, profile: &DeviceProfile, seed: u64) -> (GemmParams, f64) {
     let (m, k, n) = representative_shape(class);
     let mut rng = StdRng::seed_from_u64(seed ^ class as u64);
     let fitness = |p: GemmParams| gemm_efficiency(p, m, k, n, profile);
@@ -166,7 +177,10 @@ pub fn tune_conv_for_class(class: ShapeClass, profile: &DeviceProfile) -> (ConvP
     let mut best = (ConvParams::default(), f64::MIN);
     for &bo in &CONV_BLOCKS {
         for &tw in &CONV_TILES {
-            let p = ConvParams { block_oc: bo, tile_w: tw };
+            let p = ConvParams {
+                block_oc: bo,
+                tile_w: tw,
+            };
             let e = conv_efficiency(p, co, spatial, k, profile);
             if e > best.1 {
                 best = (p, e);

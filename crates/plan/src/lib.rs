@@ -35,8 +35,7 @@ mod partition;
 mod units;
 
 pub use order::{
-    naive_unit_order, order_peak_bytes, plan_order, unit_lifetimes, ExecutionPlan,
-    SepOptions,
+    naive_unit_order, order_peak_bytes, plan_order, unit_lifetimes, ExecutionPlan, SepOptions,
 };
 pub use partition::{partition_units, Partition, SubgraphClass, MAX_PARTITION_UNITS};
 pub use units::{Unit, UnitGraph};

@@ -106,8 +106,7 @@ impl<'a> Ctx<'a> {
         units: &'a [usize],
         size_of: &dyn Fn(TensorId) -> usize,
     ) -> Self {
-        let local: HashMap<usize, usize> =
-            units.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+        let local: HashMap<usize, usize> = units.iter().enumerate().map(|(i, &u)| (u, i)).collect();
         let mut out_bytes = vec![0usize; units.len()];
         let mut outputs = vec![Vec::new(); units.len()];
         for (i, &uid) in units.iter().enumerate() {
@@ -224,8 +223,7 @@ fn greedy_order(
     size_of: &dyn Fn(TensorId) -> usize,
 ) -> Vec<usize> {
     let n = units.len();
-    let local: HashMap<usize, usize> =
-        units.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+    let local: HashMap<usize, usize> = units.iter().enumerate().map(|(i, &u)| (u, i)).collect();
     // Per local unit: bytes it materializes, and for each *input* tensor
     // produced inside the partition, (producer-local-tensor-slot, size).
     let mut out_bytes = vec![0usize; n];
@@ -238,8 +236,10 @@ fn greedy_order(
         for &t in &ug.units[uid].outputs {
             out_bytes[i] += size_of(t);
             let all_consumers = ug.consumers.get(&t).map(Vec::as_slice).unwrap_or(&[]);
-            let local_consumers =
-                all_consumers.iter().filter(|c| local.contains_key(c)).count();
+            let local_consumers = all_consumers
+                .iter()
+                .filter(|c| local.contains_key(c))
+                .count();
             let escapes = graph.outputs().contains(&t)
                 || all_consumers.iter().any(|c| !local.contains_key(c));
             slot_of.insert(t, slots.len());
@@ -379,7 +379,13 @@ mod tests {
         let g = fanout_graph();
         let (rdp, plan, ug) = setup(&g);
         let parts = partition_units(&g, &rdp, &plan, &ug);
-        let size = |t: TensorId| g.tensor(t).shape.as_known().map(|d| d.iter().product::<i64>() as usize * 4).unwrap_or(64);
+        let size = |t: TensorId| {
+            g.tensor(t)
+                .shape
+                .as_known()
+                .map(|d| d.iter().product::<i64>() as usize * 4)
+                .unwrap_or(64)
+        };
         let _ = &rdp;
         let ep = plan_order(&g, &ug, &parts, &size, SepOptions::default());
         assert_eq!(ep.unit_order.len(), ug.len());
@@ -410,7 +416,9 @@ mod tests {
         let naive_peak = order_peak_bytes(&g, &ug, &naive, &size);
         assert!(dp_peak <= naive_peak);
         // Force the greedy path and check it is also valid.
-        let opts = SepOptions { exhaustive_limit: 0 };
+        let opts = SepOptions {
+            exhaustive_limit: 0,
+        };
         let gr = plan_order(&g, &ug, &parts, &size, opts);
         assert_eq!(gr.unit_order.len(), ug.len());
         assert!(dp_peak <= order_peak_bytes(&g, &ug, &gr.unit_order, &size));

@@ -112,11 +112,10 @@ impl UnitGraph {
         let n = self.units.len();
         let mut indegree: Vec<usize> = self.preds.iter().map(Vec::len).collect();
         // Stable Kahn: always pick the smallest available original id.
-        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
-            (0..n)
-                .filter(|&i| indegree[i] == 0)
-                .map(std::cmp::Reverse)
-                .collect();
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
         let mut order = Vec::with_capacity(n);
         while let Some(std::cmp::Reverse(u)) = ready.pop() {
             order.push(u);

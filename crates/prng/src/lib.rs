@@ -1,0 +1,186 @@
+//! # sod2-prng — deterministic in-workspace pseudo-random numbers
+//!
+//! A tiny xorshift-based PRNG that replaces the external `rand` crate so the
+//! workspace builds hermetically with no registry access. The API mirrors the
+//! subset of `rand` the repository uses: [`StdRng`], [`SeedableRng`], and the
+//! [`Rng`] extension trait with `gen_range` / `gen_bool`.
+//!
+//! The generator is xorshift64* seeded through SplitMix64, which gives
+//! full-period 64-bit output and decorrelates small consecutive seeds —
+//! plenty for input sampling and benchmark harnesses (this is *not* a
+//! cryptographic generator).
+//!
+//! # Examples
+//!
+//! ```
+//! use sod2_prng::{Rng, SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let i = rng.gen_range(0..10usize);
+//! assert!(i < 10);
+//! let x = rng.gen_range(-1.0..1.0f64);
+//! assert!((-1.0..1.0).contains(&x));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// The workspace's standard deterministic generator (xorshift64*).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+/// Construction from a 64-bit seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a seed; equal seeds give equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 scrambles the seed so 0/1/2… start far apart, and
+        // guarantees a non-zero xorshift state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        StdRng { state: z | 1 }
+    }
+}
+
+/// Sampling helpers over a raw 64-bit source, mirroring `rand::Rng`.
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (integer ranges and float `Range`s).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        uniform_f64(self.next_u64()) < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Vigna 2016): xorshift core, multiplicative output mix.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// `rand`-compatible module path: `sod2_prng::rngs::StdRng`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+fn uniform_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample<G: Rng>(self, rng: &mut G) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<G: Rng>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<G: Rng>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<G: Rng>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + (self.end - self.start) * uniform_f64(rng.next_u64())
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample<G: Rng>(self, rng: &mut G) -> f32 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + (self.end - self.start) * uniform_f64(rng.next_u64()) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(-1.0..1.0f32);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn all_integer_widths_sample() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(rng.gen_range(0..4i32) < 4);
+        assert!(rng.gen_range(0u8..=254) <= 254);
+        assert!(rng.gen_range(-3i8..3) < 3);
+        assert_eq!(rng.gen_range(0..1usize), 0);
+    }
+}

@@ -75,9 +75,9 @@ pub fn backward(
                     // Input channels = weight dim 1 * groups; we only know
                     // groups from the op.
                     let cin = match (&node.op, wd[1].as_expr()) {
-                        (Op::Conv2d { groups, .. }, Some(e)) => DimValue::Expr(
-                            DimExpr::mul(e.clone(), DimExpr::Const(*groups as i64)),
-                        ),
+                        (Op::Conv2d { groups, .. }, Some(e)) => {
+                            DimValue::Expr(DimExpr::mul(e.clone(), DimExpr::Const(*groups as i64)))
+                        }
                         _ => DimValue::Undef,
                     };
                     props[0] = Some(ShapeValue::Ranked(vec![
@@ -244,7 +244,7 @@ mod tests {
     fn unary_backward_copies_shape() {
         let n = node_of(Op::Unary(UnaryOp::Relu), 1);
         let out = ShapeValue::known(&[2, 3]);
-        let props = backward(&n, &[ShapeValue::Undef], &[out.clone()]);
+        let props = backward(&n, &[ShapeValue::Undef], std::slice::from_ref(&out));
         assert_eq!(props[0], Some(out));
     }
 
@@ -286,8 +286,12 @@ mod tests {
         let out = ShapeValue::known(&[5]);
         let props = backward(
             &n,
-            &[ShapeValue::Undef, ShapeValue::Undef, ShapeValue::known(&[1])],
-            &[out.clone()],
+            &[
+                ShapeValue::Undef,
+                ShapeValue::Undef,
+                ShapeValue::known(&[1]),
+            ],
+            std::slice::from_ref(&out),
         );
         assert_eq!(props[0], Some(out.clone()));
         assert_eq!(props[1], Some(out));

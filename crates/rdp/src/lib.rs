@@ -35,4 +35,4 @@ mod solver;
 pub mod transfer;
 
 pub use result::{classify_shape, RdpResult, ShapeClass};
-pub use solver::{analyze, analyze_with_report, RdpReport};
+pub use solver::{analyze, analyze_traced, analyze_with_report, RdpReport, RdpTrace};

@@ -55,17 +55,10 @@ impl RdpResult {
 
     /// The symbolic byte size of a tensor (element count × element size),
     /// when fully symbolic.
-    pub fn symbolic_bytes(
-        &self,
-        graph: &Graph,
-        t: TensorId,
-    ) -> Option<sod2_sym::DimExpr> {
+    pub fn symbolic_bytes(&self, graph: &Graph, t: TensorId) -> Option<sod2_sym::DimExpr> {
         let elems = self.shape(t).num_elements()?;
         let esz = graph.tensor(t).dtype.size_bytes() as i64;
-        Some(sod2_sym::DimExpr::mul(
-            elems,
-            sod2_sym::DimExpr::Const(esz),
-        ))
+        Some(sod2_sym::DimExpr::mul(elems, sod2_sym::DimExpr::Const(esz)))
     }
 
     /// Counts tensors per shape class — the raw data behind Fig. 8-style
@@ -136,7 +129,10 @@ mod tests {
 
     #[test]
     fn classify_buckets() {
-        assert_eq!(classify_shape(&ShapeValue::known(&[1, 2])), ShapeClass::Known);
+        assert_eq!(
+            classify_shape(&ShapeValue::known(&[1, 2])),
+            ShapeClass::Known
+        );
         assert_eq!(
             classify_shape(&ShapeValue::Ranked(vec![
                 DimValue::sym("n"),

@@ -33,6 +33,15 @@ pub struct RdpReport {
     pub inconsistencies: Vec<String>,
 }
 
+/// Per-sweep snapshots of the solver's shape lattice, for external
+/// fixpoint audits (e.g. `sod2-analysis`' monotonicity check).
+#[derive(Debug, Clone, Default)]
+pub struct RdpTrace {
+    /// `shape_sweeps[0]` is the initialized state before the first sweep;
+    /// `shape_sweeps[i]` (i ≥ 1) the state after sweep `i`.
+    pub shape_sweeps: Vec<Vec<ShapeValue>>,
+}
+
 /// Runs RDP over a graph.
 ///
 /// # Panics
@@ -46,6 +55,17 @@ pub fn analyze(graph: &Graph) -> RdpResult {
 
 /// Runs RDP and also returns solver diagnostics.
 pub fn analyze_with_report(graph: &Graph) -> (RdpResult, RdpReport) {
+    let (result, report, _trace) = analyze_inner(graph, false);
+    (result, report)
+}
+
+/// Runs RDP and additionally records the shape lattice after every sweep,
+/// so callers can audit that no value ever moved back up the lattice.
+pub fn analyze_traced(graph: &Graph) -> (RdpResult, RdpReport, RdpTrace) {
+    analyze_inner(graph, true)
+}
+
+fn analyze_inner(graph: &Graph, record_trace: bool) -> (RdpResult, RdpReport, RdpTrace) {
     let nt = graph.num_tensors();
     let mut shapes: Vec<ShapeValue> = vec![ShapeValue::Undef; nt];
     let mut values: Vec<SymValue> = vec![SymValue::Undef; nt];
@@ -67,6 +87,10 @@ pub fn analyze_with_report(graph: &Graph) -> (RdpResult, RdpReport) {
         }
     }
 
+    let mut trace = RdpTrace::default();
+    if record_trace {
+        trace.shape_sweeps.push(shapes.clone());
+    }
     let order = graph.topo_order();
     let mut changed = true;
     let mut iterations = 0;
@@ -111,12 +135,10 @@ pub fn analyze_with_report(graph: &Graph) -> (RdpResult, RdpReport) {
                         changed = true;
                     }
                 } else {
-                    changed |= install_shape(
-                        &mut shapes[idx],
-                        &proposal.shapes[k],
-                        &mut report,
-                        || format!("{} output {k}", node.name),
-                    );
+                    changed |=
+                        install_shape(&mut shapes[idx], &proposal.shapes[k], &mut report, || {
+                            format!("{} output {k}", node.name)
+                        });
                     changed |= install_value(&mut values[idx], &proposal.values[k]);
                 }
             }
@@ -140,15 +162,16 @@ pub fn analyze_with_report(graph: &Graph) -> (RdpResult, RdpReport) {
                         if graph.tensor(t).is_const() {
                             continue;
                         }
-                        changed |= install_shape(
-                            &mut shapes[t.0 as usize],
-                            &p,
-                            &mut report,
-                            || format!("{} input {i} (backward)", node.name),
-                        );
+                        changed |=
+                            install_shape(&mut shapes[t.0 as usize], &p, &mut report, || {
+                                format!("{} input {i} (backward)", node.name)
+                            });
                     }
                 }
             }
+        }
+        if record_trace {
+            trace.shape_sweeps.push(shapes.clone());
         }
     }
 
@@ -160,6 +183,7 @@ pub fn analyze_with_report(graph: &Graph) -> (RdpResult, RdpReport) {
             iterations,
         },
         report,
+        trace,
     )
 }
 
@@ -206,10 +230,9 @@ fn install_shape(
                     (DimValue::Nac, DimValue::Expr(_)) => true,
                     (DimValue::Expr(a), DimValue::Expr(b)) => {
                         if a != b && a.as_const().is_some() && b.as_const().is_some() {
-                            report.inconsistencies.push(format!(
-                                "{}: dimension disagreement {a} vs {b}",
-                                context()
-                            ));
+                            report
+                                .inconsistencies
+                                .push(format!("{}: dimension disagreement {a} vs {b}", context()));
                         }
                         false
                     }

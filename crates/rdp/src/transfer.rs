@@ -79,30 +79,24 @@ pub fn forward(
 
         // ===== ISDOS: element-wise with broadcasting =====
         Op::Binary(bin) => {
-            let shape = broadcast_shapes(&in_shapes[0], &in_shapes[1])
-                .unwrap_or(ShapeValue::Nac);
+            let shape = broadcast_shapes(&in_shapes[0], &in_shapes[1]).unwrap_or(ShapeValue::Nac);
             let value = binary_value(*bin, &in_values[0], &in_values[1], out_dtypes[0]);
             OutputProposal::single(shape, value)
         }
         Op::Compare(_) => {
-            let shape = broadcast_shapes(&in_shapes[0], &in_shapes[1])
-                .unwrap_or(ShapeValue::Nac);
+            let shape = broadcast_shapes(&in_shapes[0], &in_shapes[1]).unwrap_or(ShapeValue::Nac);
             OutputProposal::single(shape, SymValue::Nac)
         }
         Op::Where => {
-            let ab = broadcast_shapes(&in_shapes[1], &in_shapes[2])
-                .unwrap_or(ShapeValue::Nac);
-            let shape =
-                broadcast_shapes(&in_shapes[0], &ab).unwrap_or(ShapeValue::Nac);
+            let ab = broadcast_shapes(&in_shapes[1], &in_shapes[2]).unwrap_or(ShapeValue::Nac);
+            let shape = broadcast_shapes(&in_shapes[0], &ab).unwrap_or(ShapeValue::Nac);
             OutputProposal::single(shape, SymValue::Nac)
         }
         Op::Unary(_)
         | Op::Clip { .. }
         | Op::Softmax { .. }
         | Op::CumSum { .. }
-        | Op::LogSoftmax { .. } => {
-            OutputProposal::single(in_shapes[0].clone(), SymValue::Nac)
-        }
+        | Op::LogSoftmax { .. } => OutputProposal::single(in_shapes[0].clone(), SymValue::Nac),
         Op::Cast { to } => {
             // Casting preserves tracked integer values.
             let value = if to.is_integer() {
@@ -112,9 +106,7 @@ pub fn forward(
             };
             OutputProposal::single(in_shapes[0].clone(), value)
         }
-        Op::Identity => {
-            OutputProposal::single(in_shapes[0].clone(), in_values[0].clone())
-        }
+        Op::Identity => OutputProposal::single(in_shapes[0].clone(), in_values[0].clone()),
 
         // ===== ISDOS: structured =====
         Op::Conv2d { spatial, groups: _ } => {
@@ -145,7 +137,11 @@ pub fn forward(
             let shape = gemm_shape(&in_shapes[0], &in_shapes[1], *trans_a, *trans_b);
             OutputProposal::single(shape, SymValue::Nac)
         }
-        Op::Reduce { axes, keep_dims, op } => {
+        Op::Reduce {
+            axes,
+            keep_dims,
+            op,
+        } => {
             let shape = reduce_shape(&in_shapes[0], axes, *keep_dims);
             // Value transfer for full reductions of tracked 1-D integer
             // vectors: ReduceProd(Shape(x)) is the common "numel" idiom.
@@ -229,8 +225,7 @@ pub fn forward(
         }
         Op::Expand => {
             let target = shape_from_value(&in_values[1], &in_shapes[1]);
-            let shape =
-                broadcast_shapes(&in_shapes[0], &target).unwrap_or(ShapeValue::Nac);
+            let shape = broadcast_shapes(&in_shapes[0], &target).unwrap_or(ShapeValue::Nac);
             OutputProposal::single(shape, SymValue::Nac)
         }
         Op::Range => {
@@ -267,9 +262,7 @@ pub fn forward(
             // Output is [rank, n] where n is execution-determined but the
             // rank is statically known — a useful partial result.
             let shape = match in_shapes[0].rank() {
-                Some(r) => {
-                    ShapeValue::Ranked(vec![DimValue::known(r as i64), DimValue::Nac])
-                }
+                Some(r) => ShapeValue::Ranked(vec![DimValue::known(r as i64), DimValue::Nac]),
                 None => ShapeValue::ranked_nac(2),
             };
             OutputProposal::single(shape, SymValue::Nac)
@@ -308,9 +301,7 @@ fn shape_from_value(value: &SymValue, carrier_shape: &ShapeValue) -> ShapeValue 
         SymValue::Nac => {
             // Rank = length of the 1-D carrier, if known.
             match carrier_shape.as_known() {
-                Some(d) if d.len() == 1 && d[0] >= 0 => {
-                    ShapeValue::ranked_nac(d[0] as usize)
-                }
+                Some(d) if d.len() == 1 && d[0] >= 0 => ShapeValue::ranked_nac(d[0] as usize),
                 _ => ShapeValue::Nac,
             }
         }
@@ -319,12 +310,7 @@ fn shape_from_value(value: &SymValue, carrier_shape: &ShapeValue) -> ShapeValue 
 
 /// Element-wise arithmetic over tracked integer values (shape arithmetic
 /// sub-graphs: `Shape → Gather → Mul → Concat → Reshape`).
-fn binary_value(
-    op: BinaryOp,
-    a: &SymValue,
-    b: &SymValue,
-    out_dtype: DType,
-) -> SymValue {
+fn binary_value(op: BinaryOp, a: &SymValue, b: &SymValue, out_dtype: DType) -> SymValue {
     if !out_dtype.is_integer() {
         return SymValue::Nac;
     }
@@ -501,8 +487,16 @@ fn gemm_shape(a: &ShapeValue, b: &ShapeValue, trans_a: bool, trans_b: bool) -> S
         }
         _ => return ShapeValue::Nac,
     };
-    let m = if trans_a { da[1].clone() } else { da[0].clone() };
-    let n = if trans_b { db[0].clone() } else { db[1].clone() };
+    let m = if trans_a {
+        da[1].clone()
+    } else {
+        da[0].clone()
+    };
+    let n = if trans_b {
+        db[0].clone()
+    } else {
+        db[1].clone()
+    };
     ShapeValue::Ranked(vec![m, n])
 }
 
@@ -783,10 +777,7 @@ fn unsqueeze_shape(input: &ShapeValue, axes: &[i64]) -> ShapeValue {
         None => return input.clone(),
     };
     let out_rank = dims.len() + axes.len();
-    let norm: Option<Vec<usize>> = axes
-        .iter()
-        .map(|&a| normalize_axis(a, out_rank))
-        .collect();
+    let norm: Option<Vec<usize>> = axes.iter().map(|&a| normalize_axis(a, out_rank)).collect();
     let norm = match norm {
         Some(v) => v,
         None => return ShapeValue::Nac,
@@ -848,9 +839,7 @@ fn reshape_shape(
         SymValue::Nac => {
             // Rank may still be known from the carrier's length.
             return match target_carrier.as_known() {
-                Some(d) if d.len() == 1 && d[0] >= 0 => {
-                    ShapeValue::ranked_nac(d[0] as usize)
-                }
+                Some(d) if d.len() == 1 && d[0] >= 0 => ShapeValue::ranked_nac(d[0] as usize),
                 _ => ShapeValue::Nac,
             };
         }
@@ -900,25 +889,21 @@ fn reshape_shape(
 }
 
 fn range_shape(start: &SymValue, limit: &SymValue, delta: &SymValue) -> ShapeValue {
-    let one = |v: &SymValue| -> Option<DimValue> {
-        v.elems().and_then(|e| e.first().cloned())
-    };
+    let one = |v: &SymValue| -> Option<DimValue> { v.elems().and_then(|e| e.first().cloned()) };
     match (one(start), one(limit), one(delta)) {
-        (Some(s), Some(l), Some(d)) => {
-            match (s.as_expr(), l.as_expr(), d.as_expr()) {
-                (Some(se), Some(le), Some(de)) => {
-                    if de.as_const() == Some(0) {
-                        return ShapeValue::Nac;
-                    }
-                    let n = DimExpr::max(
-                        DimExpr::Const(0),
-                        DimExpr::ceil_div(DimExpr::sub(le.clone(), se.clone()), de.clone()),
-                    );
-                    ShapeValue::Ranked(vec![DimValue::Expr(n)])
+        (Some(s), Some(l), Some(d)) => match (s.as_expr(), l.as_expr(), d.as_expr()) {
+            (Some(se), Some(le), Some(de)) => {
+                if de.as_const() == Some(0) {
+                    return ShapeValue::Nac;
                 }
-                _ => ShapeValue::Ranked(vec![DimValue::Nac]),
+                let n = DimExpr::max(
+                    DimExpr::Const(0),
+                    DimExpr::ceil_div(DimExpr::sub(le.clone(), se.clone()), de.clone()),
+                );
+                ShapeValue::Ranked(vec![DimValue::Expr(n)])
             }
-        }
+            _ => ShapeValue::Ranked(vec![DimValue::Nac]),
+        },
         _ => {
             if start.is_undef() || limit.is_undef() || delta.is_undef() {
                 ShapeValue::Undef
@@ -1254,7 +1239,12 @@ mod tests {
     fn unary_keeps_shape() {
         let n = node_of(Op::Unary(UnaryOp::Relu), 1);
         let s = sym_shape(&["x"]);
-        let p = forward(&n, &[s.clone()], &[SymValue::Nac], &[DType::F32]);
+        let p = forward(
+            &n,
+            std::slice::from_ref(&s),
+            &[SymValue::Nac],
+            &[DType::F32],
+        );
         assert_eq!(p.shapes[0], s);
     }
 
@@ -1283,9 +1273,10 @@ mod tests {
         );
         assert_eq!(
             v,
-            SymValue::Elems(vec![DimValue::Expr(
-                DimExpr::mul(DimExpr::sym("n"), DimExpr::Const(2))
-            )])
+            SymValue::Elems(vec![DimValue::Expr(DimExpr::mul(
+                DimExpr::sym("n"),
+                DimExpr::Const(2)
+            ))])
         );
     }
 }

@@ -10,11 +10,7 @@ use sod2_sym::{DimExpr, DimValue, ShapeValue, SymValue};
 #[test]
 fn fig3a_forward_chain() {
     let mut g = Graph::new();
-    let x = g.add_input(
-        "x",
-        DType::F32,
-        vec![DimExpr::sym("a"), DimExpr::sym("b")],
-    );
+    let x = g.add_input("x", DType::F32, vec![DimExpr::sym("a"), DimExpr::sym("b")]);
     let r = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
     let s = g.add_simple("shape", Op::Shape, &[r], DType::I64);
     let i0 = g.add_i64_const("idx0", &[0]);
@@ -51,18 +47,9 @@ fn fig3a_forward_chain() {
 #[test]
 fn fig1a_shape_to_constantofshape() {
     let mut g = Graph::new();
-    let x = g.add_input(
-        "x",
-        DType::F32,
-        vec![DimExpr::sym("a"), DimExpr::sym("b")],
-    );
+    let x = g.add_input("x", DType::F32, vec![DimExpr::sym("a"), DimExpr::sym("b")]);
     let s = g.add_simple("shape", Op::Shape, &[x], DType::I64);
-    let c = g.add_simple(
-        "cos",
-        Op::ConstantOfShape { value: 0.0 },
-        &[s],
-        DType::F32,
-    );
+    let c = g.add_simple("cos", Op::ConstantOfShape { value: 0.0 }, &[s], DType::F32);
     let out = g.add_simple("add", Op::Binary(BinaryOp::Add), &[c, x], DType::F32);
     g.mark_output(out);
 
@@ -112,13 +99,14 @@ fn backward_refines_reshape_output() {
 #[test]
 fn switch_combine_merge() {
     let mut g = Graph::new();
-    let x = g.add_input(
-        "x",
-        DType::F32,
-        vec![DimExpr::sym("n"), DimExpr::from(16)],
-    );
+    let x = g.add_input("x", DType::F32, vec![DimExpr::sym("n"), DimExpr::from(16)]);
     let sel = g.add_input("sel", DType::I64, vec![1.into()]);
-    let branches = g.add_node("switch", Op::Switch { num_branches: 2 }, &[x, sel], DType::F32);
+    let branches = g.add_node(
+        "switch",
+        Op::Switch { num_branches: 2 },
+        &[x, sel],
+        DType::F32,
+    );
     let b0 = g.add_simple("b0", Op::Unary(UnaryOp::Relu), &[branches[0]], DType::F32);
     let b1 = g.add_simple("b1", Op::Identity, &[branches[1]], DType::F32);
     let out = g.add_simple(
@@ -137,13 +125,14 @@ fn switch_combine_merge() {
 
     // Disagreeing variant: one branch halves the feature dim via matmul.
     let mut g = Graph::new();
-    let x = g.add_input(
-        "x",
-        DType::F32,
-        vec![DimExpr::sym("n"), DimExpr::from(16)],
-    );
+    let x = g.add_input("x", DType::F32, vec![DimExpr::sym("n"), DimExpr::from(16)]);
     let sel = g.add_input("sel", DType::I64, vec![1.into()]);
-    let br = g.add_node("switch", Op::Switch { num_branches: 2 }, &[x, sel], DType::F32);
+    let br = g.add_node(
+        "switch",
+        Op::Switch { num_branches: 2 },
+        &[x, sel],
+        DType::F32,
+    );
     let w = g.add_const("w", &[16, 8], sod2_ir::ConstData::F32(vec![0.0; 128]));
     let b0 = g.add_simple("b0", Op::MatMul, &[br[0], w], DType::F32);
     let b1 = g.add_simple("b1", Op::Identity, &[br[1]], DType::F32);
@@ -168,7 +157,12 @@ fn convergence_is_fast_on_deep_chains() {
     let mut g = Graph::new();
     let mut t = g.add_input("x", DType::F32, vec![DimExpr::sym("n"), 32.into()]);
     for i in 0..200 {
-        t = g.add_simple(format!("relu{i}"), Op::Unary(UnaryOp::Relu), &[t], DType::F32);
+        t = g.add_simple(
+            format!("relu{i}"),
+            Op::Unary(UnaryOp::Relu),
+            &[t],
+            DType::F32,
+        );
     }
     g.mark_output(t);
     let rdp = analyze(&g);

@@ -136,11 +136,20 @@ fn topk_with_runtime_k_is_nac_on_axis_only() {
 fn resize_with_shape_chain_resolves() {
     // Resize driven by another tensor's Shape — the YOLO neck pattern.
     let mut g = Graph::new();
-    let small = g.add_input("small", DType::F32, vec![1.into(), 4.into(), sym("h"), sym("w")]);
+    let small = g.add_input(
+        "small",
+        DType::F32,
+        vec![1.into(), 4.into(), sym("h"), sym("w")],
+    );
     let big = g.add_input(
         "big",
         DType::F32,
-        vec![1.into(), 4.into(), DimExpr::from(2) * sym("h"), DimExpr::from(2) * sym("w")],
+        vec![
+            1.into(),
+            4.into(),
+            DimExpr::from(2) * sym("h"),
+            DimExpr::from(2) * sym("w"),
+        ],
     );
     let s = g.add_simple("shape", Op::Shape, &[big], DType::I64);
     let hw = g.add_simple(
@@ -177,7 +186,12 @@ fn range_from_shape_value() {
     let sq_start = g.add_simple("s0", Op::Squeeze { axes: vec![] }, &[start], DType::I64);
     let sq_size = g.add_simple("s1", Op::Squeeze { axes: vec![] }, &[size], DType::I64);
     let sq_step = g.add_simple("s2", Op::Squeeze { axes: vec![] }, &[step], DType::I64);
-    let r = g.add_simple("range", Op::Range, &[sq_start, sq_size, sq_step], DType::I64);
+    let r = g.add_simple(
+        "range",
+        Op::Range,
+        &[sq_start, sq_size, sq_step],
+        DType::I64,
+    );
     g.mark_output(r);
     let rdp = analyze(&g);
     let dims = rdp.shape(r).dims().expect("ranked");
@@ -193,7 +207,11 @@ fn range_from_shape_value() {
 fn fig3b_backward_chain() {
     let mut g = Graph::new();
     // The chain's head has an unknowable shape (runtime reshape)…
-    let x = g.add_input("x", DType::F32, vec![DimExpr::from(4) * sym("a") * sym("b")]);
+    let x = g.add_input(
+        "x",
+        DType::F32,
+        vec![DimExpr::from(4) * sym("a") * sym("b")],
+    );
     let tgt = g.add_input("tgt", DType::I64, vec![2.into()]);
     let r = g.add_simple("reshape", Op::Reshape, &[x, tgt], DType::F32);
     let u1 = g.add_simple("u1", Op::Unary(UnaryOp::Relu), &[r], DType::F32);

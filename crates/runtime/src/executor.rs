@@ -9,7 +9,10 @@
 use crate::trace::{ExecutionTrace, TraceEvent};
 use sod2_fusion::FusionPlan;
 use sod2_ir::{ConstData, Graph, Node, NodeId, Op, TensorId};
-use sod2_kernels::{execute_op_with_variants, fused::FusedStep, fused_elementwise, ConvParams, GemmParams, KernelError};
+use sod2_kernels::{
+    execute_op_with_variants, fused::FusedStep, fused_elementwise, ConvParams, GemmParams,
+    KernelError,
+};
 use sod2_mvc::VersionTable;
 use sod2_tensor::{Data, Tensor};
 use std::collections::{HashMap, HashSet};
@@ -232,9 +235,16 @@ pub fn execute(
                             }
                             ChainStep::Clip { min, max } => {
                                 flops_per_elem += 1.0;
-                                FusedStep::Clip { min: *min, max: *max }
+                                FusedStep::Clip {
+                                    min: *min,
+                                    max: *max,
+                                }
                             }
-                            ChainStep::Binary { op, other, chain_is_lhs } => {
+                            ChainStep::Binary {
+                                op,
+                                other,
+                                chain_is_lhs,
+                            } => {
                                 flops_per_elem += 1.0;
                                 let t = match &env[other.0 as usize] {
                                     Slot::Live(t) => t,
@@ -245,7 +255,11 @@ pub fn execute(
                                     }
                                 };
                                 ext_read += t.byte_size() as f64;
-                                FusedStep::Binary { op: *op, other: t, chain_is_lhs: *chain_is_lhs }
+                                FusedStep::Binary {
+                                    op: *op,
+                                    other: t,
+                                    chain_is_lhs: *chain_is_lhs,
+                                }
                             }
                         });
                     }
@@ -280,7 +294,11 @@ pub fn execute(
                         env[chain.final_output.0 as usize] = Slot::Dead;
                     }
                 }
-            } else if chain_results[cidx].as_ref().map(Option::is_none).unwrap_or(false) {
+            } else if chain_results[cidx]
+                .as_ref()
+                .map(Option::is_none)
+                .unwrap_or(false)
+            {
                 // Dead chain: every member output is dead.
                 for &t in &node.outputs {
                     env[t.0 as usize] = Slot::Dead;
@@ -291,8 +309,7 @@ pub fn execute(
                 let uses = remaining_uses.get_mut(&t).expect("tracked tensor");
                 *uses = uses.saturating_sub(1);
                 if *uses == 0 {
-                    let is_intermediate =
-                        graph.producer(t).is_some() && !internal.contains(&t);
+                    let is_intermediate = graph.producer(t).is_some() && !internal.contains(&t);
                     if is_intermediate {
                         if let Slot::Live(ten) = &env[t.0 as usize] {
                             live_bytes = live_bytes.saturating_sub(ten.byte_size());
@@ -341,8 +358,7 @@ pub fn execute(
                         _ => Vec::new(),
                     })
                     .collect();
-                let out_shapes: Vec<Vec<usize>> =
-                    res.iter().map(|t| t.shape().to_vec()).collect();
+                let out_shapes: Vec<Vec<usize>> = res.iter().map(|t| t.shape().to_vec()).collect();
                 let cost = sod2_device::op_cost(&node.op, &in_shapes, &out_shapes, 4);
                 *group_flops.entry(gid).or_insert(0.0) += cost.flops;
                 *group_ops.entry(gid).or_insert(0) += 1;
@@ -354,16 +370,14 @@ pub fn execute(
                     };
                     if external {
                         if let Slot::Live(ten) = &env[t.0 as usize] {
-                            *group_ext_read.entry(gid).or_insert(0.0) +=
-                                ten.byte_size() as f64;
+                            *group_ext_read.entry(gid).or_insert(0.0) += ten.byte_size() as f64;
                         }
                     }
                 }
                 for (k, ten) in results.iter().enumerate() {
                     if let Some(ten) = ten {
                         if !internal.contains(&node.outputs[k]) {
-                            *group_ext_write.entry(gid).or_insert(0.0) +=
-                                ten.byte_size() as f64;
+                            *group_ext_write.entry(gid).or_insert(0.0) += ten.byte_size() as f64;
                         }
                     }
                 }
@@ -465,8 +479,15 @@ pub fn execute(
 #[derive(Debug, Clone)]
 enum ChainStep {
     Unary(sod2_ir::UnaryOp),
-    Clip { min: f32, max: f32 },
-    Binary { op: sod2_ir::BinaryOp, other: TensorId, chain_is_lhs: bool },
+    Clip {
+        min: f32,
+        max: f32,
+    },
+    Binary {
+        op: sod2_ir::BinaryOp,
+        other: TensorId,
+        chain_is_lhs: bool,
+    },
 }
 
 /// A fused-group execution plan: a linear element-wise chain.
@@ -497,8 +518,7 @@ fn build_chains(
         let mut prev_out: Option<TensorId> = None;
         for (i, &nid) in group.nodes.iter().enumerate() {
             let node = graph.node(nid);
-            if node.outputs.len() != 1
-                || graph.tensor(node.outputs[0]).dtype != sod2_ir::DType::F32
+            if node.outputs.len() != 1 || graph.tensor(node.outputs[0]).dtype != sod2_ir::DType::F32
             {
                 continue 'groups;
             }
@@ -519,7 +539,10 @@ fn build_chains(
                     } else if Some(node.inputs[0]) != chain_in {
                         continue 'groups;
                     }
-                    ChainStep::Clip { min: *min, max: *max }
+                    ChainStep::Clip {
+                        min: *min,
+                        max: *max,
+                    }
                 }
                 Op::Binary(b) => {
                     let (other, lhs) = if i == 0 {
@@ -541,7 +564,11 @@ fn build_chains(
                             continue 'groups;
                         }
                     }
-                    ChainStep::Binary { op: *b, other, chain_is_lhs: lhs }
+                    ChainStep::Binary {
+                        op: *b,
+                        other,
+                        chain_is_lhs: lhs,
+                    }
                 }
                 _ => continue 'groups,
             };
@@ -549,7 +576,9 @@ fn build_chains(
             prev_out = Some(node.outputs[0]);
         }
         let Some(seed) = seed else { continue };
-        let Some(final_output) = prev_out else { continue };
+        let Some(final_output) = prev_out else {
+            continue;
+        };
         if graph.tensor(seed).dtype != sod2_ir::DType::F32 {
             continue;
         }

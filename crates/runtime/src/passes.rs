@@ -114,7 +114,14 @@ pub fn fold_constants(graph: &Graph) -> (Graph, PassStats) {
         .nodes()
         .iter()
         .filter(|n| !folded_node_ids.contains(&n.id))
-        .map(|n| (n.name.clone(), n.op.clone(), n.inputs.clone(), n.outputs.clone()))
+        .map(|n| {
+            (
+                n.name.clone(),
+                n.op.clone(),
+                n.inputs.clone(),
+                n.outputs.clone(),
+            )
+        })
         .collect();
     let g = Graph::from_parts(
         tensors,
@@ -168,7 +175,14 @@ pub fn eliminate_dead_nodes(graph: &Graph) -> (Graph, usize) {
         .nodes()
         .iter()
         .filter(|n| live_nodes.contains(&n.id))
-        .map(|n| (n.name.clone(), n.op.clone(), n.inputs.clone(), n.outputs.clone()))
+        .map(|n| {
+            (
+                n.name.clone(),
+                n.op.clone(),
+                n.inputs.clone(),
+                n.outputs.clone(),
+            )
+        })
         .collect();
     let g = Graph::from_parts(
         tensors,
@@ -195,12 +209,7 @@ mod tests {
         let x = g.add_input("x", DType::F32, vec![DimExpr::sym("N"), 24.into()]);
         let dims = g.add_i64_const("dims", &[3, 8]);
         let two = g.add_i64_const("two", &[2]);
-        let doubled = g.add_simple(
-            "mul",
-            Op::Binary(BinaryOp::Mul),
-            &[dims, two],
-            DType::I64,
-        ); // [6, 16] — foldable
+        let doubled = g.add_simple("mul", Op::Binary(BinaryOp::Mul), &[dims, two], DType::I64); // [6, 16] — foldable
         let folded_relu = {
             let c = g.add_const("cf", &[2], ConstData::F32(vec![-1.0, 2.0]));
             g.add_simple("crelu", Op::Unary(UnaryOp::Relu), &[c], DType::F32)
@@ -216,7 +225,9 @@ mod tests {
         // Folded outputs are constants with the right values.
         let info = folded.tensor(doubled);
         assert_eq!(
-            info.const_data.as_ref().and_then(|d| d.as_i64s().map(<[i64]>::to_vec)),
+            info.const_data
+                .as_ref()
+                .and_then(|d| d.as_i64s().map(<[i64]>::to_vec)),
             Some(vec![6, 16])
         );
         sod2_ir::validate(&folded).expect("valid after folding");
@@ -236,11 +247,12 @@ mod tests {
 
         let (folded, stats) = fold_constants(&g);
         assert!(stats.folded_nodes >= 1);
-        let input = sod2_tensor::Tensor::from_f32(&[4, 6], (0..24).map(|i| i as f32 - 5.0).collect());
+        let input =
+            sod2_tensor::Tensor::from_f32(&[4, 6], (0..24).map(|i| i as f32 - 5.0).collect());
         let a = crate::executor::execute(&g, std::slice::from_ref(&input), &ExecConfig::default())
             .expect("orig");
-        let b = crate::executor::execute(&folded, &[input], &ExecConfig::default())
-            .expect("folded");
+        let b =
+            crate::executor::execute(&folded, &[input], &ExecConfig::default()).expect("folded");
         assert!(a.outputs[0].approx_eq(&b.outputs[0], 0.0));
         assert!(b.trace.kernel_count() < a.trace.kernel_count());
     }

@@ -78,15 +78,10 @@ pub fn broadcast_dims(a: &DimValue, b: &DimValue) -> Result<DimValue, BroadcastE
 ///
 /// Returns [`BroadcastError`] when some aligned dimension pair is provably
 /// incompatible.
-pub fn broadcast_shapes(
-    a: &ShapeValue,
-    b: &ShapeValue,
-) -> Result<ShapeValue, BroadcastError> {
+pub fn broadcast_shapes(a: &ShapeValue, b: &ShapeValue) -> Result<ShapeValue, BroadcastError> {
     let (da, db) = match (a, b) {
         (ShapeValue::Nac, _) | (_, ShapeValue::Nac) => return Ok(ShapeValue::Nac),
-        (ShapeValue::Undef, _) | (_, ShapeValue::Undef) => {
-            return Ok(ShapeValue::Undef)
-        }
+        (ShapeValue::Undef, _) | (_, ShapeValue::Undef) => return Ok(ShapeValue::Undef),
         (ShapeValue::Ranked(da), ShapeValue::Ranked(db)) => (da, db),
     };
     let rank = da.len().max(db.len());
@@ -94,8 +89,16 @@ pub fn broadcast_shapes(
     let mut out = vec![DimValue::Undef; rank];
     for i in 0..rank {
         // i counts from the right.
-        let x = if i < da.len() { &da[da.len() - 1 - i] } else { &one };
-        let y = if i < db.len() { &db[db.len() - 1 - i] } else { &one };
+        let x = if i < da.len() {
+            &da[da.len() - 1 - i]
+        } else {
+            &one
+        };
+        let y = if i < db.len() {
+            &db[db.len() - 1 - i]
+        } else {
+            &one
+        };
         let d = broadcast_dims(x, y).map_err(|mut e| {
             e.axis_from_right = i;
             e
@@ -148,10 +151,7 @@ mod tests {
     fn rank_extension() {
         let a = ShapeValue::known(&[3, 4]);
         let b = ShapeValue::known(&[2, 1, 4]);
-        assert_eq!(
-            broadcast_shapes(&a, &b),
-            Ok(ShapeValue::known(&[2, 3, 4]))
-        );
+        assert_eq!(broadcast_shapes(&a, &b), Ok(ShapeValue::known(&[2, 3, 4])));
     }
 
     #[test]

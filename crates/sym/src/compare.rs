@@ -102,12 +102,16 @@ impl DimExpr {
                     i64::MIN
                 }
             }
-            DimExpr::Min(ops) => {
-                ops.iter().map(DimExpr::lower_bound).min().unwrap_or(i64::MIN)
-            }
-            DimExpr::Max(ops) => {
-                ops.iter().map(DimExpr::lower_bound).max().unwrap_or(i64::MIN)
-            }
+            DimExpr::Min(ops) => ops
+                .iter()
+                .map(DimExpr::lower_bound)
+                .min()
+                .unwrap_or(i64::MIN),
+            DimExpr::Max(ops) => ops
+                .iter()
+                .map(DimExpr::lower_bound)
+                .max()
+                .unwrap_or(i64::MIN),
         }
     }
 }

@@ -70,8 +70,8 @@ pub enum DimExpr {
 pub type Bindings = BTreeMap<String, i64>;
 
 #[allow(clippy::should_implement_trait)] // `add`/`sub`/`mul` are the
-// canonicalizing smart constructors; the std operator traits are ALSO
-// implemented and delegate to them.
+                                         // canonicalizing smart constructors; the std operator traits are ALSO
+                                         // implemented and delegate to them.
 impl DimExpr {
     /// Creates a symbolic constant with the given name.
     pub fn sym(name: impl AsRef<str>) -> Self {
@@ -173,9 +173,7 @@ impl DimExpr {
     pub fn modulo(a: DimExpr, b: DimExpr) -> DimExpr {
         debug_assert!(b.as_const() != Some(0), "modulo by constant zero");
         match (&a, &b) {
-            (DimExpr::Const(x), DimExpr::Const(y)) if *y != 0 => {
-                DimExpr::Const(x.rem_euclid(*y))
-            }
+            (DimExpr::Const(x), DimExpr::Const(y)) if *y != 0 => DimExpr::Const(x.rem_euclid(*y)),
             _ if b.as_const() == Some(1) => DimExpr::Const(0),
             _ if a == b => DimExpr::Const(0),
             _ => DimExpr::Mod(Box::new(a), Box::new(b)),
@@ -244,14 +242,14 @@ impl DimExpr {
                     Some(x.rem_euclid(y))
                 }
             }
-            DimExpr::Min(ops) => ops.iter().map(|o| o.eval(bindings)).try_fold(
-                i64::MAX,
-                |acc, v| v.map(|v| acc.min(v)),
-            ),
-            DimExpr::Max(ops) => ops.iter().map(|o| o.eval(bindings)).try_fold(
-                i64::MIN,
-                |acc, v| v.map(|v| acc.max(v)),
-            ),
+            DimExpr::Min(ops) => ops
+                .iter()
+                .map(|o| o.eval(bindings))
+                .try_fold(i64::MAX, |acc, v| v.map(|v| acc.min(v))),
+            DimExpr::Max(ops) => ops
+                .iter()
+                .map(|o| o.eval(bindings))
+                .try_fold(i64::MIN, |acc, v| v.map(|v| acc.max(v))),
         }
     }
 
@@ -295,10 +293,7 @@ impl DimExpr {
     pub fn substitute(&self, map: &BTreeMap<String, DimExpr>) -> DimExpr {
         match self {
             DimExpr::Const(v) => DimExpr::Const(*v),
-            DimExpr::Sym(s) => map
-                .get(s.as_ref())
-                .cloned()
-                .unwrap_or_else(|| self.clone()),
+            DimExpr::Sym(s) => map.get(s.as_ref()).cloned().unwrap_or_else(|| self.clone()),
             DimExpr::Add(ts) => ts
                 .iter()
                 .map(|t| t.substitute(map))
@@ -309,12 +304,8 @@ impl DimExpr {
                 .map(|f| f.substitute(map))
                 .reduce(DimExpr::mul)
                 .expect("Mul invariant: >= 2 factors"),
-            DimExpr::FloorDiv(a, b) => {
-                DimExpr::floor_div(a.substitute(map), b.substitute(map))
-            }
-            DimExpr::CeilDiv(a, b) => {
-                DimExpr::ceil_div(a.substitute(map), b.substitute(map))
-            }
+            DimExpr::FloorDiv(a, b) => DimExpr::floor_div(a.substitute(map), b.substitute(map)),
+            DimExpr::CeilDiv(a, b) => DimExpr::ceil_div(a.substitute(map), b.substitute(map)),
             DimExpr::Mod(a, b) => DimExpr::modulo(a.substitute(map), b.substitute(map)),
             DimExpr::Min(ops) => ops
                 .iter()

@@ -225,9 +225,7 @@ impl ShapeValue {
                 if a.len() != b.len() {
                     ShapeValue::Nac
                 } else {
-                    ShapeValue::Ranked(
-                        a.iter().zip(b).map(|(x, y)| x.meet(y)).collect(),
-                    )
+                    ShapeValue::Ranked(a.iter().zip(b).map(|(x, y)| x.meet(y)).collect())
                 }
             }
         }
@@ -239,8 +237,7 @@ impl ShapeValue {
             (ShapeValue::Undef, _) => true,
             (_, ShapeValue::Nac) => true,
             (ShapeValue::Ranked(a), ShapeValue::Ranked(b)) => {
-                a.len() == b.len()
-                    && a.iter().zip(b).all(|(x, y)| x.is_at_least(y))
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.is_at_least(y))
             }
             _ => false,
         }
@@ -335,10 +332,7 @@ mod tests {
     fn shape_meet_elementwise() {
         let s1 = ShapeValue::known(&[1, 2]);
         let s2 = ShapeValue::Ranked(vec![k(1), DimValue::sym("b")]);
-        assert_eq!(
-            s1.meet(&s2),
-            ShapeValue::Ranked(vec![k(1), DimValue::Nac])
-        );
+        assert_eq!(s1.meet(&s2), ShapeValue::Ranked(vec![k(1), DimValue::Nac]));
     }
 
     #[test]
@@ -346,10 +340,7 @@ mod tests {
         let nac_dims = ShapeValue::Ranked(vec![DimValue::Nac, k(4)]);
         let sym_dims = ShapeValue::Ranked(vec![DimValue::sym("n"), DimValue::Undef]);
         let refined = nac_dims.refine(&sym_dims);
-        assert_eq!(
-            refined,
-            ShapeValue::Ranked(vec![DimValue::sym("n"), k(4)])
-        );
+        assert_eq!(refined, ShapeValue::Ranked(vec![DimValue::sym("n"), k(4)]));
     }
 
     #[test]

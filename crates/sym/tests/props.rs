@@ -69,25 +69,18 @@ fn spec_strategy() -> impl Strategy<Value = Spec> {
     ];
     leaf.prop_recursive(4, 48, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Spec::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Spec::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Spec::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Spec::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Spec::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Spec::Mul(Box::new(a), Box::new(b))),
             // Divisors are positive constants: the smart constructors
             // assert against a provably zero divisor, and dynamic-DNN
             // dimension arithmetic only ever divides by strides/factors.
-            (inner.clone(), 1i64..=9).prop_map(|(a, d)| {
-                Spec::FloorDiv(Box::new(a), Box::new(Spec::Const(d)))
-            }),
-            (inner.clone(), 1i64..=9).prop_map(|(a, d)| {
-                Spec::CeilDiv(Box::new(a), Box::new(Spec::Const(d)))
-            }),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Spec::Min(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Spec::Max(Box::new(a), Box::new(b))),
+            (inner.clone(), 1i64..=9)
+                .prop_map(|(a, d)| { Spec::FloorDiv(Box::new(a), Box::new(Spec::Const(d))) }),
+            (inner.clone(), 1i64..=9)
+                .prop_map(|(a, d)| { Spec::CeilDiv(Box::new(a), Box::new(Spec::Const(d))) }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Spec::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Spec::Max(Box::new(a), Box::new(b))),
         ]
     })
 }

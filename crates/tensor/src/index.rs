@@ -61,11 +61,7 @@ impl Indexer {
     /// Flat offset of a coordinate.
     pub fn offset(&self, coords: &[usize]) -> usize {
         debug_assert_eq!(coords.len(), self.shape.len());
-        coords
-            .iter()
-            .zip(&self.strides)
-            .map(|(c, s)| c * s)
-            .sum()
+        coords.iter().zip(&self.strides).map(|(c, s)| c * s).sum()
     }
 
     /// Coordinates of a flat offset.

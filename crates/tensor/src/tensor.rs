@@ -290,7 +290,13 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         let e = Tensor::new(&[3], Data::F32(vec![1.0])).expect_err("mismatch");
-        assert_eq!(e, TensorError::ShapeMismatch { expected: 3, actual: 1 });
+        assert_eq!(
+            e,
+            TensorError::ShapeMismatch {
+                expected: 3,
+                actual: 1
+            }
+        );
     }
 
     #[test]

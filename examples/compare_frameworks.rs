@@ -6,17 +6,17 @@
 //! cargo run --release --example compare_frameworks [model-name] [samples]
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sod2::{DeviceProfile, Engine, MnnLike, OrtLike, Sod2Engine, Sod2Options, TvmNimbleLike};
 use sod2_models::{model_by_name, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("yolo");
     let samples: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
-    let model = model_by_name(name, ModelScale::Tiny)
-        .ok_or_else(|| format!("unknown model {name:?}"))?;
+    let model =
+        model_by_name(name, ModelScale::Tiny).ok_or_else(|| format!("unknown model {name:?}"))?;
     let profile = DeviceProfile::s888_cpu();
     println!(
         "comparing engines on {} ({} layers), {} inputs, {}",
@@ -39,7 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let mut rng = StdRng::seed_from_u64(42);
-    let inputs: Vec<_> = (0..samples).map(|_| model.sample_inputs(&mut rng).1).collect();
+    let inputs: Vec<_> = (0..samples)
+        .map(|_| model.sample_inputs(&mut rng).1)
+        .collect();
 
     println!(
         "{:<8} {:>12} {:>12} {:>14}",

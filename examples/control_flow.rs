@@ -7,10 +7,10 @@
 //! cargo run --release --example control_flow
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sod2::{DeviceProfile, Engine, Sod2Engine, Sod2Options};
 use sod2_models::{skipnet, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
 use sod2_runtime::{execute, ExecConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -6,10 +6,10 @@
 //! cargo run --release --example dynamic_shapes
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sod2::{DeviceProfile, Engine, MnnLike, Sod2Engine, Sod2Options};
 use sod2_models::{codebert, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = codebert(ModelScale::Tiny);

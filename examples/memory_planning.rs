@@ -7,15 +7,15 @@
 //! cargo run --release --example memory_planning
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sod2_fusion::{fuse, FusionPolicy};
 use sod2_mem::{
-    peak_live_bytes, plan_best_fit, plan_exhaustive, plan_peak_first, validate_plan,
-    MemoryPlan, TensorLife,
+    peak_live_bytes, plan_best_fit, plan_exhaustive, plan_peak_first, verify_plan, MemoryPlan,
+    TensorLife,
 };
 use sod2_models::{convnet_aig, ModelScale};
 use sod2_plan::{naive_unit_order, unit_lifetimes, UnitGraph};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
 use sod2_runtime::{execute, ExecConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -57,13 +57,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lower / 1024
     );
     println!();
-    println!("{:<26} {:>10} {:>12}", "planner", "peak KiB", "vs lower bound");
+    println!(
+        "{:<26} {:>10} {:>12}",
+        "planner", "peak KiB", "vs lower bound"
+    );
     for (name, plan) in [
         ("SoD2 peak-first", plan_peak_first(&lives)),
         ("MNN-style best-fit", plan_best_fit(&lives)),
         ("conservative (no reuse)", MemoryPlan::conservative(&lives)),
     ] {
-        validate_plan(&lives, &plan)?;
+        if let Some(v) = verify_plan(&lives, &plan).into_iter().next() {
+            return Err(v.to_string().into());
+        }
         println!(
             "{:<26} {:>10} {:>11.2}x",
             name,

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_zoo-33de5ea9d56274fa.d: crates/frameworks/tests/analysis_zoo.rs
+
+/root/repo/target/debug/deps/analysis_zoo-33de5ea9d56274fa: crates/frameworks/tests/analysis_zoo.rs
+
+crates/frameworks/tests/analysis_zoo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_zoo-c889796c897b79d1.d: crates/frameworks/tests/analysis_zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_zoo-c889796c897b79d1.rmeta: crates/frameworks/tests/analysis_zoo.rs Cargo.toml
+
+crates/frameworks/tests/analysis_zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

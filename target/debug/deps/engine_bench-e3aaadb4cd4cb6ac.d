@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_bench-e3aaadb4cd4cb6ac.d: crates/bench/benches/engine_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_bench-e3aaadb4cd4cb6ac.rmeta: crates/bench/benches/engine_bench.rs Cargo.toml
+
+crates/bench/benches/engine_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_tests-274e289583a01c7f.d: crates/frameworks/tests/engine_tests.rs
+
+/root/repo/target/debug/deps/engine_tests-274e289583a01c7f: crates/frameworks/tests/engine_tests.rs
+
+crates/frameworks/tests/engine_tests.rs:

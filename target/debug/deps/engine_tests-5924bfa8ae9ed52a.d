@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_tests-5924bfa8ae9ed52a.d: crates/frameworks/tests/engine_tests.rs
+
+/root/repo/target/debug/deps/engine_tests-5924bfa8ae9ed52a: crates/frameworks/tests/engine_tests.rs
+
+crates/frameworks/tests/engine_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_tests-e34823e493ec1a40.d: crates/frameworks/tests/engine_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_tests-e34823e493ec1a40.rmeta: crates/frameworks/tests/engine_tests.rs Cargo.toml
+
+crates/frameworks/tests/engine_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor_tests-127df3c9c90ea90b.d: crates/runtime/tests/executor_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor_tests-127df3c9c90ea90b.rmeta: crates/runtime/tests/executor_tests.rs Cargo.toml
+
+crates/runtime/tests/executor_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor_tests-dc1d6c6c86c46673.d: crates/runtime/tests/executor_tests.rs
+
+/root/repo/target/debug/deps/executor_tests-dc1d6c6c86c46673: crates/runtime/tests/executor_tests.rs
+
+crates/runtime/tests/executor_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-3e92e61183693e63.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-3e92e61183693e63: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-6eed8e57fc64cb5a.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-6eed8e57fc64cb5a: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-4169e401f202fa14.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-4169e401f202fa14: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

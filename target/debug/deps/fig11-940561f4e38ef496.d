@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-940561f4e38ef496.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-940561f4e38ef496: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

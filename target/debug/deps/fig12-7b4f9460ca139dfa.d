@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-7b4f9460ca139dfa.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-7b4f9460ca139dfa: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

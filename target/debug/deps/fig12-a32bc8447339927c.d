@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-a32bc8447339927c.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-a32bc8447339927c: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

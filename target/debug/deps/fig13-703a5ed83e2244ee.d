@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-703a5ed83e2244ee.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-703a5ed83e2244ee: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

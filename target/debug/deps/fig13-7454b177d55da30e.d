@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-7454b177d55da30e.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-7454b177d55da30e: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-962f2937b36054f8.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-962f2937b36054f8: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

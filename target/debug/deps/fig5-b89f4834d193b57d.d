@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b89f4834d193b57d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-b89f4834d193b57d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-2f55bf7c6c1f173d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-2f55bf7c6c1f173d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

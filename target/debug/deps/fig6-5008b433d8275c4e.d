@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-5008b433d8275c4e.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-5008b433d8275c4e: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

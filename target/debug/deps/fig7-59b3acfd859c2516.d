@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-59b3acfd859c2516.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-59b3acfd859c2516: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

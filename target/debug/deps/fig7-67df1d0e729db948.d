@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-67df1d0e729db948.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-67df1d0e729db948: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-25349bab13adfa39.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-25349bab13adfa39: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

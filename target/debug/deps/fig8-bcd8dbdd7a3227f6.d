@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-bcd8dbdd7a3227f6.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-bcd8dbdd7a3227f6: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

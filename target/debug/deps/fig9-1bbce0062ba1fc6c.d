@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-1bbce0062ba1fc6c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-1bbce0062ba1fc6c: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

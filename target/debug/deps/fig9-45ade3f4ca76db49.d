@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-45ade3f4ca76db49.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-45ade3f4ca76db49: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

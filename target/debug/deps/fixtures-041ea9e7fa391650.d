@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fixtures-041ea9e7fa391650.d: crates/analysis/tests/fixtures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixtures-041ea9e7fa391650.rmeta: crates/analysis/tests/fixtures.rs Cargo.toml
+
+crates/analysis/tests/fixtures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fixtures-47d9d6a76290cbff.d: crates/analysis/tests/fixtures.rs
+
+/root/repo/target/debug/deps/fixtures-47d9d6a76290cbff: crates/analysis/tests/fixtures.rs
+
+crates/analysis/tests/fixtures.rs:

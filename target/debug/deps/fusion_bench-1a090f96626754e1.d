@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fusion_bench-1a090f96626754e1.d: crates/bench/benches/fusion_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion_bench-1a090f96626754e1.rmeta: crates/bench/benches/fusion_bench.rs Cargo.toml
+
+crates/bench/benches/fusion_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-7bcc1ae3cccdfd43.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-7bcc1ae3cccdfd43: tests/integration.rs
+
+tests/integration.rs:

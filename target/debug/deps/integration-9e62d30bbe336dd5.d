@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-9e62d30bbe336dd5.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-9e62d30bbe336dd5: tests/integration.rs
+
+tests/integration.rs:

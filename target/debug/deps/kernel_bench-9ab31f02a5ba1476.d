@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_bench-9ab31f02a5ba1476.d: crates/bench/benches/kernel_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_bench-9ab31f02a5ba1476.rmeta: crates/bench/benches/kernel_bench.rs Cargo.toml
+
+crates/bench/benches/kernel_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

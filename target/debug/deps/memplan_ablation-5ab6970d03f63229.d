@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memplan_ablation-5ab6970d03f63229.d: crates/bench/src/bin/memplan_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemplan_ablation-5ab6970d03f63229.rmeta: crates/bench/src/bin/memplan_ablation.rs Cargo.toml
+
+crates/bench/src/bin/memplan_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memplan_ablation-669e73aa0b2d1091.d: crates/bench/src/bin/memplan_ablation.rs
+
+/root/repo/target/debug/deps/memplan_ablation-669e73aa0b2d1091: crates/bench/src/bin/memplan_ablation.rs
+
+crates/bench/src/bin/memplan_ablation.rs:

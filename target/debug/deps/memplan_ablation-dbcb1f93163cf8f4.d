@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memplan_ablation-dbcb1f93163cf8f4.d: crates/bench/src/bin/memplan_ablation.rs
+
+/root/repo/target/debug/deps/memplan_ablation-dbcb1f93163cf8f4: crates/bench/src/bin/memplan_ablation.rs
+
+crates/bench/src/bin/memplan_ablation.rs:

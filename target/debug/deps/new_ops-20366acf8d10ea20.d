@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/new_ops-20366acf8d10ea20.d: crates/kernels/tests/new_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnew_ops-20366acf8d10ea20.rmeta: crates/kernels/tests/new_ops.rs Cargo.toml
+
+crates/kernels/tests/new_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/new_ops-a9796acd4add935e.d: crates/kernels/tests/new_ops.rs
+
+/root/repo/target/debug/deps/new_ops-a9796acd4add935e: crates/kernels/tests/new_ops.rs
+
+crates/kernels/tests/new_ops.rs:

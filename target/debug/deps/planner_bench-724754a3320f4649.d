@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planner_bench-724754a3320f4649.d: crates/bench/benches/planner_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanner_bench-724754a3320f4649.rmeta: crates/bench/benches/planner_bench.rs Cargo.toml
+
+crates/bench/benches/planner_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

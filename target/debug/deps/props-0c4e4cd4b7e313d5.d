@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-0c4e4cd4b7e313d5.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-0c4e4cd4b7e313d5: tests/props.rs
+
+tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-240a2c86b781d234.d: crates/sym/tests/props.rs
+
+/root/repo/target/debug/deps/props-240a2c86b781d234: crates/sym/tests/props.rs
+
+crates/sym/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-66f2a5ecd74d2237.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-66f2a5ecd74d2237: tests/props.rs
+
+tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-676f0940075bc631.d: crates/tensor/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-676f0940075bc631.rmeta: crates/tensor/tests/props.rs Cargo.toml
+
+crates/tensor/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

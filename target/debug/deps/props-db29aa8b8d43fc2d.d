@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-db29aa8b8d43fc2d.d: crates/tensor/tests/props.rs
+
+/root/repo/target/debug/deps/props-db29aa8b8d43fc2d: crates/tensor/tests/props.rs
+
+crates/tensor/tests/props.rs:

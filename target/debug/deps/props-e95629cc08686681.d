@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-e95629cc08686681.d: crates/sym/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-e95629cc08686681.rmeta: crates/sym/tests/props.rs Cargo.toml
+
+crates/sym/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-ed0aef5469925a62.d: crates/mem/tests/props.rs
+
+/root/repo/target/debug/deps/props-ed0aef5469925a62: crates/mem/tests/props.rs
+
+crates/mem/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-f1dbb67df503255c.d: crates/mem/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-f1dbb67df503255c.rmeta: crates/mem/tests/props.rs Cargo.toml
+
+crates/mem/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

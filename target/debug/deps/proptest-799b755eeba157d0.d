@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-799b755eeba157d0.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-799b755eeba157d0.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-799b755eeba157d0.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-9b80aa7446caae42.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-9b80aa7446caae42: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

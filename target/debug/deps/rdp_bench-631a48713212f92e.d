@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rdp_bench-631a48713212f92e.d: crates/bench/benches/rdp_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/librdp_bench-631a48713212f92e.rmeta: crates/bench/benches/rdp_bench.rs Cargo.toml
+
+crates/bench/benches/rdp_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

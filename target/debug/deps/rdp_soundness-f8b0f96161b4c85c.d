@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rdp_soundness-f8b0f96161b4c85c.d: tests/rdp_soundness.rs
+
+/root/repo/target/debug/deps/rdp_soundness-f8b0f96161b4c85c: tests/rdp_soundness.rs
+
+tests/rdp_soundness.rs:

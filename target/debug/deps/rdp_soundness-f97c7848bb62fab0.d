@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rdp_soundness-f97c7848bb62fab0.d: tests/rdp_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librdp_soundness-f97c7848bb62fab0.rmeta: tests/rdp_soundness.rs Cargo.toml
+
+tests/rdp_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

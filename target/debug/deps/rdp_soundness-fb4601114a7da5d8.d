@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rdp_soundness-fb4601114a7da5d8.d: tests/rdp_soundness.rs
+
+/root/repo/target/debug/deps/rdp_soundness-fb4601114a7da5d8: tests/rdp_soundness.rs
+
+tests/rdp_soundness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-dc7a0fb52cb31b57.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-dc7a0fb52cb31b57: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-f6515b0d8359623f.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-f6515b0d8359623f: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serialize_fuzz-8bf0279047663fb2.d: crates/ir/tests/serialize_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserialize_fuzz-8bf0279047663fb2.rmeta: crates/ir/tests/serialize_fuzz.rs Cargo.toml
+
+crates/ir/tests/serialize_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serialize_fuzz-902a023c38e1fb5d.d: crates/ir/tests/serialize_fuzz.rs
+
+/root/repo/target/debug/deps/serialize_fuzz-902a023c38e1fb5d: crates/ir/tests/serialize_fuzz.rs
+
+crates/ir/tests/serialize_fuzz.rs:

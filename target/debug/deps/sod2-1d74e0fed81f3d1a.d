@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sod2-1d74e0fed81f3d1a.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/sod2-1d74e0fed81f3d1a: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

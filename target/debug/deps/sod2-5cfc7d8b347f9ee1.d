@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sod2-5cfc7d8b347f9ee1.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2-5cfc7d8b347f9ee1.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sod2-7b1015f563b9a77d.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsod2-7b1015f563b9a77d.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsod2-7b1015f563b9a77d.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

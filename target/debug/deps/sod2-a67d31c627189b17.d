@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sod2-a67d31c627189b17.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/sod2-a67d31c627189b17: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sod2-abf95aca927ae98a.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2-abf95aca927ae98a.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sod2-e9443e065c1c6888.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsod2-e9443e065c1c6888.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsod2-e9443e065c1c6888.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

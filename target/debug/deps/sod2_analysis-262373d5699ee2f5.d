@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sod2_analysis-262373d5699ee2f5.d: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/ir_lints.rs crates/analysis/src/mem_check.rs crates/analysis/src/plan_check.rs crates/analysis/src/rdp_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_analysis-262373d5699ee2f5.rmeta: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/ir_lints.rs crates/analysis/src/mem_check.rs crates/analysis/src/plan_check.rs crates/analysis/src/rdp_check.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/diag.rs:
+crates/analysis/src/ir_lints.rs:
+crates/analysis/src/mem_check.rs:
+crates/analysis/src/plan_check.rs:
+crates/analysis/src/rdp_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

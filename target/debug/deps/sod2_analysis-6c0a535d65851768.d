@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sod2_analysis-6c0a535d65851768.d: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/ir_lints.rs crates/analysis/src/mem_check.rs crates/analysis/src/plan_check.rs crates/analysis/src/rdp_check.rs
+
+/root/repo/target/debug/deps/sod2_analysis-6c0a535d65851768: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/ir_lints.rs crates/analysis/src/mem_check.rs crates/analysis/src/plan_check.rs crates/analysis/src/rdp_check.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/diag.rs:
+crates/analysis/src/ir_lints.rs:
+crates/analysis/src/mem_check.rs:
+crates/analysis/src/plan_check.rs:
+crates/analysis/src/rdp_check.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sod2_analysis-a86b5b7618b8d651.d: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/ir_lints.rs crates/analysis/src/mem_check.rs crates/analysis/src/plan_check.rs crates/analysis/src/rdp_check.rs
+
+/root/repo/target/debug/deps/libsod2_analysis-a86b5b7618b8d651.rlib: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/ir_lints.rs crates/analysis/src/mem_check.rs crates/analysis/src/plan_check.rs crates/analysis/src/rdp_check.rs
+
+/root/repo/target/debug/deps/libsod2_analysis-a86b5b7618b8d651.rmeta: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/ir_lints.rs crates/analysis/src/mem_check.rs crates/analysis/src/plan_check.rs crates/analysis/src/rdp_check.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/diag.rs:
+crates/analysis/src/ir_lints.rs:
+crates/analysis/src/mem_check.rs:
+crates/analysis/src/plan_check.rs:
+crates/analysis/src/rdp_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sod2_bench-42fbfb5de9d72060.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sod2_bench-42fbfb5de9d72060: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sod2_bench-8d11393d8d6d8f42.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsod2_bench-8d11393d8d6d8f42.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsod2_bench-8d11393d8d6d8f42.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sod2_bench-ad62728d1298df35.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsod2_bench-ad62728d1298df35.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsod2_bench-ad62728d1298df35.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

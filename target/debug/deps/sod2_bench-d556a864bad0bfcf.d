@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sod2_bench-d556a864bad0bfcf.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_bench-d556a864bad0bfcf.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sod2_bench-e6a8296de87636dd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sod2_bench-e6a8296de87636dd: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

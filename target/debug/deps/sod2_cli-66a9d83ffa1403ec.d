@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sod2_cli-66a9d83ffa1403ec.d: crates/core/src/bin/sod2-cli.rs
+
+/root/repo/target/debug/deps/sod2_cli-66a9d83ffa1403ec: crates/core/src/bin/sod2-cli.rs
+
+crates/core/src/bin/sod2-cli.rs:

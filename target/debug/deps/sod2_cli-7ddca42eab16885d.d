@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sod2_cli-7ddca42eab16885d.d: crates/core/src/bin/sod2-cli.rs
+
+/root/repo/target/debug/deps/sod2_cli-7ddca42eab16885d: crates/core/src/bin/sod2-cli.rs
+
+crates/core/src/bin/sod2-cli.rs:

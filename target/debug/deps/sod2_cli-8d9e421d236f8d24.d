@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sod2_cli-8d9e421d236f8d24.d: crates/core/src/bin/sod2-cli.rs
+
+/root/repo/target/debug/deps/sod2_cli-8d9e421d236f8d24: crates/core/src/bin/sod2-cli.rs
+
+crates/core/src/bin/sod2-cli.rs:

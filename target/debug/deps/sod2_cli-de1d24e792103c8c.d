@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sod2_cli-de1d24e792103c8c.d: crates/core/src/bin/sod2-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_cli-de1d24e792103c8c.rmeta: crates/core/src/bin/sod2-cli.rs Cargo.toml
+
+crates/core/src/bin/sod2-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

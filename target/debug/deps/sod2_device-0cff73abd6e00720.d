@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sod2_device-0cff73abd6e00720.d: crates/device/src/lib.rs crates/device/src/cost.rs crates/device/src/profile.rs crates/device/src/tuning.rs
+
+/root/repo/target/debug/deps/sod2_device-0cff73abd6e00720: crates/device/src/lib.rs crates/device/src/cost.rs crates/device/src/profile.rs crates/device/src/tuning.rs
+
+crates/device/src/lib.rs:
+crates/device/src/cost.rs:
+crates/device/src/profile.rs:
+crates/device/src/tuning.rs:

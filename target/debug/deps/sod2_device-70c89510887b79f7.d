@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sod2_device-70c89510887b79f7.d: crates/device/src/lib.rs crates/device/src/cost.rs crates/device/src/profile.rs crates/device/src/tuning.rs
+
+/root/repo/target/debug/deps/libsod2_device-70c89510887b79f7.rlib: crates/device/src/lib.rs crates/device/src/cost.rs crates/device/src/profile.rs crates/device/src/tuning.rs
+
+/root/repo/target/debug/deps/libsod2_device-70c89510887b79f7.rmeta: crates/device/src/lib.rs crates/device/src/cost.rs crates/device/src/profile.rs crates/device/src/tuning.rs
+
+crates/device/src/lib.rs:
+crates/device/src/cost.rs:
+crates/device/src/profile.rs:
+crates/device/src/tuning.rs:

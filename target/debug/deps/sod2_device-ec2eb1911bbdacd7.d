@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sod2_device-ec2eb1911bbdacd7.d: crates/device/src/lib.rs crates/device/src/cost.rs crates/device/src/profile.rs crates/device/src/tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_device-ec2eb1911bbdacd7.rmeta: crates/device/src/lib.rs crates/device/src/cost.rs crates/device/src/profile.rs crates/device/src/tuning.rs Cargo.toml
+
+crates/device/src/lib.rs:
+crates/device/src/cost.rs:
+crates/device/src/profile.rs:
+crates/device/src/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sod2_frameworks-2e79485000a9588c.d: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+/root/repo/target/debug/deps/libsod2_frameworks-2e79485000a9588c.rlib: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+/root/repo/target/debug/deps/libsod2_frameworks-2e79485000a9588c.rmeta: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+crates/frameworks/src/lib.rs:
+crates/frameworks/src/baselines.rs:
+crates/frameworks/src/common.rs:
+crates/frameworks/src/sod2_engine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sod2_frameworks-4295db8c7c7c8290.d: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+/root/repo/target/debug/deps/sod2_frameworks-4295db8c7c7c8290: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+crates/frameworks/src/lib.rs:
+crates/frameworks/src/baselines.rs:
+crates/frameworks/src/common.rs:
+crates/frameworks/src/sod2_engine.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sod2_frameworks-4b00c389e22040ed.d: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_frameworks-4b00c389e22040ed.rmeta: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs Cargo.toml
+
+crates/frameworks/src/lib.rs:
+crates/frameworks/src/baselines.rs:
+crates/frameworks/src/common.rs:
+crates/frameworks/src/sod2_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

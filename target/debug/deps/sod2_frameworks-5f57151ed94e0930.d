@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sod2_frameworks-5f57151ed94e0930.d: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+/root/repo/target/debug/deps/sod2_frameworks-5f57151ed94e0930: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+crates/frameworks/src/lib.rs:
+crates/frameworks/src/baselines.rs:
+crates/frameworks/src/common.rs:
+crates/frameworks/src/sod2_engine.rs:

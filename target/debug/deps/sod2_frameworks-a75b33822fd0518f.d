@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sod2_frameworks-a75b33822fd0518f.d: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+/root/repo/target/debug/deps/libsod2_frameworks-a75b33822fd0518f.rlib: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+/root/repo/target/debug/deps/libsod2_frameworks-a75b33822fd0518f.rmeta: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+crates/frameworks/src/lib.rs:
+crates/frameworks/src/baselines.rs:
+crates/frameworks/src/common.rs:
+crates/frameworks/src/sod2_engine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sod2_fusion-0d61e15e6a73e462.d: crates/fusion/src/lib.rs crates/fusion/src/mapping.rs crates/fusion/src/plan.rs crates/fusion/src/variants.rs
+
+/root/repo/target/debug/deps/sod2_fusion-0d61e15e6a73e462: crates/fusion/src/lib.rs crates/fusion/src/mapping.rs crates/fusion/src/plan.rs crates/fusion/src/variants.rs
+
+crates/fusion/src/lib.rs:
+crates/fusion/src/mapping.rs:
+crates/fusion/src/plan.rs:
+crates/fusion/src/variants.rs:

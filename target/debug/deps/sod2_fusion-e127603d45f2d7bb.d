@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sod2_fusion-e127603d45f2d7bb.d: crates/fusion/src/lib.rs crates/fusion/src/mapping.rs crates/fusion/src/plan.rs crates/fusion/src/variants.rs
+
+/root/repo/target/debug/deps/libsod2_fusion-e127603d45f2d7bb.rlib: crates/fusion/src/lib.rs crates/fusion/src/mapping.rs crates/fusion/src/plan.rs crates/fusion/src/variants.rs
+
+/root/repo/target/debug/deps/libsod2_fusion-e127603d45f2d7bb.rmeta: crates/fusion/src/lib.rs crates/fusion/src/mapping.rs crates/fusion/src/plan.rs crates/fusion/src/variants.rs
+
+crates/fusion/src/lib.rs:
+crates/fusion/src/mapping.rs:
+crates/fusion/src/plan.rs:
+crates/fusion/src/variants.rs:

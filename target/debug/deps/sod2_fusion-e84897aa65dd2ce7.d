@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sod2_fusion-e84897aa65dd2ce7.d: crates/fusion/src/lib.rs crates/fusion/src/mapping.rs crates/fusion/src/plan.rs crates/fusion/src/variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_fusion-e84897aa65dd2ce7.rmeta: crates/fusion/src/lib.rs crates/fusion/src/mapping.rs crates/fusion/src/plan.rs crates/fusion/src/variants.rs Cargo.toml
+
+crates/fusion/src/lib.rs:
+crates/fusion/src/mapping.rs:
+crates/fusion/src/plan.rs:
+crates/fusion/src/variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sod2_ir-3095d3b775052c2f.d: crates/ir/src/lib.rs crates/ir/src/classify.rs crates/ir/src/dtype.rs crates/ir/src/graph.rs crates/ir/src/onnx_table.rs crates/ir/src/op.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs
+
+/root/repo/target/debug/deps/libsod2_ir-3095d3b775052c2f.rlib: crates/ir/src/lib.rs crates/ir/src/classify.rs crates/ir/src/dtype.rs crates/ir/src/graph.rs crates/ir/src/onnx_table.rs crates/ir/src/op.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs
+
+/root/repo/target/debug/deps/libsod2_ir-3095d3b775052c2f.rmeta: crates/ir/src/lib.rs crates/ir/src/classify.rs crates/ir/src/dtype.rs crates/ir/src/graph.rs crates/ir/src/onnx_table.rs crates/ir/src/op.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/classify.rs:
+crates/ir/src/dtype.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/onnx_table.rs:
+crates/ir/src/op.rs:
+crates/ir/src/serialize.rs:
+crates/ir/src/validate.rs:

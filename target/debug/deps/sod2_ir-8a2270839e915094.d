@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sod2_ir-8a2270839e915094.d: crates/ir/src/lib.rs crates/ir/src/classify.rs crates/ir/src/dtype.rs crates/ir/src/graph.rs crates/ir/src/onnx_table.rs crates/ir/src/op.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs
+
+/root/repo/target/debug/deps/sod2_ir-8a2270839e915094: crates/ir/src/lib.rs crates/ir/src/classify.rs crates/ir/src/dtype.rs crates/ir/src/graph.rs crates/ir/src/onnx_table.rs crates/ir/src/op.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/classify.rs:
+crates/ir/src/dtype.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/onnx_table.rs:
+crates/ir/src/op.rs:
+crates/ir/src/serialize.rs:
+crates/ir/src/validate.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sod2_ir-aa01f3ae2bc0c2bd.d: crates/ir/src/lib.rs crates/ir/src/classify.rs crates/ir/src/dtype.rs crates/ir/src/graph.rs crates/ir/src/onnx_table.rs crates/ir/src/op.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_ir-aa01f3ae2bc0c2bd.rmeta: crates/ir/src/lib.rs crates/ir/src/classify.rs crates/ir/src/dtype.rs crates/ir/src/graph.rs crates/ir/src/onnx_table.rs crates/ir/src/op.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/classify.rs:
+crates/ir/src/dtype.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/onnx_table.rs:
+crates/ir/src/op.rs:
+crates/ir/src/serialize.rs:
+crates/ir/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sod2_kernels-0d54f839da6683ad.d: crates/kernels/src/lib.rs crates/kernels/src/conv.rs crates/kernels/src/dynamic.rs crates/kernels/src/elementwise.rs crates/kernels/src/error.rs crates/kernels/src/exec.rs crates/kernels/src/fused.rs crates/kernels/src/linalg.rs crates/kernels/src/reduce.rs crates/kernels/src/shape_ops.rs
+
+/root/repo/target/debug/deps/libsod2_kernels-0d54f839da6683ad.rlib: crates/kernels/src/lib.rs crates/kernels/src/conv.rs crates/kernels/src/dynamic.rs crates/kernels/src/elementwise.rs crates/kernels/src/error.rs crates/kernels/src/exec.rs crates/kernels/src/fused.rs crates/kernels/src/linalg.rs crates/kernels/src/reduce.rs crates/kernels/src/shape_ops.rs
+
+/root/repo/target/debug/deps/libsod2_kernels-0d54f839da6683ad.rmeta: crates/kernels/src/lib.rs crates/kernels/src/conv.rs crates/kernels/src/dynamic.rs crates/kernels/src/elementwise.rs crates/kernels/src/error.rs crates/kernels/src/exec.rs crates/kernels/src/fused.rs crates/kernels/src/linalg.rs crates/kernels/src/reduce.rs crates/kernels/src/shape_ops.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/conv.rs:
+crates/kernels/src/dynamic.rs:
+crates/kernels/src/elementwise.rs:
+crates/kernels/src/error.rs:
+crates/kernels/src/exec.rs:
+crates/kernels/src/fused.rs:
+crates/kernels/src/linalg.rs:
+crates/kernels/src/reduce.rs:
+crates/kernels/src/shape_ops.rs:

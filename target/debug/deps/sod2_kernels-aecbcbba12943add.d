@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/sod2_kernels-aecbcbba12943add.d: crates/kernels/src/lib.rs crates/kernels/src/conv.rs crates/kernels/src/dynamic.rs crates/kernels/src/elementwise.rs crates/kernels/src/error.rs crates/kernels/src/exec.rs crates/kernels/src/fused.rs crates/kernels/src/linalg.rs crates/kernels/src/reduce.rs crates/kernels/src/shape_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_kernels-aecbcbba12943add.rmeta: crates/kernels/src/lib.rs crates/kernels/src/conv.rs crates/kernels/src/dynamic.rs crates/kernels/src/elementwise.rs crates/kernels/src/error.rs crates/kernels/src/exec.rs crates/kernels/src/fused.rs crates/kernels/src/linalg.rs crates/kernels/src/reduce.rs crates/kernels/src/shape_ops.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/conv.rs:
+crates/kernels/src/dynamic.rs:
+crates/kernels/src/elementwise.rs:
+crates/kernels/src/error.rs:
+crates/kernels/src/exec.rs:
+crates/kernels/src/fused.rs:
+crates/kernels/src/linalg.rs:
+crates/kernels/src/reduce.rs:
+crates/kernels/src/shape_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sod2_mem-4a36db6bf25e76c5.d: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/life.rs crates/mem/src/offset.rs crates/mem/src/remat.rs crates/mem/src/size_class.rs
+
+/root/repo/target/debug/deps/libsod2_mem-4a36db6bf25e76c5.rlib: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/life.rs crates/mem/src/offset.rs crates/mem/src/remat.rs crates/mem/src/size_class.rs
+
+/root/repo/target/debug/deps/libsod2_mem-4a36db6bf25e76c5.rmeta: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/life.rs crates/mem/src/offset.rs crates/mem/src/remat.rs crates/mem/src/size_class.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/arena.rs:
+crates/mem/src/life.rs:
+crates/mem/src/offset.rs:
+crates/mem/src/remat.rs:
+crates/mem/src/size_class.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sod2_mem-8153e923e9ce75c3.d: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/life.rs crates/mem/src/offset.rs crates/mem/src/remat.rs crates/mem/src/size_class.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_mem-8153e923e9ce75c3.rmeta: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/life.rs crates/mem/src/offset.rs crates/mem/src/remat.rs crates/mem/src/size_class.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/arena.rs:
+crates/mem/src/life.rs:
+crates/mem/src/offset.rs:
+crates/mem/src/remat.rs:
+crates/mem/src/size_class.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sod2_mem-f32ba9cfa9f42b40.d: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/life.rs crates/mem/src/offset.rs crates/mem/src/remat.rs crates/mem/src/size_class.rs
+
+/root/repo/target/debug/deps/sod2_mem-f32ba9cfa9f42b40: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/life.rs crates/mem/src/offset.rs crates/mem/src/remat.rs crates/mem/src/size_class.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/arena.rs:
+crates/mem/src/life.rs:
+crates/mem/src/offset.rs:
+crates/mem/src/remat.rs:
+crates/mem/src/size_class.rs:

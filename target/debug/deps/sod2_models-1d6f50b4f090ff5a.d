@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sod2_models-1d6f50b4f090ff5a.d: crates/models/src/lib.rs crates/models/src/blocks.rs crates/models/src/detection.rs crates/models/src/model.rs crates/models/src/transformer.rs crates/models/src/vision.rs
+
+/root/repo/target/debug/deps/sod2_models-1d6f50b4f090ff5a: crates/models/src/lib.rs crates/models/src/blocks.rs crates/models/src/detection.rs crates/models/src/model.rs crates/models/src/transformer.rs crates/models/src/vision.rs
+
+crates/models/src/lib.rs:
+crates/models/src/blocks.rs:
+crates/models/src/detection.rs:
+crates/models/src/model.rs:
+crates/models/src/transformer.rs:
+crates/models/src/vision.rs:

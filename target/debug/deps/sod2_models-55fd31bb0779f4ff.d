@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sod2_models-55fd31bb0779f4ff.d: crates/models/src/lib.rs crates/models/src/blocks.rs crates/models/src/detection.rs crates/models/src/model.rs crates/models/src/transformer.rs crates/models/src/vision.rs
+
+/root/repo/target/debug/deps/libsod2_models-55fd31bb0779f4ff.rlib: crates/models/src/lib.rs crates/models/src/blocks.rs crates/models/src/detection.rs crates/models/src/model.rs crates/models/src/transformer.rs crates/models/src/vision.rs
+
+/root/repo/target/debug/deps/libsod2_models-55fd31bb0779f4ff.rmeta: crates/models/src/lib.rs crates/models/src/blocks.rs crates/models/src/detection.rs crates/models/src/model.rs crates/models/src/transformer.rs crates/models/src/vision.rs
+
+crates/models/src/lib.rs:
+crates/models/src/blocks.rs:
+crates/models/src/detection.rs:
+crates/models/src/model.rs:
+crates/models/src/transformer.rs:
+crates/models/src/vision.rs:

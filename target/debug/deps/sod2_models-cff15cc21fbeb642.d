@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sod2_models-cff15cc21fbeb642.d: crates/models/src/lib.rs crates/models/src/blocks.rs crates/models/src/detection.rs crates/models/src/model.rs crates/models/src/transformer.rs crates/models/src/vision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_models-cff15cc21fbeb642.rmeta: crates/models/src/lib.rs crates/models/src/blocks.rs crates/models/src/detection.rs crates/models/src/model.rs crates/models/src/transformer.rs crates/models/src/vision.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/blocks.rs:
+crates/models/src/detection.rs:
+crates/models/src/model.rs:
+crates/models/src/transformer.rs:
+crates/models/src/vision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sod2_mvc-0f9c66bb5d5f0b27.d: crates/mvc/src/lib.rs
+
+/root/repo/target/debug/deps/sod2_mvc-0f9c66bb5d5f0b27: crates/mvc/src/lib.rs
+
+crates/mvc/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sod2_mvc-33d66135d16a00dd.d: crates/mvc/src/lib.rs
+
+/root/repo/target/debug/deps/libsod2_mvc-33d66135d16a00dd.rlib: crates/mvc/src/lib.rs
+
+/root/repo/target/debug/deps/libsod2_mvc-33d66135d16a00dd.rmeta: crates/mvc/src/lib.rs
+
+crates/mvc/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sod2_mvc-9e17a263d0e73241.d: crates/mvc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_mvc-9e17a263d0e73241.rmeta: crates/mvc/src/lib.rs Cargo.toml
+
+crates/mvc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

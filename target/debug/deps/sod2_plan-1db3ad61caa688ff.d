@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sod2_plan-1db3ad61caa688ff.d: crates/plan/src/lib.rs crates/plan/src/order.rs crates/plan/src/partition.rs crates/plan/src/units.rs
+
+/root/repo/target/debug/deps/libsod2_plan-1db3ad61caa688ff.rlib: crates/plan/src/lib.rs crates/plan/src/order.rs crates/plan/src/partition.rs crates/plan/src/units.rs
+
+/root/repo/target/debug/deps/libsod2_plan-1db3ad61caa688ff.rmeta: crates/plan/src/lib.rs crates/plan/src/order.rs crates/plan/src/partition.rs crates/plan/src/units.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/order.rs:
+crates/plan/src/partition.rs:
+crates/plan/src/units.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sod2_plan-9b649f1321109475.d: crates/plan/src/lib.rs crates/plan/src/order.rs crates/plan/src/partition.rs crates/plan/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_plan-9b649f1321109475.rmeta: crates/plan/src/lib.rs crates/plan/src/order.rs crates/plan/src/partition.rs crates/plan/src/units.rs Cargo.toml
+
+crates/plan/src/lib.rs:
+crates/plan/src/order.rs:
+crates/plan/src/partition.rs:
+crates/plan/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sod2_plan-d2859ada3dd6c377.d: crates/plan/src/lib.rs crates/plan/src/order.rs crates/plan/src/partition.rs crates/plan/src/units.rs
+
+/root/repo/target/debug/deps/sod2_plan-d2859ada3dd6c377: crates/plan/src/lib.rs crates/plan/src/order.rs crates/plan/src/partition.rs crates/plan/src/units.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/order.rs:
+crates/plan/src/partition.rs:
+crates/plan/src/units.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sod2_prng-192c41d8991a8055.d: crates/prng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_prng-192c41d8991a8055.rmeta: crates/prng/src/lib.rs Cargo.toml
+
+crates/prng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

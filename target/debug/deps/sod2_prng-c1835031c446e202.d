@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sod2_prng-c1835031c446e202.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libsod2_prng-c1835031c446e202.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libsod2_prng-c1835031c446e202.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

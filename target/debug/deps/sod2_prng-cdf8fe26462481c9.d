@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sod2_prng-cdf8fe26462481c9.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/sod2_prng-cdf8fe26462481c9: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

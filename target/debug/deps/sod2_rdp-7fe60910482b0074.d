@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sod2_rdp-7fe60910482b0074.d: crates/rdp/src/lib.rs crates/rdp/src/backward.rs crates/rdp/src/result.rs crates/rdp/src/solver.rs crates/rdp/src/transfer.rs
+
+/root/repo/target/debug/deps/sod2_rdp-7fe60910482b0074: crates/rdp/src/lib.rs crates/rdp/src/backward.rs crates/rdp/src/result.rs crates/rdp/src/solver.rs crates/rdp/src/transfer.rs
+
+crates/rdp/src/lib.rs:
+crates/rdp/src/backward.rs:
+crates/rdp/src/result.rs:
+crates/rdp/src/solver.rs:
+crates/rdp/src/transfer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sod2_rdp-9a29be58f7bdb41b.d: crates/rdp/src/lib.rs crates/rdp/src/backward.rs crates/rdp/src/result.rs crates/rdp/src/solver.rs crates/rdp/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_rdp-9a29be58f7bdb41b.rmeta: crates/rdp/src/lib.rs crates/rdp/src/backward.rs crates/rdp/src/result.rs crates/rdp/src/solver.rs crates/rdp/src/transfer.rs Cargo.toml
+
+crates/rdp/src/lib.rs:
+crates/rdp/src/backward.rs:
+crates/rdp/src/result.rs:
+crates/rdp/src/solver.rs:
+crates/rdp/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sod2_rdp-9c292dacf583970c.d: crates/rdp/src/lib.rs crates/rdp/src/backward.rs crates/rdp/src/result.rs crates/rdp/src/solver.rs crates/rdp/src/transfer.rs
+
+/root/repo/target/debug/deps/libsod2_rdp-9c292dacf583970c.rlib: crates/rdp/src/lib.rs crates/rdp/src/backward.rs crates/rdp/src/result.rs crates/rdp/src/solver.rs crates/rdp/src/transfer.rs
+
+/root/repo/target/debug/deps/libsod2_rdp-9c292dacf583970c.rmeta: crates/rdp/src/lib.rs crates/rdp/src/backward.rs crates/rdp/src/result.rs crates/rdp/src/solver.rs crates/rdp/src/transfer.rs
+
+crates/rdp/src/lib.rs:
+crates/rdp/src/backward.rs:
+crates/rdp/src/result.rs:
+crates/rdp/src/solver.rs:
+crates/rdp/src/transfer.rs:

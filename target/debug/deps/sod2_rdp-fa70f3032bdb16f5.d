@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sod2_rdp-fa70f3032bdb16f5.d: crates/rdp/src/lib.rs crates/rdp/src/backward.rs crates/rdp/src/result.rs crates/rdp/src/solver.rs crates/rdp/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_rdp-fa70f3032bdb16f5.rmeta: crates/rdp/src/lib.rs crates/rdp/src/backward.rs crates/rdp/src/result.rs crates/rdp/src/solver.rs crates/rdp/src/transfer.rs Cargo.toml
+
+crates/rdp/src/lib.rs:
+crates/rdp/src/backward.rs:
+crates/rdp/src/result.rs:
+crates/rdp/src/solver.rs:
+crates/rdp/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

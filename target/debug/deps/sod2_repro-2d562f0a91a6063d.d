@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sod2_repro-2d562f0a91a6063d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsod2_repro-2d562f0a91a6063d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsod2_repro-2d562f0a91a6063d.rmeta: src/lib.rs
+
+src/lib.rs:

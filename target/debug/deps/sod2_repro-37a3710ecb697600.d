@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sod2_repro-37a3710ecb697600.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_repro-37a3710ecb697600.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sod2_repro-5c31d2f7d8bc1c3a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_repro-5c31d2f7d8bc1c3a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

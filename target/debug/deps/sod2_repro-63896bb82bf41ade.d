@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sod2_repro-63896bb82bf41ade.d: src/lib.rs
+
+/root/repo/target/debug/deps/sod2_repro-63896bb82bf41ade: src/lib.rs
+
+src/lib.rs:

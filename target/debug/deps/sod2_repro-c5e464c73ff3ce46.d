@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sod2_repro-c5e464c73ff3ce46.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsod2_repro-c5e464c73ff3ce46.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsod2_repro-c5e464c73ff3ce46.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sod2_repro-fe2c52cbbbd0a21d.d: src/lib.rs
+
+/root/repo/target/debug/deps/sod2_repro-fe2c52cbbbd0a21d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sod2_runtime-438544d9e52753fa.d: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/passes.rs crates/runtime/src/trace.rs
+
+/root/repo/target/debug/deps/libsod2_runtime-438544d9e52753fa.rlib: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/passes.rs crates/runtime/src/trace.rs
+
+/root/repo/target/debug/deps/libsod2_runtime-438544d9e52753fa.rmeta: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/passes.rs crates/runtime/src/trace.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/passes.rs:
+crates/runtime/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sod2_runtime-555fabd591721815.d: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/passes.rs crates/runtime/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_runtime-555fabd591721815.rmeta: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/passes.rs crates/runtime/src/trace.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/passes.rs:
+crates/runtime/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

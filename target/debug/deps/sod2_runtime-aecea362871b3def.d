@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sod2_runtime-aecea362871b3def.d: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/passes.rs crates/runtime/src/trace.rs
+
+/root/repo/target/debug/deps/sod2_runtime-aecea362871b3def: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/passes.rs crates/runtime/src/trace.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/passes.rs:
+crates/runtime/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sod2_sym-7d9b6012a2d83265.d: crates/sym/src/lib.rs crates/sym/src/broadcast.rs crates/sym/src/compare.rs crates/sym/src/expr.rs crates/sym/src/lattice.rs crates/sym/src/value.rs
+
+/root/repo/target/debug/deps/libsod2_sym-7d9b6012a2d83265.rlib: crates/sym/src/lib.rs crates/sym/src/broadcast.rs crates/sym/src/compare.rs crates/sym/src/expr.rs crates/sym/src/lattice.rs crates/sym/src/value.rs
+
+/root/repo/target/debug/deps/libsod2_sym-7d9b6012a2d83265.rmeta: crates/sym/src/lib.rs crates/sym/src/broadcast.rs crates/sym/src/compare.rs crates/sym/src/expr.rs crates/sym/src/lattice.rs crates/sym/src/value.rs
+
+crates/sym/src/lib.rs:
+crates/sym/src/broadcast.rs:
+crates/sym/src/compare.rs:
+crates/sym/src/expr.rs:
+crates/sym/src/lattice.rs:
+crates/sym/src/value.rs:

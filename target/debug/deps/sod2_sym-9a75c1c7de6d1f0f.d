@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sod2_sym-9a75c1c7de6d1f0f.d: crates/sym/src/lib.rs crates/sym/src/broadcast.rs crates/sym/src/compare.rs crates/sym/src/expr.rs crates/sym/src/lattice.rs crates/sym/src/value.rs
+
+/root/repo/target/debug/deps/sod2_sym-9a75c1c7de6d1f0f: crates/sym/src/lib.rs crates/sym/src/broadcast.rs crates/sym/src/compare.rs crates/sym/src/expr.rs crates/sym/src/lattice.rs crates/sym/src/value.rs
+
+crates/sym/src/lib.rs:
+crates/sym/src/broadcast.rs:
+crates/sym/src/compare.rs:
+crates/sym/src/expr.rs:
+crates/sym/src/lattice.rs:
+crates/sym/src/value.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sod2_sym-fe2a711142deee02.d: crates/sym/src/lib.rs crates/sym/src/broadcast.rs crates/sym/src/compare.rs crates/sym/src/expr.rs crates/sym/src/lattice.rs crates/sym/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_sym-fe2a711142deee02.rmeta: crates/sym/src/lib.rs crates/sym/src/broadcast.rs crates/sym/src/compare.rs crates/sym/src/expr.rs crates/sym/src/lattice.rs crates/sym/src/value.rs Cargo.toml
+
+crates/sym/src/lib.rs:
+crates/sym/src/broadcast.rs:
+crates/sym/src/compare.rs:
+crates/sym/src/expr.rs:
+crates/sym/src/lattice.rs:
+crates/sym/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sod2_tensor-3a20b974448b8a4d.d: crates/tensor/src/lib.rs crates/tensor/src/index.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libsod2_tensor-3a20b974448b8a4d.rlib: crates/tensor/src/lib.rs crates/tensor/src/index.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libsod2_tensor-3a20b974448b8a4d.rmeta: crates/tensor/src/lib.rs crates/tensor/src/index.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/index.rs:
+crates/tensor/src/tensor.rs:

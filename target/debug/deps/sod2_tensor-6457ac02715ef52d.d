@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sod2_tensor-6457ac02715ef52d.d: crates/tensor/src/lib.rs crates/tensor/src/index.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_tensor-6457ac02715ef52d.rmeta: crates/tensor/src/lib.rs crates/tensor/src/index.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/index.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sod2_tensor-d5a5af4a4a1c27c9.d: crates/tensor/src/lib.rs crates/tensor/src/index.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsod2_tensor-d5a5af4a4a1c27c9.rmeta: crates/tensor/src/lib.rs crates/tensor/src/index.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/index.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sod2_tensor-e137ab83e4292ac7.d: crates/tensor/src/lib.rs crates/tensor/src/index.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/sod2_tensor-e137ab83e4292ac7: crates/tensor/src/lib.rs crates/tensor/src/index.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/index.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_tests-010b3443b81dacdb.d: crates/rdp/tests/solver_tests.rs
+
+/root/repo/target/debug/deps/solver_tests-010b3443b81dacdb: crates/rdp/tests/solver_tests.rs
+
+crates/rdp/tests/solver_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_tests-e27df1b14288a6af.d: crates/rdp/tests/solver_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_tests-e27df1b14288a6af.rmeta: crates/rdp/tests/solver_tests.rs Cargo.toml
+
+crates/rdp/tests/solver_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1ab84c9b708c87f5.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1ab84c9b708c87f5: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f213f2423c34b931.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f213f2423c34b931: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

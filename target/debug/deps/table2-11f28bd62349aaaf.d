@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-11f28bd62349aaaf.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-11f28bd62349aaaf: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-1dcd07ec1f9803f8.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-1dcd07ec1f9803f8: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-885076c7304729ff.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-885076c7304729ff: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

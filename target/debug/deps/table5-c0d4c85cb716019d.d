@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-c0d4c85cb716019d.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-c0d4c85cb716019d: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-680e00e4cae89159.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-680e00e4cae89159: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-d5668e1bcbb8503b.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-d5668e1bcbb8503b: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-32c4bd1a360b8141.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-32c4bd1a360b8141: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-7f3096c916495ebe.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-7f3096c916495ebe: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

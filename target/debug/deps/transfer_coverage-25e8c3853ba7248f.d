@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transfer_coverage-25e8c3853ba7248f.d: crates/rdp/tests/transfer_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransfer_coverage-25e8c3853ba7248f.rmeta: crates/rdp/tests/transfer_coverage.rs Cargo.toml
+
+crates/rdp/tests/transfer_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

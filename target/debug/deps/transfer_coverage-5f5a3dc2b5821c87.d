@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transfer_coverage-5f5a3dc2b5821c87.d: crates/rdp/tests/transfer_coverage.rs
+
+/root/repo/target/debug/deps/transfer_coverage-5f5a3dc2b5821c87: crates/rdp/tests/transfer_coverage.rs
+
+crates/rdp/tests/transfer_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wallclock-34c5259d50b9a439.d: crates/bench/src/bin/wallclock.rs
+
+/root/repo/target/debug/deps/wallclock-34c5259d50b9a439: crates/bench/src/bin/wallclock.rs
+
+crates/bench/src/bin/wallclock.rs:

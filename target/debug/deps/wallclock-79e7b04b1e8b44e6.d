@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wallclock-79e7b04b1e8b44e6.d: crates/bench/src/bin/wallclock.rs
+
+/root/repo/target/debug/deps/wallclock-79e7b04b1e8b44e6: crates/bench/src/bin/wallclock.rs
+
+crates/bench/src/bin/wallclock.rs:

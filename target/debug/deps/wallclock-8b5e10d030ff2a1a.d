@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wallclock-8b5e10d030ff2a1a.d: crates/bench/src/bin/wallclock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwallclock-8b5e10d030ff2a1a.rmeta: crates/bench/src/bin/wallclock.rs Cargo.toml
+
+crates/bench/src/bin/wallclock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wallclock-90ec8c46e604d05d.d: crates/bench/src/bin/wallclock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwallclock-90ec8c46e604d05d.rmeta: crates/bench/src/bin/wallclock.rs Cargo.toml
+
+crates/bench/src/bin/wallclock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

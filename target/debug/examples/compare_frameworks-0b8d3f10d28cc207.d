@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_frameworks-0b8d3f10d28cc207.d: examples/compare_frameworks.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_frameworks-0b8d3f10d28cc207.rmeta: examples/compare_frameworks.rs Cargo.toml
+
+examples/compare_frameworks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_frameworks-264568a1ad21495a.d: examples/compare_frameworks.rs
+
+/root/repo/target/debug/examples/compare_frameworks-264568a1ad21495a: examples/compare_frameworks.rs
+
+examples/compare_frameworks.rs:

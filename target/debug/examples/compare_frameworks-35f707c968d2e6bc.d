@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_frameworks-35f707c968d2e6bc.d: examples/compare_frameworks.rs
+
+/root/repo/target/debug/examples/compare_frameworks-35f707c968d2e6bc: examples/compare_frameworks.rs
+
+examples/compare_frameworks.rs:

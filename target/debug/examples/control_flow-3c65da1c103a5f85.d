@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/control_flow-3c65da1c103a5f85.d: examples/control_flow.rs
+
+/root/repo/target/debug/examples/control_flow-3c65da1c103a5f85: examples/control_flow.rs
+
+examples/control_flow.rs:

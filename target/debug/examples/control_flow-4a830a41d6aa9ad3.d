@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/control_flow-4a830a41d6aa9ad3.d: examples/control_flow.rs
+
+/root/repo/target/debug/examples/control_flow-4a830a41d6aa9ad3: examples/control_flow.rs
+
+examples/control_flow.rs:

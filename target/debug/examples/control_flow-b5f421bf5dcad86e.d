@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/control_flow-b5f421bf5dcad86e.d: examples/control_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontrol_flow-b5f421bf5dcad86e.rmeta: examples/control_flow.rs Cargo.toml
+
+examples/control_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

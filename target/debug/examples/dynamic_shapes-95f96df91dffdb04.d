@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_shapes-95f96df91dffdb04.d: examples/dynamic_shapes.rs
+
+/root/repo/target/debug/examples/dynamic_shapes-95f96df91dffdb04: examples/dynamic_shapes.rs
+
+examples/dynamic_shapes.rs:

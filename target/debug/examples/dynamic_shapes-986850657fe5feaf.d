@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_shapes-986850657fe5feaf.d: examples/dynamic_shapes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_shapes-986850657fe5feaf.rmeta: examples/dynamic_shapes.rs Cargo.toml
+
+examples/dynamic_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

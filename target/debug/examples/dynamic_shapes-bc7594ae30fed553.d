@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_shapes-bc7594ae30fed553.d: examples/dynamic_shapes.rs
+
+/root/repo/target/debug/examples/dynamic_shapes-bc7594ae30fed553: examples/dynamic_shapes.rs
+
+examples/dynamic_shapes.rs:

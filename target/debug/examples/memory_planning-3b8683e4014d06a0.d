@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/memory_planning-3b8683e4014d06a0.d: examples/memory_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmemory_planning-3b8683e4014d06a0.rmeta: examples/memory_planning.rs Cargo.toml
+
+examples/memory_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_planning-71553c809a7d5279.d: examples/memory_planning.rs
+
+/root/repo/target/debug/examples/memory_planning-71553c809a7d5279: examples/memory_planning.rs
+
+examples/memory_planning.rs:

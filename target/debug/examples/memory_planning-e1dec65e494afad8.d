@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_planning-e1dec65e494afad8.d: examples/memory_planning.rs
+
+/root/repo/target/debug/examples/memory_planning-e1dec65e494afad8: examples/memory_planning.rs
+
+examples/memory_planning.rs:

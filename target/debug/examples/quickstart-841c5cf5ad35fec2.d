@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-841c5cf5ad35fec2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-841c5cf5ad35fec2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d8e403b68af03efb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d8e403b68af03efb: examples/quickstart.rs
+
+examples/quickstart.rs:

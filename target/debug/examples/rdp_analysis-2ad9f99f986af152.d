@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rdp_analysis-2ad9f99f986af152.d: examples/rdp_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/librdp_analysis-2ad9f99f986af152.rmeta: examples/rdp_analysis.rs Cargo.toml
+
+examples/rdp_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rdp_analysis-3ba6a3bd2028c09a.d: examples/rdp_analysis.rs
+
+/root/repo/target/debug/examples/rdp_analysis-3ba6a3bd2028c09a: examples/rdp_analysis.rs
+
+examples/rdp_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rdp_analysis-cd18da288e85c1bf.d: examples/rdp_analysis.rs
+
+/root/repo/target/debug/examples/rdp_analysis-cd18da288e85c1bf: examples/rdp_analysis.rs
+
+examples/rdp_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-41a00d77654d68b5.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-41a00d77654d68b5: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

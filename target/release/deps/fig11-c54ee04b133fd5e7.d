@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-c54ee04b133fd5e7.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-c54ee04b133fd5e7: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-1fb6bc2aeb457a3a.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-1fb6bc2aeb457a3a: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

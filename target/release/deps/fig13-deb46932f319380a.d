@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-deb46932f319380a.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-deb46932f319380a: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-f6104539b8f34fad.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-f6104539b8f34fad: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

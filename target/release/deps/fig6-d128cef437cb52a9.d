@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-d128cef437cb52a9.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-d128cef437cb52a9: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

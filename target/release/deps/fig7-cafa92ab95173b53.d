@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-cafa92ab95173b53.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-cafa92ab95173b53: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

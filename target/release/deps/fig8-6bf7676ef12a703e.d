@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-6bf7676ef12a703e.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-6bf7676ef12a703e: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

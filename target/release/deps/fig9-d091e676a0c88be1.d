@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-d091e676a0c88be1.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-d091e676a0c88be1: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/memplan_ablation-000bad1cc3bb5ef0.d: crates/bench/src/bin/memplan_ablation.rs
+
+/root/repo/target/release/deps/memplan_ablation-000bad1cc3bb5ef0: crates/bench/src/bin/memplan_ablation.rs
+
+crates/bench/src/bin/memplan_ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-ee5ce1794db57331.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ee5ce1794db57331.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ee5ce1794db57331.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

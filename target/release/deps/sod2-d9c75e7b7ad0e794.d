@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sod2-d9c75e7b7ad0e794.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libsod2-d9c75e7b7ad0e794.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libsod2-d9c75e7b7ad0e794.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

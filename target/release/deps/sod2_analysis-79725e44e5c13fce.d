@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sod2_analysis-79725e44e5c13fce.d: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/ir_lints.rs crates/analysis/src/mem_check.rs crates/analysis/src/plan_check.rs crates/analysis/src/rdp_check.rs
+
+/root/repo/target/release/deps/libsod2_analysis-79725e44e5c13fce.rlib: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/ir_lints.rs crates/analysis/src/mem_check.rs crates/analysis/src/plan_check.rs crates/analysis/src/rdp_check.rs
+
+/root/repo/target/release/deps/libsod2_analysis-79725e44e5c13fce.rmeta: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/ir_lints.rs crates/analysis/src/mem_check.rs crates/analysis/src/plan_check.rs crates/analysis/src/rdp_check.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/diag.rs:
+crates/analysis/src/ir_lints.rs:
+crates/analysis/src/mem_check.rs:
+crates/analysis/src/plan_check.rs:
+crates/analysis/src/rdp_check.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sod2_bench-4e3c4cce3484771b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsod2_bench-4e3c4cce3484771b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsod2_bench-4e3c4cce3484771b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sod2_cli-33f6be1561a1da2f.d: crates/core/src/bin/sod2-cli.rs
+
+/root/repo/target/release/deps/sod2_cli-33f6be1561a1da2f: crates/core/src/bin/sod2-cli.rs
+
+crates/core/src/bin/sod2-cli.rs:

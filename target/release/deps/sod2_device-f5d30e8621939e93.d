@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sod2_device-f5d30e8621939e93.d: crates/device/src/lib.rs crates/device/src/cost.rs crates/device/src/profile.rs crates/device/src/tuning.rs
+
+/root/repo/target/release/deps/libsod2_device-f5d30e8621939e93.rlib: crates/device/src/lib.rs crates/device/src/cost.rs crates/device/src/profile.rs crates/device/src/tuning.rs
+
+/root/repo/target/release/deps/libsod2_device-f5d30e8621939e93.rmeta: crates/device/src/lib.rs crates/device/src/cost.rs crates/device/src/profile.rs crates/device/src/tuning.rs
+
+crates/device/src/lib.rs:
+crates/device/src/cost.rs:
+crates/device/src/profile.rs:
+crates/device/src/tuning.rs:

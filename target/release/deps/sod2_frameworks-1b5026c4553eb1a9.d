@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sod2_frameworks-1b5026c4553eb1a9.d: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+/root/repo/target/release/deps/libsod2_frameworks-1b5026c4553eb1a9.rlib: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+/root/repo/target/release/deps/libsod2_frameworks-1b5026c4553eb1a9.rmeta: crates/frameworks/src/lib.rs crates/frameworks/src/baselines.rs crates/frameworks/src/common.rs crates/frameworks/src/sod2_engine.rs
+
+crates/frameworks/src/lib.rs:
+crates/frameworks/src/baselines.rs:
+crates/frameworks/src/common.rs:
+crates/frameworks/src/sod2_engine.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sod2_fusion-02ec8516173aba08.d: crates/fusion/src/lib.rs crates/fusion/src/mapping.rs crates/fusion/src/plan.rs crates/fusion/src/variants.rs
+
+/root/repo/target/release/deps/libsod2_fusion-02ec8516173aba08.rlib: crates/fusion/src/lib.rs crates/fusion/src/mapping.rs crates/fusion/src/plan.rs crates/fusion/src/variants.rs
+
+/root/repo/target/release/deps/libsod2_fusion-02ec8516173aba08.rmeta: crates/fusion/src/lib.rs crates/fusion/src/mapping.rs crates/fusion/src/plan.rs crates/fusion/src/variants.rs
+
+crates/fusion/src/lib.rs:
+crates/fusion/src/mapping.rs:
+crates/fusion/src/plan.rs:
+crates/fusion/src/variants.rs:

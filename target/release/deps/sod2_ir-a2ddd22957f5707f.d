@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sod2_ir-a2ddd22957f5707f.d: crates/ir/src/lib.rs crates/ir/src/classify.rs crates/ir/src/dtype.rs crates/ir/src/graph.rs crates/ir/src/onnx_table.rs crates/ir/src/op.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs
+
+/root/repo/target/release/deps/libsod2_ir-a2ddd22957f5707f.rlib: crates/ir/src/lib.rs crates/ir/src/classify.rs crates/ir/src/dtype.rs crates/ir/src/graph.rs crates/ir/src/onnx_table.rs crates/ir/src/op.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs
+
+/root/repo/target/release/deps/libsod2_ir-a2ddd22957f5707f.rmeta: crates/ir/src/lib.rs crates/ir/src/classify.rs crates/ir/src/dtype.rs crates/ir/src/graph.rs crates/ir/src/onnx_table.rs crates/ir/src/op.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/classify.rs:
+crates/ir/src/dtype.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/onnx_table.rs:
+crates/ir/src/op.rs:
+crates/ir/src/serialize.rs:
+crates/ir/src/validate.rs:

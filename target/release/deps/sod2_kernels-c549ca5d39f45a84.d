@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sod2_kernels-c549ca5d39f45a84.d: crates/kernels/src/lib.rs crates/kernels/src/conv.rs crates/kernels/src/dynamic.rs crates/kernels/src/elementwise.rs crates/kernels/src/error.rs crates/kernels/src/exec.rs crates/kernels/src/fused.rs crates/kernels/src/linalg.rs crates/kernels/src/reduce.rs crates/kernels/src/shape_ops.rs
+
+/root/repo/target/release/deps/libsod2_kernels-c549ca5d39f45a84.rlib: crates/kernels/src/lib.rs crates/kernels/src/conv.rs crates/kernels/src/dynamic.rs crates/kernels/src/elementwise.rs crates/kernels/src/error.rs crates/kernels/src/exec.rs crates/kernels/src/fused.rs crates/kernels/src/linalg.rs crates/kernels/src/reduce.rs crates/kernels/src/shape_ops.rs
+
+/root/repo/target/release/deps/libsod2_kernels-c549ca5d39f45a84.rmeta: crates/kernels/src/lib.rs crates/kernels/src/conv.rs crates/kernels/src/dynamic.rs crates/kernels/src/elementwise.rs crates/kernels/src/error.rs crates/kernels/src/exec.rs crates/kernels/src/fused.rs crates/kernels/src/linalg.rs crates/kernels/src/reduce.rs crates/kernels/src/shape_ops.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/conv.rs:
+crates/kernels/src/dynamic.rs:
+crates/kernels/src/elementwise.rs:
+crates/kernels/src/error.rs:
+crates/kernels/src/exec.rs:
+crates/kernels/src/fused.rs:
+crates/kernels/src/linalg.rs:
+crates/kernels/src/reduce.rs:
+crates/kernels/src/shape_ops.rs:

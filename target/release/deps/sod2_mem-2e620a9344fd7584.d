@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sod2_mem-2e620a9344fd7584.d: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/life.rs crates/mem/src/offset.rs crates/mem/src/remat.rs crates/mem/src/size_class.rs
+
+/root/repo/target/release/deps/libsod2_mem-2e620a9344fd7584.rlib: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/life.rs crates/mem/src/offset.rs crates/mem/src/remat.rs crates/mem/src/size_class.rs
+
+/root/repo/target/release/deps/libsod2_mem-2e620a9344fd7584.rmeta: crates/mem/src/lib.rs crates/mem/src/arena.rs crates/mem/src/life.rs crates/mem/src/offset.rs crates/mem/src/remat.rs crates/mem/src/size_class.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/arena.rs:
+crates/mem/src/life.rs:
+crates/mem/src/offset.rs:
+crates/mem/src/remat.rs:
+crates/mem/src/size_class.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sod2_models-cf61b4022b9657d8.d: crates/models/src/lib.rs crates/models/src/blocks.rs crates/models/src/detection.rs crates/models/src/model.rs crates/models/src/transformer.rs crates/models/src/vision.rs
+
+/root/repo/target/release/deps/libsod2_models-cf61b4022b9657d8.rlib: crates/models/src/lib.rs crates/models/src/blocks.rs crates/models/src/detection.rs crates/models/src/model.rs crates/models/src/transformer.rs crates/models/src/vision.rs
+
+/root/repo/target/release/deps/libsod2_models-cf61b4022b9657d8.rmeta: crates/models/src/lib.rs crates/models/src/blocks.rs crates/models/src/detection.rs crates/models/src/model.rs crates/models/src/transformer.rs crates/models/src/vision.rs
+
+crates/models/src/lib.rs:
+crates/models/src/blocks.rs:
+crates/models/src/detection.rs:
+crates/models/src/model.rs:
+crates/models/src/transformer.rs:
+crates/models/src/vision.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sod2_mvc-93797642354b57bb.d: crates/mvc/src/lib.rs
+
+/root/repo/target/release/deps/libsod2_mvc-93797642354b57bb.rlib: crates/mvc/src/lib.rs
+
+/root/repo/target/release/deps/libsod2_mvc-93797642354b57bb.rmeta: crates/mvc/src/lib.rs
+
+crates/mvc/src/lib.rs:

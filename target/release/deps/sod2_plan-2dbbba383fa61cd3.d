@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sod2_plan-2dbbba383fa61cd3.d: crates/plan/src/lib.rs crates/plan/src/order.rs crates/plan/src/partition.rs crates/plan/src/units.rs
+
+/root/repo/target/release/deps/libsod2_plan-2dbbba383fa61cd3.rlib: crates/plan/src/lib.rs crates/plan/src/order.rs crates/plan/src/partition.rs crates/plan/src/units.rs
+
+/root/repo/target/release/deps/libsod2_plan-2dbbba383fa61cd3.rmeta: crates/plan/src/lib.rs crates/plan/src/order.rs crates/plan/src/partition.rs crates/plan/src/units.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/order.rs:
+crates/plan/src/partition.rs:
+crates/plan/src/units.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sod2_prng-e928bc02bb04f03c.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libsod2_prng-e928bc02bb04f03c.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libsod2_prng-e928bc02bb04f03c.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sod2_rdp-057a85506f6bc8c1.d: crates/rdp/src/lib.rs crates/rdp/src/backward.rs crates/rdp/src/result.rs crates/rdp/src/solver.rs crates/rdp/src/transfer.rs
+
+/root/repo/target/release/deps/libsod2_rdp-057a85506f6bc8c1.rlib: crates/rdp/src/lib.rs crates/rdp/src/backward.rs crates/rdp/src/result.rs crates/rdp/src/solver.rs crates/rdp/src/transfer.rs
+
+/root/repo/target/release/deps/libsod2_rdp-057a85506f6bc8c1.rmeta: crates/rdp/src/lib.rs crates/rdp/src/backward.rs crates/rdp/src/result.rs crates/rdp/src/solver.rs crates/rdp/src/transfer.rs
+
+crates/rdp/src/lib.rs:
+crates/rdp/src/backward.rs:
+crates/rdp/src/result.rs:
+crates/rdp/src/solver.rs:
+crates/rdp/src/transfer.rs:

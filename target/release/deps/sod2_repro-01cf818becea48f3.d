@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sod2_repro-01cf818becea48f3.d: src/lib.rs
+
+/root/repo/target/release/deps/libsod2_repro-01cf818becea48f3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsod2_repro-01cf818becea48f3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sod2_runtime-179a38bd17d461c1.d: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/passes.rs crates/runtime/src/trace.rs
+
+/root/repo/target/release/deps/libsod2_runtime-179a38bd17d461c1.rlib: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/passes.rs crates/runtime/src/trace.rs
+
+/root/repo/target/release/deps/libsod2_runtime-179a38bd17d461c1.rmeta: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/passes.rs crates/runtime/src/trace.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/passes.rs:
+crates/runtime/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sod2_sym-0be572fb4a995650.d: crates/sym/src/lib.rs crates/sym/src/broadcast.rs crates/sym/src/compare.rs crates/sym/src/expr.rs crates/sym/src/lattice.rs crates/sym/src/value.rs
+
+/root/repo/target/release/deps/libsod2_sym-0be572fb4a995650.rlib: crates/sym/src/lib.rs crates/sym/src/broadcast.rs crates/sym/src/compare.rs crates/sym/src/expr.rs crates/sym/src/lattice.rs crates/sym/src/value.rs
+
+/root/repo/target/release/deps/libsod2_sym-0be572fb4a995650.rmeta: crates/sym/src/lib.rs crates/sym/src/broadcast.rs crates/sym/src/compare.rs crates/sym/src/expr.rs crates/sym/src/lattice.rs crates/sym/src/value.rs
+
+crates/sym/src/lib.rs:
+crates/sym/src/broadcast.rs:
+crates/sym/src/compare.rs:
+crates/sym/src/expr.rs:
+crates/sym/src/lattice.rs:
+crates/sym/src/value.rs:

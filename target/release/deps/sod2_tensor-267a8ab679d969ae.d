@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sod2_tensor-267a8ab679d969ae.d: crates/tensor/src/lib.rs crates/tensor/src/index.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libsod2_tensor-267a8ab679d969ae.rlib: crates/tensor/src/lib.rs crates/tensor/src/index.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libsod2_tensor-267a8ab679d969ae.rmeta: crates/tensor/src/lib.rs crates/tensor/src/index.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/index.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-3ad09bc92198c7ae.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-3ad09bc92198c7ae: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

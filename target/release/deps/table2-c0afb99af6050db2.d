@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-c0afb99af6050db2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-c0afb99af6050db2: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

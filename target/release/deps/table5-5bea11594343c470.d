@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-5bea11594343c470.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-5bea11594343c470: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-16cde90cb9ef24b3.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-16cde90cb9ef24b3: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-63b7805c50a00f42.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-63b7805c50a00f42: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

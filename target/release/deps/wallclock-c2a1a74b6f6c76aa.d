@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wallclock-c2a1a74b6f6c76aa.d: crates/bench/src/bin/wallclock.rs
+
+/root/repo/target/release/deps/wallclock-c2a1a74b6f6c76aa: crates/bench/src/bin/wallclock.rs
+
+crates/bench/src/bin/wallclock.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libsod2_tensor.rlib: /root/repo/crates/tensor/src/index.rs /root/repo/crates/tensor/src/lib.rs /root/repo/crates/tensor/src/tensor.rs

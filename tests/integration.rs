@@ -1,21 +1,22 @@
 //! Cross-crate integration: compile and execute every zoo model through
 //! every engine; check the paper's qualitative orderings hold end-to-end.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sod2::{Compiler, DeviceProfile};
 use sod2_frameworks::{Engine, MnnLike, OrtLike, Sod2Engine, Sod2Options, TvmNimbleLike};
 use sod2_fusion::{fuse, FusionPolicy};
-use sod2_mem::validate_plan;
+use sod2_mem::verify_plan;
 use sod2_models::{all_models, ModelScale};
-use sod2_plan::{naive_unit_order, order_peak_bytes, partition_units, plan_order, SepOptions, UnitGraph};
+use sod2_plan::{
+    naive_unit_order, order_peak_bytes, partition_units, plan_order, SepOptions, UnitGraph,
+};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
 use sod2_runtime::{execute, ExecConfig};
 
 #[test]
 fn every_model_compiles_and_runs_through_the_facade() {
     for model in all_models(ModelScale::Tiny) {
-        let mut compiled =
-            Compiler::new(DeviceProfile::s888_cpu()).compile(model.graph.clone());
+        let mut compiled = Compiler::new(DeviceProfile::s888_cpu()).compile(model.graph.clone());
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..2 {
             let (_, inputs) = model.sample_inputs(&mut rng);
@@ -130,8 +131,13 @@ fn memory_plans_validate_on_real_lifetimes() {
             sod2_mem::plan_peak_first(&lives),
             sod2_mem::plan_best_fit(&lives),
         ] {
-            validate_plan(&lives, &plan)
-                .unwrap_or_else(|e| panic!("{}: invalid plan: {e}", model.name));
+            let violations = verify_plan(&lives, &plan);
+            assert!(
+                violations.is_empty(),
+                "{}: invalid plan: {:?}",
+                model.name,
+                violations
+            );
             assert!(plan.peak >= sod2_mem::peak_live_bytes(&lives));
         }
     }
@@ -190,7 +196,11 @@ fn serialized_models_roundtrip_and_execute_identically() {
         let b = execute(&decoded, &inputs, &ExecConfig::default())
             .unwrap_or_else(|e| panic!("{}: decoded run failed: {e}", model.name));
         for (x, y) in a.outputs.iter().zip(&b.outputs) {
-            assert!(x.approx_eq(y, 0.0), "{}: decoded outputs differ", model.name);
+            assert!(
+                x.approx_eq(y, 0.0),
+                "{}: decoded outputs differ",
+                model.name
+            );
         }
         // RDP over the decoded graph reaches the same fixpoint.
         let ra = sod2_rdp::analyze(&model.graph);

@@ -15,8 +15,8 @@ use sod2_tensor::Tensor;
 #[derive(Debug, Clone)]
 enum NodeKind {
     Unary(u8),
-    BinaryPrev(u8),   // combine two existing tensors
-    AddConstRow,      // broadcast a [C]-const against the running tensor
+    BinaryPrev(u8), // combine two existing tensors
+    AddConstRow,    // broadcast a [C]-const against the running tensor
     Softmax,
     ReduceMeanAxis0,
     Transpose2d,
@@ -207,7 +207,7 @@ proptest! {
         let g = build_graph(&recipe, c);
         let rdp = analyze(&g);
         let input = input_for(n, c, seed);
-        let base = execute(&g, &[input.clone()], &ExecConfig::default()).expect("base");
+        let base = execute(&g, std::slice::from_ref(&input), &ExecConfig::default()).expect("base");
         for policy in [FusionPolicy::Static, FusionPolicy::Rdp] {
             let plan = fuse(&g, &rdp, policy);
             for fused_interp in [false, true] {
@@ -216,7 +216,7 @@ proptest! {
                     fused_interpreter: fused_interp,
                     ..Default::default()
                 };
-                let got = execute(&g, &[input.clone()], &cfg).expect("fused run");
+                let got = execute(&g, std::slice::from_ref(&input), &cfg).expect("fused run");
                 prop_assert!(
                     base.outputs[0].approx_eq(&got.outputs[0], 1e-4),
                     "{policy:?} interp={fused_interp} changed the result"
@@ -240,7 +240,7 @@ proptest! {
         );
         for n in [2usize, 5] {
             let input = input_for(n, c, seed);
-            let plain = execute(&g, &[input.clone()], &ExecConfig::default()).expect("plain");
+            let plain = execute(&g, std::slice::from_ref(&input), &ExecConfig::default()).expect("plain");
             let stats = sod2_frameworks::Engine::infer(&mut engine, &[input]).expect("engine");
             prop_assert!(stats.outputs[0].approx_eq(&plain.outputs[0], 1e-4));
             prop_assert!(!stats.reinitialized);

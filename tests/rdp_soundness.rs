@@ -2,10 +2,10 @@
 //! symbolically must match the shape observed at execution time, for every
 //! tensor the execution actually produced, at multiple input sizes.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sod2_frameworks::bindings_from_inputs;
 use sod2_models::{all_models, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
 use sod2_rdp::analyze;
 use sod2_runtime::{execute, ExecConfig};
 
@@ -16,8 +16,7 @@ fn predicted_shapes_match_observed_for_all_models() {
         let mut rng = StdRng::seed_from_u64(101);
         for _ in 0..3 {
             let (_, inputs) = model.sample_inputs(&mut rng);
-            let bindings =
-                bindings_from_inputs(&model.graph, &inputs).expect("bindings");
+            let bindings = bindings_from_inputs(&model.graph, &inputs).expect("bindings");
             let outcome = execute(
                 &model.graph,
                 &inputs,

@@ -35,7 +35,11 @@ fn wrong_input_dtype_is_an_error() {
     let x = g.add_input("x", DType::F32, vec![2.into()]);
     let y = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
     g.mark_output(y);
-    let err = execute(&g, &[Tensor::from_i64(&[2], vec![1, 2])], &ExecConfig::default());
+    let err = execute(
+        &g,
+        &[Tensor::from_i64(&[2], vec![1, 2])],
+        &ExecConfig::default(),
+    );
     assert!(matches!(err, Err(ExecError::Kernel(_))));
 }
 
@@ -60,7 +64,12 @@ fn selector_out_of_range_is_an_error() {
     let br = g.add_node("sw", Op::Switch { num_branches: 2 }, &[x, sel], DType::F32);
     let b0 = g.add_simple("b0", Op::Identity, &[br[0]], DType::F32);
     let b1 = g.add_simple("b1", Op::Identity, &[br[1]], DType::F32);
-    let y = g.add_simple("c", Op::Combine { num_branches: 2 }, &[b0, b1, sel], DType::F32);
+    let y = g.add_simple(
+        "c",
+        Op::Combine { num_branches: 2 },
+        &[b0, b1, sel],
+        DType::F32,
+    );
     g.mark_output(y);
     let err = execute(
         &g,
@@ -148,7 +157,7 @@ fn engines_survive_repeated_extreme_sizes() {
         sod2::Sod2Options::default(),
         &Default::default(),
     );
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let mut rng = <sod2_prng::rngs::StdRng as sod2_prng::SeedableRng>::seed_from_u64(3);
     for size in [lo, hi, lo, hi, lo] {
         let inputs = model.make_inputs(size, &mut rng);
         let stats = sod2::Engine::infer(&mut engine, &inputs).expect("runs");

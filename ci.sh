@@ -7,8 +7,11 @@ cd "$(dirname "$0")"
 echo "=== build (release) ==="
 cargo build --release --workspace
 
-echo "=== tests (workspace) ==="
-cargo test --workspace -q
+echo "=== tests (workspace, SOD2_THREADS=4) ==="
+SOD2_THREADS=4 cargo test --workspace -q
+
+echo "=== tests (workspace, SOD2_THREADS=1, serial fallback) ==="
+SOD2_THREADS=1 cargo test --workspace -q
 
 echo "=== rustfmt ==="
 cargo fmt --all --check
@@ -16,12 +19,17 @@ cargo fmt --all --check
 echo "=== clippy ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "=== analyzer over model zoo ==="
+echo "=== kernel + arena-exec bench smoke ==="
+./target/release/bench_kernels --json BENCH_kernels.json
+
+echo "=== analyzer + arena executor over model zoo ==="
 CLI=./target/release/sod2-cli
 models=$($CLI list | awk 'NR>1 {print $1}')
 for m in $models; do
     echo "--- analyze $m ---"
     $CLI analyze "$m" --json > /dev/null
+    # End-to-end inference through the arena-backed executor (default opts).
+    $CLI run "$m" > /dev/null
 done
 
 echo "=== CI OK ==="

@@ -1,0 +1,291 @@
+//! Intra-op parallelism + arena-exec microbenchmarks.
+//!
+//! `bench_kernels [--json [PATH]]` measures GEMM/Conv/element-wise kernel
+//! throughput at 1, 2, and 4 threads plus arena-vs-heap engine wallclock,
+//! and (with `--json`) writes the results to `BENCH_kernels.json`.
+//!
+//! Thread scaling is reported two ways, and the JSON says which is which
+//! (`speedup_basis`): measured wallclock, which on a single-core host
+//! cannot exceed 1×, and the *self-scheduled makespan* — the per-chunk
+//! kernel times recorded serially, greedily list-scheduled onto N virtual
+//! workers. The makespan number is what the pool's decomposition achieves
+//! when N cores actually exist, independent of this host's core count.
+
+use sod2_device::DeviceProfile;
+use sod2_frameworks::{Engine, Sod2Engine, Sod2Options};
+use sod2_ir::Spatial2d;
+use sod2_kernels::{conv2d_with_params, gemm_tiled, ConvParams, GemmParams};
+use sod2_models::{all_models, ModelScale};
+use sod2_pool::{record_chunks, scheduled_makespan, with_threads};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
+use sod2_tensor::Tensor;
+use std::time::Instant;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (s >> 40) as f32 / (1u64 << 23) as f32 - 0.5
+        })
+        .collect()
+}
+
+/// Best-of-2 wallclock of `f`, in seconds.
+fn wall(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct KernelEntry {
+    name: &'static str,
+    desc: String,
+    flops: f64,
+    chunks: usize,
+    /// Measured wallclock at each real thread count.
+    wall_secs: [f64; 3],
+    /// Greedy list-schedule of recorded chunk times onto N virtual workers.
+    makespan_secs: [f64; 3],
+}
+
+impl KernelEntry {
+    fn measure(name: &'static str, desc: String, flops: f64, run: impl Fn() + Sync) -> KernelEntry {
+        let ((), chunk_secs) = record_chunks(&run);
+        let makespan_secs = [
+            scheduled_makespan(&chunk_secs, 1),
+            scheduled_makespan(&chunk_secs, 2),
+            scheduled_makespan(&chunk_secs, 4),
+        ];
+        let mut wall_secs = [0.0; 3];
+        for (slot, &t) in wall_secs.iter_mut().zip(&THREADS) {
+            *slot = wall(|| with_threads(t, &run));
+        }
+        KernelEntry {
+            name,
+            desc,
+            flops,
+            chunks: chunk_secs.len(),
+            wall_secs,
+            makespan_secs,
+        }
+    }
+
+    fn makespan_speedup(&self, idx: usize) -> f64 {
+        if self.makespan_secs[idx] > 0.0 {
+            self.makespan_secs[0] / self.makespan_secs[idx]
+        } else {
+            1.0
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"desc\": \"{}\", \"chunks\": {}, ",
+                "\"gflops_1t\": {:.3}, ",
+                "\"wallclock_secs\": {{\"1\": {:.6}, \"2\": {:.6}, \"4\": {:.6}}}, ",
+                "\"makespan_secs\": {{\"1\": {:.6}, \"2\": {:.6}, \"4\": {:.6}}}, ",
+                "\"speedup_makespan\": {{\"1\": {:.3}, \"2\": {:.3}, \"4\": {:.3}}}}}"
+            ),
+            self.name,
+            self.desc,
+            self.chunks,
+            self.flops / self.wall_secs[0].max(1e-12) / 1e9,
+            self.wall_secs[0],
+            self.wall_secs[1],
+            self.wall_secs[2],
+            self.makespan_secs[0],
+            self.makespan_secs[1],
+            self.makespan_secs[2],
+            self.makespan_speedup(0),
+            self.makespan_speedup(1),
+            self.makespan_speedup(2),
+        )
+    }
+}
+
+fn gemm_entry(dim: usize) -> KernelEntry {
+    let a = fill(1, dim * dim);
+    let b = fill(2, dim * dim);
+    KernelEntry::measure(
+        "gemm_tiled",
+        format!("{dim}x{dim}x{dim} f32"),
+        2.0 * (dim * dim * dim) as f64,
+        move || {
+            std::hint::black_box(gemm_tiled(&a, &b, dim, dim, dim, GemmParams::default()));
+        },
+    )
+}
+
+fn conv_entry() -> KernelEntry {
+    let (n, ci, co, hw, k) = (1usize, 32usize, 64usize, 56usize, 3usize);
+    let x = Tensor::from_f32(&[n, ci, hw, hw], fill(3, n * ci * hw * hw));
+    let w = Tensor::from_f32(&[co, ci, k, k], fill(4, co * ci * k * k));
+    let sp = Spatial2d::same(k);
+    let flops = 2.0 * (n * co * hw * hw * ci * k * k) as f64;
+    KernelEntry::measure(
+        "conv2d",
+        format!("N{n} {ci}->{co} {hw}x{hw} k{k}"),
+        flops,
+        move || {
+            std::hint::black_box(
+                conv2d_with_params(&x, &w, None, &sp, 1, ConvParams::default()).expect("conv"),
+            );
+        },
+    )
+}
+
+fn elementwise_entry() -> KernelEntry {
+    let len = 1usize << 22;
+    let x = Tensor::from_f32(&[len], fill(5, len));
+    KernelEntry::measure(
+        "unary_exp",
+        format!("{len} f32 elements"),
+        len as f64,
+        move || {
+            std::hint::black_box(
+                sod2_kernels::elementwise::unary(sod2_ir::UnaryOp::Exp, &x).expect("unary"),
+            );
+        },
+    )
+}
+
+struct ExecEntry {
+    model: String,
+    arena_wall_secs: f64,
+    heap_wall_secs: f64,
+    arena_alloc_events: usize,
+    heap_alloc_events: usize,
+    arena_backed: usize,
+}
+
+impl ExecEntry {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"model\": \"{}\", \"arena_wall_secs\": {:.6}, ",
+                "\"heap_wall_secs\": {:.6}, \"arena_alloc_events\": {}, ",
+                "\"heap_alloc_events\": {}, \"arena_backed\": {}}}"
+            ),
+            self.model,
+            self.arena_wall_secs,
+            self.heap_wall_secs,
+            self.arena_alloc_events,
+            self.heap_alloc_events,
+            self.arena_backed,
+        )
+    }
+}
+
+fn exec_entries() -> Vec<ExecEntry> {
+    const REPS: usize = 3;
+    let mut out = Vec::new();
+    for model in all_models(ModelScale::Tiny) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (_, inputs) = model.sample_inputs(&mut rng);
+        let run = |arena: bool| {
+            let mut engine = Sod2Engine::new(
+                model.graph.clone(),
+                DeviceProfile::s888_cpu(),
+                Sod2Options {
+                    arena_exec: arena,
+                    ..Default::default()
+                },
+                &Default::default(),
+            );
+            let mut secs = f64::INFINITY;
+            let mut stats = engine.infer(&inputs).expect("warmup infer");
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                stats = engine.infer(&inputs).expect("infer");
+                secs = secs.min(t0.elapsed().as_secs_f64());
+            }
+            (secs, stats)
+        };
+        let (arena_secs, arena_stats) = run(true);
+        let (heap_secs, heap_stats) = run(false);
+        out.push(ExecEntry {
+            model: model.name.to_string(),
+            arena_wall_secs: arena_secs,
+            heap_wall_secs: heap_secs,
+            arena_alloc_events: arena_stats.alloc_events,
+            heap_alloc_events: heap_stats.alloc_events,
+            arena_backed: arena_stats.arena_backed,
+        });
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_kernels.json".to_string())
+    });
+
+    let kernels = vec![
+        gemm_entry(256),
+        gemm_entry(512),
+        conv_entry(),
+        elementwise_entry(),
+    ];
+    let execs = exec_entries();
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("host cores: {host_cores}");
+    for e in &kernels {
+        eprintln!(
+            "{:<10} {:<24} chunks={:<3} wall(1t)={:.4}s makespan speedup 2w={:.2}x 4w={:.2}x",
+            e.name,
+            e.desc,
+            e.chunks,
+            e.wall_secs[0],
+            e.makespan_speedup(1),
+            e.makespan_speedup(2),
+        );
+    }
+    for e in &execs {
+        eprintln!(
+            "{:<28} arena={:.4}s ({} allocs, {} slab) heap={:.4}s ({} allocs)",
+            e.model,
+            e.arena_wall_secs,
+            e.arena_alloc_events,
+            e.arena_backed,
+            e.heap_wall_secs,
+            e.heap_alloc_events,
+        );
+    }
+
+    if let Some(path) = json_path {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+        s.push_str(concat!(
+            "  \"speedup_basis\": \"speedup_makespan is the greedy list-schedule of ",
+            "serially recorded per-chunk times onto N virtual workers (the pool's ",
+            "decomposition quality); wallclock_secs is measured on this host and ",
+            "cannot exceed 1x scaling when host_cores is 1\",\n"
+        ));
+        s.push_str("  \"kernels\": [\n");
+        let k: Vec<String> = kernels.iter().map(KernelEntry::json).collect();
+        s.push_str(&k.join(",\n"));
+        s.push_str("\n  ],\n  \"exec\": [\n");
+        let x: Vec<String> = execs.iter().map(ExecEntry::json).collect();
+        s.push_str(&x.join(",\n"));
+        s.push_str("\n  ]\n}\n");
+        std::fs::write(&path, s).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -18,6 +18,7 @@ fn ladder() -> [(&'static str, Sod2Options); 4] {
                 dmp: false,
                 mvc: false,
                 native_control_flow: true,
+                arena_exec: false,
             },
         ),
         (
@@ -28,6 +29,7 @@ fn ladder() -> [(&'static str, Sod2Options); 4] {
                 dmp: false,
                 mvc: false,
                 native_control_flow: true,
+                arena_exec: false,
             },
         ),
         (
@@ -38,6 +40,7 @@ fn ladder() -> [(&'static str, Sod2Options); 4] {
                 dmp: true,
                 mvc: false,
                 native_control_flow: true,
+                arena_exec: true,
             },
         ),
     ]

@@ -14,6 +14,7 @@ fn ladder() -> [(&'static str, Sod2Options); 5] {
         dmp,
         mvc,
         native_control_flow: true,
+        arena_exec: dmp,
     };
     [
         ("No opt.", Sod2Options::no_opt()),

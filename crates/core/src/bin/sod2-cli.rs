@@ -202,6 +202,10 @@ fn run(args: &[String]) {
                 "memory  : {:.3} MB peak intermediates",
                 stats.peak_memory_bytes as f64 / (1024.0 * 1024.0)
             );
+            println!(
+                "allocs  : {} heap events, {} tensors arena-backed",
+                stats.alloc_events, stats.arena_backed
+            );
         }
         Err(e) => {
             eprintln!("inference failed: {e}");

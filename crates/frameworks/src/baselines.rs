@@ -131,6 +131,7 @@ impl Engine for MnnLike {
         let key = shape_key(inputs);
         let reinit = self.seen_shapes.insert(key);
         let outcome = self.compiled.run(inputs)?;
+        let alloc_events = outcome.alloc_sizes.len();
         let lives = self.compiled.observed_lifetimes(&outcome);
         let plan = plan_best_fit(&lives);
         let mut trace = outcome.trace;
@@ -152,6 +153,8 @@ impl Engine for MnnLike {
             latency,
             peak_memory_bytes: plan.peak,
             reinitialized: reinit,
+            alloc_events,
+            arena_backed: 0,
         })
     }
 }
@@ -178,6 +181,7 @@ impl Engine for OrtLike {
 
     fn infer(&mut self, inputs: &[Tensor]) -> Result<InferenceStats, ExecError> {
         let outcome = self.compiled.run(inputs)?;
+        let alloc_events = outcome.alloc_sizes.len();
         let lives = self.compiled.observed_lifetimes(&outcome);
         // Pooling (BFC-style) allocator without lifetime planning: requests
         // round up to power-of-two size classes, freed chunks stay in their
@@ -194,6 +198,8 @@ impl Engine for OrtLike {
             latency,
             peak_memory_bytes: peak,
             reinitialized: false,
+            alloc_events,
+            arena_backed: 0,
         })
     }
 }
@@ -235,6 +241,7 @@ impl Engine for TvmNimbleLike {
 
     fn infer(&mut self, inputs: &[Tensor]) -> Result<InferenceStats, ExecError> {
         let outcome = self.compiled.run(inputs)?;
+        let alloc_events = outcome.alloc_sizes.len();
         let mut lives = self.compiled.observed_lifetimes(&outcome);
         // The VM's register file holds tensors to the end of the enclosing
         // sub-function scope rather than freeing at last use: extend every
@@ -261,6 +268,8 @@ impl Engine for TvmNimbleLike {
             latency,
             peak_memory_bytes: peak,
             reinitialized: false,
+            alloc_events,
+            arena_backed: 0,
         })
     }
 }
@@ -300,6 +309,7 @@ impl Engine for TfLiteLike {
         let key = shape_key(inputs);
         let reinit = self.seen_shapes.insert(key);
         let outcome = self.compiled.run(inputs)?;
+        let alloc_events = outcome.alloc_sizes.len();
         let mut lives = self.compiled.observed_lifetimes(&outcome);
         let mut trace = outcome.trace;
         let mut remat_bytes = 0usize;
@@ -342,6 +352,8 @@ impl Engine for TfLiteLike {
             latency,
             peak_memory_bytes: plan.peak,
             reinitialized: reinit,
+            alloc_events,
+            arena_backed: 0,
         })
     }
 }

@@ -17,6 +17,14 @@ pub struct InferenceStats {
     pub peak_memory_bytes: usize,
     /// Whether this inference triggered a re-initialization.
     pub reinitialized: bool,
+    /// Heap tensor allocations performed during execution. Under
+    /// arena-backed execution this is the dynamic residue the offset plan
+    /// could not cover (`nac` sizes); otherwise every materialized
+    /// intermediate counts.
+    pub alloc_events: usize,
+    /// Intermediates served from the pre-planned arena slab (0 for
+    /// engines without arena-backed execution).
+    pub arena_backed: usize,
 }
 
 /// A DNN execution engine — SoD² or one of the baselines.

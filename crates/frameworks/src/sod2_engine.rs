@@ -7,15 +7,18 @@ use crate::common::{bindings_from_inputs, Engine, InferenceStats};
 use sod2_device::DeviceProfile;
 use sod2_fusion::{fuse, FusionPlan, FusionPolicy};
 use sod2_ir::{Graph, NodeId, TensorId};
-use sod2_mem::{plan_sod2, size_class_peak, MemoryPlan, TensorLife};
+use sod2_mem::{plan_sod2, size_class_peak, Arena, MemoryPlan, TensorLife};
 use sod2_mvc::VersionTable;
 use sod2_plan::{
     naive_unit_order, partition_units, plan_order, unit_lifetimes, Partition, SepOptions, UnitGraph,
 };
 use sod2_rdp::{analyze, RdpResult};
-use sod2_runtime::{execute, ExecConfig, ExecError, RunOutcome, TraceEvent};
+use sod2_runtime::{
+    execute, execute_with_arena, ArenaBacking, ExecConfig, ExecError, RunOutcome, TraceEvent,
+};
 use sod2_sym::Bindings;
 use sod2_tensor::Tensor;
+use std::collections::HashMap;
 
 /// Which optimizations the engine applies (paper §5.3's ladder).
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +34,11 @@ pub struct Sod2Options {
     /// Native control flow (dead branches skipped); `false` reproduces the
     /// "execute-all, strip-out-invalid" comparison of Fig. 9.
     pub native_control_flow: bool,
+    /// Serve intermediate tensors from a pre-planned arena slab instead of
+    /// per-tensor heap allocations (the operational form of §4.4.1's
+    /// offset plan). Requires `dmp`; tensors whose size RDP cannot resolve
+    /// at the current bindings fall back to the heap.
+    pub arena_exec: bool,
 }
 
 impl Default for Sod2Options {
@@ -41,6 +49,7 @@ impl Default for Sod2Options {
             dmp: true,
             mvc: true,
             native_control_flow: true,
+            arena_exec: true,
         }
     }
 }
@@ -55,6 +64,7 @@ impl Sod2Options {
             dmp: false,
             mvc: false,
             native_control_flow: true,
+            arena_exec: false,
         }
     }
 }
@@ -71,6 +81,9 @@ pub struct Sod2Engine {
     unit_order: Vec<usize>,
     node_order: Vec<NodeId>,
     table: Option<VersionTable>,
+    /// The arena slab for `arena_exec`, reused (grow-never-shrink) across
+    /// inferences so steady-state runs allocate nothing.
+    arena: Option<Arena>,
 }
 
 impl Sod2Engine {
@@ -182,6 +195,7 @@ impl Sod2Engine {
             unit_order,
             node_order,
             table,
+            arena: None,
         }
     }
 
@@ -245,7 +259,43 @@ impl Sod2Engine {
             execute_all_branches: !self.opts.native_control_flow,
             fused_interpreter: true,
         };
-        let outcome = execute(&self.graph, inputs, &cfg)?;
+        // Pre-execution memory plan for arena-backed execution: RDP's
+        // symbolic byte counts evaluated at this inference's bindings give
+        // exact sizes for every shape-resolvable tensor *before any kernel
+        // runs* — the paper's runtime DMP. Tensors RDP cannot resolve
+        // (`nac`) get size 0 here, drop out of the plan, and are heap
+        // allocated by the executor: the dynamic residue.
+        let arena_on = self.opts.dmp && self.opts.arena_exec;
+        let pre_lives: Vec<TensorLife> = if arena_on {
+            let size_of = |t: TensorId| -> usize {
+                self.rdp
+                    .symbolic_bytes(&self.graph, t)
+                    .and_then(|e| e.eval(&bindings))
+                    .map(|b| b.max(0) as usize)
+                    .unwrap_or(0)
+            };
+            unit_lifetimes(&self.graph, &self.unit_graph, &self.unit_order, &size_of)
+                .into_iter()
+                .filter(|l| l.size > 0)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let pre_sizes: HashMap<usize, usize> = pre_lives.iter().map(|l| (l.key, l.size)).collect();
+        let outcome = if arena_on {
+            let pre_plan = plan_sod2(&pre_lives);
+            match &mut self.arena {
+                Some(a) => a.reset(pre_plan),
+                slot => *slot = Some(Arena::new(pre_plan)),
+            }
+            let backing = ArenaBacking {
+                arena: self.arena.as_mut().expect("arena just installed"),
+                sizes: &pre_sizes,
+            };
+            execute_with_arena(&self.graph, inputs, &cfg, Some(backing))?
+        } else {
+            execute(&self.graph, inputs, &cfg)?
+        };
         let lives = self.observed_lifetimes(&outcome);
         // Dynamic memory planning (§4.4.1): with DMP the offset plan packs
         // tensors into one arena; without it the engine falls back to a
@@ -272,6 +322,11 @@ impl Sod2Engine {
             if self.opts.dmp {
                 stage.extend(sod2_analysis::verify_memory_plan(&lives, &plan, 1));
             }
+            if arena_on {
+                if let Some(a) = self.arena.as_ref() {
+                    stage.extend(sod2_analysis::verify_memory_plan(&pre_lives, a.plan(), 1));
+                }
+            }
             debug_assert!(
                 !stage.has_errors(),
                 "inference failed verification:\n{}",
@@ -279,7 +334,9 @@ impl Sod2Engine {
             );
         }
         #[cfg(not(debug_assertions))]
-        let _ = &bindings;
+        let _ = (&bindings, &pre_lives);
+        let alloc_events = outcome.alloc_sizes.len();
+        let arena_backed = outcome.arena_backed;
         let mut trace = outcome.trace;
         if self.opts.dmp {
             // One arena allocation per inference, plus the (cheap) runtime
@@ -291,6 +348,13 @@ impl Sod2Engine {
                 st: 0.0,
                 alloc: 0.0,
             });
+            // The dynamic residue the plan could not cover is still paid
+            // per allocation (empty unless some tensor resolved to `nac`).
+            if arena_on {
+                for &b in &outcome.alloc_sizes {
+                    trace.push(TraceEvent::Alloc { bytes: b });
+                }
+            }
         } else {
             for &b in &outcome.alloc_sizes {
                 trace.push(TraceEvent::Alloc { bytes: b });
@@ -303,6 +367,8 @@ impl Sod2Engine {
                 latency,
                 peak_memory_bytes: plan.peak,
                 reinitialized: false,
+                alloc_events,
+                arena_backed,
             },
             plan,
         ))

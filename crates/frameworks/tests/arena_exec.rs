@@ -1,0 +1,86 @@
+//! Arena-backed execution must be observationally identical to heap
+//! execution across the model zoo while shrinking the priced allocation
+//! stream to the dynamic residue the offset plan could not cover.
+
+use sod2_device::DeviceProfile;
+use sod2_frameworks::{Engine, Sod2Engine, Sod2Options};
+use sod2_models::{all_models, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
+
+#[test]
+fn arena_exec_matches_heap_exec_across_zoo() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for model in all_models(ModelScale::Tiny) {
+        let mut arena_engine = Sod2Engine::new(
+            model.graph.clone(),
+            DeviceProfile::s888_cpu(),
+            Sod2Options::default(),
+            &Default::default(),
+        );
+        let mut heap_engine = Sod2Engine::new(
+            model.graph.clone(),
+            DeviceProfile::s888_cpu(),
+            Sod2Options {
+                arena_exec: false,
+                ..Default::default()
+            },
+            &Default::default(),
+        );
+        for round in 0..2 {
+            let (_, inputs) = model.sample_inputs(&mut rng);
+            let sa = arena_engine
+                .infer(&inputs)
+                .unwrap_or_else(|e| panic!("{}: arena infer: {e}", model.name));
+            let sh = heap_engine
+                .infer(&inputs)
+                .unwrap_or_else(|e| panic!("{}: heap infer: {e}", model.name));
+            assert_eq!(sa.outputs.len(), sh.outputs.len(), "{}", model.name);
+            for (a, h) in sa.outputs.iter().zip(&sh.outputs) {
+                assert_eq!(a.shape(), h.shape(), "{}: output shape", model.name);
+                assert_eq!(
+                    a.payload_le_bytes(),
+                    h.payload_le_bytes(),
+                    "{}: arena output differs from heap output",
+                    model.name
+                );
+            }
+            assert!(
+                sa.arena_backed > 0,
+                "{}: no tensor was arena-backed (round {round})",
+                model.name
+            );
+            assert!(
+                sa.alloc_events < sh.alloc_events,
+                "{}: arena alloc stream ({}) not smaller than heap ({})",
+                model.name,
+                sa.alloc_events,
+                sh.alloc_events
+            );
+        }
+    }
+}
+
+#[test]
+fn arena_slab_reuse_survives_shape_changes() {
+    // Repeated inferences with different dynamic shapes must keep working
+    // against the same (grow-never-shrink) slab.
+    let mut rng = StdRng::seed_from_u64(29);
+    let model = sod2_models::codebert(ModelScale::Tiny);
+    let mut engine = Sod2Engine::new(
+        model.graph.clone(),
+        DeviceProfile::s888_cpu(),
+        Sod2Options::default(),
+        &Default::default(),
+    );
+    let mut backed = Vec::new();
+    for _ in 0..4 {
+        let (_, inputs) = model.sample_inputs(&mut rng);
+        let stats = engine.infer(&inputs).expect("infer");
+        backed.push(stats.arena_backed);
+    }
+    assert!(
+        backed.iter().all(|&b| b > 0),
+        "every inference should use the slab: {backed:?}"
+    );
+}

@@ -162,6 +162,7 @@ fn optimization_ladder_is_monotone_in_memory() {
             dmp: false,
             mvc: false,
             native_control_flow: true,
+            arena_exec: false,
         },
         Sod2Options {
             fusion: sod2_fusion::FusionPolicy::Rdp,
@@ -169,6 +170,7 @@ fn optimization_ladder_is_monotone_in_memory() {
             dmp: false,
             mvc: false,
             native_control_flow: true,
+            arena_exec: false,
         },
         Sod2Options {
             fusion: sod2_fusion::FusionPolicy::Rdp,
@@ -176,6 +178,7 @@ fn optimization_ladder_is_monotone_in_memory() {
             dmp: true,
             mvc: false,
             native_control_flow: true,
+            arena_exec: true,
         },
     ];
     let mut bindings = sod2_sym::Bindings::new();

@@ -82,47 +82,71 @@ pub fn conv2d_with_params(
     let block_oc = params.block_oc.max(1);
     let tile_w = params.tile_w.max(1);
     let mut out = vec![0f32; n * co * oh * ow];
+
+    // Parallel decomposition: one part per (batch, group, oc-block).
+    // Each part owns a contiguous run of output planes (block_oc whole
+    // channels of one image), so parts partition `out` exactly and every
+    // output element is written once — results are independent of how
+    // parts land on threads. Loop order inside a part matches the serial
+    // kernel restricted to that block.
+    let mut parts: Vec<(usize, usize, usize, usize)> = Vec::new();
+    let mut bounds: Vec<usize> = Vec::new();
     for b in 0..n {
         for g in 0..groups {
-            // Output-channel blocking: weights for a block stay hot while
-            // the input window streams through.
             for oc0 in (0..co_per_g).step_by(block_oc) {
                 let oc1 = (oc0 + block_oc).min(co_per_g);
-                for oy in 0..oh {
-                    // Width tiling: consecutive output columns share input
-                    // rows.
-                    for ox0 in (0..ow).step_by(tile_w) {
-                        let ox1 = (ox0 + tile_w).min(ow);
-                        for ocg in oc0..oc1 {
-                            let oc = g * co_per_g + ocg;
-                            let bias_v = bv.map(|v| v[oc]).unwrap_or(0.0);
-                            for ox in ox0..ox1 {
-                                let mut acc = bias_v;
-                                for icg in 0..cig {
-                                    let ic = g * cig + icg;
-                                    for ky in 0..kh {
-                                        let iy = oy as i64 * sh - ph + ky as i64;
-                                        if iy < 0 || iy >= h as i64 {
+                parts.push((b, g, oc0, oc1));
+                bounds.push(((b * co + g * co_per_g + oc1) * oh * ow).min(out.len()));
+            }
+        }
+    }
+    if let Some(last) = bounds.last_mut() {
+        *last = out.len();
+    }
+    let run = |out: &mut Vec<f32>| {
+        sod2_pool::scope_parts(out, &bounds, |part, off, chunk| {
+            let (b, g, oc0, oc1) = parts[part];
+            for oy in 0..oh {
+                // Width tiling: consecutive output columns share input
+                // rows.
+                for ox0 in (0..ow).step_by(tile_w) {
+                    let ox1 = (ox0 + tile_w).min(ow);
+                    for ocg in oc0..oc1 {
+                        let oc = g * co_per_g + ocg;
+                        let bias_v = bv.map(|v| v[oc]).unwrap_or(0.0);
+                        for ox in ox0..ox1 {
+                            let mut acc = bias_v;
+                            for icg in 0..cig {
+                                let ic = g * cig + icg;
+                                for ky in 0..kh {
+                                    let iy = oy as i64 * sh - ph + ky as i64;
+                                    if iy < 0 || iy >= h as i64 {
+                                        continue;
+                                    }
+                                    let xrow = ((b * ci + ic) * h + iy as usize) * wd;
+                                    let wrow = ((oc * cig + icg) * kh + ky) * kw;
+                                    for kx in 0..kw {
+                                        let ix = ox as i64 * sw - pw + kx as i64;
+                                        if ix < 0 || ix >= wd as i64 {
                                             continue;
                                         }
-                                        let xrow = ((b * ci + ic) * h + iy as usize) * wd;
-                                        let wrow = ((oc * cig + icg) * kh + ky) * kw;
-                                        for kx in 0..kw {
-                                            let ix = ox as i64 * sw - pw + kx as i64;
-                                            if ix < 0 || ix >= wd as i64 {
-                                                continue;
-                                            }
-                                            acc += xv[xrow + ix as usize] * wv[wrow + kx];
-                                        }
+                                        acc += xv[xrow + ix as usize] * wv[wrow + kx];
                                     }
                                 }
-                                out[((b * co + oc) * oh + oy) * ow + ox] = acc;
                             }
+                            chunk[((b * co + oc) * oh + oy) * ow + ox - off] = acc;
                         }
                     }
                 }
             }
-        }
+        });
+    };
+    // Below the grain cutoff the region overhead outweighs the work.
+    let flops_per_elem = cig * kh * kw;
+    if out.len() * flops_per_elem < crate::PAR_CUTOFF_OPS {
+        sod2_pool::with_threads(1, || run(&mut out));
+    } else {
+        run(&mut out);
     }
     Ok(Tensor::from_f32(&[n, co, oh, ow], out))
 }

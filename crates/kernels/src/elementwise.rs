@@ -4,11 +4,22 @@ use crate::error::{dtype_err, shape_err, KernelError};
 use sod2_ir::{BinaryOp, CompareOp, DType, UnaryOp};
 use sod2_tensor::{broadcast_output_shape, BroadcastIndexer, Data, Tensor};
 
+/// Pool grain for element-wise loops: tensors at or below this size run
+/// as a single (inline, serial) chunk, larger ones are split at
+/// grain-multiple boundaries independent of the thread count.
+const EW_GRAIN: usize = crate::PAR_CUTOFF_OPS;
+
 /// Applies a unary function element-wise.
 pub fn unary(op: UnaryOp, x: &Tensor) -> Result<Tensor, KernelError> {
     let xs = x.as_f32().map_err(|e| dtype_err("Unary", e.to_string()))?;
     let f = unary_fn(op);
-    let out: Vec<f32> = xs.iter().map(|&v| f(v)).collect();
+    let mut out = vec![0f32; xs.len()];
+    sod2_pool::scope_chunks(&mut out, EW_GRAIN, |off, chunk| {
+        let src = &xs[off..off + chunk.len()];
+        for (o, &v) in chunk.iter_mut().zip(src) {
+            *o = f(v);
+        }
+    });
     Ok(Tensor::from_f32(x.shape(), out))
 }
 
@@ -135,15 +146,19 @@ fn broadcast_zip_f32(
     let mut out = vec![0f32; n];
     if a.shape() == out_shape && b.shape() == out_shape {
         // Fast path: identical shapes.
-        for i in 0..n {
-            out[i] = f(av[i], bv[i]);
-        }
+        sod2_pool::scope_chunks(&mut out, EW_GRAIN, |off, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(av[off + i], bv[off + i]);
+            }
+        });
     } else {
         let ia = BroadcastIndexer::new(out_shape, a.shape());
         let ib = BroadcastIndexer::new(out_shape, b.shape());
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = f(av[ia.src_offset(i)], bv[ib.src_offset(i)]);
-        }
+        sod2_pool::scope_chunks(&mut out, EW_GRAIN, |off, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(av[ia.src_offset(off + i)], bv[ib.src_offset(off + i)]);
+            }
+        });
     }
     Ok(Tensor::from_f32(out_shape, out))
 }
@@ -220,25 +235,30 @@ pub fn where_select(cond: &Tensor, a: &Tensor, b: &Tensor) -> Result<Tensor, Ker
     let ic = BroadcastIndexer::new(&out_shape, cond.shape());
     let ia = BroadcastIndexer::new(&out_shape, a.shape());
     let ib = BroadcastIndexer::new(&out_shape, b.shape());
-    let out: Vec<f32> = (0..n)
-        .map(|i| {
-            if cv[ic.src_offset(i)] {
-                av[ia.src_offset(i)]
+    let mut out = vec![0f32; n];
+    sod2_pool::scope_chunks(&mut out, EW_GRAIN, |off, chunk| {
+        for (i, o) in chunk.iter_mut().enumerate() {
+            *o = if cv[ic.src_offset(off + i)] {
+                av[ia.src_offset(off + i)]
             } else {
-                bv[ib.src_offset(i)]
-            }
-        })
-        .collect();
+                bv[ib.src_offset(off + i)]
+            };
+        }
+    });
     Ok(Tensor::from_f32(&out_shape, out))
 }
 
 /// `Clip(x, min, max)`.
 pub fn clip(x: &Tensor, min: f32, max: f32) -> Result<Tensor, KernelError> {
     let xs = x.as_f32().map_err(|e| dtype_err("Clip", e.to_string()))?;
-    Ok(Tensor::from_f32(
-        x.shape(),
-        xs.iter().map(|v| v.clamp(min, max)).collect(),
-    ))
+    let mut out = vec![0f32; xs.len()];
+    sod2_pool::scope_chunks(&mut out, EW_GRAIN, |off, chunk| {
+        let src = &xs[off..off + chunk.len()];
+        for (o, v) in chunk.iter_mut().zip(src) {
+            *o = v.clamp(min, max);
+        }
+    });
+    Ok(Tensor::from_f32(x.shape(), out))
 }
 
 /// `Cast(x)` to a target dtype.

@@ -104,27 +104,32 @@ pub fn fused_elementwise(seed: &Tensor, steps: &[FusedStep<'_>]) -> Result<Tenso
         });
     }
     let mut out = vec![0f32; n];
-    for (i, slot) in out.iter_mut().enumerate() {
-        let mut v = seed_v[seed_ix.src_offset(i)];
-        for (s, operand) in steps.iter().zip(&operands) {
-            v = match s {
-                FusedStep::Unary(u) => unary_fn(*u)(v),
-                FusedStep::Clip { min, max } => v.clamp(*min, *max),
-                FusedStep::Binary {
-                    op, chain_is_lhs, ..
-                } => {
-                    let operand = operand.as_ref().expect("binary step has operand");
-                    let o = operand.values[operand.ix.src_offset(i)];
-                    if *chain_is_lhs {
-                        apply_binary(*op, v, o)
-                    } else {
-                        apply_binary(*op, o, v)
+    // Pointwise: output chunks are fully independent, so split at
+    // thread-count-independent grain boundaries.
+    sod2_pool::scope_chunks(&mut out, crate::PAR_CUTOFF_OPS, |off, chunk| {
+        for (ci, slot) in chunk.iter_mut().enumerate() {
+            let i = off + ci;
+            let mut v = seed_v[seed_ix.src_offset(i)];
+            for (s, operand) in steps.iter().zip(&operands) {
+                v = match s {
+                    FusedStep::Unary(u) => unary_fn(*u)(v),
+                    FusedStep::Clip { min, max } => v.clamp(*min, *max),
+                    FusedStep::Binary {
+                        op, chain_is_lhs, ..
+                    } => {
+                        let operand = operand.as_ref().expect("binary step has operand");
+                        let o = operand.values[operand.ix.src_offset(i)];
+                        if *chain_is_lhs {
+                            apply_binary(*op, v, o)
+                        } else {
+                            apply_binary(*op, o, v)
+                        }
                     }
-                }
-            };
+                };
+            }
+            *slot = v;
         }
-        *slot = v;
-    }
+    });
     Tensor::new(&out_shape, sod2_tensor::Data::F32(out))
         .map_err(|e| shape_err("Fused", e.to_string()))
 }

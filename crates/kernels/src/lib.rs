@@ -23,6 +23,13 @@
 //! # }
 //! ```
 
+/// Size cutoff (output elements × per-element inner-loop operations)
+/// below which kernels run their loop nests serially instead of paying
+/// the pool's region-submission overhead. The chunk decomposition above
+/// the cutoff never depends on the thread count, so outputs are bitwise
+/// identical either way.
+pub(crate) const PAR_CUTOFF_OPS: usize = 1 << 14;
+
 pub mod conv;
 pub mod dynamic;
 pub mod elementwise;

@@ -30,23 +30,38 @@ impl Default for GemmParams {
 }
 
 /// Plain rank-2 GEMM: `C[m,n] = A[m,k] * B[k,n]` (reference kernel).
+///
+/// Every `a[i,p] * b[p,j]` product is accumulated unconditionally — no
+/// sparsity short-circuit — so NaN/inf propagation (`0 * NaN = NaN`)
+/// matches [`gemm_tiled`] bitwise. Rows are partitioned across the
+/// [`sod2_pool`] when it helps; each output element's accumulation order
+/// is the serial one regardless of thread count.
 pub fn gemm_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let mut c = vec![0f32; m * n];
-    for i in 0..m {
-        for p in 0..k {
-            let av = a[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            let crow = &mut c[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += av * brow[j];
+    if n == 0 {
+        return c;
+    }
+    // Whole rows per chunk so chunk boundaries never split a row.
+    let rows_per_chunk = (PAR_GRAIN_ELEMS / (n * k.max(1)).max(1)).max(1);
+    sod2_pool::scope_chunks(&mut c, rows_per_chunk * n, |off, chunk| {
+        let i0 = off / n;
+        for (ri, crow) in chunk.chunks_exact_mut(n).enumerate() {
+            let i = i0 + ri;
+            for p in 0..k {
+                let av = a[i * k + p];
+                let brow = &b[p * n..(p + 1) * n];
+                for j in 0..n {
+                    crow[j] += av * brow[j];
+                }
             }
         }
-    }
+    });
     c
 }
+
+/// Above roughly this many output-element-times-depth operations, kernels
+/// hand chunks to the pool; below it the queueing overhead dominates.
+const PAR_GRAIN_ELEMS: usize = 1 << 14;
 
 /// Tiled GEMM with configurable tile sizes and unrolling.
 pub fn gemm_tiled(
@@ -58,13 +73,20 @@ pub fn gemm_tiled(
     params: GemmParams,
 ) -> Vec<f32> {
     let mut c = vec![0f32; m * n];
+    if n == 0 {
+        return c;
+    }
     let (tm, tn, tk) = (
         params.tile_m.max(1),
         params.tile_n.max(1),
         params.tile_k.max(1),
     );
-    for i0 in (0..m).step_by(tm) {
-        let i1 = (i0 + tm).min(m);
+    // One M-tile (tm whole rows) per pool chunk: tiles only ever share
+    // B, so they are independent, and restricting the serial i0/p0/j0
+    // loop nest to one tile preserves each element's accumulation order.
+    sod2_pool::scope_chunks(&mut c, tm * n, |off, chunk| {
+        let i0 = off / n;
+        let i1 = i0 + chunk.len() / n;
         for p0 in (0..k).step_by(tk) {
             let p1 = (p0 + tk).min(k);
             for j0 in (0..n).step_by(tn) {
@@ -73,7 +95,7 @@ pub fn gemm_tiled(
                     for p in p0..p1 {
                         let av = a[i * k + p];
                         let brow = &b[p * n..p * n + n];
-                        let crow = &mut c[i * n..i * n + n];
+                        let crow = &mut chunk[(i - i0) * n..(i - i0) * n + n];
                         let mut j = j0;
                         // Unrolled inner loop.
                         while j + params.unroll <= j1 {
@@ -90,7 +112,7 @@ pub fn gemm_tiled(
                 }
             }
         }
-    }
+    });
     c
 }
 

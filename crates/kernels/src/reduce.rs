@@ -4,7 +4,25 @@ use crate::error::{dtype_err, shape_err, KernelError};
 use sod2_ir::{normalize_axis, ReduceOp};
 use sod2_tensor::{Indexer, Tensor};
 
+/// Lane grain for parallel reductions/normalizations: a region is split
+/// only when it spans more than this many scalar reads.
+const LANE_GRAIN_OPS: usize = crate::PAR_CUTOFF_OPS;
+
+/// Row-major strides for a shape.
+fn row_major_strides(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * shape[i + 1];
+    }
+    s
+}
+
 /// Reduction over the given axes (empty = all axes).
+///
+/// Implemented as a per-output-lane gather: each output element folds its
+/// contributors in ascending input-offset order — the same order the
+/// element-scatter formulation visits them — so results are bitwise
+/// stable while lanes parallelize freely.
 pub fn reduce(
     op: ReduceOp,
     x: &Tensor,
@@ -13,14 +31,15 @@ pub fn reduce(
 ) -> Result<Tensor, KernelError> {
     let xv = x.as_f32().map_err(|e| dtype_err("Reduce", e.to_string()))?;
     let rank = x.rank();
-    let reduced: Vec<usize> = if axes.is_empty() {
+    let mut reduced: Vec<usize> = if axes.is_empty() {
         (0..rank).collect()
     } else {
         axes.iter()
             .map(|&a| normalize_axis(a, rank).ok_or_else(|| shape_err("Reduce", "bad axis")))
             .collect::<Result<Vec<_>, _>>()?
     };
-    let in_ix = Indexer::new(x.shape());
+    reduced.sort_unstable();
+    reduced.dedup();
     let mut out_shape: Vec<usize> = Vec::new();
     let mut out_full: Vec<usize> = Vec::new(); // with kept 1s, for index math
     for (i, &d) in x.shape().iter().enumerate() {
@@ -42,29 +61,59 @@ pub fn reduce(
         ReduceOp::Min => f32::INFINITY,
         ReduceOp::Prod => 1.0,
     };
+    let in_strides = row_major_strides(x.shape());
+    let red_dims: Vec<usize> = reduced.iter().map(|&r| x.shape()[r]).collect();
+    let red_strides: Vec<usize> = reduced.iter().map(|&r| in_strides[r]).collect();
+    let count: usize = red_dims.iter().product();
     let mut acc = vec![init; n_out];
-    let mut counts = vec![0usize; n_out];
-    for (i, &v) in xv.iter().enumerate() {
-        let mut c = in_ix.coords(i);
-        for &r in &reduced {
-            c[r] = 0;
-        }
-        let o = out_ix.offset(&c);
-        match op {
-            ReduceOp::Sum | ReduceOp::Mean => acc[o] += v,
-            ReduceOp::Max => acc[o] = acc[o].max(v),
-            ReduceOp::Min => acc[o] = acc[o].min(v),
-            ReduceOp::Prod => acc[o] *= v,
-        }
-        counts[o] += 1;
-    }
-    if op == ReduceOp::Mean {
-        for (a, &c) in acc.iter_mut().zip(&counts) {
-            if c > 0 {
-                *a /= c as f32;
+    let lanes_per_chunk = (LANE_GRAIN_OPS / count.max(1)).max(1);
+    sod2_pool::scope_chunks(&mut acc, lanes_per_chunk, |off, chunk| {
+        let mut rc = vec![0usize; red_dims.len()];
+        for (li, a) in chunk.iter_mut().enumerate() {
+            // Base input offset of this lane (reduced coords are 0 in
+            // `out_full`, so they contribute nothing).
+            let coords = out_ix.coords(off + li);
+            let base: usize = coords.iter().zip(&in_strides).map(|(c, s)| c * s).sum();
+            if count == 0 {
+                continue; // a reduced axis has extent 0: lane keeps `init`
             }
+            // Odometer over the reduced dims (ascending axis order =
+            // ascending input offset for this lane).
+            rc.iter_mut().for_each(|c| *c = 0);
+            let mut idx = base;
+            let mut v = *a;
+            loop {
+                let e = xv[idx];
+                match op {
+                    ReduceOp::Sum | ReduceOp::Mean => v += e,
+                    ReduceOp::Max => v = v.max(e),
+                    ReduceOp::Min => v = v.min(e),
+                    ReduceOp::Prod => v *= e,
+                }
+                let mut d = red_dims.len();
+                loop {
+                    if d == 0 {
+                        break;
+                    }
+                    d -= 1;
+                    rc[d] += 1;
+                    idx += red_strides[d];
+                    if rc[d] < red_dims[d] {
+                        break;
+                    }
+                    idx -= rc[d] * red_strides[d];
+                    rc[d] = 0;
+                }
+                if rc.iter().all(|&c| c == 0) {
+                    break; // odometer wrapped: all combinations visited
+                }
+            }
+            if op == ReduceOp::Mean {
+                v /= count as f32;
+            }
+            *a = v;
         }
-    }
+    });
     Ok(Tensor::from_f32(&out_shape, acc))
 }
 
@@ -114,27 +163,35 @@ pub fn softmax(x: &Tensor, axis: i64) -> Result<Tensor, KernelError> {
     let ax = normalize_axis(axis, rank).ok_or_else(|| shape_err("Softmax", "bad axis"))?;
     let dims = x.shape();
     let axis_len = dims[ax];
-    let outer: usize = dims[..ax].iter().product();
     let inner: usize = dims[ax + 1..].iter().product();
     let mut out = vec![0f32; xv.len()];
-    for o in 0..outer {
-        for i in 0..inner {
-            let at = |a: usize| (o * axis_len + a) * inner + i;
-            let mut mx = f32::NEG_INFINITY;
-            for a in 0..axis_len {
-                mx = mx.max(xv[at(a)]);
-            }
-            let mut sum = 0f32;
-            for a in 0..axis_len {
-                let e = (xv[at(a)] - mx).exp();
-                out[at(a)] = e;
-                sum += e;
-            }
-            for a in 0..axis_len {
-                out[at(a)] /= sum;
+    // One outer block (axis_len * inner contiguous elements) is the unit
+    // of parallelism; lanes inside a block are computed serially.
+    let block = axis_len * inner;
+    let blocks_per_chunk = (LANE_GRAIN_OPS / block.max(1)).max(1);
+    sod2_pool::scope_chunks(&mut out, blocks_per_chunk * block, |off, chunk| {
+        let o0 = off / block.max(1);
+        for (bi, obuf) in chunk.chunks_exact_mut(block).enumerate() {
+            let o = o0 + bi;
+            for i in 0..inner {
+                let src = |a: usize| (o * axis_len + a) * inner + i;
+                let dst = |a: usize| a * inner + i;
+                let mut mx = f32::NEG_INFINITY;
+                for a in 0..axis_len {
+                    mx = mx.max(xv[src(a)]);
+                }
+                let mut sum = 0f32;
+                for a in 0..axis_len {
+                    let e = (xv[src(a)] - mx).exp();
+                    obuf[dst(a)] = e;
+                    sum += e;
+                }
+                for a in 0..axis_len {
+                    obuf[dst(a)] /= sum;
+                }
             }
         }
-    }
+    });
     Ok(Tensor::from_f32(dims, out))
 }
 
@@ -193,25 +250,30 @@ pub fn instance_norm(
     if dims.len() < 3 {
         return Err(shape_err("InstanceNorm", "rank must be >= 3"));
     }
-    let (n, c) = (dims[0], dims[1]);
+    let c = dims[1];
     if sv.len() != c || bv.len() != c {
         return Err(shape_err("InstanceNorm", "scale/bias must match C"));
     }
     let spatial: usize = dims[2..].iter().product();
     let mut out = vec![0f32; xv.len()];
-    for b in 0..n {
-        for ch in 0..c {
-            let base = (b * c + ch) * spatial;
+    // One (n, c) plane per unit; whole planes per chunk.
+    let planes_per_chunk = (LANE_GRAIN_OPS / spatial.max(1)).max(1);
+    sod2_pool::scope_chunks(&mut out, planes_per_chunk * spatial, |off, chunk| {
+        let p0 = off / spatial.max(1);
+        for (pi, obuf) in chunk.chunks_exact_mut(spatial).enumerate() {
+            let p = p0 + pi;
+            let ch = p % c;
+            let base = p * spatial;
             let plane = &xv[base..base + spatial];
             let mean: f32 = plane.iter().sum::<f32>() / spatial as f32;
             let var: f32 =
                 plane.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / spatial as f32;
             let inv = 1.0 / (var + epsilon).sqrt();
-            for i in 0..spatial {
-                out[base + i] = (plane[i] - mean) * inv * sv[ch] + bv[ch];
+            for (o, v) in obuf.iter_mut().zip(plane) {
+                *o = (v - mean) * inv * sv[ch] + bv[ch];
             }
         }
-    }
+    });
     Ok(Tensor::from_f32(dims, out))
 }
 
@@ -238,17 +300,22 @@ pub fn layer_norm(
     if sv.len() != d || bv.len() != d {
         return Err(shape_err("LayerNorm", "scale/bias must match last dim"));
     }
-    let rows = xv.len() / d;
     let mut out = vec![0f32; xv.len()];
-    for r in 0..rows {
-        let row = &xv[r * d..(r + 1) * d];
-        let mean: f32 = row.iter().sum::<f32>() / d as f32;
-        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-        let inv = 1.0 / (var + epsilon).sqrt();
-        for j in 0..d {
-            out[r * d + j] = (row[j] - mean) * inv * sv[j] + bv[j];
+    // Whole rows per chunk.
+    let rows_per_chunk = (LANE_GRAIN_OPS / d.max(1)).max(1);
+    sod2_pool::scope_chunks(&mut out, rows_per_chunk * d, |off, chunk| {
+        let r0 = off / d.max(1);
+        for (ri, obuf) in chunk.chunks_exact_mut(d).enumerate() {
+            let r = r0 + ri;
+            let row = &xv[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + epsilon).sqrt();
+            for j in 0..d {
+                obuf[j] = (row[j] - mean) * inv * sv[j] + bv[j];
+            }
         }
-    }
+    });
     Ok(Tensor::from_f32(dims, out))
 }
 
@@ -284,18 +351,22 @@ pub fn batch_norm(
     if [sv.len(), bv.len(), mv.len(), vv.len()] != [c, c, c, c] {
         return Err(shape_err("BatchNorm", "per-channel params must match C"));
     }
-    let n = dims[0];
     let spatial: usize = dims[2..].iter().product();
     let mut out = vec![0f32; xv.len()];
-    for b in 0..n {
-        for ch in 0..c {
+    // One (n, c) plane per unit; whole planes per chunk.
+    let planes_per_chunk = (LANE_GRAIN_OPS / spatial.max(1)).max(1);
+    sod2_pool::scope_chunks(&mut out, planes_per_chunk * spatial, |off, chunk| {
+        let p0 = off / spatial.max(1);
+        for (pi, obuf) in chunk.chunks_exact_mut(spatial).enumerate() {
+            let p = p0 + pi;
+            let ch = p % c;
             let inv = 1.0 / (vv[ch] + epsilon).sqrt();
-            let base = (b * c + ch) * spatial;
-            for i in 0..spatial {
-                out[base + i] = (xv[base + i] - mv[ch]) * inv * sv[ch] + bv[ch];
+            let base = p * spatial;
+            for (i, o) in obuf.iter_mut().enumerate() {
+                *o = (xv[base + i] - mv[ch]) * inv * sv[ch] + bv[ch];
             }
         }
-    }
+    });
     Ok(Tensor::from_f32(dims, out))
 }
 

@@ -29,6 +29,46 @@ impl Arena {
         self.buf.len()
     }
 
+    /// Re-targets the arena at a new plan, reusing the existing buffer.
+    ///
+    /// The backing allocation only ever grows: re-planning for a smaller
+    /// peak keeps the larger buffer so repeated inferences with varying
+    /// dynamic shapes settle into a steady state with no allocator traffic
+    /// (the paper's rationale for a single pre-allocated linear space).
+    pub fn reset(&mut self, plan: MemoryPlan) {
+        if plan.peak > self.buf.len() {
+            self.buf.resize(plan.peak, 0);
+        }
+        self.plan = plan;
+    }
+
+    /// The planned offset for a tensor key, when it has one.
+    pub fn offset_of(&self, key: usize) -> Option<usize> {
+        self.plan.offsets.get(&key).copied()
+    }
+
+    /// Writes a tensor's payload at its planned offset, returning `false`
+    /// (instead of panicking) when the key is unplanned or the payload
+    /// would overrun the buffer — the executor's cue to fall back to the
+    /// heap for that tensor.
+    pub fn try_write(&mut self, key: usize, payload: &[u8]) -> bool {
+        let Some(&off) = self.plan.offsets.get(&key) else {
+            return false;
+        };
+        if off + payload.len() > self.buf.len() {
+            return false;
+        }
+        self.buf[off..off + payload.len()].copy_from_slice(payload);
+        true
+    }
+
+    /// Reads `len` bytes of a tensor's payload, or `None` when the key is
+    /// unplanned or the range exceeds the buffer.
+    pub fn try_read(&self, key: usize, len: usize) -> Option<&[u8]> {
+        let off = self.plan.offsets.get(&key).copied()?;
+        self.buf.get(off..off + len)
+    }
+
     /// Writes a tensor's payload at its planned offset.
     ///
     /// # Panics
@@ -100,5 +140,44 @@ mod tests {
     fn unknown_key_rejected() {
         let arena = Arena::new(MemoryPlan::default());
         let _ = arena.read(42, 1);
+    }
+
+    #[test]
+    fn reset_grows_but_never_shrinks() {
+        let small = MemoryPlan {
+            offsets: [(0usize, 0usize)].into_iter().collect(),
+            peak: 8,
+        };
+        let big = MemoryPlan {
+            offsets: [(0usize, 0usize), (1, 16)].into_iter().collect(),
+            peak: 32,
+        };
+        let mut arena = Arena::new(small.clone());
+        assert_eq!(arena.capacity(), 8);
+        arena.reset(big);
+        assert_eq!(arena.capacity(), 32);
+        arena.write(1, &[0x5A; 16]);
+        assert_eq!(arena.read(1, 16), &[0x5A; 16]);
+        // Back to the small plan: the buffer keeps its high-water size.
+        arena.reset(small);
+        assert_eq!(arena.capacity(), 32);
+        assert_eq!(arena.plan().peak, 8);
+    }
+
+    #[test]
+    fn fallible_accessors_reject_bad_requests() {
+        let plan = MemoryPlan {
+            offsets: [(7usize, 0usize)].into_iter().collect(),
+            peak: 4,
+        };
+        let mut arena = Arena::new(plan);
+        assert!(arena.try_write(7, &[1, 2, 3, 4]));
+        assert!(!arena.try_write(8, &[1]), "unplanned key must not write");
+        assert!(!arena.try_write(7, &[0; 5]), "overrun must not write");
+        assert_eq!(arena.try_read(7, 4), Some(&[1u8, 2, 3, 4][..]));
+        assert_eq!(arena.try_read(7, 5), None);
+        assert_eq!(arena.try_read(8, 1), None);
+        assert_eq!(arena.offset_of(7), Some(0));
+        assert_eq!(arena.offset_of(8), None);
     }
 }

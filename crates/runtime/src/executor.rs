@@ -13,6 +13,7 @@ use sod2_kernels::{
     execute_op_with_variants, fused::FusedStep, fused_elementwise, ConvParams, GemmParams,
     KernelError,
 };
+use sod2_mem::Arena;
 use sod2_mvc::VersionTable;
 use sod2_tensor::{Data, Tensor};
 use std::collections::{HashMap, HashSet};
@@ -48,6 +49,9 @@ pub enum ExecError {
     BadInputs(String),
     /// Control flow was malformed at runtime (bad selector, dead output).
     ControlFlow(String),
+    /// Arena-backed memory was corrupted (an unsound offset plan aliased
+    /// two simultaneously live tensors).
+    Memory(String),
 }
 
 impl fmt::Display for ExecError {
@@ -56,6 +60,7 @@ impl fmt::Display for ExecError {
             ExecError::Kernel(e) => write!(f, "kernel error: {e}"),
             ExecError::BadInputs(s) => write!(f, "bad inputs: {s}"),
             ExecError::ControlFlow(s) => write!(f, "control flow: {s}"),
+            ExecError::Memory(s) => write!(f, "memory: {s}"),
         }
     }
 }
@@ -84,6 +89,96 @@ pub struct RunOutcome {
     pub concrete_shapes: HashMap<TensorId, Vec<usize>>,
     /// How many `Switch` branches executed (live + dead-but-executed).
     pub branches_executed: usize,
+    /// How many materialized intermediates were served from the arena slab
+    /// instead of the heap (always 0 without an [`ArenaBacking`]).
+    pub arena_backed: usize,
+}
+
+/// Pre-planned arena memory handed to [`execute_with_arena`].
+///
+/// `sizes` holds the exact byte size the offset plan assumed for each
+/// planned tensor key ([`MemoryPlan`](sod2_mem::MemoryPlan) stores only
+/// offsets): the executor arena-backs a tensor only when its runtime size
+/// matches the planned size exactly, falling back to the heap otherwise —
+/// so a stale or partial plan degrades gracefully instead of corrupting
+/// memory.
+pub struct ArenaBacking<'a> {
+    /// The slab, already reset to the current inference's plan.
+    pub arena: &'a mut Arena,
+    /// Planned byte size per tensor key (`TensorId.0 as usize`).
+    pub sizes: &'a HashMap<usize, usize>,
+}
+
+/// Copies a freshly produced tensor into its planned arena slot. Returns
+/// `true` when the tensor is now arena-backed, `false` when the executor
+/// must treat it as a heap allocation (no backing, unplanned key, or a
+/// size mismatch against the plan).
+fn arena_install(
+    backing: &mut Option<ArenaBacking<'_>>,
+    planned: &mut HashSet<usize>,
+    t: TensorId,
+    tensor: &Tensor,
+) -> bool {
+    let Some(b) = backing.as_mut() else {
+        return false;
+    };
+    let key = t.0 as usize;
+    if b.sizes.get(&key) != Some(&tensor.byte_size()) {
+        return false;
+    }
+    if b.arena.try_write(key, &tensor.payload_le_bytes()) {
+        planned.insert(key);
+        true
+    } else {
+        false
+    }
+}
+
+/// Decrements the remaining-use counts of a node's inputs, releasing slots
+/// whose uses are exhausted. Arena-backed tensors are readback-verified at
+/// death: their slab bytes must still equal the tensor payload, otherwise
+/// the offset plan aliased two live tensors and the run is corrupt.
+#[allow(clippy::too_many_arguments)]
+fn release_inputs(
+    graph: &Graph,
+    node_inputs: &[TensorId],
+    internal: &HashSet<TensorId>,
+    remaining_uses: &mut HashMap<TensorId, usize>,
+    env: &mut [Slot],
+    live_bytes: &mut usize,
+    planned: &mut HashSet<usize>,
+    backing: &Option<ArenaBacking<'_>>,
+) -> Result<(), ExecError> {
+    for &t in node_inputs {
+        let uses = remaining_uses.get_mut(&t).expect("tracked tensor");
+        *uses = uses.saturating_sub(1);
+        if *uses == 0 {
+            let key = t.0 as usize;
+            if planned.remove(&key) {
+                if let (Slot::Live(ten), Some(b)) = (&env[key], backing.as_ref()) {
+                    let want = ten.payload_le_bytes();
+                    if b.arena.try_read(key, want.len()) != Some(want.as_slice()) {
+                        return Err(ExecError::Memory(format!(
+                            "arena slot for tensor {t} was clobbered while live"
+                        )));
+                    }
+                }
+            }
+            let is_intermediate = graph.producer(t).is_some() && !internal.contains(&t);
+            if is_intermediate {
+                if let Slot::Live(ten) = &env[key] {
+                    *live_bytes = live_bytes.saturating_sub(ten.byte_size());
+                }
+            }
+            if !graph.outputs().contains(&t) {
+                env[key] = match env[key] {
+                    Slot::Dead => Slot::Dead,
+                    _ => Slot::Missing,
+                };
+            }
+        }
+    }
+    Ok(())
 }
 
 #[derive(Clone)]
@@ -120,6 +215,27 @@ pub fn execute(
     graph: &Graph,
     inputs: &[Tensor],
     cfg: &ExecConfig<'_>,
+) -> Result<RunOutcome, ExecError> {
+    execute_with_arena(graph, inputs, cfg, None)
+}
+
+/// [`execute`] with intermediate tensors served from a pre-planned arena
+/// slab (the paper's §4.4.1 operator-determined memory planning made
+/// operational): each planned tensor's payload lives at its plan offset,
+/// and only tensors the plan could not cover (unresolved `nac` sizes,
+/// size mismatches) fall back to heap allocations — the dynamic residue
+/// reported in [`RunOutcome::alloc_sizes`].
+///
+/// # Errors
+///
+/// In addition to [`execute`]'s errors, returns [`ExecError::Memory`] when
+/// readback verification detects that the plan aliased two simultaneously
+/// live tensors.
+pub fn execute_with_arena(
+    graph: &Graph,
+    inputs: &[Tensor],
+    cfg: &ExecConfig<'_>,
+    mut backing: Option<ArenaBacking<'_>>,
 ) -> Result<RunOutcome, ExecError> {
     if inputs.len() != graph.inputs().len() {
         return Err(ExecError::BadInputs(format!(
@@ -191,6 +307,9 @@ pub fn execute(
     let mut alloc_sizes = Vec::new();
     let mut concrete_shapes: HashMap<TensorId, Vec<usize>> = HashMap::new();
     let mut branches_executed = 0usize;
+    // Keys currently arena-backed (removed at death after verification).
+    let mut planned: HashSet<usize> = HashSet::new();
+    let mut arena_backed = 0usize;
     // Accumulated per-group cost (flops only; bytes use external I/O).
     let mut group_flops: HashMap<usize, f64> = HashMap::new();
     let mut group_ops: HashMap<usize, usize> = HashMap::new();
@@ -286,7 +405,11 @@ pub fn execute(
                         concrete_shapes.insert(t, tensor.shape().to_vec());
                         let b = tensor.byte_size();
                         live_bytes += b;
-                        alloc_sizes.push(b);
+                        if arena_install(&mut backing, &mut planned, t, &tensor) {
+                            arena_backed += 1;
+                        } else {
+                            alloc_sizes.push(b);
+                        }
                         peak = peak.max(live_bytes);
                         env[t.0 as usize] = Slot::Live(tensor);
                     }
@@ -305,24 +428,16 @@ pub fn execute(
                 }
             }
             // Release inputs and retire the group-member counter.
-            for &t in node.inputs.iter() {
-                let uses = remaining_uses.get_mut(&t).expect("tracked tensor");
-                *uses = uses.saturating_sub(1);
-                if *uses == 0 {
-                    let is_intermediate = graph.producer(t).is_some() && !internal.contains(&t);
-                    if is_intermediate {
-                        if let Slot::Live(ten) = &env[t.0 as usize] {
-                            live_bytes = live_bytes.saturating_sub(ten.byte_size());
-                        }
-                    }
-                    if !graph.outputs().contains(&t) {
-                        env[t.0 as usize] = match env[t.0 as usize] {
-                            Slot::Dead => Slot::Dead,
-                            _ => Slot::Missing,
-                        };
-                    }
-                }
-            }
+            release_inputs(
+                graph,
+                &node.inputs,
+                &internal,
+                &mut remaining_uses,
+                &mut env,
+                &mut live_bytes,
+                &mut planned,
+                &backing,
+            )?;
             let left = group_members_left.get_mut(&gid).expect("member counted");
             *left -= 1;
             continue;
@@ -405,7 +520,11 @@ pub fn execute(
                     if materialized {
                         let b = tensor.byte_size();
                         live_bytes += b;
-                        alloc_sizes.push(b);
+                        if arena_install(&mut backing, &mut planned, t, &tensor) {
+                            arena_backed += 1;
+                        } else {
+                            alloc_sizes.push(b);
+                        }
                         peak = peak.max(live_bytes);
                     }
                     env[t.0 as usize] = Slot::Live(tensor);
@@ -417,24 +536,16 @@ pub fn execute(
         }
 
         // Release inputs whose uses are exhausted.
-        for &t in node.inputs.iter() {
-            let uses = remaining_uses.get_mut(&t).expect("tracked tensor");
-            *uses = uses.saturating_sub(1);
-            if *uses == 0 {
-                let is_intermediate = graph.producer(t).is_some() && !internal.contains(&t);
-                if is_intermediate {
-                    if let Slot::Live(ten) = &env[t.0 as usize] {
-                        live_bytes = live_bytes.saturating_sub(ten.byte_size());
-                    }
-                }
-                if !graph.outputs().contains(&t) {
-                    env[t.0 as usize] = match env[t.0 as usize] {
-                        Slot::Dead => Slot::Dead,
-                        _ => Slot::Missing,
-                    };
-                }
-            }
-        }
+        release_inputs(
+            graph,
+            &node.inputs,
+            &internal,
+            &mut remaining_uses,
+            &mut env,
+            &mut live_bytes,
+            &mut planned,
+            &backing,
+        )?;
 
         // Emit the group kernel event when its last member retires.
         let left = group_members_left.get_mut(&gid).expect("member counted");
@@ -457,7 +568,34 @@ pub fn execute(
     let mut outputs = Vec::with_capacity(graph.outputs().len());
     for &t in graph.outputs() {
         match &env[t.0 as usize] {
-            Slot::Live(ten) => outputs.push(ten.clone()),
+            Slot::Live(ten) => {
+                let key = t.0 as usize;
+                // Arena-backed outputs are rebuilt from slab bytes: the
+                // caller observes exactly what the plan preserved, and any
+                // end-of-run clobbering surfaces as a Memory error here.
+                if planned.contains(&key) {
+                    let b = backing.as_ref().expect("planned implies backing");
+                    let bytes = b.arena.try_read(key, ten.byte_size()).ok_or_else(|| {
+                        ExecError::Memory(format!("arena slot for output {t} vanished"))
+                    })?;
+                    if bytes != ten.payload_le_bytes().as_slice() {
+                        return Err(ExecError::Memory(format!(
+                            "arena slot for output {t} was clobbered while live"
+                        )));
+                    }
+                    let label = match ten.data() {
+                        Data::F32(_) => "f32",
+                        Data::I64(_) => "i64",
+                        Data::Bool(_) => "bool",
+                        Data::U8(_) => "u8",
+                    };
+                    let rebuilt = Tensor::from_payload_le(ten.shape(), label, bytes)
+                        .map_err(|e| ExecError::Memory(format!("rebuild output {t}: {e}")))?;
+                    outputs.push(rebuilt);
+                } else {
+                    outputs.push(ten.clone());
+                }
+            }
             _ => {
                 return Err(ExecError::ControlFlow(format!(
                     "graph output {t} was never produced (dead branch?)"
@@ -472,6 +610,7 @@ pub fn execute(
         alloc_sizes,
         concrete_shapes,
         branches_executed,
+        arena_backed,
     })
 }
 

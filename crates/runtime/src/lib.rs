@@ -34,6 +34,6 @@ mod executor;
 pub mod passes;
 mod trace;
 
-pub use executor::{execute, ExecConfig, ExecError, RunOutcome};
+pub use executor::{execute, execute_with_arena, ArenaBacking, ExecConfig, ExecError, RunOutcome};
 pub use passes::{eliminate_dead_nodes, fold_constants, PassStats};
 pub use trace::{ExecutionTrace, LatencyBreakdown, TraceEvent};

@@ -309,3 +309,152 @@ fn three_way_switch_routes_correctly() {
         assert_eq!(out.branches_executed, 1);
     }
 }
+
+#[test]
+fn arena_backing_shrinks_alloc_stream_and_matches_heap() {
+    use sod2_mem::{Arena, MemoryPlan};
+    use sod2_runtime::{execute_with_arena, ArenaBacking};
+    use std::collections::HashMap;
+
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    let a = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+    let b = g.add_simple("exp", Op::Unary(UnaryOp::Exp), &[a], DType::F32);
+    let c = g.add_simple("neg", Op::Unary(UnaryOp::Neg), &[b], DType::F32);
+    g.mark_output(c);
+    let inputs = [Tensor::from_f32(&[4], vec![-2.0, -0.5, 0.5, 3.0])];
+
+    let heap = execute(&g, &inputs, &ExecConfig::default()).expect("heap run");
+    assert_eq!(heap.alloc_sizes.len(), 3);
+    assert_eq!(heap.arena_backed, 0);
+
+    // Every intermediate gets a private 16-byte slot.
+    let keys = [a.0 as usize, b.0 as usize, c.0 as usize];
+    let plan = MemoryPlan {
+        offsets: keys.iter().enumerate().map(|(i, &k)| (k, i * 16)).collect(),
+        peak: 48,
+    };
+    let sizes: HashMap<usize, usize> = keys.iter().map(|&k| (k, 16)).collect();
+    let mut arena = Arena::new(plan);
+    let backing = ArenaBacking {
+        arena: &mut arena,
+        sizes: &sizes,
+    };
+    let run =
+        execute_with_arena(&g, &inputs, &ExecConfig::default(), Some(backing)).expect("arena run");
+    assert!(run.alloc_sizes.is_empty(), "all intermediates planned");
+    assert_eq!(run.arena_backed, 3);
+    assert_eq!(
+        run.outputs[0].payload_le_bytes(),
+        heap.outputs[0].payload_le_bytes(),
+        "arena-served output must match the heap run bitwise"
+    );
+}
+
+#[test]
+fn arena_size_mismatch_falls_back_to_heap() {
+    use sod2_mem::{Arena, MemoryPlan};
+    use sod2_runtime::{execute_with_arena, ArenaBacking};
+    use std::collections::HashMap;
+
+    let g = relu_chain(1);
+    let t_out = *g.outputs().first().expect("one output");
+    let plan = MemoryPlan {
+        offsets: [(t_out.0 as usize, 0usize)].into_iter().collect(),
+        peak: 8,
+    };
+    // The plan believed the tensor was 8 bytes; at runtime it is 16.
+    let sizes: HashMap<usize, usize> = [(t_out.0 as usize, 8usize)].into_iter().collect();
+    let mut arena = Arena::new(plan);
+    let backing = ArenaBacking {
+        arena: &mut arena,
+        sizes: &sizes,
+    };
+    let run = execute_with_arena(
+        &g,
+        &[Tensor::from_f32(&[4], vec![1.0, 2.0, 3.0, 4.0])],
+        &ExecConfig::default(),
+        Some(backing),
+    )
+    .expect("run");
+    assert_eq!(run.arena_backed, 0);
+    assert_eq!(
+        run.alloc_sizes,
+        vec![16],
+        "mismatched tensor heap-allocated"
+    );
+    assert_eq!(run.outputs[0].as_f32().expect("f32"), &[1.0, 2.0, 3.0, 4.0]);
+}
+
+#[test]
+fn arena_aliasing_of_live_tensors_is_detected() {
+    use sod2_mem::{Arena, MemoryPlan};
+    use sod2_runtime::{execute_with_arena, ArenaBacking, ExecError};
+    use std::collections::HashMap;
+
+    // a and b are simultaneously live (both feed the add); an unsound
+    // plan placing them at the same offset must be caught by readback
+    // verification, not silently corrupt the result.
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    let a = g.add_simple("relu", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+    let b = g.add_simple("exp", Op::Unary(UnaryOp::Exp), &[x], DType::F32);
+    let c = g.add_simple("add", Op::Binary(BinaryOp::Add), &[a, b], DType::F32);
+    g.mark_output(c);
+
+    let plan = MemoryPlan {
+        offsets: [(a.0 as usize, 0usize), (b.0 as usize, 0usize)]
+            .into_iter()
+            .collect(),
+        peak: 16,
+    };
+    let sizes: HashMap<usize, usize> = [(a.0 as usize, 16usize), (b.0 as usize, 16usize)]
+        .into_iter()
+        .collect();
+    let mut arena = Arena::new(plan);
+    let backing = ArenaBacking {
+        arena: &mut arena,
+        sizes: &sizes,
+    };
+    let err = execute_with_arena(
+        &g,
+        &[Tensor::from_f32(&[4], vec![1.0, 2.0, 3.0, 4.0])],
+        &ExecConfig::default(),
+        Some(backing),
+    )
+    .expect_err("aliasing plan must fail");
+    assert!(
+        matches!(err, ExecError::Memory(_)),
+        "expected Memory error, got: {err}"
+    );
+}
+
+#[test]
+fn control_flow_passthrough_shares_payloads() {
+    // Switch and Combine route tensors without computing: with Arc-shared
+    // payloads the routed output is the same allocation as the input, not
+    // a deep copy.
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![3.into()]);
+    let sel = g.add_input("sel", DType::I64, vec![1.into()]);
+    let br = g.add_node("sw", Op::Switch { num_branches: 2 }, &[x, sel], DType::F32);
+    let y = g.add_simple(
+        "cmb",
+        Op::Combine { num_branches: 2 },
+        &[br[0], br[1], sel],
+        DType::F32,
+    );
+    g.mark_output(y);
+
+    let x_val = Tensor::from_f32(&[3], vec![1.0, 2.0, 3.0]);
+    let out = execute(
+        &g,
+        &[x_val.clone(), Tensor::from_i64(&[1], vec![0])],
+        &ExecConfig::default(),
+    )
+    .expect("run");
+    assert!(
+        out.outputs[0].shares_payload(&x_val),
+        "pass-through output must share the input's payload"
+    );
+}

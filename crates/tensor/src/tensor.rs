@@ -1,6 +1,7 @@
 //! The dense tensor type.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Typed payload of a [`Tensor`].
 #[derive(Debug, Clone, PartialEq)]
@@ -76,10 +77,14 @@ impl fmt::Display for TensorError {
 impl std::error::Error for TensorError {}
 
 /// A dense row-major tensor.
+///
+/// The payload is reference-counted: `Clone` is O(1) and shares the
+/// underlying buffer, so pass-through operators (Identity, Switch,
+/// Combine) and metadata-only views never deep-copy element data.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
-    data: Data,
+    data: Arc<Data>,
 }
 
 impl Tensor {
@@ -99,7 +104,7 @@ impl Tensor {
         }
         Ok(Tensor {
             shape: shape.to_vec(),
-            data,
+            data: Arc::new(data),
         })
     }
 
@@ -177,9 +182,88 @@ impl Tensor {
         &self.data
     }
 
+    /// `true` when both tensors share the same payload allocation
+    /// (i.e. one is a zero-copy clone/view of the other).
+    pub fn shares_payload(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Serializes the payload as little-endian bytes (row-major element
+    /// order; `bool` as one `0`/`1` byte each). The length always equals
+    /// [`Tensor::byte_size`].
+    pub fn payload_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_size());
+        match &*self.data {
+            Data::F32(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Data::I64(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Data::Bool(v) => out.extend(v.iter().map(|&b| u8::from(b))),
+            Data::U8(v) => out.extend_from_slice(v),
+        }
+        out
+    }
+
+    /// Reconstructs a tensor from little-endian payload bytes produced by
+    /// [`Tensor::payload_le_bytes`]. `dtype` is a [`Tensor::dtype_name`]
+    /// label.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::ShapeMismatch`] when the byte length does not match
+    /// the shape/dtype, or [`TensorError::DTypeMismatch`] for an unknown
+    /// dtype label.
+    pub fn from_payload_le(
+        shape: &[usize],
+        dtype: &str,
+        bytes: &[u8],
+    ) -> Result<Tensor, TensorError> {
+        let n: usize = shape.iter().product();
+        let elem = match dtype {
+            "f32" => 4,
+            "i64" => 8,
+            "bool" | "u8" => 1,
+            _ => {
+                return Err(TensorError::DTypeMismatch {
+                    expected: "f32|i64|bool|u8",
+                    actual: "unknown",
+                })
+            }
+        };
+        if bytes.len() != n * elem {
+            return Err(TensorError::ShapeMismatch {
+                expected: n * elem,
+                actual: bytes.len(),
+            });
+        }
+        let data = match dtype {
+            "f32" => Data::F32(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect(),
+            ),
+            "i64" => Data::I64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+                    .collect(),
+            ),
+            "bool" => Data::Bool(bytes.iter().map(|&b| b != 0).collect()),
+            _ => Data::U8(bytes.to_vec()),
+        };
+        Tensor::new(shape, data)
+    }
+
     /// Short dtype label.
     pub fn dtype_name(&self) -> &'static str {
-        match self.data {
+        match *self.data {
             Data::F32(_) => "f32",
             Data::I64(_) => "i64",
             Data::Bool(_) => "bool",
@@ -193,7 +277,7 @@ impl Tensor {
     ///
     /// [`TensorError::DTypeMismatch`] when the tensor is not `f32`.
     pub fn as_f32(&self) -> Result<&[f32], TensorError> {
-        match &self.data {
+        match &*self.data {
             Data::F32(v) => Ok(v),
             _ => Err(TensorError::DTypeMismatch {
                 expected: "f32",
@@ -208,7 +292,7 @@ impl Tensor {
     ///
     /// [`TensorError::DTypeMismatch`] when the tensor is not `i64`.
     pub fn as_i64(&self) -> Result<&[i64], TensorError> {
-        match &self.data {
+        match &*self.data {
             Data::I64(v) => Ok(v),
             _ => Err(TensorError::DTypeMismatch {
                 expected: "i64",
@@ -223,7 +307,7 @@ impl Tensor {
     ///
     /// [`TensorError::DTypeMismatch`] when the tensor is not `bool`.
     pub fn as_bool(&self) -> Result<&[bool], TensorError> {
-        match &self.data {
+        match &*self.data {
             Data::Bool(v) => Ok(v),
             _ => Err(TensorError::DTypeMismatch {
                 expected: "bool",
@@ -252,7 +336,7 @@ impl Tensor {
         if self.shape != other.shape {
             return false;
         }
-        match (&self.data, &other.data) {
+        match (&*self.data, &*other.data) {
             (Data::F32(a), Data::F32(b)) => a
                 .iter()
                 .zip(b)

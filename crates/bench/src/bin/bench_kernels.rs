@@ -167,6 +167,9 @@ struct ExecEntry {
     arena_alloc_events: usize,
     heap_alloc_events: usize,
     arena_backed: usize,
+    /// Fraction of arena-path inference wall time inside kernel spans
+    /// (`sod2-obs`); informational, not gated.
+    kernel_coverage: f64,
 }
 
 impl ExecEntry {
@@ -175,7 +178,8 @@ impl ExecEntry {
             concat!(
                 "    {{\"model\": \"{}\", \"arena_wall_secs\": {:.6}, ",
                 "\"heap_wall_secs\": {:.6}, \"arena_alloc_events\": {}, ",
-                "\"heap_alloc_events\": {}, \"arena_backed\": {}}}"
+                "\"heap_alloc_events\": {}, \"arena_backed\": {}, ",
+                "\"kernel_coverage\": {:.4}}}"
             ),
             self.model,
             self.arena_wall_secs,
@@ -183,6 +187,7 @@ impl ExecEntry {
             self.arena_alloc_events,
             self.heap_alloc_events,
             self.arena_backed,
+            self.kernel_coverage,
         )
     }
 }
@@ -212,6 +217,22 @@ fn exec_entries() -> Vec<ExecEntry> {
             }
             (secs, stats)
         };
+        // Profile the arena path once (after the timed runs, so the probes
+        // cannot perturb the wallclock numbers) for kernel-span coverage.
+        let kernel_coverage = {
+            let _session = sod2_obs::session_guard();
+            sod2_obs::set_enabled(true);
+            sod2_obs::begin();
+            let _ = run(true);
+            let prof = sod2_obs::take();
+            sod2_obs::set_enabled(false);
+            let infer_ns = prof.cat_total_ns("infer");
+            if infer_ns > 0 {
+                prof.cat_total_ns("kernel") as f64 / infer_ns as f64
+            } else {
+                0.0
+            }
+        };
         let (arena_secs, arena_stats) = run(true);
         let (heap_secs, heap_stats) = run(false);
         out.push(ExecEntry {
@@ -221,6 +242,7 @@ fn exec_entries() -> Vec<ExecEntry> {
             arena_alloc_events: arena_stats.alloc_events,
             heap_alloc_events: heap_stats.alloc_events,
             arena_backed: arena_stats.arena_backed,
+            kernel_coverage,
         });
     }
     out

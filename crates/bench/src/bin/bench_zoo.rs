@@ -1,0 +1,182 @@
+//! Whole-zoo bench: one SoD2 engine per model, profiled with `sod2-obs`.
+//!
+//! `bench_zoo [--json [PATH]] [--iters N] [--scale tiny|full]` runs every
+//! zoo model at its mid-range input size and (with `--json`) writes
+//! `BENCH_zoo.json`. Per model it records:
+//!
+//! - the *deterministic* metrics the CI perf gate compares — `priced_ms`
+//!   (cost-model latency), `peak_memory_bytes`, `alloc_events`,
+//!   `arena_backed` — which are identical across hosts and runs, and
+//! - informational wallclock numbers — `wall_ms_best`, `kernel_ms`,
+//!   `kernel_coverage` (kernel-span wall over infer-span wall) — which the
+//!   gate ignores.
+//!
+//! Inputs are fixed (seed 42, mid-range size) so the gated numbers are
+//! reproducible bit-for-bit.
+
+use sod2_device::DeviceProfile;
+use sod2_frameworks::{Engine, Sod2Engine, Sod2Options};
+use sod2_models::{all_models, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
+use std::time::Instant;
+
+struct ZooEntry {
+    model: String,
+    size: usize,
+    priced_ms: f64,
+    peak_memory_bytes: usize,
+    alloc_events: usize,
+    arena_backed: usize,
+    wall_ms_best: f64,
+    kernel_ms: f64,
+    kernel_coverage: f64,
+}
+
+impl ZooEntry {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"model\": \"{}\", \"size\": {}, \"priced_ms\": {:.6}, ",
+                "\"peak_memory_bytes\": {}, \"alloc_events\": {}, ",
+                "\"arena_backed\": {}, \"wall_ms_best\": {:.4}, ",
+                "\"kernel_ms\": {:.4}, \"kernel_coverage\": {:.4}}}"
+            ),
+            self.model,
+            self.size,
+            self.priced_ms,
+            self.peak_memory_bytes,
+            self.alloc_events,
+            self.arena_backed,
+            self.wall_ms_best,
+            self.kernel_ms,
+            self.kernel_coverage,
+        )
+    }
+}
+
+fn measure(model: &sod2_models::DynModel, iters: usize) -> ZooEntry {
+    let size = {
+        let (lo, hi) = model.size_range();
+        model.round_size((lo + hi) / 2)
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+    let inputs = model.make_inputs(size, &mut rng);
+
+    let _session = sod2_obs::session_guard();
+    sod2_obs::set_enabled(true);
+    sod2_obs::begin();
+    let mut engine = Sod2Engine::new(
+        model.graph.clone(),
+        DeviceProfile::s888_cpu(),
+        Sod2Options::default(),
+        &Default::default(),
+    );
+    // Warmup: first inference pays DMP plan construction.
+    let mut stats = engine.infer(&inputs).expect("warmup infer");
+    let mut wall_best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        stats = engine.infer(&inputs).expect("infer");
+        wall_best = wall_best.min(t0.elapsed().as_secs_f64());
+    }
+    let prof = sod2_obs::take();
+    sod2_obs::set_enabled(false);
+
+    let infer_ns = prof.cat_total_ns("infer");
+    let kernel_ns = prof.cat_total_ns("kernel");
+    ZooEntry {
+        model: model.name.to_string(),
+        size,
+        priced_ms: stats.latency.total() * 1e3,
+        peak_memory_bytes: stats.peak_memory_bytes,
+        alloc_events: stats.alloc_events,
+        arena_backed: stats.arena_backed,
+        wall_ms_best: wall_best * 1e3,
+        kernel_ms: kernel_ns as f64 / 1e6,
+        kernel_coverage: if infer_ns > 0 {
+            kernel_ns as f64 / infer_ns as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|s| !s.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_zoo.json".to_string())
+    });
+    let iters: usize = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let scale = match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .or(std::env::var("SOD2_SCALE").ok().as_deref())
+    {
+        Some("full") => ModelScale::Full,
+        _ => ModelScale::Tiny,
+    };
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "bench_zoo: {} scale, {iters} iters/model, host cores {host_cores}",
+        match scale {
+            ModelScale::Tiny => "tiny",
+            ModelScale::Full => "full",
+        }
+    );
+
+    let mut entries = Vec::new();
+    for model in all_models(scale) {
+        let e = measure(&model, iters);
+        eprintln!(
+            "{:<24} size {:<3} priced {:>8.3} ms  peak {:>8.2} MB  \
+             allocs {:<4} slab {:<4} wall {:>7.3} ms  kernels {:>5.1}%",
+            e.model,
+            e.size,
+            e.priced_ms,
+            e.peak_memory_bytes as f64 / (1024.0 * 1024.0),
+            e.alloc_events,
+            e.arena_backed,
+            e.wall_ms_best,
+            e.kernel_coverage * 100.0,
+        );
+        entries.push(e);
+    }
+
+    if let Some(path) = json_path {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"scale\": \"{}\",\n  \"iters\": {iters},\n  \"host_cores\": {host_cores},\n",
+            match scale {
+                ModelScale::Tiny => "tiny",
+                ModelScale::Full => "full",
+            }
+        ));
+        s.push_str(concat!(
+            "  \"gated_basis\": \"priced_ms, peak_memory_bytes, alloc_events and ",
+            "arena_backed are deterministic (cost model + fixed seed 42 inputs) and ",
+            "gated by perf_gate; wall_ms_best, kernel_ms and kernel_coverage are ",
+            "host wallclock and informational only\",\n"
+        ));
+        s.push_str("  \"models\": [\n");
+        let rows: Vec<String> = entries.iter().map(ZooEntry::json).collect();
+        s.push_str(&rows.join(",\n"));
+        s.push_str("\n  ]\n}\n");
+        std::fs::write(&path, s).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

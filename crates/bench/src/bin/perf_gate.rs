@@ -1,0 +1,137 @@
+//! CI perf-regression gate binary.
+//!
+//! ```sh
+//! perf_gate --baseline BENCH_zoo.json --current target/ci/BENCH_zoo.json \
+//!           [--tol 0.10] [--label zoo]
+//! perf_gate --self-test
+//! ```
+//!
+//! Compares the deterministic metrics in two bench JSON files (see
+//! `sod2_bench::gate` for the metric table) and exits non-zero when any
+//! regresses beyond the tolerance (`--tol`, or `SOD2_BENCH_TOL`, default
+//! 10%). `--self-test` injects a synthetic ≥10% regression into a copy of
+//! the baseline and verifies the gate catches it — CI runs this so the gate
+//! itself cannot silently rot.
+
+use sod2_bench::gate;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tol = flag(&args, "--tol")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(gate::default_tolerance);
+
+    if args.iter().any(|a| a == "--self-test") {
+        self_test(&args, tol);
+        return;
+    }
+
+    let (Some(baseline), Some(current)) = (flag(&args, "--baseline"), flag(&args, "--current"))
+    else {
+        eprintln!(
+            "usage: perf_gate --baseline FILE --current FILE [--tol FRACTION] [--label NAME]\n\
+                    perf_gate --self-test [--baseline FILE]"
+        );
+        std::process::exit(2);
+    };
+    let label = flag(&args, "--label").unwrap_or_else(|| "bench".to_string());
+
+    match gate::compare_files(&baseline, &current, tol) {
+        Ok(report) => {
+            print!("{}", report.render(&label, tol));
+            if report.failed() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Verifies the gate's two required behaviours against a real baseline
+/// file: identical inputs pass, and a synthetic ≥10% regression on every
+/// gated higher-worse metric fails.
+fn self_test(args: &[String], tol: f64) {
+    let baseline = flag(args, "--baseline").unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let text = std::fs::read_to_string(&baseline).unwrap_or_else(|e| {
+        eprintln!("perf_gate --self-test: cannot read {baseline}: {e}");
+        std::process::exit(2);
+    });
+    let doc = sod2_obs::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perf_gate --self-test: cannot parse {baseline}: {e}");
+        std::process::exit(2);
+    });
+
+    let same = gate::compare(&doc, &doc, tol);
+    if same.failed() {
+        eprintln!("perf_gate --self-test: baseline does not pass against itself:");
+        print!("{}", same.render("self-test identity", tol));
+        std::process::exit(1);
+    }
+
+    // Inflate every gated higher-worse integer metric by 2x tolerance + 25%
+    // via a crude textual rewrite of the baseline, then require a failure.
+    let mut injected = text.clone();
+    let mut touched = 0usize;
+    for &(metric, dir) in gate::GATED_METRICS {
+        if dir != gate::Direction::HigherWorse {
+            continue;
+        }
+        let needle = format!("\"{metric}\":");
+        let mut out = String::with_capacity(injected.len());
+        let mut rest = injected.as_str();
+        while let Some(pos) = rest.find(&needle) {
+            let (head, tail) = rest.split_at(pos + needle.len());
+            out.push_str(head);
+            let val_len = tail
+                .char_indices()
+                .take_while(|(_, c)| !matches!(c, ',' | '}' | ']' | '\n'))
+                .last()
+                .map(|(i, c)| i + c.len_utf8())
+                .unwrap_or(0);
+            let (val, after) = tail.split_at(val_len);
+            if let Ok(x) = val.trim().parse::<f64>() {
+                let worse = x * (1.0 + tol * 2.0) + 1.0;
+                out.push_str(&format!(" {worse:.6}"));
+                touched += 1;
+            } else {
+                out.push_str(val);
+            }
+            rest = after;
+        }
+        out.push_str(rest);
+        injected = out;
+    }
+    if touched == 0 {
+        eprintln!("perf_gate --self-test: {baseline} contains no gated metrics to inflate");
+        std::process::exit(1);
+    }
+    let bad = sod2_obs::json::parse(&injected).unwrap_or_else(|e| {
+        eprintln!("perf_gate --self-test: injected rewrite produced invalid JSON: {e}");
+        std::process::exit(1);
+    });
+    let report = gate::compare(&doc, &bad, tol);
+    if !report.failed() {
+        eprintln!(
+            "perf_gate --self-test: synthetic regression ({touched} metrics inflated) \
+             was NOT caught:"
+        );
+        print!("{}", report.render("self-test injection", tol));
+        std::process::exit(1);
+    }
+    println!(
+        "perf_gate --self-test: ok — identity passes, synthetic regression on \
+         {touched} metric value(s) caught ({} regressions flagged, tol {:.0}%)",
+        report.regressions(),
+        tol * 100.0
+    );
+}

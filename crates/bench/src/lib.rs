@@ -11,6 +11,8 @@
 //!   runs), also settable via the `SOD2_SCALE` environment variable,
 //! - `--seed S` — RNG seed (default 42).
 
+pub mod gate;
+
 use sod2_device::DeviceProfile;
 use sod2_frameworks::{
     Engine, MnnLike, OrtLike, Sod2Engine, Sod2Options, TfLiteLike, TvmNimbleLike,

@@ -4,8 +4,15 @@
 //! sod2-cli list
 //! sod2-cli analyze  <model> [--scale tiny|full] [--json]
 //! sod2-cli run      <model> [--size N] [--device s888-cpu|s888-gpu|s835-cpu|s835-gpu]
+//! sod2-cli profile  <model> [--iters N] [--json | --chrome-trace PATH]
 //! sod2-cli compare  <model> [--samples N]
 //! ```
+//!
+//! `profile` compiles the model with the `sod2-obs` probes enabled, runs
+//! `--iters` inferences, and reports where wall-clock time went: compile
+//! stages, per-operator kernel spans, pool and memory phases, counters.
+//! `--chrome-trace` writes a Chrome `trace_event` file loadable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
 //! `analyze` runs the full `sod2-analysis` diagnostic suite (IR lints, RDP
 //! cross-validation against a concrete execution, plan and memory-plan
@@ -25,13 +32,14 @@ fn main() {
         "list" => list(),
         "analyze" => analyze(&args),
         "run" => run(&args),
+        "profile" => profile_cmd(&args),
         "compare" => compare(&args),
         "export" => export(&args),
         _ => {
             eprintln!(
-                "usage: sod2-cli <list|analyze|run|compare|export> [model] \
+                "usage: sod2-cli <list|analyze|run|profile|compare|export> [model] \
                  [--scale tiny|full] [--size N] [--samples N] [--device NAME] \
-                 [--out FILE]"
+                 [--iters N] [--json] [--chrome-trace FILE] [--out FILE]"
             );
             std::process::exit(2);
         }
@@ -210,6 +218,120 @@ fn run(args: &[String]) {
         Err(e) => {
             eprintln!("inference failed: {e}");
             std::process::exit(1);
+        }
+    }
+}
+
+fn profile_cmd(args: &[String]) {
+    let scale = scale_of(args);
+    let model = model_of(args, scale);
+    let profile = device_of(args);
+    let iters: usize = flag(args, "--iters")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+        .max(1);
+    let size = flag(args, "--size")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            let (lo, hi) = model.size_range();
+            (lo + hi) / 2
+        });
+    let json = args.iter().any(|a| a == "--json");
+    let chrome = flag(args, "--chrome-trace");
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let inputs = model.make_inputs(size, &mut rng);
+
+    // Hold the session lock for the whole measured region so concurrent
+    // users of the process-global collector cannot interleave.
+    let _session = sod2_obs::session_guard();
+    sod2_obs::set_enabled(true);
+    sod2_obs::begin();
+    let mut engine = Sod2Engine::new(
+        model.graph.clone(),
+        profile.clone(),
+        Sod2Options::default(),
+        &Default::default(),
+    );
+    let mut last_stats = None;
+    for _ in 0..iters {
+        match engine.infer(&inputs) {
+            Ok(stats) => last_stats = Some(stats),
+            Err(e) => {
+                eprintln!("inference failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let prof = sod2_obs::take();
+    sod2_obs::set_enabled(false);
+
+    let stats = last_stats.expect("at least one iteration ran");
+    let infer_ns = prof.cat_total_ns("infer");
+    let kernel_ns = prof.cat_total_ns("kernel");
+    let coverage = if infer_ns > 0 {
+        kernel_ns as f64 / infer_ns as f64
+    } else {
+        0.0
+    };
+
+    if let Some(path) = &chrome {
+        if let Err(e) = std::fs::write(path, prof.render_chrome_trace()) {
+            eprintln!("failed to write chrome trace to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if json {
+        // Wrap the profile JSON with run metadata so downstream tools get
+        // a single self-describing document.
+        println!(
+            "{{\n  \"model\": \"{}\",\n  \"device\": \"{}\",\n  \"size\": {},\n  \
+             \"iters\": {},\n  \"priced_ms\": {:.6},\n  \"peak_memory_bytes\": {},\n  \
+             \"kernel_coverage\": {:.4},\n  \"profile\": {}\n}}",
+            model.name,
+            profile.name,
+            model.round_size(size),
+            iters,
+            stats.latency.total() * 1e3,
+            stats.peak_memory_bytes,
+            coverage,
+            prof.render_json()
+        );
+    } else {
+        println!(
+            "model    : {} @ size {} ({} layers)",
+            model.name,
+            model.round_size(size),
+            model.layer_count()
+        );
+        println!("device   : {}", profile.name);
+        println!("iters    : {iters}");
+        println!(
+            "priced   : {:.3} ms/inference (deterministic cost model)",
+            stats.latency.total() * 1e3
+        );
+        println!(
+            "compile  : {:.3} ms wall ({} stage spans)",
+            prof.cat_total_ns("compile") as f64 / 1e6,
+            prof.cat_count("stage")
+        );
+        println!(
+            "infer    : {:.3} ms wall across {} inferences",
+            infer_ns as f64 / 1e6,
+            prof.cat_count("infer")
+        );
+        println!(
+            "kernels  : {:.3} ms wall in {} spans ({:.1}% of infer wall)",
+            kernel_ns as f64 / 1e6,
+            prof.cat_count("kernel"),
+            coverage * 100.0
+        );
+        println!();
+        print!("{}", prof.render_text());
+        if let Some(path) = &chrome {
+            println!();
+            println!("chrome trace written to {path} (open in ui.perfetto.dev)");
         }
     }
 }

@@ -97,13 +97,27 @@ impl Sod2Engine {
         opts: Sod2Options,
         repr_bindings: &Bindings,
     ) -> Self {
+        let _compile_span = sod2_obs::span!("compile", "Sod2Engine::new");
         // General static optimizations first (the paper's baseline already
         // includes constant folding): fold + prune, then analyze.
-        let (graph, _pass_stats) = sod2_runtime::fold_constants(&graph);
-        let rdp = analyze(&graph);
-        let fusion_plan = fuse(&graph, &rdp, opts.fusion);
-        let unit_graph = UnitGraph::build(&graph, &fusion_plan);
-        let partitions = partition_units(&graph, &rdp, &fusion_plan, &unit_graph);
+        let (graph, _pass_stats) = {
+            let _s = sod2_obs::span!("stage", "fold_constants");
+            sod2_runtime::fold_constants(&graph)
+        };
+        let rdp = {
+            let _s = sod2_obs::span!("stage", "rdp_solve");
+            analyze(&graph)
+        };
+        let fusion_plan = {
+            let _s = sod2_obs::span!("stage", "fusion");
+            fuse(&graph, &rdp, opts.fusion)
+        };
+        let (unit_graph, partitions) = {
+            let _s = sod2_obs::span!("stage", "partition");
+            let unit_graph = UnitGraph::build(&graph, &fusion_plan);
+            let partitions = partition_units(&graph, &rdp, &fusion_plan, &unit_graph);
+            (unit_graph, partitions)
+        };
         // Representative sizes for order planning: symbolic byte counts
         // evaluated at the provided bindings, unspecified symbols at a
         // moderate default so relative magnitudes stay meaningful.
@@ -114,6 +128,7 @@ impl Sod2Engine {
                 .map(|b| b.max(0) as usize)
                 .unwrap_or(4096)
         };
+        let sep_span = sod2_obs::span!("stage", "sep_plan");
         let unit_order = if opts.sep {
             let planned = plan_order(
                 &graph,
@@ -165,7 +180,9 @@ impl Sod2Engine {
             .iter()
             .flat_map(|&u| unit_graph.units[u].nodes.iter().copied())
             .collect();
+        drop(sep_span);
         let table = if opts.mvc {
+            let _s = sod2_obs::span!("stage", "mvc_tune");
             Some(VersionTable::tune(&profile, 0xC0DE))
         } else {
             None
@@ -251,7 +268,12 @@ impl Sod2Engine {
         &mut self,
         inputs: &[Tensor],
     ) -> Result<(InferenceStats, MemoryPlan), ExecError> {
-        let bindings = bindings_from_inputs(&self.graph, inputs).map_err(ExecError::BadInputs)?;
+        let _infer_span = sod2_obs::span!("infer", "Sod2Engine::infer");
+        sod2_obs::counter_add("infer.count", 1);
+        let bindings = {
+            let _s = sod2_obs::span!("phase", "bindings");
+            bindings_from_inputs(&self.graph, inputs).map_err(ExecError::BadInputs)?
+        };
         let cfg = ExecConfig {
             fusion: Some(&self.fusion_plan),
             node_order: Some(&self.node_order),
@@ -266,6 +288,7 @@ impl Sod2Engine {
         // (`nac`) get size 0 here, drop out of the plan, and are heap
         // allocated by the executor: the dynamic residue.
         let arena_on = self.opts.dmp && self.opts.arena_exec;
+        let dmp_span = sod2_obs::span!("phase", "dmp_pre_plan");
         let pre_lives: Vec<TensorLife> = if arena_on {
             let size_of = |t: TensorId| -> usize {
                 self.rdp
@@ -282,20 +305,31 @@ impl Sod2Engine {
             Vec::new()
         };
         let pre_sizes: HashMap<usize, usize> = pre_lives.iter().map(|l| (l.key, l.size)).collect();
-        let outcome = if arena_on {
+        let backing = if arena_on {
             let pre_plan = plan_sod2(&pre_lives);
             match &mut self.arena {
                 Some(a) => a.reset(pre_plan),
                 slot => *slot = Some(Arena::new(pre_plan)),
             }
-            let backing = ArenaBacking {
-                arena: self.arena.as_mut().expect("arena just installed"),
+            let arena = self.arena.as_mut().expect("arena just installed");
+            sod2_obs::gauge_max("mem.arena_capacity_bytes", arena.capacity() as u64);
+            Some(ArenaBacking {
+                arena,
                 sizes: &pre_sizes,
-            };
-            execute_with_arena(&self.graph, inputs, &cfg, Some(backing))?
+            })
         } else {
-            execute(&self.graph, inputs, &cfg)?
+            None
         };
+        drop(dmp_span);
+        let outcome = {
+            let _s = sod2_obs::span!("phase", "execute");
+            if let Some(backing) = backing {
+                execute_with_arena(&self.graph, inputs, &cfg, Some(backing))?
+            } else {
+                execute(&self.graph, inputs, &cfg)?
+            }
+        };
+        let post_span = sod2_obs::span!("phase", "dmp_post_plan");
         let lives = self.observed_lifetimes(&outcome);
         // Dynamic memory planning (§4.4.1): with DMP the offset plan packs
         // tensors into one arena; without it the engine falls back to a
@@ -308,6 +342,8 @@ impl Sod2Engine {
             p.peak = size_class_peak(&lives);
             p
         };
+        drop(post_span);
+        sod2_obs::gauge_max("mem.plan_peak_bytes", plan.peak as u64);
         // Debug-mode verification: RDP's predictions must agree with what
         // execution observed, and the offset plan must be sound.
         #[cfg(debug_assertions)]
@@ -360,7 +396,10 @@ impl Sod2Engine {
                 trace.push(TraceEvent::Alloc { bytes: b });
             }
         }
-        let latency = trace.price(&self.profile);
+        let latency = {
+            let _s = sod2_obs::span!("phase", "price_trace");
+            trace.price(&self.profile)
+        };
         Ok((
             InferenceStats {
                 outputs: outcome.outputs,

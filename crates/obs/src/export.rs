@@ -1,0 +1,312 @@
+//! Profile exporters: human text, machine JSON, and Chrome `trace_event`.
+
+use crate::{Profile, SpanRec};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Aggregate of all spans sharing one `(cat, name)` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanAgg {
+    /// Category.
+    pub cat: String,
+    /// Span name.
+    pub name: String,
+    /// Number of occurrences.
+    pub count: usize,
+    /// Summed duration.
+    pub total_ns: u64,
+    /// Shortest occurrence.
+    pub min_ns: u64,
+    /// Longest occurrence.
+    pub max_ns: u64,
+}
+
+/// Groups spans by `(cat, name)`, longest total first.
+pub fn aggregate(spans: &[SpanRec]) -> Vec<SpanAgg> {
+    let mut by_key: BTreeMap<(&str, &str), SpanAgg> = BTreeMap::new();
+    for s in spans {
+        let e = by_key
+            .entry((s.cat, s.name.as_str()))
+            .or_insert_with(|| SpanAgg {
+                cat: s.cat.to_string(),
+                name: s.name.clone(),
+                count: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            });
+        e.count += 1;
+        e.total_ns += s.dur_ns;
+        e.min_ns = e.min_ns.min(s.dur_ns);
+        e.max_ns = e.max_ns.max(s.dur_ns);
+    }
+    let mut out: Vec<SpanAgg> = by_key.into_values().collect();
+    out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    out
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+impl Profile {
+    /// Human-readable summary: per-(category, name) span aggregates with
+    /// share-of-wall percentages, then counters and gauges.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "profile: {} spans on {} thread(s), wall {:.3} ms",
+            self.spans.len(),
+            self.threads.len().max(1),
+            ms(self.wall_ns)
+        );
+        let aggs = aggregate(&self.spans);
+        if !aggs.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<9} {:<32} {:>7} {:>11} {:>10} {:>7}",
+                "cat", "span", "count", "total ms", "mean us", "% wall"
+            );
+            const SHOWN: usize = 48;
+            for a in aggs.iter().take(SHOWN) {
+                let _ = writeln!(
+                    out,
+                    "{:<9} {:<32} {:>7} {:>11.3} {:>10.1} {:>6.1}%",
+                    a.cat,
+                    truncate(&a.name, 32),
+                    a.count,
+                    ms(a.total_ns),
+                    a.total_ns as f64 / a.count.max(1) as f64 / 1e3,
+                    a.total_ns as f64 / self.wall_ns.max(1) as f64 * 100.0
+                );
+            }
+            if aggs.len() > SHOWN {
+                let rest: u64 = aggs[SHOWN..].iter().map(|a| a.total_ns).sum();
+                let _ = writeln!(
+                    out,
+                    "{:<9} {:<32} {:>7} {:>11.3}",
+                    "...",
+                    format!("({} more)", aggs.len() - SHOWN),
+                    aggs[SHOWN..].iter().map(|a| a.count).sum::<usize>(),
+                    ms(rest)
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<40} {v}");
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON: wall time, per-(cat, name) aggregates,
+    /// per-category totals, counters, and thread names.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"wall_ms\": {:.6},", ms(self.wall_ns));
+        let _ = writeln!(out, "  \"span_count\": {},", self.spans.len());
+        let mut cat_totals: BTreeMap<&str, u64> = BTreeMap::new();
+        for s in &self.spans {
+            *cat_totals.entry(s.cat).or_insert(0) += s.dur_ns;
+        }
+        out.push_str("  \"category_totals_ms\": {");
+        let cats: Vec<String> = cat_totals
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {:.6}", json_escape(k), ms(*v)))
+            .collect();
+        out.push_str(&cats.join(", "));
+        out.push_str("},\n  \"spans\": [\n");
+        let aggs: Vec<String> = aggregate(&self.spans)
+            .iter()
+            .map(|a| {
+                format!(
+                    concat!(
+                        "    {{\"cat\": \"{}\", \"name\": \"{}\", \"count\": {}, ",
+                        "\"total_ms\": {:.6}, \"min_us\": {:.3}, \"max_us\": {:.3}}}"
+                    ),
+                    json_escape(&a.cat),
+                    json_escape(&a.name),
+                    a.count,
+                    ms(a.total_ns),
+                    a.min_ns as f64 / 1e3,
+                    a.max_ns as f64 / 1e3
+                )
+            })
+            .collect();
+        out.push_str(&aggs.join(",\n"));
+        out.push_str("\n  ],\n  \"counters\": {");
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {}", json_escape(k), v))
+            .collect();
+        out.push_str(&counters.join(", "));
+        out.push_str("},\n  \"threads\": {");
+        let threads: Vec<String> = self
+            .threads
+            .iter()
+            .map(|(k, v)| format!("\"{}\": \"{}\"", k, json_escape(v)))
+            .collect();
+        out.push_str(&threads.join(", "));
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Chrome `trace_event` JSON (the `{"traceEvents": [...]}` object
+    /// form), loadable in `chrome://tracing` and Perfetto. Spans become
+    /// complete (`"ph": "X"`) events with microsecond timestamps; thread
+    /// names become metadata events; counters become one final counter
+    /// event per key.
+    pub fn render_chrome_trace(&self) -> String {
+        let mut events: Vec<String> = Vec::with_capacity(self.spans.len() + 8);
+        for (tid, name) in &self.threads {
+            events.push(format!(
+                concat!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, ",
+                    "\"tid\": {}, \"args\": {{\"name\": \"{}\"}}}}"
+                ),
+                tid,
+                json_escape(name)
+            ));
+        }
+        // `self.spans` is start-sorted, so event timestamps are monotonic.
+        for s in &self.spans {
+            events.push(format!(
+                concat!(
+                    "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": 1, ",
+                    "\"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}}}"
+                ),
+                json_escape(&s.name),
+                json_escape(s.cat),
+                s.tid,
+                s.start_ns as f64 / 1e3,
+                s.dur_ns as f64 / 1e3
+            ));
+        }
+        for (k, v) in &self.counters {
+            events.push(format!(
+                concat!(
+                    "{{\"name\": \"{}\", \"ph\": \"C\", \"pid\": 1, \"tid\": 0, ",
+                    "\"ts\": {:.3}, \"args\": {{\"value\": {}}}}}"
+                ),
+                json_escape(k),
+                self.wall_ns as f64 / 1e3,
+                v
+            ));
+        }
+        let mut out = String::from("{\"traceEvents\": [\n");
+        out.push_str(&events.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max - 1).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    fn sample() -> Profile {
+        Profile {
+            spans: vec![
+                SpanRec {
+                    cat: "kernel",
+                    name: "gemm \"quoted\"".into(),
+                    tid: 0,
+                    depth: 0,
+                    start_ns: 1_000,
+                    dur_ns: 4_000,
+                },
+                SpanRec {
+                    cat: "kernel",
+                    name: "relu".into(),
+                    tid: 1,
+                    depth: 0,
+                    start_ns: 2_000,
+                    dur_ns: 1_000,
+                },
+            ],
+            counters: [("mem.peak".to_string(), 42u64)].into_iter().collect(),
+            threads: [(0, "main".to_string()), (1, "sod2-pool-0".to_string())]
+                .into_iter()
+                .collect(),
+            wall_ns: 10_000,
+        }
+    }
+
+    #[test]
+    fn text_mentions_spans_and_counters() {
+        let t = sample().render_text();
+        assert!(t.contains("relu"));
+        assert!(t.contains("mem.peak"));
+        assert!(t.contains("% wall"));
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let j = sample().render_json();
+        let v = parse(&j).expect("valid json");
+        let obj = v.as_object().expect("object");
+        assert!(obj.contains_key("wall_ms"));
+        let spans = obj["spans"].as_array().expect("spans array");
+        assert_eq!(spans.len(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_is_monotonic() {
+        let c = sample().render_chrome_trace();
+        let v = parse(&c).expect("valid chrome trace json");
+        let events = v.as_object().unwrap()["traceEvents"]
+            .as_array()
+            .expect("events");
+        let mut last_ts = f64::NEG_INFINITY;
+        let mut complete = 0;
+        for e in events {
+            let o = e.as_object().expect("event object");
+            if o["ph"] == Value::Str("X".into()) {
+                let ts = o["ts"].as_f64().expect("ts");
+                assert!(ts >= last_ts, "timestamps must be monotonic");
+                last_ts = ts;
+                complete += 1;
+            }
+        }
+        assert_eq!(complete, 2);
+    }
+
+    #[test]
+    fn escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -45,6 +45,9 @@ const MAX_WORKERS: usize = 63;
 struct Job {
     body: *const (dyn Fn(usize) + Sync),
     chunks: usize,
+    /// Submission timestamp (`sod2_obs::session_ns`), 0 when profiling is
+    /// off — lets the first claim report queue latency.
+    submitted_ns: u64,
     /// Next unclaimed chunk index (may grow past `chunks` under probing).
     next: AtomicUsize,
     /// Completed chunk count.
@@ -172,6 +175,13 @@ fn run_job_chunks(job: &Job) {
         if idx >= job.chunks {
             return;
         }
+        if idx == 0 && job.submitted_ns > 0 {
+            // First claim: how long the region sat in the queue.
+            sod2_obs::counter_add(
+                "pool.queue_ns",
+                sod2_obs::session_ns().saturating_sub(job.submitted_ns),
+            );
+        }
         // Completion is signalled even if the body panics, so the
         // submitter can observe the poison instead of deadlocking.
         struct DoneGuard<'a>(&'a Job);
@@ -207,6 +217,7 @@ fn worker_loop() {
                 q = p.cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
+        let _span = sod2_obs::span!("pool", "worker chunks x{}", job.chunks);
         run_job_chunks(&job);
     }
 }
@@ -272,6 +283,9 @@ pub fn parallel_for(items: usize, grain: usize, body: impl Fn(Range<usize>) + Sy
         }
     };
     let width = current_threads().min(chunks);
+    let _region = sod2_obs::span!("pool", "region x{chunks} w{width}");
+    sod2_obs::counter_add("pool.regions", 1);
+    sod2_obs::counter_add("pool.chunks", chunks as u64);
     if width <= 1 {
         for idx in 0..chunks {
             chunk_body(idx);
@@ -288,6 +302,11 @@ pub fn parallel_for(items: usize, grain: usize, body: impl Fn(Range<usize>) + Sy
     let job = Arc::new(Job {
         body: body_ptr,
         chunks,
+        submitted_ns: if sod2_obs::enabled() {
+            sod2_obs::session_ns().max(1)
+        } else {
+            0
+        },
         next: AtomicUsize::new(0),
         done: AtomicUsize::new(0),
         poisoned: AtomicBool::new(false),

@@ -156,6 +156,7 @@ fn release_inputs(
             let key = t.0 as usize;
             if planned.remove(&key) {
                 if let (Slot::Live(ten), Some(b)) = (&env[key], backing.as_ref()) {
+                    sod2_obs::counter_add("exec.arena_readback_verifies", 1);
                     let want = ten.payload_le_bytes();
                     if b.arena.try_read(key, want.len()) != Some(want.as_slice()) {
                         return Err(ExecError::Memory(format!(
@@ -320,6 +321,10 @@ pub fn execute_with_arena(
     for &nid in order {
         let node = graph.node(nid);
         let gid = group_of(nid);
+        // Per-operator kernel span: covers execution, result installation,
+        // and input release, all attributable to this operator. Fused-chain
+        // mid-members do negligible work inside theirs.
+        let _kernel_span = sod2_obs::span!("kernel", "{}", node.name);
         // Fused-chain members bypass per-node execution entirely.
         if let Some(&cidx) = chain_member.get(&nid) {
             let chain = &chains[cidx];
@@ -565,6 +570,15 @@ pub fn execute_with_arena(
         }
     }
 
+    sod2_obs::gauge_max("exec.peak_live_bytes", peak as u64);
+    sod2_obs::counter_add("exec.heap_fallback_allocs", alloc_sizes.len() as u64);
+    sod2_obs::counter_add(
+        "exec.heap_fallback_bytes",
+        alloc_sizes.iter().map(|&b| b as u64).sum(),
+    );
+    sod2_obs::counter_add("exec.arena_backed", arena_backed as u64);
+    sod2_obs::counter_add("exec.branches_executed", branches_executed as u64);
+    let _outputs_span = sod2_obs::span!("mem", "outputs readback");
     let mut outputs = Vec::with_capacity(graph.outputs().len());
     for &t in graph.outputs() {
         match &env[t.0 as usize] {
@@ -835,6 +849,9 @@ fn select_variants(
 ) -> (GemmParams, ConvParams) {
     let defaults = (GemmParams::default(), ConvParams::default());
     let Some(table) = table else {
+        if matches!(op, Op::MatMul | Op::Conv2d { .. }) {
+            sod2_obs::counter_add("mvc.version_defaults", 1);
+        }
         return defaults;
     };
     match op {
@@ -842,8 +859,10 @@ fn select_variants(
             let a = ins[0].shape();
             let b = ins[1].shape();
             if a.len() >= 2 && b.len() >= 2 {
+                sod2_obs::counter_add("mvc.version_hits", 1);
                 return (table.select(a[a.len() - 2], b[b.len() - 1]), defaults.1);
             }
+            sod2_obs::counter_add("mvc.version_defaults", 1);
             defaults
         }
         Op::Conv2d { spatial, .. } => {
@@ -853,8 +872,10 @@ fn select_variants(
                 let co = w[0];
                 let oh = spatial.out_extent(0, x[2] as i64).max(1) as usize;
                 let ow = spatial.out_extent(1, x[3] as i64).max(1) as usize;
+                sod2_obs::counter_add("mvc.version_hits", 1);
                 return (defaults.0, table.select_conv(co, oh * ow));
             }
+            sod2_obs::counter_add("mvc.version_defaults", 1);
             defaults
         }
         _ => defaults,

@@ -1,0 +1,185 @@
+//! End-to-end checks of the `sod2-obs` observability layer against the real
+//! pipeline: span nesting under both pool configurations, Chrome-trace
+//! well-formedness, and — most importantly — that profiling is purely
+//! observational (enabling it changes no numeric result).
+//!
+//! Every test takes `sod2_obs::session_guard()` because the collector is
+//! process-global and `cargo test` runs tests on parallel threads within
+//! one process.
+
+use sod2_device::DeviceProfile;
+use sod2_frameworks::{Engine, Sod2Engine, Sod2Options};
+use sod2_models::{codebert, ModelScale};
+use sod2_obs::json::Value;
+use sod2_pool::with_threads;
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
+
+/// One profiled session: compile CodeBERT (tiny) and run `iters`
+/// inferences at a fixed input, returning the profile and the last stats.
+fn profiled_run(
+    threads: usize,
+    iters: usize,
+) -> (sod2_obs::Profile, sod2_frameworks::InferenceStats) {
+    let model = codebert(ModelScale::Tiny);
+    let mut rng = StdRng::seed_from_u64(7);
+    let inputs = model.make_inputs(48, &mut rng);
+    sod2_obs::set_enabled(true);
+    sod2_obs::begin();
+    let stats = with_threads(threads, || {
+        let mut engine = Sod2Engine::new(
+            model.graph.clone(),
+            DeviceProfile::s888_cpu(),
+            Sod2Options::default(),
+            &Default::default(),
+        );
+        let mut stats = None;
+        for _ in 0..iters {
+            stats = Some(engine.infer(&inputs).expect("infer"));
+        }
+        stats.expect("at least one iter")
+    });
+    let profile = sod2_obs::take();
+    sod2_obs::set_enabled(false);
+    (profile, stats)
+}
+
+#[test]
+fn spans_nest_properly_across_thread_configs() {
+    let _session = sod2_obs::session_guard();
+    for threads in [1usize, 4] {
+        let (profile, _) = profiled_run(threads, 2);
+        profile
+            .check_nesting()
+            .unwrap_or_else(|e| panic!("threads={threads}: bad nesting: {e}"));
+        assert_eq!(profile.cat_count("compile"), 1, "threads={threads}");
+        assert_eq!(profile.cat_count("infer"), 2, "threads={threads}");
+        assert!(
+            profile.cat_count("kernel") > 0,
+            "threads={threads}: no kernel spans recorded"
+        );
+        assert!(
+            profile.cat_count("stage") >= 5,
+            "threads={threads}: expected compile stage spans (rdp/fusion/sep/...)"
+        );
+        // Kernel spans live strictly inside the infer spans, so their sum
+        // cannot exceed the infer wall time; and they must account for the
+        // bulk of it (the ISSUE acceptance bound is "within 20%" — assert a
+        // looser 60% floor so a loaded CI host cannot flake the test).
+        let infer_ns = profile.cat_total_ns("infer");
+        let kernel_ns = profile.cat_total_ns("kernel");
+        assert!(
+            kernel_ns <= infer_ns,
+            "threads={threads}: kernels exceed infer"
+        );
+        assert!(
+            kernel_ns as f64 >= 0.6 * infer_ns as f64,
+            "threads={threads}: kernel spans cover only {:.1}% of infer wall",
+            100.0 * kernel_ns as f64 / infer_ns as f64
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_monotonic_timestamps() {
+    let _session = sod2_obs::session_guard();
+    let (profile, _) = profiled_run(1, 2);
+    let trace = profile.render_chrome_trace();
+    let doc = sod2_obs::json::parse(&trace).expect("chrome trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut complete = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).expect("ph field");
+        match ph {
+            "X" => {
+                let ts = ev.get("ts").and_then(Value::as_f64).expect("ts");
+                let dur = ev.get("dur").and_then(Value::as_f64).expect("dur");
+                assert!(ts >= last_ts, "timestamps must be monotonic");
+                assert!(dur >= 0.0);
+                assert!(ev.get("name").and_then(Value::as_str).is_some());
+                assert!(ev.get("cat").and_then(Value::as_str).is_some());
+                assert!(ev.get("tid").and_then(Value::as_f64).is_some());
+                last_ts = ts;
+                complete += 1;
+            }
+            "M" | "C" => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert_eq!(
+        complete,
+        profile.spans.len(),
+        "every span must emit one complete event"
+    );
+}
+
+#[test]
+fn disabled_profiler_is_observationally_inert() {
+    let _session = sod2_obs::session_guard();
+
+    let run = || {
+        let model = codebert(ModelScale::Tiny);
+        let mut rng = StdRng::seed_from_u64(3);
+        let inputs = model.make_inputs(32, &mut rng);
+        let mut engine = Sod2Engine::new(
+            model.graph.clone(),
+            DeviceProfile::s888_cpu(),
+            Sod2Options::default(),
+            &Default::default(),
+        );
+        engine.infer(&inputs).expect("infer")
+    };
+
+    sod2_obs::set_enabled(false);
+    sod2_obs::begin();
+    let off = run();
+    let off_profile = sod2_obs::take();
+    assert!(
+        off_profile.spans.is_empty() && off_profile.counters.is_empty(),
+        "disabled profiler must record nothing"
+    );
+
+    sod2_obs::set_enabled(true);
+    sod2_obs::begin();
+    let on = run();
+    let on_profile = sod2_obs::take();
+    sod2_obs::set_enabled(false);
+    assert!(!on_profile.spans.is_empty());
+
+    // Identical numeric results either way: profiling is read-only.
+    assert_eq!(off.outputs.len(), on.outputs.len());
+    for (a, b) in off.outputs.iter().zip(&on.outputs) {
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.payload_le_bytes(), b.payload_le_bytes());
+    }
+    assert_eq!(off.alloc_events, on.alloc_events);
+    assert_eq!(off.arena_backed, on.arena_backed);
+    assert_eq!(off.peak_memory_bytes, on.peak_memory_bytes);
+    assert_eq!(off.latency.total(), on.latency.total());
+}
+
+#[test]
+fn profiled_metrics_are_deterministic_across_runs() {
+    let _session = sod2_obs::session_guard();
+    let (p1, s1) = profiled_run(1, 2);
+    let (p2, s2) = profiled_run(1, 2);
+    // Wallclock differs run to run; everything the CI gate consumes must not.
+    assert_eq!(s1.latency.total(), s2.latency.total());
+    assert_eq!(s1.peak_memory_bytes, s2.peak_memory_bytes);
+    assert_eq!(s1.alloc_events, s2.alloc_events);
+    assert_eq!(s1.arena_backed, s2.arena_backed);
+    // Span structure is stable too: same spans in the same order.
+    assert_eq!(p1.spans.len(), p2.spans.len());
+    for (a, b) in p1.spans.iter().zip(&p2.spans) {
+        assert_eq!((a.cat, &a.name), (b.cat, &b.name));
+    }
+    // Structural counters (not timing) match exactly.
+    for key in ["exec.arena_backed", "pool.chunks", "pool.regions"] {
+        assert_eq!(p1.counters.get(key), p2.counters.get(key), "counter {key}");
+    }
+}

@@ -6,7 +6,7 @@
 # Usage:
 #   ./ci.sh                      # run every stage in order
 #   ./ci.sh <stage>              # run one stage: build | test-par | test-serial
-#                                #   | fmt | clippy | zoo | bench | gate
+#                                #   | fmt | clippy | zoo | chaos | bench | gate
 #   ./ci.sh --update-baselines   # run bench, then overwrite the checked-in
 #                                #   BENCH_kernels.json / BENCH_zoo.json with
 #                                #   fresh results (use after an intentional
@@ -28,9 +28,9 @@ UPDATE_BASELINES=0
 for arg in "$@"; do
     case "$arg" in
         --update-baselines) UPDATE_BASELINES=1 ;;
-        build|test-par|test-serial|fmt|clippy|zoo|bench|gate|all) MODE="$arg" ;;
+        build|test-par|test-serial|fmt|clippy|zoo|chaos|bench|gate|all) MODE="$arg" ;;
         *)
-            echo "usage: ./ci.sh [build|test-par|test-serial|fmt|clippy|zoo|bench|gate] [--update-baselines]" >&2
+            echo "usage: ./ci.sh [build|test-par|test-serial|fmt|clippy|zoo|chaos|bench|gate] [--update-baselines]" >&2
             exit 2
             ;;
     esac
@@ -76,9 +76,11 @@ run_stage() {
 
 stage_build() {
     cargo build --release --workspace
-    # The observability kill switch must keep compiling: a build with
-    # probes compiled out is the <1%-overhead configuration.
+    # The observability and fault-injection kill switches must keep
+    # compiling: builds with probes compiled out are the zero-overhead
+    # configurations.
     cargo build --release -p sod2-obs --features compile-off
+    cargo build --release -p sod2-faults --features compile-off
 }
 
 stage_test_par() {
@@ -125,6 +127,19 @@ stage_zoo() {
     $CLI profile CodeBERT --iters 3 --chrome-trace "$CI_OUT/profile_codebert_trace.json" > /dev/null
 }
 
+stage_chaos() {
+    if [[ ! -x "$CLI" ]]; then
+        echo "FATAL: $CLI not built; run ./ci.sh build first" >&2
+        exit 1
+    fi
+    # Deterministic fault sweep over the whole zoo: every injection site
+    # (plus the deadline/budget hardening paths) must end in a typed error
+    # or a recovered inference, and the engine must stay reusable with
+    # bitwise-identical outputs. Any WEDGED/PANICKED/unexpected cell exits
+    # non-zero.
+    $CLI chaos --all --seed 42
+}
+
 stage_bench() {
     mkdir -p "$CI_OUT"
     ./target/release/bench_kernels --json "$CI_OUT/BENCH_kernels.json"
@@ -159,6 +174,7 @@ run_stage test-serial stage_test_serial
 run_stage fmt stage_fmt
 run_stage clippy stage_clippy
 run_stage zoo stage_zoo
+run_stage chaos stage_chaos
 run_stage bench stage_bench
 run_stage gate stage_gate
 

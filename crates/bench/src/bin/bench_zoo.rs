@@ -102,6 +102,26 @@ fn measure(model: &sod2_models::DynModel, iters: usize) -> ZooEntry {
     }
 }
 
+/// Best-of-5 cost of a *disarmed* `sod2-faults` probe over 100k calls.
+/// The probes sit on hot paths (kernel dispatch, arena writes, pool
+/// chunks), so their disabled cost is a gated invariant: exceeding 200ns
+/// per probe aborts the bench — a perf regression, not a perf datum.
+fn measure_disabled_probe_ns() -> f64 {
+    let _x = sod2_faults::exclusive();
+    sod2_faults::clear();
+    let n = 100_000u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for i in 0..n {
+            std::hint::black_box(sod2_faults::probe(sod2_faults::Site::KernelError));
+            std::hint::black_box(i);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best / n as f64 * 1e9
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = args.iter().position(|a| a == "--json").map(|i| {
@@ -139,6 +159,14 @@ fn main() {
         }
     );
 
+    let faults_probe_ns = measure_disabled_probe_ns();
+    eprintln!("disarmed fault probe: {faults_probe_ns:.1} ns");
+    assert!(
+        faults_probe_ns < 200.0,
+        "disarmed fault probe costs {faults_probe_ns:.1}ns (limit 200ns) — \
+         the disabled path must stay a single relaxed atomic load"
+    );
+
     let mut entries = Vec::new();
     for model in all_models(scale) {
         let e = measure(&model, iters);
@@ -169,9 +197,10 @@ fn main() {
         s.push_str(concat!(
             "  \"gated_basis\": \"priced_ms, peak_memory_bytes, alloc_events and ",
             "arena_backed are deterministic (cost model + fixed seed 42 inputs) and ",
-            "gated by perf_gate; wall_ms_best, kernel_ms and kernel_coverage are ",
-            "host wallclock and informational only\",\n"
+            "gated by perf_gate; wall_ms_best, kernel_ms, kernel_coverage and ",
+            "faults_probe_ns are host wallclock and informational only\",\n"
         ));
+        s.push_str(&format!("  \"faults_probe_ns\": {faults_probe_ns:.1},\n"));
         s.push_str("  \"models\": [\n");
         let rows: Vec<String> = entries.iter().map(ZooEntry::json).collect();
         s.push_str(&rows.join(",\n"));

@@ -19,6 +19,7 @@ fn ladder() -> [(&'static str, Sod2Options); 4] {
                 mvc: false,
                 native_control_flow: true,
                 arena_exec: false,
+                ..Default::default()
             },
         ),
         (
@@ -30,6 +31,7 @@ fn ladder() -> [(&'static str, Sod2Options); 4] {
                 mvc: false,
                 native_control_flow: true,
                 arena_exec: false,
+                ..Default::default()
             },
         ),
         (
@@ -41,6 +43,7 @@ fn ladder() -> [(&'static str, Sod2Options); 4] {
                 mvc: false,
                 native_control_flow: true,
                 arena_exec: true,
+                ..Default::default()
             },
         ),
     ]

@@ -15,6 +15,7 @@ fn ladder() -> [(&'static str, Sod2Options); 5] {
         mvc,
         native_control_flow: true,
         arena_exec: dmp,
+        ..Default::default()
     };
     [
         ("No opt.", Sod2Options::no_opt()),

@@ -6,6 +6,7 @@
 //! sod2-cli run      <model> [--size N] [--device s888-cpu|s888-gpu|s835-cpu|s835-gpu]
 //! sod2-cli profile  <model> [--iters N] [--json | --chrome-trace PATH]
 //! sod2-cli compare  <model> [--samples N]
+//! sod2-cli chaos    <model|--all> [--seed S] [--json]
 //! ```
 //!
 //! `profile` compiles the model with the `sod2-obs` probes enabled, runs
@@ -18,6 +19,14 @@
 //! cross-validation against a concrete execution, plan and memory-plan
 //! verification) and exits non-zero when any error-severity finding is
 //! reported.
+//!
+//! `chaos` sweeps every `sod2-faults` injection site (plus the deadline and
+//! memory-budget hardening paths) against a model — or the whole zoo with
+//! `--all` — and prints a survival matrix. Each cell must end in a typed
+//! error or a recovered inference, and the engine must then produce
+//! bitwise-identical clean outputs versus a fresh engine; a wedge (timeout
+//! or unusable engine) or an escaped panic fails the run. The sweep is
+//! deterministic for a fixed `--seed`.
 
 use sod2::{DeviceProfile, Engine, MnnLike, OrtLike, Sod2Engine, Sod2Options, TvmNimbleLike};
 use sod2_models::{all_models, model_by_name, DynModel, ModelScale};
@@ -35,11 +44,12 @@ fn main() {
         "profile" => profile_cmd(&args),
         "compare" => compare(&args),
         "export" => export(&args),
+        "chaos" => chaos(&args),
         _ => {
             eprintln!(
-                "usage: sod2-cli <list|analyze|run|profile|compare|export> [model] \
+                "usage: sod2-cli <list|analyze|run|profile|compare|export|chaos> [model|--all] \
                  [--scale tiny|full] [--size N] [--samples N] [--device NAME] \
-                 [--iters N] [--json] [--chrome-trace FILE] [--out FILE]"
+                 [--iters N] [--seed S] [--json] [--chrome-trace FILE] [--out FILE]"
             );
             std::process::exit(2);
         }
@@ -352,6 +362,268 @@ fn export(args: &[String]) {
             eprintln!("write failed: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// One cell of the chaos survival matrix: a fault (or hardening option)
+/// plus the set of acceptable outcomes.
+#[derive(Clone, Copy)]
+struct ChaosCell {
+    name: &'static str,
+    /// `SOD2_FAULTS`-grammar rule (the sweep seed is prepended), or `None`
+    /// for cells driven purely by engine options (deadline, budget).
+    spec: Option<&'static str>,
+    deadline: Option<std::time::Duration>,
+    budget: Option<usize>,
+    nan_guard: bool,
+    /// Acceptable outcome labels; anything else fails the sweep.
+    expect: &'static [&'static str],
+}
+
+/// The sweep: every injection site, plus the option-driven hardening paths.
+const CHAOS_CELLS: &[ChaosCell] = &[
+    ChaosCell {
+        name: "arena.alloc",
+        spec: Some("arena.alloc:nth=1"),
+        deadline: None,
+        budget: None,
+        nan_guard: false,
+        expect: &["recovered"],
+    },
+    ChaosCell {
+        name: "arena.write",
+        spec: Some("arena.write:every=1"),
+        deadline: None,
+        budget: None,
+        nan_guard: false,
+        expect: &["recovered"],
+    },
+    ChaosCell {
+        name: "kernel.error",
+        spec: Some("kernel.error:nth=1"),
+        deadline: None,
+        budget: None,
+        nan_guard: false,
+        expect: &["error:kernel"],
+    },
+    // NaN poisoning may be washed out before reaching an output (e.g. a
+    // downstream max with a finite operand), so a recovered run is also a
+    // survival; the guard must catch it whenever it does propagate.
+    ChaosCell {
+        name: "kernel.nan",
+        spec: Some("kernel.nan:nth=1"),
+        deadline: None,
+        budget: None,
+        nan_guard: true,
+        expect: &["error:numeric-fault", "recovered"],
+    },
+    ChaosCell {
+        name: "kernel.delay",
+        spec: Some("kernel.delay:nth=1,us=200"),
+        deadline: None,
+        budget: None,
+        nan_guard: false,
+        expect: &["recovered"],
+    },
+    ChaosCell {
+        name: "pool.panic",
+        spec: Some("pool.panic:nth=1"),
+        deadline: None,
+        budget: None,
+        nan_guard: false,
+        expect: &["error:panic"],
+    },
+    ChaosCell {
+        name: "runtime.bindings",
+        spec: Some("runtime.bindings:nth=1"),
+        deadline: None,
+        budget: None,
+        nan_guard: false,
+        expect: &["recovered"],
+    },
+    ChaosCell {
+        name: "deadline",
+        spec: None,
+        deadline: Some(std::time::Duration::from_nanos(1)),
+        budget: None,
+        nan_guard: false,
+        expect: &["error:deadline"],
+    },
+    ChaosCell {
+        name: "budget",
+        spec: None,
+        deadline: None,
+        budget: Some(1),
+        nan_guard: false,
+        expect: &["error:budget"],
+    },
+];
+
+fn exec_error_label(e: &sod2::ExecError) -> &'static str {
+    use sod2::ExecError;
+    match e {
+        ExecError::Kernel(_) => "kernel",
+        ExecError::BadInputs(_) => "bad-inputs",
+        ExecError::ControlFlow(_) => "control-flow",
+        ExecError::Memory(_) => "memory",
+        ExecError::DeadlineExceeded => "deadline",
+        ExecError::BudgetExceeded { .. } => "budget",
+        ExecError::Panic(_) => "panic",
+        ExecError::NumericFault(_) => "numeric-fault",
+        ExecError::Internal(_) => "internal",
+    }
+}
+
+/// Runs one chaos cell to completion: clean reference inference, faulted
+/// inference, then a clean inference on the *same* engine which must match
+/// the reference bitwise. Returns the outcome label.
+fn chaos_cell_body(
+    graph: sod2::Graph,
+    inputs: Vec<sod2::Tensor>,
+    cell: ChaosCell,
+    seed: u64,
+) -> String {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    sod2_faults::clear();
+
+    // Reference output from a pristine engine, no faults installed.
+    let mut reference = Sod2Engine::new(
+        graph.clone(),
+        DeviceProfile::s888_cpu(),
+        Sod2Options::default(),
+        &Default::default(),
+    );
+    let reference_out = match reference.infer(&inputs) {
+        Ok(s) => s.outputs,
+        Err(e) => return format!("WEDGED(clean reference failed: {e})"),
+    };
+
+    let opts = Sod2Options {
+        deadline: cell.deadline,
+        memory_budget: cell.budget,
+        nan_guard: cell.nan_guard,
+        ..Sod2Options::default()
+    };
+    let mut engine = Sod2Engine::new(graph, DeviceProfile::s888_cpu(), opts, &Default::default());
+
+    if let Some(spec) = cell.spec {
+        match sod2_faults::FaultPlan::parse(&format!("seed={seed};{spec}")) {
+            Ok(plan) => sod2_faults::install(plan),
+            Err(e) => return format!("WEDGED(bad spec: {e})"),
+        }
+    }
+    let faulted = catch_unwind(AssertUnwindSafe(|| engine.infer(&inputs)));
+    let fired = sod2_faults::fired_count();
+    sod2_faults::clear();
+
+    let outcome = match faulted {
+        // The engine converts panics to `ExecError::Panic` itself; an
+        // unwind escaping `infer` means that guard failed.
+        Err(_) => return "PANICKED".into(),
+        Ok(Ok(_)) if cell.spec.is_some() && fired == 0 => return "not-hit".into(),
+        Ok(Ok(_)) => "recovered".to_string(),
+        Ok(Err(e)) => format!("error:{}", exec_error_label(&e)),
+    };
+
+    // Engine-reuse check: lift the hardening limits and the same engine
+    // must complete a clean inference with reference-identical outputs.
+    engine.set_deadline(None);
+    engine.set_memory_budget(None);
+    engine.set_nan_guard(false);
+    match catch_unwind(AssertUnwindSafe(|| engine.infer(&inputs))) {
+        Ok(Ok(stats)) => {
+            let same = stats.outputs.len() == reference_out.len()
+                && stats
+                    .outputs
+                    .iter()
+                    .zip(&reference_out)
+                    .all(|(a, b)| a.payload_le_bytes() == b.payload_le_bytes());
+            if !same {
+                return "WEDGED(post-fault outputs differ from fresh engine)".into();
+            }
+        }
+        Ok(Err(e)) => return format!("WEDGED(engine unusable after fault: {e})"),
+        Err(_) => return "WEDGED(panic on clean inference after fault)".into(),
+    }
+    outcome
+}
+
+/// Runs a cell on a watchdog thread so a wedged inference cannot hang the
+/// sweep; a timeout is reported as WEDGED.
+fn chaos_run_cell(model: &DynModel, cell: ChaosCell, seed: u64) -> String {
+    let size = {
+        let (lo, hi) = model.size_range();
+        (lo + hi) / 2
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs = model.make_inputs(size, &mut rng);
+    let graph = model.graph.clone();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(chaos_cell_body(graph, inputs, cell, seed));
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs(60)) {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            // The wedged thread may still hold the installed plan; disarm
+            // it so later cells start from a clean slate.
+            sod2_faults::clear();
+            "WEDGED(timeout after 60s)".into()
+        }
+    }
+}
+
+fn chaos(args: &[String]) {
+    let scale = scale_of(args);
+    let json = args.iter().any(|a| a == "--json");
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let models = if args.get(2).map(String::as_str) == Some("--all") {
+        all_models(scale)
+    } else {
+        vec![model_of(args, scale)]
+    };
+
+    // Injected pool-chunk panics are expected here; silence the default
+    // hook's backtrace spam (the harness reports outcomes itself).
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut rows: Vec<(String, &'static str, String, bool)> = Vec::new();
+    for model in &models {
+        for &cell in CHAOS_CELLS {
+            let outcome = chaos_run_cell(model, cell, seed);
+            let ok = cell.expect.contains(&outcome.as_str());
+            rows.push((model.name.to_string(), cell.name, outcome, ok));
+        }
+    }
+    let _ = std::panic::take_hook();
+
+    let failed = rows.iter().filter(|r| !r.3).count();
+    if json {
+        let cells: Vec<String> = rows
+            .iter()
+            .map(|(m, c, o, ok)| {
+                format!("{{\"model\":\"{m}\",\"cell\":\"{c}\",\"outcome\":\"{o}\",\"ok\":{ok}}}")
+            })
+            .collect();
+        println!(
+            "{{\"seed\":{seed},\"cells\":[{}],\"failed\":{failed}}}",
+            cells.join(",")
+        );
+    } else {
+        println!("{:<22} {:<18} {:<44} ok", "model", "cell", "outcome");
+        for (m, c, o, ok) in &rows {
+            println!("{m:<22} {c:<18} {o:<44} {}", if *ok { "yes" } else { "NO" });
+        }
+        println!(
+            "chaos: {}/{} cells ok (seed {seed})",
+            rows.len() - failed,
+            rows.len()
+        );
+    }
+    if failed > 0 {
+        std::process::exit(1);
     }
 }
 

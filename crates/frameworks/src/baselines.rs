@@ -80,6 +80,8 @@ impl Compiled {
             // Baselines execute all branches and strip invalid results.
             execute_all_branches: true,
             fused_interpreter: true,
+            nan_guard: false,
+            memory_budget: None,
         };
         execute(&self.graph, inputs, &cfg)
     }

@@ -39,6 +39,19 @@ pub struct Sod2Options {
     /// offset plan). Requires `dmp`; tensors whose size RDP cannot resolve
     /// at the current bindings fall back to the heap.
     pub arena_exec: bool,
+    /// Per-inference wall-clock deadline. Execution is cancelled
+    /// cooperatively — at node boundaries and inside chunked pool loops —
+    /// and the inference fails with [`ExecError::DeadlineExceeded`],
+    /// leaving the engine reusable.
+    pub deadline: Option<std::time::Duration>,
+    /// Cap (bytes) on intermediate-tensor memory per inference, enforced
+    /// both against the pre-execution DMP plan and against live heap
+    /// allocations at runtime; exceeding it fails with
+    /// [`ExecError::BudgetExceeded`].
+    pub memory_budget: Option<usize>,
+    /// Fail with [`ExecError::NumericFault`] when a non-finite value
+    /// reaches an output instead of returning poisoned results.
+    pub nan_guard: bool,
 }
 
 impl Default for Sod2Options {
@@ -50,6 +63,9 @@ impl Default for Sod2Options {
             mvc: true,
             native_control_flow: true,
             arena_exec: true,
+            deadline: None,
+            memory_budget: None,
+            nan_guard: false,
         }
     }
 }
@@ -63,8 +79,8 @@ impl Sod2Options {
             sep: false,
             dmp: false,
             mvc: false,
-            native_control_flow: true,
             arena_exec: false,
+            ..Sod2Options::default()
         }
     }
 }
@@ -246,6 +262,22 @@ impl Sod2Engine {
         &self.profile
     }
 
+    /// Adjusts the per-inference deadline at runtime (deadlines are an
+    /// inference property, not a compile-time one — no recompilation).
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Duration>) {
+        self.opts.deadline = deadline;
+    }
+
+    /// Adjusts the per-inference memory budget at runtime.
+    pub fn set_memory_budget(&mut self, budget: Option<usize>) {
+        self.opts.memory_budget = budget;
+    }
+
+    /// Toggles the output NaN guard at runtime.
+    pub fn set_nan_guard(&mut self, on: bool) {
+        self.opts.nan_guard = on;
+    }
+
     /// Lifetimes of the tensors materialized in `outcome`, on the planned
     /// order (dead-branch tensors excluded — a native-control-flow win).
     fn observed_lifetimes(&self, outcome: &RunOutcome) -> Vec<TensorLife> {
@@ -270,16 +302,26 @@ impl Sod2Engine {
     ) -> Result<(InferenceStats, MemoryPlan), ExecError> {
         let _infer_span = sod2_obs::span!("infer", "Sod2Engine::infer");
         sod2_obs::counter_add("infer.count", 1);
-        let bindings = {
+        let mut bindings = {
             let _s = sod2_obs::span!("phase", "bindings");
             bindings_from_inputs(&self.graph, inputs).map_err(ExecError::BadInputs)?
         };
+        // Injected binding corruption (`runtime.bindings`): the engine loses
+        // every symbol binding, so the pre-execution plan covers nothing and
+        // all intermediates degrade to heap allocations — outputs stay
+        // correct because execution uses concrete tensors, not bindings.
+        let bindings_corrupted = sod2_faults::probe(sod2_faults::Site::Bindings).is_some();
+        if bindings_corrupted {
+            bindings.clear();
+        }
         let cfg = ExecConfig {
             fusion: Some(&self.fusion_plan),
             node_order: Some(&self.node_order),
             version_table: self.table.as_ref(),
             execute_all_branches: !self.opts.native_control_flow,
             fused_interpreter: true,
+            nan_guard: self.opts.nan_guard,
+            memory_budget: self.opts.memory_budget,
         };
         // Pre-execution memory plan for arena-backed execution: RDP's
         // symbolic byte counts evaluated at this inference's bindings give
@@ -307,26 +349,72 @@ impl Sod2Engine {
         let pre_sizes: HashMap<usize, usize> = pre_lives.iter().map(|l| (l.key, l.size)).collect();
         let backing = if arena_on {
             let pre_plan = plan_sod2(&pre_lives);
-            match &mut self.arena {
-                Some(a) => a.reset(pre_plan),
-                slot => *slot = Some(Arena::new(pre_plan)),
+            // Budget admission at DMP time: the plan's peak is known before
+            // any kernel runs, so an over-budget inference is rejected
+            // without doing (or allocating) any work.
+            if let Some(budget) = self.opts.memory_budget {
+                if pre_plan.peak > budget {
+                    return Err(ExecError::BudgetExceeded {
+                        needed: pre_plan.peak,
+                        budget,
+                    });
+                }
             }
-            let arena = self.arena.as_mut().expect("arena just installed");
-            sod2_obs::gauge_max("mem.arena_capacity_bytes", arena.capacity() as u64);
-            Some(ArenaBacking {
-                arena,
-                sizes: &pre_sizes,
-            })
+            // Slab allocation failure (real or injected `arena.alloc`)
+            // degrades to per-tensor heap allocation — the arena→heap rung
+            // of the ladder; the run proceeds, just less efficiently.
+            let arena_ok = match &mut self.arena {
+                Some(a) => a.try_reset(pre_plan),
+                slot => match Arena::try_new(pre_plan) {
+                    Some(a) => {
+                        *slot = Some(a);
+                        true
+                    }
+                    None => false,
+                },
+            };
+            if !arena_ok {
+                sod2_obs::counter_add("mem.arena_alloc_failures", 1);
+            }
+            match (arena_ok, self.arena.as_mut()) {
+                (true, Some(arena)) => {
+                    sod2_obs::gauge_max("mem.arena_capacity_bytes", arena.capacity() as u64);
+                    Some(ArenaBacking {
+                        arena,
+                        sizes: &pre_sizes,
+                    })
+                }
+                _ => None,
+            }
         } else {
             None
         };
         drop(dmp_span);
+        let deadline = self.opts.deadline.map(|d| std::time::Instant::now() + d);
         let outcome = {
             let _s = sod2_obs::span!("phase", "execute");
-            if let Some(backing) = backing {
-                execute_with_arena(&self.graph, inputs, &cfg, Some(backing))?
-            } else {
-                execute(&self.graph, inputs, &cfg)?
+            // Panics from kernels or pool chunks are converted to a typed
+            // error here so a failed inference can never wedge the engine.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sod2_pool::with_deadline(deadline, || {
+                    if let Some(backing) = backing {
+                        execute_with_arena(&self.graph, inputs, &cfg, Some(backing))
+                    } else {
+                        execute(&self.graph, inputs, &cfg)
+                    }
+                })
+            }));
+            match result {
+                Ok(run) => run?,
+                Err(payload) => {
+                    let what = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".to_string());
+                    sod2_obs::counter_add("infer.panics_recovered", 1);
+                    return Err(ExecError::Panic(what));
+                }
             }
         };
         let post_span = sod2_obs::span!("phase", "dmp_post_plan");
@@ -347,7 +435,7 @@ impl Sod2Engine {
         // Debug-mode verification: RDP's predictions must agree with what
         // execution observed, and the offset plan must be sound.
         #[cfg(debug_assertions)]
-        {
+        if !bindings_corrupted {
             let mut stage = sod2_analysis::Report::new();
             stage.extend(sod2_analysis::verify_observed_shapes(
                 &self.graph,
@@ -437,6 +525,8 @@ impl Sod2Engine {
             version_table: self.table.as_ref(),
             execute_all_branches: !self.opts.native_control_flow,
             fused_interpreter: true,
+            nan_guard: self.opts.nan_guard,
+            memory_budget: self.opts.memory_budget,
         };
         let outcome = execute(&self.graph, inputs, &cfg)?;
         report.extend(an::verify_observed_shapes(

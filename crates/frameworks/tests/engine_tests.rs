@@ -163,6 +163,7 @@ fn optimization_ladder_is_monotone_in_memory() {
             mvc: false,
             native_control_flow: true,
             arena_exec: false,
+            ..Default::default()
         },
         Sod2Options {
             fusion: sod2_fusion::FusionPolicy::Rdp,
@@ -171,6 +172,7 @@ fn optimization_ladder_is_monotone_in_memory() {
             mvc: false,
             native_control_flow: true,
             arena_exec: false,
+            ..Default::default()
         },
         Sod2Options {
             fusion: sod2_fusion::FusionPolicy::Rdp,
@@ -179,6 +181,7 @@ fn optimization_ladder_is_monotone_in_memory() {
             mvc: false,
             native_control_flow: true,
             arena_exec: true,
+            ..Default::default()
         },
     ];
     let mut bindings = sod2_sym::Bindings::new();

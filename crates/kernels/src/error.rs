@@ -32,6 +32,12 @@ pub enum KernelError {
         /// Operator mnemonic.
         op: &'static str,
     },
+    /// A deterministic fault-injection rule (`sod2-faults`) fired at this
+    /// kernel; never produced on an un-instrumented run.
+    Injected {
+        /// Operator mnemonic.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -48,6 +54,9 @@ impl fmt::Display for KernelError {
             }
             KernelError::NotExecutable { op } => {
                 write!(f, "{op}: not executable as a kernel")
+            }
+            KernelError::Injected { op } => {
+                write!(f, "{op}: injected kernel fault")
             }
         }
     }

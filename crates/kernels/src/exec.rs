@@ -53,6 +53,42 @@ pub fn execute_op_with_variants(
     gemm_params: GemmParams,
     conv_params: ConvParams,
 ) -> Result<Vec<Tensor>, KernelError> {
+    // One atomic load when fault injection is disarmed; the per-site probes
+    // only run under an installed plan (or SOD2_FAULTS).
+    if sod2_faults::armed() {
+        if let Some(fault) = sod2_faults::probe(sod2_faults::Site::KernelDelay) {
+            std::thread::sleep(std::time::Duration::from_micros(fault.param));
+        }
+        if sod2_faults::probe(sod2_faults::Site::KernelError).is_some() {
+            return Err(KernelError::Injected { op: op.mnemonic() });
+        }
+        let mut outs = dispatch_op(op, inputs, gemm_params, conv_params)?;
+        if sod2_faults::probe(sod2_faults::Site::KernelNan).is_some() {
+            poison_nan(&mut outs);
+        }
+        return Ok(outs);
+    }
+    dispatch_op(op, inputs, gemm_params, conv_params)
+}
+
+/// Overwrites every f32 output with NaN — the `kernel.nan` fault models a
+/// numerically-diverged kernel whose result must not be trusted downstream.
+#[cold]
+fn poison_nan(outs: &mut [Tensor]) {
+    for t in outs.iter_mut() {
+        if let Ok(v) = t.as_f32() {
+            let shape = t.shape().to_vec();
+            *t = Tensor::from_f32(&shape, vec![f32::NAN; v.len()]);
+        }
+    }
+}
+
+fn dispatch_op(
+    op: &Op,
+    inputs: &[&Tensor],
+    gemm_params: GemmParams,
+    conv_params: ConvParams,
+) -> Result<Vec<Tensor>, KernelError> {
     let arity = op.input_arity();
     if !arity.accepts(inputs.len()) {
         return Err(KernelError::ArityError {
@@ -194,6 +230,29 @@ mod tests {
         let out = execute_op(&Op::TopK { axis: 0 }, &[&x, &k]).expect("topk");
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].as_f32().expect("f32"), &[4., 3.]);
+    }
+
+    #[test]
+    fn injected_faults_fire_and_clear() {
+        use sod2_faults::{FaultPlan, Site, Trigger};
+        let _serial = sod2_faults::exclusive();
+        let a = Tensor::from_f32(&[2], vec![1., 2.]);
+        sod2_faults::install(
+            FaultPlan::new(3)
+                .rule(Site::KernelError, Trigger::Nth(1), 0)
+                // Sites keep independent hit streams: the first dispatch
+                // errors before reaching the NaN probe, so the second
+                // dispatch is this site's first hit.
+                .rule(Site::KernelNan, Trigger::Nth(1), 0),
+        );
+        let e = execute_op(&Op::Binary(BinaryOp::Add), &[&a, &a]).expect_err("injected");
+        assert!(matches!(e, KernelError::Injected { .. }), "got {e}");
+        // Second dispatch survives the error rule and hits the NaN rule.
+        let out = execute_op(&Op::Binary(BinaryOp::Add), &[&a, &a]).expect("poisoned ok");
+        assert!(out[0].as_f32().expect("f32").iter().all(|v| v.is_nan()));
+        sod2_faults::clear();
+        let out = execute_op(&Op::Binary(BinaryOp::Add), &[&a, &a]).expect("clean");
+        assert_eq!(out[0].as_f32().expect("f32"), &[2., 4.]);
     }
 
     #[test]

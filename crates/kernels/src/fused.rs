@@ -117,6 +117,10 @@ pub fn fused_elementwise(seed: &Tensor, steps: &[FusedStep<'_>]) -> Result<Tenso
                     FusedStep::Binary {
                         op, chain_is_lhs, ..
                     } => {
+                        // Invariant: `operands` was built index-aligned from
+                        // this same `steps` slice, pushing `Some` for every
+                        // `Binary` step — the expect cannot fire.
+                        #[allow(clippy::expect_used)]
                         let operand = operand.as_ref().expect("binary step has operand");
                         let o = operand.values[operand.ix.src_offset(i)];
                         if *chain_is_lhs {

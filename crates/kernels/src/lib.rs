@@ -23,6 +23,11 @@
 //! # }
 //! ```
 
+// Kernels sit on the inference hot path: every failure must surface as a
+// typed `KernelError`, never a panic. Provably-infallible sites carry a
+// scoped `allow` with the invariant that makes them so.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 /// Size cutoff (output elements × per-element inner-loop operations)
 /// below which kernels run their loop nests serially instead of paying
 /// the pool's region-submission overhead. The chunk decomposition above

@@ -24,6 +24,27 @@ impl Arena {
         }
     }
 
+    /// [`Arena::new`] through the fault-injection probe: returns `None`
+    /// when an armed [`Site::ArenaAlloc`](sod2_faults::Site) rule fires,
+    /// simulating slab allocation failure. Callers degrade to per-tensor
+    /// heap allocation — the first rung of the arena→heap→error ladder.
+    pub fn try_new(plan: MemoryPlan) -> Option<Self> {
+        if sod2_faults::probe(sod2_faults::Site::ArenaAlloc).is_some() {
+            return None;
+        }
+        Some(Arena::new(plan))
+    }
+
+    /// [`Arena::reset`] through the fault-injection probe: `false` (arena
+    /// left on its previous plan) when a slab-growth failure is injected.
+    pub fn try_reset(&mut self, plan: MemoryPlan) -> bool {
+        if sod2_faults::probe(sod2_faults::Site::ArenaAlloc).is_some() {
+            return false;
+        }
+        self.reset(plan);
+        true
+    }
+
     /// Total backing size in bytes.
     pub fn capacity(&self) -> usize {
         self.buf.len()
@@ -52,6 +73,9 @@ impl Arena {
     /// would overrun the buffer — the executor's cue to fall back to the
     /// heap for that tensor.
     pub fn try_write(&mut self, key: usize, payload: &[u8]) -> bool {
+        if sod2_faults::probe(sod2_faults::Site::ArenaWrite).is_some() {
+            return false;
+        }
         let Some(&off) = self.plan.offsets.get(&key) else {
             return false;
         };
@@ -179,5 +203,42 @@ mod tests {
         assert_eq!(arena.try_read(8, 1), None);
         assert_eq!(arena.offset_of(7), Some(0));
         assert_eq!(arena.offset_of(8), None);
+    }
+
+    #[test]
+    fn injected_alloc_failure_degrades_gracefully() {
+        use sod2_faults::{FaultPlan, Site, Trigger};
+        let _serial = sod2_faults::exclusive();
+        let plan = MemoryPlan {
+            offsets: [(0usize, 0usize)].into_iter().collect(),
+            peak: 8,
+        };
+        sod2_faults::install(FaultPlan::new(1).rule(Site::ArenaAlloc, Trigger::Nth(1), 0));
+        assert!(
+            Arena::try_new(plan.clone()).is_none(),
+            "injected alloc must fail"
+        );
+        // The rule was Nth(1): the second attempt succeeds.
+        let mut arena = Arena::try_new(plan.clone()).expect("post-fault alloc succeeds");
+        sod2_faults::install(FaultPlan::new(1).rule(Site::ArenaAlloc, Trigger::Nth(1), 0));
+        assert!(!arena.try_reset(plan.clone()), "injected reset must fail");
+        assert!(arena.try_reset(plan), "post-fault reset succeeds");
+        sod2_faults::clear();
+    }
+
+    #[test]
+    fn injected_write_failure_signals_heap_fallback() {
+        use sod2_faults::{FaultPlan, Site, Trigger};
+        let _serial = sod2_faults::exclusive();
+        let plan = MemoryPlan {
+            offsets: [(0usize, 0usize)].into_iter().collect(),
+            peak: 8,
+        };
+        let mut arena = Arena::new(plan);
+        sod2_faults::install(FaultPlan::new(1).rule(Site::ArenaWrite, Trigger::Nth(1), 0));
+        assert!(!arena.try_write(0, &[1; 8]), "injected write must fail");
+        assert!(arena.try_write(0, &[2; 8]), "next write succeeds");
+        assert_eq!(arena.try_read(0, 8), Some(&[2u8; 8][..]));
+        sod2_faults::clear();
     }
 }

@@ -48,6 +48,10 @@ struct Job {
     /// Submission timestamp (`sod2_obs::session_ns`), 0 when profiling is
     /// off — lets the first claim report queue latency.
     submitted_ns: u64,
+    /// The submitter's cooperative deadline (see [`with_deadline`]): once
+    /// past it, claimed chunks skip their body (accounting still runs) so
+    /// the region drains quickly instead of finishing doomed work.
+    deadline: Option<Instant>,
     /// Next unclaimed chunk index (may grow past `chunks` under probing).
     next: AtomicUsize,
     /// Completed chunk count.
@@ -105,6 +109,43 @@ thread_local! {
     /// When set, serial chunk executions record their wallclock seconds
     /// (see [`record_chunks`]).
     static RECORDER: RefCell<Option<Vec<f64>>> = const { RefCell::new(None) };
+    /// Cooperative deadline for regions *submitted* by this thread.
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with a cooperative deadline installed on this thread (restored
+/// afterwards, including on panic). Parallel regions submitted under the
+/// deadline stop executing chunk bodies once it passes — the region still
+/// completes its accounting and returns, but remaining chunks are skipped,
+/// so the caller must treat the result as abandoned (the runtime returns
+/// `DeadlineExceeded` and discards it).
+///
+/// `None` clears any inherited deadline for the scope of `f`.
+pub fn with_deadline<R>(deadline: Option<Instant>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Instant>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DEADLINE.with(|d| d.set(self.0));
+        }
+    }
+    let prev = DEADLINE.with(Cell::get);
+    let _restore = Restore(prev);
+    DEADLINE.with(|d| d.set(deadline));
+    f()
+}
+
+/// The cooperative deadline installed on this thread, if any.
+pub fn current_deadline() -> Option<Instant> {
+    DEADLINE.with(Cell::get)
+}
+
+/// Whether this thread's cooperative deadline has passed. Cheap when no
+/// deadline is installed (one thread-local read); executors call this at
+/// node boundaries to cancel doomed inferences.
+pub fn deadline_exceeded() -> bool {
+    DEADLINE
+        .with(Cell::get)
+        .is_some_and(|d| Instant::now() >= d)
 }
 
 /// The thread count parallel regions on this thread will use.
@@ -198,9 +239,37 @@ fn run_job_chunks(job: &Job) {
             }
         }
         let _guard = DoneGuard(job);
+        // Past the region's deadline the result is already abandoned:
+        // keep the accounting (the DoneGuard above) but skip the work.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            continue;
+        }
         // SAFETY: idx < chunks, so the submitter is still blocked in
         // `parallel_for` and the closure behind `body` is alive.
         unsafe { (*job.body)(idx) };
+    }
+}
+
+/// Claims every remaining chunk of `job` as a no-op (completing its
+/// accounting) and waits until all claimed chunks are done. Called by the
+/// submitter's unwind guard: after this returns, no participant can still
+/// be inside the region body, so the submitter may safely leave the stack
+/// frame the body lives on.
+fn drain_job(job: &Job) {
+    loop {
+        let idx = job.next.fetch_add(1, Ordering::SeqCst);
+        if idx >= job.chunks {
+            break;
+        }
+        let d = job.done.fetch_add(1, Ordering::SeqCst) + 1;
+        if d == job.chunks {
+            let _held = job.lock.lock().unwrap_or_else(|e| e.into_inner());
+            job.cv.notify_all();
+        }
+    }
+    let mut held = job.lock.lock().unwrap_or_else(|e| e.into_inner());
+    while job.done.load(Ordering::SeqCst) < job.chunks {
+        held = job.cv.wait(held).unwrap_or_else(|e| e.into_inner());
     }
 }
 
@@ -218,7 +287,15 @@ fn worker_loop() {
             }
         };
         let _span = sod2_obs::span!("pool", "worker chunks x{}", job.chunks);
-        run_job_chunks(&job);
+        // A panicking chunk poisons its own job (see `DoneGuard`) but must
+        // not take the worker with it: catching the unwind here keeps the
+        // thread in the pool at full capacity for subsequent regions —
+        // respawn-in-place, without the spawn cost or a `spawned`-count
+        // leak.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job_chunks(&job)));
+        if r.is_err() {
+            sod2_obs::counter_add("pool.worker_recoveries", 1);
+        }
     }
 }
 
@@ -266,6 +343,9 @@ pub fn parallel_for(items: usize, grain: usize, body: impl Fn(Range<usize>) + Sy
     }
     let chunks = items.div_ceil(grain);
     let chunk_body = |idx: usize| {
+        if sod2_faults::probe(sod2_faults::Site::PoolPanic).is_some() {
+            panic!("sod2-faults: injected chunk panic (pool.panic)");
+        }
         let start = idx * grain;
         let end = (start + grain).min(items);
         let recording = RECORDER.with(|r| r.borrow().is_some());
@@ -286,8 +366,15 @@ pub fn parallel_for(items: usize, grain: usize, body: impl Fn(Range<usize>) + Sy
     let _region = sod2_obs::span!("pool", "region x{chunks} w{width}");
     sod2_obs::counter_add("pool.regions", 1);
     sod2_obs::counter_add("pool.chunks", chunks as u64);
+    let deadline = DEADLINE.with(Cell::get);
     if width <= 1 {
         for idx in 0..chunks {
+            // Same cooperative cancellation as the parallel path: a region
+            // past its deadline stops computing (the caller discards the
+            // partial result via `deadline_exceeded`).
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return;
+            }
             chunk_body(idx);
         }
         return;
@@ -307,6 +394,7 @@ pub fn parallel_for(items: usize, grain: usize, body: impl Fn(Range<usize>) + Sy
         } else {
             0
         },
+        deadline,
         next: AtomicUsize::new(0),
         done: AtomicUsize::new(0),
         poisoned: AtomicBool::new(false),
@@ -319,6 +407,30 @@ pub fn parallel_for(items: usize, grain: usize, body: impl Fn(Range<usize>) + Sy
         q.push(job.clone());
     }
     p.cv.notify_all();
+    // If the submitter's own chunk body panics, control would unwind out of
+    // this frame while workers may still be dereferencing `body` — a stack
+    // closure. The guard makes that sound: on unwind it claims the
+    // remaining chunks as no-ops, waits for every in-flight chunk, and
+    // dequeues the job before the frame is torn down.
+    struct SubmitGuard<'a> {
+        job: &'a Arc<Job>,
+        armed: bool,
+    }
+    impl Drop for SubmitGuard<'_> {
+        fn drop(&mut self) {
+            if !self.armed {
+                return;
+            }
+            drain_job(self.job);
+            let p = pool();
+            let mut q = p.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.retain(|j| !Arc::ptr_eq(j, self.job));
+        }
+    }
+    let mut guard = SubmitGuard {
+        job: &job,
+        armed: true,
+    };
     run_job_chunks(&job);
     // Wait for chunks claimed by workers.
     {
@@ -331,6 +443,7 @@ pub fn parallel_for(items: usize, grain: usize, body: impl Fn(Range<usize>) + Sy
         let mut q = p.queue.lock().unwrap_or_else(|e| e.into_inner());
         q.retain(|j| !Arc::ptr_eq(j, &job));
     }
+    guard.armed = false;
     if job.poisoned.load(Ordering::SeqCst) {
         panic!("sod2-pool: a parallel chunk panicked on a worker thread");
     }
@@ -486,6 +599,80 @@ mod tests {
             });
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn panicked_region_does_not_fail_next_region() {
+        // Region N: every chunk panics, on workers and submitter alike.
+        let r = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                parallel_for(64, 1, |_| panic!("region N fails"));
+            });
+        });
+        assert!(r.is_err());
+        // Region N+1 on the same pool: full capacity, correct output.
+        let mut v = vec![0usize; 1000];
+        with_threads(4, || {
+            scope_chunks(&mut v, 8, |off, chunk| {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x = off + i;
+                }
+            });
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i, "region N+1 corrupted at {i}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_skips_chunk_bodies() {
+        for width in [1, 4] {
+            let ran = AtomicU64::new(0);
+            with_threads(width, || {
+                with_deadline(Some(Instant::now()), || {
+                    assert!(deadline_exceeded());
+                    parallel_for(64, 1, |_| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            });
+            assert_eq!(ran.load(Ordering::SeqCst), 0, "width {width}");
+        }
+        assert!(!deadline_exceeded(), "deadline must not leak past scope");
+    }
+
+    #[test]
+    fn far_deadline_does_not_skip_work() {
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        let ran = AtomicU64::new(0);
+        with_threads(4, || {
+            with_deadline(Some(far), || {
+                parallel_for(64, 1, |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn injected_pool_panic_poisons_then_recovers() {
+        use sod2_faults::{FaultPlan, Site, Trigger};
+        let _serial = sod2_faults::exclusive();
+        sod2_faults::install(FaultPlan::new(7).rule(Site::PoolPanic, Trigger::Nth(1), 0));
+        let r = std::panic::catch_unwind(|| {
+            with_threads(4, || parallel_for(32, 1, |_| {}));
+        });
+        sod2_faults::clear();
+        assert!(r.is_err(), "injected chunk panic must poison the region");
+        // The pool keeps working after the injected panic.
+        let total = AtomicU64::new(0);
+        with_threads(4, || {
+            parallel_for(32, 1, |r| {
+                total.fetch_add(r.start as u64, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), (0..32).sum::<u64>());
     }
 
     #[test]

@@ -38,6 +38,16 @@ pub struct ExecConfig<'a> {
     /// element-wise interpreter (`sod2_kernels::fused`): intermediates are
     /// genuinely never materialized, not just unaccounted.
     pub fused_interpreter: bool,
+    /// Scan output tensors for non-finite values and fail with
+    /// [`ExecError::NumericFault`] instead of returning poisoned results
+    /// (catches injected `kernel.nan` faults and real divergence alike).
+    pub nan_guard: bool,
+    /// Cap (bytes) on simultaneously live materialized intermediates,
+    /// checked as tensors are installed: exceeding it aborts the run with
+    /// [`ExecError::BudgetExceeded`]. This is the runtime rung of budget
+    /// enforcement — the engine also rejects over-budget DMP plans before
+    /// execution starts.
+    pub memory_budget: Option<usize>,
 }
 
 /// Execution errors.
@@ -52,6 +62,24 @@ pub enum ExecError {
     /// Arena-backed memory was corrupted (an unsound offset plan aliased
     /// two simultaneously live tensors).
     Memory(String),
+    /// The cooperative per-inference deadline passed before completion
+    /// (see [`sod2_pool::with_deadline`]); partial results are discarded.
+    DeadlineExceeded,
+    /// The inference's memory needs exceed the configured budget.
+    BudgetExceeded {
+        /// Bytes the inference would need.
+        needed: usize,
+        /// The configured cap.
+        budget: usize,
+    },
+    /// A kernel or pool chunk panicked; the unwind was caught and converted
+    /// so the engine stays usable.
+    Panic(String),
+    /// A non-finite value reached an output while the NaN guard was on.
+    NumericFault(String),
+    /// An internal executor invariant failed — a bug surfaced as a typed
+    /// error instead of a panic.
+    Internal(String),
 }
 
 impl fmt::Display for ExecError {
@@ -61,6 +89,16 @@ impl fmt::Display for ExecError {
             ExecError::BadInputs(s) => write!(f, "bad inputs: {s}"),
             ExecError::ControlFlow(s) => write!(f, "control flow: {s}"),
             ExecError::Memory(s) => write!(f, "memory: {s}"),
+            ExecError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ExecError::BudgetExceeded { needed, budget } => {
+                write!(
+                    f,
+                    "memory budget exceeded: need {needed} bytes, cap {budget}"
+                )
+            }
+            ExecError::Panic(s) => write!(f, "panic during execution: {s}"),
+            ExecError::NumericFault(s) => write!(f, "numeric fault: {s}"),
+            ExecError::Internal(s) => write!(f, "internal invariant violated: {s}"),
         }
     }
 }
@@ -150,7 +188,9 @@ fn release_inputs(
     backing: &Option<ArenaBacking<'_>>,
 ) -> Result<(), ExecError> {
     for &t in node_inputs {
-        let uses = remaining_uses.get_mut(&t).expect("tracked tensor");
+        let uses = remaining_uses
+            .get_mut(&t)
+            .ok_or_else(|| ExecError::Internal(format!("untracked tensor {t} released")))?;
         *uses = uses.saturating_sub(1);
         if *uses == 0 {
             let key = t.0 as usize;
@@ -203,6 +243,9 @@ fn const_tensor(shape: &[i64], data: &ConstData) -> Tensor {
         ConstData::Bool(v) => Data::Bool(v.clone()),
         ConstData::U8(v) => Data::U8(v.clone()),
     };
+    // Invariant: `sod2_ir::validate` checks every constant's payload length
+    // against its declared shape before a graph reaches the executor.
+    #[allow(clippy::expect_used)]
     Tensor::new(&dims, payload).expect("validated const payload")
 }
 
@@ -319,6 +362,11 @@ pub fn execute_with_arena(
     let mut group_ext_write: HashMap<usize, f64> = HashMap::new();
 
     for &nid in order {
+        // Cooperative cancellation at node granularity: one thread-local
+        // read when no deadline is installed.
+        if sod2_pool::deadline_exceeded() {
+            return Err(ExecError::DeadlineExceeded);
+        }
         let node = graph.node(nid);
         let gid = group_of(nid);
         // Per-operator kernel span: covers execution, result installation,
@@ -403,8 +451,15 @@ pub fn execute_with_arena(
                 });
             }
             // Install only the final output; mid-members stay immaterial.
-            if nid == *chain.members.last().expect("nonempty chain") {
-                match chain_results[cidx].clone().expect("chain head ran first") {
+            let tail = *chain
+                .members
+                .last()
+                .ok_or_else(|| ExecError::Internal("fused chain with no members".into()))?;
+            if nid == tail {
+                let result = chain_results[cidx].clone().ok_or_else(|| {
+                    ExecError::Internal("fused chain tail ran before head".into())
+                })?;
+                match result {
                     Some(tensor) => {
                         let t = chain.final_output;
                         concrete_shapes.insert(t, tensor.shape().to_vec());
@@ -416,6 +471,14 @@ pub fn execute_with_arena(
                             alloc_sizes.push(b);
                         }
                         peak = peak.max(live_bytes);
+                        if let Some(budget) = cfg.memory_budget {
+                            if live_bytes > budget {
+                                return Err(ExecError::BudgetExceeded {
+                                    needed: live_bytes,
+                                    budget,
+                                });
+                            }
+                        }
                         env[t.0 as usize] = Slot::Live(tensor);
                     }
                     None => {
@@ -443,7 +506,9 @@ pub fn execute_with_arena(
                 &mut planned,
                 &backing,
             )?;
-            let left = group_members_left.get_mut(&gid).expect("member counted");
+            let left = group_members_left.get_mut(&gid).ok_or_else(|| {
+                ExecError::Internal(format!("group {gid} missing from accounting"))
+            })?;
             *left -= 1;
             continue;
         }
@@ -531,6 +596,14 @@ pub fn execute_with_arena(
                             alloc_sizes.push(b);
                         }
                         peak = peak.max(live_bytes);
+                        if let Some(budget) = cfg.memory_budget {
+                            if live_bytes > budget {
+                                return Err(ExecError::BudgetExceeded {
+                                    needed: live_bytes,
+                                    budget,
+                                });
+                            }
+                        }
                     }
                     env[t.0 as usize] = Slot::Live(tensor);
                 }
@@ -553,7 +626,9 @@ pub fn execute_with_arena(
         )?;
 
         // Emit the group kernel event when its last member retires.
-        let left = group_members_left.get_mut(&gid).expect("member counted");
+        let left = group_members_left
+            .get_mut(&gid)
+            .ok_or_else(|| ExecError::Internal(format!("group {gid} missing from accounting")))?;
         *left -= 1;
         if *left == 0 && group_ops.get(&gid).copied().unwrap_or(0) > 0 {
             trace.push(TraceEvent::Kernel {
@@ -570,6 +645,12 @@ pub fn execute_with_arena(
         }
     }
 
+    // A deadline that expired inside the last node's pool region skipped
+    // chunk bodies (partial results) without a later node boundary to catch
+    // it — this final check guarantees expired runs never return outputs.
+    if sod2_pool::deadline_exceeded() {
+        return Err(ExecError::DeadlineExceeded);
+    }
     sod2_obs::gauge_max("exec.peak_live_bytes", peak as u64);
     sod2_obs::counter_add("exec.heap_fallback_allocs", alloc_sizes.len() as u64);
     sod2_obs::counter_add(
@@ -588,7 +669,9 @@ pub fn execute_with_arena(
                 // caller observes exactly what the plan preserved, and any
                 // end-of-run clobbering surfaces as a Memory error here.
                 if planned.contains(&key) {
-                    let b = backing.as_ref().expect("planned implies backing");
+                    let b = backing.as_ref().ok_or_else(|| {
+                        ExecError::Internal("planned tensor without arena backing".into())
+                    })?;
                     let bytes = b.arena.try_read(key, ten.byte_size()).ok_or_else(|| {
                         ExecError::Memory(format!("arena slot for output {t} vanished"))
                     })?;
@@ -614,6 +697,17 @@ pub fn execute_with_arena(
                 return Err(ExecError::ControlFlow(format!(
                     "graph output {t} was never produced (dead branch?)"
                 )))
+            }
+        }
+    }
+    if cfg.nan_guard {
+        for (i, out) in outputs.iter().enumerate() {
+            if let Ok(v) = out.as_f32() {
+                if !v.iter().all(|x| x.is_finite()) {
+                    return Err(ExecError::NumericFault(format!(
+                        "non-finite value in output {i}"
+                    )));
+                }
             }
         }
     }

@@ -30,6 +30,11 @@
 //! # }
 //! ```
 
+// The executor sits on the inference hot path: every failure must surface
+// as a typed `ExecError`, never a panic. Provably-infallible sites carry a
+// scoped `allow` with the invariant that makes them so.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod executor;
 pub mod passes;
 mod trace;

@@ -116,11 +116,13 @@ stage_zoo() {
     for m in $models; do
         echo "--- analyze $m ---"
         $CLI analyze "$m" --json > /dev/null
-        # End-to-end inference through the arena-backed executor (default opts).
-        $CLI run "$m" > /dev/null
+        # End-to-end inference through the arena-backed executor, in both
+        # the serial and the wavefront scheduling modes.
+        SOD2_WAVEFRONT=0 $CLI run "$m" > /dev/null
+        SOD2_WAVEFRONT=1 $CLI run "$m" > /dev/null
         count=$((count + 1))
     done
-    echo "analyzed + ran $count models"
+    echo "analyzed + ran $count models (serial + wavefront)"
     # Profile one model end-to-end: the Chrome trace must be written and the
     # kernel spans must cover the inference wall time (checked in tests;
     # here we just require the command to succeed).
@@ -136,8 +138,12 @@ stage_chaos() {
     # (plus the deadline/budget hardening paths) must end in a typed error
     # or a recovered inference, and the engine must stay reusable with
     # bitwise-identical outputs. Any WEDGED/PANICKED/unexpected cell exits
-    # non-zero.
-    $CLI chaos --all --seed 42
+    # non-zero. Run in both scheduling modes: the hardening paths must hold
+    # under wavefront execution too.
+    echo "--- chaos (serial) ---"
+    SOD2_WAVEFRONT=0 $CLI chaos --all --seed 42
+    echo "--- chaos (wavefront) ---"
+    SOD2_WAVEFRONT=1 $CLI chaos --all --seed 42
 }
 
 stage_bench() {

@@ -13,8 +13,10 @@
 //!   [`sod2_mem::PlanViolation`]s into diagnostics, plus a cross-planner
 //!   comparison against the live-range lower bound;
 //! - [`plan_check`] — execution/fusion-plan verification: SEP orders must
-//!   be dependency-valid topological orders, and fusion groups must not
-//!   leak fused-away tensors to external consumers.
+//!   be dependency-valid topological orders, fusion groups must not
+//!   leak fused-away tensors to external consumers, and wavefront
+//!   schedules must be legal parallel schedules (dependence-respecting
+//!   waves, peak within slack, no concurrently-live arena aliasing).
 //!
 //! [`analyze_static`] is the one-call driver used by `sod2-cli analyze`
 //! and the engines' debug-mode verification stage.
@@ -44,13 +46,15 @@ pub use ir_lints::{lint_graph, registry, Lint};
 pub use mem_check::{compare_planners, verify_memory_plan};
 pub use plan_check::{
     verify_fusion, verify_fusion_internals, verify_node_order, verify_unit_order,
+    verify_wavefront_schedule,
 };
 pub use rdp_check::{check_monotonicity, report_inconsistencies, verify_observed_shapes};
 
 use sod2_fusion::{fuse, FusionPolicy};
 use sod2_ir::Graph;
 use sod2_plan::{
-    naive_unit_order, partition_units, plan_order, unit_lifetimes, SepOptions, UnitGraph,
+    naive_unit_order, partition_units, plan_order, plan_wavefronts, unit_lifetimes, SepOptions,
+    UnitGraph, WavefrontOptions,
 };
 use sod2_rdp::analyze_traced;
 
@@ -98,6 +102,25 @@ pub fn analyze_static(graph: &Graph) -> Report {
     report.extend(verify_unit_order(&ug, &plan.unit_order));
     report.extend(verify_node_order(graph, &plan.node_order));
     report.extend(verify_unit_order(&ug, &naive_unit_order(&ug)));
+
+    // Stage 4b: wavefront schedule over the SEP order, verified as a
+    // parallel schedule against a DMP plan over its own live ranges.
+    let wave_opts = WavefrontOptions::default();
+    let ws = plan_wavefronts(graph, &ug, &plan.unit_order, &size_of, wave_opts);
+    let wave_lives: Vec<sod2_mem::TensorLife> =
+        sod2_plan::wavefront_lifetimes(graph, &ug, &ws.waves, &size_of)
+            .into_iter()
+            .filter(|l| l.size > 0)
+            .collect();
+    let wave_plan = sod2_mem::plan_sod2(&wave_lives);
+    report.extend(verify_wavefront_schedule(
+        graph,
+        &ug,
+        &ws,
+        &size_of,
+        wave_opts.slack,
+        Some(&wave_plan),
+    ));
 
     // Stage 5: memory plans over the SEP order's lifetimes.
     let lives: Vec<sod2_mem::TensorLife> = unit_lifetimes(graph, &ug, &plan.unit_order, &size_of)

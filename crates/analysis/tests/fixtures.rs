@@ -4,12 +4,12 @@
 use sod2_analysis::{
     check_monotonicity, compare_planners, lint_graph, report_inconsistencies, verify_fusion,
     verify_fusion_internals, verify_memory_plan, verify_node_order, verify_observed_shapes,
-    verify_unit_order, Report,
+    verify_unit_order, verify_wavefront_schedule, Report,
 };
 use sod2_fusion::{fuse, FusionGroup, FusionPlan, FusionPolicy};
 use sod2_ir::{BinaryOp, DType, Graph, NodeId, Op, TensorId, UnaryOp};
 use sod2_mem::{MemoryPlan, TensorLife};
-use sod2_plan::UnitGraph;
+use sod2_plan::{UnitGraph, WavefrontSchedule};
 use sod2_rdp::{analyze, RdpReport, RdpResult, RdpTrace};
 use sod2_sym::{Bindings, DimValue, ShapeValue, SymValue};
 use std::collections::{HashMap, HashSet};
@@ -428,4 +428,137 @@ fn clean_pipeline_artifacts_verify() {
     let fusion = fuse(&g, &rdp, FusionPolicy::Rdp);
     let r = report_of(verify_fusion(&g, &fusion));
     assert!(r.diagnostics.is_empty(), "{}", r.render_text(Some(&g)));
+}
+
+// ------------------------------------------------------ wavefront schedules
+
+/// x fans out into two independent units that can share a wave.
+fn fanout_setup() -> (Graph, UnitGraph, Vec<usize>) {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    let a = g.add_simple("a", Op::Unary(UnaryOp::Relu), &[x], DType::F32);
+    let b = g.add_simple("b", Op::Unary(UnaryOp::Sigmoid), &[x], DType::F32);
+    let c = g.add_simple("c", Op::Binary(BinaryOp::Add), &[a, b], DType::F32);
+    g.mark_output(c);
+    let rdp = analyze(&g);
+    let fusion = fuse(&g, &rdp, FusionPolicy::None);
+    let ug = UnitGraph::build(&g, &fusion);
+    let order: Vec<usize> = (0..ug.units.len()).collect();
+    (g, ug, order)
+}
+
+#[test]
+fn fires_plan_wave_dependency_on_concurrent_producer_consumer() {
+    let (g, ug, order) = fanout_setup();
+    // Cram everything into one wave: the Add runs concurrently with its
+    // own producers.
+    let ws = WavefrontSchedule {
+        waves: vec![order.clone()],
+        serial_peak: usize::MAX / 2,
+        parallel_peak: 0,
+        max_width: order.len(),
+        splits: 0,
+        serial_fallback: false,
+    };
+    let r = report_of(verify_wavefront_schedule(&g, &ug, &ws, &|_| 64, 0.5, None));
+    assert!(
+        r.has_code("plan/wave-dependency"),
+        "{}",
+        r.render_text(None)
+    );
+}
+
+#[test]
+fn fires_plan_wave_alias_on_concurrently_live_shared_bytes() {
+    let (g, ug, _) = fanout_setup();
+    // Legal waves from the real planner...
+    let ws = sod2_plan::plan_wavefronts(
+        &g,
+        &ug,
+        &(0..ug.units.len()).collect::<Vec<_>>(),
+        &|_| 64,
+        sod2_plan::WavefrontOptions::default(),
+    );
+    assert!(
+        ws.max_width >= 2,
+        "a and b must share a wave: {:?}",
+        ws.waves
+    );
+    // ...but an offset plan that aliases every tensor at offset 0, so the
+    // two concurrently-live branch outputs share arena bytes.
+    let lives = sod2_plan::wavefront_lifetimes(&g, &ug, &ws.waves, &|_| 64);
+    let aliased = MemoryPlan {
+        offsets: lives.iter().map(|l| (l.key, 0)).collect(),
+        peak: 64,
+    };
+    let r = report_of(verify_wavefront_schedule(
+        &g,
+        &ug,
+        &ws,
+        &|_| 64,
+        0.5,
+        Some(&aliased),
+    ));
+    assert!(r.has_code("plan/wave-alias"), "{}", r.render_text(None));
+}
+
+#[test]
+fn fires_plan_wave_peak_on_understated_or_overbound_peak() {
+    let (g, ug, order) = fanout_setup();
+    let ws = sod2_plan::plan_wavefronts(
+        &g,
+        &ug,
+        &order,
+        &|_| 64,
+        sod2_plan::WavefrontOptions::default(),
+    );
+    // Understate the declared parallel peak.
+    let lied = WavefrontSchedule {
+        parallel_peak: 0,
+        ..ws.clone()
+    };
+    let r = report_of(verify_wavefront_schedule(
+        &g,
+        &ug,
+        &lied,
+        &|_| 64,
+        0.5,
+        None,
+    ));
+    assert!(r.has_code("plan/wave-peak"), "{}", r.render_text(None));
+    // Or shrink the claimed serial peak so the bound cannot hold.
+    let overbound = WavefrontSchedule {
+        serial_peak: 1,
+        ..ws
+    };
+    let r = report_of(verify_wavefront_schedule(
+        &g,
+        &ug,
+        &overbound,
+        &|_| 64,
+        0.0,
+        None,
+    ));
+    assert!(r.has_code("plan/wave-peak"), "{}", r.render_text(None));
+}
+
+#[test]
+fn clean_wavefront_schedule_verifies() {
+    let (g, ug, order) = fanout_setup();
+    let opts = sod2_plan::WavefrontOptions::default();
+    let ws = sod2_plan::plan_wavefronts(&g, &ug, &order, &|_| 64, opts);
+    let lives: Vec<TensorLife> = sod2_plan::wavefront_lifetimes(&g, &ug, &ws.waves, &|_| 64)
+        .into_iter()
+        .filter(|l| l.size > 0)
+        .collect();
+    let plan = sod2_mem::plan_sod2(&lives);
+    let r = report_of(verify_wavefront_schedule(
+        &g,
+        &ug,
+        &ws,
+        &|_| 64,
+        opts.slack,
+        Some(&plan),
+    ));
+    assert!(!r.has_errors(), "{}", r.render_text(Some(&g)));
 }

@@ -28,6 +28,13 @@ struct ZooEntry {
     peak_memory_bytes: usize,
     alloc_events: usize,
     arena_backed: usize,
+    wavefront_count: usize,
+    max_wave_width: usize,
+    wave_splits: usize,
+    serial_makespan_ms: f64,
+    scheduled_makespan_ms: f64,
+    makespan_speedup: f64,
+    makespan_bound: f64,
     wall_ms_best: f64,
     kernel_ms: f64,
     kernel_coverage: f64,
@@ -39,7 +46,11 @@ impl ZooEntry {
             concat!(
                 "    {{\"model\": \"{}\", \"size\": {}, \"priced_ms\": {:.6}, ",
                 "\"peak_memory_bytes\": {}, \"alloc_events\": {}, ",
-                "\"arena_backed\": {}, \"wall_ms_best\": {:.4}, ",
+                "\"arena_backed\": {}, \"wavefront_count\": {}, ",
+                "\"max_wave_width\": {}, \"wave_splits\": {}, ",
+                "\"serial_makespan_ms\": {:.6}, \"scheduled_makespan_ms\": {:.6}, ",
+                "\"makespan_speedup\": {:.4}, \"makespan_bound\": {:.4}, ",
+                "\"wall_ms_best\": {:.4}, ",
                 "\"kernel_ms\": {:.4}, \"kernel_coverage\": {:.4}}}"
             ),
             self.model,
@@ -48,6 +59,13 @@ impl ZooEntry {
             self.peak_memory_bytes,
             self.alloc_events,
             self.arena_backed,
+            self.wavefront_count,
+            self.max_wave_width,
+            self.wave_splits,
+            self.serial_makespan_ms,
+            self.scheduled_makespan_ms,
+            self.makespan_speedup,
+            self.makespan_bound,
             self.wall_ms_best,
             self.kernel_ms,
             self.kernel_coverage,
@@ -63,23 +81,58 @@ fn measure(model: &sod2_models::DynModel, iters: usize) -> ZooEntry {
     let mut rng = StdRng::seed_from_u64(42);
     let inputs = model.make_inputs(size, &mut rng);
 
+    // Serial reference: wavefront execution must be bitwise-identical, so
+    // every zoo model is checked here on every bench run.
+    let serial_outputs = {
+        let mut serial = Sod2Engine::new(
+            model.graph.clone(),
+            DeviceProfile::s888_cpu(),
+            Sod2Options {
+                wavefront_exec: false,
+                ..Sod2Options::default()
+            },
+            &Default::default(),
+        );
+        serial.infer(&inputs).expect("serial infer").outputs
+    };
+
     let _session = sod2_obs::session_guard();
     sod2_obs::set_enabled(true);
     sod2_obs::begin();
     let mut engine = Sod2Engine::new(
         model.graph.clone(),
         DeviceProfile::s888_cpu(),
-        Sod2Options::default(),
+        Sod2Options {
+            wavefront_exec: true,
+            ..Sod2Options::default()
+        },
         &Default::default(),
     );
     // Warmup: first inference pays DMP plan construction.
     let mut stats = engine.infer(&inputs).expect("warmup infer");
+    assert_eq!(
+        serial_outputs.len(),
+        stats.outputs.len(),
+        "{}: wavefront output count diverged from serial",
+        model.name
+    );
+    for (s, w) in serial_outputs.iter().zip(&stats.outputs) {
+        assert_eq!(
+            s.payload_le_bytes(),
+            w.payload_le_bytes(),
+            "{}: wavefront outputs diverged bitwise from serial",
+            model.name
+        );
+    }
     let mut wall_best = f64::INFINITY;
     for _ in 0..iters {
         let t0 = Instant::now();
         stats = engine.infer(&inputs).expect("infer");
         wall_best = wall_best.min(t0.elapsed().as_secs_f64());
     }
+    let wave = engine
+        .last_wave_stats()
+        .expect("wavefront stats after wavefront-mode inference");
     let prof = sod2_obs::take();
     sod2_obs::set_enabled(false);
 
@@ -92,6 +145,21 @@ fn measure(model: &sod2_models::DynModel, iters: usize) -> ZooEntry {
         peak_memory_bytes: stats.peak_memory_bytes,
         alloc_events: stats.alloc_events,
         arena_backed: stats.arena_backed,
+        wavefront_count: wave.wave_count,
+        max_wave_width: wave.max_width,
+        wave_splits: wave.splits,
+        serial_makespan_ms: wave.serial_s * 1e3,
+        scheduled_makespan_ms: wave.makespan_s * 1e3,
+        makespan_speedup: if wave.makespan_s > 0.0 {
+            wave.serial_s / wave.makespan_s
+        } else {
+            1.0
+        },
+        makespan_bound: if wave.critical_s > 0.0 {
+            wave.serial_s / wave.critical_s
+        } else {
+            1.0
+        },
         wall_ms_best: wall_best * 1e3,
         kernel_ms: kernel_ns as f64 / 1e6,
         kernel_coverage: if infer_ns > 0 {
@@ -172,13 +240,18 @@ fn main() {
         let e = measure(&model, iters);
         eprintln!(
             "{:<24} size {:<3} priced {:>8.3} ms  peak {:>8.2} MB  \
-             allocs {:<4} slab {:<4} wall {:>7.3} ms  kernels {:>5.1}%",
+             allocs {:<4} slab {:<4} waves {:<3} width {:<2} speedup {:>4.2}x \
+             (bound {:>4.2}x)  wall {:>7.3} ms  kernels {:>5.1}%",
             e.model,
             e.size,
             e.priced_ms,
             e.peak_memory_bytes as f64 / (1024.0 * 1024.0),
             e.alloc_events,
             e.arena_backed,
+            e.wavefront_count,
+            e.max_wave_width,
+            e.makespan_speedup,
+            e.makespan_bound,
             e.wall_ms_best,
             e.kernel_coverage * 100.0,
         );
@@ -195,10 +268,12 @@ fn main() {
             }
         ));
         s.push_str(concat!(
-            "  \"gated_basis\": \"priced_ms, peak_memory_bytes, alloc_events and ",
-            "arena_backed are deterministic (cost model + fixed seed 42 inputs) and ",
-            "gated by perf_gate; wall_ms_best, kernel_ms, kernel_coverage and ",
-            "faults_probe_ns are host wallclock and informational only\",\n"
+            "  \"gated_basis\": \"priced_ms, peak_memory_bytes, alloc_events, ",
+            "arena_backed, wavefront_count, max_wave_width, scheduled_makespan_ms ",
+            "and makespan_speedup are deterministic (cost model + static schedule + ",
+            "fixed seed 42 inputs) and gated by perf_gate; wall_ms_best, kernel_ms, ",
+            "kernel_coverage and faults_probe_ns are host wallclock and ",
+            "informational only\",\n"
         ));
         s.push_str(&format!("  \"faults_probe_ns\": {faults_probe_ns:.1},\n"));
         s.push_str("  \"models\": [\n");

@@ -15,6 +15,10 @@
 //! | `heap_alloc_events`  | higher-worse | heap allocs (heap path)           |
 //! | `chunks`             | higher-worse | pool chunk count per kernel       |
 //! | `arena_backed`       | lower-worse  | tensors served from the arena     |
+//! | `wavefront_count`    | higher-worse | waves in the static schedule      |
+//! | `max_wave_width`     | lower-worse  | widest wave (parallelism exposed) |
+//! | `scheduled_makespan_ms` | higher-worse | priced makespan at 4 workers   |
+//! | `makespan_speedup`   | lower-worse  | serial over scheduled makespan    |
 //!
 //! Entries are aligned by their `"name"` / `"model"` key inside any JSON
 //! array of objects, so the same comparator handles `BENCH_kernels.json`
@@ -43,6 +47,10 @@ pub const GATED_METRICS: &[(&str, Direction)] = &[
     ("heap_alloc_events", Direction::HigherWorse),
     ("chunks", Direction::HigherWorse),
     ("arena_backed", Direction::LowerWorse),
+    ("wavefront_count", Direction::HigherWorse),
+    ("max_wave_width", Direction::LowerWorse),
+    ("scheduled_makespan_ms", Direction::HigherWorse),
+    ("makespan_speedup", Direction::LowerWorse),
 ];
 
 /// Outcome for one (entry, metric) pair.

@@ -284,6 +284,16 @@ fn profile_cmd(args: &[String]) {
     } else {
         0.0
     };
+    // Pool occupancy: busy-worker time over (inference wall × workers) —
+    // how much of the pool's theoretical capacity the run actually used.
+    let workers = sod2_pool::current_threads().max(1);
+    let busy_ns = prof.counters.get("pool.busy_ns").copied().unwrap_or(0);
+    let occupancy = if infer_ns > 0 {
+        busy_ns as f64 / (infer_ns as f64 * workers as f64)
+    } else {
+        0.0
+    };
+    let wave = engine.last_wave_stats();
 
     if let Some(path) = &chrome {
         if let Err(e) = std::fs::write(path, prof.render_chrome_trace()) {
@@ -295,10 +305,29 @@ fn profile_cmd(args: &[String]) {
     if json {
         // Wrap the profile JSON with run metadata so downstream tools get
         // a single self-describing document.
+        let wave_json = match &wave {
+            Some(w) => format!(
+                "{{\"wave_count\": {}, \"max_width\": {}, \"splits\": {}, \
+                 \"serial_ms\": {:.6}, \"scheduled_makespan_ms\": {:.6}, \
+                 \"serial_peak_bytes\": {}, \"parallel_peak_bytes\": {}, \
+                 \"serial_fallback\": {}, \"runtime_fallback\": {}}}",
+                w.wave_count,
+                w.max_width,
+                w.splits,
+                w.serial_s * 1e3,
+                w.makespan_s * 1e3,
+                w.serial_peak,
+                w.parallel_peak,
+                w.serial_fallback,
+                w.runtime_fallback,
+            ),
+            None => "null".to_string(),
+        };
         println!(
             "{{\n  \"model\": \"{}\",\n  \"device\": \"{}\",\n  \"size\": {},\n  \
              \"iters\": {},\n  \"priced_ms\": {:.6},\n  \"peak_memory_bytes\": {},\n  \
-             \"kernel_coverage\": {:.4},\n  \"profile\": {}\n}}",
+             \"kernel_coverage\": {:.4},\n  \"pool_workers\": {},\n  \
+             \"pool_occupancy\": {:.4},\n  \"wavefront\": {},\n  \"profile\": {}\n}}",
             model.name,
             profile.name,
             model.round_size(size),
@@ -306,6 +335,9 @@ fn profile_cmd(args: &[String]) {
             stats.latency.total() * 1e3,
             stats.peak_memory_bytes,
             coverage,
+            workers,
+            occupancy,
+            wave_json,
             prof.render_json()
         );
     } else {
@@ -337,6 +369,45 @@ fn profile_cmd(args: &[String]) {
             prof.cat_count("kernel"),
             coverage * 100.0
         );
+        println!(
+            "pool     : {:.1}% occupancy ({:.3} ms busy-worker time / {} workers)",
+            occupancy * 100.0,
+            busy_ns as f64 / 1e6,
+            workers
+        );
+        if let Some(w) = &wave {
+            println!(
+                "wavefront: {} waves, max width {}, {} split(s){}{}",
+                w.wave_count,
+                w.max_width,
+                w.splits,
+                if w.serial_fallback {
+                    " [planner serial fallback]"
+                } else {
+                    ""
+                },
+                if w.runtime_fallback {
+                    " [runtime serial fallback]"
+                } else {
+                    ""
+                },
+            );
+            println!(
+                "makespan : {:.3} ms scheduled @4 workers vs {:.3} ms serial ({:.2}x)",
+                w.makespan_s * 1e3,
+                w.serial_s * 1e3,
+                if w.makespan_s > 0.0 {
+                    w.serial_s / w.makespan_s
+                } else {
+                    1.0
+                },
+            );
+            println!(
+                "wave mem : parallel peak {:.2} MB vs serial peak {:.2} MB",
+                w.parallel_peak as f64 / (1024.0 * 1024.0),
+                w.serial_peak as f64 / (1024.0 * 1024.0),
+            );
+        }
         println!();
         print!("{}", prof.render_text());
         if let Some(path) = &chrome {

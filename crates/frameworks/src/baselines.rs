@@ -82,6 +82,7 @@ impl Compiled {
             fused_interpreter: true,
             nan_guard: false,
             memory_budget: None,
+            wave_plan: None,
         };
         execute(&self.graph, inputs, &cfg)
     }
@@ -336,6 +337,7 @@ impl Engine for TfLiteLike {
                 efficiency: None,
                 working_set: remat_bytes,
                 fused_ops: 1,
+                group: 0,
             });
         }
         let plan = plan_best_fit(&lives);

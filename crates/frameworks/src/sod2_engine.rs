@@ -6,19 +6,21 @@
 use crate::common::{bindings_from_inputs, Engine, InferenceStats};
 use sod2_device::DeviceProfile;
 use sod2_fusion::{fuse, FusionPlan, FusionPolicy};
-use sod2_ir::{Graph, NodeId, TensorId};
-use sod2_mem::{plan_sod2, size_class_peak, Arena, MemoryPlan, TensorLife};
+use sod2_ir::{Graph, NodeId, Op, TensorId};
+use sod2_mem::{plan_sod2, size_class_peak, verify_plan, Arena, MemoryPlan, TensorLife};
 use sod2_mvc::VersionTable;
 use sod2_plan::{
-    naive_unit_order, partition_units, plan_order, unit_lifetimes, Partition, SepOptions, UnitGraph,
+    naive_unit_order, partition_units, plan_order, plan_wavefronts, unit_lifetimes,
+    wavefront_lifetimes, Partition, SepOptions, UnitGraph, WavefrontOptions, WavefrontSchedule,
 };
 use sod2_rdp::{analyze, RdpResult};
 use sod2_runtime::{
-    execute, execute_with_arena, ArenaBacking, ExecConfig, ExecError, RunOutcome, TraceEvent,
+    execute, execute_with_arena, ArenaBacking, ExecConfig, ExecError, ExecutionTrace, RunOutcome,
+    TraceEvent, WaveExecPlan,
 };
 use sod2_sym::Bindings;
 use sod2_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Which optimizations the engine applies (paper §5.3's ladder).
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +54,28 @@ pub struct Sod2Options {
     /// Fail with [`ExecError::NumericFault`] when a non-finite value
     /// reaches an output instead of returning poisoned results.
     pub nan_guard: bool,
+    /// Execute independent SEP units of one wavefront concurrently on the
+    /// shared worker pool (inter-op parallelism). Results stay bitwise
+    /// identical to serial execution; only scheduling changes. Defaults to
+    /// the `SOD2_WAVEFRONT` environment variable (unset/`1` → on,
+    /// `0`/`false`/`off`/`no` → off).
+    pub wavefront_exec: bool,
+    /// Memory-slack knob for wavefront planning: the concurrent peak may
+    /// exceed the serial SEP peak by at most this fraction (waves are split
+    /// until the bound holds). Defaults to `SOD2_WAVE_SLACK` or `0.5`.
+    pub wavefront_slack: f64,
+}
+
+/// Reads a boolean environment flag: `0`/`false`/`off`/`no` disable, any
+/// other set value enables, unset keeps the default.
+fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+        Err(_) => default,
+    }
 }
 
 impl Default for Sod2Options {
@@ -66,6 +90,11 @@ impl Default for Sod2Options {
             deadline: None,
             memory_budget: None,
             nan_guard: false,
+            wavefront_exec: env_flag("SOD2_WAVEFRONT", true),
+            wavefront_slack: std::env::var("SOD2_WAVE_SLACK")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0.5),
         }
     }
 }
@@ -80,10 +109,44 @@ impl Sod2Options {
             dmp: false,
             mvc: false,
             arena_exec: false,
+            wavefront_exec: false,
             ..Sod2Options::default()
         }
     }
 }
+
+/// Deterministic wavefront statistics for the last inference, derived from
+/// the static schedule and the priced kernel trace (no wallclock): the
+/// makespan is what greedy list scheduling of the priced unit costs onto
+/// [`WAVE_WORKERS`] workers achieves, wave by wave.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveStats {
+    /// Number of wavefronts in the schedule.
+    pub wave_count: usize,
+    /// Widest wavefront (units able to run concurrently).
+    pub max_width: usize,
+    /// Times the memory bound split a wave.
+    pub splits: usize,
+    /// Priced serial kernel seconds (sum over all units).
+    pub serial_s: f64,
+    /// Priced scheduled makespan at [`WAVE_WORKERS`] workers.
+    pub makespan_s: f64,
+    /// Critical-path seconds through the unit DAG — the lower bound no
+    /// schedule (with any worker count) can beat.
+    pub critical_s: f64,
+    /// Peak bytes of the serial SEP order (at planning sizes).
+    pub serial_peak: usize,
+    /// Concurrent peak of the wavefront schedule (at planning sizes).
+    pub parallel_peak: usize,
+    /// The planner gave up and degenerated to serial singleton waves.
+    pub serial_fallback: bool,
+    /// This inference ran serially because the runtime re-verification of
+    /// the arena plan against the parallel live ranges failed.
+    pub runtime_fallback: bool,
+}
+
+/// Worker count the deterministic scheduled makespan is quoted at.
+pub const WAVE_WORKERS: usize = 4;
 
 /// The SoD² execution engine.
 pub struct Sod2Engine {
@@ -95,11 +158,20 @@ pub struct Sod2Engine {
     unit_graph: UnitGraph,
     partitions: Vec<Partition>,
     unit_order: Vec<usize>,
+    /// The SEP (serial) unit order, before wavefront flattening — the
+    /// schedule serial-granularity memory metrics are quoted on.
+    sep_unit_order: Vec<usize>,
     node_order: Vec<NodeId>,
     table: Option<VersionTable>,
     /// The arena slab for `arena_exec`, reused (grow-never-shrink) across
     /// inferences so steady-state runs allocate nothing.
     arena: Option<Arena>,
+    /// The static wavefront schedule (unit granularity), when enabled.
+    wave_schedule: Option<WavefrontSchedule>,
+    /// The same schedule lowered to node granularity for the executor.
+    wave_exec: Option<WaveExecPlan>,
+    /// Wavefront statistics of the most recent inference.
+    last_wave: Option<WaveStats>,
 }
 
 impl Sod2Engine {
@@ -192,6 +264,46 @@ impl Sod2Engine {
         } else {
             naive_unit_order(&unit_graph)
         };
+        // Wavefront schedule over the chosen unit order: dependence-
+        // respecting level sets, split until the concurrent peak fits
+        // within `serial_peak × (1 + slack)`. The executed unit order
+        // becomes the flattened wave order (still a valid topological
+        // order — outputs are order-independent).
+        let wave_opts = WavefrontOptions {
+            slack: opts.wavefront_slack,
+            ..WavefrontOptions::default()
+        };
+        let wave_schedule = if opts.wavefront_exec {
+            let _s = sod2_obs::span!("stage", "wavefront_plan");
+            Some(plan_wavefronts(
+                &graph,
+                &unit_graph,
+                &unit_order,
+                &size_of,
+                wave_opts,
+            ))
+        } else {
+            None
+        };
+        // Keep the SEP order for serial-granularity memory reporting; the
+        // *executed* order becomes the flattened wave order when waves are
+        // on (both are valid topological orders — outputs are identical).
+        let sep_unit_order = unit_order.clone();
+        let unit_order = match &wave_schedule {
+            Some(ws) => ws.flat_unit_order(),
+            None => unit_order,
+        };
+        let wave_exec = wave_schedule.as_ref().map(|ws| WaveExecPlan {
+            waves: ws
+                .waves
+                .iter()
+                .map(|wave| {
+                    wave.iter()
+                        .map(|&u| unit_graph.units[u].nodes.clone())
+                        .collect()
+                })
+                .collect(),
+        });
         let node_order: Vec<NodeId> = unit_order
             .iter()
             .flat_map(|&u| unit_graph.units[u].nodes.iter().copied())
@@ -211,6 +323,22 @@ impl Sod2Engine {
             stage.extend(sod2_analysis::verify_fusion(&graph, &fusion_plan));
             stage.extend(sod2_analysis::verify_unit_order(&unit_graph, &unit_order));
             stage.extend(sod2_analysis::verify_node_order(&graph, &node_order));
+            if let Some(ws) = &wave_schedule {
+                let wave_lives: Vec<TensorLife> =
+                    wavefront_lifetimes(&graph, &unit_graph, &ws.waves, &size_of)
+                        .into_iter()
+                        .filter(|l| l.size > 0)
+                        .collect();
+                let wave_plan = plan_sod2(&wave_lives);
+                stage.extend(sod2_analysis::verify_wavefront_schedule(
+                    &graph,
+                    &unit_graph,
+                    ws,
+                    &size_of,
+                    wave_opts.slack,
+                    Some(&wave_plan),
+                ));
+            }
             debug_assert!(
                 !stage.has_errors(),
                 "compiled plan failed verification:\n{}",
@@ -226,10 +354,54 @@ impl Sod2Engine {
             unit_graph,
             partitions,
             unit_order,
+            sep_unit_order,
             node_order,
             table,
             arena: None,
+            wave_schedule,
+            wave_exec,
+            last_wave: None,
         }
+    }
+
+    /// The compiled wavefront schedule, when wavefront execution is on.
+    pub fn wave_schedule(&self) -> Option<&WavefrontSchedule> {
+        self.wave_schedule.as_ref()
+    }
+
+    /// Wavefront statistics of the most recent inference (`None` before
+    /// the first inference or with wavefront execution off).
+    pub fn last_wave_stats(&self) -> Option<WaveStats> {
+        self.last_wave
+    }
+
+    /// Prices each kernel event individually and attributes the seconds to
+    /// its schedulable unit via the event's fusion-group id.
+    fn priced_unit_seconds(&self, trace: &ExecutionTrace) -> HashMap<usize, f64> {
+        let mut gid_to_unit: HashMap<usize, usize> = HashMap::new();
+        for (u, unit) in self.unit_graph.units.iter().enumerate() {
+            if let Some(&n0) = unit.nodes.first() {
+                gid_to_unit.insert(self.fusion_plan.group_of(n0), u);
+            }
+        }
+        let mut out: HashMap<usize, f64> = HashMap::new();
+        for e in &trace.events {
+            if let TraceEvent::Kernel {
+                cost,
+                efficiency,
+                working_set,
+                group,
+                ..
+            } = e
+            {
+                let eff = efficiency.unwrap_or(self.profile.base_efficiency);
+                let s = sod2_device::price_kernel(&self.profile, cost, eff, *working_set);
+                if let Some(&u) = gid_to_unit.get(group) {
+                    *out.entry(u).or_insert(0.0) += s;
+                }
+            }
+        }
+        out
     }
 
     /// The compiled fusion plan.
@@ -288,10 +460,19 @@ impl Sod2Engine {
                 .map(|s| s.iter().product::<usize>() * self.graph.tensor(t).dtype.size_bytes())
                 .unwrap_or(0)
         };
-        unit_lifetimes(&self.graph, &self.unit_graph, &self.unit_order, &size_of)
-            .into_iter()
-            .filter(|l| l.size > 0)
-            .collect()
+        // Always over the serial SEP order: `peak_memory_bytes` is the
+        // §4.4.1 offset-plan metric, comparable across engines and modes.
+        // The concurrent peak of wavefront execution is reported separately
+        // in [`WaveStats::parallel_peak`], bounded by the slack knob.
+        unit_lifetimes(
+            &self.graph,
+            &self.unit_graph,
+            &self.sep_unit_order,
+            &size_of,
+        )
+        .into_iter()
+        .filter(|l| l.size > 0)
+        .collect()
     }
 
     /// Runs inference and returns the memory plan alongside the stats
@@ -314,15 +495,6 @@ impl Sod2Engine {
         if bindings_corrupted {
             bindings.clear();
         }
-        let cfg = ExecConfig {
-            fusion: Some(&self.fusion_plan),
-            node_order: Some(&self.node_order),
-            version_table: self.table.as_ref(),
-            execute_all_branches: !self.opts.native_control_flow,
-            fused_interpreter: true,
-            nan_guard: self.opts.nan_guard,
-            memory_budget: self.opts.memory_budget,
-        };
         // Pre-execution memory plan for arena-backed execution: RDP's
         // symbolic byte counts evaluated at this inference's bindings give
         // exact sizes for every shape-resolvable tensor *before any kernel
@@ -331,24 +503,109 @@ impl Sod2Engine {
         // allocated by the executor: the dynamic residue.
         let arena_on = self.opts.dmp && self.opts.arena_exec;
         let dmp_span = sod2_obs::span!("phase", "dmp_pre_plan");
-        let pre_lives: Vec<TensorLife> = if arena_on {
-            let size_of = |t: TensorId| -> usize {
-                self.rdp
-                    .symbolic_bytes(&self.graph, t)
-                    .and_then(|e| e.eval(&bindings))
-                    .map(|b| b.max(0) as usize)
-                    .unwrap_or(0)
+        let rdp_size = |t: TensorId| -> usize {
+            self.rdp
+                .symbolic_bytes(&self.graph, t)
+                .and_then(|e| e.eval(&bindings))
+                .map(|b| b.max(0) as usize)
+                .unwrap_or(0)
+        };
+        // Bounded planning of the `nac` residue: some execution-determined
+        // outputs still have a static *upper bound* — NMS keeps at most
+        // `max_output` indices, and a Gather indexed by a bounded tensor
+        // inherits the bound times the data row size. Planning the slot at
+        // the bound (the executor accepts any write that fits a bounded
+        // slot) removes those per-inference heap allocations entirely.
+        let mut bound_bytes: HashMap<usize, usize> = HashMap::new();
+        let mut bounded_keys: HashSet<usize> = HashSet::new();
+        if arena_on {
+            let mut elem_bound: HashMap<usize, usize> = HashMap::new();
+            for &nid in &self.node_order {
+                let node = self.graph.node(nid);
+                let (t, bound) = match &node.op {
+                    Op::NonMaxSuppression { max_output } => (node.outputs[0], Some(*max_output)),
+                    Op::Gather { axis } => {
+                        let idx_elems = elem_bound
+                            .get(&(node.inputs[1].0 as usize))
+                            .copied()
+                            .or_else(|| {
+                                self.rdp
+                                    .concrete_shape(node.inputs[1], &bindings)
+                                    .map(|s| s.iter().product::<i64>().max(0) as usize)
+                            });
+                        let row_elems = self
+                            .rdp
+                            .concrete_shape(node.inputs[0], &bindings)
+                            .and_then(|s| {
+                                let ax = usize::try_from(*axis).ok()?;
+                                let ax_len = *s.get(ax)?;
+                                if ax_len <= 0 {
+                                    return None;
+                                }
+                                let numel: i64 = s.iter().product();
+                                usize::try_from(numel / ax_len).ok()
+                            });
+                        (
+                            node.outputs[0],
+                            idx_elems.zip(row_elems).map(|(i, r)| i * r),
+                        )
+                    }
+                    _ => continue,
+                };
+                if let Some(elems) = bound {
+                    if rdp_size(t) == 0 {
+                        let key = t.0 as usize;
+                        elem_bound.insert(key, elems);
+                        bound_bytes.insert(key, elems * self.graph.tensor(t).dtype.size_bytes());
+                        bounded_keys.insert(key);
+                    }
+                }
+            }
+        }
+        let eff_size = |t: TensorId| -> usize {
+            let s = rdp_size(t);
+            if s > 0 {
+                s
+            } else {
+                bound_bytes.get(&(t.0 as usize)).copied().unwrap_or(0)
+            }
+        };
+        // With wavefront execution the plan must be valid under *concurrent*
+        // liveness: wave-granularity lifetimes treat every tensor of a wave
+        // as live across the whole wave. They over-cover the serial order
+        // too, so the resulting plan stays sound for the serial fallback.
+        let mut pre_lives: Vec<TensorLife> = if arena_on {
+            let lives = match &self.wave_schedule {
+                Some(ws) => {
+                    wavefront_lifetimes(&self.graph, &self.unit_graph, &ws.waves, &eff_size)
+                }
+                None => unit_lifetimes(&self.graph, &self.unit_graph, &self.unit_order, &eff_size),
             };
-            unit_lifetimes(&self.graph, &self.unit_graph, &self.unit_order, &size_of)
-                .into_iter()
-                .filter(|l| l.size > 0)
-                .collect()
+            lives.into_iter().filter(|l| l.size > 0).collect()
         } else {
             Vec::new()
         };
+        // Runtime DMP admission for parallel execution: re-verify the offset
+        // plan against the parallel live ranges at this inference's concrete
+        // sizes. Unprovable → degrade this inference to serial execution and
+        // re-plan at serial (unit) granularity.
+        let mut wave_plan_ref: Option<&WaveExecPlan> = self.wave_exec.as_ref();
+        let mut pre_plan_opt = arena_on.then(|| plan_sod2(&pre_lives));
+        if let (Some(pre_plan), Some(_)) = (&pre_plan_opt, wave_plan_ref) {
+            if !verify_plan(&pre_lives, pre_plan).is_empty() {
+                sod2_obs::counter_add("exec.wave_fallbacks", 1);
+                wave_plan_ref = None;
+                pre_lives =
+                    unit_lifetimes(&self.graph, &self.unit_graph, &self.unit_order, &eff_size)
+                        .into_iter()
+                        .filter(|l| l.size > 0)
+                        .collect();
+                pre_plan_opt = Some(plan_sod2(&pre_lives));
+            }
+        }
+        let runtime_fallback = self.wave_exec.is_some() && wave_plan_ref.is_none();
         let pre_sizes: HashMap<usize, usize> = pre_lives.iter().map(|l| (l.key, l.size)).collect();
-        let backing = if arena_on {
-            let pre_plan = plan_sod2(&pre_lives);
+        let backing = if let Some(pre_plan) = pre_plan_opt {
             // Budget admission at DMP time: the plan's peak is known before
             // any kernel runs, so an over-budget inference is rejected
             // without doing (or allocating) any work.
@@ -382,6 +639,7 @@ impl Sod2Engine {
                     Some(ArenaBacking {
                         arena,
                         sizes: &pre_sizes,
+                        bounded: &bounded_keys,
                     })
                 }
                 _ => None,
@@ -390,6 +648,16 @@ impl Sod2Engine {
             None
         };
         drop(dmp_span);
+        let cfg = ExecConfig {
+            fusion: Some(&self.fusion_plan),
+            node_order: Some(&self.node_order),
+            version_table: self.table.as_ref(),
+            execute_all_branches: !self.opts.native_control_flow,
+            fused_interpreter: true,
+            nan_guard: self.opts.nan_guard,
+            memory_budget: self.opts.memory_budget,
+            wave_plan: wave_plan_ref,
+        };
         let deadline = self.opts.deadline.map(|d| std::time::Instant::now() + d);
         let outcome = {
             let _s = sod2_obs::span!("phase", "execute");
@@ -462,6 +730,54 @@ impl Sod2Engine {
         let alloc_events = outcome.alloc_sizes.len();
         let arena_backed = outcome.arena_backed;
         let mut trace = outcome.trace;
+        // Deterministic wavefront statistics: price each kernel event,
+        // attribute it to its unit, and list-schedule every wave onto
+        // [`WAVE_WORKERS`] workers. Purely trace-derived — no wallclock —
+        // so the makespan is reproducible across runs and machines.
+        let wave_stats = match &self.wave_schedule {
+            Some(ws) => {
+                let unit_secs = self.priced_unit_seconds(&trace);
+                let serial_s: f64 = unit_secs.values().sum();
+                let makespan_s: f64 = ws
+                    .waves
+                    .iter()
+                    .map(|wave| {
+                        let secs: Vec<f64> = wave
+                            .iter()
+                            .map(|&u| unit_secs.get(&u).copied().unwrap_or(0.0))
+                            .collect();
+                        sod2_pool::scheduled_makespan(&secs, WAVE_WORKERS)
+                    })
+                    .sum();
+                // Critical path over the unit DAG: `self.unit_order` is a
+                // topological order, so one forward pass suffices.
+                let mut cp: HashMap<usize, f64> = HashMap::new();
+                let mut critical_s = 0.0f64;
+                for &u in &self.unit_order {
+                    let own = unit_secs.get(&u).copied().unwrap_or(0.0);
+                    let from = self.unit_graph.preds[u]
+                        .iter()
+                        .map(|p| cp.get(p).copied().unwrap_or(0.0))
+                        .fold(0.0f64, f64::max);
+                    cp.insert(u, from + own);
+                    critical_s = critical_s.max(from + own);
+                }
+                Some(WaveStats {
+                    wave_count: ws.waves.len(),
+                    max_width: ws.max_width,
+                    splits: ws.splits,
+                    serial_s,
+                    makespan_s,
+                    critical_s,
+                    serial_peak: ws.serial_peak,
+                    parallel_peak: ws.parallel_peak,
+                    serial_fallback: ws.serial_fallback,
+                    runtime_fallback,
+                })
+            }
+            None => None,
+        };
+        self.last_wave = wave_stats;
         if self.opts.dmp {
             // One arena allocation per inference, plus the (cheap) runtime
             // plan-generation work, proportional to the sub-graph count.
@@ -527,6 +843,7 @@ impl Sod2Engine {
             fused_interpreter: true,
             nan_guard: self.opts.nan_guard,
             memory_budget: self.opts.memory_budget,
+            wave_plan: None,
         };
         let outcome = execute(&self.graph, inputs, &cfg)?;
         report.extend(an::verify_observed_shapes(

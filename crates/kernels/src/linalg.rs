@@ -87,24 +87,35 @@ pub fn gemm_tiled(
     sod2_pool::scope_chunks(&mut c, tm * n, |off, chunk| {
         let i0 = off / n;
         let i1 = i0 + chunk.len() / n;
+        // Panel buffer for the current `(p0, j0)` tile of B, packed
+        // contiguously so the i-loop streams it instead of reading
+        // `n`-strided rows; packed once per tile-column, reused across
+        // all `i` of the tile. Values and accumulation order are the
+        // unpacked ones, so results stay bitwise identical.
+        let mut packed = vec![0f32; tk * tn];
         for p0 in (0..k).step_by(tk) {
             let p1 = (p0 + tk).min(k);
             for j0 in (0..n).step_by(tn) {
                 let j1 = (j0 + tn).min(n);
+                let w = j1 - j0;
+                for p in p0..p1 {
+                    packed[(p - p0) * w..(p - p0) * w + w]
+                        .copy_from_slice(&b[p * n + j0..p * n + j1]);
+                }
                 for i in i0..i1 {
                     for p in p0..p1 {
                         let av = a[i * k + p];
-                        let brow = &b[p * n..p * n + n];
-                        let crow = &mut chunk[(i - i0) * n..(i - i0) * n + n];
-                        let mut j = j0;
+                        let brow = &packed[(p - p0) * w..(p - p0) * w + w];
+                        let crow = &mut chunk[(i - i0) * n + j0..(i - i0) * n + j1];
+                        let mut j = 0;
                         // Unrolled inner loop.
-                        while j + params.unroll <= j1 {
+                        while j + params.unroll <= w {
                             for u in 0..params.unroll {
                                 crow[j + u] += av * brow[j + u];
                             }
                             j += params.unroll;
                         }
-                        while j < j1 {
+                        while j < w {
                             crow[j] += av * brow[j];
                             j += 1;
                         }

@@ -11,6 +11,19 @@ use sod2_sym::DimExpr;
 const D_MODEL: usize = 16;
 const VOCAB: usize = 128;
 
+/// Attention heads per scale. Tiny (the bench scale) decomposes attention
+/// into 4 independent per-head chains — the intrinsic parallelism of
+/// multi-head attention, visible to the wavefront scheduler. Full scale
+/// keeps the monolithic batched form so node counts stay aligned with the
+/// paper's model tables (real ONNX exports fold heads into batched
+/// matmuls).
+fn heads(scale: ModelScale) -> usize {
+    match scale {
+        ModelScale::Tiny => 4,
+        ModelScale::Full => 1,
+    }
+}
+
 /// Flattens `[1, C, H, W]` features into a `[1, H*W, C]` sequence through a
 /// Shape → Gather → Mul → Concat → Reshape chain — the ISDO/ISVDOS pattern
 /// RDP is built to resolve (paper Fig. 1(a)).
@@ -83,7 +96,7 @@ pub fn codebert(scale: ModelScale) -> DynModel {
     let ids = g.add_input("tokens", DType::I64, vec![1.into(), DimExpr::sym("L")]);
     let mut t = embedding(&mut g, "emb", ids, VOCAB, D_MODEL);
     for i in 0..layers {
-        t = transformer_layer(&mut g, &format!("layer{i}"), t, D_MODEL);
+        t = transformer_layer(&mut g, &format!("layer{i}"), t, D_MODEL, heads(scale));
     }
     let pooled = seq_mean_pool(&mut g, "pool", t);
     let w = dense(&mut g, "head.fc", &[D_MODEL as i64, 2]);
@@ -112,7 +125,13 @@ pub fn codebert(scale: ModelScale) -> DynModel {
 
 /// One Conformer block (≈ 30 nodes): half-FFN, self-attention, a depthwise
 /// convolution module (through a 4-D detour), and a second half-FFN.
-fn conformer_block(g: &mut Graph, name: &str, x: TensorId, d_model: usize) -> TensorId {
+fn conformer_block(
+    g: &mut Graph,
+    name: &str,
+    x: TensorId,
+    d_model: usize,
+    n_heads: usize,
+) -> TensorId {
     let d = d_model as i64;
     // Half-step feed-forward.
     let w1 = dense(g, &format!("{name}.ff1.w1"), &[d, 2 * d]);
@@ -140,7 +159,7 @@ fn conformer_block(g: &mut Graph, name: &str, x: TensorId, d_model: usize) -> Te
     );
     // Self-attention via the shared transformer layer (includes its MLP —
     // acceptable structural approximation, node count comparable).
-    let x2 = transformer_layer(g, &format!("{name}.mhsa"), x1, d_model);
+    let x2 = transformer_layer(g, &format!("{name}.mhsa"), x1, d_model, n_heads);
     // Convolution module: [1, L, D] → [1, D, 1, L] → depthwise conv → back.
     let t1 = g.add_simple(
         format!("{name}.conv.t1"),
@@ -236,7 +255,7 @@ pub fn conformer(scale: ModelScale) -> DynModel {
     let win = dense(&mut g, "subsample.w", &[D_MODEL as i64, D_MODEL as i64]);
     let mut t = g.add_simple("subsample", Op::MatMul, &[x, win], DType::F32);
     for i in 0..blocks {
-        t = conformer_block(&mut g, &format!("block{i}"), t, D_MODEL);
+        t = conformer_block(&mut g, &format!("block{i}"), t, D_MODEL, heads(scale));
     }
     let pooled = seq_mean_pool(&mut g, "pool", t);
     g.mark_output(pooled);
@@ -287,7 +306,7 @@ pub fn stable_diffusion_encoder(scale: ModelScale) -> DynModel {
         DType::F32,
     );
     for i in 0..tf_layers {
-        seq = transformer_layer(&mut g, &format!("tf{i}"), seq, D_MODEL);
+        seq = transformer_layer(&mut g, &format!("tf{i}"), seq, D_MODEL, heads(scale));
     }
     g.mark_output(seq);
     DynModel {
@@ -335,7 +354,7 @@ pub fn segment_anything(scale: ModelScale) -> DynModel {
         DType::F32,
     );
     for i in 0..tf_layers {
-        seq = transformer_layer(&mut g, &format!("enc{i}"), seq, D_MODEL);
+        seq = transformer_layer(&mut g, &format!("enc{i}"), seq, D_MODEL, heads(scale));
     }
     // Mask head: per-token score.
     let wm = dense(&mut g, "mask.w", &[D_MODEL as i64, 1]);

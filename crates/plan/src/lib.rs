@@ -33,9 +33,11 @@
 mod order;
 mod partition;
 mod units;
+mod wavefront;
 
 pub use order::{
     naive_unit_order, order_peak_bytes, plan_order, unit_lifetimes, ExecutionPlan, SepOptions,
 };
 pub use partition::{partition_units, Partition, SubgraphClass, MAX_PARTITION_UNITS};
 pub use units::{Unit, UnitGraph};
+pub use wavefront::{plan_wavefronts, wavefront_lifetimes, WavefrontOptions, WavefrontSchedule};

@@ -1,0 +1,329 @@
+//! Wavefront scheduling: SEP generalized from "order minimizing peak" to
+//! "schedule maximizing width subject to peak ≤ serial_peak × (1 + slack)".
+//!
+//! The SEP unit order (§4.3) is partitioned into *wavefronts* — sets of
+//! mutually independent units that may execute concurrently. Waves are
+//! packed greedily in SEP order: each wave admits every *ready* unit (all
+//! predecessors in strictly earlier waves) whose admission keeps the
+//! wave-granularity concurrent peak within `serial_peak × (1 + slack)`;
+//! units the bound rejects are deferred to a later wave. Scanning in SEP
+//! order staggers long parallel chains instead of hoisting all of them at
+//! once (the failure mode of pure ASAP level sets, under which every
+//! chain's intermediates are live simultaneously), so the number of
+//! concurrently-inflight chains adapts to the memory bound. When even the
+//! packed schedule's exact peak lands above the bound, the schedule
+//! degenerates to the serial SEP order — one unit per wave — whose peak
+//! equals the serial peak by construction.
+//!
+//! Lifetimes at *wave* granularity ([`wavefront_lifetimes`]) are the load-
+//! bearing artifact: every tensor consumed by a wave stays live through the
+//! whole wave, and every tensor produced by a wave is live from that wave
+//! on. A DMP offset plan computed from these lifetimes can never alias two
+//! tensors that are live in the same wave, which is what makes arena-backed
+//! parallel execution safe.
+
+use crate::order::order_peak_bytes;
+use crate::units::UnitGraph;
+use sod2_ir::{Graph, TensorId};
+use sod2_mem::{peak_live_bytes, TensorLife};
+use std::collections::HashMap;
+
+/// Options for the wavefront planner.
+#[derive(Debug, Clone, Copy)]
+pub struct WavefrontOptions {
+    /// Allowed peak-memory slack over the serial SEP peak: the parallel
+    /// schedule's planned peak must satisfy
+    /// `peak ≤ serial_peak × (1 + slack)`.
+    pub slack: f64,
+    /// Hard cap on units per wave (`usize::MAX` = unbounded).
+    pub max_width: usize,
+}
+
+impl Default for WavefrontOptions {
+    fn default() -> Self {
+        WavefrontOptions {
+            slack: 0.5,
+            max_width: usize::MAX,
+        }
+    }
+}
+
+/// A static parallel schedule over SEP units.
+#[derive(Debug, Clone)]
+pub struct WavefrontSchedule {
+    /// Unit ids per wave; units within a wave are mutually independent and
+    /// kept in SEP relative order. Concatenated, the waves form a valid
+    /// topological order of the unit graph.
+    pub waves: Vec<Vec<usize>>,
+    /// Peak materialized bytes of the serial SEP order (the baseline).
+    pub serial_peak: usize,
+    /// Peak concurrent live bytes of this schedule at wave granularity.
+    pub parallel_peak: usize,
+    /// Widest wave in the final schedule.
+    pub max_width: usize,
+    /// Ready units the memory bound deferred to a later wave.
+    pub splits: usize,
+    /// True when the planner could not meet the bound with any parallel
+    /// schedule and fell back to the serial SEP order (singleton waves).
+    pub serial_fallback: bool,
+}
+
+impl WavefrontSchedule {
+    /// The schedule flattened back into a unit order.
+    pub fn flat_unit_order(&self) -> Vec<usize> {
+        self.waves.iter().flatten().copied().collect()
+    }
+}
+
+/// Plans dependence-respecting wavefronts over `unit_order` (which must be
+/// a topological order of `ug`, normally the SEP order), subject to the
+/// memory bound in `opts`.
+pub fn plan_wavefronts(
+    graph: &Graph,
+    ug: &UnitGraph,
+    unit_order: &[usize],
+    size_of: &dyn Fn(TensorId) -> usize,
+    opts: WavefrontOptions,
+) -> WavefrontSchedule {
+    let serial_peak = order_peak_bytes(graph, ug, unit_order, size_of);
+    // `bound` in saturating arithmetic: a huge serial peak must not wrap.
+    let slack = opts.slack.max(0.0);
+    let bound = (serial_peak as f64 * (1.0 + slack)).min(usize::MAX as f64) as usize;
+    let width_cap = opts.max_width.max(1);
+
+    // Greedy SEP-ordered packing. Each round scans the unscheduled units
+    // in SEP order and admits every ready unit (all predecessors in
+    // strictly earlier waves) whose admission keeps the wave-granularity
+    // peak of the packed-so-far schedule — completed with the rest of the
+    // SEP order as singleton waves — within the bound. The first ready
+    // unit of a round is always admitted, so every round makes progress;
+    // with a tight bound the packing degenerates toward the serial SEP
+    // order, with a loose one toward maximal ready sets.
+    let n = ug.len();
+    let mut scheduled = vec![false; n];
+    let mut remaining: Vec<usize> = unit_order.to_vec();
+    let mut waves: Vec<Vec<usize>> = Vec::new();
+    let mut splits = 0usize;
+    while !remaining.is_empty() {
+        let mut wave: Vec<usize> = Vec::new();
+        for &u in &remaining {
+            if wave.len() >= width_cap {
+                break;
+            }
+            if ug.preds[u].iter().any(|p| !scheduled[*p]) {
+                continue;
+            }
+            wave.push(u);
+            if wave.len() == 1 {
+                continue; // progress guarantee: first ready unit always in
+            }
+            // Tentative peak of [packed waves, this wave, rest serialized].
+            let mut sched = waves.clone();
+            sched.push(wave.clone());
+            sched.extend(
+                remaining
+                    .iter()
+                    .filter(|r| !wave.contains(r))
+                    .map(|&r| vec![r]),
+            );
+            let lives = wavefront_lifetimes(graph, ug, &sched, size_of);
+            if peak_live_bytes(&lives) > bound {
+                wave.pop();
+                splits += 1;
+            }
+        }
+        for &u in &wave {
+            scheduled[u] = true;
+        }
+        remaining.retain(|u| !wave.contains(u));
+        waves.push(wave);
+    }
+
+    // Exact re-validation: packing reorders units across waves, which can
+    // extend lifetimes beyond the greedy estimate. A violation degrades to
+    // the serial SEP order, whose peak is `serial_peak ≤ bound` by
+    // construction.
+    let mut serial_fallback = false;
+    let mut parallel_peak = peak_live_bytes(&wavefront_lifetimes(graph, ug, &waves, size_of));
+    if parallel_peak > bound {
+        serial_fallback = true;
+        waves = unit_order.iter().map(|&u| vec![u]).collect();
+        parallel_peak = serial_peak;
+    }
+
+    let max_width = waves.iter().map(Vec::len).max().unwrap_or(0);
+    WavefrontSchedule {
+        waves,
+        serial_peak,
+        parallel_peak,
+        max_width,
+        splits,
+        serial_fallback,
+    }
+}
+
+/// Builds lifetime records at *wave* granularity: one step per wave, a
+/// tensor's def at its producer's wave and uses at its consumers' waves
+/// (graph outputs held through the last wave). A memory plan over these
+/// lifetimes never aliases two tensors live in the same wave, so it is
+/// safe under concurrent execution of that wave.
+pub fn wavefront_lifetimes(
+    graph: &Graph,
+    ug: &UnitGraph,
+    waves: &[Vec<usize>],
+    size_of: &dyn Fn(TensorId) -> usize,
+) -> Vec<TensorLife> {
+    let step_of: HashMap<usize, usize> = waves
+        .iter()
+        .enumerate()
+        .flat_map(|(step, wave)| wave.iter().map(move |&u| (u, step)))
+        .collect();
+    let last_step = waves.len().saturating_sub(1);
+    let mut lives = Vec::new();
+    for (t, &producer) in &ug.producer {
+        let def = step_of[&producer];
+        let mut uses: Vec<usize> = ug
+            .consumers
+            .get(t)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|c| step_of.get(c).copied())
+            .collect();
+        if graph.outputs().contains(t) {
+            uses.push(last_step);
+        }
+        lives.push(TensorLife::new(t.0 as usize, size_of(*t), def, uses));
+    }
+    lives.sort_by_key(|l| l.key);
+    lives
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{naive_unit_order, plan_order, SepOptions};
+    use crate::partition::partition_units;
+    use sod2_fusion::{fuse, FusionPolicy};
+    use sod2_ir::{BinaryOp, DType, Graph, Op};
+
+    /// x fans out into 3 independent Softmax branches merged pairwise —
+    /// the branches should land in one wave.
+    fn fanout_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_input("x", DType::F32, vec![16.into()]);
+        let b1 = g.add_simple("s1", Op::Softmax { axis: 0 }, &[x], DType::F32);
+        let b2 = g.add_simple("s2", Op::Softmax { axis: 0 }, &[x], DType::F32);
+        let b3 = g.add_simple("s3", Op::Softmax { axis: 0 }, &[x], DType::F32);
+        let m1 = g.add_simple("m1", Op::Binary(BinaryOp::Add), &[b1, b2], DType::F32);
+        let m2 = g.add_simple("m2", Op::Binary(BinaryOp::Add), &[m1, b3], DType::F32);
+        g.mark_output(m2);
+        g
+    }
+
+    fn setup(g: &Graph) -> (UnitGraph, Vec<usize>) {
+        let rdp = sod2_rdp::analyze(g);
+        let plan = fuse(g, &rdp, FusionPolicy::Rdp);
+        let ug = UnitGraph::build(g, &plan);
+        let parts = partition_units(g, &rdp, &plan, &ug);
+        let ep = plan_order(g, &ug, &parts, &|_t| 64, SepOptions::default());
+        (ug, ep.unit_order)
+    }
+
+    fn assert_legal(ug: &UnitGraph, ws: &WavefrontSchedule) {
+        // Every unit exactly once.
+        let mut flat = ws.flat_unit_order();
+        assert_eq!(flat.len(), ug.len());
+        flat.sort_unstable();
+        assert_eq!(flat, (0..ug.len()).collect::<Vec<_>>());
+        // Dependence: every pred in a strictly earlier wave.
+        let wave_of: HashMap<usize, usize> = ws
+            .waves
+            .iter()
+            .enumerate()
+            .flat_map(|(w, units)| units.iter().map(move |&u| (u, w)))
+            .collect();
+        for u in 0..ug.len() {
+            for &p in &ug.preds[u] {
+                assert!(wave_of[&p] < wave_of[&u], "pred {p} not before {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_branches_share_a_wave() {
+        let g = fanout_graph();
+        let (ug, order) = setup(&g);
+        let ws = plan_wavefronts(&g, &ug, &order, &|_t| 64, WavefrontOptions::default());
+        assert_legal(&ug, &ws);
+        // Fusion may merge some branches, but at least two units must be
+        // independent and share a wave.
+        assert!(ws.max_width >= 2, "independent branches: {:?}", ws.waves);
+        assert!(!ws.serial_fallback);
+        assert!(ws.parallel_peak as f64 <= ws.serial_peak as f64 * 1.5);
+    }
+
+    #[test]
+    fn zero_slack_forces_serial_peak() {
+        let g = fanout_graph();
+        let (ug, order) = setup(&g);
+        let opts = WavefrontOptions {
+            slack: 0.0,
+            ..Default::default()
+        };
+        let ws = plan_wavefronts(&g, &ug, &order, &|_t| 64, opts);
+        assert_legal(&ug, &ws);
+        assert!(ws.parallel_peak <= ws.serial_peak);
+    }
+
+    #[test]
+    fn max_width_is_respected() {
+        let g = fanout_graph();
+        let (ug, order) = setup(&g);
+        let opts = WavefrontOptions {
+            max_width: 1,
+            ..Default::default()
+        };
+        let ws = plan_wavefronts(&g, &ug, &order, &|_t| 64, opts);
+        assert_legal(&ug, &ws);
+        assert_eq!(ws.max_width, 1);
+    }
+
+    #[test]
+    fn chain_degenerates_to_singletons() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", DType::F32, vec![8.into()]);
+        let a = g.add_simple("a", Op::Softmax { axis: 0 }, &[x], DType::F32);
+        let b = g.add_simple("b", Op::Softmax { axis: 0 }, &[a], DType::F32);
+        g.mark_output(b);
+        let (ug, order) = setup(&g);
+        let ws = plan_wavefronts(&g, &ug, &order, &|_t| 64, WavefrontOptions::default());
+        assert_legal(&ug, &ws);
+        assert_eq!(ws.max_width, 1);
+        assert_eq!(ws.parallel_peak, ws.serial_peak);
+    }
+
+    #[test]
+    fn wave_lifetimes_cover_all_materialized_tensors() {
+        let g = fanout_graph();
+        let (ug, order) = setup(&g);
+        let ws = plan_wavefronts(&g, &ug, &order, &|_t| 64, WavefrontOptions::default());
+        let lives = wavefront_lifetimes(&g, &ug, &ws.waves, &|_t| 64);
+        assert_eq!(lives.len(), ug.producer.len());
+        // Wave-granularity peak is never below the serial-order peak of the
+        // flattened schedule (concurrency can only add live bytes).
+        let flat = ws.flat_unit_order();
+        let flat_peak = order_peak_bytes(&g, &ug, &flat, &|_t| 64);
+        assert!(peak_live_bytes(&lives) >= flat_peak.min(ws.serial_peak));
+    }
+
+    #[test]
+    fn naive_order_also_plans() {
+        // The planner accepts any topological order, not just SEP.
+        let g = fanout_graph();
+        let (ug, _) = setup(&g);
+        let order = naive_unit_order(&ug);
+        let ws = plan_wavefronts(&g, &ug, &order, &|_t| 64, WavefrontOptions::default());
+        assert_legal(&ug, &ws);
+    }
+}

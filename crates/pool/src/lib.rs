@@ -349,6 +349,14 @@ pub fn parallel_for(items: usize, grain: usize, body: impl Fn(Range<usize>) + Sy
         let start = idx * grain;
         let end = (start + grain).min(items);
         let recording = RECORDER.with(|r| r.borrow().is_some());
+        // Busy-time attribution: with profiling on, every chunk's wallclock
+        // feeds `pool.busy_ns`, so occupancy (busy / (wall × workers)) is
+        // observable regardless of which thread ran the chunk.
+        let busy_t0 = if sod2_obs::enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         if recording {
             let t0 = Instant::now();
             body(start..end);
@@ -360,6 +368,9 @@ pub fn parallel_for(items: usize, grain: usize, body: impl Fn(Range<usize>) + Sy
             });
         } else {
             body(start..end);
+        }
+        if let Some(t0) = busy_t0 {
+            sod2_obs::counter_add("pool.busy_ns", t0.elapsed().as_nanos() as u64);
         }
     };
     let width = current_threads().min(chunks);

@@ -5,6 +5,16 @@
 //! branches are skipped — or in the baselines' "execute all paths, strip
 //! invalid results" mode), accounting live intermediate memory, and
 //! emitting kernel [`TraceEvent`]s at fused-group granularity.
+//!
+//! Two execution modes share one commit path:
+//!
+//! - **serial**: nodes run one at a time in the planned order;
+//! - **wavefront** (a [`WaveExecPlan`] in [`ExecConfig`]): each wave's
+//!   units *evaluate* concurrently on the shared worker pool, then their
+//!   results *commit* serially in the planned order. Evaluation is pure
+//!   (reads the committed environment, writes a unit-local overlay), so
+//!   outputs are bitwise identical to the serial mode's regardless of
+//!   worker count or timing.
 
 use crate::trace::{ExecutionTrace, TraceEvent};
 use sod2_fusion::FusionPlan;
@@ -18,6 +28,25 @@ use sod2_mvc::VersionTable;
 use sod2_tensor::{Data, Tensor};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+
+/// A static parallel schedule at node granularity: `waves[w][j]` is the
+/// node list of job `j` of wave `w` (one schedulable unit, in execution
+/// order). Units within a wave are mutually independent by construction
+/// (they come from distinct units of one SEP wavefront), so their
+/// evaluation may run concurrently; waves execute in order with a barrier
+/// between them. The flattened plan must equal the executor's node order.
+#[derive(Debug, Clone, Default)]
+pub struct WaveExecPlan {
+    /// wave → job/unit → nodes (each inner list in execution order).
+    pub waves: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl WaveExecPlan {
+    /// Widest wave (number of concurrent units).
+    pub fn max_width(&self) -> usize {
+        self.waves.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
 
 /// Execution configuration.
 #[derive(Default)]
@@ -48,6 +77,11 @@ pub struct ExecConfig<'a> {
     /// enforcement — the engine also rejects over-budget DMP plans before
     /// execution starts.
     pub memory_budget: Option<usize>,
+    /// Wavefront execution plan: when present, each wave's units evaluate
+    /// concurrently before committing serially. Must flatten to exactly
+    /// the execution order (`node_order`), else the run aborts with
+    /// [`ExecError::Internal`].
+    pub wave_plan: Option<&'a WaveExecPlan>,
 }
 
 /// Execution errors.
@@ -139,12 +173,17 @@ pub struct RunOutcome {
 /// offsets): the executor arena-backs a tensor only when its runtime size
 /// matches the planned size exactly, falling back to the heap otherwise —
 /// so a stale or partial plan degrades gracefully instead of corrupting
-/// memory.
+/// memory. Keys in `bounded` relax the match to "at most the planned
+/// size": their plans reserve a static upper bound for an
+/// execution-determined (`nac`) payload, so any smaller runtime size still
+/// fits its slot without aliasing a neighbour.
 pub struct ArenaBacking<'a> {
     /// The slab, already reset to the current inference's plan.
     pub arena: &'a mut Arena,
     /// Planned byte size per tensor key (`TensorId.0 as usize`).
     pub sizes: &'a HashMap<usize, usize>,
+    /// Keys planned at an upper bound rather than an exact size.
+    pub bounded: &'a HashSet<usize>,
 }
 
 /// Copies a freshly produced tensor into its planned arena slot. Returns
@@ -161,7 +200,12 @@ fn arena_install(
         return false;
     };
     let key = t.0 as usize;
-    if b.sizes.get(&key) != Some(&tensor.byte_size()) {
+    let fits = match b.sizes.get(&key) {
+        Some(&sz) if b.bounded.contains(&key) => tensor.byte_size() <= sz,
+        Some(&sz) => tensor.byte_size() == sz,
+        None => false,
+    };
+    if !fits {
         return false;
     }
     if b.arena.try_write(key, &tensor.payload_le_bytes()) {
@@ -229,6 +273,28 @@ enum Slot {
     Dead,
 }
 
+/// Read-only view of the environment used during node *evaluation*: the
+/// committed base plus an optional unit-local overlay holding results
+/// produced earlier in the same unit that have not been committed yet.
+/// The serial commit path uses a view with no overlay — identical reads
+/// to indexing the environment directly.
+struct EnvView<'e> {
+    base: &'e [Slot],
+    overlay: Option<&'e HashMap<usize, Slot>>,
+}
+
+impl EnvView<'_> {
+    fn get(&self, t: TensorId) -> &Slot {
+        let key = t.0 as usize;
+        if let Some(o) = self.overlay {
+            if let Some(s) = o.get(&key) {
+                return s;
+            }
+        }
+        &self.base[key]
+    }
+}
+
 /// Converts an IR constant payload into a runtime tensor.
 pub(crate) fn const_tensor_pub(shape: &[i64], data: &ConstData) -> Tensor {
     const_tensor(shape, data)
@@ -263,6 +329,545 @@ pub fn execute(
     execute_with_arena(graph, inputs, cfg, None)
 }
 
+/// The outcome of evaluating a fused chain: the final tensor (`None` when
+/// an input branch was dead) plus the cost attribution its trace event
+/// needs.
+struct ChainEval {
+    result: Option<Tensor>,
+    flops: f64,
+    ext_read: f64,
+}
+
+/// Evaluates (or kills) a whole fused chain. Pure: reads tensors through
+/// the view, produces an owned result.
+fn eval_chain(env: &EnvView<'_>, chain: &ChainPlan) -> Result<ChainEval, ExecError> {
+    let mut dead = matches!(env.get(chain.seed), Slot::Dead);
+    for st in &chain.steps {
+        if let ChainStep::Binary { other, .. } = st {
+            dead |= matches!(env.get(*other), Slot::Dead);
+        }
+    }
+    if dead {
+        return Ok(ChainEval {
+            result: None,
+            flops: 0.0,
+            ext_read: 0.0,
+        });
+    }
+    let seed = match env.get(chain.seed) {
+        Slot::Live(t) => t,
+        _ => {
+            return Err(ExecError::ControlFlow(format!(
+                "fused chain seed {} unavailable",
+                chain.seed
+            )))
+        }
+    };
+    let mut steps: Vec<FusedStep<'_>> = Vec::with_capacity(chain.steps.len());
+    let mut ext_read = seed.byte_size() as f64;
+    let mut flops_per_elem = 0.0f64;
+    for st in &chain.steps {
+        steps.push(match st {
+            ChainStep::Unary(u) => {
+                flops_per_elem += 4.0;
+                FusedStep::Unary(*u)
+            }
+            ChainStep::Clip { min, max } => {
+                flops_per_elem += 1.0;
+                FusedStep::Clip {
+                    min: *min,
+                    max: *max,
+                }
+            }
+            ChainStep::Binary {
+                op,
+                other,
+                chain_is_lhs,
+            } => {
+                flops_per_elem += 1.0;
+                let t = match env.get(*other) {
+                    Slot::Live(t) => t,
+                    _ => {
+                        return Err(ExecError::ControlFlow(format!(
+                            "fused chain operand {other} unavailable"
+                        )))
+                    }
+                };
+                ext_read += t.byte_size() as f64;
+                FusedStep::Binary {
+                    op: *op,
+                    other: t,
+                    chain_is_lhs: *chain_is_lhs,
+                }
+            }
+        });
+    }
+    let out = fused_elementwise(seed, &steps)?;
+    Ok(ChainEval {
+        flops: flops_per_elem * out.numel() as f64,
+        ext_read,
+        result: Some(out),
+    })
+}
+
+/// Precomputed evaluation of one node, produced by the parallel phase of a
+/// wave and consumed by the serial commit phase.
+enum NodeEval {
+    /// Fused-chain mid/tail member: all work happens at the head.
+    ChainMember,
+    /// Fused-chain head: the whole chain's evaluation.
+    ChainHead(ChainEval),
+    /// Plain node: per-output results plus `Switch` branches executed.
+    Plain {
+        results: Vec<Option<Tensor>>,
+        branches: usize,
+    },
+}
+
+/// Evaluates every node of one schedulable unit without touching shared
+/// state: unit-internal results thread through a local overlay, everything
+/// else reads the committed environment. Pure with respect to `env`, so
+/// units of one wave may evaluate concurrently (a legal wavefront schedule
+/// guarantees no cross-unit dependence within a wave).
+fn eval_unit(
+    graph: &Graph,
+    cfg: &ExecConfig<'_>,
+    env: &[Slot],
+    chain_member: &HashMap<NodeId, usize>,
+    chains: &[ChainPlan],
+    nodes: &[NodeId],
+) -> Result<Vec<NodeEval>, ExecError> {
+    let mut overlay: HashMap<usize, Slot> = HashMap::new();
+    let mut out = Vec::with_capacity(nodes.len());
+    for &nid in nodes {
+        if sod2_pool::deadline_exceeded() {
+            return Err(ExecError::DeadlineExceeded);
+        }
+        let node = graph.node(nid);
+        if let Some(&cidx) = chain_member.get(&nid) {
+            let chain = &chains[cidx];
+            if nid == chain.members[0] {
+                let ev = {
+                    let view = EnvView {
+                        base: env,
+                        overlay: Some(&overlay),
+                    };
+                    eval_chain(&view, chain)?
+                };
+                overlay.insert(
+                    chain.final_output.0 as usize,
+                    match &ev.result {
+                        Some(t) => Slot::Live(t.clone()),
+                        None => Slot::Dead,
+                    },
+                );
+                out.push(NodeEval::ChainHead(ev));
+            } else {
+                out.push(NodeEval::ChainMember);
+            }
+            continue;
+        }
+        let is_combine = matches!(node.op, Op::Combine { .. });
+        let mut branches = 0usize;
+        let results = {
+            let view = EnvView {
+                base: env,
+                overlay: Some(&overlay),
+            };
+            let mut dead = false;
+            if !is_combine {
+                for &t in &node.inputs {
+                    if matches!(view.get(t), Slot::Dead) {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if dead {
+                vec![None; node.outputs.len()]
+            } else {
+                run_node(graph, node, &view, cfg, &mut branches)?
+            }
+        };
+        for (k, r) in results.iter().enumerate() {
+            overlay.insert(
+                node.outputs[k].0 as usize,
+                match r {
+                    Some(t) => Slot::Live(t.clone()),
+                    None => Slot::Dead,
+                },
+            );
+        }
+        out.push(NodeEval::Plain { results, branches });
+    }
+    Ok(out)
+}
+
+/// Evaluates all units of one wave, concurrently when the wave holds more
+/// than one. Each unit becomes one pool job chunk; kernels inside a unit
+/// still open nested pool regions, so inter-op jobs and intra-op chunks
+/// share the same workers. Thread-count and deadline overrides are
+/// captured on the submitting thread and re-installed inside each job
+/// (pool workers do not inherit submitter thread-locals).
+fn eval_wave(
+    graph: &Graph,
+    cfg: &ExecConfig<'_>,
+    env: &[Slot],
+    chain_member: &HashMap<NodeId, usize>,
+    chains: &[ChainPlan],
+    wave: &[Vec<NodeId>],
+) -> Result<Vec<Vec<NodeEval>>, ExecError> {
+    if wave.len() <= 1 {
+        // Single-unit wave: no submission overhead, evaluate inline.
+        let mut out = Vec::with_capacity(wave.len());
+        for unit in wave {
+            out.push(eval_unit(graph, cfg, env, chain_member, chains, unit)?);
+        }
+        return Ok(out);
+    }
+    let threads = sod2_pool::current_threads();
+    let deadline = sod2_pool::current_deadline();
+    let mut slots: Vec<Option<Result<Vec<NodeEval>, ExecError>>> = Vec::new();
+    slots.resize_with(wave.len(), || None);
+    sod2_pool::scope_chunks(&mut slots, 1, |idx, chunk| {
+        chunk[0] = Some(sod2_pool::with_threads(threads, || {
+            sod2_pool::with_deadline(deadline, || {
+                eval_unit(graph, cfg, env, chain_member, chains, &wave[idx])
+            })
+        }));
+    });
+    let mut out = Vec::with_capacity(wave.len());
+    for (idx, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(evals)) => out.push(evals),
+            // Deterministic error selection: first failing unit in job
+            // order, regardless of which finished first in wallclock.
+            Some(Err(e)) => return Err(e),
+            None => {
+                // The pool skipped this chunk — only an expired deadline
+                // does that.
+                if sod2_pool::deadline_exceeded() {
+                    return Err(ExecError::DeadlineExceeded);
+                }
+                return Err(ExecError::Internal(format!(
+                    "wave evaluation slot {idx} was never filled"
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Mutable executor state threaded through the serial commit path. Both
+/// execution modes funnel every node through [`commit_node`], so wavefront
+/// runs install, account, trace, and release in exactly the serial order.
+struct ExecState<'a> {
+    env: Vec<Slot>,
+    chain_results: Vec<Option<Option<Tensor>>>,
+    remaining_uses: HashMap<TensorId, usize>,
+    group_members_left: HashMap<usize, usize>,
+    trace: ExecutionTrace,
+    live_bytes: usize,
+    peak: usize,
+    alloc_sizes: Vec<usize>,
+    concrete_shapes: HashMap<TensorId, Vec<usize>>,
+    branches_executed: usize,
+    // Keys currently arena-backed (removed at death after verification).
+    planned: HashSet<usize>,
+    arena_backed: usize,
+    // Accumulated per-group cost (flops only; bytes use external I/O).
+    group_flops: HashMap<usize, f64>,
+    group_ops: HashMap<usize, usize>,
+    group_eff: HashMap<usize, Option<f64>>,
+    group_ext_read: HashMap<usize, f64>,
+    group_ext_write: HashMap<usize, f64>,
+    backing: Option<ArenaBacking<'a>>,
+}
+
+/// Commits one node: evaluate (or consume the wave phase's precomputed
+/// evaluation), account cost, install results, release exhausted inputs,
+/// and emit the group kernel event when its last member retires. This is
+/// the single mutation point of executor state in both execution modes.
+#[allow(clippy::too_many_arguments)]
+fn commit_node(
+    graph: &Graph,
+    cfg: &ExecConfig<'_>,
+    internal: &HashSet<TensorId>,
+    chain_member: &HashMap<NodeId, usize>,
+    chains: &[ChainPlan],
+    st: &mut ExecState<'_>,
+    nid: NodeId,
+    pre: Option<NodeEval>,
+) -> Result<(), ExecError> {
+    // Cooperative cancellation at node granularity: one thread-local
+    // read when no deadline is installed.
+    if sod2_pool::deadline_exceeded() {
+        return Err(ExecError::DeadlineExceeded);
+    }
+    let node = graph.node(nid);
+    let group_of = |n: NodeId| -> usize {
+        match cfg.fusion {
+            Some(f) => f.group_of(n),
+            None => n.0 as usize,
+        }
+    };
+    let gid = group_of(nid);
+    // Per-operator kernel span: covers execution, result installation,
+    // and input release, all attributable to this operator. Fused-chain
+    // mid-members do negligible work inside theirs.
+    let _kernel_span = sod2_obs::span!("kernel", "{}", node.name);
+    // Fused-chain members bypass per-node execution entirely.
+    if let Some(&cidx) = chain_member.get(&nid) {
+        let chain = &chains[cidx];
+        if nid == chain.members[0] {
+            // Execute (or kill) the whole chain once, at its head.
+            let ev = match pre {
+                Some(NodeEval::ChainHead(ev)) => ev,
+                Some(_) => {
+                    return Err(ExecError::Internal(
+                        "precomputed evaluation mismatch at chain head".into(),
+                    ))
+                }
+                None => {
+                    let view = EnvView {
+                        base: &st.env,
+                        overlay: None,
+                    };
+                    eval_chain(&view, chain)?
+                }
+            };
+            if let Some(out) = &ev.result {
+                st.trace.push(TraceEvent::Kernel {
+                    name: format!("fused[{}]", chain.members.len()),
+                    cost: sod2_device::OpCost {
+                        flops: ev.flops,
+                        bytes_read: ev.ext_read,
+                        bytes_written: out.byte_size() as f64,
+                    },
+                    efficiency: None,
+                    working_set: st.live_bytes + out.byte_size(),
+                    fused_ops: chain.members.len(),
+                    group: gid,
+                });
+            }
+            st.chain_results[cidx] = Some(ev.result);
+        }
+        // Install only the final output; mid-members stay immaterial.
+        let tail = *chain
+            .members
+            .last()
+            .ok_or_else(|| ExecError::Internal("fused chain with no members".into()))?;
+        if nid == tail {
+            let result = st.chain_results[cidx]
+                .clone()
+                .ok_or_else(|| ExecError::Internal("fused chain tail ran before head".into()))?;
+            match result {
+                Some(tensor) => {
+                    let t = chain.final_output;
+                    st.concrete_shapes.insert(t, tensor.shape().to_vec());
+                    let b = tensor.byte_size();
+                    st.live_bytes += b;
+                    if arena_install(&mut st.backing, &mut st.planned, t, &tensor) {
+                        st.arena_backed += 1;
+                    } else {
+                        st.alloc_sizes.push(b);
+                    }
+                    st.peak = st.peak.max(st.live_bytes);
+                    if let Some(budget) = cfg.memory_budget {
+                        if st.live_bytes > budget {
+                            return Err(ExecError::BudgetExceeded {
+                                needed: st.live_bytes,
+                                budget,
+                            });
+                        }
+                    }
+                    st.env[t.0 as usize] = Slot::Live(tensor);
+                }
+                None => {
+                    st.env[chain.final_output.0 as usize] = Slot::Dead;
+                }
+            }
+        } else if st.chain_results[cidx]
+            .as_ref()
+            .map(Option::is_none)
+            .unwrap_or(false)
+        {
+            // Dead chain: every member output is dead.
+            for &t in &node.outputs {
+                st.env[t.0 as usize] = Slot::Dead;
+            }
+        }
+        // Release inputs and retire the group-member counter.
+        release_inputs(
+            graph,
+            &node.inputs,
+            internal,
+            &mut st.remaining_uses,
+            &mut st.env,
+            &mut st.live_bytes,
+            &mut st.planned,
+            &st.backing,
+        )?;
+        let left = st
+            .group_members_left
+            .get_mut(&gid)
+            .ok_or_else(|| ExecError::Internal(format!("group {gid} missing from accounting")))?;
+        *left -= 1;
+        return Ok(());
+    }
+    // Collect inputs; propagate deadness (Combine handles its own).
+    let (results, branches): (Vec<Option<Tensor>>, usize) = match pre {
+        Some(NodeEval::Plain { results, branches }) => (results, branches),
+        Some(_) => {
+            return Err(ExecError::Internal(
+                "precomputed evaluation mismatch at plain node".into(),
+            ))
+        }
+        None => {
+            let is_combine = matches!(node.op, Op::Combine { .. });
+            let mut dead = false;
+            if !is_combine {
+                for &t in &node.inputs {
+                    if matches!(st.env[t.0 as usize], Slot::Dead) {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            let mut branches = 0usize;
+            // Per-output results: `None` marks a dead branch output.
+            let results = if dead {
+                vec![None; node.outputs.len()]
+            } else {
+                let view = EnvView {
+                    base: &st.env,
+                    overlay: None,
+                };
+                run_node(graph, node, &view, cfg, &mut branches)?
+            };
+            (results, branches)
+        }
+    };
+    st.branches_executed += branches;
+
+    // Account flops and efficiency before moving results into env.
+    let any_live = results.iter().any(Option::is_some);
+    {
+        let res: Vec<&Tensor> = results.iter().flatten().collect();
+        if any_live && !node.op.is_control_flow() {
+            let in_shapes: Vec<Vec<usize>> = node
+                .inputs
+                .iter()
+                .map(|&t| match &st.env[t.0 as usize] {
+                    Slot::Live(ten) => ten.shape().to_vec(),
+                    _ => Vec::new(),
+                })
+                .collect();
+            let out_shapes: Vec<Vec<usize>> = res.iter().map(|t| t.shape().to_vec()).collect();
+            let cost = sod2_device::op_cost(&node.op, &in_shapes, &out_shapes, 4);
+            *st.group_flops.entry(gid).or_insert(0.0) += cost.flops;
+            *st.group_ops.entry(gid).or_insert(0) += 1;
+            // External reads: inputs produced outside the group.
+            for &t in &node.inputs {
+                let external = match graph.producer(t) {
+                    Some(p) => group_of(p) != gid,
+                    None => true,
+                };
+                if external {
+                    if let Slot::Live(ten) = &st.env[t.0 as usize] {
+                        *st.group_ext_read.entry(gid).or_insert(0.0) += ten.byte_size() as f64;
+                    }
+                }
+            }
+            for (k, ten) in results.iter().enumerate() {
+                if let Some(ten) = ten {
+                    if !internal.contains(&node.outputs[k]) {
+                        *st.group_ext_write.entry(gid).or_insert(0.0) += ten.byte_size() as f64;
+                    }
+                }
+            }
+            // Multi-version selection for hotspot ops.
+            if let Some(table) = cfg.version_table {
+                if let Some((m, n)) = hotspot_mn(&node.op, &res) {
+                    let e = match node.op {
+                        Op::Conv2d { .. } => table.conv_efficiency_of(m, n),
+                        _ => table.efficiency(m, n),
+                    };
+                    let slot = st.group_eff.entry(gid).or_insert(None);
+                    *slot = Some(slot.map_or(e, |prev: f64| prev.min(e)));
+                }
+            }
+        }
+    }
+
+    // Install results.
+    for (k, result) in results.into_iter().enumerate() {
+        let t = node.outputs[k];
+        match result {
+            Some(tensor) => {
+                st.concrete_shapes.insert(t, tensor.shape().to_vec());
+                let materialized = !internal.contains(&t);
+                if materialized {
+                    let b = tensor.byte_size();
+                    st.live_bytes += b;
+                    if arena_install(&mut st.backing, &mut st.planned, t, &tensor) {
+                        st.arena_backed += 1;
+                    } else {
+                        st.alloc_sizes.push(b);
+                    }
+                    st.peak = st.peak.max(st.live_bytes);
+                    if let Some(budget) = cfg.memory_budget {
+                        if st.live_bytes > budget {
+                            return Err(ExecError::BudgetExceeded {
+                                needed: st.live_bytes,
+                                budget,
+                            });
+                        }
+                    }
+                }
+                st.env[t.0 as usize] = Slot::Live(tensor);
+            }
+            None => {
+                st.env[t.0 as usize] = Slot::Dead;
+            }
+        }
+    }
+
+    // Release inputs whose uses are exhausted.
+    release_inputs(
+        graph,
+        &node.inputs,
+        internal,
+        &mut st.remaining_uses,
+        &mut st.env,
+        &mut st.live_bytes,
+        &mut st.planned,
+        &st.backing,
+    )?;
+
+    // Emit the group kernel event when its last member retires.
+    let left = st
+        .group_members_left
+        .get_mut(&gid)
+        .ok_or_else(|| ExecError::Internal(format!("group {gid} missing from accounting")))?;
+    *left -= 1;
+    if *left == 0 && st.group_ops.get(&gid).copied().unwrap_or(0) > 0 {
+        st.trace.push(TraceEvent::Kernel {
+            name: node.name.clone(),
+            cost: sod2_device::OpCost {
+                flops: st.group_flops.get(&gid).copied().unwrap_or(0.0),
+                bytes_read: st.group_ext_read.get(&gid).copied().unwrap_or(0.0),
+                bytes_written: st.group_ext_write.get(&gid).copied().unwrap_or(0.0),
+            },
+            efficiency: st.group_eff.get(&gid).copied().flatten(),
+            working_set: st.live_bytes,
+            fused_ops: st.group_ops.get(&gid).copied().unwrap_or(1),
+            group: gid,
+        });
+    }
+    Ok(())
+}
+
 /// [`execute`] with intermediate tensors served from a pre-planned arena
 /// slab (the paper's §4.4.1 operator-determined memory planning made
 /// operational): each planned tensor's payload lives at its plan offset,
@@ -279,7 +884,7 @@ pub fn execute_with_arena(
     graph: &Graph,
     inputs: &[Tensor],
     cfg: &ExecConfig<'_>,
-    mut backing: Option<ArenaBacking<'_>>,
+    backing: Option<ArenaBacking<'_>>,
 ) -> Result<RunOutcome, ExecError> {
     if inputs.len() != graph.inputs().len() {
         return Err(ExecError::BadInputs(format!(
@@ -313,6 +918,18 @@ pub fn execute_with_arena(
             &default_order
         }
     };
+    // A wave plan must flatten to exactly the execution order, or the
+    // commit phase would diverge from the serial semantics.
+    if let Some(wp) = cfg.wave_plan {
+        let flat: Vec<NodeId> = wp.waves.iter().flatten().flatten().copied().collect();
+        if flat != order {
+            return Err(ExecError::Internal(format!(
+                "wave plan flattens to {} node(s) that differ from the execution order ({})",
+                flat.len(),
+                order.len()
+            )));
+        }
+    }
     let internal: HashSet<TensorId> = cfg
         .fusion
         .map(|f| f.internal_tensors(graph))
@@ -321,8 +938,6 @@ pub fn execute_with_arena(
         (true, Some(f)) => build_chains(graph, f),
         _ => (HashMap::new(), Vec::new()),
     };
-    // Per-chain runtime state: computed final tensor or observed deadness.
-    let mut chain_results: Vec<Option<Option<Tensor>>> = vec![None; chains.len()];
     let mut remaining_uses: HashMap<TensorId, usize> = HashMap::new();
     for t in graph.tensor_ids() {
         let mut uses = consumer_index.get(&t).map(Vec::len).unwrap_or(0);
@@ -345,303 +960,74 @@ pub fn execute_with_arena(
         *group_members_left.entry(group_of(n)).or_insert(0) += 1;
     }
 
-    let mut trace = ExecutionTrace::new();
-    let mut live_bytes = 0usize;
-    let mut peak = 0usize;
-    let mut alloc_sizes = Vec::new();
-    let mut concrete_shapes: HashMap<TensorId, Vec<usize>> = HashMap::new();
-    let mut branches_executed = 0usize;
-    // Keys currently arena-backed (removed at death after verification).
-    let mut planned: HashSet<usize> = HashSet::new();
-    let mut arena_backed = 0usize;
-    // Accumulated per-group cost (flops only; bytes use external I/O).
-    let mut group_flops: HashMap<usize, f64> = HashMap::new();
-    let mut group_ops: HashMap<usize, usize> = HashMap::new();
-    let mut group_eff: HashMap<usize, Option<f64>> = HashMap::new();
-    let mut group_ext_read: HashMap<usize, f64> = HashMap::new();
-    let mut group_ext_write: HashMap<usize, f64> = HashMap::new();
+    let mut st = ExecState {
+        env,
+        // Per-chain runtime state: computed final tensor or observed
+        // deadness.
+        chain_results: vec![None; chains.len()],
+        remaining_uses,
+        group_members_left,
+        trace: ExecutionTrace::new(),
+        live_bytes: 0,
+        peak: 0,
+        alloc_sizes: Vec::new(),
+        concrete_shapes: HashMap::new(),
+        branches_executed: 0,
+        planned: HashSet::new(),
+        arena_backed: 0,
+        group_flops: HashMap::new(),
+        group_ops: HashMap::new(),
+        group_eff: HashMap::new(),
+        group_ext_read: HashMap::new(),
+        group_ext_write: HashMap::new(),
+        backing,
+    };
 
-    for &nid in order {
-        // Cooperative cancellation at node granularity: one thread-local
-        // read when no deadline is installed.
-        if sod2_pool::deadline_exceeded() {
-            return Err(ExecError::DeadlineExceeded);
-        }
-        let node = graph.node(nid);
-        let gid = group_of(nid);
-        // Per-operator kernel span: covers execution, result installation,
-        // and input release, all attributable to this operator. Fused-chain
-        // mid-members do negligible work inside theirs.
-        let _kernel_span = sod2_obs::span!("kernel", "{}", node.name);
-        // Fused-chain members bypass per-node execution entirely.
-        if let Some(&cidx) = chain_member.get(&nid) {
-            let chain = &chains[cidx];
-            if nid == chain.members[0] {
-                // Execute (or kill) the whole chain once, at its head.
-                let mut dead = matches!(env[chain.seed.0 as usize], Slot::Dead);
-                for st in &chain.steps {
-                    if let ChainStep::Binary { other, .. } = st {
-                        dead |= matches!(env[other.0 as usize], Slot::Dead);
-                    }
-                }
-                chain_results[cidx] = Some(if dead {
-                    None
-                } else {
-                    let seed = match &env[chain.seed.0 as usize] {
-                        Slot::Live(t) => t,
-                        _ => {
-                            return Err(ExecError::ControlFlow(format!(
-                                "fused chain seed {} unavailable",
-                                chain.seed
-                            )))
-                        }
-                    };
-                    let mut steps: Vec<FusedStep<'_>> = Vec::with_capacity(chain.steps.len());
-                    let mut ext_read = seed.byte_size() as f64;
-                    let mut flops_per_elem = 0.0f64;
-                    for st in &chain.steps {
-                        steps.push(match st {
-                            ChainStep::Unary(u) => {
-                                flops_per_elem += 4.0;
-                                FusedStep::Unary(*u)
-                            }
-                            ChainStep::Clip { min, max } => {
-                                flops_per_elem += 1.0;
-                                FusedStep::Clip {
-                                    min: *min,
-                                    max: *max,
-                                }
-                            }
-                            ChainStep::Binary {
-                                op,
-                                other,
-                                chain_is_lhs,
-                            } => {
-                                flops_per_elem += 1.0;
-                                let t = match &env[other.0 as usize] {
-                                    Slot::Live(t) => t,
-                                    _ => {
-                                        return Err(ExecError::ControlFlow(format!(
-                                            "fused chain operand {other} unavailable"
-                                        )))
-                                    }
-                                };
-                                ext_read += t.byte_size() as f64;
-                                FusedStep::Binary {
-                                    op: *op,
-                                    other: t,
-                                    chain_is_lhs: *chain_is_lhs,
-                                }
-                            }
-                        });
-                    }
-                    let out = fused_elementwise(seed, &steps)?;
-                    trace.push(TraceEvent::Kernel {
-                        name: format!("fused[{}]", chain.members.len()),
-                        cost: sod2_device::OpCost {
-                            flops: flops_per_elem * out.numel() as f64,
-                            bytes_read: ext_read,
-                            bytes_written: out.byte_size() as f64,
-                        },
-                        efficiency: None,
-                        working_set: live_bytes + out.byte_size(),
-                        fused_ops: chain.members.len(),
-                    });
-                    Some(out)
-                });
-            }
-            // Install only the final output; mid-members stay immaterial.
-            let tail = *chain
-                .members
-                .last()
-                .ok_or_else(|| ExecError::Internal("fused chain with no members".into()))?;
-            if nid == tail {
-                let result = chain_results[cidx].clone().ok_or_else(|| {
-                    ExecError::Internal("fused chain tail ran before head".into())
-                })?;
-                match result {
-                    Some(tensor) => {
-                        let t = chain.final_output;
-                        concrete_shapes.insert(t, tensor.shape().to_vec());
-                        let b = tensor.byte_size();
-                        live_bytes += b;
-                        if arena_install(&mut backing, &mut planned, t, &tensor) {
-                            arena_backed += 1;
-                        } else {
-                            alloc_sizes.push(b);
-                        }
-                        peak = peak.max(live_bytes);
-                        if let Some(budget) = cfg.memory_budget {
-                            if live_bytes > budget {
-                                return Err(ExecError::BudgetExceeded {
-                                    needed: live_bytes,
-                                    budget,
-                                });
-                            }
-                        }
-                        env[t.0 as usize] = Slot::Live(tensor);
-                    }
-                    None => {
-                        env[chain.final_output.0 as usize] = Slot::Dead;
-                    }
-                }
-            } else if chain_results[cidx]
-                .as_ref()
-                .map(Option::is_none)
-                .unwrap_or(false)
-            {
-                // Dead chain: every member output is dead.
-                for &t in &node.outputs {
-                    env[t.0 as usize] = Slot::Dead;
-                }
-            }
-            // Release inputs and retire the group-member counter.
-            release_inputs(
-                graph,
-                &node.inputs,
-                &internal,
-                &mut remaining_uses,
-                &mut env,
-                &mut live_bytes,
-                &mut planned,
-                &backing,
-            )?;
-            let left = group_members_left.get_mut(&gid).ok_or_else(|| {
-                ExecError::Internal(format!("group {gid} missing from accounting"))
-            })?;
-            *left -= 1;
-            continue;
-        }
-        // Collect inputs; propagate deadness (Combine handles its own).
-        let is_combine = matches!(node.op, Op::Combine { .. });
-        let mut dead = false;
-        if !is_combine {
-            for &t in &node.inputs {
-                if matches!(env[t.0 as usize], Slot::Dead) {
-                    dead = true;
-                    break;
-                }
+    match cfg.wave_plan {
+        None => {
+            for &nid in order {
+                commit_node(
+                    graph,
+                    cfg,
+                    &internal,
+                    &chain_member,
+                    &chains,
+                    &mut st,
+                    nid,
+                    None,
+                )?;
             }
         }
-        // Per-output results: `None` marks a dead branch output.
-        let results: Vec<Option<Tensor>> = if dead {
-            vec![None; node.outputs.len()]
-        } else {
-            run_node(graph, node, &env, cfg, &mut branches_executed)?
-        };
-
-        // Account flops and efficiency before moving results into env.
-        let any_live = results.iter().any(Option::is_some);
-        {
-            let res: Vec<&Tensor> = results.iter().flatten().collect();
-            if any_live && !node.op.is_control_flow() {
-                let in_shapes: Vec<Vec<usize>> = node
-                    .inputs
-                    .iter()
-                    .map(|&t| match &env[t.0 as usize] {
-                        Slot::Live(ten) => ten.shape().to_vec(),
-                        _ => Vec::new(),
-                    })
-                    .collect();
-                let out_shapes: Vec<Vec<usize>> = res.iter().map(|t| t.shape().to_vec()).collect();
-                let cost = sod2_device::op_cost(&node.op, &in_shapes, &out_shapes, 4);
-                *group_flops.entry(gid).or_insert(0.0) += cost.flops;
-                *group_ops.entry(gid).or_insert(0) += 1;
-                // External reads: inputs produced outside the group.
-                for &t in &node.inputs {
-                    let external = match graph.producer(t) {
-                        Some(p) => group_of(p) != gid,
-                        None => true,
-                    };
-                    if external {
-                        if let Slot::Live(ten) = &env[t.0 as usize] {
-                            *group_ext_read.entry(gid).or_insert(0.0) += ten.byte_size() as f64;
-                        }
-                    }
+        Some(wp) => {
+            let mut max_width = 0usize;
+            for wave in &wp.waves {
+                max_width = max_width.max(wave.len());
+                if sod2_pool::deadline_exceeded() {
+                    return Err(ExecError::DeadlineExceeded);
                 }
-                for (k, ten) in results.iter().enumerate() {
-                    if let Some(ten) = ten {
-                        if !internal.contains(&node.outputs[k]) {
-                            *group_ext_write.entry(gid).or_insert(0.0) += ten.byte_size() as f64;
-                        }
-                    }
-                }
-                // Multi-version selection for hotspot ops.
-                if let Some(table) = cfg.version_table {
-                    if let Some((m, n)) = hotspot_mn(&node.op, &res) {
-                        let e = match node.op {
-                            Op::Conv2d { .. } => table.conv_efficiency_of(m, n),
-                            _ => table.efficiency(m, n),
-                        };
-                        let slot = group_eff.entry(gid).or_insert(None);
-                        *slot = Some(slot.map_or(e, |prev: f64| prev.min(e)));
+                // Phase A: evaluate the wave's units concurrently against
+                // the committed environment.
+                let evals = eval_wave(graph, cfg, &st.env, &chain_member, &chains, wave)?;
+                // Phase B: commit serially in plan order — installs,
+                // accounting, traces, and releases happen exactly as a
+                // serial run over the same order would do them.
+                for (unit, unit_evals) in wave.iter().zip(evals) {
+                    for (&nid, ev) in unit.iter().zip(unit_evals) {
+                        commit_node(
+                            graph,
+                            cfg,
+                            &internal,
+                            &chain_member,
+                            &chains,
+                            &mut st,
+                            nid,
+                            Some(ev),
+                        )?;
                     }
                 }
             }
-        }
-
-        // Install results.
-        for (k, result) in results.into_iter().enumerate() {
-            let t = node.outputs[k];
-            match result {
-                Some(tensor) => {
-                    concrete_shapes.insert(t, tensor.shape().to_vec());
-                    let materialized = !internal.contains(&t);
-                    if materialized {
-                        let b = tensor.byte_size();
-                        live_bytes += b;
-                        if arena_install(&mut backing, &mut planned, t, &tensor) {
-                            arena_backed += 1;
-                        } else {
-                            alloc_sizes.push(b);
-                        }
-                        peak = peak.max(live_bytes);
-                        if let Some(budget) = cfg.memory_budget {
-                            if live_bytes > budget {
-                                return Err(ExecError::BudgetExceeded {
-                                    needed: live_bytes,
-                                    budget,
-                                });
-                            }
-                        }
-                    }
-                    env[t.0 as usize] = Slot::Live(tensor);
-                }
-                None => {
-                    env[t.0 as usize] = Slot::Dead;
-                }
-            }
-        }
-
-        // Release inputs whose uses are exhausted.
-        release_inputs(
-            graph,
-            &node.inputs,
-            &internal,
-            &mut remaining_uses,
-            &mut env,
-            &mut live_bytes,
-            &mut planned,
-            &backing,
-        )?;
-
-        // Emit the group kernel event when its last member retires.
-        let left = group_members_left
-            .get_mut(&gid)
-            .ok_or_else(|| ExecError::Internal(format!("group {gid} missing from accounting")))?;
-        *left -= 1;
-        if *left == 0 && group_ops.get(&gid).copied().unwrap_or(0) > 0 {
-            trace.push(TraceEvent::Kernel {
-                name: node.name.clone(),
-                cost: sod2_device::OpCost {
-                    flops: group_flops.get(&gid).copied().unwrap_or(0.0),
-                    bytes_read: group_ext_read.get(&gid).copied().unwrap_or(0.0),
-                    bytes_written: group_ext_write.get(&gid).copied().unwrap_or(0.0),
-                },
-                efficiency: group_eff.get(&gid).copied().flatten(),
-                working_set: live_bytes,
-                fused_ops: group_ops.get(&gid).copied().unwrap_or(1),
-            });
+            sod2_obs::counter_add("exec.waves", wp.waves.len() as u64);
+            sod2_obs::gauge_max("exec.max_wave_width", max_width as u64);
         }
     }
 
@@ -651,25 +1037,25 @@ pub fn execute_with_arena(
     if sod2_pool::deadline_exceeded() {
         return Err(ExecError::DeadlineExceeded);
     }
-    sod2_obs::gauge_max("exec.peak_live_bytes", peak as u64);
-    sod2_obs::counter_add("exec.heap_fallback_allocs", alloc_sizes.len() as u64);
+    sod2_obs::gauge_max("exec.peak_live_bytes", st.peak as u64);
+    sod2_obs::counter_add("exec.heap_fallback_allocs", st.alloc_sizes.len() as u64);
     sod2_obs::counter_add(
         "exec.heap_fallback_bytes",
-        alloc_sizes.iter().map(|&b| b as u64).sum(),
+        st.alloc_sizes.iter().map(|&b| b as u64).sum(),
     );
-    sod2_obs::counter_add("exec.arena_backed", arena_backed as u64);
-    sod2_obs::counter_add("exec.branches_executed", branches_executed as u64);
+    sod2_obs::counter_add("exec.arena_backed", st.arena_backed as u64);
+    sod2_obs::counter_add("exec.branches_executed", st.branches_executed as u64);
     let _outputs_span = sod2_obs::span!("mem", "outputs readback");
     let mut outputs = Vec::with_capacity(graph.outputs().len());
     for &t in graph.outputs() {
-        match &env[t.0 as usize] {
+        match &st.env[t.0 as usize] {
             Slot::Live(ten) => {
                 let key = t.0 as usize;
                 // Arena-backed outputs are rebuilt from slab bytes: the
                 // caller observes exactly what the plan preserved, and any
                 // end-of-run clobbering surfaces as a Memory error here.
-                if planned.contains(&key) {
-                    let b = backing.as_ref().ok_or_else(|| {
+                if st.planned.contains(&key) {
+                    let b = st.backing.as_ref().ok_or_else(|| {
                         ExecError::Internal("planned tensor without arena backing".into())
                     })?;
                     let bytes = b.arena.try_read(key, ten.byte_size()).ok_or_else(|| {
@@ -713,12 +1099,12 @@ pub fn execute_with_arena(
     }
     Ok(RunOutcome {
         outputs,
-        trace,
-        peak_live_bytes: peak,
-        alloc_sizes,
-        concrete_shapes,
-        branches_executed,
-        arena_backed,
+        trace: st.trace,
+        peak_live_bytes: st.peak,
+        alloc_sizes: st.alloc_sizes,
+        concrete_shapes: st.concrete_shapes,
+        branches_executed: st.branches_executed,
+        arena_backed: st.arena_backed,
     })
 }
 
@@ -869,12 +1255,12 @@ fn hotspot_mn(op: &Op, outputs: &[&Tensor]) -> Option<(usize, usize)> {
 fn run_node(
     _graph: &Graph,
     node: &Node,
-    env: &[Slot],
+    env: &EnvView<'_>,
     cfg: &ExecConfig<'_>,
     branches_executed: &mut usize,
 ) -> Result<Vec<Option<Tensor>>, ExecError> {
     let live = |t: TensorId| -> Result<&Tensor, ExecError> {
-        match &env[t.0 as usize] {
+        match env.get(t) {
             Slot::Live(ten) => Ok(ten),
             Slot::Dead => Err(ExecError::ControlFlow(format!("{t} is dead"))),
             Slot::Missing => Err(ExecError::ControlFlow(format!("{t} was never produced"))),
@@ -910,7 +1296,7 @@ fn run_node(
         Op::Combine { num_branches } => {
             // A dead selector means the whole merge region sits inside an
             // outer dead branch (nested gating): the merge result is dead.
-            if matches!(env[node.inputs[*num_branches].0 as usize], Slot::Dead) {
+            if matches!(env.get(node.inputs[*num_branches]), Slot::Dead) {
                 return Ok(vec![None]);
             }
             let sel = selector(live(node.inputs[*num_branches])?)?;

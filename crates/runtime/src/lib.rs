@@ -39,6 +39,8 @@ mod executor;
 pub mod passes;
 mod trace;
 
-pub use executor::{execute, execute_with_arena, ArenaBacking, ExecConfig, ExecError, RunOutcome};
+pub use executor::{
+    execute, execute_with_arena, ArenaBacking, ExecConfig, ExecError, RunOutcome, WaveExecPlan,
+};
 pub use passes::{eliminate_dead_nodes, fold_constants, PassStats};
 pub use trace::{ExecutionTrace, LatencyBreakdown, TraceEvent};

@@ -24,6 +24,9 @@ pub enum TraceEvent {
         working_set: usize,
         /// Operators fused into this kernel.
         fused_ops: usize,
+        /// Fusion-group id the kernel belongs to — lets schedulers
+        /// attribute priced events back to schedulable units.
+        group: usize,
     },
     /// A dynamic memory allocation.
     Alloc {
@@ -158,6 +161,7 @@ mod tests {
             efficiency: Some(0.5),
             working_set: 1 << 22,
             fused_ops: 1,
+            group: 0,
         });
         t.push(TraceEvent::Alloc { bytes: 1 << 20 });
         t.push(TraceEvent::ShapeFunc);

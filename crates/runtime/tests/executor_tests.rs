@@ -335,10 +335,12 @@ fn arena_backing_shrinks_alloc_stream_and_matches_heap() {
         peak: 48,
     };
     let sizes: HashMap<usize, usize> = keys.iter().map(|&k| (k, 16)).collect();
+    let bounded = std::collections::HashSet::new();
     let mut arena = Arena::new(plan);
     let backing = ArenaBacking {
         arena: &mut arena,
         sizes: &sizes,
+        bounded: &bounded,
     };
     let run =
         execute_with_arena(&g, &inputs, &ExecConfig::default(), Some(backing)).expect("arena run");
@@ -365,10 +367,12 @@ fn arena_size_mismatch_falls_back_to_heap() {
     };
     // The plan believed the tensor was 8 bytes; at runtime it is 16.
     let sizes: HashMap<usize, usize> = [(t_out.0 as usize, 8usize)].into_iter().collect();
+    let bounded = std::collections::HashSet::new();
     let mut arena = Arena::new(plan);
     let backing = ArenaBacking {
         arena: &mut arena,
         sizes: &sizes,
+        bounded: &bounded,
     };
     let run = execute_with_arena(
         &g,
@@ -411,10 +415,12 @@ fn arena_aliasing_of_live_tensors_is_detected() {
     let sizes: HashMap<usize, usize> = [(a.0 as usize, 16usize), (b.0 as usize, 16usize)]
         .into_iter()
         .collect();
+    let bounded = std::collections::HashSet::new();
     let mut arena = Arena::new(plan);
     let backing = ArenaBacking {
         arena: &mut arena,
         sizes: &sizes,
+        bounded: &bounded,
     };
     let err = execute_with_arena(
         &g,

@@ -17,6 +17,10 @@ use sod2_prng::SeedableRng;
 
 /// One profiled session: compile CodeBERT (tiny) and run `iters`
 /// inferences at a fixed input, returning the profile and the last stats.
+///
+/// Runs with wavefront execution off: kernel time is attributed to kernel
+/// spans only on the serial schedule (in wavefront mode compute happens in
+/// the parallel evaluation phase; see `wavefront_mode_records_counters`).
 fn profiled_run(
     threads: usize,
     iters: usize,
@@ -30,7 +34,10 @@ fn profiled_run(
         let mut engine = Sod2Engine::new(
             model.graph.clone(),
             DeviceProfile::s888_cpu(),
-            Sod2Options::default(),
+            Sod2Options {
+                wavefront_exec: false,
+                ..Sod2Options::default()
+            },
             &Default::default(),
         );
         let mut stats = None;
@@ -78,6 +85,47 @@ fn spans_nest_properly_across_thread_configs() {
             100.0 * kernel_ns as f64 / infer_ns as f64
         );
     }
+}
+
+#[test]
+fn wavefront_mode_records_counters_and_nests() {
+    let _session = sod2_obs::session_guard();
+    let model = codebert(ModelScale::Tiny);
+    let mut rng = StdRng::seed_from_u64(7);
+    let inputs = model.make_inputs(48, &mut rng);
+    sod2_obs::set_enabled(true);
+    sod2_obs::begin();
+    let stats = with_threads(4, || {
+        let mut engine = Sod2Engine::new(
+            model.graph.clone(),
+            DeviceProfile::s888_cpu(),
+            Sod2Options {
+                wavefront_exec: true,
+                ..Sod2Options::default()
+            },
+            &Default::default(),
+        );
+        engine.infer(&inputs).expect("infer")
+    });
+    let profile = sod2_obs::take();
+    sod2_obs::set_enabled(false);
+    assert!(!stats.outputs.is_empty());
+    profile
+        .check_nesting()
+        .unwrap_or_else(|e| panic!("wavefront mode: bad nesting: {e}"));
+    let waves = profile.counters.get("exec.waves").copied().unwrap_or(0);
+    assert!(waves > 0, "wavefront mode must record exec.waves");
+    let width = profile
+        .counters
+        .get("exec.max_wave_width")
+        .copied()
+        .unwrap_or(0);
+    assert!(width >= 1, "wavefront mode must record exec.max_wave_width");
+    // Worker busy time is attributed for occupancy reporting.
+    assert!(
+        profile.counters.get("pool.busy_ns").copied().unwrap_or(0) > 0,
+        "pool busy-time counter missing"
+    );
 }
 
 #[test]

@@ -6,7 +6,8 @@
 # Usage:
 #   ./ci.sh                      # run every stage in order
 #   ./ci.sh <stage>              # run one stage: build | test-par | test-serial
-#                                #   | fmt | clippy | zoo | chaos | bench | gate
+#                                #   | fmt | clippy | zoo | analyze | chaos
+#                                #   | bench | gate
 #   ./ci.sh --update-baselines   # run bench, then overwrite the checked-in
 #                                #   BENCH_kernels.json / BENCH_zoo.json with
 #                                #   fresh results (use after an intentional
@@ -28,9 +29,9 @@ UPDATE_BASELINES=0
 for arg in "$@"; do
     case "$arg" in
         --update-baselines) UPDATE_BASELINES=1 ;;
-        build|test-par|test-serial|fmt|clippy|zoo|chaos|bench|gate|all) MODE="$arg" ;;
+        build|test-par|test-serial|fmt|clippy|zoo|analyze|chaos|bench|gate|all) MODE="$arg" ;;
         *)
-            echo "usage: ./ci.sh [build|test-par|test-serial|fmt|clippy|zoo|chaos|bench|gate] [--update-baselines]" >&2
+            echo "usage: ./ci.sh [build|test-par|test-serial|fmt|clippy|zoo|analyze|chaos|bench|gate] [--update-baselines]" >&2
             exit 2
             ;;
     esac
@@ -129,6 +130,45 @@ stage_zoo() {
     $CLI profile CodeBERT --iters 3 --chrome-trace "$CI_OUT/profile_codebert_trace.json" > /dev/null
 }
 
+stage_analyze() {
+    if [[ ! -x "$CLI" ]]; then
+        echo "FATAL: $CLI not built; run ./ci.sh build first" >&2
+        exit 1
+    fi
+    # Abstract-interpretation fact dump over the zoo: zero error-severity
+    # findings (the CLI exits non-zero on any), a clean fixpoint audit, and
+    # in aggregate the lattices must prove a nonzero number of finite
+    # tensors — the certificates that elide nan-guard fences at runtime
+    # (the runtime counter itself is gated via BENCH_zoo.json).
+    local models
+    models=$($CLI list | awk 'NR>1 {print $1}')
+    local total_finite=0
+    for m in $models; do
+        echo "--- facts $m ---"
+        $CLI analyze "$m" --facts --json > "$CI_OUT/facts_$m.json"
+        if ! grep -q '"violations": 0' "$CI_OUT/facts_$m.json"; then
+            echo "FATAL: fixpoint audit violations for $m" >&2
+            exit 1
+        fi
+        local fin
+        fin=$(grep -o '"finite": [0-9]*' "$CI_OUT/facts_$m.json" | awk '{print $2}')
+        total_finite=$((total_finite + fin))
+    done
+    if [[ "$total_finite" -le 0 ]]; then
+        echo "FATAL: analysis proved no tensor finite across the zoo — no guard" >&2
+        echo "       fence would ever be elided" >&2
+        exit 1
+    fi
+    # The branchy demo exists to prove a Switch arm dead: the certificate
+    # must still say so (the priced win it buys is gated via BENCH_zoo.json).
+    $CLI analyze BranchyDemo --facts --json > "$CI_OUT/facts_BranchyDemo.json"
+    if ! grep -q '"unreachable_arms": 1' "$CI_OUT/facts_BranchyDemo.json"; then
+        echo "FATAL: BranchyDemo lost its unreachable-arm certificate" >&2
+        exit 1
+    fi
+    echo "facts: ${total_finite} finite tensors proven across the zoo; demo arm still dead"
+}
+
 stage_chaos() {
     if [[ ! -x "$CLI" ]]; then
         echo "FATAL: $CLI not built; run ./ci.sh build first" >&2
@@ -180,6 +220,7 @@ run_stage test-serial stage_test_serial
 run_stage fmt stage_fmt
 run_stage clippy stage_clippy
 run_stage zoo stage_zoo
+run_stage analyze stage_analyze
 run_stage chaos stage_chaos
 run_stage bench stage_bench
 run_stage gate stage_gate

@@ -1,0 +1,148 @@
+//! The value-range lattice: one `[lo, hi]` interval per tensor, bounding
+//! every *finite* element the tensor can hold (NaN/∞ possibilities are the
+//! taint lattice's job). The order is containment: ⊥ is the empty interval
+//! (no information yet / no finite elements), ⊤ is `(-∞, ∞)` (finite but
+//! unbounded). Joins take the hull; a per-tensor widening counter jumps to
+//! ⊤ after [`WIDEN_AFTER`] genuine growths so chains of joins terminate
+//! even on adversarial iteration orders.
+
+use sod2_kernels::numerics::NumRange;
+use std::fmt;
+
+/// Hull joins a single tensor may absorb before widening to ⊤.
+pub const WIDEN_AFTER: u32 = 8;
+
+/// A closed interval over f64 bounding a tensor's finite elements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (−∞ = unbounded below).
+    pub lo: f64,
+    /// Upper bound (+∞ = unbounded above).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// ⊥ — no finite elements known (also the init state of intermediates).
+    pub fn empty() -> Self {
+        Interval {
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+        }
+    }
+
+    /// ⊤ — any finite value.
+    pub fn top() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// The single value `v`.
+    pub fn point(v: f64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// An interval from explicit bounds.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// `true` for ⊥.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// `true` when both bounds are finite (or the interval is empty —
+    /// vacuously bounded).
+    pub fn is_bounded(&self) -> bool {
+        self.is_empty() || (self.lo.is_finite() && self.hi.is_finite())
+    }
+
+    /// `true` when `v` lies inside (NaN is never inside).
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Containment test: `self` inside `other` (⊥ inside everything).
+    pub fn within(&self, other: &Interval) -> bool {
+        self.is_empty() || (self.lo >= other.lo && self.hi <= other.hi)
+    }
+
+    /// Hull (lattice join).
+    pub fn join(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// `hi - lo`, or 0 for ⊥.
+    pub fn span(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.hi - self.lo
+        }
+    }
+
+    /// Largest absolute value inside, or 0 for ⊥.
+    pub fn max_abs(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.lo.abs().max(self.hi.abs())
+        }
+    }
+}
+
+impl From<NumRange> for Interval {
+    fn from(r: NumRange) -> Self {
+        Interval { lo: r.lo, hi: r.hi }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "∅")
+        } else {
+            write!(f, "[{:.4}, {:.4}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_hull() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(3.0, 5.0);
+        assert_eq!(a.join(&b), Interval::new(0.0, 5.0));
+        assert_eq!(Interval::empty().join(&a), a);
+        assert!(a.within(&a.join(&b)));
+    }
+
+    #[test]
+    fn boundedness() {
+        assert!(Interval::new(-1.0, 1.0).is_bounded());
+        assert!(!Interval::top().is_bounded());
+        assert!(Interval::empty().is_bounded());
+        assert!(!Interval::new(0.0, f64::INFINITY).is_bounded());
+    }
+
+    #[test]
+    fn contains_rejects_nan() {
+        assert!(!Interval::top().contains(f64::NAN));
+        assert!(Interval::top().contains(1e300));
+        assert!(!Interval::new(0.0, 1.0).contains(2.0));
+    }
+}

@@ -1,0 +1,299 @@
+//! Dead-arm pruning: when the abstract interpretation proves a `Switch`
+//! selector constant, the surviving arm's wiring is known statically —
+//! the `Switch`/`Combine` pair reduces to a pass-through and the dead
+//! arms (plus the now-unreferenced selector subgraph) fold out of the
+//! graph entirely, before fusion/SEP/wavefront planning ever see them.
+//!
+//! Pruning is deliberately conservative: any situation whose runtime
+//! semantics aren't an exact pass-through (out-of-range selector, a live
+//! `Combine` fed by a pruned arm, a dead graph output) bails out and
+//! leaves the graph untouched. [`verify_arm_pruning`] then checks the
+//! claim empirically — both graphs run on deterministic inputs and must
+//! produce identical outputs.
+
+use crate::absint::Certificates;
+use crate::diag::{Anchor, Diagnostic};
+use sod2_ir::{DType, Graph, NodeId, Op, TensorId};
+use sod2_runtime::{eliminate_dead_nodes, execute, ExecConfig};
+use sod2_sym::Bindings;
+use sod2_tensor::{Data, Tensor};
+use std::collections::{HashMap, HashSet};
+
+/// Result of a successful prune.
+#[derive(Debug, Clone)]
+pub struct PruneOutcome {
+    /// The pruned graph. Tensor ids are unchanged (dead tensors keep
+    /// their slots, unproduced), so RDP/absint results can be re-derived
+    /// or compared index-for-index.
+    pub graph: Graph,
+    /// Dead arms eliminated (Σ `num_branches − 1` over pruned switches).
+    pub pruned_arms: usize,
+    /// Nodes removed, including the dead arms' bodies and any selector
+    /// subgraph that became unreachable.
+    pub removed_nodes: usize,
+}
+
+/// What the certificates say about a selector.
+enum SelFact {
+    /// Not proven constant — leave the branch alone.
+    Unknown,
+    /// Proven to always pick arm `k`.
+    Arm(usize),
+    /// Proven constant but not a valid arm: runtime would fail with
+    /// `ControlFlow`, so pruning must not touch the graph.
+    Invalid,
+}
+
+fn selector_fact(certs: &Certificates, sel: TensorId, num_branches: usize) -> SelFact {
+    match certs.constants[sel.0 as usize] {
+        Some(v) if v.fract() == 0.0 && v >= 0.0 && (v as usize) < num_branches => {
+            SelFact::Arm(v as usize)
+        }
+        Some(_) => SelFact::Invalid,
+        None => SelFact::Unknown,
+    }
+}
+
+/// Removes `Switch`/`Combine` pairs whose selector is proven constant,
+/// along with every node that only fed a dead arm.
+///
+/// Returns `None` when there is nothing provably prunable or when any
+/// bail-out condition fires (the graph is then used as-is).
+pub fn prune_dead_arms(graph: &Graph, certs: &Certificates) -> Option<PruneOutcome> {
+    let nt = graph.num_tensors();
+    let mut dead = vec![false; nt];
+    let mut subst: HashMap<TensorId, TensorId> = HashMap::new();
+    let mut removed: HashSet<NodeId> = HashSet::new();
+    let mut pruned_arms = 0usize;
+
+    // Topo order matches the runtime's skip semantics: deadness flows
+    // strictly forward from pruned arms.
+    for nid in graph.topo_order() {
+        let node = graph.node(nid);
+        match &node.op {
+            Op::Switch { num_branches } => {
+                let data = node.inputs[0];
+                let sel = node.inputs[1];
+                if dead[data.0 as usize] || dead[sel.0 as usize] {
+                    for &o in &node.outputs {
+                        dead[o.0 as usize] = true;
+                    }
+                    removed.insert(nid);
+                    continue;
+                }
+                match selector_fact(certs, sel, *num_branches) {
+                    SelFact::Invalid => return None,
+                    SelFact::Unknown => {}
+                    SelFact::Arm(k) => {
+                        pruned_arms += num_branches - 1;
+                        removed.insert(nid);
+                        for (j, &o) in node.outputs.iter().enumerate() {
+                            if j == k {
+                                subst.insert(o, data);
+                            } else {
+                                dead[o.0 as usize] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            Op::Combine { num_branches } => {
+                let sel = node.inputs[*num_branches];
+                let out = node.outputs[0];
+                if dead[sel.0 as usize] {
+                    dead[out.0 as usize] = true;
+                    removed.insert(nid);
+                    continue;
+                }
+                match selector_fact(certs, sel, *num_branches) {
+                    SelFact::Invalid => return None,
+                    SelFact::Arm(k) => {
+                        let arm = node.inputs[k];
+                        removed.insert(nid);
+                        if dead[arm.0 as usize] {
+                            dead[out.0 as usize] = true;
+                        } else {
+                            subst.insert(out, arm);
+                        }
+                    }
+                    SelFact::Unknown => {
+                        if node.inputs[..*num_branches]
+                            .iter()
+                            .all(|&a| dead[a.0 as usize])
+                        {
+                            dead[out.0 as usize] = true;
+                            removed.insert(nid);
+                        }
+                    }
+                }
+            }
+            _ => {
+                if node.inputs.iter().any(|&i| dead[i.0 as usize]) {
+                    for &o in &node.outputs {
+                        dead[o.0 as usize] = true;
+                    }
+                    removed.insert(nid);
+                }
+            }
+        }
+    }
+
+    if pruned_arms == 0 {
+        return None;
+    }
+    if graph.outputs().iter().any(|&t| dead[t.0 as usize]) {
+        return None;
+    }
+
+    let resolve = |mut t: TensorId| -> TensorId {
+        while let Some(&s) = subst.get(&t) {
+            t = s;
+        }
+        t
+    };
+
+    // A surviving node fed by a dead tensor (a Combine whose selector
+    // stayed unknown while an arm died, for instance) has no exact
+    // pass-through semantics — bail rather than guess.
+    for node in graph.nodes() {
+        if removed.contains(&node.id) {
+            continue;
+        }
+        if node.inputs.iter().any(|&i| dead[i.0 as usize]) {
+            return None;
+        }
+    }
+
+    // Rebuild with every tensor slot intact so ids stay stable.
+    let tensors = graph
+        .tensor_ids()
+        .map(|t| {
+            let info = graph.tensor(t);
+            (
+                info.name.clone(),
+                info.dtype,
+                info.shape.clone(),
+                info.const_data.clone(),
+            )
+        })
+        .collect();
+    let nodes = graph
+        .nodes()
+        .iter()
+        .filter(|n| !removed.contains(&n.id))
+        .map(|n| {
+            (
+                n.name.clone(),
+                n.op.clone(),
+                n.inputs.iter().map(|&i| resolve(i)).collect(),
+                n.outputs.clone(),
+            )
+        })
+        .collect();
+    let outputs = graph.outputs().iter().map(|&t| resolve(t)).collect();
+    let rebuilt = Graph::from_parts(tensors, nodes, graph.inputs().to_vec(), outputs).ok()?;
+
+    // The selector computation (and anything else only the dead arms
+    // used) is now unreachable from the outputs — this is the actual
+    // node-count win.
+    let (pruned, _) = eliminate_dead_nodes(&rebuilt);
+    let removed_nodes = graph.num_nodes().saturating_sub(pruned.num_nodes());
+    Some(PruneOutcome {
+        graph: pruned,
+        pruned_arms,
+        removed_nodes,
+    })
+}
+
+/// Deterministic, dtype-appropriate input for one graph input tensor.
+fn ramp_input(graph: &Graph, t: TensorId) -> Result<Tensor, String> {
+    let info = graph.tensor(t);
+    let bindings = Bindings::new();
+    let dims: Vec<usize> = match info.shape.dims() {
+        Some(ds) => ds
+            .iter()
+            .map(|d| {
+                d.as_expr()
+                    .and_then(|e| e.eval_with_default(&bindings, 32))
+                    .map(|v| v.max(0) as usize)
+                    .unwrap_or(4)
+            })
+            .collect(),
+        None => vec![4],
+    };
+    let n: usize = dims.iter().product();
+    let data = match info.dtype {
+        DType::F32 => Data::F32((0..n).map(|i| ((i % 17) as f32) * 0.125 - 1.0).collect()),
+        DType::I64 => Data::I64((0..n).map(|i| (i % 5) as i64).collect()),
+        DType::Bool => Data::Bool((0..n).map(|i| i % 2 == 0).collect()),
+        DType::U8 => Data::U8((0..n).map(|i| (i % 7) as u8).collect()),
+    };
+    Tensor::new(&dims, data).map_err(|e| format!("input '{}': {e}", info.name))
+}
+
+/// Executes `original` and `pruned` on identical deterministic inputs and
+/// reports `absint/prune-mismatch` unless the outputs are identical.
+///
+/// Both graphs failing with an error is treated as agreement (the prune
+/// did not change observable behavior); only asymmetric failures and
+/// value differences are mismatches.
+pub fn verify_arm_pruning(original: &Graph, pruned: &Graph) -> Vec<Diagnostic> {
+    let mut inputs = Vec::with_capacity(original.inputs().len());
+    for &t in original.inputs() {
+        match ramp_input(original, t) {
+            Ok(x) => inputs.push(x),
+            Err(e) => {
+                return vec![Diagnostic::error(
+                    "absint/prune-mismatch",
+                    Anchor::Tensor(t),
+                    format!("could not build verification input: {e}"),
+                )]
+            }
+        }
+    }
+
+    let cfg = ExecConfig::default();
+    let a = execute(original, &inputs, &cfg);
+    let b = execute(pruned, &inputs, &cfg);
+    match (a, b) {
+        (Ok(a), Ok(b)) => {
+            let mut diags = Vec::new();
+            if a.outputs.len() != b.outputs.len() {
+                diags.push(Diagnostic::error(
+                    "absint/prune-mismatch",
+                    Anchor::Graph,
+                    format!(
+                        "output arity changed: {} before pruning, {} after",
+                        a.outputs.len(),
+                        b.outputs.len()
+                    ),
+                ));
+                return diags;
+            }
+            for (i, (x, y)) in a.outputs.iter().zip(b.outputs.iter()).enumerate() {
+                if x != y {
+                    diags.push(Diagnostic::error(
+                        "absint/prune-mismatch",
+                        Anchor::Tensor(original.outputs()[i]),
+                        format!(
+                            "output {i} ('{}') differs between original and pruned graph",
+                            original.tensor(original.outputs()[i]).name
+                        ),
+                    ));
+                }
+            }
+            diags
+        }
+        (Err(_), Err(_)) => Vec::new(),
+        (Err(e), Ok(_)) => vec![Diagnostic::error(
+            "absint/prune-mismatch",
+            Anchor::Graph,
+            format!("original graph fails ({e}) but pruned graph succeeds"),
+        )],
+        (Ok(_), Err(e)) => vec![Diagnostic::error(
+            "absint/prune-mismatch",
+            Anchor::Graph,
+            format!("pruned graph fails ({e}) but original succeeds"),
+        )],
+    }
+}

@@ -35,12 +35,14 @@
 //! assert!(!report.has_errors());
 //! ```
 
+pub mod absint;
 mod diag;
 pub mod ir_lints;
 pub mod mem_check;
 pub mod plan_check;
 pub mod rdp_check;
 
+pub use absint::{certify, prune_dead_arms, verify_arm_pruning, Certificates, PruneOutcome};
 pub use diag::{Anchor, Diagnostic, Report, Severity};
 pub use ir_lints::{lint_graph, registry, Lint};
 pub use mem_check::{compare_planners, verify_memory_plan};

@@ -562,3 +562,137 @@ fn clean_wavefront_schedule_verifies() {
     ));
     assert!(!r.has_errors(), "{}", r.render_text(Some(&g)));
 }
+
+// ----------------------------------------------------------------- absint
+
+fn certify_report(g: &Graph) -> Report {
+    let rdp = analyze(g);
+    let (_certs, report) = sod2_analysis::certify(g, &rdp);
+    report
+}
+
+#[test]
+fn fires_absint_contradictory_range_on_inverted_clip() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    let c = g.add_simple(
+        "clip",
+        Op::Clip {
+            min: 1.0,
+            max: -1.0,
+        },
+        &[x],
+        DType::F32,
+    );
+    g.mark_output(c);
+    let r = certify_report(&g);
+    assert!(
+        r.has_code("absint/contradictory-range"),
+        "{}",
+        r.render_text(Some(&g))
+    );
+}
+
+#[test]
+fn fires_absint_unreachable_arm_on_constant_selector() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    let sel = g.add_i64_const("sel", &[1]);
+    let br = g.add_node("sw", Op::Switch { num_branches: 2 }, &[x, sel], DType::F32);
+    let a = g.add_simple("a", Op::Unary(UnaryOp::Relu), &[br[0]], DType::F32);
+    let b = g.add_simple("b", Op::Identity, &[br[1]], DType::F32);
+    let m = g.add_simple(
+        "m",
+        Op::Combine { num_branches: 2 },
+        &[a, b, sel],
+        DType::F32,
+    );
+    g.mark_output(m);
+    let r = certify_report(&g);
+    assert!(
+        r.has_code("absint/unreachable-arm"),
+        "{}",
+        r.render_text(Some(&g))
+    );
+}
+
+#[test]
+fn fires_absint_taint_reaches_output_on_log_of_unbounded_input() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    let l = g.add_simple("log", Op::Unary(UnaryOp::Log), &[x], DType::F32);
+    g.mark_output(l);
+    let r = certify_report(&g);
+    assert!(
+        r.has_code("absint/taint-reaches-output"),
+        "{}",
+        r.render_text(Some(&g))
+    );
+}
+
+#[test]
+fn fires_absint_non_monotone_transfer_via_fixpoint_audit() {
+    // A transfer that flips a fact up and back down: the engine's audit
+    // must flag the descent and `violations_to_diagnostics` must turn it
+    // into the diagnostic `certify` would emit.
+    struct Flapping {
+        flips: usize,
+    }
+    impl sod2_rdp::System for Flapping {
+        type State = Vec<usize>;
+        fn initial(&mut self, graph: &Graph) -> Vec<usize> {
+            vec![0; graph.num_tensors()]
+        }
+        fn relax(&mut self, graph: &Graph, nid: NodeId, state: &mut Vec<usize>) -> bool {
+            let o = graph.node(nid).outputs[0].0 as usize;
+            if self.flips >= 4 {
+                return false;
+            }
+            self.flips += 1;
+            state[o] = 1 - state[o];
+            true
+        }
+        fn audit(&self, _g: &Graph, prev: &Vec<usize>, next: &Vec<usize>) -> Vec<String> {
+            prev.iter()
+                .zip(next)
+                .enumerate()
+                .filter(|(_, (p, n))| n < p)
+                .map(|(i, (p, n))| format!("tensor {i} descended {p} -> {n}"))
+                .collect()
+        }
+    }
+    let (g, _, _, _) = chain_graph();
+    let (_, stats) = sod2_rdp::fixpoint::solve(
+        &g,
+        &mut Flapping { flips: 0 },
+        &sod2_rdp::FixpointOptions {
+            strategy: sod2_rdp::Strategy::Sweeps,
+            audit: true,
+            ..sod2_rdp::FixpointOptions::default()
+        },
+    );
+    let r = report_of(sod2_analysis::absint::violations_to_diagnostics(&stats));
+    assert!(
+        r.has_code("absint/non-monotone-transfer"),
+        "{}",
+        r.render_text(Some(&g))
+    );
+}
+
+#[test]
+fn fires_absint_prune_mismatch_on_semantically_different_graphs() {
+    let (orig, _, _, _) = chain_graph();
+    // A "pruned" graph that quietly negates the input instead: the
+    // output-equivalence check must reject it.
+    let mut g = Graph::new();
+    let x = g.add_input("x", DType::F32, vec![4.into()]);
+    let a = g.add_simple("neg", Op::Unary(UnaryOp::Neg), &[x], DType::F32);
+    let b = g.add_simple("sig", Op::Unary(UnaryOp::Sigmoid), &[a], DType::F32);
+    g.mark_output(b);
+    let r = report_of(sod2_analysis::verify_arm_pruning(&orig, &g));
+    assert!(
+        r.has_code("absint/prune-mismatch"),
+        "{}",
+        r.render_text(Some(&g))
+    );
+}

@@ -35,6 +35,9 @@ struct ZooEntry {
     scheduled_makespan_ms: f64,
     makespan_speedup: f64,
     makespan_bound: f64,
+    guard_elisions: u64,
+    nac_bounds_used: u64,
+    pruned_arms: u64,
     wall_ms_best: f64,
     kernel_ms: f64,
     kernel_coverage: f64,
@@ -50,6 +53,8 @@ impl ZooEntry {
                 "\"max_wave_width\": {}, \"wave_splits\": {}, ",
                 "\"serial_makespan_ms\": {:.6}, \"scheduled_makespan_ms\": {:.6}, ",
                 "\"makespan_speedup\": {:.4}, \"makespan_bound\": {:.4}, ",
+                "\"guard_elisions\": {}, \"nac_bounds_used\": {}, ",
+                "\"pruned_arms\": {}, ",
                 "\"wall_ms_best\": {:.4}, ",
                 "\"kernel_ms\": {:.4}, \"kernel_coverage\": {:.4}}}"
             ),
@@ -66,6 +71,9 @@ impl ZooEntry {
             self.scheduled_makespan_ms,
             self.makespan_speedup,
             self.makespan_bound,
+            self.guard_elisions,
+            self.nac_bounds_used,
+            self.pruned_arms,
             self.wall_ms_best,
             self.kernel_ms,
             self.kernel_coverage,
@@ -73,7 +81,7 @@ impl ZooEntry {
     }
 }
 
-fn measure(model: &sod2_models::DynModel, iters: usize) -> ZooEntry {
+fn measure(model: &sod2_models::DynModel, iters: usize, absint: bool) -> ZooEntry {
     let size = {
         let (lo, hi) = model.size_range();
         model.round_size((lo + hi) / 2)
@@ -82,13 +90,17 @@ fn measure(model: &sod2_models::DynModel, iters: usize) -> ZooEntry {
     let inputs = model.make_inputs(size, &mut rng);
 
     // Serial reference: wavefront execution must be bitwise-identical, so
-    // every zoo model is checked here on every bench run.
+    // every zoo model is checked here on every bench run. `nan_guard` is on
+    // so the per-node fence (and its certificate-driven elision) is on the
+    // measured path.
     let serial_outputs = {
         let mut serial = Sod2Engine::new(
             model.graph.clone(),
             DeviceProfile::s888_cpu(),
             Sod2Options {
                 wavefront_exec: false,
+                nan_guard: true,
+                absint,
                 ..Sod2Options::default()
             },
             &Default::default(),
@@ -104,6 +116,8 @@ fn measure(model: &sod2_models::DynModel, iters: usize) -> ZooEntry {
         DeviceProfile::s888_cpu(),
         Sod2Options {
             wavefront_exec: true,
+            nan_guard: true,
+            absint,
             ..Sod2Options::default()
         },
         &Default::default(),
@@ -138,6 +152,7 @@ fn measure(model: &sod2_models::DynModel, iters: usize) -> ZooEntry {
 
     let infer_ns = prof.cat_total_ns("infer");
     let kernel_ns = prof.cat_total_ns("kernel");
+    let counter = |name: &str| prof.counters.get(name).copied().unwrap_or(0);
     ZooEntry {
         model: model.name.to_string(),
         size,
@@ -160,6 +175,9 @@ fn measure(model: &sod2_models::DynModel, iters: usize) -> ZooEntry {
         } else {
             1.0
         },
+        guard_elisions: counter("absint.guard_elisions"),
+        nac_bounds_used: counter("absint.nac_bounds_used"),
+        pruned_arms: counter("absint.pruned_arms"),
         wall_ms_best: wall_best * 1e3,
         kernel_ms: kernel_ns as f64 / 1e6,
         kernel_coverage: if infer_ns > 0 {
@@ -237,11 +255,11 @@ fn main() {
 
     let mut entries = Vec::new();
     for model in all_models(scale) {
-        let e = measure(&model, iters);
+        let e = measure(&model, iters, true);
         eprintln!(
             "{:<24} size {:<3} priced {:>8.3} ms  peak {:>8.2} MB  \
              allocs {:<4} slab {:<4} waves {:<3} width {:<2} speedup {:>4.2}x \
-             (bound {:>4.2}x)  wall {:>7.3} ms  kernels {:>5.1}%",
+             (bound {:>4.2}x)  elide {:<4} nac {:<2} wall {:>7.3} ms  kernels {:>5.1}%",
             e.model,
             e.size,
             e.priced_ms,
@@ -252,11 +270,65 @@ fn main() {
             e.max_wave_width,
             e.makespan_speedup,
             e.makespan_bound,
+            e.guard_elisions,
+            e.nac_bounds_used,
             e.wall_ms_best,
             e.kernel_coverage * 100.0,
         );
+        // Certificate-driven nac bounds must keep the arena path fully
+        // residual-free: with the NMS/Gather special cases deleted, every
+        // zoo model still hits zero heap allocations per inference.
+        assert_eq!(
+            e.alloc_events, 0,
+            "{}: residual heap allocations on the arena path",
+            e.model
+        );
         entries.push(e);
     }
+    let total_elisions: u64 = entries.iter().map(|e| e.guard_elisions).sum();
+    let total_nac: u64 = entries.iter().map(|e| e.nac_bounds_used).sum();
+    assert!(
+        total_elisions > 0,
+        "no NaN-fence elisions across the zoo — certificates are not reaching the executor"
+    );
+    assert!(
+        total_nac > 0,
+        "no certificate-derived nac bounds used across the zoo — \
+         bounded-nac arena planning is not consuming the analysis"
+    );
+
+    // Branchy demo: the Switch selector is provably constant by range
+    // analysis but opaque to constant folding, so compiling with `absint`
+    // prunes the dead arm *and* the now-unreferenced gate stack. The
+    // priced-cost gap against the `absint`-off build demonstrates the
+    // certificates are consumed, and the gate protects it via the two
+    // entries' priced_ms / pruned_arms.
+    let demo = sod2_models::branchy_demo(scale);
+    let on = measure(&demo, iters, true);
+    let mut off = measure(&demo, iters, false);
+    off.model = "BranchyDemo-noprune".to_string();
+    assert!(
+        on.pruned_arms >= 1,
+        "branchy demo: expected at least one pruned Switch arm, got {}",
+        on.pruned_arms
+    );
+    assert_eq!(off.pruned_arms, 0, "absint-off build must not prune");
+    assert!(
+        on.priced_ms < off.priced_ms,
+        "branchy demo: pruning must lower priced cost ({} vs {})",
+        on.priced_ms,
+        off.priced_ms
+    );
+    eprintln!(
+        "{:<24} priced {:>8.3} ms vs {:>8.3} ms unpruned ({:.1}% saved, {} arm(s) pruned)",
+        on.model,
+        on.priced_ms,
+        off.priced_ms,
+        (1.0 - on.priced_ms / off.priced_ms) * 100.0,
+        on.pruned_arms,
+    );
+    entries.push(on);
+    entries.push(off);
 
     if let Some(path) = json_path {
         let mut s = String::from("{\n");
@@ -269,8 +341,9 @@ fn main() {
         ));
         s.push_str(concat!(
             "  \"gated_basis\": \"priced_ms, peak_memory_bytes, alloc_events, ",
-            "arena_backed, wavefront_count, max_wave_width, scheduled_makespan_ms ",
-            "and makespan_speedup are deterministic (cost model + static schedule + ",
+            "arena_backed, wavefront_count, max_wave_width, scheduled_makespan_ms, ",
+            "makespan_speedup, guard_elisions, nac_bounds_used and pruned_arms are ",
+            "deterministic (cost model + static schedule + abstract interpretation + ",
             "fixed seed 42 inputs) and gated by perf_gate; wall_ms_best, kernel_ms, ",
             "kernel_coverage and faults_probe_ns are host wallclock and ",
             "informational only\",\n"

@@ -19,6 +19,9 @@
 //! | `max_wave_width`     | lower-worse  | widest wave (parallelism exposed) |
 //! | `scheduled_makespan_ms` | higher-worse | priced makespan at 4 workers   |
 //! | `makespan_speedup`   | lower-worse  | serial over scheduled makespan    |
+//! | `guard_elisions`     | lower-worse  | NaN fences elided via certificates|
+//! | `nac_bounds_used`    | lower-worse  | nac tensors arena-planned via certs|
+//! | `pruned_arms`        | lower-worse  | Switch arms pruned at compile time|
 //!
 //! Entries are aligned by their `"name"` / `"model"` key inside any JSON
 //! array of objects, so the same comparator handles `BENCH_kernels.json`
@@ -51,6 +54,9 @@ pub const GATED_METRICS: &[(&str, Direction)] = &[
     ("max_wave_width", Direction::LowerWorse),
     ("scheduled_makespan_ms", Direction::HigherWorse),
     ("makespan_speedup", Direction::LowerWorse),
+    ("guard_elisions", Direction::LowerWorse),
+    ("nac_bounds_used", Direction::LowerWorse),
+    ("pruned_arms", Direction::LowerWorse),
 ];
 
 /// Outcome for one (entry, metric) pair.

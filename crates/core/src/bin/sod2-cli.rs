@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! sod2-cli list
-//! sod2-cli analyze  <model> [--scale tiny|full] [--json]
+//! sod2-cli analyze  <model> [--scale tiny|full] [--facts] [--json]
 //! sod2-cli run      <model> [--size N] [--device s888-cpu|s888-gpu|s835-cpu|s835-gpu]
 //! sod2-cli profile  <model> [--iters N] [--json | --chrome-trace PATH]
 //! sod2-cli compare  <model> [--samples N]
@@ -18,7 +18,9 @@
 //! `analyze` runs the full `sod2-analysis` diagnostic suite (IR lints, RDP
 //! cross-validation against a concrete execution, plan and memory-plan
 //! verification) and exits non-zero when any error-severity finding is
-//! reported.
+//! reported. With `--facts` it instead dumps the abstract-interpretation
+//! certificates — tensors proven finite, constant, or nac-bounded, and
+//! Switch arms proven unreachable — plus the fixpoint audit result.
 //!
 //! `chaos` sweeps every `sod2-faults` injection site (plus the deadline and
 //! memory-budget hardening paths) against a model — or the whole zoo with
@@ -107,6 +109,10 @@ fn analyze(args: &[String]) {
     let scale = scale_of(args);
     let json = args.iter().any(|a| a == "--json");
     let model = model_of(args, scale);
+    if args.iter().any(|a| a == "--facts") {
+        analyze_facts(&model, json);
+        return;
+    }
     let rdp = sod2_rdp::analyze(&model.graph);
     if json {
         // Machine-readable mode: diagnostics only.
@@ -164,6 +170,80 @@ fn analyze(args: &[String]) {
     let report = diagnose_model(&model);
     println!("diagnostics:");
     print!("{}", report.render_text(Some(&model.graph)));
+    if report.has_errors() {
+        std::process::exit(1);
+    }
+}
+
+/// Dumps the abstract-interpretation certificates for a model: what the
+/// four lattices proved, the fixpoint audit result, and the diagnostics.
+/// Purely static — no inference runs. Exits non-zero on error findings.
+fn analyze_facts(model: &DynModel, json: bool) {
+    let rdp = sod2_rdp::analyze(&model.graph);
+    let (certs, report) = sod2_analysis::certify(&model.graph, &rdp);
+    if json {
+        println!(
+            "{{\n  \"model\": \"{}\",\n  \"fixpoint\": {{\"iterations\": {}, \
+             \"changes\": {}, \"violations\": {}}},\n  \"finite\": {},\n  \
+             \"constants\": {},\n  \"nac_bounds\": {},\n  \"unreachable_arms\": {},\n  \
+             \"diagnostics\": {}\n}}",
+            model.name,
+            certs.stats.iterations,
+            certs.stats.changes,
+            certs.stats.violations.len(),
+            certs.finite_count(),
+            certs.constant_count(),
+            certs.bounded_nac_count(),
+            certs.unreachable_arms.len(),
+            report.render_json()
+        );
+    } else {
+        println!(
+            "model            : {} ({} layers)",
+            model.name,
+            model.layer_count()
+        );
+        println!(
+            "fixpoint         : {} iterations, {} changes, {} audit violations",
+            certs.stats.iterations,
+            certs.stats.changes,
+            certs.stats.violations.len()
+        );
+        println!("proven finite    : {} f32 tensors", certs.finite_count());
+        println!("proven constant  : {} tensors", certs.constant_count());
+        println!("nac elem bounds  : {} tensors", certs.bounded_nac_count());
+        println!("unreachable arms : {}", certs.unreachable_arms.len());
+        for (nid, arm) in &certs.unreachable_arms {
+            println!(
+                "  {} arm {arm} can never be selected",
+                model.graph.node(*nid).name
+            );
+        }
+        let mut shown = 0;
+        println!("sample facts:");
+        for t in model.graph.tensor_ids() {
+            let i = t.0 as usize;
+            if shown >= 8 {
+                break;
+            }
+            if let Some(c) = certs.constants[i] {
+                println!("  {:<28} const {c}", model.graph.tensor(t).name);
+                shown += 1;
+            } else if let Some(b) = &certs.elem_bounds[i] {
+                println!("  {:<28} |elems| <= {b}", model.graph.tensor(t).name);
+                shown += 1;
+            } else if certs.finite[i] {
+                println!(
+                    "  {:<28} finite, range {}",
+                    model.graph.tensor(t).name,
+                    certs.ranges[i]
+                );
+                shown += 1;
+            }
+        }
+        println!("diagnostics:");
+        print!("{}", report.render_text(Some(&model.graph)));
+    }
     if report.has_errors() {
         std::process::exit(1);
     }
@@ -257,10 +337,15 @@ fn profile_cmd(args: &[String]) {
     let _session = sod2_obs::session_guard();
     sod2_obs::set_enabled(true);
     sod2_obs::begin();
+    // NaN guarding on: the profile reports how many per-node fences the
+    // finiteness certificates elided, which requires the guard active.
     let mut engine = Sod2Engine::new(
         model.graph.clone(),
         profile.clone(),
-        Sod2Options::default(),
+        Sod2Options {
+            nan_guard: true,
+            ..Sod2Options::default()
+        },
         &Default::default(),
     );
     let mut last_stats = None;
@@ -294,6 +379,12 @@ fn profile_cmd(args: &[String]) {
         0.0
     };
     let wave = engine.last_wave_stats();
+    let counter = |name: &str| prof.counters.get(name).copied().unwrap_or(0);
+    let (elisions, pruned, nac_used) = (
+        counter("absint.guard_elisions"),
+        counter("absint.pruned_arms"),
+        counter("absint.nac_bounds_used"),
+    );
 
     if let Some(path) = &chrome {
         if let Err(e) = std::fs::write(path, prof.render_chrome_trace()) {
@@ -327,7 +418,9 @@ fn profile_cmd(args: &[String]) {
             "{{\n  \"model\": \"{}\",\n  \"device\": \"{}\",\n  \"size\": {},\n  \
              \"iters\": {},\n  \"priced_ms\": {:.6},\n  \"peak_memory_bytes\": {},\n  \
              \"kernel_coverage\": {:.4},\n  \"pool_workers\": {},\n  \
-             \"pool_occupancy\": {:.4},\n  \"wavefront\": {},\n  \"profile\": {}\n}}",
+             \"pool_occupancy\": {:.4},\n  \"absint\": {{\"guard_elisions\": {}, \
+             \"pruned_arms\": {}, \"nac_bounds_used\": {}}},\n  \
+             \"wavefront\": {},\n  \"profile\": {}\n}}",
             model.name,
             profile.name,
             model.round_size(size),
@@ -337,6 +430,9 @@ fn profile_cmd(args: &[String]) {
             coverage,
             workers,
             occupancy,
+            elisions,
+            pruned,
+            nac_used,
             wave_json,
             prof.render_json()
         );
@@ -374,6 +470,10 @@ fn profile_cmd(args: &[String]) {
             occupancy * 100.0,
             busy_ns as f64 / 1e6,
             workers
+        );
+        println!(
+            "absint   : {elisions} guard fences elided, {pruned} switch arm(s) pruned, \
+             {nac_used} nac bounds applied"
         );
         if let Some(w) = &wave {
             println!(

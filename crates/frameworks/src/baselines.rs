@@ -83,6 +83,7 @@ impl Compiled {
             nan_guard: false,
             memory_budget: None,
             wave_plan: None,
+            finite_outputs: None,
         };
         execute(&self.graph, inputs, &cfg)
     }

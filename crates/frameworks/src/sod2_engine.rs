@@ -6,7 +6,7 @@
 use crate::common::{bindings_from_inputs, Engine, InferenceStats};
 use sod2_device::DeviceProfile;
 use sod2_fusion::{fuse, FusionPlan, FusionPolicy};
-use sod2_ir::{Graph, NodeId, Op, TensorId};
+use sod2_ir::{Graph, NodeId, TensorId};
 use sod2_mem::{plan_sod2, size_class_peak, verify_plan, Arena, MemoryPlan, TensorLife};
 use sod2_mvc::VersionTable;
 use sod2_plan::{
@@ -64,6 +64,13 @@ pub struct Sod2Options {
     /// exceed the serial SEP peak by at most this fraction (waves are split
     /// until the bound holds). Defaults to `SOD2_WAVE_SLACK` or `0.5`.
     pub wavefront_slack: f64,
+    /// Consume abstract-interpretation certificates: prune `Switch` arms
+    /// with proven-constant selectors at compile time (requires
+    /// `native_control_flow`; the pruned graph is verified
+    /// output-equivalent first), plan bounded-`nac` tensors into the arena
+    /// from proven element bounds, and elide the per-node NaN fence for
+    /// proven-finite tensors when `nan_guard` is on.
+    pub absint: bool,
 }
 
 /// Reads a boolean environment flag: `0`/`false`/`off`/`no` disable, any
@@ -95,6 +102,7 @@ impl Default for Sod2Options {
                 .ok()
                 .and_then(|v| v.trim().parse().ok())
                 .unwrap_or(0.5),
+            absint: true,
         }
     }
 }
@@ -110,6 +118,7 @@ impl Sod2Options {
             mvc: false,
             arena_exec: false,
             wavefront_exec: false,
+            absint: false,
             ..Sod2Options::default()
         }
     }
@@ -154,6 +163,7 @@ pub struct Sod2Engine {
     profile: DeviceProfile,
     opts: Sod2Options,
     rdp: RdpResult,
+    certs: sod2_analysis::Certificates,
     fusion_plan: FusionPlan,
     unit_graph: UnitGraph,
     partitions: Vec<Partition>,
@@ -195,6 +205,29 @@ impl Sod2Engine {
         let rdp = {
             let _s = sod2_obs::span!("stage", "rdp_solve");
             analyze(&graph)
+        };
+        // Abstract interpretation: typed certificates (ranges, finiteness,
+        // constness, nac element bounds) over the folded graph. When a
+        // Switch selector is proven constant, the dead arms are folded out
+        // here — but only after an output-equivalence check of the pruned
+        // graph, and the analyses are re-derived on what will actually run.
+        let (graph, rdp, certs) = {
+            let _s = sod2_obs::span!("stage", "absint");
+            let (certs, certs_report) = sod2_analysis::certify(&graph, &rdp);
+            let pruned = (opts.absint && opts.native_control_flow && !certs_report.has_errors())
+                .then(|| sod2_analysis::prune_dead_arms(&graph, &certs))
+                .flatten()
+                .filter(|out| sod2_analysis::verify_arm_pruning(&graph, &out.graph).is_empty());
+            match pruned {
+                Some(out) => {
+                    sod2_obs::counter_add("absint.pruned_arms", out.pruned_arms as u64);
+                    let graph = out.graph;
+                    let rdp = analyze(&graph);
+                    let (certs, _) = sod2_analysis::certify(&graph, &rdp);
+                    (graph, rdp, certs)
+                }
+                None => (graph, rdp, certs),
+            }
         };
         let fusion_plan = {
             let _s = sod2_obs::span!("stage", "fusion");
@@ -350,6 +383,7 @@ impl Sod2Engine {
             profile,
             opts,
             rdp,
+            certs,
             fusion_plan,
             unit_graph,
             partitions,
@@ -510,57 +544,31 @@ impl Sod2Engine {
                 .map(|b| b.max(0) as usize)
                 .unwrap_or(0)
         };
-        // Bounded planning of the `nac` residue: some execution-determined
-        // outputs still have a static *upper bound* — NMS keeps at most
-        // `max_output` indices, and a Gather indexed by a bounded tensor
-        // inherits the bound times the data row size. Planning the slot at
-        // the bound (the executor accepts any write that fits a bounded
-        // slot) removes those per-inference heap allocations entirely.
+        // Bounded planning of the `nac` residue: the abstract
+        // interpretation's element-bound lattice proves upper bounds for
+        // execution-determined outputs (NMS keeps at most `max_output`
+        // indices, a Gather indexed by a bounded tensor inherits the bound
+        // times the slice size, and so on through any downstream op).
+        // Planning the slot at the bound (the executor accepts any write
+        // that fits a bounded slot) removes those per-inference heap
+        // allocations entirely — no per-op special cases.
         let mut bound_bytes: HashMap<usize, usize> = HashMap::new();
         let mut bounded_keys: HashSet<usize> = HashSet::new();
-        if arena_on {
-            let mut elem_bound: HashMap<usize, usize> = HashMap::new();
-            for &nid in &self.node_order {
-                let node = self.graph.node(nid);
-                let (t, bound) = match &node.op {
-                    Op::NonMaxSuppression { max_output } => (node.outputs[0], Some(*max_output)),
-                    Op::Gather { axis } => {
-                        let idx_elems = elem_bound
-                            .get(&(node.inputs[1].0 as usize))
-                            .copied()
-                            .or_else(|| {
-                                self.rdp
-                                    .concrete_shape(node.inputs[1], &bindings)
-                                    .map(|s| s.iter().product::<i64>().max(0) as usize)
-                            });
-                        let row_elems = self
-                            .rdp
-                            .concrete_shape(node.inputs[0], &bindings)
-                            .and_then(|s| {
-                                let ax = usize::try_from(*axis).ok()?;
-                                let ax_len = *s.get(ax)?;
-                                if ax_len <= 0 {
-                                    return None;
-                                }
-                                let numel: i64 = s.iter().product();
-                                usize::try_from(numel / ax_len).ok()
-                            });
-                        (
-                            node.outputs[0],
-                            idx_elems.zip(row_elems).map(|(i, r)| i * r),
-                        )
-                    }
-                    _ => continue,
+        if arena_on && self.opts.absint {
+            for t in self.graph.tensor_ids() {
+                let key = t.0 as usize;
+                let Some(expr) = &self.certs.elem_bounds[key] else {
+                    continue;
                 };
-                if let Some(elems) = bound {
-                    if rdp_size(t) == 0 {
-                        let key = t.0 as usize;
-                        elem_bound.insert(key, elems);
-                        bound_bytes.insert(key, elems * self.graph.tensor(t).dtype.size_bytes());
-                        bounded_keys.insert(key);
-                    }
+                if rdp_size(t) != 0 {
+                    continue;
+                }
+                if let Some(elems) = expr.eval(&bindings).and_then(|e| usize::try_from(e).ok()) {
+                    bound_bytes.insert(key, elems * self.graph.tensor(t).dtype.size_bytes());
+                    bounded_keys.insert(key);
                 }
             }
+            sod2_obs::counter_add("absint.nac_bounds_used", bounded_keys.len() as u64);
         }
         let eff_size = |t: TensorId| -> usize {
             let s = rdp_size(t);
@@ -657,6 +665,7 @@ impl Sod2Engine {
             nan_guard: self.opts.nan_guard,
             memory_budget: self.opts.memory_budget,
             wave_plan: wave_plan_ref,
+            finite_outputs: self.opts.absint.then_some(self.certs.finite.as_slice()),
         };
         let deadline = self.opts.deadline.map(|d| std::time::Instant::now() + d);
         let outcome = {
@@ -844,6 +853,7 @@ impl Sod2Engine {
             nan_guard: self.opts.nan_guard,
             memory_budget: self.opts.memory_budget,
             wave_plan: None,
+            finite_outputs: self.opts.absint.then_some(self.certs.finite.as_slice()),
         };
         let outcome = execute(&self.graph, inputs, &cfg)?;
         report.extend(an::verify_observed_shapes(

@@ -106,7 +106,8 @@ pub fn binary(op: BinaryOp, a: &Tensor, b: &Tensor) -> Result<Tensor, KernelErro
     }
 }
 
-fn binary_fn_f32(op: BinaryOp) -> fn(f32, f32) -> f32 {
+/// The scalar f32 function for a [`BinaryOp`] (exactly the kernel's).
+pub fn binary_fn_f32(op: BinaryOp) -> fn(f32, f32) -> f32 {
     match op {
         BinaryOp::Add => |x, y| x + y,
         BinaryOp::Sub => |x, y| x - y,
@@ -119,7 +120,8 @@ fn binary_fn_f32(op: BinaryOp) -> fn(f32, f32) -> f32 {
     }
 }
 
-fn binary_fn_i64(op: BinaryOp) -> fn(i64, i64) -> i64 {
+/// The scalar i64 function for a [`BinaryOp`] (exactly the kernel's).
+pub fn binary_fn_i64(op: BinaryOp) -> fn(i64, i64) -> i64 {
     match op {
         BinaryOp::Add => |x, y| x.wrapping_add(y),
         BinaryOp::Sub => |x, y| x.wrapping_sub(y),

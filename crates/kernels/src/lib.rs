@@ -42,6 +42,7 @@ mod error;
 mod exec;
 pub mod fused;
 pub mod linalg;
+pub mod numerics;
 pub mod reduce;
 pub mod shape_ops;
 

@@ -32,7 +32,7 @@ pub use blocks::{
 pub use detection::yolo_v6;
 pub use model::{DynModel, Dynamism, InputKind, ModelScale};
 pub use transformer::{codebert, conformer, segment_anything, stable_diffusion_encoder};
-pub use vision::{blockdrop, convnet_aig, dgnet, ranet, skipnet};
+pub use vision::{blockdrop, branchy_demo, convnet_aig, dgnet, ranet, skipnet};
 
 /// Builds the full 10-model zoo in the paper's Table 5 order.
 pub fn all_models(scale: ModelScale) -> Vec<DynModel> {
@@ -50,11 +50,13 @@ pub fn all_models(scale: ModelScale) -> Vec<DynModel> {
     ]
 }
 
-/// Looks a model up by (case-insensitive) name fragment.
+/// Looks a model up by (case-insensitive) name fragment. Resolves the
+/// zoo plus the demonstration models that live outside it (`BranchyDemo`).
 pub fn model_by_name(name: &str, scale: ModelScale) -> Option<DynModel> {
     let lower = name.to_ascii_lowercase();
     all_models(scale)
         .into_iter()
+        .chain(std::iter::once(branchy_demo(scale)))
         .find(|m| m.name.to_ascii_lowercase().contains(&lower))
 }
 

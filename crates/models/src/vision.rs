@@ -9,7 +9,7 @@
 
 use crate::blocks::{conv_bn_relu, dense, gated_residual_block, residual_block};
 use crate::model::{DynModel, Dynamism, InputKind, ModelScale};
-use sod2_ir::{CompareOp, ConstData, DType, Graph, Op, ReduceOp, TensorId};
+use sod2_ir::{CompareOp, ConstData, DType, Graph, Op, ReduceOp, TensorId, UnaryOp};
 use sod2_sym::DimExpr;
 
 const STEM_C: usize = 8;
@@ -318,6 +318,98 @@ pub fn ranet(scale: ModelScale) -> DynModel {
     }
 }
 
+/// Branchy demo (not part of the Table 5 zoo): a gated network whose
+/// `Switch` selector is *provably constant* by range analysis but not by
+/// constant folding.
+///
+/// The gate squashes the raw input through `Sigmoid` (range `[0, 1]`
+/// regardless of input values), runs a deep conv stack over it, squashes
+/// again, reduces to a scalar, and compares against `-1.0` — always true
+/// for real inputs, and the interval analysis proves it (`max(sigmoid) ≥ 0
+/// > -1`). Constant folding cannot: the comparison depends on a graph
+/// input. With `absint` on, arm 0 and the entire (expensive) gate stack are
+/// pruned at compile time; with it off, the gate executes on every
+/// inference just to compute a selector that is always 1. The priced-cost
+/// gap between the two configurations is the benchmark's demonstration
+/// that certificates are consumed, and `bench_zoo` gates it.
+///
+/// Fixed 32×32 input (like DGNet) so spatial extents — and thus the pool
+/// and reduce transfer functions — stay fully known to the analysis.
+pub fn branchy_demo(scale: ModelScale) -> DynModel {
+    let gate_blocks = match scale {
+        ModelScale::Tiny => 4,
+        ModelScale::Full => 32,
+    };
+    let mut g = Graph::new();
+    let x = g.add_input(
+        "image",
+        DType::F32,
+        vec![1.into(), 3.into(), 32.into(), 32.into()],
+    );
+
+    // Cheap main path: one stem block.
+    let feat = conv_bn_relu(&mut g, "stem", x, 3, STEM_C, 3, 2);
+
+    // Heavy gate path: Sigmoid bounds the input to [0, 1] so the interval
+    // analysis carries finite ranges through the whole stack.
+    let sq = g.add_simple("gate.squash", Op::Unary(UnaryOp::Sigmoid), &[x], DType::F32);
+    let mut t = conv_bn_relu(&mut g, "gate.c0", sq, 3, STEM_C, 3, 1);
+    for i in 1..gate_blocks {
+        t = conv_bn_relu(&mut g, &format!("gate.c{i}"), t, STEM_C, STEM_C, 3, 1);
+    }
+    let gap = g.add_simple("gate.gap", Op::GlobalAvgPool, &[t], DType::F32);
+    let sig = g.add_simple("gate.sig", Op::Unary(UnaryOp::Sigmoid), &[gap], DType::F32);
+    let mx = g.add_simple(
+        "gate.max",
+        Op::Reduce {
+            op: ReduceOp::Max,
+            axes: vec![1, 2, 3],
+            keep_dims: false,
+        },
+        &[sig],
+        DType::F32,
+    );
+    // max(sigmoid(...)) ∈ [0, 1] is always greater than -1: provable by
+    // interval analysis, opaque to constant folding.
+    let tau = g.add_const("gate.tau", &[1], ConstData::F32(vec![-1.0]));
+    let cmp = g.add_simple(
+        "gate.cmp",
+        Op::Compare(CompareOp::Greater),
+        &[mx, tau],
+        DType::Bool,
+    );
+    let sel = g.add_simple("gate.sel", Op::Cast { to: DType::I64 }, &[cmp], DType::I64);
+
+    // Arm 0 (a residual block) is infeasible — the selector is provably 1.
+    let br = g.add_node(
+        "switch",
+        Op::Switch { num_branches: 2 },
+        &[feat, sel],
+        DType::F32,
+    );
+    let heavy = residual_block(&mut g, "arm0.res", br[0], STEM_C);
+    let skip = g.add_simple("arm1.skip", Op::Identity, &[br[1]], DType::F32);
+    let merged = g.add_simple(
+        "combine",
+        Op::Combine { num_branches: 2 },
+        &[heavy, skip, sel],
+        DType::F32,
+    );
+    let logits = classifier_head(&mut g, "head", merged, STEM_C, 10);
+    g.mark_output(logits);
+    DynModel {
+        name: "BranchyDemo",
+        dynamism: Dynamism::ControlFlow,
+        graph: g,
+        input_kind: InputKind::Image {
+            channels: 3,
+            min: 32,
+            max: 32,
+            multiple: 32,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +448,22 @@ mod tests {
     #[test]
     fn ranet_builds_and_runs() {
         smoke(&ranet(ModelScale::Tiny));
+    }
+
+    #[test]
+    fn branchy_demo_builds_and_always_takes_arm_one() {
+        let m = branchy_demo(ModelScale::Tiny);
+        sod2_ir::validate(&m.graph).expect("valid graph");
+        let mut rng = StdRng::seed_from_u64(3);
+        // The selector is 1 for every input, so the kernel count is fixed:
+        // the gate stack plus the skip arm, never the residual block.
+        let mut counts = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let (_, inputs) = m.sample_inputs(&mut rng);
+            let out = execute(&m.graph, &inputs, &ExecConfig::default()).expect("runs");
+            counts.insert(out.trace.kernel_count());
+        }
+        assert_eq!(counts.len(), 1, "gate must never vary: {counts:?}");
     }
 
     #[test]

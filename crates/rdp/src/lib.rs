@@ -30,9 +30,11 @@
 //! ```
 
 pub mod backward;
+pub mod fixpoint;
 mod result;
 mod solver;
 pub mod transfer;
 
+pub use fixpoint::{FixpointOptions, FixpointStats, Strategy, System};
 pub use result::{classify_shape, RdpResult, ShapeClass};
 pub use solver::{analyze, analyze_traced, analyze_with_report, RdpReport, RdpTrace};

@@ -12,9 +12,10 @@
 //! branches resolve.
 
 use crate::backward::backward;
+use crate::fixpoint::{self, FixpointOptions, Strategy, System};
 use crate::result::RdpResult;
 use crate::transfer::forward;
-use sod2_ir::{Graph, Op};
+use sod2_ir::{Graph, NodeId, Op};
 use sod2_sym::{DimValue, ShapeValue, SymValue};
 
 /// Maximum solver sweeps before declaring divergence (a backstop only — the
@@ -65,122 +66,148 @@ pub fn analyze_traced(graph: &Graph) -> (RdpResult, RdpReport, RdpTrace) {
     analyze_inner(graph, true)
 }
 
+/// RDP phrased as a [`fixpoint::System`]: the state is the shape and value
+/// lattice vectors, and one relaxation is the forward transfer plus the
+/// backward transfer into unresolved inputs. Inconsistency reports
+/// accumulate on the system itself.
+struct RdpSystem {
+    report: RdpReport,
+}
+
+/// RDP's analysis state (one shape and one value fact per tensor).
+#[derive(Clone)]
+struct RdpState {
+    shapes: Vec<ShapeValue>,
+    values: Vec<SymValue>,
+}
+
+impl System for RdpSystem {
+    type State = RdpState;
+
+    fn initial(&mut self, graph: &Graph) -> RdpState {
+        let nt = graph.num_tensors();
+        let mut shapes: Vec<ShapeValue> = vec![ShapeValue::Undef; nt];
+        let mut values: Vec<SymValue> = vec![SymValue::Undef; nt];
+        // Initialization (Alg. 1 lines 1-3): inputs get their annotations,
+        // constants their known shapes/values, runtime inputs' contents are
+        // nac.
+        for t in graph.tensor_ids() {
+            let info = graph.tensor(t);
+            if let Some(data) = &info.const_data {
+                shapes[t.0 as usize] = info.shape.clone();
+                values[t.0 as usize] = match data.as_i64s() {
+                    Some(ints) if ints.len() <= VALUE_TRACK_LIMIT => SymValue::known(ints),
+                    _ => SymValue::Nac,
+                };
+            } else if graph.inputs().contains(&t) {
+                shapes[t.0 as usize] = info.shape.clone();
+                values[t.0 as usize] = SymValue::Nac;
+            }
+        }
+        RdpState { shapes, values }
+    }
+
+    fn relax(&mut self, graph: &Graph, nid: NodeId, state: &mut RdpState) -> bool {
+        let RdpState { shapes, values } = state;
+        let report = &mut self.report;
+        let mut changed = false;
+        let node = graph.node(nid);
+        let in_shapes: Vec<ShapeValue> = node
+            .inputs
+            .iter()
+            .map(|t| shapes[t.0 as usize].clone())
+            .collect();
+        let in_values: Vec<SymValue> = node
+            .inputs
+            .iter()
+            .map(|t| values[t.0 as usize].clone())
+            .collect();
+        let out_dtypes: Vec<_> = node
+            .outputs
+            .iter()
+            .map(|t| graph.tensor(*t).dtype)
+            .collect();
+
+        // 1. Forward transfer (Alg. 1 line 13).
+        let proposal = forward(node, &in_shapes, &in_values, &out_dtypes);
+        let is_combine = matches!(node.op, Op::Combine { .. });
+        for (k, &out) in node.outputs.iter().enumerate() {
+            let idx = out.0 as usize;
+            if is_combine {
+                // Merge semantics: assign the meet (may descend).
+                if shapes[idx] != proposal.shapes[k] {
+                    shapes[idx] = proposal.shapes[k].clone();
+                    changed = true;
+                }
+                if values[idx] != proposal.values[k] {
+                    values[idx] = proposal.values[k].clone();
+                    changed = true;
+                }
+            } else {
+                changed |= install_shape(&mut shapes[idx], &proposal.shapes[k], report, || {
+                    format!("{} output {k}", node.name)
+                });
+                changed |= install_value(&mut values[idx], &proposal.values[k]);
+            }
+        }
+
+        // 2. Backward transfer into undef predecessors (lines 14-15).
+        let out_shapes: Vec<ShapeValue> = node
+            .outputs
+            .iter()
+            .map(|t| shapes[t.0 as usize].clone())
+            .collect();
+        let any_unresolved_input = node
+            .inputs
+            .iter()
+            .any(|t| !shapes[t.0 as usize].is_fully_symbolic());
+        if any_unresolved_input {
+            let props = backward(node, &in_shapes, &out_shapes);
+            for (i, prop) in props.into_iter().enumerate() {
+                if let Some(p) = prop {
+                    let t = node.inputs[i];
+                    // Never write into constants.
+                    if graph.tensor(t).is_const() {
+                        continue;
+                    }
+                    changed |= install_shape(&mut shapes[t.0 as usize], &p, report, || {
+                        format!("{} input {i} (backward)", node.name)
+                    });
+                }
+            }
+        }
+        changed
+    }
+
+    fn bidirectional(&self) -> bool {
+        true
+    }
+}
+
 fn analyze_inner(graph: &Graph, record_trace: bool) -> (RdpResult, RdpReport, RdpTrace) {
-    let nt = graph.num_tensors();
-    let mut shapes: Vec<ShapeValue> = vec![ShapeValue::Undef; nt];
-    let mut values: Vec<SymValue> = vec![SymValue::Undef; nt];
-    let mut report = RdpReport::default();
-
-    // Initialization (Alg. 1 lines 1-3): inputs get their annotations,
-    // constants their known shapes/values, runtime inputs' contents are nac.
-    for t in graph.tensor_ids() {
-        let info = graph.tensor(t);
-        if let Some(data) = &info.const_data {
-            shapes[t.0 as usize] = info.shape.clone();
-            values[t.0 as usize] = match data.as_i64s() {
-                Some(ints) if ints.len() <= VALUE_TRACK_LIMIT => SymValue::known(ints),
-                _ => SymValue::Nac,
-            };
-        } else if graph.inputs().contains(&t) {
-            shapes[t.0 as usize] = info.shape.clone();
-            values[t.0 as usize] = SymValue::Nac;
-        }
-    }
-
+    let mut sys = RdpSystem {
+        report: RdpReport::default(),
+    };
+    let opts = FixpointOptions {
+        strategy: Strategy::Sweeps,
+        max_iterations: MAX_ITERATIONS,
+        audit: false,
+        label: "RDP",
+    };
     let mut trace = RdpTrace::default();
-    if record_trace {
-        trace.shape_sweeps.push(shapes.clone());
-    }
-    let order = graph.topo_order();
-    let mut changed = true;
-    let mut iterations = 0;
-    while changed {
-        changed = false;
-        iterations += 1;
-        assert!(
-            iterations <= MAX_ITERATIONS,
-            "RDP failed to converge in {MAX_ITERATIONS} sweeps"
-        );
-        for &nid in &order {
-            let node = graph.node(nid);
-            let in_shapes: Vec<ShapeValue> = node
-                .inputs
-                .iter()
-                .map(|t| shapes[t.0 as usize].clone())
-                .collect();
-            let in_values: Vec<SymValue> = node
-                .inputs
-                .iter()
-                .map(|t| values[t.0 as usize].clone())
-                .collect();
-            let out_dtypes: Vec<_> = node
-                .outputs
-                .iter()
-                .map(|t| graph.tensor(*t).dtype)
-                .collect();
-
-            // 1. Forward transfer (Alg. 1 line 13).
-            let proposal = forward(node, &in_shapes, &in_values, &out_dtypes);
-            let is_combine = matches!(node.op, Op::Combine { .. });
-            for (k, &out) in node.outputs.iter().enumerate() {
-                let idx = out.0 as usize;
-                if is_combine {
-                    // Merge semantics: assign the meet (may descend).
-                    if shapes[idx] != proposal.shapes[k] {
-                        shapes[idx] = proposal.shapes[k].clone();
-                        changed = true;
-                    }
-                    if values[idx] != proposal.values[k] {
-                        values[idx] = proposal.values[k].clone();
-                        changed = true;
-                    }
-                } else {
-                    changed |=
-                        install_shape(&mut shapes[idx], &proposal.shapes[k], &mut report, || {
-                            format!("{} output {k}", node.name)
-                        });
-                    changed |= install_value(&mut values[idx], &proposal.values[k]);
-                }
-            }
-
-            // 2. Backward transfer into undef predecessors (lines 14-15).
-            let out_shapes: Vec<ShapeValue> = node
-                .outputs
-                .iter()
-                .map(|t| shapes[t.0 as usize].clone())
-                .collect();
-            let any_unresolved_input = node
-                .inputs
-                .iter()
-                .any(|t| !shapes[t.0 as usize].is_fully_symbolic());
-            if any_unresolved_input {
-                let props = backward(node, &in_shapes, &out_shapes);
-                for (i, prop) in props.into_iter().enumerate() {
-                    if let Some(p) = prop {
-                        let t = node.inputs[i];
-                        // Never write into constants.
-                        if graph.tensor(t).is_const() {
-                            continue;
-                        }
-                        changed |=
-                            install_shape(&mut shapes[t.0 as usize], &p, &mut report, || {
-                                format!("{} input {i} (backward)", node.name)
-                            });
-                    }
-                }
-            }
-        }
+    let (state, stats) = fixpoint::solve_observed(graph, &mut sys, &opts, |s, _round| {
         if record_trace {
-            trace.shape_sweeps.push(shapes.clone());
+            trace.shape_sweeps.push(s.shapes.clone());
         }
-    }
+    });
 
-    report.iterations = iterations;
+    let mut report = sys.report;
+    report.iterations = stats.iterations;
     (
         RdpResult {
-            shapes,
-            values,
-            iterations,
+            shapes: state.shapes,
+            values: state.values,
+            iterations: stats.iterations,
         },
         report,
         trace,

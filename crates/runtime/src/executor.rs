@@ -67,10 +67,19 @@ pub struct ExecConfig<'a> {
     /// element-wise interpreter (`sod2_kernels::fused`): intermediates are
     /// genuinely never materialized, not just unaccounted.
     pub fused_interpreter: bool,
-    /// Scan output tensors for non-finite values and fail with
+    /// Scan tensors for non-finite values and fail with
     /// [`ExecError::NumericFault`] instead of returning poisoned results
     /// (catches injected `kernel.nan` faults and real divergence alike).
+    /// The fence runs per node as results commit — poison is caught at the
+    /// operator that produced it — plus once over the graph inputs and
+    /// once over the final outputs.
     pub nan_guard: bool,
+    /// Per-tensor proven-finite flags from the abstract interpretation
+    /// (`sod2_analysis::Certificates::finite`, indexed by `TensorId.0`).
+    /// A proven-finite tensor's per-node fence cannot fire, so the scan is
+    /// skipped (counted in `absint.guard_elisions`). The input fence makes
+    /// the proof's finite-inputs premise hold at runtime.
+    pub finite_outputs: Option<&'a [bool]>,
     /// Cap (bytes) on simultaneously live materialized intermediates,
     /// checked as tensors are installed: exceeding it aborts the run with
     /// [`ExecError::BudgetExceeded`]. This is the runtime rung of budget
@@ -558,6 +567,34 @@ fn eval_wave(
     Ok(out)
 }
 
+/// Per-node NaN fence: scans a freshly committed f32 result for non-finite
+/// values unless the certificate says the tensor is provably finite (the
+/// elision the abstract interpretation pays for).
+fn fence_output(
+    cfg: &ExecConfig<'_>,
+    node_name: &str,
+    t: TensorId,
+    tensor: &Tensor,
+) -> Result<(), ExecError> {
+    if !cfg.nan_guard {
+        return Ok(());
+    }
+    if let Some(finite) = cfg.finite_outputs {
+        if finite.get(t.0 as usize).copied().unwrap_or(false) {
+            sod2_obs::counter_add("absint.guard_elisions", 1);
+            return Ok(());
+        }
+    }
+    if let Ok(v) = tensor.as_f32() {
+        if !v.iter().all(|x| x.is_finite()) {
+            return Err(ExecError::NumericFault(format!(
+                "non-finite value in output {t} of node '{node_name}'"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Mutable executor state threaded through the serial commit path. Both
 /// execution modes funnel every node through [`commit_node`], so wavefront
 /// runs install, account, trace, and release in exactly the serial order.
@@ -664,6 +701,7 @@ fn commit_node(
             match result {
                 Some(tensor) => {
                     let t = chain.final_output;
+                    fence_output(cfg, &node.name, t, &tensor)?;
                     st.concrete_shapes.insert(t, tensor.shape().to_vec());
                     let b = tensor.byte_size();
                     st.live_bytes += b;
@@ -805,6 +843,7 @@ fn commit_node(
         let t = node.outputs[k];
         match result {
             Some(tensor) => {
+                fence_output(cfg, &node.name, t, &tensor)?;
                 st.concrete_shapes.insert(t, tensor.shape().to_vec());
                 let materialized = !internal.contains(&t);
                 if materialized {
@@ -905,6 +944,17 @@ pub fn execute_with_arena(
         }
     }
     for (&t, tensor) in graph.inputs().iter().zip(inputs) {
+        // Input fence: the guard's contract (and the finite-inputs premise
+        // behind certificate-based elision) starts at the boundary.
+        if cfg.nan_guard {
+            if let Ok(v) = tensor.as_f32() {
+                if !v.iter().all(|x| x.is_finite()) {
+                    return Err(ExecError::NumericFault(format!(
+                        "non-finite value in graph input {t}"
+                    )));
+                }
+            }
+        }
         env[t.0 as usize] = Slot::Live(tensor.clone());
     }
 

@@ -16,7 +16,12 @@
 //!   be dependency-valid topological orders, fusion groups must not
 //!   leak fused-away tensors to external consumers, and wavefront
 //!   schedules must be legal parallel schedules (dependence-respecting
-//!   waves, peak within slack, no concurrently-live arena aliasing).
+//!   waves, peak within slack, no concurrently-live arena aliasing);
+//! - [`tape_check`] — tape↔plan correspondence: the lowered instruction
+//!   stream must cover every planned node exactly once in a
+//!   dependence-valid order, its release schedule must match a refcount
+//!   replay, wave ranges must tile the tape, and no register may be read
+//!   and written by concurrent units of one wave.
 //!
 //! [`analyze_static`] is the one-call driver used by `sod2-cli analyze`
 //! and the engines' debug-mode verification stage.
@@ -41,6 +46,7 @@ pub mod ir_lints;
 pub mod mem_check;
 pub mod plan_check;
 pub mod rdp_check;
+pub mod tape_check;
 
 pub use absint::{certify, prune_dead_arms, verify_arm_pruning, Certificates, PruneOutcome};
 pub use diag::{Anchor, Diagnostic, Report, Severity};
@@ -51,6 +57,7 @@ pub use plan_check::{
     verify_wavefront_schedule,
 };
 pub use rdp_check::{check_monotonicity, report_inconsistencies, verify_observed_shapes};
+pub use tape_check::verify_tape;
 
 use sod2_fusion::{fuse, FusionPolicy};
 use sod2_ir::Graph;

@@ -6,10 +6,17 @@
 //!
 //! - the *deterministic* metrics the CI perf gate compares — `priced_ms`
 //!   (cost-model latency), `peak_memory_bytes`, `alloc_events`,
-//!   `arena_backed` — which are identical across hosts and runs, and
+//!   `arena_backed`, `tape_len` (register-machine instruction count) —
+//!   which are identical across hosts and runs, and
 //! - informational wallclock numbers — `wall_ms_best`, `kernel_ms`,
-//!   `kernel_coverage` (kernel-span wall over infer-span wall) — which the
-//!   gate ignores.
+//!   `kernel_coverage` (kernel-span wall over infer-span wall),
+//!   `dispatch_ns_per_node` (non-kernel infer wall per node per run) plus
+//!   their `_tree` counterparts from a tree-walking interpreter run of the
+//!   same model — which the gate ignores.
+//!
+//! Every model is executed three ways per bench run — serial tree-walk,
+//! wavefront tree-walk, and wavefront tape — and all three must agree
+//! bitwise.
 //!
 //! Inputs are fixed (seed 42, mid-range size) so the gated numbers are
 //! reproducible bit-for-bit.
@@ -38,9 +45,14 @@ struct ZooEntry {
     guard_elisions: u64,
     nac_bounds_used: u64,
     pruned_arms: u64,
+    tape_len: usize,
     wall_ms_best: f64,
     kernel_ms: f64,
     kernel_coverage: f64,
+    dispatch_ns_per_node: f64,
+    wall_ms_best_tree: f64,
+    kernel_coverage_tree: f64,
+    dispatch_ns_per_node_tree: f64,
 }
 
 impl ZooEntry {
@@ -54,9 +66,13 @@ impl ZooEntry {
                 "\"serial_makespan_ms\": {:.6}, \"scheduled_makespan_ms\": {:.6}, ",
                 "\"makespan_speedup\": {:.4}, \"makespan_bound\": {:.4}, ",
                 "\"guard_elisions\": {}, \"nac_bounds_used\": {}, ",
-                "\"pruned_arms\": {}, ",
+                "\"pruned_arms\": {}, \"tape_len\": {}, ",
                 "\"wall_ms_best\": {:.4}, ",
-                "\"kernel_ms\": {:.4}, \"kernel_coverage\": {:.4}}}"
+                "\"kernel_ms\": {:.4}, \"kernel_coverage\": {:.4}, ",
+                "\"dispatch_ns_per_node\": {:.1}, ",
+                "\"wall_ms_best_tree\": {:.4}, ",
+                "\"kernel_coverage_tree\": {:.4}, ",
+                "\"dispatch_ns_per_node_tree\": {:.1}}}"
             ),
             self.model,
             self.size,
@@ -74,9 +90,14 @@ impl ZooEntry {
             self.guard_elisions,
             self.nac_bounds_used,
             self.pruned_arms,
+            self.tape_len,
             self.wall_ms_best,
             self.kernel_ms,
             self.kernel_coverage,
+            self.dispatch_ns_per_node,
+            self.wall_ms_best_tree,
+            self.kernel_coverage_tree,
+            self.dispatch_ns_per_node_tree,
         )
     }
 }
@@ -89,15 +110,17 @@ fn measure(model: &sod2_models::DynModel, iters: usize, absint: bool) -> ZooEntr
     let mut rng = StdRng::seed_from_u64(42);
     let inputs = model.make_inputs(size, &mut rng);
 
-    // Serial reference: wavefront execution must be bitwise-identical, so
-    // every zoo model is checked here on every bench run. `nan_guard` is on
-    // so the per-node fence (and its certificate-driven elision) is on the
-    // measured path.
+    // Serial tree-walk reference: both tape lowering and wavefront
+    // scheduling must be bitwise-identical to it, so every zoo model is
+    // checked against the plain interpreter on every bench run.
+    // `nan_guard` is on so the per-node fence (and its certificate-driven
+    // elision) is on the measured path.
     let serial_outputs = {
         let mut serial = Sod2Engine::new(
             model.graph.clone(),
             DeviceProfile::s888_cpu(),
             Sod2Options {
+                tape_exec: false,
                 wavefront_exec: false,
                 nan_guard: true,
                 absint,
@@ -107,6 +130,28 @@ fn measure(model: &sod2_models::DynModel, iters: usize, absint: bool) -> ZooEntr
         );
         serial.infer(&inputs).expect("serial infer").outputs
     };
+    let assert_bitwise = |outputs: &[sod2_tensor::Tensor], mode: &str| {
+        assert_eq!(
+            serial_outputs.len(),
+            outputs.len(),
+            "{}: {mode} output count diverged from serial tree-walk",
+            model.name
+        );
+        for (s, w) in serial_outputs.iter().zip(outputs) {
+            assert_eq!(
+                s.payload_le_bytes(),
+                w.payload_le_bytes(),
+                "{}: {mode} outputs diverged bitwise from serial tree-walk",
+                model.name
+            );
+        }
+    };
+    let node_count = model.graph.nodes().len();
+    // Non-kernel inference wall time per node per run — the interpreter
+    // overhead the tape exists to shrink. Wallclock, informational only.
+    let dispatch_ns = |infer_ns: u64, kernel_ns: u64, runs: usize| {
+        (infer_ns.saturating_sub(kernel_ns)) as f64 / (node_count * runs.max(1)) as f64
+    };
 
     let _session = sod2_obs::session_guard();
     sod2_obs::set_enabled(true);
@@ -115,6 +160,7 @@ fn measure(model: &sod2_models::DynModel, iters: usize, absint: bool) -> ZooEntr
         model.graph.clone(),
         DeviceProfile::s888_cpu(),
         Sod2Options {
+            tape_exec: true,
             wavefront_exec: true,
             nan_guard: true,
             absint,
@@ -122,22 +168,10 @@ fn measure(model: &sod2_models::DynModel, iters: usize, absint: bool) -> ZooEntr
         },
         &Default::default(),
     );
+    let tape_len = engine.tape_stats().map(|s| s.tape_len).unwrap_or(0);
     // Warmup: first inference pays DMP plan construction.
     let mut stats = engine.infer(&inputs).expect("warmup infer");
-    assert_eq!(
-        serial_outputs.len(),
-        stats.outputs.len(),
-        "{}: wavefront output count diverged from serial",
-        model.name
-    );
-    for (s, w) in serial_outputs.iter().zip(&stats.outputs) {
-        assert_eq!(
-            s.payload_le_bytes(),
-            w.payload_le_bytes(),
-            "{}: wavefront outputs diverged bitwise from serial",
-            model.name
-        );
-    }
+    assert_bitwise(&stats.outputs, "tape+wavefront");
     let mut wall_best = f64::INFINITY;
     for _ in 0..iters {
         let t0 = Instant::now();
@@ -148,10 +182,38 @@ fn measure(model: &sod2_models::DynModel, iters: usize, absint: bool) -> ZooEntr
         .last_wave_stats()
         .expect("wavefront stats after wavefront-mode inference");
     let prof = sod2_obs::take();
+
+    // Tree-walking interpreter under the same schedule, profiled in its
+    // own window: the tape-vs-tree dispatch/coverage comparison is the
+    // bench's whole point, and its outputs must stay bitwise identical.
+    sod2_obs::begin();
+    let mut tree_engine = Sod2Engine::new(
+        model.graph.clone(),
+        DeviceProfile::s888_cpu(),
+        Sod2Options {
+            tape_exec: false,
+            wavefront_exec: true,
+            nan_guard: true,
+            absint,
+            ..Sod2Options::default()
+        },
+        &Default::default(),
+    );
+    let tree_stats = tree_engine.infer(&inputs).expect("tree warmup infer");
+    assert_bitwise(&tree_stats.outputs, "tree+wavefront");
+    let mut tree_wall_best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        tree_engine.infer(&inputs).expect("tree infer");
+        tree_wall_best = tree_wall_best.min(t0.elapsed().as_secs_f64());
+    }
+    let tree_prof = sod2_obs::take();
     sod2_obs::set_enabled(false);
 
     let infer_ns = prof.cat_total_ns("infer");
     let kernel_ns = prof.cat_total_ns("kernel");
+    let tree_infer_ns = tree_prof.cat_total_ns("infer");
+    let tree_kernel_ns = tree_prof.cat_total_ns("kernel");
     let counter = |name: &str| prof.counters.get(name).copied().unwrap_or(0);
     ZooEntry {
         model: model.name.to_string(),
@@ -178,6 +240,7 @@ fn measure(model: &sod2_models::DynModel, iters: usize, absint: bool) -> ZooEntr
         guard_elisions: counter("absint.guard_elisions"),
         nac_bounds_used: counter("absint.nac_bounds_used"),
         pruned_arms: counter("absint.pruned_arms"),
+        tape_len,
         wall_ms_best: wall_best * 1e3,
         kernel_ms: kernel_ns as f64 / 1e6,
         kernel_coverage: if infer_ns > 0 {
@@ -185,6 +248,14 @@ fn measure(model: &sod2_models::DynModel, iters: usize, absint: bool) -> ZooEntr
         } else {
             0.0
         },
+        dispatch_ns_per_node: dispatch_ns(infer_ns, kernel_ns, iters + 1),
+        wall_ms_best_tree: tree_wall_best * 1e3,
+        kernel_coverage_tree: if tree_infer_ns > 0 {
+            tree_kernel_ns as f64 / tree_infer_ns as f64
+        } else {
+            0.0
+        },
+        dispatch_ns_per_node_tree: dispatch_ns(tree_infer_ns, tree_kernel_ns, iters + 1),
     }
 }
 
@@ -259,7 +330,8 @@ fn main() {
         eprintln!(
             "{:<24} size {:<3} priced {:>8.3} ms  peak {:>8.2} MB  \
              allocs {:<4} slab {:<4} waves {:<3} width {:<2} speedup {:>4.2}x \
-             (bound {:>4.2}x)  elide {:<4} nac {:<2} wall {:>7.3} ms  kernels {:>5.1}%",
+             (bound {:>4.2}x)  elide {:<4} nac {:<2} tape {:<4} wall {:>7.3} ms  \
+             kernels {:>5.1}%  disp {:>6.0}ns/node (tree {:>6.0})",
             e.model,
             e.size,
             e.priced_ms,
@@ -272,8 +344,11 @@ fn main() {
             e.makespan_bound,
             e.guard_elisions,
             e.nac_bounds_used,
+            e.tape_len,
             e.wall_ms_best,
             e.kernel_coverage * 100.0,
+            e.dispatch_ns_per_node,
+            e.dispatch_ns_per_node_tree,
         );
         // Certificate-driven nac bounds must keep the arena path fully
         // residual-free: with the NMS/Gather special cases deleted, every
@@ -342,11 +417,12 @@ fn main() {
         s.push_str(concat!(
             "  \"gated_basis\": \"priced_ms, peak_memory_bytes, alloc_events, ",
             "arena_backed, wavefront_count, max_wave_width, scheduled_makespan_ms, ",
-            "makespan_speedup, guard_elisions, nac_bounds_used and pruned_arms are ",
-            "deterministic (cost model + static schedule + abstract interpretation + ",
-            "fixed seed 42 inputs) and gated by perf_gate; wall_ms_best, kernel_ms, ",
-            "kernel_coverage and faults_probe_ns are host wallclock and ",
-            "informational only\",\n"
+            "makespan_speedup, guard_elisions, nac_bounds_used, pruned_arms and ",
+            "tape_len are deterministic (cost model + static schedule + abstract ",
+            "interpretation + tape lowering + fixed seed 42 inputs) and gated by ",
+            "perf_gate; wall_ms_best, kernel_ms, kernel_coverage, ",
+            "dispatch_ns_per_node, their _tree counterparts and faults_probe_ns ",
+            "are host wallclock and informational only\",\n"
         ));
         s.push_str(&format!("  \"faults_probe_ns\": {faults_probe_ns:.1},\n"));
         s.push_str("  \"models\": [\n");

@@ -22,6 +22,7 @@
 //! | `guard_elisions`     | lower-worse  | NaN fences elided via certificates|
 //! | `nac_bounds_used`    | lower-worse  | nac tensors arena-planned via certs|
 //! | `pruned_arms`        | lower-worse  | Switch arms pruned at compile time|
+//! | `tape_len`           | higher-worse | register-machine instructions     |
 //!
 //! Entries are aligned by their `"name"` / `"model"` key inside any JSON
 //! array of objects, so the same comparator handles `BENCH_kernels.json`
@@ -57,6 +58,7 @@ pub const GATED_METRICS: &[(&str, Direction)] = &[
     ("guard_elisions", Direction::LowerWorse),
     ("nac_bounds_used", Direction::LowerWorse),
     ("pruned_arms", Direction::LowerWorse),
+    ("tape_len", Direction::HigherWorse),
 ];
 
 /// Outcome for one (entry, metric) pair.

@@ -154,6 +154,12 @@ fn analyze(args: &[String]) {
         engine.fusion_plan().total_versions()
     );
     println!("partitions : {}", engine.partitions().len());
+    if let Some(ts) = engine.tape_stats() {
+        println!(
+            "tape       : {} instruction(s) over {} register(s) ({} chain(s), {} const(s))",
+            ts.tape_len, ts.register_count, ts.chain_count, ts.const_count
+        );
+    }
     // Show a few interesting symbolic shapes.
     let mut shown = 0;
     println!("sample symbolic shapes:");
@@ -379,6 +385,7 @@ fn profile_cmd(args: &[String]) {
         0.0
     };
     let wave = engine.last_wave_stats();
+    let tape = engine.tape_stats();
     let counter = |name: &str| prof.counters.get(name).copied().unwrap_or(0);
     let (elisions, pruned, nac_used) = (
         counter("absint.guard_elisions"),
@@ -414,13 +421,38 @@ fn profile_cmd(args: &[String]) {
             ),
             None => "null".to_string(),
         };
+        let tape_json = match &tape {
+            Some(t) => {
+                let waves: Vec<String> = t
+                    .waves
+                    .iter()
+                    .map(|w| {
+                        let ranges: Vec<String> =
+                            w.iter().map(|&(s, e)| format!("[{s},{e}]")).collect();
+                        format!("[{}]", ranges.join(","))
+                    })
+                    .collect();
+                format!(
+                    "{{\"tape_len\": {}, \"register_count\": {}, \
+                     \"register_file_bytes\": {}, \"chain_count\": {}, \
+                     \"const_count\": {}, \"waves\": [{}]}}",
+                    t.tape_len,
+                    t.register_count,
+                    t.register_file_bytes,
+                    t.chain_count,
+                    t.const_count,
+                    waves.join(",")
+                )
+            }
+            None => "null".to_string(),
+        };
         println!(
             "{{\n  \"model\": \"{}\",\n  \"device\": \"{}\",\n  \"size\": {},\n  \
              \"iters\": {},\n  \"priced_ms\": {:.6},\n  \"peak_memory_bytes\": {},\n  \
              \"kernel_coverage\": {:.4},\n  \"pool_workers\": {},\n  \
              \"pool_occupancy\": {:.4},\n  \"absint\": {{\"guard_elisions\": {}, \
              \"pruned_arms\": {}, \"nac_bounds_used\": {}}},\n  \
-             \"wavefront\": {},\n  \"profile\": {}\n}}",
+             \"wavefront\": {},\n  \"tape\": {},\n  \"profile\": {}\n}}",
             model.name,
             profile.name,
             model.round_size(size),
@@ -434,6 +466,7 @@ fn profile_cmd(args: &[String]) {
             pruned,
             nac_used,
             wave_json,
+            tape_json,
             prof.render_json()
         );
     } else {
@@ -475,6 +508,39 @@ fn profile_cmd(args: &[String]) {
             "absint   : {elisions} guard fences elided, {pruned} switch arm(s) pruned, \
              {nac_used} nac bounds applied"
         );
+        if let Some(t) = &tape {
+            println!(
+                "tape     : {} instruction(s), {} register(s) ({} B register file), \
+                 {} chain(s), {} prebuilt const(s)",
+                t.tape_len, t.register_count, t.register_file_bytes, t.chain_count, t.const_count
+            );
+            if !t.waves.is_empty() {
+                let rendered: Vec<String> = t
+                    .waves
+                    .iter()
+                    .map(|w| {
+                        w.iter()
+                            .map(|&(s, e)| format!("[{s},{e})"))
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    })
+                    .collect();
+                println!("tape wave: {}", rendered.join(" | "));
+            }
+            let (waves_run, wave_units, max_width) = (
+                counter("exec.waves"),
+                counter("exec.wave_units"),
+                counter("exec.max_wave_width"),
+            );
+            if waves_run > 0 {
+                println!(
+                    "tape occ : {:.2} unit(s)/wave across {} executed wave(s), max width {}",
+                    wave_units as f64 / waves_run as f64,
+                    waves_run,
+                    max_width
+                );
+            }
+        }
         if let Some(w) = &wave {
             println!(
                 "wavefront: {} waves, max width {}, {} split(s){}{}",

@@ -84,6 +84,7 @@ impl Compiled {
             memory_budget: None,
             wave_plan: None,
             finite_outputs: None,
+            uses_template: None,
         };
         execute(&self.graph, inputs, &cfg)
     }

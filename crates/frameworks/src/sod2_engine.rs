@@ -15,8 +15,8 @@ use sod2_plan::{
 };
 use sod2_rdp::{analyze, RdpResult};
 use sod2_runtime::{
-    execute, execute_with_arena, ArenaBacking, ExecConfig, ExecError, ExecutionTrace, RunOutcome,
-    TraceEvent, WaveExecPlan,
+    compile_tape, execute, execute_tape, execute_with_arena, ArenaBacking, ExecConfig, ExecError,
+    ExecutionTrace, RunOutcome, TapeProgram, TapeStats, TraceEvent, WaveExecPlan,
 };
 use sod2_sym::Bindings;
 use sod2_tensor::Tensor;
@@ -71,6 +71,15 @@ pub struct Sod2Options {
     /// from proven element bounds, and elide the per-node NaN fence for
     /// proven-finite tensors when `nan_guard` is on.
     pub absint: bool,
+    /// Execute through the compiled register-machine tape (the plan
+    /// lowered once to a flat instruction stream with precompiled
+    /// operand/result registers, release lists, and wave ranges) instead
+    /// of the tree-walking executor. Outputs, traces, and counters are
+    /// bitwise identical between the two; the tape just dispatches with
+    /// zero hashing and zero per-node bookkeeping allocations. Defaults
+    /// to the `SOD2_TAPE` environment variable (unset/`1` → on,
+    /// `0`/`false`/`off`/`no` → off).
+    pub tape_exec: bool,
 }
 
 /// Reads a boolean environment flag: `0`/`false`/`off`/`no` disable, any
@@ -103,6 +112,7 @@ impl Default for Sod2Options {
                 .and_then(|v| v.trim().parse().ok())
                 .unwrap_or(0.5),
             absint: true,
+            tape_exec: env_flag("SOD2_TAPE", true),
         }
     }
 }
@@ -182,7 +192,46 @@ pub struct Sod2Engine {
     wave_exec: Option<WaveExecPlan>,
     /// Wavefront statistics of the most recent inference.
     last_wave: Option<WaveStats>,
+    /// The plan compiled to a flat instruction tape (`None` when
+    /// `tape_exec` is off or lowering failed; the tree-walking executor is
+    /// the fallback either way).
+    tape: Option<std::sync::Arc<TapeProgram>>,
+    /// Static remaining-use counts per tensor key, shared with the
+    /// tree-walking executor so neither mode rebuilds refcounts from the
+    /// consumer index per inference.
+    uses_template: Vec<u32>,
+    /// Pre-execution DMP results keyed by this inference's bindings: the
+    /// RDP size evaluation, bounded-`nac` lookup, liveness extraction,
+    /// offset planning, and plan re-verification depend only on the
+    /// bindings (given the compiled schedule), so repeat shapes skip
+    /// straight to arena reset. Per-inference counters are replayed from
+    /// the entry to keep observability identical to the uncached path.
+    pre_plan_cache: Vec<(Bindings, PrePlanEntry)>,
 }
+
+/// Cached outcome of the `dmp_pre_plan` phase for one bindings value.
+#[derive(Clone)]
+struct PrePlanEntry {
+    /// Keys planned at an absint element bound rather than an RDP size.
+    bounded_keys: HashSet<usize>,
+    /// `absint.nac_bounds_used` increment to replay (`None` when the
+    /// bounded-planning branch did not run at all).
+    nac_counter: Option<u64>,
+    /// Lifetimes the plan was built from (wave granularity when the
+    /// wavefront plan passed re-verification, unit granularity otherwise).
+    pre_lives: Vec<TensorLife>,
+    /// The offset plan (`None` when arena execution is off).
+    pre_plan: Option<MemoryPlan>,
+    /// Plan re-verification against parallel live ranges failed — this
+    /// bindings value always degrades to serial execution.
+    wave_fallback: bool,
+    /// Per-key planned sizes handed to the executor's arena backing.
+    pre_sizes: HashMap<usize, usize>,
+}
+
+/// Entries kept in the per-bindings pre-plan cache (small and linear:
+/// real serving traffic cycles through a handful of shape configurations).
+const PRE_PLAN_CACHE_CAP: usize = 8;
 
 impl Sod2Engine {
     /// Compiles a graph for a device (the pre-deployment phase, §4.1).
@@ -348,6 +397,36 @@ impl Sod2Engine {
         } else {
             None
         };
+        // Lower the compiled plan to the execution tape: a flat instruction
+        // stream with registers, release lists, group tails, and wave
+        // ranges all resolved at compile time. Lowering failure is not
+        // fatal — the tree-walking executor remains a full interpreter for
+        // the same plan — but it is counted, so CI can notice.
+        let tape_layout = {
+            let _s = sod2_obs::span!("stage", "tape_compile");
+            sod2_plan::plan_tape_layout(&graph, &node_order)
+        };
+        let uses_template = tape_layout.uses_template.clone();
+        let tape = if opts.tape_exec {
+            let _s = sod2_obs::span!("stage", "tape_compile");
+            match compile_tape(
+                &graph,
+                &tape_layout,
+                &node_order,
+                Some(&fusion_plan),
+                true,
+                opts.absint.then_some(certs.finite.as_slice()),
+                wave_exec.as_ref(),
+            ) {
+                Ok(tp) => Some(std::sync::Arc::new(tp)),
+                Err(_) => {
+                    sod2_obs::counter_add("tape.compile_failures", 1);
+                    None
+                }
+            }
+        } else {
+            None
+        };
         // Debug-mode verification stage: the compiled artifacts must pass
         // the static verifiers before the engine is allowed to run.
         #[cfg(debug_assertions)]
@@ -370,6 +449,14 @@ impl Sod2Engine {
                     &size_of,
                     wave_opts.slack,
                     Some(&wave_plan),
+                ));
+            }
+            if let Some(tp) = &tape {
+                stage.extend(sod2_analysis::verify_tape(
+                    &graph,
+                    &node_order,
+                    Some(&fusion_plan),
+                    tp,
                 ));
             }
             debug_assert!(
@@ -395,7 +482,26 @@ impl Sod2Engine {
             wave_schedule,
             wave_exec,
             last_wave: None,
+            tape,
+            uses_template,
+            pre_plan_cache: Vec::new(),
         }
+    }
+
+    /// Static statistics of the compiled execution tape (`None` when tape
+    /// execution is off or lowering failed).
+    pub fn tape_stats(&self) -> Option<TapeStats> {
+        self.tape.as_deref().map(TapeProgram::stats)
+    }
+
+    /// The compiled execution tape itself, for external verification.
+    pub fn tape(&self) -> Option<&TapeProgram> {
+        self.tape.as_deref()
+    }
+
+    /// The planned node order the tape was lowered from.
+    pub fn node_order(&self) -> &[NodeId] {
+        &self.node_order
     }
 
     /// The compiled wavefront schedule, when wavefront execution is on.
@@ -509,38 +615,14 @@ impl Sod2Engine {
         .collect()
     }
 
-    /// Runs inference and returns the memory plan alongside the stats
-    /// (used by the memory-planner ablation experiment).
-    pub fn infer_with_plan(
-        &mut self,
-        inputs: &[Tensor],
-    ) -> Result<(InferenceStats, MemoryPlan), ExecError> {
-        let _infer_span = sod2_obs::span!("infer", "Sod2Engine::infer");
-        sod2_obs::counter_add("infer.count", 1);
-        let mut bindings = {
-            let _s = sod2_obs::span!("phase", "bindings");
-            bindings_from_inputs(&self.graph, inputs).map_err(ExecError::BadInputs)?
-        };
-        // Injected binding corruption (`runtime.bindings`): the engine loses
-        // every symbol binding, so the pre-execution plan covers nothing and
-        // all intermediates degrade to heap allocations — outputs stay
-        // correct because execution uses concrete tensors, not bindings.
-        let bindings_corrupted = sod2_faults::probe(sod2_faults::Site::Bindings).is_some();
-        if bindings_corrupted {
-            bindings.clear();
-        }
-        // Pre-execution memory plan for arena-backed execution: RDP's
-        // symbolic byte counts evaluated at this inference's bindings give
-        // exact sizes for every shape-resolvable tensor *before any kernel
-        // runs* — the paper's runtime DMP. Tensors RDP cannot resolve
-        // (`nac`) get size 0 here, drop out of the plan, and are heap
-        // allocated by the executor: the dynamic residue.
-        let arena_on = self.opts.dmp && self.opts.arena_exec;
-        let dmp_span = sod2_obs::span!("phase", "dmp_pre_plan");
+    /// Computes the cacheable part of the `dmp_pre_plan` phase for one
+    /// bindings value. Budget admission, arena reset, and counter emission
+    /// stay per-inference in the caller.
+    fn build_pre_plan(&self, bindings: &Bindings, arena_on: bool) -> PrePlanEntry {
         let rdp_size = |t: TensorId| -> usize {
             self.rdp
                 .symbolic_bytes(&self.graph, t)
-                .and_then(|e| e.eval(&bindings))
+                .and_then(|e| e.eval(bindings))
                 .map(|b| b.max(0) as usize)
                 .unwrap_or(0)
         };
@@ -554,6 +636,7 @@ impl Sod2Engine {
         // allocations entirely — no per-op special cases.
         let mut bound_bytes: HashMap<usize, usize> = HashMap::new();
         let mut bounded_keys: HashSet<usize> = HashSet::new();
+        let mut nac_counter = None;
         if arena_on && self.opts.absint {
             for t in self.graph.tensor_ids() {
                 let key = t.0 as usize;
@@ -563,12 +646,12 @@ impl Sod2Engine {
                 if rdp_size(t) != 0 {
                     continue;
                 }
-                if let Some(elems) = expr.eval(&bindings).and_then(|e| usize::try_from(e).ok()) {
+                if let Some(elems) = expr.eval(bindings).and_then(|e| usize::try_from(e).ok()) {
                     bound_bytes.insert(key, elems * self.graph.tensor(t).dtype.size_bytes());
                     bounded_keys.insert(key);
                 }
             }
-            sod2_obs::counter_add("absint.nac_bounds_used", bounded_keys.len() as u64);
+            nac_counter = Some(bounded_keys.len() as u64);
         }
         let eff_size = |t: TensorId| -> usize {
             let s = rdp_size(t);
@@ -597,22 +680,97 @@ impl Sod2Engine {
         // plan against the parallel live ranges at this inference's concrete
         // sizes. Unprovable → degrade this inference to serial execution and
         // re-plan at serial (unit) granularity.
-        let mut wave_plan_ref: Option<&WaveExecPlan> = self.wave_exec.as_ref();
-        let mut pre_plan_opt = arena_on.then(|| plan_sod2(&pre_lives));
-        if let (Some(pre_plan), Some(_)) = (&pre_plan_opt, wave_plan_ref) {
-            if !verify_plan(&pre_lives, pre_plan).is_empty() {
-                sod2_obs::counter_add("exec.wave_fallbacks", 1);
-                wave_plan_ref = None;
+        let mut wave_fallback = false;
+        let mut pre_plan = arena_on.then(|| plan_sod2(&pre_lives));
+        if let (Some(p), Some(_)) = (&pre_plan, &self.wave_exec) {
+            if !verify_plan(&pre_lives, p).is_empty() {
+                wave_fallback = true;
                 pre_lives =
                     unit_lifetimes(&self.graph, &self.unit_graph, &self.unit_order, &eff_size)
                         .into_iter()
                         .filter(|l| l.size > 0)
                         .collect();
-                pre_plan_opt = Some(plan_sod2(&pre_lives));
+                pre_plan = Some(plan_sod2(&pre_lives));
             }
         }
-        let runtime_fallback = self.wave_exec.is_some() && wave_plan_ref.is_none();
         let pre_sizes: HashMap<usize, usize> = pre_lives.iter().map(|l| (l.key, l.size)).collect();
+        PrePlanEntry {
+            bounded_keys,
+            nac_counter,
+            pre_lives,
+            pre_plan,
+            wave_fallback,
+            pre_sizes,
+        }
+    }
+
+    /// Runs inference and returns the memory plan alongside the stats
+    /// (used by the memory-planner ablation experiment).
+    pub fn infer_with_plan(
+        &mut self,
+        inputs: &[Tensor],
+    ) -> Result<(InferenceStats, MemoryPlan), ExecError> {
+        let _infer_span = sod2_obs::span!("infer", "Sod2Engine::infer");
+        sod2_obs::counter_add("infer.count", 1);
+        let mut bindings = {
+            let _s = sod2_obs::span!("phase", "bindings");
+            bindings_from_inputs(&self.graph, inputs).map_err(ExecError::BadInputs)?
+        };
+        // Injected binding corruption (`runtime.bindings`): the engine loses
+        // every symbol binding, so the pre-execution plan covers nothing and
+        // all intermediates degrade to heap allocations — outputs stay
+        // correct because execution uses concrete tensors, not bindings.
+        let bindings_corrupted = sod2_faults::probe(sod2_faults::Site::Bindings).is_some();
+        if bindings_corrupted {
+            bindings.clear();
+        }
+        // Pre-execution memory plan for arena-backed execution: RDP's
+        // symbolic byte counts evaluated at this inference's bindings give
+        // exact sizes for every shape-resolvable tensor *before any kernel
+        // runs* — the paper's runtime DMP. Tensors RDP cannot resolve
+        // (`nac`) get size 0 here, drop out of the plan, and are heap
+        // allocated by the executor: the dynamic residue.
+        let arena_on = self.opts.dmp && self.opts.arena_exec;
+        let dmp_span = sod2_obs::span!("phase", "dmp_pre_plan");
+        // The whole pre-plan pipeline — size evaluation, bounded-`nac`
+        // lookup, liveness, offset planning, parallel re-verification —
+        // is a pure function of the bindings given the compiled schedule,
+        // so it is cached per bindings value. Counters the uncached path
+        // would emit per inference are replayed from the entry.
+        let entry = match self.pre_plan_cache.iter().position(|(b, _)| b == &bindings) {
+            Some(i) => {
+                let hit = self.pre_plan_cache.remove(i);
+                self.pre_plan_cache.insert(0, hit);
+                sod2_obs::counter_add("dmp.pre_plan_cache_hits", 1);
+                self.pre_plan_cache[0].1.clone()
+            }
+            None => {
+                let e = self.build_pre_plan(&bindings, arena_on);
+                self.pre_plan_cache.insert(0, (bindings.clone(), e.clone()));
+                self.pre_plan_cache.truncate(PRE_PLAN_CACHE_CAP);
+                e
+            }
+        };
+        if let Some(n) = entry.nac_counter {
+            sod2_obs::counter_add("absint.nac_bounds_used", n);
+        }
+        if entry.wave_fallback {
+            sod2_obs::counter_add("exec.wave_fallbacks", 1);
+        }
+        let PrePlanEntry {
+            bounded_keys,
+            pre_lives,
+            pre_plan: pre_plan_opt,
+            wave_fallback,
+            pre_sizes,
+            ..
+        } = entry;
+        let wave_plan_ref: Option<&WaveExecPlan> = if wave_fallback {
+            None
+        } else {
+            self.wave_exec.as_ref()
+        };
+        let runtime_fallback = self.wave_exec.is_some() && wave_plan_ref.is_none();
         let backing = if let Some(pre_plan) = pre_plan_opt {
             // Budget admission at DMP time: the plan's peak is known before
             // any kernel runs, so an over-budget inference is rejected
@@ -666,19 +824,31 @@ impl Sod2Engine {
             memory_budget: self.opts.memory_budget,
             wave_plan: wave_plan_ref,
             finite_outputs: self.opts.absint.then_some(self.certs.finite.as_slice()),
+            uses_template: Some(&self.uses_template),
         };
         let deadline = self.opts.deadline.map(|d| std::time::Instant::now() + d);
+        let tape = self.tape.clone();
         let outcome = {
             let _s = sod2_obs::span!("phase", "execute");
             // Panics from kernels or pool chunks are converted to a typed
             // error here so a failed inference can never wedge the engine.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                sod2_pool::with_deadline(deadline, || {
-                    if let Some(backing) = backing {
-                        execute_with_arena(&self.graph, inputs, &cfg, Some(backing))
-                    } else {
-                        execute(&self.graph, inputs, &cfg)
+                sod2_pool::with_deadline(deadline, || match &tape {
+                    // Register-machine path: the tape already carries the
+                    // wave ranges, so only the per-inference serial-fallback
+                    // decision is passed down.
+                    Some(tp) => execute_tape(
+                        &self.graph,
+                        inputs,
+                        tp,
+                        &cfg,
+                        backing,
+                        wave_plan_ref.is_some(),
+                    ),
+                    None if backing.is_some() => {
+                        execute_with_arena(&self.graph, inputs, &cfg, backing)
                     }
+                    None => execute(&self.graph, inputs, &cfg),
                 })
             }));
             match result {
@@ -844,6 +1014,14 @@ impl Sod2Engine {
         report.extend(an::verify_fusion(&self.graph, &self.fusion_plan));
         report.extend(an::verify_unit_order(&self.unit_graph, &self.unit_order));
         report.extend(an::verify_node_order(&self.graph, &self.node_order));
+        if let Some(tp) = &self.tape {
+            report.extend(an::verify_tape(
+                &self.graph,
+                &self.node_order,
+                Some(&self.fusion_plan),
+                tp,
+            ));
+        }
         let cfg = ExecConfig {
             fusion: Some(&self.fusion_plan),
             node_order: Some(&self.node_order),
@@ -854,6 +1032,7 @@ impl Sod2Engine {
             memory_budget: self.opts.memory_budget,
             wave_plan: None,
             finite_outputs: self.opts.absint.then_some(self.certs.finite.as_slice()),
+            uses_template: Some(&self.uses_template),
         };
         let outcome = execute(&self.graph, inputs, &cfg)?;
         report.extend(an::verify_observed_shapes(

@@ -1,0 +1,172 @@
+//! Tape-mode equivalence on the full zoo: compiling a plan down to the
+//! register-machine tape must change *nothing observable* — outputs,
+//! priced latency, memory metrics, and arena residency all stay bitwise
+//! identical to the tree-walking interpreter, across arena/heap backing
+//! and wavefront on/off.
+
+use sod2_device::DeviceProfile;
+use sod2_frameworks::{Engine, Sod2Engine, Sod2Options};
+use sod2_models::{all_models, codebert, DynModel, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
+use sod2_tensor::Tensor;
+
+fn inputs_for(model: &DynModel, seed: u64, n: usize) -> Vec<Vec<Tensor>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| model.sample_inputs(&mut rng).1).collect()
+}
+
+fn engine_with(model: &DynModel, opts: Sod2Options) -> Sod2Engine {
+    Sod2Engine::new(
+        model.graph.clone(),
+        DeviceProfile::s888_cpu(),
+        opts,
+        &Default::default(),
+    )
+}
+
+/// Every zoo model lowers to a non-trivial tape, and the tape covers the
+/// whole plan (one register per planned tensor, at least one instruction
+/// per non-constant node).
+#[test]
+fn tape_compiles_for_every_zoo_model() {
+    for model in all_models(ModelScale::Tiny) {
+        let engine = engine_with(&model, Sod2Options::default());
+        let stats = engine
+            .tape_stats()
+            .unwrap_or_else(|| panic!("{}: tape did not compile", model.name));
+        assert!(stats.tape_len > 0, "{}: empty tape", model.name);
+        assert!(
+            stats.register_count > 0,
+            "{}: empty register file",
+            model.name
+        );
+        assert!(
+            stats.tape_len <= model.graph.nodes().len(),
+            "{}: more instructions than nodes",
+            model.name
+        );
+        assert!(
+            stats.register_count >= stats.const_count,
+            "{}: more prebuilt consts than registers",
+            model.name
+        );
+    }
+}
+
+/// Tape execution is observationally identical to the tree-walker on all
+/// 10 zoo models: bitwise-equal outputs and identical priced latency,
+/// peak memory, allocation events, and arena residency — under both
+/// arena and heap backing.
+#[test]
+fn tape_matches_tree_walker_on_zoo() {
+    for model in all_models(ModelScale::Tiny) {
+        let samples = inputs_for(&model, 23, 2);
+        for arena in [true, false] {
+            let mut tape = engine_with(
+                &model,
+                Sod2Options {
+                    tape_exec: true,
+                    arena_exec: arena,
+                    ..Sod2Options::default()
+                },
+            );
+            let mut tree = engine_with(
+                &model,
+                Sod2Options {
+                    tape_exec: false,
+                    arena_exec: arena,
+                    ..Sod2Options::default()
+                },
+            );
+            assert!(tape.tape_stats().is_some());
+            assert!(tree.tape_stats().is_none());
+            for inputs in &samples {
+                let a = tape.infer(inputs).expect("tape infer");
+                let b = tree.infer(inputs).expect("tree infer");
+                assert_eq!(a.outputs.len(), b.outputs.len());
+                for (x, y) in a.outputs.iter().zip(&b.outputs) {
+                    assert_eq!(
+                        x.payload_le_bytes(),
+                        y.payload_le_bytes(),
+                        "{} (arena={arena}): outputs diverged",
+                        model.name
+                    );
+                }
+                assert_eq!(
+                    a.latency.total(),
+                    b.latency.total(),
+                    "{} (arena={arena}): priced latency diverged",
+                    model.name
+                );
+                assert_eq!(
+                    a.peak_memory_bytes, b.peak_memory_bytes,
+                    "{} (arena={arena}): peak memory diverged",
+                    model.name
+                );
+                assert_eq!(
+                    a.alloc_events, b.alloc_events,
+                    "{} (arena={arena}): alloc events diverged",
+                    model.name
+                );
+                assert_eq!(
+                    a.arena_backed, b.arena_backed,
+                    "{} (arena={arena}): arena residency diverged",
+                    model.name
+                );
+            }
+        }
+    }
+}
+
+/// Same equivalence with wavefront scheduling disabled (pure serial tape
+/// vs. pure serial tree-walk) — isolates the phase-A/phase-B split from
+/// the comparison.
+#[test]
+fn tape_matches_tree_walker_serial() {
+    let model = codebert(ModelScale::Tiny);
+    let samples = inputs_for(&model, 41, 3);
+    let mut tape = engine_with(
+        &model,
+        Sod2Options {
+            tape_exec: true,
+            wavefront_exec: false,
+            ..Sod2Options::default()
+        },
+    );
+    let mut tree = engine_with(
+        &model,
+        Sod2Options {
+            tape_exec: false,
+            wavefront_exec: false,
+            ..Sod2Options::default()
+        },
+    );
+    for inputs in &samples {
+        let a = tape.infer(inputs).expect("tape infer");
+        let b = tree.infer(inputs).expect("tree infer");
+        for (x, y) in a.outputs.iter().zip(&b.outputs) {
+            assert_eq!(x.payload_le_bytes(), y.payload_le_bytes());
+        }
+        assert_eq!(a.latency.total(), b.latency.total());
+        assert_eq!(a.peak_memory_bytes, b.peak_memory_bytes);
+    }
+}
+
+/// The engine's debug verification runs `verify_tape` over every compiled
+/// tape; `diagnose()` must come back clean for the whole zoo.
+#[test]
+fn tape_diagnostics_clean_on_zoo() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for model in all_models(ModelScale::Tiny) {
+        let inputs = model.sample_inputs(&mut rng).1;
+        let mut engine = engine_with(&model, Sod2Options::default());
+        let report = engine.diagnose(&inputs).expect("diagnose");
+        assert!(
+            !report.has_errors(),
+            "{}: {}",
+            model.name,
+            report.render_text(Some(&model.graph))
+        );
+    }
+}

@@ -32,6 +32,7 @@
 
 mod order;
 mod partition;
+mod tape_layout;
 mod units;
 mod wavefront;
 
@@ -39,5 +40,6 @@ pub use order::{
     naive_unit_order, order_peak_bytes, plan_order, unit_lifetimes, ExecutionPlan, SepOptions,
 };
 pub use partition::{partition_units, Partition, SubgraphClass, MAX_PARTITION_UNITS};
+pub use tape_layout::{plan_tape_layout, TapeLayout};
 pub use units::{Unit, UnitGraph};
 pub use wavefront::{plan_wavefronts, wavefront_lifetimes, WavefrontOptions, WavefrontSchedule};

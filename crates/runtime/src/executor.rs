@@ -91,6 +91,32 @@ pub struct ExecConfig<'a> {
     /// the execution order (`node_order`), else the run aborts with
     /// [`ExecError::Internal`].
     pub wave_plan: Option<&'a WaveExecPlan>,
+    /// Precomputed remaining-use counts per tensor key (`TensorId.0`),
+    /// as produced by [`remaining_uses_template`]. When absent (or sized
+    /// wrong for the graph) the executor rebuilds the counts from the
+    /// consumer index — correct but ~one graph walk per inference.
+    pub uses_template: Option<&'a [u32]>,
+}
+
+/// Initial remaining-use count per tensor key (`TensorId.0 as usize`):
+/// one per consumer *occurrence* (a node listing a tensor twice counts
+/// twice, matching the per-occurrence decrements of the release path)
+/// plus one for graph outputs, which are held to the end of the run.
+///
+/// Compute once per compiled plan and hand to executions through
+/// [`ExecConfig::uses_template`] so the per-inference cost is a memcpy
+/// instead of a consumer-index walk.
+pub fn remaining_uses_template(graph: &Graph) -> Vec<u32> {
+    let consumer_index = graph.consumer_index();
+    let mut uses = vec![0u32; graph.num_tensors()];
+    for t in graph.tensor_ids() {
+        let mut n = consumer_index.get(&t).map(Vec::len).unwrap_or(0);
+        if graph.outputs().contains(&t) {
+            n += 1; // held to the end
+        }
+        uses[t.0 as usize] = n as u32;
+    }
+    uses
 }
 
 /// Execution errors.
@@ -199,9 +225,9 @@ pub struct ArenaBacking<'a> {
 /// `true` when the tensor is now arena-backed, `false` when the executor
 /// must treat it as a heap allocation (no backing, unplanned key, or a
 /// size mismatch against the plan).
-fn arena_install(
+pub(crate) fn arena_install(
     backing: &mut Option<ArenaBacking<'_>>,
-    planned: &mut HashSet<usize>,
+    planned: &mut [bool],
     t: TensorId,
     tensor: &Tensor,
 ) -> bool {
@@ -218,7 +244,7 @@ fn arena_install(
         return false;
     }
     if b.arena.try_write(key, &tensor.payload_le_bytes()) {
-        planned.insert(key);
+        planned[key] = true;
         true
     } else {
         false
@@ -234,52 +260,113 @@ fn release_inputs(
     graph: &Graph,
     node_inputs: &[TensorId],
     internal: &HashSet<TensorId>,
-    remaining_uses: &mut HashMap<TensorId, usize>,
+    remaining_uses: &mut [u32],
     env: &mut [Slot],
     live_bytes: &mut usize,
-    planned: &mut HashSet<usize>,
+    planned: &mut [bool],
     backing: &Option<ArenaBacking<'_>>,
 ) -> Result<(), ExecError> {
     for &t in node_inputs {
         let uses = remaining_uses
-            .get_mut(&t)
+            .get_mut(t.0 as usize)
             .ok_or_else(|| ExecError::Internal(format!("untracked tensor {t} released")))?;
         *uses = uses.saturating_sub(1);
         if *uses == 0 {
-            let key = t.0 as usize;
-            if planned.remove(&key) {
-                if let (Slot::Live(ten), Some(b)) = (&env[key], backing.as_ref()) {
-                    sod2_obs::counter_add("exec.arena_readback_verifies", 1);
-                    let want = ten.payload_le_bytes();
-                    if b.arena.try_read(key, want.len()) != Some(want.as_slice()) {
-                        return Err(ExecError::Memory(format!(
-                            "arena slot for tensor {t} was clobbered while live"
-                        )));
-                    }
-                }
-            }
             let is_intermediate = graph.producer(t).is_some() && !internal.contains(&t);
-            if is_intermediate {
-                if let Slot::Live(ten) = &env[key] {
-                    *live_bytes = live_bytes.saturating_sub(ten.byte_size());
-                }
-            }
-            if !graph.outputs().contains(&t) {
-                env[key] = match env[key] {
-                    Slot::Dead => Slot::Dead,
-                    _ => Slot::Missing,
-                };
-            }
+            let is_output = graph.outputs().contains(&t);
+            release_slot(
+                t,
+                is_intermediate,
+                is_output,
+                env,
+                live_bytes,
+                planned,
+                backing,
+            )?;
         }
     }
     Ok(())
 }
 
+/// Releases one tensor slot whose uses are exhausted: readback-verifies an
+/// arena-backed payload at death, un-accounts a materialized intermediate
+/// from live memory, and clears the slot (outputs are held to the end of
+/// the run; dead slots stay dead so later readers still observe deadness).
+/// The tape executor calls this directly with flags precompiled per
+/// instruction; the tree-walking path derives them from the graph above.
+pub(crate) fn release_slot(
+    t: TensorId,
+    is_intermediate: bool,
+    is_output: bool,
+    env: &mut [Slot],
+    live_bytes: &mut usize,
+    planned: &mut [bool],
+    backing: &Option<ArenaBacking<'_>>,
+) -> Result<(), ExecError> {
+    let key = t.0 as usize;
+    if planned.get(key).copied().unwrap_or(false) {
+        planned[key] = false;
+        if let (Slot::Live(ten), Some(b)) = (&env[key], backing.as_ref()) {
+            sod2_obs::counter_add("exec.arena_readback_verifies", 1);
+            let want = ten.payload_le_bytes();
+            if b.arena.try_read(key, want.len()) != Some(want.as_slice()) {
+                return Err(ExecError::Memory(format!(
+                    "arena slot for tensor {t} was clobbered while live"
+                )));
+            }
+        }
+    }
+    if is_intermediate {
+        if let Slot::Live(ten) = &env[key] {
+            *live_bytes = live_bytes.saturating_sub(ten.byte_size());
+        }
+    }
+    if !is_output {
+        env[key] = match env[key] {
+            Slot::Dead => Slot::Dead,
+            _ => Slot::Missing,
+        };
+    }
+    Ok(())
+}
+
 #[derive(Clone)]
-enum Slot {
+pub(crate) enum Slot {
     Missing,
     Live(Tensor),
     Dead,
+}
+
+/// Reusable scratch overlay for unit-local results awaiting commit: a
+/// flat `(key, slot)` list scanned back-to-front so the latest write of a
+/// key wins. Units are a handful of nodes, so a linear scan beats a
+/// `HashMap` — and reusing one overlay across units removes the per-unit
+/// allocation the map incurred.
+#[derive(Default)]
+pub(crate) struct Overlay {
+    entries: Vec<(usize, Slot)>,
+}
+
+impl Overlay {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub(crate) fn insert(&mut self, key: usize, slot: Slot) {
+        self.entries.push((key, slot));
+    }
+
+    pub(crate) fn get(&self, key: usize) -> Option<&Slot> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|(_, s)| s)
+    }
 }
 
 /// Read-only view of the environment used during node *evaluation*: the
@@ -287,16 +374,16 @@ enum Slot {
 /// produced earlier in the same unit that have not been committed yet.
 /// The serial commit path uses a view with no overlay — identical reads
 /// to indexing the environment directly.
-struct EnvView<'e> {
-    base: &'e [Slot],
-    overlay: Option<&'e HashMap<usize, Slot>>,
+pub(crate) struct EnvView<'e> {
+    pub(crate) base: &'e [Slot],
+    pub(crate) overlay: Option<&'e Overlay>,
 }
 
 impl EnvView<'_> {
-    fn get(&self, t: TensorId) -> &Slot {
+    pub(crate) fn get(&self, t: TensorId) -> &Slot {
         let key = t.0 as usize;
         if let Some(o) = self.overlay {
-            if let Some(s) = o.get(&key) {
+            if let Some(s) = o.get(key) {
                 return s;
             }
         }
@@ -341,15 +428,15 @@ pub fn execute(
 /// The outcome of evaluating a fused chain: the final tensor (`None` when
 /// an input branch was dead) plus the cost attribution its trace event
 /// needs.
-struct ChainEval {
-    result: Option<Tensor>,
-    flops: f64,
-    ext_read: f64,
+pub(crate) struct ChainEval {
+    pub(crate) result: Option<Tensor>,
+    pub(crate) flops: f64,
+    pub(crate) ext_read: f64,
 }
 
 /// Evaluates (or kills) a whole fused chain. Pure: reads tensors through
 /// the view, produces an owned result.
-fn eval_chain(env: &EnvView<'_>, chain: &ChainPlan) -> Result<ChainEval, ExecError> {
+pub(crate) fn eval_chain(env: &EnvView<'_>, chain: &ChainPlan) -> Result<ChainEval, ExecError> {
     let mut dead = matches!(env.get(chain.seed), Slot::Dead);
     for st in &chain.steps {
         if let ChainStep::Binary { other, .. } = st {
@@ -445,8 +532,9 @@ fn eval_unit(
     chain_member: &HashMap<NodeId, usize>,
     chains: &[ChainPlan],
     nodes: &[NodeId],
+    overlay: &mut Overlay,
 ) -> Result<Vec<NodeEval>, ExecError> {
-    let mut overlay: HashMap<usize, Slot> = HashMap::new();
+    overlay.clear();
     let mut out = Vec::with_capacity(nodes.len());
     for &nid in nodes {
         if sod2_pool::deadline_exceeded() {
@@ -459,7 +547,7 @@ fn eval_unit(
                 let ev = {
                     let view = EnvView {
                         base: env,
-                        overlay: Some(&overlay),
+                        overlay: Some(overlay),
                     };
                     eval_chain(&view, chain)?
                 };
@@ -481,7 +569,7 @@ fn eval_unit(
         let results = {
             let view = EnvView {
                 base: env,
-                overlay: Some(&overlay),
+                overlay: Some(overlay),
             };
             let mut dead = false;
             if !is_combine {
@@ -525,12 +613,22 @@ fn eval_wave(
     chain_member: &HashMap<NodeId, usize>,
     chains: &[ChainPlan],
     wave: &[Vec<NodeId>],
+    scratch: &mut Overlay,
 ) -> Result<Vec<Vec<NodeEval>>, ExecError> {
     if wave.len() <= 1 {
-        // Single-unit wave: no submission overhead, evaluate inline.
+        // Single-unit wave: no submission overhead, evaluate inline with
+        // the caller's reusable overlay.
         let mut out = Vec::with_capacity(wave.len());
         for unit in wave {
-            out.push(eval_unit(graph, cfg, env, chain_member, chains, unit)?);
+            out.push(eval_unit(
+                graph,
+                cfg,
+                env,
+                chain_member,
+                chains,
+                unit,
+                scratch,
+            )?);
         }
         return Ok(out);
     }
@@ -541,7 +639,16 @@ fn eval_wave(
     sod2_pool::scope_chunks(&mut slots, 1, |idx, chunk| {
         chunk[0] = Some(sod2_pool::with_threads(threads, || {
             sod2_pool::with_deadline(deadline, || {
-                eval_unit(graph, cfg, env, chain_member, chains, &wave[idx])
+                let mut overlay = Overlay::new();
+                eval_unit(
+                    graph,
+                    cfg,
+                    env,
+                    chain_member,
+                    chains,
+                    &wave[idx],
+                    &mut overlay,
+                )
             })
         }));
     });
@@ -576,14 +683,29 @@ fn fence_output(
     t: TensorId,
     tensor: &Tensor,
 ) -> Result<(), ExecError> {
-    if !cfg.nan_guard {
+    let finite = cfg
+        .finite_outputs
+        .map(|f| f.get(t.0 as usize).copied().unwrap_or(false))
+        .unwrap_or(false);
+    fence_value(cfg.nan_guard, finite, node_name, t, tensor)
+}
+
+/// The fence body with the proven-finite bit already resolved — the tape
+/// executor precompiles the bit per instruction output and calls this
+/// directly.
+pub(crate) fn fence_value(
+    nan_guard: bool,
+    finite: bool,
+    node_name: &str,
+    t: TensorId,
+    tensor: &Tensor,
+) -> Result<(), ExecError> {
+    if !nan_guard {
         return Ok(());
     }
-    if let Some(finite) = cfg.finite_outputs {
-        if finite.get(t.0 as usize).copied().unwrap_or(false) {
-            sod2_obs::counter_add("absint.guard_elisions", 1);
-            return Ok(());
-        }
+    if finite {
+        sod2_obs::counter_add("absint.guard_elisions", 1);
+        return Ok(());
     }
     if let Ok(v) = tensor.as_f32() {
         if !v.iter().all(|x| x.is_finite()) {
@@ -601,7 +723,7 @@ fn fence_output(
 struct ExecState<'a> {
     env: Vec<Slot>,
     chain_results: Vec<Option<Option<Tensor>>>,
-    remaining_uses: HashMap<TensorId, usize>,
+    remaining_uses: Vec<u32>,
     group_members_left: HashMap<usize, usize>,
     trace: ExecutionTrace,
     live_bytes: usize,
@@ -609,8 +731,9 @@ struct ExecState<'a> {
     alloc_sizes: Vec<usize>,
     concrete_shapes: HashMap<TensorId, Vec<usize>>,
     branches_executed: usize,
-    // Keys currently arena-backed (removed at death after verification).
-    planned: HashSet<usize>,
+    // Keys currently arena-backed (cleared at death after verification);
+    // dense over tensor keys so the hot path never hashes.
+    planned: Vec<bool>,
     arena_backed: usize,
     // Accumulated per-group cost (flops only; bytes use external I/O).
     group_flops: HashMap<usize, f64>,
@@ -958,8 +1081,6 @@ pub fn execute_with_arena(
         env[t.0 as usize] = Slot::Live(tensor.clone());
     }
 
-    // Refcounts over materialized tensors for live-memory accounting.
-    let consumer_index = graph.consumer_index();
     let default_order;
     let order: &[NodeId] = match cfg.node_order {
         Some(o) => o,
@@ -988,14 +1109,13 @@ pub fn execute_with_arena(
         (true, Some(f)) => build_chains(graph, f),
         _ => (HashMap::new(), Vec::new()),
     };
-    let mut remaining_uses: HashMap<TensorId, usize> = HashMap::new();
-    for t in graph.tensor_ids() {
-        let mut uses = consumer_index.get(&t).map(Vec::len).unwrap_or(0);
-        if graph.outputs().contains(&t) {
-            uses += 1; // held to the end
-        }
-        remaining_uses.insert(t, uses);
-    }
+    // Refcounts over materialized tensors for live-memory accounting:
+    // copied from the caller's precomputed template when one is supplied,
+    // rebuilt from the consumer index otherwise.
+    let remaining_uses: Vec<u32> = match cfg.uses_template {
+        Some(t) if t.len() == graph.num_tensors() => t.to_vec(),
+        _ => remaining_uses_template(graph),
+    };
 
     // Group nodes by fusion unit, preserving the given order: a unit's
     // kernel event is emitted when its last member completes.
@@ -1023,7 +1143,7 @@ pub fn execute_with_arena(
         alloc_sizes: Vec::new(),
         concrete_shapes: HashMap::new(),
         branches_executed: 0,
-        planned: HashSet::new(),
+        planned: vec![false; graph.num_tensors()],
         arena_backed: 0,
         group_flops: HashMap::new(),
         group_ops: HashMap::new(),
@@ -1050,6 +1170,7 @@ pub fn execute_with_arena(
         }
         Some(wp) => {
             let mut max_width = 0usize;
+            let mut scratch = Overlay::new();
             for wave in &wp.waves {
                 max_width = max_width.max(wave.len());
                 if sod2_pool::deadline_exceeded() {
@@ -1057,7 +1178,15 @@ pub fn execute_with_arena(
                 }
                 // Phase A: evaluate the wave's units concurrently against
                 // the committed environment.
-                let evals = eval_wave(graph, cfg, &st.env, &chain_member, &chains, wave)?;
+                let evals = eval_wave(
+                    graph,
+                    cfg,
+                    &st.env,
+                    &chain_member,
+                    &chains,
+                    wave,
+                    &mut scratch,
+                )?;
                 // Phase B: commit serially in plan order — installs,
                 // accounting, traces, and releases happen exactly as a
                 // serial run over the same order would do them.
@@ -1104,7 +1233,7 @@ pub fn execute_with_arena(
                 // Arena-backed outputs are rebuilt from slab bytes: the
                 // caller observes exactly what the plan preserved, and any
                 // end-of-run clobbering surfaces as a Memory error here.
-                if st.planned.contains(&key) {
+                if st.planned.get(key).copied().unwrap_or(false) {
                     let b = st.backing.as_ref().ok_or_else(|| {
                         ExecError::Internal("planned tensor without arena backing".into())
                     })?;
@@ -1160,7 +1289,7 @@ pub fn execute_with_arena(
 
 /// One step of a pre-planned fused chain (operand held by tensor id).
 #[derive(Debug, Clone)]
-enum ChainStep {
+pub(crate) enum ChainStep {
     Unary(sod2_ir::UnaryOp),
     Clip {
         min: f32,
@@ -1175,18 +1304,18 @@ enum ChainStep {
 
 /// A fused-group execution plan: a linear element-wise chain.
 #[derive(Debug, Clone)]
-struct ChainPlan {
-    members: Vec<NodeId>,
-    seed: TensorId,
-    steps: Vec<ChainStep>,
-    final_output: TensorId,
+pub(crate) struct ChainPlan {
+    pub(crate) members: Vec<NodeId>,
+    pub(crate) seed: TensorId,
+    pub(crate) steps: Vec<ChainStep>,
+    pub(crate) final_output: TensorId,
 }
 
 /// Identifies fusion groups executable as single-pass element-wise chains:
 /// every member is a unary/clip/binary f32 operator, each member consumes
 /// the previous member's output, and all other operands come from outside
 /// the group.
-fn build_chains(
+pub(crate) fn build_chains(
     graph: &Graph,
     fusion: &sod2_fusion::FusionPlan,
 ) -> (HashMap<NodeId, usize>, Vec<ChainPlan>) {
@@ -1280,7 +1409,7 @@ fn build_chains(
 }
 
 /// Output-matrix dimensions for multi-version hotspot kernels.
-fn hotspot_mn(op: &Op, outputs: &[&Tensor]) -> Option<(usize, usize)> {
+pub(crate) fn hotspot_mn(op: &Op, outputs: &[&Tensor]) -> Option<(usize, usize)> {
     match op {
         Op::MatMul | Op::Gemm { .. } => {
             let s = outputs.first()?.shape();
@@ -1302,7 +1431,7 @@ fn hotspot_mn(op: &Op, outputs: &[&Tensor]) -> Option<(usize, usize)> {
     }
 }
 
-fn run_node(
+pub(crate) fn run_node(
     _graph: &Graph,
     node: &Node,
     env: &EnvView<'_>,
@@ -1372,7 +1501,7 @@ fn run_node(
 
 /// Chooses the tuned GEMM/CONV variants for a hotspot op from its *input*
 /// shapes (runtime version selection, paper §4.4.2).
-fn select_variants(
+pub(crate) fn select_variants(
     op: &Op,
     ins: &[&Tensor],
     table: Option<&VersionTable>,
@@ -1412,7 +1541,7 @@ fn select_variants(
     }
 }
 
-fn selector(t: &Tensor) -> Result<i64, ExecError> {
+pub(crate) fn selector(t: &Tensor) -> Result<i64, ExecError> {
     t.as_i64()
         .map_err(|e| ExecError::ControlFlow(e.to_string()))?
         .first()

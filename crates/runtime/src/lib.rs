@@ -37,10 +37,15 @@
 
 mod executor;
 pub mod passes;
+pub mod tape;
 mod trace;
 
 pub use executor::{
-    execute, execute_with_arena, ArenaBacking, ExecConfig, ExecError, RunOutcome, WaveExecPlan,
+    execute, execute_with_arena, remaining_uses_template, ArenaBacking, ExecConfig, ExecError,
+    RunOutcome, WaveExecPlan,
 };
 pub use passes::{eliminate_dead_nodes, fold_constants, PassStats};
+pub use tape::{
+    compile_tape, execute_tape, Instr, InstrKind, RegRelease, TapeChain, TapeProgram, TapeStats,
+};
 pub use trace::{ExecutionTrace, LatencyBreakdown, TraceEvent};

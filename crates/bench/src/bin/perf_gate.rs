@@ -59,7 +59,8 @@ fn main() {
 
 /// Verifies the gate's two required behaviours against a real baseline
 /// file: identical inputs pass, and a synthetic ≥10% regression on every
-/// gated higher-worse metric fails.
+/// gated metric — inflated for higher-worse, deflated for lower-worse —
+/// fails.
 fn self_test(args: &[String], tol: f64) {
     let baseline = flag(args, "--baseline").unwrap_or_else(|| "BENCH_kernels.json".to_string());
     let text = std::fs::read_to_string(&baseline).unwrap_or_else(|e| {
@@ -78,14 +79,11 @@ fn self_test(args: &[String], tol: f64) {
         std::process::exit(1);
     }
 
-    // Inflate every gated higher-worse integer metric by 2x tolerance + 25%
-    // via a crude textual rewrite of the baseline, then require a failure.
+    // Move every gated metric 2x tolerance in its "worse" direction via a
+    // crude textual rewrite of the baseline, then require a failure.
     let mut injected = text.clone();
     let mut touched = 0usize;
     for &(metric, dir) in gate::GATED_METRICS {
-        if dir != gate::Direction::HigherWorse {
-            continue;
-        }
         let needle = format!("\"{metric}\":");
         let mut out = String::with_capacity(injected.len());
         let mut rest = injected.as_str();
@@ -100,9 +98,17 @@ fn self_test(args: &[String], tol: f64) {
                 .unwrap_or(0);
             let (val, after) = tail.split_at(val_len);
             if let Ok(x) = val.trim().parse::<f64>() {
-                let worse = x * (1.0 + tol * 2.0) + 1.0;
+                let worse = match dir {
+                    gate::Direction::HigherWorse => x * (1.0 + tol * 2.0) + 1.0,
+                    // A zero lower-worse value cannot be made worse (the
+                    // gate's base==0 rule ignores it), so it stays and is
+                    // not counted.
+                    gate::Direction::LowerWorse => x * (1.0 - tol * 2.0).max(0.0),
+                };
+                if worse != x {
+                    touched += 1;
+                }
                 out.push_str(&format!(" {worse:.6}"));
-                touched += 1;
             } else {
                 out.push_str(val);
             }

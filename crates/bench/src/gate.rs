@@ -24,6 +24,28 @@
 //! | `pruned_arms`        | lower-worse  | Switch arms pruned at compile time|
 //! | `tape_len`           | higher-worse | register-machine instructions     |
 //!
+//! Serving metrics (`BENCH_serve.json`) come from a discrete-event replay
+//! of the serving policy in priced *virtual* time, so despite looking like
+//! load metrics they are bit-for-bit deterministic and gate like any
+//! cost-model number:
+//!
+//! | metric               | direction    | meaning                           |
+//! |----------------------|--------------|-----------------------------------|
+//! | `priced_throughput_rps` | lower-worse | served requests per virtual second |
+//! | `throughput_speedup_vs_nobatch` | lower-worse | batched over FIFO throughput |
+//! | `priced_service_us_per_request` | higher-worse | mean priced work per served request |
+//! | `plan_reuse_gain_pct` | lower-worse | service work batching saves over FIFO |
+//! | `batch_occupancy`    | lower-worse  | mean requests per shape-class batch |
+//! | `batches`            | higher-worse | batches dispatched for the fixed workload |
+//! | `plan_cache_hits`    | lower-worse  | dispatches served from a warm pre-plan |
+//! | `accepted_requests`  | lower-worse  | workload admitted by the bounded queue |
+//! | `rejected_queue_full`| higher-worse | admissions shed at capacity       |
+//! | `p50_latency_ms`     | higher-worse | median end-to-end sojourn         |
+//! | `p95_latency_ms`     | higher-worse | tail sojourn                      |
+//! | `p99_latency_ms`     | higher-worse | tail sojourn                      |
+//! | `deadline_misses`    | higher-worse | SLO misses for deadline tenants   |
+//! | `max_queue_depth`    | higher-worse | high-water queue depth            |
+//!
 //! Entries are aligned by their `"name"` / `"model"` key inside any JSON
 //! array of objects, so the same comparator handles `BENCH_kernels.json`
 //! and `BENCH_zoo.json`. An entry present in the baseline but missing from
@@ -59,6 +81,22 @@ pub const GATED_METRICS: &[(&str, Direction)] = &[
     ("nac_bounds_used", Direction::LowerWorse),
     ("pruned_arms", Direction::LowerWorse),
     ("tape_len", Direction::HigherWorse),
+    // Serving metrics (deterministic virtual-time simulation; see
+    // `sod2_serve::simulate`).
+    ("priced_throughput_rps", Direction::LowerWorse),
+    ("throughput_speedup_vs_nobatch", Direction::LowerWorse),
+    ("priced_service_us_per_request", Direction::HigherWorse),
+    ("plan_reuse_gain_pct", Direction::LowerWorse),
+    ("batch_occupancy", Direction::LowerWorse),
+    ("batches", Direction::HigherWorse),
+    ("plan_cache_hits", Direction::LowerWorse),
+    ("accepted_requests", Direction::LowerWorse),
+    ("rejected_queue_full", Direction::HigherWorse),
+    ("p50_latency_ms", Direction::HigherWorse),
+    ("p95_latency_ms", Direction::HigherWorse),
+    ("p99_latency_ms", Direction::HigherWorse),
+    ("deadline_misses", Direction::HigherWorse),
+    ("max_queue_depth", Direction::HigherWorse),
 ];
 
 /// Outcome for one (entry, metric) pair.

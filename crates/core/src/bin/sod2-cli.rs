@@ -3,6 +3,7 @@
 //! ```sh
 //! sod2-cli list
 //! sod2-cli analyze  <model> [--scale tiny|full] [--facts] [--json]
+//! sod2-cli analyze  --check [--all|<model>] [--min-finite N] [--expect-dead-arms MODEL=N]
 //! sod2-cli run      <model> [--size N] [--device s888-cpu|s888-gpu|s835-cpu|s835-gpu]
 //! sod2-cli profile  <model> [--iters N] [--json | --chrome-trace PATH]
 //! sod2-cli compare  <model> [--samples N]
@@ -108,6 +109,10 @@ fn list() {
 fn analyze(args: &[String]) {
     let scale = scale_of(args);
     let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--check") {
+        analyze_check(args, scale);
+        return;
+    }
     let model = model_of(args, scale);
     if args.iter().any(|a| a == "--facts") {
         analyze_facts(&model, json);
@@ -177,6 +182,115 @@ fn analyze(args: &[String]) {
     println!("diagnostics:");
     print!("{}", report.render_text(Some(&model.graph)));
     if report.has_errors() {
+        std::process::exit(1);
+    }
+}
+
+/// `analyze --check`: typed CI assertions over the certificate sweep,
+/// replacing grep-based JSON scraping in `ci.sh`. Runs `certify` on one
+/// model (or the whole zoo with `--all`) and fails with a named reason
+/// when any check does not hold:
+///
+///   * every model's fixpoint audit has zero violations;
+///   * every model's diagnostic report is error-free;
+///   * the aggregate proven-finite tensor count is at least `--min-finite`
+///     (default 1 — the analysis must prove *something*);
+///   * each `--expect-dead-arms MODEL=N` assertion holds exactly
+///     (unreachable Switch arms proven for that model).
+///
+/// Exit code is the contract: 0 iff all checks pass.
+fn analyze_check(args: &[String], scale: ModelScale) {
+    let min_finite: u64 = flag(args, "--min-finite")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    // Collect every `--expect-dead-arms MODEL=N` occurrence.
+    let mut dead_arm_expects: Vec<(String, usize)> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--expect-dead-arms" {
+            let spec = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("analyze --check: --expect-dead-arms needs MODEL=N");
+                std::process::exit(2);
+            });
+            let Some((name, n)) = spec.split_once('=') else {
+                eprintln!("analyze --check: bad --expect-dead-arms {spec:?} (want MODEL=N)");
+                std::process::exit(2);
+            };
+            let n: usize = n.parse().unwrap_or_else(|_| {
+                eprintln!("analyze --check: bad count in --expect-dead-arms {spec:?}");
+                std::process::exit(2);
+            });
+            dead_arm_expects.push((name.to_string(), n));
+        }
+    }
+
+    let mut models: Vec<DynModel> = if args.iter().any(|a| a == "--all") {
+        all_models(scale)
+    } else {
+        vec![model_of(args, scale)]
+    };
+    // Dead-arm expectations may name demo models that live outside the
+    // zoo listing (e.g. BranchyDemo); pull them into the checked set.
+    for (name, _) in &dead_arm_expects {
+        if !models.iter().any(|m| m.name == *name) {
+            let m = model_by_name(name, scale).unwrap_or_else(|| {
+                eprintln!("analyze --check: --expect-dead-arms names unknown model {name:?}");
+                std::process::exit(2);
+            });
+            models.push(m);
+        }
+    }
+
+    let mut total_finite: u64 = 0;
+    let mut failures: Vec<String> = Vec::new();
+    for model in &models {
+        let rdp = sod2_rdp::analyze(&model.graph);
+        let (certs, report) = sod2_analysis::certify(&model.graph, &rdp);
+        if !certs.stats.violations.is_empty() {
+            failures.push(format!(
+                "{}: {} fixpoint audit violation(s)",
+                model.name,
+                certs.stats.violations.len()
+            ));
+        }
+        if report.has_errors() {
+            failures.push(format!("{}: diagnostics reported errors", model.name));
+            print!("{}", report.render_text(Some(&model.graph)));
+        }
+        total_finite += certs.finite_count() as u64;
+        for (name, want) in &dead_arm_expects {
+            if name == model.name && certs.unreachable_arms.len() != *want {
+                failures.push(format!(
+                    "{}: expected {} unreachable Switch arm(s), proved {}",
+                    model.name,
+                    want,
+                    certs.unreachable_arms.len()
+                ));
+            }
+        }
+        println!(
+            "check {:<22} violations={} finite={} dead_arms={}",
+            model.name,
+            certs.stats.violations.len(),
+            certs.finite_count(),
+            certs.unreachable_arms.len()
+        );
+    }
+    if total_finite < min_finite {
+        failures.push(format!(
+            "aggregate: proved only {total_finite} finite tensor(s), need >= {min_finite}"
+        ));
+    }
+    if failures.is_empty() {
+        println!(
+            "analyze --check: ok — {} model(s), {} finite tensor(s) proven",
+            models.len(),
+            total_finite
+        );
+    } else {
+        eprintln!("analyze --check: FAILED");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
         std::process::exit(1);
     }
 }

@@ -80,6 +80,13 @@ pub struct Sod2Options {
     /// to the `SOD2_TAPE` environment variable (unset/`1` → on,
     /// `0`/`false`/`off`/`no` → off).
     pub tape_exec: bool,
+    /// Capacity of the per-engine DMP pre-plan cache (entries keyed by
+    /// bindings). Serving replicas bound this to cap per-replica plan
+    /// memory; `0` disables caching entirely (every inference re-plans,
+    /// which is also how the cache's priced benefit is measured). The
+    /// cache is semantically transparent — outputs and memory metrics are
+    /// identical at any capacity.
+    pub pre_plan_cache_cap: usize,
 }
 
 /// Reads a boolean environment flag: `0`/`false`/`off`/`no` disable, any
@@ -113,6 +120,7 @@ impl Default for Sod2Options {
                 .unwrap_or(0.5),
             absint: true,
             tape_exec: env_flag("SOD2_TAPE", true),
+            pre_plan_cache_cap: DEFAULT_PRE_PLAN_CACHE_CAP,
         }
     }
 }
@@ -229,9 +237,9 @@ struct PrePlanEntry {
     pre_sizes: HashMap<usize, usize>,
 }
 
-/// Entries kept in the per-bindings pre-plan cache (small and linear:
+/// Default capacity of the per-bindings pre-plan cache (small and linear:
 /// real serving traffic cycles through a handful of shape configurations).
-const PRE_PLAN_CACHE_CAP: usize = 8;
+pub const DEFAULT_PRE_PLAN_CACHE_CAP: usize = 8;
 
 impl Sod2Engine {
     /// Compiles a graph for a device (the pre-deployment phase, §4.1).
@@ -488,6 +496,40 @@ impl Sod2Engine {
         }
     }
 
+    /// Stamps out an execution replica sharing this engine's compiled
+    /// artifacts: the register-machine tape stays `Arc`-shared (one
+    /// lowering serves every replica; each inference brings its own
+    /// register file), tensor payloads inside the graph are `Arc`-shared,
+    /// and the schedules/certificates are cheap vector clones. The replica
+    /// gets its own arena slab (allocated lazily on first inference) and
+    /// starts from this engine's warm pre-plan cache, so a freshly forked
+    /// replica serves known shape classes without re-planning. No
+    /// recompilation happens — this is what makes serving replicas cheap
+    /// to stamp out per worker thread.
+    pub fn fork_replica(&self) -> Sod2Engine {
+        Sod2Engine {
+            graph: self.graph.clone(),
+            profile: self.profile.clone(),
+            opts: self.opts,
+            rdp: self.rdp.clone(),
+            certs: self.certs.clone(),
+            fusion_plan: self.fusion_plan.clone(),
+            unit_graph: self.unit_graph.clone(),
+            partitions: self.partitions.clone(),
+            unit_order: self.unit_order.clone(),
+            sep_unit_order: self.sep_unit_order.clone(),
+            node_order: self.node_order.clone(),
+            table: self.table.clone(),
+            arena: None,
+            wave_schedule: self.wave_schedule.clone(),
+            wave_exec: self.wave_exec.clone(),
+            last_wave: None,
+            tape: self.tape.clone(),
+            uses_template: self.uses_template.clone(),
+            pre_plan_cache: self.pre_plan_cache.clone(),
+        }
+    }
+
     /// Static statistics of the compiled execution tape (`None` when tape
     /// execution is off or lowering failed).
     pub fn tape_stats(&self) -> Option<TapeStats> {
@@ -737,17 +779,22 @@ impl Sod2Engine {
         // is a pure function of the bindings given the compiled schedule,
         // so it is cached per bindings value. Counters the uncached path
         // would emit per inference are replayed from the entry.
+        let cache_cap = self.opts.pre_plan_cache_cap;
+        let mut pre_plan_hit = false;
         let entry = match self.pre_plan_cache.iter().position(|(b, _)| b == &bindings) {
             Some(i) => {
                 let hit = self.pre_plan_cache.remove(i);
                 self.pre_plan_cache.insert(0, hit);
                 sod2_obs::counter_add("dmp.pre_plan_cache_hits", 1);
+                pre_plan_hit = true;
                 self.pre_plan_cache[0].1.clone()
             }
             None => {
                 let e = self.build_pre_plan(&bindings, arena_on);
-                self.pre_plan_cache.insert(0, (bindings.clone(), e.clone()));
-                self.pre_plan_cache.truncate(PRE_PLAN_CACHE_CAP);
+                if cache_cap > 0 {
+                    self.pre_plan_cache.insert(0, (bindings.clone(), e.clone()));
+                    self.pre_plan_cache.truncate(cache_cap);
+                }
                 e
             }
         };
@@ -960,13 +1007,21 @@ impl Sod2Engine {
         if self.opts.dmp {
             // One arena allocation per inference, plus the (cheap) runtime
             // plan-generation work, proportional to the sub-graph count.
+            // Plan generation is charged only when the operational offset
+            // plan was built fresh this inference: a pre-plan cache hit
+            // replays the stored plan and skips that work entirely, so the
+            // priced model reflects what serving traffic actually pays on
+            // repeat shapes. Without arena execution there is no cached
+            // operational plan and every inference re-plans.
             trace.push(TraceEvent::Alloc { bytes: plan.peak });
-            let plan_gen = self.unit_order.len() as f64 * self.profile.reinit_sl_per_node * 0.1;
-            trace.push(TraceEvent::Reinit {
-                sl: plan_gen,
-                st: 0.0,
-                alloc: 0.0,
-            });
+            if !(arena_on && pre_plan_hit) {
+                let plan_gen = self.unit_order.len() as f64 * self.profile.reinit_sl_per_node * 0.1;
+                trace.push(TraceEvent::Reinit {
+                    sl: plan_gen,
+                    st: 0.0,
+                    alloc: 0.0,
+                });
+            }
             // The dynamic residue the plan could not cover is still paid
             // per allocation (empty unless some tensor resolved to `nac`).
             if arena_on {

@@ -1,0 +1,97 @@
+//! Shape-class keying and batch formation.
+
+use sod2_tensor::Tensor;
+use std::collections::VecDeque;
+
+/// The dynamic-batching bucket key: the concrete shapes of a request's
+/// input tensors.
+///
+/// Two requests with equal keys bind every RDP symbol to the same value
+/// (the engine derives bindings from input shapes), so they hit the same
+/// DMP pre-plan cache entry, the same arena offset plan, and the same tape
+/// wave ranges — a replica serving them back-to-back pays plan
+/// construction once and runs the rest from cache.
+pub type ShapeClassKey = Vec<Vec<usize>>;
+
+/// Computes the shape-class key of a request's inputs. Delegates to the
+/// engine-side [`sod2_frameworks::shape_key`] so the serving layer can
+/// never disagree with the engine about what "same shape class" means.
+pub fn shape_class_of(inputs: &[Tensor]) -> ShapeClassKey {
+    sod2_frameworks::shape_key(inputs)
+}
+
+/// Removes the next batch from `queue`: the shape class of the **oldest**
+/// queued entry, collecting up to `max_batch` entries of that class in
+/// arrival order (later entries of other classes are skipped over, not
+/// reordered among themselves).
+///
+/// Anchoring the bucket on the queue head keeps the policy
+/// starvation-free: a lone request of a rare shape class reaches the head
+/// in bounded time and forms its own (singleton) batch, rather than
+/// waiting forever for classmates.
+///
+/// Generic over the key type so the discrete-event simulator can batch by
+/// dense class ids with the byte-for-byte same policy the server applies
+/// to [`ShapeClassKey`]s.
+pub fn take_batch<T, K: PartialEq + Clone>(
+    queue: &mut VecDeque<T>,
+    class: impl Fn(&T) -> &K,
+    max_batch: usize,
+) -> Vec<T> {
+    let Some(front) = queue.front() else {
+        return Vec::new();
+    };
+    let key = class(front).clone();
+    let cap = max_batch.max(1);
+    let mut batch = Vec::new();
+    let mut i = 0;
+    while i < queue.len() && batch.len() < cap {
+        if class(&queue[i]) == &key {
+            if let Some(item) = queue.remove(i) {
+                batch.push(item);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(class: usize) -> (ShapeClassKey, usize) {
+        (vec![vec![class]], class)
+    }
+
+    #[test]
+    fn batch_anchored_on_oldest_class_in_arrival_order() {
+        let mut q: VecDeque<_> = [req(1), req(2), req(1), req(1), req(2)].into();
+        let batch = take_batch(&mut q, |r| &r.0, 8);
+        assert_eq!(batch.iter().map(|r| r.1).collect::<Vec<_>>(), [1, 1, 1]);
+        // The other class stays queued, still in arrival order.
+        assert_eq!(q.iter().map(|r| r.1).collect::<Vec<_>>(), [2, 2]);
+    }
+
+    #[test]
+    fn max_batch_caps_the_bucket() {
+        let mut q: VecDeque<_> = [req(3), req(3), req(3), req(3)].into();
+        let batch = take_batch(&mut q, |r| &r.0, 2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn rare_class_at_head_forms_singleton_batch() {
+        let mut q: VecDeque<_> = [req(9), req(1), req(1)].into();
+        let batch = take_batch(&mut q, |r| &r.0, 8);
+        assert_eq!(batch.iter().map(|r| r.1).collect::<Vec<_>>(), [9]);
+    }
+
+    #[test]
+    fn empty_queue_yields_empty_batch() {
+        let mut q: VecDeque<(ShapeClassKey, usize)> = VecDeque::new();
+        assert!(take_batch(&mut q, |r| &r.0, 4).is_empty());
+    }
+}

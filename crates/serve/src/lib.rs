@@ -1,0 +1,106 @@
+//! # sod2-serve — shape-class dynamic batching under multi-tenant load
+//!
+//! The serving layer over [`sod2_frameworks::Sod2Engine`]: a bounded
+//! request queue with admission control and backpressure, dynamic batching
+//! that buckets in-flight requests by **RDP shape class** (requests whose
+//! concrete input shapes are equal bind every RDP symbol identically, so
+//! one planned execution — one tape, one DMP pre-plan cache entry, one
+//! arena layout — serves the whole bucket), N engine replicas stamped out
+//! from the `Arc`-shared execution tape with per-request register files,
+//! and per-tenant deadline/memory-budget enforcement with typed
+//! rejections.
+//!
+//! Two halves:
+//!
+//! - [`Server`] (`server` module): the real threaded server. Replica
+//!   threads pull class-homogeneous batches from the shared queue and run
+//!   them back-to-back on a forked engine. Outputs are bitwise identical
+//!   to solo execution — batching changes only *which plan construction
+//!   work is amortized*, never the arithmetic.
+//! - [`simulate`] (`sim` module): a deterministic discrete-event model of
+//!   the same policy in **priced virtual time** (the device cost model's
+//!   seconds, like `bench_zoo`'s `priced_ms`). Throughput, batch
+//!   occupancy, queue depth, and tail latency from the simulator are
+//!   bit-for-bit reproducible across hosts, which is what lets
+//!   `BENCH_serve.json` be regression-gated in CI.
+//!
+//! # Example
+//!
+//! ```
+//! use sod2_frameworks::{Sod2Engine, Sod2Options};
+//! use sod2_models::{codebert, ModelScale};
+//! use sod2_prng::{rngs::StdRng, SeedableRng};
+//! use sod2_serve::{Server, ServerConfig, TenantSpec};
+//!
+//! let model = codebert(ModelScale::Tiny);
+//! let engine = Sod2Engine::new(
+//!     model.graph.clone(),
+//!     sod2_device::DeviceProfile::s888_cpu(),
+//!     Sod2Options::default(),
+//!     &Default::default(),
+//! );
+//! let server = Server::start(
+//!     engine,
+//!     vec![TenantSpec::new("tenant-a")],
+//!     ServerConfig { replicas: 2, ..ServerConfig::default() },
+//! );
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let (_, inputs) = model.sample_inputs(&mut rng);
+//! let ticket = server.submit("tenant-a", inputs).expect("admitted");
+//! let response = ticket.wait();
+//! assert!(response.result.is_ok());
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed_ok, 1);
+//! ```
+
+mod batch;
+mod server;
+mod sim;
+
+pub use batch::{shape_class_of, take_batch, ShapeClassKey};
+pub use server::{FaultInjector, Response, ServeStats, Server, ServerConfig, TenantSpec, Ticket};
+pub use sim::{simulate, SimConfig, SimReport, SimRequest, SimTenant};
+
+use sod2_runtime::ExecError;
+use std::fmt;
+
+/// A typed serving-layer rejection or failure.
+///
+/// Admission-control rejections ([`ServeError::QueueFull`],
+/// [`ServeError::UnknownTenant`]) are returned synchronously from
+/// submission; execution failures arrive in the [`Response`] and wrap the
+/// runtime's typed [`ExecError`] — so a tenant exceeding its memory budget
+/// sees `Exec(BudgetExceeded { needed, budget })`, not a stringly error.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The bounded queue was at capacity; the request was not admitted.
+    /// Callers may retry (backpressure) or shed load.
+    QueueFull {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The tenant name was not registered with the server.
+    UnknownTenant(String),
+    /// The server shut down before this request could be served.
+    Shutdown,
+    /// Execution failed with a typed runtime error (deadline, budget,
+    /// kernel fault, caught panic, …). The engine replica stays usable.
+    Exec(ExecError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { depth, capacity } => {
+                write!(f, "queue full: depth {depth} at capacity {capacity}")
+            }
+            ServeError::UnknownTenant(name) => write!(f, "unknown tenant: {name}"),
+            ServeError::Shutdown => write!(f, "server shut down before serving the request"),
+            ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

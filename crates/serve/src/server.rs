@@ -1,0 +1,447 @@
+//! The threaded multi-tenant server: bounded queue, shape-class batching,
+//! engine replicas, per-tenant SLO enforcement.
+
+use crate::batch::{shape_class_of, take_batch, ShapeClassKey};
+use crate::ServeError;
+use sod2_frameworks::{Engine, Sod2Engine};
+use sod2_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A registered tenant and its service-level contract.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name; the submission key.
+    pub name: String,
+    /// Per-inference wall-clock deadline. Enforced cooperatively by the
+    /// engine; a miss fails that request with
+    /// [`sod2_runtime::ExecError::DeadlineExceeded`] and leaves the
+    /// replica serving the next request.
+    pub deadline: Option<Duration>,
+    /// Per-inference intermediate-memory budget (bytes). Enforced against
+    /// the DMP pre-plan at admission and live allocations at runtime;
+    /// exceeding it fails with a typed
+    /// [`sod2_runtime::ExecError::BudgetExceeded`].
+    pub memory_budget: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A tenant with no SLO constraints.
+    pub fn new(name: impl Into<String>) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            deadline: None,
+            memory_budget: None,
+        }
+    }
+
+    /// Sets the per-inference deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> TenantSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the per-inference memory budget in bytes.
+    #[must_use]
+    pub fn with_memory_budget(mut self, bytes: usize) -> TenantSpec {
+        self.memory_budget = Some(bytes);
+        self
+    }
+}
+
+/// Mid-traffic fault injection for chaos testing: every request from
+/// `tenant` runs with the given `sod2-faults` plan installed (seeded per
+/// request sequence number, so each faulted request is independently
+/// deterministic), cleared again before the next request.
+///
+/// The fault fabric is process-global, so attribution of a fault to the
+/// tenant being executed requires that no other inference runs
+/// concurrently: [`Server::start`] therefore requires `replicas == 1`
+/// when an injector is configured.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// The tenant whose requests are faulted.
+    pub tenant: String,
+    /// Fault rules in [`sod2_faults::FaultPlan::parse`] grammar, without
+    /// the `seed=` prefix (the injector adds one per request).
+    pub spec: String,
+    /// Base seed; request `seq` runs with `seed + seq`.
+    pub seed: u64,
+}
+
+/// Server sizing and policy.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Engine replicas (worker threads). Each is stamped out via
+    /// [`Sod2Engine::fork_replica`] — the execution tape stays
+    /// `Arc`-shared; each replica brings its own arena and register
+    /// files. `0` starts no workers (admission-control-only mode, used by
+    /// tests to observe queue behaviour; use [`Server::try_submit`] there,
+    /// blocking submission would never drain).
+    pub replicas: usize,
+    /// Bounded queue capacity; admissions beyond it are rejected with
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Maximum requests per shape-class batch.
+    pub max_batch: usize,
+    /// Optional chaos-mode fault injection (see [`FaultInjector`]).
+    pub fault_injector: Option<FaultInjector>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            replicas: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            fault_injector: None,
+        }
+    }
+}
+
+/// The server's lifetime counters, returned by [`Server::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Submission attempts (including rejected ones).
+    pub submitted: u64,
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Typed [`ServeError::QueueFull`] rejections.
+    pub rejected_queue_full: u64,
+    /// Requests completing with `Ok` outputs.
+    pub completed_ok: u64,
+    /// Requests completing with a typed execution error.
+    pub failed: u64,
+    /// Shape-class batches executed.
+    pub batches: u64,
+    /// Requests executed (sum of batch sizes).
+    pub executed: u64,
+    /// High-water queue depth.
+    pub max_queue_depth: usize,
+    /// Largest batch formed.
+    pub max_batch_size: usize,
+    /// Replica threads that died by unrecovered panic (always 0 unless a
+    /// panic escaped the runtime's catch — counted so chaos sweeps can
+    /// assert the fleet stayed whole).
+    pub replica_panics: usize,
+}
+
+/// One served request's outcome.
+#[derive(Debug)]
+pub struct Response {
+    /// The request's global sequence number (submission order).
+    pub seq: u64,
+    /// Index of the owning tenant in the server's tenant table.
+    pub tenant: usize,
+    /// Output tensors, or a typed serving/execution error.
+    pub result: Result<Vec<Tensor>, ServeError>,
+    /// Which replica served it (`usize::MAX` if never executed).
+    pub replica: usize,
+    /// Size of the shape-class batch this request rode in (0 if never
+    /// executed).
+    pub batch_size: usize,
+    /// Faults fired during this request's execution (chaos mode only).
+    pub faults_fired: u64,
+}
+
+/// A claim ticket for an admitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    /// The admitted request's sequence number.
+    pub seq: u64,
+    tenant: usize,
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes. If the serving thread vanished
+    /// without responding (it cannot, short of an escaped panic), this
+    /// degrades to a typed [`ServeError::Shutdown`] response rather than
+    /// wedging the caller.
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or(Response {
+            seq: self.seq,
+            tenant: self.tenant,
+            result: Err(ServeError::Shutdown),
+            replica: usize::MAX,
+            batch_size: 0,
+            faults_fired: 0,
+        })
+    }
+}
+
+struct Pending {
+    seq: u64,
+    tenant: usize,
+    class: ShapeClassKey,
+    inputs: Vec<Tensor>,
+    tx: mpsc::Sender<Response>,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    open: bool,
+    stats: ServeStats,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals replicas: work arrived or shutdown began.
+    work: Condvar,
+    /// Signals blocked submitters: queue space freed or shutdown began.
+    space: Condvar,
+}
+
+/// The serving front end. See the crate docs for the execution model.
+pub struct Server {
+    shared: Arc<Shared>,
+    tenants: Arc<Vec<TenantSpec>>,
+    handles: Vec<JoinHandle<()>>,
+    next_seq: AtomicU64,
+    queue_capacity: usize,
+}
+
+impl Server {
+    /// Starts the server: forks `config.replicas - 1` replicas off
+    /// `template` (the template itself becomes replica 0) and spawns one
+    /// worker thread per replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`FaultInjector`] is configured with `replicas != 1`
+    /// (the fault fabric is process-global; attribution requires a single
+    /// executor).
+    pub fn start(template: Sod2Engine, tenants: Vec<TenantSpec>, config: ServerConfig) -> Server {
+        assert!(
+            config.fault_injector.is_none() || config.replicas == 1,
+            "fault injection requires exactly one replica: the fault fabric is process-global"
+        );
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                open: true,
+                stats: ServeStats::default(),
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let tenants = Arc::new(tenants);
+        let mut engines = Vec::with_capacity(config.replicas);
+        for _ in 1..config.replicas {
+            engines.push(template.fork_replica());
+        }
+        if config.replicas > 0 {
+            engines.push(template);
+        }
+        let handles = engines
+            .into_iter()
+            .enumerate()
+            .map(|(replica, engine)| {
+                let shared = Arc::clone(&shared);
+                let tenants = Arc::clone(&tenants);
+                let injector = config.fault_injector.clone();
+                let max_batch = config.max_batch;
+                std::thread::Builder::new()
+                    .name(format!("sod2-serve-{replica}"))
+                    .spawn(move || {
+                        replica_loop(engine, &shared, &tenants, injector, replica, max_batch);
+                    })
+                    .expect("spawn replica thread")
+            })
+            .collect();
+        Server {
+            shared,
+            tenants,
+            handles,
+            next_seq: AtomicU64::new(0),
+            queue_capacity: config.queue_capacity.max(1),
+        }
+    }
+
+    /// The registered tenant table, in index order.
+    pub fn tenants(&self) -> &[TenantSpec] {
+        &self.tenants
+    }
+
+    fn tenant_index(&self, name: &str) -> Result<usize, ServeError> {
+        self.tenants
+            .iter()
+            .position(|t| t.name == name)
+            .ok_or_else(|| ServeError::UnknownTenant(name.to_string()))
+    }
+
+    fn enqueue(&self, state: &mut State, tenant: usize, inputs: Vec<Tensor>) -> Ticket {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        state.queue.push_back(Pending {
+            seq,
+            tenant,
+            class: shape_class_of(&inputs),
+            inputs,
+            tx,
+        });
+        state.stats.accepted += 1;
+        state.stats.max_queue_depth = state.stats.max_queue_depth.max(state.queue.len());
+        self.shared.work.notify_one();
+        Ticket { seq, tenant, rx }
+    }
+
+    /// Non-blocking admission: rejects with a typed
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity
+    /// (load shedding), instead of waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`], [`ServeError::Shutdown`], or
+    /// [`ServeError::QueueFull`].
+    pub fn try_submit(&self, tenant: &str, inputs: Vec<Tensor>) -> Result<Ticket, ServeError> {
+        let tenant = self.tenant_index(tenant)?;
+        let mut state = self.shared.state.lock().expect("serve state lock");
+        if !state.open {
+            return Err(ServeError::Shutdown);
+        }
+        state.stats.submitted += 1;
+        if state.queue.len() >= self.queue_capacity {
+            state.stats.rejected_queue_full += 1;
+            sod2_obs::counter_add("serve.rejected_queue_full", 1);
+            return Err(ServeError::QueueFull {
+                depth: state.queue.len(),
+                capacity: self.queue_capacity,
+            });
+        }
+        Ok(self.enqueue(&mut state, tenant, inputs))
+    }
+
+    /// Blocking admission: applies backpressure by waiting for queue space
+    /// instead of rejecting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] or [`ServeError::Shutdown`].
+    pub fn submit(&self, tenant: &str, inputs: Vec<Tensor>) -> Result<Ticket, ServeError> {
+        let tenant = self.tenant_index(tenant)?;
+        let mut state = self.shared.state.lock().expect("serve state lock");
+        loop {
+            if !state.open {
+                return Err(ServeError::Shutdown);
+            }
+            if state.queue.len() < self.queue_capacity {
+                state.stats.submitted += 1;
+                return Ok(self.enqueue(&mut state, tenant, inputs));
+            }
+            state = self.shared.space.wait(state).expect("serve state lock");
+        }
+    }
+
+    /// Graceful shutdown: stops admissions, lets replicas drain the queue,
+    /// joins them, and returns the lifetime counters. Requests still
+    /// queued when no replica remains to serve them (possible only in the
+    /// zero-replica test mode or after an escaped panic) receive typed
+    /// [`ServeError::Shutdown`] responses.
+    pub fn shutdown(self) -> ServeStats {
+        {
+            let mut state = self.shared.state.lock().expect("serve state lock");
+            state.open = false;
+            self.shared.work.notify_all();
+            self.shared.space.notify_all();
+        }
+        let mut panics = 0;
+        for handle in self.handles {
+            if handle.join().is_err() {
+                panics += 1;
+            }
+        }
+        let mut state = self.shared.state.lock().expect("serve state lock");
+        state.stats.replica_panics = panics;
+        while let Some(p) = state.queue.pop_front() {
+            let _ = p.tx.send(Response {
+                seq: p.seq,
+                tenant: p.tenant,
+                result: Err(ServeError::Shutdown),
+                replica: usize::MAX,
+                batch_size: 0,
+                faults_fired: 0,
+            });
+        }
+        state.stats.clone()
+    }
+}
+
+fn replica_loop(
+    mut engine: Sod2Engine,
+    shared: &Shared,
+    tenants: &[TenantSpec],
+    injector: Option<FaultInjector>,
+    replica: usize,
+    max_batch: usize,
+) {
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().expect("serve state lock");
+            loop {
+                if !state.queue.is_empty() {
+                    break;
+                }
+                if !state.open {
+                    return;
+                }
+                state = shared.work.wait(state).expect("serve state lock");
+            }
+            let batch = take_batch(&mut state.queue, |p: &Pending| &p.class, max_batch);
+            state.stats.batches += 1;
+            state.stats.executed += batch.len() as u64;
+            state.stats.max_batch_size = state.stats.max_batch_size.max(batch.len());
+            // Queue space freed: wake blocked submitters.
+            shared.space.notify_all();
+            batch
+        };
+        sod2_obs::counter_add("serve.batches", 1);
+        sod2_obs::counter_add("serve.batched_requests", batch.len() as u64);
+        let batch_size = batch.len();
+        for p in batch {
+            let spec = &tenants[p.tenant];
+            engine.set_deadline(spec.deadline);
+            engine.set_memory_budget(spec.memory_budget);
+            let armed = injector.as_ref().filter(|inj| inj.tenant == spec.name);
+            if let Some(inj) = armed {
+                let plan = format!("seed={};{}", inj.seed.wrapping_add(p.seq), inj.spec);
+                sod2_faults::install(
+                    sod2_faults::FaultPlan::parse(&plan).expect("fault plan parses"),
+                );
+            }
+            let fired_before = sod2_faults::fired_count();
+            let result = engine.infer(&p.inputs);
+            let faults_fired = sod2_faults::fired_count().saturating_sub(fired_before);
+            if armed.is_some() {
+                sod2_faults::clear();
+            }
+            {
+                let mut state = shared.state.lock().expect("serve state lock");
+                match &result {
+                    Ok(_) => state.stats.completed_ok += 1,
+                    Err(_) => state.stats.failed += 1,
+                }
+            }
+            sod2_obs::counter_add(
+                if result.is_ok() {
+                    "serve.completed"
+                } else {
+                    "serve.failed"
+                },
+                1,
+            );
+            let _ = p.tx.send(Response {
+                seq: p.seq,
+                tenant: p.tenant,
+                result: result.map(|s| s.outputs).map_err(ServeError::Exec),
+                replica,
+                batch_size,
+                faults_fired,
+            });
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Deterministic discrete-event simulation of the serving policy in
+//! priced virtual time.
+//!
+//! Wall-clock serving metrics are load- and host-dependent, so they can't
+//! be regression-gated. This module replays the *same* admission, batching
+//! and replica policy as [`crate::Server`] against per-request service
+//! times taken from the device cost model (the engine's priced
+//! [`sod2_runtime::LatencyBreakdown`]), in virtual seconds. The
+//! simulation is a pure fold over a sorted event list — IEEE additions and
+//! comparisons only, ties broken by request index — so every derived
+//! metric (throughput, batch occupancy, queue depth, tail latency) is
+//! bit-for-bit reproducible across hosts and gateable in
+//! `BENCH_serve.json`.
+//!
+//! The model mirrors the real server piecewise:
+//!
+//! - open-loop arrivals; a bounded queue rejects at capacity
+//!   (`rejected_queue_full`) — the real [`crate::Server::try_submit`]
+//!   path;
+//! - idle replicas pull class-homogeneous batches with the same
+//!   oldest-class-first [`crate::take_batch`] policy;
+//! - each replica carries an LRU model of the engine's per-bindings DMP
+//!   pre-plan cache: the first request of a class (or one evicted by
+//!   `plan_cache_cap` other classes) pays the *full* service time
+//!   including plan construction, subsequent classmates pay the *cached*
+//!   time — this is exactly the amortization shape-class batching buys;
+//! - tenant memory budgets reject at dispatch (the engine's DMP admission
+//!   check), tenant deadlines are scored as end-to-end SLO misses.
+//!
+//! One deliberate divergence: the real engine enforces deadlines on
+//! execution wall-clock only (the clock starts at `infer`), while the
+//! simulator scores `deadline_misses` on end-to-end sojourn (queue wait +
+//! service) — the quantity a serving SLO is actually written against.
+
+use crate::batch::take_batch;
+use std::collections::VecDeque;
+
+/// A tenant's SLO contract in virtual time.
+#[derive(Debug, Clone, Default)]
+pub struct SimTenant {
+    /// End-to-end sojourn bound in virtual seconds; exceeding it counts a
+    /// `deadline_miss` (the request still completes).
+    pub deadline_s: Option<f64>,
+    /// Peak intermediate-memory budget in bytes; requests whose recorded
+    /// peak exceeds it are rejected at dispatch (`rejected_budget`).
+    pub memory_budget: Option<usize>,
+}
+
+/// One request of the simulated workload.
+#[derive(Debug, Clone)]
+pub struct SimRequest {
+    /// Arrival time, virtual seconds. Requests must be sorted by arrival.
+    pub arrival_s: f64,
+    /// Shape-class id (dense small integers).
+    pub class: usize,
+    /// Index into the tenant table.
+    pub tenant: usize,
+    /// Priced service time when the replica must build the plan (pre-plan
+    /// cache miss), seconds.
+    pub service_full_s: f64,
+    /// Priced service time when the class is plan-cached, seconds.
+    pub service_cached_s: f64,
+    /// The request's planned peak intermediate memory, for budget
+    /// admission.
+    pub peak_bytes: usize,
+}
+
+/// Simulated server sizing; mirrors [`crate::ServerConfig`] plus the
+/// per-replica plan-cache capacity (the engine's `pre_plan_cache_cap`).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Engine replicas.
+    pub replicas: usize,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Maximum requests per shape-class batch.
+    pub max_batch: usize,
+    /// Per-replica pre-plan cache capacity (classes); 0 disables caching
+    /// (every request pays `service_full_s`).
+    pub plan_cache_cap: usize,
+}
+
+/// Aggregated simulation results (all times in virtual seconds).
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Requests admitted to the queue.
+    pub accepted: usize,
+    /// Requests rejected at admission: queue at capacity.
+    pub rejected_queue_full: usize,
+    /// Requests rejected at dispatch: tenant memory budget.
+    pub rejected_budget: usize,
+    /// Requests that actually executed.
+    pub executed: usize,
+    /// Shape-class batches dispatched.
+    pub batches: usize,
+    /// Mean executed-requests per batch.
+    pub batch_occupancy: f64,
+    /// Dispatches served from a replica's plan cache.
+    pub plan_cache_hits: usize,
+    /// Total priced service time spent on executed requests — the
+    /// denominator for "work per request", which is how plan-churn
+    /// amortization is measured (batching lowers it, never the
+    /// arithmetic).
+    pub total_service_s: f64,
+    /// Time of the last completion.
+    pub makespan_s: f64,
+    /// Executed requests per virtual second (`executed / makespan_s`).
+    pub throughput_rps: f64,
+    /// Median end-to-end sojourn of executed requests.
+    pub p50_s: f64,
+    /// 95th-percentile sojourn.
+    pub p95_s: f64,
+    /// 99th-percentile sojourn.
+    pub p99_s: f64,
+    /// Executed requests whose sojourn exceeded their tenant's deadline.
+    pub deadline_misses: usize,
+    /// High-water queue depth.
+    pub max_queue_depth: usize,
+}
+
+/// Nearest-rank quantile over a sorted slice (deterministic index
+/// arithmetic, no interpolation).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs the discrete-event simulation. `requests` must be sorted by
+/// `arrival_s` (ties resolve in slice order).
+///
+/// # Panics
+///
+/// Panics if arrivals are unsorted — the caller builds the workload, and
+/// an unsorted one would silently skew every latency metric.
+pub fn simulate(cfg: &SimConfig, tenants: &[SimTenant], requests: &[SimRequest]) -> SimReport {
+    assert!(
+        requests
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "simulate: requests must be sorted by arrival time"
+    );
+    let replicas = cfg.replicas.max(1);
+    let mut report = SimReport::default();
+    // Per-replica state: time the replica frees up, and its LRU plan
+    // cache (front = most recent class).
+    let mut free_at = vec![0.0_f64; replicas];
+    let mut caches: Vec<VecDeque<usize>> = vec![VecDeque::new(); replicas];
+    // Queue entries carry (request index, class) so the batching key
+    // borrows from the entry itself.
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    let mut sojourns: Vec<f64> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut now = 0.0_f64;
+
+    loop {
+        // Admit every arrival at or before `now`.
+        while next_arrival < requests.len() && requests[next_arrival].arrival_s <= now {
+            if queue.len() >= cfg.queue_capacity {
+                report.rejected_queue_full += 1;
+            } else {
+                queue.push_back((next_arrival, requests[next_arrival].class));
+                report.accepted += 1;
+                report.max_queue_depth = report.max_queue_depth.max(queue.len());
+            }
+            next_arrival += 1;
+        }
+        // Dispatch idle replicas while work is queued. Replica choice is
+        // deterministic: lowest index among those free at `now`.
+        while !queue.is_empty() {
+            let Some(r) = (0..replicas).find(|&r| free_at[r] <= now) else {
+                break;
+            };
+            let batch = take_batch(&mut queue, |e| &e.1, cfg.max_batch);
+            report.batches += 1;
+            let mut t = now;
+            for (i, _) in batch {
+                let req = &requests[i];
+                if let Some(budget) = tenants[req.tenant].memory_budget {
+                    if req.peak_bytes > budget {
+                        report.rejected_budget += 1;
+                        continue;
+                    }
+                }
+                let hit = caches[r].iter().position(|&c| c == req.class);
+                let service = match hit {
+                    Some(pos) if cfg.plan_cache_cap > 0 => {
+                        let c = caches[r].remove(pos).unwrap_or(req.class);
+                        caches[r].push_front(c);
+                        report.plan_cache_hits += 1;
+                        req.service_cached_s
+                    }
+                    _ => {
+                        if cfg.plan_cache_cap > 0 {
+                            caches[r].push_front(req.class);
+                            caches[r].truncate(cfg.plan_cache_cap);
+                        }
+                        req.service_full_s
+                    }
+                };
+                t += service;
+                report.total_service_s += service;
+                report.executed += 1;
+                let sojourn = t - req.arrival_s;
+                sojourns.push(sojourn);
+                report.makespan_s = report.makespan_s.max(t);
+                if let Some(d) = tenants[req.tenant].deadline_s {
+                    if sojourn > d {
+                        report.deadline_misses += 1;
+                    }
+                }
+            }
+            free_at[r] = t;
+        }
+        // Advance to the next event: an arrival, or a replica freeing up
+        // while work is queued.
+        let mut next = f64::INFINITY;
+        if next_arrival < requests.len() {
+            next = requests[next_arrival].arrival_s;
+        }
+        if !queue.is_empty() {
+            for &f in &free_at {
+                if f > now {
+                    next = next.min(f);
+                }
+            }
+        }
+        if next.is_finite() {
+            now = next;
+        } else {
+            break;
+        }
+    }
+
+    sojourns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    report.p50_s = quantile(&sojourns, 0.50);
+    report.p95_s = quantile(&sojourns, 0.95);
+    report.p99_s = quantile(&sojourns, 0.99);
+    report.batch_occupancy = if report.batches > 0 {
+        report.executed as f64 / report.batches as f64
+    } else {
+        0.0
+    };
+    report.throughput_rps = if report.makespan_s > 0.0 {
+        report.executed as f64 / report.makespan_s
+    } else {
+        0.0
+    };
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(arrival: f64, class: usize, full: f64, cached: f64) -> SimRequest {
+        SimRequest {
+            arrival_s: arrival,
+            class,
+            tenant: 0,
+            service_full_s: full,
+            service_cached_s: cached,
+            peak_bytes: 100,
+        }
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            replicas: 1,
+            queue_capacity: 64,
+            max_batch: 8,
+            plan_cache_cap: 2,
+        }
+    }
+
+    #[test]
+    fn batching_amortizes_plan_construction() {
+        // 8 requests alternating between 3 classes arriving at once, plan
+        // cache holds only 2 classes. Batched (max_batch=8) groups
+        // classmates so each class plans once; FIFO (max_batch=1)
+        // alternates classes and thrashes the 2-entry cache.
+        let reqs: Vec<SimRequest> = (0..9).map(|i| req(0.0, i % 3, 1.0, 0.1)).collect();
+        let tenants = [SimTenant::default()];
+        let batched = simulate(&cfg(), &tenants, &reqs);
+        let fifo = simulate(
+            &SimConfig {
+                max_batch: 1,
+                ..cfg()
+            },
+            &tenants,
+            &reqs,
+        );
+        assert!(batched.makespan_s < fifo.makespan_s);
+        assert!(batched.throughput_rps > fifo.throughput_rps);
+        assert_eq!(batched.batches, 3);
+        assert_eq!(batched.plan_cache_hits, 6);
+        assert_eq!(fifo.plan_cache_hits, 0); // 3 classes thrash a 2-slot LRU
+    }
+
+    #[test]
+    fn bounded_queue_rejects_at_capacity() {
+        // 5 simultaneous arrivals into a 2-slot queue with a slow server.
+        let reqs: Vec<SimRequest> = (0..5).map(|_| req(0.0, 0, 1.0, 1.0)).collect();
+        let r = simulate(
+            &SimConfig {
+                queue_capacity: 2,
+                ..cfg()
+            },
+            &[SimTenant::default()],
+            &reqs,
+        );
+        assert_eq!(r.accepted, 2);
+        assert_eq!(r.rejected_queue_full, 3);
+        assert_eq!(r.executed, 2);
+    }
+
+    #[test]
+    fn budget_rejection_is_counted_not_executed() {
+        let mut reqs = vec![req(0.0, 0, 1.0, 0.1), req(0.0, 0, 1.0, 0.1)];
+        reqs[1].peak_bytes = 10_000;
+        let tenants = [SimTenant {
+            memory_budget: Some(1_000),
+            ..Default::default()
+        }];
+        let r = simulate(&cfg(), &tenants, &reqs);
+        assert_eq!(r.executed, 1);
+        assert_eq!(r.rejected_budget, 1);
+    }
+
+    #[test]
+    fn deadline_misses_scored_on_sojourn() {
+        // Second request queues behind the first; only it misses a 1.5s
+        // end-to-end deadline.
+        let reqs = vec![req(0.0, 0, 1.0, 1.0), req(0.0, 0, 1.0, 1.0)];
+        let tenants = [SimTenant {
+            deadline_s: Some(1.5),
+            ..Default::default()
+        }];
+        let r = simulate(
+            &SimConfig {
+                max_batch: 1,
+                ..cfg()
+            },
+            &tenants,
+            &reqs,
+        );
+        assert_eq!(r.deadline_misses, 1);
+    }
+
+    #[test]
+    fn more_replicas_cut_tail_latency() {
+        let reqs: Vec<SimRequest> = (0..8).map(|i| req(0.1 * i as f64, 0, 1.0, 0.5)).collect();
+        let one = simulate(&cfg(), &[SimTenant::default()], &reqs);
+        let four = simulate(
+            &SimConfig {
+                replicas: 4,
+                ..cfg()
+            },
+            &[SimTenant::default()],
+            &reqs,
+        );
+        assert!(four.p99_s <= one.p99_s);
+        assert!(four.makespan_s <= one.makespan_s);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let reqs: Vec<SimRequest> = (0..32)
+            .map(|i| req(0.013 * i as f64, i % 4, 0.7, 0.21))
+            .collect();
+        let tenants = [SimTenant {
+            deadline_s: Some(2.0),
+            memory_budget: None,
+        }];
+        let a = simulate(&cfg(), &tenants, &reqs);
+        let b = simulate(&cfg(), &tenants, &reqs);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

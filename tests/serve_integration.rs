@@ -1,0 +1,273 @@
+//! Serving-layer integration: shape-class batching must be invisible to
+//! correctness (batched outputs bitwise-equal solo runs), admission
+//! control must reject with typed errors, and per-tenant SLO failures
+//! must leave every replica serving the next request.
+
+use proptest::prelude::*;
+use sod2_device::DeviceProfile;
+use sod2_frameworks::{Engine, Sod2Engine, Sod2Options};
+use sod2_models::{model_by_name, DynModel, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
+use sod2_runtime::ExecError;
+use sod2_serve::{ServeError, Server, ServerConfig, TenantSpec};
+use sod2_tensor::Tensor;
+use std::time::Duration;
+
+fn engine_for(model: &DynModel, cache_cap: usize) -> Sod2Engine {
+    Sod2Engine::new(
+        model.graph.clone(),
+        DeviceProfile::s888_cpu(),
+        Sod2Options {
+            pre_plan_cache_cap: cache_cap,
+            ..Sod2Options::default()
+        },
+        &Default::default(),
+    )
+}
+
+/// A small deterministic request mix cycling over a model's size range.
+fn request_sizes(model: &DynModel, n: usize) -> Vec<usize> {
+    let (lo, hi) = model.size_range();
+    (0..n).map(|i| lo + (i * 3) % (hi - lo + 1)).collect()
+}
+
+fn bytes_of(outputs: &[Tensor]) -> Vec<Vec<u8>> {
+    outputs.iter().map(|t| t.payload_le_bytes()).collect()
+}
+
+/// The tentpole correctness claim: riding in a shape-class batch on any
+/// replica must produce bit-for-bit the outputs of a solo engine run.
+#[test]
+fn batched_execution_is_bitwise_identical_to_solo() {
+    for name in ["codebert", "skipnet"] {
+        let model = model_by_name(name, ModelScale::Tiny).unwrap();
+        let sizes = request_sizes(&model, 12);
+
+        // Solo references, fresh RNG per request (mirrors the server
+        // making each request's inputs independently).
+        let mut solo = engine_for(&model, 0);
+        let mut refs = Vec::new();
+        let mut inputs_per_req = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(900 + i as u64);
+            let inputs = model.make_inputs(size, &mut rng);
+            let stats = solo.infer(&inputs).unwrap();
+            refs.push(bytes_of(&stats.outputs));
+            inputs_per_req.push(inputs);
+        }
+
+        let server = Server::start(
+            engine_for(&model, 2),
+            vec![TenantSpec::new("t")],
+            ServerConfig {
+                replicas: 2,
+                queue_capacity: 32,
+                max_batch: 4,
+                fault_injector: None,
+            },
+        );
+        let tickets: Vec<_> = inputs_per_req
+            .into_iter()
+            .map(|inputs| server.submit("t", inputs).unwrap())
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let resp = ticket.wait();
+            let outputs = resp.result.unwrap_or_else(|e| {
+                panic!("{name} request {i} failed in batch: {e}");
+            });
+            assert_eq!(
+                bytes_of(&outputs),
+                refs[i],
+                "{name} request {i} diverged from solo run (batch_size {})",
+                resp.batch_size
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed_ok, sizes.len() as u64);
+        assert_eq!(stats.replica_panics, 0);
+    }
+}
+
+/// Admission control: the bounded queue rejects with a typed error
+/// carrying its observed depth, and shutdown drains stranded requests
+/// with a typed `Shutdown` rather than wedging their callers.
+#[test]
+fn queue_full_rejection_is_typed() {
+    let model = model_by_name("skipnet", ModelScale::Tiny).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let (lo, _) = model.size_range();
+    // replicas: 0 — nothing drains the queue, so depth is controllable.
+    let server = Server::start(
+        engine_for(&model, 2),
+        vec![TenantSpec::new("t")],
+        ServerConfig {
+            replicas: 0,
+            queue_capacity: 2,
+            max_batch: 4,
+            fault_injector: None,
+        },
+    );
+    let t1 = server
+        .try_submit("t", model.make_inputs(lo, &mut rng))
+        .unwrap();
+    let t2 = server
+        .try_submit("t", model.make_inputs(lo, &mut rng))
+        .unwrap();
+    match server.try_submit("t", model.make_inputs(lo, &mut rng)) {
+        Err(ServeError::QueueFull { depth, capacity }) => {
+            assert_eq!((depth, capacity), (2, 2));
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    match server.try_submit("nobody", model.make_inputs(lo, &mut rng)) {
+        Err(ServeError::UnknownTenant(name)) => assert_eq!(name, "nobody"),
+        other => panic!("expected UnknownTenant, got {other:?}"),
+    }
+    let stats = server.shutdown();
+    for t in [t1, t2] {
+        match t.wait().result {
+            Err(ServeError::Shutdown) => {}
+            other => panic!("stranded request should get Shutdown, got {other:?}"),
+        }
+    }
+    assert_eq!(stats.rejected_queue_full, 1);
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.max_queue_depth, 2);
+}
+
+/// SLO enforcement: budget and deadline misses come back as typed
+/// `ExecError`s, and the replica that served them stays healthy — a
+/// following unconstrained request on the same server must succeed with
+/// clean outputs.
+#[test]
+fn slo_rejections_are_typed_and_replicas_stay_usable() {
+    let model = model_by_name("codebert", ModelScale::Tiny).unwrap();
+    let (lo, _) = model.size_range();
+
+    let mut solo = engine_for(&model, 0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let inputs = model.make_inputs(lo, &mut rng);
+    let reference = bytes_of(&solo.infer(&inputs).unwrap().outputs);
+
+    let server = Server::start(
+        engine_for(&model, 2),
+        vec![
+            TenantSpec::new("free"),
+            TenantSpec::new("capped").with_memory_budget(1),
+            TenantSpec::new("tight").with_deadline(Duration::from_nanos(1)),
+        ],
+        ServerConfig {
+            replicas: 1,
+            queue_capacity: 16,
+            max_batch: 4,
+            fault_injector: None,
+        },
+    );
+    match server
+        .submit("capped", inputs.clone())
+        .unwrap()
+        .wait()
+        .result
+    {
+        Err(ServeError::Exec(ExecError::BudgetExceeded { budget, .. })) => {
+            assert_eq!(budget, 1);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    match server
+        .submit("tight", inputs.clone())
+        .unwrap()
+        .wait()
+        .result
+    {
+        Err(ServeError::Exec(ExecError::DeadlineExceeded)) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // The same replica must now serve an unconstrained tenant perfectly.
+    let outputs = server
+        .submit("free", inputs)
+        .unwrap()
+        .wait()
+        .result
+        .unwrap();
+    assert_eq!(bytes_of(&outputs), reference);
+    let stats = server.shutdown();
+    assert_eq!(stats.completed_ok, 1);
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.replica_panics, 0);
+}
+
+/// `fork_replica` shares the compiled program but nothing mutable: a
+/// fork must produce bitwise-identical outputs to its template.
+#[test]
+fn forked_replica_matches_template_bitwise() {
+    let model = model_by_name("yolo", ModelScale::Tiny).unwrap();
+    let mut template = engine_for(&model, 2);
+    let mut fork = template.fork_replica();
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..3 {
+        let (_, inputs) = model.sample_inputs(&mut rng);
+        let a = template.infer(&inputs).unwrap();
+        let b = fork.infer(&inputs).unwrap();
+        assert_eq!(bytes_of(&a.outputs), bytes_of(&b.outputs));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random tenant mixes over random request streams, on a single
+    /// replica and a 4-replica fleet: every response arrives, capped
+    /// tenants always fail typed, unconstrained tenants always succeed,
+    /// and no replica ever dies.
+    #[test]
+    fn tenant_mixes_get_typed_outcomes(
+        seed in 0u64..1000,
+        picks in proptest::collection::vec(0usize..3, 4..10),
+        replicas in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let model = model_by_name("skipnet", ModelScale::Tiny).unwrap();
+        let (lo, hi) = model.size_range();
+        let server = Server::start(
+            engine_for(&model, 2),
+            vec![
+                TenantSpec::new("free"),
+                TenantSpec::new("premium").with_deadline(Duration::from_secs(10)),
+                TenantSpec::new("capped").with_memory_budget(1),
+            ],
+            ServerConfig {
+                replicas,
+                queue_capacity: 32,
+                max_batch: 4,
+                fault_injector: None,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let names = ["free", "premium", "capped"];
+        let tickets: Vec<(usize, _)> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &tenant)| {
+                let size = lo + (seed as usize + i) % (hi - lo + 1);
+                let inputs = model.make_inputs(size, &mut rng);
+                (tenant, server.submit(names[tenant], inputs).unwrap())
+            })
+            .collect();
+        for (tenant, ticket) in tickets {
+            let resp = ticket.wait();
+            match (tenant, resp.result) {
+                (2, Err(ServeError::Exec(ExecError::BudgetExceeded { budget, .. }))) => {
+                    prop_assert_eq!(budget, 1);
+                }
+                (2, other) => prop_assert!(false, "capped: expected BudgetExceeded, got {:?}", other),
+                (_, Ok(outputs)) => prop_assert!(!outputs.is_empty()),
+                (_, other) => prop_assert!(false, "clean tenant failed: {:?}", other),
+            }
+        }
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.accepted, picks.len() as u64);
+        prop_assert_eq!(stats.completed_ok + stats.failed, picks.len() as u64);
+        prop_assert_eq!(stats.replica_panics, 0);
+    }
+}

@@ -222,13 +222,19 @@ stage_serve() {
     mkdir -p "$CI_OUT"
     # Deterministic serving bench: dynamic batching by RDP shape class over
     # the zoo, with batched outputs asserted bitwise-identical to solo runs
-    # and typed budget rejections checked in-binary. The reported metrics
+    # and typed budget rejections checked in-binary. A scripted-fault replay
+    # of the same trace exercises retry budgets, supervised stall rebuilds,
+    # circuit breakers and predictive admission; its recovery metrics are
+    # asserted bit-stable across two in-binary runs. All reported metrics
     # are priced (virtual-time), so the JSON is bit-stable across runs and
     # gated against the checked-in baseline in stage_gate.
     "$serve" --json "$CI_OUT/BENCH_serve.json"
-    # Chaos-under-traffic: every fault-site × model cell must leave the
-    # other tenants' responses bitwise-clean and inside their deadlines;
-    # any cross-tenant corruption or wedged replica exits non-zero.
+    # Chaos-under-traffic: every fault-site (stalls/hangs included) × model
+    # × recovery-off/on cell must leave the other tenants' responses
+    # bitwise-clean and inside their deadlines; with recovery on, every
+    # victim must be retried to a bitwise-clean completion and every stalled
+    # replica rebuilt. Any cross-tenant corruption, wedged replica, or
+    # leaked thread exits non-zero.
     "$serve" --chaos
     if [[ "$UPDATE_BASELINES" == 1 ]]; then
         cp "$CI_OUT/BENCH_serve.json" BENCH_serve.json

@@ -21,11 +21,23 @@
 //! budget-capped tenant must be rejected with the typed
 //! `ExecError::BudgetExceeded`.
 //!
-//! `bench_serve --chaos` instead runs the chaos-under-traffic sweep:
-//! deterministic `sod2-faults` plans are installed mid-stream for one
-//! victim tenant while two clean tenants keep submitting, and the sweep
-//! asserts the victim's faults never corrupt a clean tenant's response,
-//! never push one past its deadline, and never wedge the server.
+//! The JSON also carries the gated *resilience* metrics: the same
+//! simulated workload replayed with a deterministic scripted fault pattern
+//! (transient kernel failures and replica stalls) under the full
+//! self-healing stack — supervision, per-tenant retry budgets, circuit
+//! breakers, predictive admission — asserted bit-stable across two
+//! in-binary runs before being written.
+//!
+//! `bench_serve --chaos` instead runs the chaos-under-traffic sweep, once
+//! without and once with recovery per cell: deterministic `sod2-faults`
+//! plans (including `kernel.stall`) are installed mid-stream for one
+//! victim tenant while two clean tenants keep submitting. Without
+//! recovery the sweep asserts the victim's faults never corrupt a clean
+//! tenant's response, never push one past its deadline, and never wedge
+//! the server; with recovery it additionally asserts every victim request
+//! is retried to a completion bitwise-identical to the fault-free run and
+//! every stalled replica is condemned and rebuilt with zero leaked
+//! threads.
 
 use sod2_device::DeviceProfile;
 use sod2_frameworks::{Engine, Sod2Engine, Sod2Options};
@@ -34,8 +46,8 @@ use sod2_prng::rngs::StdRng;
 use sod2_prng::{Rng, SeedableRng};
 use sod2_runtime::ExecError;
 use sod2_serve::{
-    simulate, FaultInjector, ServeError, Server, ServerConfig, SimConfig, SimRequest, SimTenant,
-    TenantSpec,
+    simulate, BreakerConfig, FaultInjector, ServeError, Server, ServerConfig, SimConfig, SimFault,
+    SimRequest, SimTenant, TenantSpec,
 };
 use sod2_tensor::Tensor;
 use std::time::{Duration, Instant};
@@ -96,6 +108,20 @@ struct ServeEntry {
     p99_latency_ms: f64,
     deadline_misses: usize,
     max_queue_depth: usize,
+    // Gated, from the virtual-time *resilience* simulation: the same
+    // workload with deterministic scripted faults, under supervision,
+    // retry budgets, circuit breakers and predictive admission.
+    faults_injected: usize,
+    retries: usize,
+    retries_exhausted: usize,
+    replicas_rebuilt: usize,
+    stalls_detected: usize,
+    recovered_requests: usize,
+    shed_circuit_open: usize,
+    rejected_predicted_deadline: usize,
+    rejected_predicted_budget: usize,
+    mean_recovery_ms: f64,
+    wedged_replicas: usize,
     // Informational, from the real threaded run.
     wall_ms: f64,
     real_batches: u64,
@@ -118,7 +144,14 @@ impl ServeEntry {
                 "\"fifo_plan_cache_hits\": {}, ",
                 "\"p50_latency_ms\": {:.6}, \"p95_latency_ms\": {:.6}, ",
                 "\"p99_latency_ms\": {:.6}, \"deadline_misses\": {}, ",
-                "\"max_queue_depth\": {}, \"wall_ms\": {:.4}, ",
+                "\"max_queue_depth\": {}, \"faults_injected\": {}, ",
+                "\"retries\": {}, \"retries_exhausted\": {}, ",
+                "\"replicas_rebuilt\": {}, \"stalls_detected\": {}, ",
+                "\"recovered_requests\": {}, \"shed_circuit_open\": {}, ",
+                "\"rejected_predicted_deadline\": {}, ",
+                "\"rejected_predicted_budget\": {}, ",
+                "\"mean_recovery_ms\": {:.6}, \"wedged_replicas\": {}, ",
+                "\"wall_ms\": {:.4}, ",
                 "\"real_batches\": {}, \"real_max_batch\": {}, ",
                 "\"real_cache_hits\": {}}}"
             ),
@@ -142,6 +175,17 @@ impl ServeEntry {
             self.p99_latency_ms,
             self.deadline_misses,
             self.max_queue_depth,
+            self.faults_injected,
+            self.retries,
+            self.retries_exhausted,
+            self.replicas_rebuilt,
+            self.stalls_detected,
+            self.recovered_requests,
+            self.shed_circuit_open,
+            self.rejected_predicted_deadline,
+            self.rejected_predicted_budget,
+            self.mean_recovery_ms,
+            self.wedged_replicas,
             self.wall_ms,
             self.real_batches,
             self.real_max_batch,
@@ -280,6 +324,30 @@ fn sim_requests(
             service_full_s: sref.full_s,
             service_cached_s: sref.cached_s,
             peak_bytes: sref.peak_bytes,
+            fault: SimFault::None,
+        })
+        .collect()
+}
+
+/// Scripts a deterministic fault pattern onto the workload for the
+/// resilience simulation: every 9th-ish request stalls its replica for
+/// 10x a cold execution, and a disjoint set of requests fails transiently.
+fn scripted_faults(sreqs: &[SimRequest], mean_full_s: f64) -> Vec<SimRequest> {
+    sreqs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut r = r.clone();
+            r.fault = if i % 9 == 4 {
+                SimFault::Stall {
+                    hold_s: 10.0 * mean_full_s,
+                }
+            } else if i % 5 == 2 {
+                SimFault::Transient
+            } else {
+                SimFault::None
+            };
+            r
         })
         .collect()
 }
@@ -314,6 +382,7 @@ fn real_run(
             queue_capacity: QUEUE_CAPACITY,
             max_batch: MAX_BATCH,
             fault_injector: None,
+            ..ServerConfig::default()
         },
     );
     let _session = sod2_obs::session_guard();
@@ -417,6 +486,7 @@ fn measure(model: &DynModel, n: usize, seed: u64) -> ServeEntry {
         queue_capacity: QUEUE_CAPACITY,
         max_batch: MAX_BATCH,
         plan_cache_cap: PLAN_CACHE_CAP,
+        ..SimConfig::default()
     };
     let batched = simulate(&cfg, &tenants, &sreqs);
     let fifo = simulate(
@@ -449,6 +519,44 @@ fn measure(model: &DynModel, n: usize, seed: u64) -> ServeEntry {
         0.0
     };
 
+    // Resilience replay: the same workload with deterministic scripted
+    // faults, under the full self-healing policy (supervision, retry
+    // budgets, per-tenant breakers, predictive admission). Run twice and
+    // compared byte for byte — the recovery metrics must be exactly as
+    // reproducible as the clean ones, or they could not be gated.
+    let mean_full: f64 = refs.iter().map(|r| r.full_s).sum::<f64>() / refs.len().max(1) as f64;
+    let mean_cached: f64 = refs.iter().map(|r| r.cached_s).sum::<f64>() / refs.len().max(1) as f64;
+    let faulted = scripted_faults(&sreqs, mean_full);
+    let rcfg = SimConfig {
+        replicas: REPLICAS,
+        queue_capacity: QUEUE_CAPACITY,
+        max_batch: MAX_BATCH,
+        plan_cache_cap: PLAN_CACHE_CAP,
+        retry_budget: 2,
+        retry_backoff_s: 0.5 * mean_cached,
+        stall_timeout_s: Some(3.0 * mean_full),
+        rebuild_s: 0.5 * mean_full,
+        breaker: Some(BreakerConfig {
+            trip_after: 2,
+            cooldown_s: 30.0 * mean_full,
+            reset_after: 1,
+        }),
+        predictive_admission: true,
+    };
+    let resilient = simulate(&rcfg, &tenants, &faulted);
+    let replay = simulate(&rcfg, &tenants, &faulted);
+    assert_eq!(
+        format!("{resilient:?}"),
+        format!("{replay:?}"),
+        "{}: resilience metrics are not bit-stable across identical runs",
+        model.name
+    );
+    assert_eq!(
+        resilient.wedged, 0,
+        "{}: supervision must leave no wedged replicas",
+        model.name
+    );
+
     let (wall_s, stats, cache_hits) = real_run(model, &workload, &refs);
 
     ServeEntry {
@@ -472,6 +580,17 @@ fn measure(model: &DynModel, n: usize, seed: u64) -> ServeEntry {
         p99_latency_ms: batched.p99_s * 1e3,
         deadline_misses: batched.deadline_misses,
         max_queue_depth: batched.max_queue_depth,
+        faults_injected: resilient.faults_injected,
+        retries: resilient.retries,
+        retries_exhausted: resilient.retries_exhausted,
+        replicas_rebuilt: resilient.replicas_rebuilt,
+        stalls_detected: resilient.stalls_detected,
+        recovered_requests: resilient.recovered,
+        shed_circuit_open: resilient.shed_circuit_open,
+        rejected_predicted_deadline: resilient.rejected_predicted_deadline,
+        rejected_predicted_budget: resilient.rejected_predicted_budget,
+        mean_recovery_ms: resilient.mean_recovery_s * 1e3,
+        wedged_replicas: resilient.wedged,
         wall_ms: wall_s * 1e3,
         real_batches: stats.batches,
         real_max_batch: stats.max_batch_size,
@@ -493,13 +612,24 @@ const CHAOS_SITES: &[&str] = &[
     "kernel.delay:nth=1,us=200",
     "pool.panic:nth=1",
 ];
+/// The stall site, per recovery mode. Without supervision the hold is kept
+/// short (it only has to surface typed after the sleep); with supervision
+/// the hold is long and the supervisor must win the race well before it.
+const CHAOS_STALL_OFF: &str = "kernel.stall:nth=1,us=100000";
+const CHAOS_STALL_ON: &str = "kernel.stall:nth=1,us=600000";
+/// Supervision timeout for recovery-mode cells: far above a legitimate
+/// debug-build inference, far below the scripted 600ms hold.
+const CHAOS_STALL_TIMEOUT: Duration = Duration::from_millis(250);
 const CHAOS_MODELS: &[&str] = &["codebert", "skipnet", "yolo"];
 const CHAOS_REQUESTS: usize = 24;
 
 /// One chaos cell: `model` under traffic from three tenants while every
-/// `victim` request runs with `site` armed. Returns a human summary;
-/// panics on any isolation violation.
-fn chaos_cell(model: &DynModel, site: &str, seed: u64) -> String {
+/// `victim` request runs with `site` armed. With `recovery` the server
+/// runs the full self-healing stack (supervision + per-tenant retry
+/// budgets) and every victim request must *recover bitwise*; without it
+/// the PR-8 contract holds (victim typed-or-recovered, clean tenants
+/// untouched). Returns a human summary; panics on any violation.
+fn chaos_cell(model: &DynModel, site: &str, recovery: bool, seed: u64) -> String {
     sod2_faults::clear();
     let classes = shape_classes(model);
     let opts = Sod2Options {
@@ -535,10 +665,13 @@ fn chaos_cell(model: &DynModel, site: &str, seed: u64) -> String {
     // Tenant 0 is the victim; "premium" has a generous wall-clock deadline
     // that victim faults (including the injected kernel delay) must never
     // push it past.
+    let retry_budget = if recovery { 2 } else { 0 };
     let tenants = vec![
-        TenantSpec::new("victim"),
-        TenantSpec::new("clean"),
-        TenantSpec::new("premium").with_deadline(Duration::from_secs(10)),
+        TenantSpec::new("victim").with_retry_budget(retry_budget),
+        TenantSpec::new("clean").with_retry_budget(retry_budget),
+        TenantSpec::new("premium")
+            .with_deadline(Duration::from_secs(10))
+            .with_retry_budget(retry_budget),
     ];
     let names = ["victim", "clean", "premium"];
     let server = Server::start(
@@ -554,7 +687,11 @@ fn chaos_cell(model: &DynModel, site: &str, seed: u64) -> String {
                 tenant: "victim".to_string(),
                 spec: site.to_string(),
                 seed,
+                limit: None,
             }),
+            stall_timeout: recovery.then_some(CHAOS_STALL_TIMEOUT),
+            retry_backoff: Duration::from_millis(1),
+            ..ServerConfig::default()
         },
     );
     let tickets: Vec<_> = workload
@@ -569,10 +706,8 @@ fn chaos_cell(model: &DynModel, site: &str, seed: u64) -> String {
 
     let mut victim_typed = 0usize;
     let mut victim_recovered = 0usize;
-    let mut fired = 0u64;
     for (i, resp) in responses.iter().enumerate() {
         let (tenant, _) = workload[i];
-        fired += resp.faults_fired;
         match (&resp.result, tenant) {
             (Ok(outputs), _) => {
                 // Any Ok response — victim included — must be bitwise
@@ -591,12 +726,21 @@ fn chaos_cell(model: &DynModel, site: &str, seed: u64) -> String {
                     victim_recovered += 1;
                 }
             }
-            (Err(ServeError::Exec(_)), 0) => victim_typed += 1,
+            (Err(ServeError::Exec(_)), 0) if !recovery => victim_typed += 1,
             (Err(e), _) => panic!(
-                "{} × {site}: {} req {i} failed under victim's faults: {e}",
+                "{} × {site} (recovery {recovery}): {} req {i} failed under \
+                 victim's faults: {e}",
                 model.name, names[tenant]
             ),
         }
+    }
+    if recovery {
+        assert_eq!(
+            victim_typed, 0,
+            "{} × {site}: with recovery on, every victim request must be \
+             retried to a bitwise-clean completion",
+            model.name
+        );
     }
 
     // Post-sweep probe: the replica must still serve clean traffic.
@@ -623,13 +767,36 @@ fn chaos_cell(model: &DynModel, site: &str, seed: u64) -> String {
         "{} × {site}: replica wedged/panicked",
         model.name
     );
+    assert_eq!(
+        stats.threads_spawned, stats.threads_joined,
+        "{} × {site}: leaked threads",
+        model.name
+    );
+    assert!(
+        stats.faults_fired > 0,
+        "{} × {site}: injected faults never fired",
+        model.name
+    );
+    if recovery && site.starts_with("kernel.stall") {
+        assert!(
+            stats.stalls_detected >= 1 && stats.replicas_rebuilt >= 1,
+            "{} × {site}: supervision never condemned/rebuilt the stalled \
+             replica (stalls {}, rebuilt {})",
+            model.name,
+            stats.stalls_detected,
+            stats.replicas_rebuilt
+        );
+    }
     format!(
-        "{:<24} {:<24} fired {:<3} victim {} typed / {} recovered, clean+premium {}/{} bitwise",
+        "{:<24} {:<26} recovery {:<3} fired {:<3} victim {} typed / {} recovered, \
+         rebuilt {}, clean+premium {}/{} bitwise",
         model.name,
         site,
-        fired,
+        if recovery { "on" } else { "off" },
+        stats.faults_fired,
         victim_typed,
         victim_recovered,
+        stats.replicas_rebuilt,
         responses.len() - victim_typed - victim_recovered,
         responses.len() - victim_typed - victim_recovered,
     )
@@ -654,16 +821,24 @@ fn chaos_sweep(scale: ModelScale, seed: u64) -> u64 {
     let mut total_fired = 0u64;
     for name in CHAOS_MODELS {
         let model = model_by_name(name, scale).expect("chaos model");
-        for (k, site) in CHAOS_SITES.iter().enumerate() {
-            let line = chaos_cell(&model, site, seed.wrapping_add(1000 + k as u64));
-            // Re-parse the fired count out of the cell summary to total it.
-            total_fired += line
-                .split("fired ")
-                .nth(1)
-                .and_then(|s| s.split_whitespace().next())
-                .and_then(|s| s.parse::<u64>().ok())
-                .unwrap_or(0);
-            eprintln!("{line}");
+        for recovery in [false, true] {
+            let stall = if recovery {
+                CHAOS_STALL_ON
+            } else {
+                CHAOS_STALL_OFF
+            };
+            let sites = CHAOS_SITES.iter().copied().chain([stall]);
+            for (k, site) in sites.enumerate() {
+                let line = chaos_cell(&model, site, recovery, seed.wrapping_add(1000 + k as u64));
+                // Re-parse the fired count out of the cell summary to total it.
+                total_fired += line
+                    .split("fired ")
+                    .nth(1)
+                    .and_then(|s| s.split_whitespace().next())
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or(0);
+                eprintln!("{line}");
+            }
         }
     }
     sod2_faults::clear();
@@ -704,9 +879,10 @@ fn main() {
 
     if args.iter().any(|a| a == "--chaos") {
         eprintln!(
-            "bench_serve --chaos: {} models x {} sites, {} requests/cell, seed {seed}",
+            "bench_serve --chaos: {} models x {} sites x recovery off/on, \
+             {} requests/cell, seed {seed}",
             CHAOS_MODELS.len(),
-            CHAOS_SITES.len(),
+            CHAOS_SITES.len() + 1,
             CHAOS_REQUESTS
         );
         let fired = chaos_sweep(scale, seed);
@@ -716,8 +892,10 @@ fn main() {
         );
         eprintln!(
             "chaos-under-traffic: {} cells clean, {fired} faults fired, \
-             zero cross-tenant corruption, zero wedged replicas",
-            CHAOS_MODELS.len() * CHAOS_SITES.len()
+             zero cross-tenant corruption, zero wedged replicas, zero leaked \
+             threads; recovery mode retried every victim to a bitwise-clean \
+             completion",
+            CHAOS_MODELS.len() * (CHAOS_SITES.len() + 1) * 2
         );
         return;
     }
@@ -755,6 +933,23 @@ fn main() {
             e.max_queue_depth,
             e.wall_ms,
         );
+        eprintln!(
+            "{:<24} resilience: faults {:<2} retries {:<2} exhausted {:<2} \
+             stalls {:<2} rebuilt {:<2} recovered {:<2} shed {:<2} \
+             pred d/b {}/{} recovery {:>7.3} ms wedged {}",
+            "",
+            e.faults_injected,
+            e.retries,
+            e.retries_exhausted,
+            e.stalls_detected,
+            e.replicas_rebuilt,
+            e.recovered_requests,
+            e.shed_circuit_open,
+            e.rejected_predicted_deadline,
+            e.rejected_predicted_budget,
+            e.mean_recovery_ms,
+            e.wedged_replicas,
+        );
         entries.push(e);
     }
     // The aggregate tentpole claims. SoD2's static planning already moved
@@ -786,6 +981,23 @@ fn main() {
         mean_speedup >= 0.97,
         "shape-class batching cost measurable throughput vs FIFO ({mean_speedup:.3}x)"
     );
+    // Resilience aggregates: the scripted fault pattern must actually
+    // exercise the self-healing machinery on every model.
+    for e in &entries {
+        assert!(
+            e.faults_injected > 0 && e.stalls_detected > 0 && e.recovered_requests > 0,
+            "{}: resilience simulation degenerate (faults {}, stalls {}, recovered {})",
+            e.model,
+            e.faults_injected,
+            e.stalls_detected,
+            e.recovered_requests
+        );
+        assert_eq!(
+            e.wedged_replicas, 0,
+            "{}: wedged replicas under supervision",
+            e.model
+        );
+    }
 
     if let Some(path) = json_path {
         let mut s = String::from("{\n");
@@ -811,7 +1023,14 @@ fn main() {
             "max_queue_depth come from a discrete-event replay of the serving ",
             "policy in priced virtual time (seeded workload, cost-model ",
             "service times, no transcendentals) and are bit-for-bit ",
-            "deterministic; wall_ms, real_batches, real_max_batch and ",
+            "deterministic; faults_injected, retries, retries_exhausted, ",
+            "replicas_rebuilt, stalls_detected, recovered_requests, ",
+            "shed_circuit_open, rejected_predicted_deadline, ",
+            "rejected_predicted_budget, mean_recovery_ms and wedged_replicas ",
+            "come from the same replay with a deterministic scripted fault ",
+            "pattern under supervision, retry budgets, circuit breakers and ",
+            "predictive admission, asserted bit-stable across two runs ",
+            "in-binary; wall_ms, real_batches, real_max_batch and ",
             "real_cache_hits come from the real threaded run and are ",
             "informational only\",\n"
         ));

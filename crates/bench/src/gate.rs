@@ -45,6 +45,17 @@
 //! | `p99_latency_ms`     | higher-worse | tail sojourn                      |
 //! | `deadline_misses`    | higher-worse | SLO misses for deadline tenants   |
 //! | `max_queue_depth`    | higher-worse | high-water queue depth            |
+//! | `faults_injected`    | higher-worse | scripted faults fired in the resilience replay |
+//! | `retries`            | higher-worse | backoff retries scheduled         |
+//! | `retries_exhausted`  | higher-worse | failures returned with budget spent |
+//! | `replicas_rebuilt`   | lower-worse  | condemned replicas replaced       |
+//! | `stalls_detected`    | lower-worse  | stalls supervision caught         |
+//! | `recovered_requests` | lower-worse  | faulted requests completing clean |
+//! | `shed_circuit_open`  | higher-worse | requests shed by open breakers    |
+//! | `rejected_predicted_deadline` | higher-worse | predictive deadline sheds |
+//! | `rejected_predicted_budget`   | higher-worse | predictive budget sheds   |
+//! | `mean_recovery_ms`   | higher-worse | fault-to-clean-completion time    |
+//! | `wedged_replicas`    | higher-worse | unsupervised wedges (must stay 0) |
 //!
 //! Entries are aligned by their `"name"` / `"model"` key inside any JSON
 //! array of objects, so the same comparator handles `BENCH_kernels.json`
@@ -97,6 +108,22 @@ pub const GATED_METRICS: &[(&str, Direction)] = &[
     ("p99_latency_ms", Direction::HigherWorse),
     ("deadline_misses", Direction::HigherWorse),
     ("max_queue_depth", Direction::HigherWorse),
+    // Self-healing metrics (deterministic scripted-fault replay under
+    // supervision, retry budgets, breakers and predictive admission).
+    // More faults/retries/sheds than the baseline pattern produced is a
+    // behaviour change; fewer rebuilds or recoveries means the machinery
+    // stopped healing what it used to heal.
+    ("faults_injected", Direction::HigherWorse),
+    ("retries", Direction::HigherWorse),
+    ("retries_exhausted", Direction::HigherWorse),
+    ("replicas_rebuilt", Direction::LowerWorse),
+    ("stalls_detected", Direction::LowerWorse),
+    ("recovered_requests", Direction::LowerWorse),
+    ("shed_circuit_open", Direction::HigherWorse),
+    ("rejected_predicted_deadline", Direction::HigherWorse),
+    ("rejected_predicted_budget", Direction::HigherWorse),
+    ("mean_recovery_ms", Direction::HigherWorse),
+    ("wedged_replicas", Direction::HigherWorse),
 ];
 
 /// Outcome for one (entry, metric) pair.

@@ -5,7 +5,7 @@
 //! sod2-cli analyze  <model> [--scale tiny|full] [--facts] [--json]
 //! sod2-cli analyze  --check [--all|<model>] [--min-finite N] [--expect-dead-arms MODEL=N]
 //! sod2-cli run      <model> [--size N] [--device s888-cpu|s888-gpu|s835-cpu|s835-gpu]
-//! sod2-cli profile  <model> [--iters N] [--json | --chrome-trace PATH]
+//! sod2-cli profile  <model> [--iters N] [--serve] [--json | --chrome-trace PATH]
 //! sod2-cli compare  <model> [--samples N]
 //! sod2-cli chaos    <model|--all> [--seed S] [--json]
 //! ```
@@ -14,7 +14,11 @@
 //! `--iters` inferences, and reports where wall-clock time went: compile
 //! stages, per-operator kernel spans, pool and memory phases, counters.
 //! `--chrome-trace` writes a Chrome `trace_event` file loadable in
-//! `chrome://tracing` or <https://ui.perfetto.dev>.
+//! `chrome://tracing` or <https://ui.perfetto.dev>. `--serve` additionally
+//! runs a short supervised serving session (replicas, circuit breakers,
+//! predictive admission) inside the capture window so the serve health
+//! gauges — `serve.replicas_healthy`, `serve.queue_depth`, and per-tenant
+//! `serve.circuit_state.<tenant>` — appear in the report.
 //!
 //! `analyze` runs the full `sod2-analysis` diagnostic suite (IR lints, RDP
 //! cross-validation against a concrete execution, plan and memory-plan
@@ -447,6 +451,7 @@ fn profile_cmd(args: &[String]) {
             (lo + hi) / 2
         });
     let json = args.iter().any(|a| a == "--json");
+    let serve = args.iter().any(|a| a == "--serve");
     let chrome = flag(args, "--chrome-trace");
 
     let mut rng = StdRng::seed_from_u64(42);
@@ -478,8 +483,13 @@ fn profile_cmd(args: &[String]) {
             }
         }
     }
+    // Optionally exercise the serving layer inside the same capture window
+    // so the `serve.*` health gauges land in this profile document. The
+    // server must outlive the snapshot: a clean shutdown zeroes the gauges.
+    let live_server = serve.then(|| profile_serve_session(&model, &profile, size));
     let prof = sod2_obs::take();
     sod2_obs::set_enabled(false);
+    let serve_ok = live_server.as_ref().map(|(_, ok)| *ok);
 
     let stats = last_stats.expect("at least one iteration ran");
     let infer_ns = prof.cat_total_ns("infer");
@@ -560,13 +570,34 @@ fn profile_cmd(args: &[String]) {
             }
             None => "null".to_string(),
         };
+        let serve_json = match serve_ok {
+            Some(ok) => {
+                let g = |n: &str| prof.counters.get(n).copied().unwrap_or(0);
+                let circuits: Vec<String> = prof
+                    .counters
+                    .iter()
+                    .filter_map(|(k, v)| {
+                        k.strip_prefix("serve.circuit_state.")
+                            .map(|t| format!("\"{t}\": {v}"))
+                    })
+                    .collect();
+                format!(
+                    "{{\"requests_ok\": {ok}, \"replicas_healthy\": {}, \
+                     \"queue_depth\": {}, \"circuit_state\": {{{}}}}}",
+                    g("serve.replicas_healthy"),
+                    g("serve.queue_depth"),
+                    circuits.join(", ")
+                )
+            }
+            None => "null".to_string(),
+        };
         println!(
             "{{\n  \"model\": \"{}\",\n  \"device\": \"{}\",\n  \"size\": {},\n  \
              \"iters\": {},\n  \"priced_ms\": {:.6},\n  \"peak_memory_bytes\": {},\n  \
              \"kernel_coverage\": {:.4},\n  \"pool_workers\": {},\n  \
              \"pool_occupancy\": {:.4},\n  \"absint\": {{\"guard_elisions\": {}, \
              \"pruned_arms\": {}, \"nac_bounds_used\": {}}},\n  \
-             \"wavefront\": {},\n  \"tape\": {},\n  \"profile\": {}\n}}",
+             \"wavefront\": {},\n  \"tape\": {},\n  \"serve\": {},\n  \"profile\": {}\n}}",
             model.name,
             profile.name,
             model.round_size(size),
@@ -581,6 +612,7 @@ fn profile_cmd(args: &[String]) {
             nac_used,
             wave_json,
             tape_json,
+            serve_json,
             prof.render_json()
         );
     } else {
@@ -688,6 +720,24 @@ fn profile_cmd(args: &[String]) {
                 w.serial_peak as f64 / (1024.0 * 1024.0),
             );
         }
+        if let Some(ok) = serve_ok {
+            let g = |n: &str| prof.counters.get(n).copied().unwrap_or(0);
+            let circuits: Vec<String> = prof
+                .counters
+                .iter()
+                .filter_map(|(k, v)| {
+                    k.strip_prefix("serve.circuit_state.")
+                        .map(|t| format!("{t}={v}"))
+                })
+                .collect();
+            println!(
+                "serve    : {ok} request(s) ok, {} replica(s) healthy, queue depth {}, \
+                 circuits [{}] (0 closed / 1 half-open / 2 open)",
+                g("serve.replicas_healthy"),
+                g("serve.queue_depth"),
+                circuits.join(" ")
+            );
+        }
         println!();
         print!("{}", prof.render_text());
         if let Some(path) = &chrome {
@@ -695,6 +745,60 @@ fn profile_cmd(args: &[String]) {
             println!("chrome trace written to {path} (open in ui.perfetto.dev)");
         }
     }
+    if let Some((server, _)) = live_server {
+        server.shutdown();
+    }
+}
+
+/// Runs a short supervised serving session — two replicas, circuit breakers
+/// and predictive admission on — against the model so the `serve.*` health
+/// gauges are live in the surrounding obs capture. Returns the still-running
+/// server (the caller snapshots the profile first, then shuts it down) plus
+/// the number of requests that completed cleanly.
+fn profile_serve_session(
+    model: &DynModel,
+    device: &DeviceProfile,
+    size: usize,
+) -> (sod2_serve::Server, usize) {
+    use sod2_serve::{BreakerConfig, Server, ServerConfig, TenantSpec};
+    let template = Sod2Engine::new(
+        model.graph.clone(),
+        device.clone(),
+        Sod2Options::default(),
+        &Default::default(),
+    );
+    let tenants = vec![
+        TenantSpec::new("standard").with_retry_budget(1),
+        TenantSpec::new("premium")
+            .with_deadline(std::time::Duration::from_secs(30))
+            .with_retry_budget(2),
+    ];
+    let server = Server::start(
+        template,
+        tenants,
+        ServerConfig {
+            replicas: 2,
+            stall_timeout: Some(std::time::Duration::from_secs(5)),
+            breaker: Some(BreakerConfig::default()),
+            predictive_admission: true,
+            ..ServerConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    let tickets: Vec<_> = (0..6)
+        .filter_map(|i| {
+            let tenant = if i % 2 == 0 { "standard" } else { "premium" };
+            server
+                .submit(tenant, model.make_inputs(size, &mut rng))
+                .ok()
+        })
+        .collect();
+    let ok = tickets
+        .into_iter()
+        .map(|t| t.wait())
+        .filter(|r| r.result.is_ok())
+        .count();
+    (server, ok)
 }
 
 fn export(args: &[String]) {
@@ -783,6 +887,18 @@ const CHAOS_CELLS: &[ChaosCell] = &[
         budget: None,
         nan_guard: false,
         expect: &["error:panic"],
+    },
+    // A stall holds the kernel thread for `us` before surfacing a typed
+    // kernel error. Without a supervisor (the serving layer's job) the only
+    // guarantee here is the typed abort plus an unpoisoned engine afterwards;
+    // keep `us` small so the sweep stays fast.
+    ChaosCell {
+        name: "kernel.stall",
+        spec: Some("kernel.stall:nth=1,us=500"),
+        deadline: None,
+        budget: None,
+        nan_guard: false,
+        expect: &["error:kernel"],
     },
     ChaosCell {
         name: "runtime.bindings",

@@ -12,6 +12,7 @@
 //! | [`Site::KernelError`]| a kernel returning an error        | typed `ExecError::Kernel`      |
 //! | [`Site::KernelNan`]  | NaN-poisoned kernel output         | `nan_guard` numeric fence      |
 //! | [`Site::KernelDelay`]| an artificially slow kernel        | deadline / cancellation        |
+//! | [`Site::KernelStall`]| a hung kernel (stall, then abort)  | replica supervision / rebuild  |
 //! | [`Site::PoolPanic`]  | a panic inside a pool chunk        | worker survival + node unwind  |
 //! | [`Site::Bindings`]   | corrupted symbol bindings          | size-gated arena, readback     |
 //!
@@ -70,6 +71,13 @@ pub enum Site {
     KernelNan,
     /// `sod2-kernels`: the kernel sleeps `param` microseconds first.
     KernelDelay,
+    /// `sod2-kernels`: the kernel *stalls* — it holds its thread for
+    /// `param` microseconds (default 250ms) and then aborts the request
+    /// with an injected error, modelling a hung kernel that a watchdog
+    /// eventually kills. Unlike [`Site::KernelDelay`] the request does not
+    /// recover; the hardening exercised is replica supervision (condemn
+    /// the stalled replica, rebuild, retry elsewhere).
+    KernelStall,
     /// `sod2-pool`: the claimed chunk body panics.
     PoolPanic,
     /// engine: one symbol binding is corrupted after extraction.
@@ -83,6 +91,7 @@ pub const ALL_SITES: &[Site] = &[
     Site::KernelError,
     Site::KernelNan,
     Site::KernelDelay,
+    Site::KernelStall,
     Site::PoolPanic,
     Site::Bindings,
 ];
@@ -96,6 +105,7 @@ impl Site {
             Site::KernelError => "kernel.error",
             Site::KernelNan => "kernel.nan",
             Site::KernelDelay => "kernel.delay",
+            Site::KernelStall => "kernel.stall",
             Site::PoolPanic => "pool.panic",
             Site::Bindings => "runtime.bindings",
         }
@@ -151,8 +161,9 @@ impl FaultPlan {
         }
     }
 
-    /// Adds a rule (builder style). `param` is site-specific: delay
-    /// microseconds for [`Site::KernelDelay`], ignored elsewhere.
+    /// Adds a rule (builder style). `param` is site-specific: delay/stall
+    /// microseconds for [`Site::KernelDelay`] and [`Site::KernelStall`],
+    /// ignored elsewhere.
     pub fn rule(mut self, site: Site, trigger: Trigger, param: u64) -> Self {
         self.rules.push(Rule {
             site,

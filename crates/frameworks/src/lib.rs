@@ -42,4 +42,4 @@ mod sod2_engine;
 
 pub use baselines::{MnnLike, OrtLike, TfLiteLike, TvmNimbleLike};
 pub use common::{bindings_from_inputs, shape_key, Engine, InferenceStats};
-pub use sod2_engine::{Sod2Engine, Sod2Options, DEFAULT_PRE_PLAN_CACHE_CAP};
+pub use sod2_engine::{CostPrediction, Sod2Engine, Sod2Options, DEFAULT_PRE_PLAN_CACHE_CAP};

@@ -175,6 +175,23 @@ pub struct WaveStats {
 /// Worker count the deterministic scheduled makespan is quoted at.
 pub const WAVE_WORKERS: usize = 4;
 
+/// A static (pre-execution) cost prediction for one request's bindings,
+/// from [`Sod2Engine::predict`]. Deterministic: pure functions of the
+/// request shapes, the RDP result, and the device cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostPrediction {
+    /// Cost-model seconds summed over every node whose shapes resolve
+    /// concretely at these bindings (an optimistic lower bound).
+    pub priced_s: f64,
+    /// The DMP pre-plan's peak intermediate bytes — the value the engine's
+    /// own budget admission enforces (0 when arena planning is off).
+    pub peak_bytes: usize,
+    /// Nodes that contributed to `priced_s`.
+    pub priced_nodes: usize,
+    /// Compute nodes considered (control-flow ops excluded).
+    pub total_nodes: usize,
+}
+
 /// The SoD² execution engine.
 pub struct Sod2Engine {
     graph: Graph,
@@ -630,6 +647,84 @@ impl Sod2Engine {
     /// Toggles the output NaN guard at runtime.
     pub fn set_nan_guard(&mut self, on: bool) {
         self.opts.nan_guard = on;
+    }
+
+    /// Statically prices one request *without executing anything*: the
+    /// paper's execution-time/memory prediction pillar used as an
+    /// admission valve. Shapes come from RDP shape propagation at the
+    /// request's bindings, seconds from the device cost model, and
+    /// `peak_bytes` is the DMP pre-plan's peak — exactly the value the
+    /// engine's own budget admission would enforce at dispatch.
+    ///
+    /// The priced seconds are an *optimistic* (lower-bound) estimate:
+    /// nodes whose shapes stay symbolic or `nac` at these bindings are
+    /// skipped (counted in `total_nodes - priced_nodes`), and every
+    /// `Switch` arm is assumed reachable-but-free, so a predictor-driven
+    /// admission gate only sheds requests that are certainly doomed.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::BadInputs`] when the inputs don't bind the graph's
+    /// symbols (wrong rank or contradictory dimensions).
+    pub fn predict(&self, inputs: &[Tensor]) -> Result<CostPrediction, ExecError> {
+        let bindings = bindings_from_inputs(&self.graph, inputs).map_err(ExecError::BadInputs)?;
+        let arena_on = self.opts.dmp && self.opts.arena_exec;
+        // Reuse a cached pre-plan when these bindings are warm; otherwise
+        // price from a fresh (uncached — `&self`) pre-plan.
+        let peak_bytes = self
+            .pre_plan_cache
+            .iter()
+            .find(|(b, _)| b == &bindings)
+            .map(|(_, e)| e.pre_plan.as_ref().map(|p| p.peak).unwrap_or(0))
+            .unwrap_or_else(|| {
+                self.build_pre_plan(&bindings, arena_on)
+                    .pre_plan
+                    .as_ref()
+                    .map(|p| p.peak)
+                    .unwrap_or(0)
+            });
+        let concrete = |t: TensorId| -> Option<Vec<usize>> {
+            self.rdp.concrete_shape(t, &bindings).map(|dims| {
+                dims.into_iter()
+                    .map(|d| usize::try_from(d).unwrap_or(0))
+                    .collect()
+            })
+        };
+        let mut priced_s = 0.0;
+        let mut priced_nodes = 0;
+        let mut total_nodes = 0;
+        for &id in &self.node_order {
+            let node = self.graph.node(id);
+            if node.op.is_control_flow() {
+                continue;
+            }
+            total_nodes += 1;
+            let ins: Option<Vec<Vec<usize>>> = node.inputs.iter().map(|&t| concrete(t)).collect();
+            let outs: Option<Vec<Vec<usize>>> = node.outputs.iter().map(|&t| concrete(t)).collect();
+            let (Some(ins), Some(outs)) = (ins, outs) else {
+                continue;
+            };
+            let elem = node
+                .outputs
+                .first()
+                .map(|&t| self.graph.tensor(t).dtype.size_bytes())
+                .unwrap_or(4);
+            let cost = sod2_device::op_cost(&node.op, &ins, &outs, elem);
+            let working_set = (cost.bytes_read + cost.bytes_written) as usize;
+            priced_s += sod2_device::price_kernel(
+                &self.profile,
+                &cost,
+                self.profile.base_efficiency,
+                working_set,
+            );
+            priced_nodes += 1;
+        }
+        Ok(CostPrediction {
+            priced_s,
+            peak_bytes,
+            priced_nodes,
+            total_nodes,
+        })
     }
 
     /// Lifetimes of the tensors materialized in `outcome`, on the planned

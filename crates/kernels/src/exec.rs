@@ -59,6 +59,21 @@ pub fn execute_op_with_variants(
         if let Some(fault) = sod2_faults::probe(sod2_faults::Site::KernelDelay) {
             std::thread::sleep(std::time::Duration::from_micros(fault.param));
         }
+        if let Some(fault) = sod2_faults::probe(sod2_faults::Site::KernelStall) {
+            // A hung kernel: hold the thread long enough for a supervisor
+            // to condemn this replica, then abort the request (a watchdog
+            // killing the kernel) so the stalled thread does no further
+            // work after it wakes. Unsupervised callers see a typed
+            // injected error after the hold; supervised servers will have
+            // already stolen and retried the request.
+            let hold = if fault.param == 0 {
+                250_000
+            } else {
+                fault.param
+            };
+            std::thread::sleep(std::time::Duration::from_micros(hold));
+            return Err(KernelError::Injected { op: op.mnemonic() });
+        }
         if sod2_faults::probe(sod2_faults::Site::KernelError).is_some() {
             return Err(KernelError::Injected { op: op.mnemonic() });
         }

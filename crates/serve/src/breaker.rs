@@ -1,0 +1,266 @@
+//! Per-tenant circuit breakers: a pure, clock-parameterized state machine
+//! so the real server (wall seconds) and the discrete-event simulator
+//! (virtual seconds) share the *same* policy byte for byte.
+//!
+//! States follow the classic closed → open → half-open cycle with fully
+//! deterministic thresholds:
+//!
+//! - **Closed**: requests admitted. `trip_after` *consecutive* fault-class
+//!   failures open the breaker (successes reset the streak).
+//! - **Open**: requests shed with a typed [`crate::ServeError::CircuitOpen`]
+//!   until `cooldown_s` has elapsed since the trip, then the next admission
+//!   attempt moves to half-open.
+//! - **Half-open**: probe requests admitted. The first fault re-opens the
+//!   breaker (fresh cooldown); `reset_after` consecutive successes close
+//!   it.
+//!
+//! Only fault-class outcomes count toward the streak: typed execution
+//! faults (kernel errors, caught panics, numeric faults, memory faults)
+//! and detected stalls. A tenant's *own* SLO rejections (deadline, budget)
+//! are contract enforcement, not server faults, and are not recorded —
+//! otherwise a deliberately budget-capped tenant would trip its own
+//! breaker on perfectly healthy replicas.
+
+/// Deterministic trip/reset thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive fault-class failures that open a closed breaker.
+    pub trip_after: u32,
+    /// Seconds the breaker stays open before admitting half-open probes.
+    pub cooldown_s: f64,
+    /// Consecutive half-open successes that close the breaker again.
+    pub reset_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            trip_after: 3,
+            cooldown_s: 1.0,
+            reset_after: 1,
+        }
+    }
+}
+
+/// The breaker's externally visible state. Mirrored to the
+/// `serve.circuit_state.<tenant>` gauge as 0/1/2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Admitting normally.
+    Closed,
+    /// Admitting probes; first fault re-opens.
+    HalfOpen,
+    /// Shedding with typed `CircuitOpen`.
+    Open,
+}
+
+impl BreakerState {
+    /// The gauge encoding: closed 0, half-open 1, open 2.
+    pub fn gauge(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// One tenant's breaker. All transitions are driven by the caller's clock
+/// (`now_s`), so the machine is deterministic under any time base.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Consecutive fault-class failures (closed state).
+    streak: u32,
+    /// Consecutive successes while half-open.
+    probes_ok: u32,
+    /// Trip time of the current open period.
+    opened_at_s: f64,
+    /// Lifetime trips (diagnostics).
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            streak: 0,
+            probes_ok: 0,
+            opened_at_s: 0.0,
+            trips: 0,
+        }
+    }
+
+    /// Current state (after any transition the last call made).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Lifetime trip count.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Admission check at `now_s`. `false` means shed the request (the
+    /// breaker is open and the cooldown has not elapsed). An elapsed
+    /// cooldown transitions open → half-open and admits the probe.
+    pub fn admit(&mut self, now_s: f64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_s - self.opened_at_s >= self.cfg.cooldown_s {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_ok = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a fault-class outcome (`ok = false`) or a success. Callers
+    /// must *not* record SLO rejections (see the module docs). Outcomes
+    /// arriving while open (stragglers admitted before the trip) are
+    /// ignored.
+    pub fn record(&mut self, now_s: f64, ok: bool) {
+        match self.state {
+            BreakerState::Closed => {
+                if ok {
+                    self.streak = 0;
+                } else {
+                    self.streak += 1;
+                    if self.streak >= self.cfg.trip_after {
+                        self.trip(now_s);
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if ok {
+                    self.probes_ok += 1;
+                    if self.probes_ok >= self.cfg.reset_after {
+                        self.state = BreakerState::Closed;
+                        self.streak = 0;
+                    }
+                } else {
+                    self.trip(now_s);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now_s: f64) {
+        self.state = BreakerState::Open;
+        self.opened_at_s = now_s;
+        self.streak = 0;
+        self.probes_ok = 0;
+        self.trips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after: 3,
+            cooldown_s: 10.0,
+            reset_after: 2,
+        })
+    }
+
+    #[test]
+    fn trips_only_on_consecutive_faults() {
+        let mut b = breaker();
+        for t in 0..10 {
+            // fault, fault, success — the streak never reaches 3.
+            b.record(t as f64, t % 3 == 2);
+            assert_eq!(b.state(), BreakerState::Closed, "at t={t}");
+        }
+        b.record(20.0, false);
+        b.record(21.0, false);
+        b.record(22.0, false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.admit(22.5));
+    }
+
+    #[test]
+    fn half_open_after_cooldown_then_reset() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record(1.0, false);
+        }
+        assert!(!b.admit(10.9)); // 9.9s elapsed < 10s cooldown
+        assert!(b.admit(11.0)); // cooldown elapsed → half-open probe
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(11.5, true);
+        assert_eq!(b.state(), BreakerState::HalfOpen); // reset_after = 2
+        b.record(12.0, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(12.1));
+    }
+
+    #[test]
+    fn half_open_fault_reopens_with_fresh_cooldown() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record(0.0, false);
+        }
+        assert!(b.admit(10.0)); // half-open
+        b.record(10.5, false); // probe fails → open again at 10.5
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert!(!b.admit(19.0)); // cooldown restarts from 10.5
+        assert!(b.admit(20.5));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn outcomes_while_open_are_ignored() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record(0.0, false);
+        }
+        // Stragglers admitted before the trip must not shorten/extend it.
+        b.record(1.0, true);
+        b.record(2.0, false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit(9.9));
+        assert!(b.admit(10.0));
+    }
+
+    #[test]
+    fn gauge_encoding_is_stable() {
+        assert_eq!(BreakerState::Closed.gauge(), 0);
+        assert_eq!(BreakerState::HalfOpen.gauge(), 1);
+        assert_eq!(BreakerState::Open.gauge(), 2);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        // The same event sequence (time, outcome) must produce the same
+        // state trace under any replay — the property that lets the DES
+        // and the real server share this machine.
+        let events: Vec<(f64, bool)> = (0..64)
+            .map(|i| (0.25 * i as f64, (i * 7) % 5 < 2))
+            .collect();
+        let run = || {
+            let mut b = breaker();
+            let mut trace = Vec::new();
+            for &(t, ok) in &events {
+                if b.admit(t) {
+                    b.record(t, ok);
+                }
+                trace.push(b.state());
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

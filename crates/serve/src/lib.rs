@@ -54,12 +54,14 @@
 //! ```
 
 mod batch;
+mod breaker;
 mod server;
 mod sim;
 
 pub use batch::{shape_class_of, take_batch, ShapeClassKey};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use server::{FaultInjector, Response, ServeStats, Server, ServerConfig, TenantSpec, Ticket};
-pub use sim::{simulate, SimConfig, SimReport, SimRequest, SimTenant};
+pub use sim::{simulate, SimConfig, SimFault, SimReport, SimRequest, SimTenant};
 
 use sod2_runtime::ExecError;
 use std::fmt;
@@ -88,6 +90,42 @@ pub enum ServeError {
     /// Execution failed with a typed runtime error (deadline, budget,
     /// kernel fault, caught panic, …). The engine replica stays usable.
     Exec(ExecError),
+    /// [`Server::submit_timeout`] waited `waited` for queue space without
+    /// any freeing up; the request was not admitted.
+    SubmitTimeout {
+        /// How long the submitter waited before giving up.
+        waited: std::time::Duration,
+    },
+    /// The tenant's circuit breaker is open: recent requests from this
+    /// tenant kept faulting, so the server sheds its load until the
+    /// breaker's cooldown elapses (then half-open probes are admitted).
+    CircuitOpen {
+        /// The shedding tenant.
+        tenant: String,
+    },
+    /// Predictive admission control: the static cost model priced this
+    /// request's shape class above the tenant's deadline *before* any
+    /// replica was consumed. (The price is the cost model's optimistic
+    /// kernel-seconds estimate, so only certainly-doomed requests shed.)
+    PredictedDeadlineMiss {
+        /// Statically priced execution seconds for this shape class.
+        predicted_s: f64,
+        /// The tenant's deadline, in seconds.
+        deadline_s: f64,
+    },
+    /// Predictive admission control: the DMP pre-plan's peak intermediate
+    /// memory for this shape class exceeds the tenant's budget — the same
+    /// peak the engine would reject at dispatch, caught at submit instead.
+    PredictedBudgetExceeded {
+        /// The pre-plan's peak bytes.
+        predicted: usize,
+        /// The tenant's memory budget in bytes.
+        budget: usize,
+    },
+    /// The replica executing this request stalled past the supervisor's
+    /// timeout and was torn down, and the request's retry budget was
+    /// already spent (or zero).
+    ReplicaStalled,
 }
 
 impl fmt::Display for ServeError {
@@ -99,6 +137,33 @@ impl fmt::Display for ServeError {
             ServeError::UnknownTenant(name) => write!(f, "unknown tenant: {name}"),
             ServeError::Shutdown => write!(f, "server shut down before serving the request"),
             ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+            ServeError::SubmitTimeout { waited } => {
+                write!(
+                    f,
+                    "submission timed out after {waited:?} waiting for queue space"
+                )
+            }
+            ServeError::CircuitOpen { tenant } => {
+                write!(f, "circuit breaker open for tenant {tenant}: load shed")
+            }
+            ServeError::PredictedDeadlineMiss {
+                predicted_s,
+                deadline_s,
+            } => write!(
+                f,
+                "predicted deadline miss: statically priced {predicted_s:.6}s \
+                 exceeds the {deadline_s:.6}s deadline"
+            ),
+            ServeError::PredictedBudgetExceeded { predicted, budget } => write!(
+                f,
+                "predicted budget exceeded: pre-plan peak {predicted} B over the {budget} B budget"
+            ),
+            ServeError::ReplicaStalled => {
+                write!(
+                    f,
+                    "replica stalled past the supervision timeout; retry budget exhausted"
+                )
+            }
         }
     }
 }

@@ -65,6 +65,7 @@ fn batched_execution_is_bitwise_identical_to_solo() {
                 queue_capacity: 32,
                 max_batch: 4,
                 fault_injector: None,
+                ..ServerConfig::default()
             },
         );
         let tickets: Vec<_> = inputs_per_req
@@ -106,6 +107,7 @@ fn queue_full_rejection_is_typed() {
             queue_capacity: 2,
             max_batch: 4,
             fault_injector: None,
+            ..ServerConfig::default()
         },
     );
     let t1 = server
@@ -162,6 +164,7 @@ fn slo_rejections_are_typed_and_replicas_stay_usable() {
             queue_capacity: 16,
             max_batch: 4,
             fault_injector: None,
+            ..ServerConfig::default()
         },
     );
     match server
@@ -241,6 +244,7 @@ proptest! {
                 queue_capacity: 32,
                 max_batch: 4,
                 fault_injector: None,
+                ..ServerConfig::default()
             },
         );
         let mut rng = StdRng::seed_from_u64(seed);

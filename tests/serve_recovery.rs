@@ -1,0 +1,390 @@
+//! Self-healing serving integration: deterministic retry must recover
+//! transient faults bitwise, the supervisor must condemn and rebuild
+//! stalled replicas without wedging the server, admission control must
+//! shed with typed errors (circuit breakers, predictive pricing, bounded
+//! submission), and shutdown racing a recovery must still drain every
+//! in-flight request with a typed response and leak zero threads.
+//!
+//! Every test that arms the (process-global) fault fabric holds
+//! [`sod2_faults::exclusive`] for its whole body.
+
+use proptest::prelude::*;
+use sod2_device::DeviceProfile;
+use sod2_frameworks::{Engine, Sod2Engine, Sod2Options};
+use sod2_models::{model_by_name, DynModel, ModelScale};
+use sod2_prng::rngs::StdRng;
+use sod2_prng::SeedableRng;
+use sod2_runtime::ExecError;
+use sod2_serve::{BreakerConfig, FaultInjector, ServeError, Server, ServerConfig, TenantSpec};
+use sod2_tensor::Tensor;
+use std::time::Duration;
+
+fn engine_for(model: &DynModel, cache_cap: usize) -> Sod2Engine {
+    Sod2Engine::new(
+        model.graph.clone(),
+        DeviceProfile::s888_cpu(),
+        Sod2Options {
+            pre_plan_cache_cap: cache_cap,
+            ..Sod2Options::default()
+        },
+        &Default::default(),
+    )
+}
+
+fn bytes_of(outputs: &[Tensor]) -> Vec<Vec<u8>> {
+    outputs.iter().map(|t| t.payload_le_bytes()).collect()
+}
+
+fn clean_reference(model: &DynModel, inputs: &[Tensor]) -> Vec<Vec<u8>> {
+    let mut solo = engine_for(model, 0);
+    bytes_of(&solo.infer(inputs).unwrap().outputs)
+}
+
+/// A transient kernel fault on the first attempt must be retried on
+/// budget and recover with outputs bitwise-identical to a clean run;
+/// without a budget the same fault surfaces as the typed kernel error.
+#[test]
+fn transient_fault_retries_bitwise_or_fails_typed() {
+    let _x = sod2_faults::exclusive();
+    let model = model_by_name("codebert", ModelScale::Tiny).unwrap();
+    let (lo, _) = model.size_range();
+    let mut rng = StdRng::seed_from_u64(41);
+    let inputs = model.make_inputs(lo, &mut rng);
+    let reference = clean_reference(&model, &inputs);
+
+    for budget in [1u32, 0u32] {
+        let server = Server::start(
+            engine_for(&model, 2),
+            vec![TenantSpec::new("victim").with_retry_budget(budget)],
+            ServerConfig {
+                replicas: 1,
+                fault_injector: Some(FaultInjector {
+                    tenant: "victim".into(),
+                    spec: "kernel.error:nth=1".into(),
+                    seed: 5,
+                    limit: None,
+                }),
+                retry_backoff: Duration::from_millis(1),
+                ..ServerConfig::default()
+            },
+        );
+        let resp = server.submit("victim", inputs.clone()).unwrap().wait();
+        if budget > 0 {
+            let outputs = resp.result.expect("retried request must recover");
+            assert_eq!(bytes_of(&outputs), reference, "recovered output diverged");
+        } else {
+            match resp.result {
+                Err(ServeError::Exec(ExecError::Kernel(_))) => {}
+                other => panic!("expected typed kernel error, got {other:?}"),
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.retries, u64::from(budget.min(1)));
+        assert!(stats.faults_fired > 0, "injected fault never fired");
+        assert_eq!(stats.replica_panics, 0);
+        assert_eq!(stats.threads_spawned, stats.threads_joined);
+    }
+}
+
+/// The tentpole: a replica wedged inside a kernel stall must be condemned
+/// by the supervisor, rebuilt from the template, and the victim request
+/// retried to a bitwise-clean completion — the server never wedges.
+#[test]
+fn stalled_replica_is_rebuilt_and_victim_recovers_bitwise() {
+    let _x = sod2_faults::exclusive();
+    let model = model_by_name("skipnet", ModelScale::Tiny).unwrap();
+    let (lo, hi) = model.size_range();
+    let mut rng = StdRng::seed_from_u64(42);
+    let victim_inputs = model.make_inputs(lo, &mut rng);
+    let follow_inputs = model.make_inputs(hi, &mut rng);
+    let victim_ref = clean_reference(&model, &victim_inputs);
+    let follow_ref = clean_reference(&model, &follow_inputs);
+
+    let server = Server::start(
+        engine_for(&model, 2),
+        vec![TenantSpec::new("victim").with_retry_budget(1)],
+        ServerConfig {
+            replicas: 1,
+            fault_injector: Some(FaultInjector {
+                tenant: "victim".into(),
+                // Hold the kernel 800ms — far past the 200ms supervision
+                // timeout — then abort; armed for the first request only.
+                // The timeout sits well above a legitimate debug-build
+                // inference, so only the scripted stall is condemned.
+                spec: "kernel.stall:nth=1,us=800000".into(),
+                seed: 9,
+                limit: Some(1),
+            }),
+            stall_timeout: Some(Duration::from_millis(200)),
+            retry_backoff: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    );
+    let stalled = server.submit("victim", victim_inputs).unwrap();
+    let outputs = stalled.wait().result.expect("stalled request must recover");
+    assert_eq!(bytes_of(&outputs), victim_ref, "recovered output diverged");
+    // The rebuilt replica must serve follow-up traffic cleanly.
+    let follow = server.submit("victim", follow_inputs).unwrap().wait();
+    assert_eq!(bytes_of(&follow.result.unwrap()), follow_ref);
+    let stats = server.shutdown();
+    assert!(stats.stalls_detected >= 1, "supervisor never saw the stall");
+    assert!(stats.replicas_rebuilt >= 1, "no replica was rebuilt");
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.replica_panics, 0);
+    assert_eq!(
+        stats.threads_spawned, stats.threads_joined,
+        "leaked threads"
+    );
+}
+
+/// A stall with no retry budget fails typed (`ReplicaStalled`) — and the
+/// server still serves the next request on the rebuilt replica.
+#[test]
+fn stall_without_budget_fails_typed_replica_stalled() {
+    let _x = sod2_faults::exclusive();
+    let model = model_by_name("codebert", ModelScale::Tiny).unwrap();
+    let (lo, _) = model.size_range();
+    let mut rng = StdRng::seed_from_u64(43);
+    let inputs = model.make_inputs(lo, &mut rng);
+    let reference = clean_reference(&model, &inputs);
+
+    let server = Server::start(
+        engine_for(&model, 2),
+        vec![TenantSpec::new("victim")],
+        ServerConfig {
+            replicas: 1,
+            fault_injector: Some(FaultInjector {
+                tenant: "victim".into(),
+                spec: "kernel.stall:nth=1,us=800000".into(),
+                seed: 11,
+                limit: Some(1),
+            }),
+            stall_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    );
+    match server
+        .submit("victim", inputs.clone())
+        .unwrap()
+        .wait()
+        .result
+    {
+        Err(ServeError::ReplicaStalled) => {}
+        other => panic!("expected ReplicaStalled, got {other:?}"),
+    }
+    let follow = server.submit("victim", inputs).unwrap().wait();
+    assert_eq!(bytes_of(&follow.result.unwrap()), reference);
+    let stats = server.shutdown();
+    assert!(stats.stalls_detected >= 1);
+    assert!(stats.replicas_rebuilt >= 1);
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.threads_spawned, stats.threads_joined);
+}
+
+/// Bounded submission: with no replicas draining a 1-slot queue, a second
+/// blocking submit must give up with the typed `SubmitTimeout`.
+#[test]
+fn submit_timeout_is_typed() {
+    let model = model_by_name("skipnet", ModelScale::Tiny).unwrap();
+    let (lo, _) = model.size_range();
+    let mut rng = StdRng::seed_from_u64(44);
+    let server = Server::start(
+        engine_for(&model, 2),
+        vec![TenantSpec::new("t")],
+        ServerConfig {
+            replicas: 0,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let parked = server
+        .submit_timeout(
+            "t",
+            model.make_inputs(lo, &mut rng),
+            Duration::from_millis(50),
+        )
+        .unwrap();
+    match server.submit_timeout(
+        "t",
+        model.make_inputs(lo, &mut rng),
+        Duration::from_millis(20),
+    ) {
+        Err(ServeError::SubmitTimeout { waited }) => {
+            assert_eq!(waited, Duration::from_millis(20));
+        }
+        other => panic!("expected SubmitTimeout, got {other:?}"),
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.submit_timeouts, 1);
+    matches!(parked.wait().result, Err(ServeError::Shutdown))
+        .then_some(())
+        .expect("stranded request should get Shutdown");
+}
+
+/// Predictive admission control: a capped tenant's doomed request is shed
+/// synchronously at submit with the pre-plan's peak in the error; a
+/// nanosecond deadline sheds on the priced estimate; a free tenant passes
+/// and executes cleanly.
+#[test]
+fn predictive_admission_sheds_doomed_requests_synchronously() {
+    let model = model_by_name("codebert", ModelScale::Tiny).unwrap();
+    let (lo, _) = model.size_range();
+    let mut rng = StdRng::seed_from_u64(45);
+    let inputs = model.make_inputs(lo, &mut rng);
+    let server = Server::start(
+        engine_for(&model, 2),
+        vec![
+            TenantSpec::new("free"),
+            TenantSpec::new("capped").with_memory_budget(1),
+            TenantSpec::new("tight").with_deadline(Duration::from_nanos(1)),
+        ],
+        ServerConfig {
+            replicas: 1,
+            predictive_admission: true,
+            ..ServerConfig::default()
+        },
+    );
+    match server.submit("capped", inputs.clone()) {
+        Err(ServeError::PredictedBudgetExceeded { predicted, budget }) => {
+            assert_eq!(budget, 1);
+            assert!(predicted > 1, "peak must be the pre-plan's real bytes");
+        }
+        other => panic!("expected PredictedBudgetExceeded, got {other:?}"),
+    }
+    match server.submit("tight", inputs.clone()) {
+        Err(ServeError::PredictedDeadlineMiss {
+            predicted_s,
+            deadline_s,
+        }) => {
+            assert!(predicted_s > deadline_s);
+        }
+        other => panic!("expected PredictedDeadlineMiss, got {other:?}"),
+    }
+    assert!(server.submit("free", inputs).unwrap().wait().result.is_ok());
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_predicted_budget, 1);
+    assert_eq!(stats.rejected_predicted_deadline, 1);
+    assert_eq!(stats.completed_ok, 1);
+}
+
+/// Circuit breaker end to end: two consecutive injected faults trip the
+/// tenant's breaker (typed `CircuitOpen` shed), the cooldown admits a
+/// half-open probe which — with the injector's arming limit spent — runs
+/// clean and closes the breaker again.
+#[test]
+fn circuit_breaker_trips_sheds_and_recovers() {
+    let _x = sod2_faults::exclusive();
+    let model = model_by_name("skipnet", ModelScale::Tiny).unwrap();
+    let (lo, _) = model.size_range();
+    let mut rng = StdRng::seed_from_u64(46);
+    let server = Server::start(
+        engine_for(&model, 2),
+        vec![TenantSpec::new("flaky")],
+        ServerConfig {
+            replicas: 1,
+            fault_injector: Some(FaultInjector {
+                tenant: "flaky".into(),
+                spec: "kernel.error:nth=1".into(),
+                seed: 3,
+                limit: Some(2),
+            }),
+            breaker: Some(BreakerConfig {
+                trip_after: 2,
+                cooldown_s: 0.05,
+                reset_after: 1,
+            }),
+            ..ServerConfig::default()
+        },
+    );
+    for _ in 0..2 {
+        let resp = server
+            .submit("flaky", model.make_inputs(lo, &mut rng))
+            .unwrap()
+            .wait();
+        assert!(matches!(
+            resp.result,
+            Err(ServeError::Exec(ExecError::Kernel(_)))
+        ));
+    }
+    // Tripped: sheds synchronously until the cooldown elapses.
+    match server.submit("flaky", model.make_inputs(lo, &mut rng)) {
+        Err(ServeError::CircuitOpen { tenant }) => assert_eq!(tenant, "flaky"),
+        other => panic!("expected CircuitOpen, got {other:?}"),
+    }
+    std::thread::sleep(Duration::from_millis(80));
+    // Half-open probe; the injector's limit is spent so it runs clean and
+    // closes the breaker.
+    let probe = server
+        .submit("flaky", model.make_inputs(lo, &mut rng))
+        .unwrap()
+        .wait();
+    assert!(probe.result.is_ok(), "half-open probe must run clean");
+    let after = server
+        .submit("flaky", model.make_inputs(lo, &mut rng))
+        .unwrap()
+        .wait();
+    assert!(after.result.is_ok());
+    let stats = server.shutdown();
+    assert_eq!(stats.shed_circuit_open, 1);
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.completed_ok, 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Shutdown racing replica recovery: under stall faults, supervision,
+    /// and retry budgets, shutting down while requests are in flight must
+    /// hand *every* ticket a typed response (outputs, a typed error, or
+    /// `Shutdown`) and join every thread it ever spawned — no wedges, no
+    /// leaks, no escaped panics.
+    #[test]
+    fn shutdown_racing_recovery_drains_typed_and_leaks_nothing(
+        seed in 0u64..500,
+        n in 2usize..7,
+        shutdown_after_ms in 0u64..40,
+    ) {
+        let _x = sod2_faults::exclusive();
+        let model = model_by_name("codebert", ModelScale::Tiny).unwrap();
+        let (lo, hi) = model.size_range();
+        let server = Server::start(
+            engine_for(&model, 2),
+            vec![TenantSpec::new("victim").with_retry_budget(1)],
+            ServerConfig {
+                replicas: 1,
+                fault_injector: Some(FaultInjector {
+                    tenant: "victim".into(),
+                    spec: "kernel.stall:nth=1,us=60000".into(),
+                    seed,
+                    limit: Some(1),
+                }),
+                stall_timeout: Some(Duration::from_millis(10)),
+                retry_backoff: Duration::from_millis(2),
+                ..ServerConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tickets: Vec<_> = (0..n)
+            .map(|i| {
+                let size = lo + (seed as usize + i) % (hi - lo + 1);
+                server.submit("victim", model.make_inputs(size, &mut rng)).unwrap()
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(shutdown_after_ms));
+        let stats = server.shutdown();
+        // Every ticket resolves with a typed outcome; none wedge.
+        for ticket in tickets {
+            match ticket.wait().result {
+                Ok(outputs) => prop_assert!(!outputs.is_empty()),
+                Err(
+                    ServeError::Shutdown
+                    | ServeError::ReplicaStalled
+                    | ServeError::Exec(_),
+                ) => {}
+                other => prop_assert!(false, "unexpected outcome: {:?}", other),
+            }
+        }
+        prop_assert_eq!(stats.replica_panics, 0);
+        prop_assert_eq!(stats.threads_spawned, stats.threads_joined);
+    }
+}

@@ -362,8 +362,8 @@ mod tests {
             .flat_map(|&u| ug.units[u].nodes.iter().copied())
             .collect();
         let layout = plan_tape_layout(&g, &order);
-        let tape =
-            compile_tape(&g, &layout, &order, Some(&fusion), true, None, None).expect("compile");
+        let tape = compile_tape(&g, &layout, &order, Some(&fusion), true, None, None, None)
+            .expect("compile");
         let diags = verify_tape(&g, &order, Some(&fusion), &tape);
         assert!(diags.is_empty(), "{diags:?}");
     }
@@ -373,7 +373,8 @@ mod tests {
         let g = diamond();
         let order: Vec<NodeId> = (0..g.num_nodes() as u32).map(NodeId).collect();
         let layout = plan_tape_layout(&g, &order);
-        let tape = compile_tape(&g, &layout, &order, None, false, None, None).expect("compile");
+        let tape =
+            compile_tape(&g, &layout, &order, None, false, None, None, None).expect("compile");
         let diags = verify_tape(&g, &order, None, &tape);
         assert!(diags.is_empty(), "{diags:?}");
     }
@@ -384,7 +385,8 @@ mod tests {
         let order: Vec<NodeId> = (0..g.num_nodes() as u32).map(NodeId).collect();
         let short = &order[..order.len() - 1];
         let layout = plan_tape_layout(&g, short);
-        let tape = compile_tape(&g, &layout, short, None, false, None, None).expect("compile");
+        let tape =
+            compile_tape(&g, &layout, short, None, false, None, None, None).expect("compile");
         let diags = verify_tape(&g, &order, None, &tape);
         assert!(
             diags.iter().any(|d| d.code == "tape/node-missing"),

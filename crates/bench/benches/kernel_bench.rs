@@ -1,7 +1,7 @@
 //! Criterion micro-benchmark: GEMM kernel variants (the MVC search space).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sod2_kernels::{gemm_naive, gemm_tiled, GemmParams};
+use sod2_kernels::{gemm_naive, gemm_tiled, GemmParams, LoopOrder, MicroKernel};
 
 fn gemm_variants(c: &mut Criterion) {
     let (m, k, n) = (96, 96, 96);
@@ -17,17 +17,26 @@ fn gemm_variants(c: &mut Criterion) {
             tile_n: 64,
             tile_k: 16,
             unroll: 8,
+            loop_order: LoopOrder::Ikj,
+            micro: MicroKernel::Mr4Nr4,
         },
         GemmParams {
             tile_m: 64,
             tile_n: 8,
             tile_k: 32,
             unroll: 2,
+            loop_order: LoopOrder::Kij,
+            micro: MicroKernel::Mr8Nr1,
         },
     ] {
         let name = format!(
-            "gemm_tiled_96_m{}n{}k{}u{}",
-            params.tile_m, params.tile_n, params.tile_k, params.unroll
+            "gemm_tiled_96_m{}n{}k{}u{}_{}_{}",
+            params.tile_m,
+            params.tile_n,
+            params.tile_k,
+            params.unroll,
+            params.loop_order.token(),
+            params.micro.token()
         );
         c.bench_function(&name, |bch| {
             bch.iter(|| gemm_tiled(std::hint::black_box(&a), &b, m, k, n, params))

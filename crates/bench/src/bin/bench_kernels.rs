@@ -11,11 +11,12 @@
 //! workers. The makespan number is what the pool's decomposition achieves
 //! when N cores actually exist, independent of this host's core count.
 
-use sod2_device::DeviceProfile;
+use sod2_device::{conv_efficiency, gemm_efficiency, DeviceProfile, ShapeClass};
 use sod2_frameworks::{Engine, Sod2Engine, Sod2Options};
 use sod2_ir::Spatial2d;
 use sod2_kernels::{conv2d_with_params, gemm_tiled, ConvParams, GemmParams};
 use sod2_models::{all_models, ModelScale};
+use sod2_mvc::{representative_conv, representative_shape, time_gemm_ms, VersionTable};
 use sod2_pool::{record_chunks, scheduled_makespan, with_threads};
 use sod2_prng::rngs::StdRng;
 use sod2_prng::SeedableRng;
@@ -248,6 +249,172 @@ fn exec_entries() -> Vec<ExecEntry> {
     out
 }
 
+/// Per-shape-class multi-version codegen result: the tuned variant versus
+/// the default parameters, on the modeled efficiency the tuner optimizes.
+/// The modeled numbers and `non_default_variant` are deterministic (and
+/// gated); the wallclock pair is measured on this host and informational.
+struct MvcClassEntry {
+    name: String,
+    gemm_desc: String,
+    conv_desc: String,
+    /// Modeled efficiency of the tuned GEMM variant (gated, lower-worse).
+    modeled_efficiency: f64,
+    /// Modeled efficiency of `GemmParams::default()` on the same shape.
+    default_efficiency: f64,
+    /// Tuned-over-default modeled gain, percent (gated, lower-worse).
+    efficiency_gain_pct: f64,
+    /// Modeled efficiency of the tuned conv variant (gated, lower-worse).
+    conv_modeled_efficiency: f64,
+    /// Modeled efficiency of `ConvParams::default()` on the same shape.
+    conv_default_efficiency: f64,
+    /// 1 when the tuner picked something other than the default parameters
+    /// (gated, lower-worse: the tuner must keep finding real variants).
+    non_default_variant: usize,
+    /// Host wallclock of the tuned / default variant (informational).
+    selected_wall_secs: f64,
+    default_wall_secs: f64,
+}
+
+impl MvcClassEntry {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"gemm\": \"{}\", \"conv\": \"{}\", ",
+                "\"modeled_efficiency\": {:.4}, \"default_efficiency\": {:.4}, ",
+                "\"efficiency_gain_pct\": {:.2}, \"conv_modeled_efficiency\": {:.4}, ",
+                "\"conv_default_efficiency\": {:.4}, \"non_default_variant\": {}, ",
+                "\"selected_wall_secs\": {:.6}, \"default_wall_secs\": {:.6}}}"
+            ),
+            self.name,
+            self.gemm_desc,
+            self.conv_desc,
+            self.modeled_efficiency,
+            self.default_efficiency,
+            self.efficiency_gain_pct,
+            self.conv_modeled_efficiency,
+            self.conv_default_efficiency,
+            self.non_default_variant,
+            self.selected_wall_secs,
+            self.default_wall_secs,
+        )
+    }
+}
+
+fn mvc_class_entries(table: &VersionTable, profile: &DeviceProfile) -> Vec<MvcClassEntry> {
+    let mut out = Vec::new();
+    for class in ShapeClass::all() {
+        let (gemm, modeled) = table.gemm_version(class);
+        let (conv, conv_modeled) = table.conv_version(class);
+        let (m, k, n) = representative_shape(class);
+        let (co, spatial, kk) = representative_conv(class);
+        let default_eff = gemm_efficiency(GemmParams::default(), m, k, n, profile);
+        let conv_default = conv_efficiency(ConvParams::default(), co, spatial, kk, profile);
+        // Scaled-down shape keeps the informational timing cheap.
+        let (tm, tk, tn) = ((m / 4).max(1), (k / 4).max(1), (n / 4).max(1));
+        out.push(MvcClassEntry {
+            name: format!("mvc_{}", format!("{class:?}").to_lowercase()),
+            gemm_desc: format!(
+                "tile {}x{}x{} unroll {} {:?} {:?}",
+                gemm.tile_m, gemm.tile_n, gemm.tile_k, gemm.unroll, gemm.loop_order, gemm.micro
+            ),
+            conv_desc: format!(
+                "block_oc {} tile_w {} {:?}",
+                conv.block_oc, conv.tile_w, conv.loop_order
+            ),
+            modeled_efficiency: modeled,
+            default_efficiency: default_eff,
+            efficiency_gain_pct: (modeled - default_eff) / default_eff.max(1e-9) * 100.0,
+            conv_modeled_efficiency: conv_modeled,
+            conv_default_efficiency: conv_default,
+            non_default_variant: usize::from(
+                gemm != GemmParams::default() || conv != ConvParams::default(),
+            ),
+            selected_wall_secs: time_gemm_ms(gemm, tm, tk, tn, 3) / 1e3,
+            default_wall_secs: time_gemm_ms(GemmParams::default(), tm, tk, tn, 3) / 1e3,
+        });
+    }
+    out
+}
+
+/// Zoo-model MVC equivalence: each model runs with multi-version codegen on
+/// and off; the outputs must agree bitwise (the variants are exact), and
+/// the tuned path must actually dispatch non-default variants
+/// (`variant_hits` counts kernels executed from a baked tape selection).
+struct MvcModelEntry {
+    model: String,
+    /// Baked-variant kernel dispatches in one tuned inference (gated,
+    /// lower-worse: variants must keep executing on real models).
+    variant_hits: u64,
+    /// 1 when tuned and default outputs agreed bitwise (gated; asserted
+    /// in-binary too, so a mismatch aborts the bench before the gate).
+    bitwise_equal_default: usize,
+}
+
+impl MvcModelEntry {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"model\": \"{}\", \"variant_hits\": {}, ",
+                "\"bitwise_equal_default\": {}}}"
+            ),
+            self.model, self.variant_hits, self.bitwise_equal_default,
+        )
+    }
+}
+
+fn mvc_model_entries() -> Vec<MvcModelEntry> {
+    let mut out = Vec::new();
+    for model in all_models(ModelScale::Tiny) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (_, inputs) = model.sample_inputs(&mut rng);
+        let run = |mvc: bool| {
+            let mut engine = Sod2Engine::new(
+                model.graph.clone(),
+                DeviceProfile::s888_cpu(),
+                Sod2Options {
+                    mvc,
+                    ..Default::default()
+                },
+                &Default::default(),
+            );
+            engine.infer(&inputs).expect("infer").outputs
+        };
+        let (tuned, hits) = {
+            let _session = sod2_obs::session_guard();
+            sod2_obs::set_enabled(true);
+            sod2_obs::begin();
+            let tuned = run(true);
+            let prof = sod2_obs::take();
+            sod2_obs::set_enabled(false);
+            (
+                tuned,
+                prof.counters.get("mvc.variant_hits").copied().unwrap_or(0),
+            )
+        };
+        let default = run(false);
+        let equal = tuned.len() == default.len()
+            && tuned
+                .iter()
+                .zip(&default)
+                .all(|(a, b)| a.payload_le_bytes() == b.payload_le_bytes());
+        assert!(
+            equal,
+            "{}: MVC-tuned outputs diverged from default variants",
+            model.name
+        );
+        out.push(MvcModelEntry {
+            model: format!("mvc_{}", model.name),
+            variant_hits: hits,
+            bitwise_equal_default: usize::from(equal),
+        });
+    }
+    assert!(
+        out.iter().filter(|e| e.variant_hits > 0).count() >= 2,
+        "non-default MVC variants must execute on at least two zoo models"
+    );
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = args.iter().position(|a| a == "--json").map(|i| {
@@ -263,6 +430,10 @@ fn main() {
         elementwise_entry(),
     ];
     let execs = exec_entries();
+    let mvc_profile = DeviceProfile::s888_cpu();
+    let mvc_table = VersionTable::tune(&mvc_profile, 0xC0DE);
+    let mvc_classes = mvc_class_entries(&mvc_table, &mvc_profile);
+    let mvc_models = mvc_model_entries();
 
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -290,6 +461,23 @@ fn main() {
             e.heap_alloc_events,
         );
     }
+    for e in &mvc_classes {
+        eprintln!(
+            "{:<14} {:<36} eff={:.4} (default {:.4}, {:+.1}%) conv eff={:.4}",
+            e.name,
+            e.gemm_desc,
+            e.modeled_efficiency,
+            e.default_efficiency,
+            e.efficiency_gain_pct,
+            e.conv_modeled_efficiency,
+        );
+    }
+    for e in &mvc_models {
+        eprintln!(
+            "{:<28} variant_hits={:<4} bitwise_equal_default={}",
+            e.model, e.variant_hits, e.bitwise_equal_default,
+        );
+    }
 
     if let Some(path) = json_path {
         let mut s = String::from("{\n");
@@ -306,6 +494,12 @@ fn main() {
         s.push_str("\n  ],\n  \"exec\": [\n");
         let x: Vec<String> = execs.iter().map(ExecEntry::json).collect();
         s.push_str(&x.join(",\n"));
+        s.push_str("\n  ],\n  \"mvc_classes\": [\n");
+        let c: Vec<String> = mvc_classes.iter().map(MvcClassEntry::json).collect();
+        s.push_str(&c.join(",\n"));
+        s.push_str("\n  ],\n  \"mvc_models\": [\n");
+        let m: Vec<String> = mvc_models.iter().map(MvcModelEntry::json).collect();
+        s.push_str(&m.join(",\n"));
         s.push_str("\n  ]\n}\n");
         std::fs::write(&path, s).expect("write json");
         eprintln!("wrote {path}");

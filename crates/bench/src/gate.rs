@@ -23,6 +23,12 @@
 //! | `nac_bounds_used`    | lower-worse  | nac tensors arena-planned via certs|
 //! | `pruned_arms`        | lower-worse  | Switch arms pruned at compile time|
 //! | `tape_len`           | higher-worse | register-machine instructions     |
+//! | `modeled_efficiency` | lower-worse  | tuned GEMM variant, analytic model|
+//! | `efficiency_gain_pct`| lower-worse  | tuned-over-default modeled gain   |
+//! | `conv_modeled_efficiency` | lower-worse | tuned conv variant, analytic model |
+//! | `non_default_variant`| lower-worse  | tuner picked a real variant (0/1) |
+//! | `variant_hits`       | lower-worse  | baked-variant kernel dispatches   |
+//! | `bitwise_equal_default` | lower-worse | MVC outputs match default (0/1) |
 //!
 //! Serving metrics (`BENCH_serve.json`) come from a discrete-event replay
 //! of the serving policy in priced *virtual* time, so despite looking like
@@ -92,6 +98,14 @@ pub const GATED_METRICS: &[(&str, Direction)] = &[
     ("nac_bounds_used", Direction::LowerWorse),
     ("pruned_arms", Direction::LowerWorse),
     ("tape_len", Direction::HigherWorse),
+    // Multi-version codegen metrics (analytic model, fully deterministic;
+    // the wallclock playoff numbers are deliberately NOT in this list).
+    ("modeled_efficiency", Direction::LowerWorse),
+    ("efficiency_gain_pct", Direction::LowerWorse),
+    ("conv_modeled_efficiency", Direction::LowerWorse),
+    ("non_default_variant", Direction::LowerWorse),
+    ("variant_hits", Direction::LowerWorse),
+    ("bitwise_equal_default", Direction::LowerWorse),
     // Serving metrics (deterministic virtual-time simulation; see
     // `sod2_serve::simulate`).
     ("priced_throughput_rps", Direction::LowerWorse),

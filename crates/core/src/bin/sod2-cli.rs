@@ -8,6 +8,7 @@
 //! sod2-cli profile  <model> [--iters N] [--serve] [--json | --chrome-trace PATH]
 //! sod2-cli compare  <model> [--samples N]
 //! sod2-cli chaos    <model|--all> [--seed S] [--json]
+//! sod2-cli tune     [--device NAME] [--json] [--clear-cache]
 //! ```
 //!
 //! `profile` compiles the model with the `sod2-obs` probes enabled, runs
@@ -33,7 +34,17 @@
 //! error or a recovered inference, and the engine must then produce
 //! bitwise-identical clean outputs versus a fresh engine; a wedge (timeout
 //! or unusable engine) or an escaped panic fails the run. The sweep is
-//! deterministic for a fixed `--seed`.
+//! deterministic for a fixed `--seed`. The `kernel.dispatch` cell sweeps
+//! `kernel.error` across several dispatch positions and two device
+//! profiles, so faults land under different selected kernel variants.
+//!
+//! `tune` runs the two-stage multi-version tuner (hierarchized space →
+//! GA → wallclock playoff) for a device and prints the per-class version
+//! table: selected parameters, modeled efficiency, informational wallclock
+//! versus the default kernel, and cache provenance (`hit`/`miss`). The
+//! table persists under the `SOD2_MVC_CACHE` directory (default
+//! `target/sod2-cache/`); `--clear-cache` wipes it first, and a cache
+//! write failure exits non-zero.
 
 use sod2::{DeviceProfile, Engine, MnnLike, OrtLike, Sod2Engine, Sod2Options, TvmNimbleLike};
 use sod2_models::{all_models, model_by_name, DynModel, ModelScale};
@@ -52,11 +63,12 @@ fn main() {
         "compare" => compare(&args),
         "export" => export(&args),
         "chaos" => chaos(&args),
+        "tune" => tune(&args),
         _ => {
             eprintln!(
-                "usage: sod2-cli <list|analyze|run|profile|compare|export|chaos> [model|--all] \
+                "usage: sod2-cli <list|analyze|run|profile|compare|export|chaos|tune> [model|--all] \
                  [--scale tiny|full] [--size N] [--samples N] [--device NAME] \
-                 [--iters N] [--seed S] [--json] [--chrome-trace FILE] [--out FILE]"
+                 [--iters N] [--seed S] [--json] [--chrome-trace FILE] [--out FILE] [--clear-cache]"
             );
             std::process::exit(2);
         }
@@ -1015,6 +1027,99 @@ fn chaos_cell_body(
     outcome
 }
 
+/// Body of the `kernel.dispatch` chaos cell: sweeps `kernel.error` across
+/// several dispatch positions on two device profiles, so the typed fault
+/// lands under different *selected kernel variants* (each device tunes its
+/// own version table, and the tape bakes the selected variant into the
+/// dispatch). Every firing must surface `ExecError::Kernel` and the engine
+/// must then reproduce a pristine engine's outputs bitwise; positions past
+/// the model's dispatch count simply never fire and are skipped.
+fn chaos_dispatch_body(graph: sod2::Graph, inputs: Vec<sod2::Tensor>, seed: u64) -> String {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let mut exercised = 0u32;
+    for device in [DeviceProfile::s888_cpu(), DeviceProfile::s835_gpu()] {
+        sod2_faults::clear();
+        let mut reference = Sod2Engine::new(
+            graph.clone(),
+            device.clone(),
+            Sod2Options::default(),
+            &Default::default(),
+        );
+        let reference_out = match reference.infer(&inputs) {
+            Ok(s) => s.outputs,
+            Err(e) => return format!("WEDGED(clean reference failed: {e})"),
+        };
+        for nth in [1u64, 2, 3, 5, 8] {
+            let mut engine = Sod2Engine::new(
+                graph.clone(),
+                device.clone(),
+                Sod2Options::default(),
+                &Default::default(),
+            );
+            match sod2_faults::FaultPlan::parse(&format!("seed={seed};kernel.error:nth={nth}")) {
+                Ok(plan) => sod2_faults::install(plan),
+                Err(e) => return format!("WEDGED(bad spec: {e})"),
+            }
+            let faulted = catch_unwind(AssertUnwindSafe(|| engine.infer(&inputs)));
+            let fired = sod2_faults::fired_count();
+            sod2_faults::clear();
+            match faulted {
+                Err(_) => return "PANICKED".into(),
+                // Fewer kernel dispatches than `nth`: nothing to test here.
+                Ok(Ok(_)) if fired == 0 => continue,
+                Ok(Ok(_)) => return format!("UNDETECTED(nth={nth} fired but inference succeeded)"),
+                Ok(Err(sod2::ExecError::Kernel(_))) => {}
+                Ok(Err(e)) => {
+                    return format!("UNEXPECTED(nth={nth}: error:{})", exec_error_label(&e))
+                }
+            }
+            exercised += 1;
+            match catch_unwind(AssertUnwindSafe(|| engine.infer(&inputs))) {
+                Ok(Ok(stats)) => {
+                    let same = stats.outputs.len() == reference_out.len()
+                        && stats
+                            .outputs
+                            .iter()
+                            .zip(&reference_out)
+                            .all(|(a, b)| a.payload_le_bytes() == b.payload_le_bytes());
+                    if !same {
+                        return format!("WEDGED(nth={nth}: post-fault outputs differ)");
+                    }
+                }
+                Ok(Err(e)) => return format!("WEDGED(engine unusable after fault: {e})"),
+                Err(_) => return "WEDGED(panic on clean inference after fault)".into(),
+            }
+        }
+    }
+    if exercised == 0 {
+        return "not-hit".into();
+    }
+    format!("recovered({exercised} faulted dispatches)")
+}
+
+/// Runs the `kernel.dispatch` cell on a watchdog thread (it performs a
+/// whole sweep internally, so it gets a longer budget than single cells).
+fn chaos_run_dispatch(model: &DynModel, seed: u64) -> String {
+    let size = {
+        let (lo, hi) = model.size_range();
+        (lo + hi) / 2
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs = model.make_inputs(size, &mut rng);
+    let graph = model.graph.clone();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(chaos_dispatch_body(graph, inputs, seed));
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs(120)) {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            sod2_faults::clear();
+            "WEDGED(timeout after 120s)".into()
+        }
+    }
+}
+
 /// Runs a cell on a watchdog thread so a wedged inference cannot hang the
 /// sweep; a timeout is reported as WEDGED.
 fn chaos_run_cell(model: &DynModel, cell: ChaosCell, seed: u64) -> String {
@@ -1063,6 +1168,11 @@ fn chaos(args: &[String]) {
             let ok = cell.expect.contains(&outcome.as_str());
             rows.push((model.name.to_string(), cell.name, outcome, ok));
         }
+        // Variant-kernel dispatch sweep: typed faults under every selected
+        // kernel variant, with bitwise-identical recovery.
+        let outcome = chaos_run_dispatch(model, seed);
+        let ok = outcome.starts_with("recovered(");
+        rows.push((model.name.to_string(), "kernel.dispatch", outcome, ok));
     }
     let _ = std::panic::take_hook();
 
@@ -1090,6 +1200,177 @@ fn chaos(args: &[String]) {
         );
     }
     if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `tune`: run (or warm-load) the multi-version tuner for a device and
+/// print the per-class version table with cache provenance plus an
+/// informational wallclock playoff of the selected variant against the
+/// default kernel. Exits non-zero when the tuned table cannot be written
+/// to the cache directory.
+fn tune(args: &[String]) {
+    let profile = device_of(args);
+    let json = args.iter().any(|a| a == "--json");
+    let dir = sod2_mvc::cache::cache_dir();
+    if args.iter().any(|a| a == "--clear-cache") {
+        if let Some(d) = dir.as_ref().filter(|d| d.exists()) {
+            if let Err(e) = std::fs::remove_dir_all(d) {
+                eprintln!("failed to clear cache {}: {e}", d.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Capture counters around the load so the report can prove how much
+    // work ran (a warm hit performs zero GA generations).
+    let _session = sod2_obs::session_guard();
+    sod2_obs::set_enabled(true);
+    sod2_obs::begin();
+    let (table, status) = sod2_mvc::VersionTable::load_or_tune(&profile, 0xC0DE, dir.as_deref());
+    let prof = sod2_obs::take();
+    sod2_obs::set_enabled(false);
+    let generations = prof
+        .counters
+        .get("mvc.ga_generations")
+        .copied()
+        .unwrap_or(0);
+
+    // Informational wallclock playoff on scaled-down representative
+    // problems: selected variant vs the default kernel, median of 3.
+    // Reported only — selection is analytic and already fixed above.
+    struct Row {
+        class: sod2_device::ShapeClass,
+        gemm: sod2_mvc::GemmParams,
+        gemm_eff: f64,
+        conv: sod2_mvc::ConvParams,
+        conv_eff: f64,
+        selected_ms: f64,
+        default_ms: f64,
+    }
+    let rows: Vec<Row> = sod2_device::ShapeClass::all()
+        .into_iter()
+        .map(|class| {
+            let (m, k, n) = sod2_mvc::representative_shape(class);
+            let (m, k, n) = ((m / 4).max(1), (k / 4).max(1), (n / 4).max(1));
+            let (gemm, gemm_eff) = table.gemm_version(class);
+            let (conv, conv_eff) = table.conv_version(class);
+            Row {
+                class,
+                gemm,
+                gemm_eff,
+                conv,
+                conv_eff,
+                selected_ms: sod2_mvc::time_gemm_ms(gemm, m, k, n, 3),
+                default_ms: sod2_mvc::time_gemm_ms(Default::default(), m, k, n, 3),
+            }
+        })
+        .collect();
+
+    let class_name = |c: sod2_device::ShapeClass| match c {
+        sod2_device::ShapeClass::Skinny => "skinny",
+        sod2_device::ShapeClass::Regular => "regular",
+        sod2_device::ShapeClass::Fat => "fat",
+    };
+    let gemm_desc = |g: &sod2_mvc::GemmParams| {
+        format!(
+            "tile {}x{}x{} unroll {} {} {}",
+            g.tile_m,
+            g.tile_n,
+            g.tile_k,
+            g.unroll,
+            g.loop_order.token(),
+            g.micro.token()
+        )
+    };
+    let conv_desc = |c: &sod2_mvc::ConvParams| {
+        format!(
+            "block_oc {} tile_w {} {}",
+            c.block_oc,
+            c.tile_w,
+            c.loop_order.token()
+        )
+    };
+
+    if json {
+        let classes: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"class\": \"{}\", \"gemm\": {{\"tile_m\": {}, \"tile_n\": {}, \
+                     \"tile_k\": {}, \"unroll\": {}, \"loop_order\": \"{}\", \"micro\": \"{}\", \
+                     \"modeled_efficiency\": {:.6}, \"wallclock_ms\": {:.4}, \
+                     \"default_wallclock_ms\": {:.4}}}, \"conv\": {{\"block_oc\": {}, \
+                     \"tile_w\": {}, \"loop_order\": \"{}\", \"modeled_efficiency\": {:.6}}}}}",
+                    class_name(r.class),
+                    r.gemm.tile_m,
+                    r.gemm.tile_n,
+                    r.gemm.tile_k,
+                    r.gemm.unroll,
+                    r.gemm.loop_order.token(),
+                    r.gemm.micro.token(),
+                    r.gemm_eff,
+                    r.selected_ms,
+                    r.default_ms,
+                    r.conv.block_oc,
+                    r.conv.tile_w,
+                    r.conv.loop_order.token(),
+                    r.conv_eff,
+                )
+            })
+            .collect();
+        println!(
+            "{{\n  \"device\": \"{}\",\n  \"provenance\": \"{}\",\n  \"cache_path\": {},\n  \
+             \"ga_generations\": {generations},\n  \"rejected\": {},\n  \"classes\": [{}]\n}}",
+            profile.name,
+            status.provenance.token(),
+            match &status.path {
+                Some(p) => format!("\"{}\"", p.display()),
+                None => "null".to_string(),
+            },
+            match &status.rejected {
+                Some(e) => format!("\"{e}\""),
+                None => "null".to_string(),
+            },
+            classes.join(", ")
+        );
+    } else {
+        println!("device      : {}", profile.name);
+        match (&status.path, dir.as_ref()) {
+            (Some(p), _) => println!(
+                "cache       : {} ({})",
+                p.display(),
+                status.provenance.token()
+            ),
+            (None, _) => println!("cache       : disabled"),
+        }
+        if let Some(rej) = &status.rejected {
+            println!("rejected    : {rej} (re-tuned)");
+        }
+        println!("generations : {generations} GA generation(s) this invocation");
+        println!(
+            "{:<8} {:<42} {:>8} {:>9} {:>11}",
+            "class", "selected gemm", "modeled", "wall ms", "default ms"
+        );
+        for r in &rows {
+            println!(
+                "{:<8} {:<42} {:>8.4} {:>9.3} {:>11.3}",
+                class_name(r.class),
+                gemm_desc(&r.gemm),
+                r.gemm_eff,
+                r.selected_ms,
+                r.default_ms
+            );
+            println!(
+                "{:<8} {:<42} {:>8.4}",
+                "",
+                format!("conv: {}", conv_desc(&r.conv)),
+                r.conv_eff
+            );
+        }
+    }
+    if let Some(err) = &status.write_error {
+        eprintln!("cache write failed: {err}");
         std::process::exit(1);
     }
 }

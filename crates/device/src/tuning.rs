@@ -8,7 +8,7 @@
 //! shape-dependent landscape with distinct optima per class.
 
 use crate::profile::{DeviceKind, DeviceProfile};
-use sod2_kernels::{ConvParams, GemmParams};
+use sod2_kernels::{ConvLoopOrder, ConvParams, GemmParams, LoopOrder};
 
 /// Shape class of a GEMM/CONV workload (paper §4.4.2: "our auto-tuner
 /// considers fat, regular, and skinny matrices").
@@ -97,7 +97,36 @@ pub fn gemm_efficiency(
         DeviceKind::Gpu => (tn / 32.0).min(1.0).powf(0.4),
     };
 
-    let raw = fit * aspect * util * unroll * coalesce;
+    // 6. Loop order: the dot-product form (ijk) keeps its accumulator in a
+    //    register and wins short reductions; the streaming forms win long
+    //    ones (packed-B rows read contiguously). kij re-reads the A column
+    //    every reduction step — a small constant tax vs ikj.
+    let order = match params.loop_order {
+        LoopOrder::Ikj => 1.0,
+        LoopOrder::Kij => 0.97,
+        LoopOrder::Ijk => (1.0 + 0.06 * ((96.0 / k).ln() / 96f64.ln())).clamp(0.9, 1.06),
+    };
+
+    // 7. Register blocking: an MR x NR accumulator block amortizes A/B
+    //    loads; the win grows with block area until the block outgrows the
+    //    tile or the matrix (remainder-dominated), and blocks should track
+    //    the output aspect like tiles do.
+    let (mr, nr) = params.micro.dims();
+    let (mrf, nrf) = (mr as f64, nr as f64);
+    let reuse = 1.0 + 0.12 * ((mrf * nrf).ln() / 16f64.ln());
+    let occupancy =
+        (m / mrf).min(1.0) * (n / nrf).min(1.0) * (tm / mrf).min(1.0) * (tn / nrf).min(1.0);
+    let block_aspect = if mr * nr == 1 {
+        1.0
+    } else {
+        1.0 / (1.0 + 0.04 * ((mrf / nrf).ln() - want_aspect.ln()).abs())
+    };
+    let micro = reuse * occupancy.powf(0.5) * block_aspect;
+
+    // The order/micro factors can push raw past 1; renormalize by their
+    // joint maximum so the landscape never saturates the 0.95 ceiling —
+    // a flat top would make version selection a tie-break.
+    let raw = fit * aspect * util * unroll * coalesce * order * micro / 1.2;
     // Scale into [base_efficiency, ~0.95].
     (profile.base_efficiency + (0.95 - profile.base_efficiency) * raw).clamp(0.01, 0.95)
 }
@@ -140,7 +169,19 @@ pub fn conv_efficiency(
         DeviceKind::Gpu => (tw / 16.0).min(1.0).powf(0.4),
     };
 
-    let raw = fit * (0.5 + 0.5 * reuse) * util * coalesce;
+    // 5. Traversal order: spatial-first streams output rows and re-reads
+    //    the weight block per row-tile — wins when the plane dominates;
+    //    oc-first keeps one channel's weights resident — wins when the
+    //    channel count dominates.
+    let lean = (co / spatial).clamp(1e-3, 1e3).ln() / 1e3f64.ln();
+    let order = match params.loop_order {
+        ConvLoopOrder::SpatialFirst => 1.0 - 0.05 * lean,
+        ConvLoopOrder::OcFirst => 1.0 + 0.05 * lean,
+    };
+
+    // Renormalize past the order boost's maximum so the ceiling can't
+    // flatten the landscape (see gemm_efficiency).
+    let raw = fit * (0.5 + 0.5 * reuse) * util * coalesce * order / 1.05;
     (profile.base_efficiency + (0.92 - profile.base_efficiency) * raw).clamp(0.01, 0.92)
 }
 
@@ -167,6 +208,7 @@ mod tests {
                         tile_n: tn,
                         tile_k: 16,
                         unroll: 4,
+                        ..GemmParams::default()
                     },
                     512,
                     512,
@@ -186,12 +228,14 @@ mod tests {
             tile_n: 8,
             tile_k: 32,
             unroll: 4,
+            ..GemmParams::default()
         };
         let wide = GemmParams {
             tile_m: 8,
             tile_n: 64,
             tile_k: 32,
             unroll: 4,
+            ..GemmParams::default()
         };
         let e_tall = gemm_efficiency(tall, 2048, 64, 64, &p);
         let e_wide = gemm_efficiency(wide, 2048, 64, 64, &p);
@@ -206,6 +250,7 @@ mod tests {
             tile_n: 2048,
             tile_k: 512,
             unroll: 4,
+            ..GemmParams::default()
         };
         let sane = GemmParams::default();
         assert!(
@@ -219,14 +264,17 @@ mod tests {
         let small = ConvParams {
             block_oc: 1,
             tile_w: 1,
+            ..ConvParams::default()
         };
         let good = ConvParams {
             block_oc: 8,
             tile_w: 16,
+            ..ConvParams::default()
         };
         let huge = ConvParams {
             block_oc: 4096,
             tile_w: 4096,
+            ..ConvParams::default()
         };
         let e_small = conv_efficiency(small, 32, 1024, 144, &p);
         let e_good = conv_efficiency(good, 32, 1024, 144, &p);
@@ -247,12 +295,14 @@ mod tests {
             tile_n: 4,
             tile_k: 32,
             unroll: 8,
+            ..GemmParams::default()
         };
         let wide = GemmParams {
             tile_m: 32,
             tile_n: 64,
             tile_k: 32,
             unroll: 8,
+            ..GemmParams::default()
         };
         let gpu_gain = gemm_efficiency(wide, 256, 256, 256, &gpu)
             / gemm_efficiency(narrow, 256, 256, 256, &gpu);

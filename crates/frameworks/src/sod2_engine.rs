@@ -6,7 +6,7 @@
 use crate::common::{bindings_from_inputs, Engine, InferenceStats};
 use sod2_device::DeviceProfile;
 use sod2_fusion::{fuse, FusionPlan, FusionPolicy};
-use sod2_ir::{Graph, NodeId, TensorId};
+use sod2_ir::{Graph, NodeId, Op, TensorId};
 use sod2_mem::{plan_sod2, size_class_peak, verify_plan, Arena, MemoryPlan, TensorLife};
 use sod2_mvc::VersionTable;
 use sod2_plan::{
@@ -15,8 +15,9 @@ use sod2_plan::{
 };
 use sod2_rdp::{analyze, RdpResult};
 use sod2_runtime::{
-    compile_tape, execute, execute_tape, execute_with_arena, ArenaBacking, ExecConfig, ExecError,
-    ExecutionTrace, RunOutcome, TapeProgram, TapeStats, TraceEvent, WaveExecPlan,
+    compile_tape, execute, execute_tape, execute_with_arena, ArenaBacking, BakedVariant,
+    ExecConfig, ExecError, ExecutionTrace, RunOutcome, TapeProgram, TapeStats, TraceEvent,
+    WaveExecPlan,
 };
 use sod2_sym::Bindings;
 use sod2_tensor::Tensor;
@@ -207,7 +208,9 @@ pub struct Sod2Engine {
     /// schedule serial-granularity memory metrics are quoted on.
     sep_unit_order: Vec<usize>,
     node_order: Vec<NodeId>,
-    table: Option<VersionTable>,
+    /// `Arc`-shared so `fork_replica` hands every serving replica the same
+    /// tuned table without re-tuning or copying.
+    table: Option<std::sync::Arc<VersionTable>>,
     /// The arena slab for `arena_exec`, reused (grow-never-shrink) across
     /// inferences so steady-state runs allocate nothing.
     arena: Option<Arena>,
@@ -418,7 +421,18 @@ impl Sod2Engine {
         drop(sep_span);
         let table = if opts.mvc {
             let _s = sod2_obs::span!("stage", "mvc_tune");
-            Some(VersionTable::tune(&profile, 0xC0DE))
+            // Persistent-cache path: a warm cache loads the identical
+            // table with zero GA generations (tuning is deterministic, so
+            // the cache only amortizes cost, never changes selection).
+            let (table, status) = VersionTable::load_or_tune(
+                &profile,
+                0xC0DE,
+                sod2_mvc::cache::cache_dir().as_deref(),
+            );
+            if status.rejected.is_some() {
+                sod2_obs::counter_add("mvc.cache_rejected", 1);
+            }
+            Some(std::sync::Arc::new(table))
         } else {
             None
         };
@@ -432,6 +446,37 @@ impl Sod2Engine {
             sod2_plan::plan_tape_layout(&graph, &node_order)
         };
         let uses_template = tape_layout.uses_template.clone();
+        // Bake tuned kernel variants into the tape for hotspot nodes whose
+        // output shapes RDP proves concrete under empty bindings: their
+        // shape class — hence their tuned version — is a compile-time
+        // constant, so dispatch skips runtime selection. Data-dependent
+        // (`nac`-shaped) nodes keep selecting per inference.
+        let baked_variants: Option<HashMap<NodeId, BakedVariant>> = table.as_ref().map(|t| {
+            let empty = Bindings::default();
+            let mut baked = HashMap::new();
+            for node in graph.nodes() {
+                let Some(&out) = node.outputs.first() else {
+                    continue;
+                };
+                let Some(shape) = rdp.concrete_shape(out, &empty) else {
+                    continue;
+                };
+                match &node.op {
+                    Op::MatMul | Op::Gemm { .. } if shape.len() >= 2 => {
+                        let m = shape[shape.len() - 2].max(1) as usize;
+                        let n = shape[shape.len() - 1].max(1) as usize;
+                        baked.insert(node.id, BakedVariant::Gemm(t.select(m, n)));
+                    }
+                    Op::Conv2d { .. } if shape.len() == 4 => {
+                        let co = shape[1].max(1) as usize;
+                        let spatial = (shape[2] * shape[3]).max(1) as usize;
+                        baked.insert(node.id, BakedVariant::Conv(t.select_conv(co, spatial)));
+                    }
+                    _ => {}
+                }
+            }
+            baked
+        });
         let tape = if opts.tape_exec {
             let _s = sod2_obs::span!("stage", "tape_compile");
             match compile_tape(
@@ -442,6 +487,7 @@ impl Sod2Engine {
                 true,
                 opts.absint.then_some(certs.finite.as_slice()),
                 wave_exec.as_ref(),
+                baked_variants.as_ref(),
             ) {
                 Ok(tp) => Some(std::sync::Arc::new(tp)),
                 Err(_) => {
@@ -959,7 +1005,7 @@ impl Sod2Engine {
         let cfg = ExecConfig {
             fusion: Some(&self.fusion_plan),
             node_order: Some(&self.node_order),
-            version_table: self.table.as_ref(),
+            version_table: self.table.as_deref(),
             execute_all_branches: !self.opts.native_control_flow,
             fused_interpreter: true,
             nan_guard: self.opts.nan_guard,
@@ -1175,7 +1221,7 @@ impl Sod2Engine {
         let cfg = ExecConfig {
             fusion: Some(&self.fusion_plan),
             node_order: Some(&self.node_order),
-            version_table: self.table.as_ref(),
+            version_table: self.table.as_deref(),
             execute_all_branches: !self.opts.native_control_flow,
             fused_interpreter: true,
             nan_guard: self.opts.nan_guard,

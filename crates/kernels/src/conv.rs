@@ -4,6 +4,37 @@ use crate::error::{dtype_err, shape_err, KernelError};
 use sod2_ir::Spatial2d;
 use sod2_tensor::Tensor;
 
+/// Loop-order permutation of the convolution's per-part `(oc, oy, ox)`
+/// traversal. Each output element's reduction is a self-contained local
+/// accumulator, so every order is trivially bitwise-equal to the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvLoopOrder {
+    /// `oy → ox-tile → oc → ox` (the default): output rows stream while a
+    /// small oc block revisits the same input rows.
+    SpatialFirst,
+    /// `oc → oy → ox-tile → ox`: one output channel's weights stay resident
+    /// across the whole spatial plane.
+    OcFirst,
+}
+
+impl ConvLoopOrder {
+    /// All orders, in a fixed deterministic enumeration order.
+    pub const ALL: [ConvLoopOrder; 2] = [ConvLoopOrder::SpatialFirst, ConvLoopOrder::OcFirst];
+
+    /// Stable token used by the on-disk tuning cache and CLI output.
+    pub fn token(self) -> &'static str {
+        match self {
+            ConvLoopOrder::SpatialFirst => "spatial",
+            ConvLoopOrder::OcFirst => "oc",
+        }
+    }
+
+    /// Inverse of [`ConvLoopOrder::token`].
+    pub fn from_token(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|o| o.token() == s)
+    }
+}
+
 /// Tiling configuration for the convolution kernel (multi-version codegen).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvParams {
@@ -11,6 +42,8 @@ pub struct ConvParams {
     pub block_oc: usize,
     /// Output-width tile.
     pub tile_w: usize,
+    /// Per-part traversal order.
+    pub loop_order: ConvLoopOrder,
 }
 
 impl Default for ConvParams {
@@ -18,6 +51,7 @@ impl Default for ConvParams {
         ConvParams {
             block_oc: 8,
             tile_w: 16,
+            loop_order: ConvLoopOrder::SpatialFirst,
         }
     }
 }
@@ -106,35 +140,62 @@ pub fn conv2d_with_params(
     let run = |out: &mut Vec<f32>| {
         sod2_pool::scope_parts(out, &bounds, |part, off, chunk| {
             let (b, g, oc0, oc1) = parts[part];
-            for oy in 0..oh {
-                // Width tiling: consecutive output columns share input
-                // rows.
-                for ox0 in (0..ow).step_by(tile_w) {
-                    let ox1 = (ox0 + tile_w).min(ow);
+            // One output element, computed from scratch: a self-contained
+            // ascending (ic, ky, kx) reduction onto a local accumulator, so
+            // the surrounding (oc, oy, ox) traversal order cannot change a
+            // single bit of the result.
+            let element = |oc: usize, oy: usize, ox: usize, bias_v: f32| -> f32 {
+                let mut acc = bias_v;
+                for icg in 0..cig {
+                    let ic = g * cig + icg;
+                    for ky in 0..kh {
+                        let iy = oy as i64 * sh - ph + ky as i64;
+                        if iy < 0 || iy >= h as i64 {
+                            continue;
+                        }
+                        let xrow = ((b * ci + ic) * h + iy as usize) * wd;
+                        let wrow = ((oc * cig + icg) * kh + ky) * kw;
+                        for kx in 0..kw {
+                            let ix = ox as i64 * sw - pw + kx as i64;
+                            if ix < 0 || ix >= wd as i64 {
+                                continue;
+                            }
+                            acc += xv[xrow + ix as usize] * wv[wrow + kx];
+                        }
+                    }
+                }
+                acc
+            };
+            match params.loop_order {
+                ConvLoopOrder::SpatialFirst => {
+                    for oy in 0..oh {
+                        // Width tiling: consecutive output columns share
+                        // input rows.
+                        for ox0 in (0..ow).step_by(tile_w) {
+                            let ox1 = (ox0 + tile_w).min(ow);
+                            for ocg in oc0..oc1 {
+                                let oc = g * co_per_g + ocg;
+                                let bias_v = bv.map(|v| v[oc]).unwrap_or(0.0);
+                                for ox in ox0..ox1 {
+                                    chunk[((b * co + oc) * oh + oy) * ow + ox - off] =
+                                        element(oc, oy, ox, bias_v);
+                                }
+                            }
+                        }
+                    }
+                }
+                ConvLoopOrder::OcFirst => {
                     for ocg in oc0..oc1 {
                         let oc = g * co_per_g + ocg;
                         let bias_v = bv.map(|v| v[oc]).unwrap_or(0.0);
-                        for ox in ox0..ox1 {
-                            let mut acc = bias_v;
-                            for icg in 0..cig {
-                                let ic = g * cig + icg;
-                                for ky in 0..kh {
-                                    let iy = oy as i64 * sh - ph + ky as i64;
-                                    if iy < 0 || iy >= h as i64 {
-                                        continue;
-                                    }
-                                    let xrow = ((b * ci + ic) * h + iy as usize) * wd;
-                                    let wrow = ((oc * cig + icg) * kh + ky) * kw;
-                                    for kx in 0..kw {
-                                        let ix = ox as i64 * sw - pw + kx as i64;
-                                        if ix < 0 || ix >= wd as i64 {
-                                            continue;
-                                        }
-                                        acc += xv[xrow + ix as usize] * wv[wrow + kx];
-                                    }
+                        for oy in 0..oh {
+                            for ox0 in (0..ow).step_by(tile_w) {
+                                let ox1 = (ox0 + tile_w).min(ow);
+                                for ox in ox0..ox1 {
+                                    chunk[((b * co + oc) * oh + oy) * ow + ox - off] =
+                                        element(oc, oy, ox, bias_v);
                                 }
                             }
-                            chunk[((b * co + oc) * oh + oy) * ow + ox - off] = acc;
                         }
                     }
                 }
@@ -257,22 +318,22 @@ mod tests {
         );
         let s = Spatial2d::new(3, 2, 1);
         let reference = conv2d(&x, &w, None, &s, 1).expect("conv");
-        for params in [
-            ConvParams {
-                block_oc: 1,
-                tile_w: 1,
-            },
-            ConvParams {
-                block_oc: 4,
-                tile_w: 3,
-            },
-            ConvParams {
-                block_oc: 64,
-                tile_w: 64,
-            },
-        ] {
+        let mut configs = Vec::new();
+        for order in ConvLoopOrder::ALL {
+            for (block_oc, tile_w) in [(1, 1), (4, 3), (64, 64)] {
+                configs.push(ConvParams {
+                    block_oc,
+                    tile_w,
+                    loop_order: order,
+                });
+            }
+        }
+        for params in configs {
             let got = conv2d_with_params(&x, &w, None, &s, 1, params).expect("conv");
-            assert!(got.approx_eq(&reference, 1e-4), "{params:?}");
+            let (rv, gv) = (reference.as_f32().expect("f32"), got.as_f32().expect("f32"));
+            for (x, y) in rv.iter().zip(gv) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{params:?}");
+            }
         }
     }
 

@@ -4,7 +4,7 @@ use crate::conv::{conv2d_with_params, global_avg_pool, pool2d, ConvParams, PoolM
 use crate::dynamic::{non_max_suppression, non_zero};
 use crate::elementwise::{binary, cast, clip, compare, unary, where_select};
 use crate::error::KernelError;
-use crate::linalg::{gemm, matmul_with_params, GemmParams};
+use crate::linalg::{gemm_with_params, matmul_with_params, GemmParams};
 use crate::reduce::{
     argmax, batch_norm, cumsum, instance_norm, layer_norm, log_softmax, reduce, softmax, topk,
 };
@@ -133,12 +133,13 @@ fn dispatch_op(
             conv_params,
         )),
         Op::MatMul => one(matmul_with_params(inputs[0], inputs[1], gemm_params)),
-        Op::Gemm { trans_a, trans_b } => one(gemm(
+        Op::Gemm { trans_a, trans_b } => one(gemm_with_params(
             inputs[0],
             inputs[1],
             inputs.get(2).copied(),
             *trans_a,
             *trans_b,
+            gemm_params,
         )),
         Op::MaxPool2d { spatial } => one(pool2d(inputs[0], spatial, PoolMode::Max)),
         Op::AvgPool2d { spatial } => one(pool2d(inputs[0], spatial, PoolMode::Avg)),

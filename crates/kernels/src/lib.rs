@@ -46,8 +46,11 @@ pub mod numerics;
 pub mod reduce;
 pub mod shape_ops;
 
-pub use conv::{conv2d_with_params, ConvParams, PoolMode};
+pub use conv::{conv2d_with_params, ConvLoopOrder, ConvParams, PoolMode};
 pub use error::KernelError;
 pub use exec::{execute_op, execute_op_with_gemm, execute_op_with_variants};
 pub use fused::{fused_elementwise, fused_output_shape, FusedStep};
-pub use linalg::{gemm_naive, gemm_tiled, matmul_with_params, GemmParams};
+pub use linalg::{
+    gemm_naive, gemm_tiled, gemm_with_params, matmul_with_params, GemmParams, LoopOrder,
+    MicroKernel,
+};

@@ -4,8 +4,98 @@
 use crate::error::{dtype_err, shape_err, KernelError};
 use sod2_tensor::{broadcast_output_shape, Tensor};
 
-/// Tiling/unrolling configuration for the tiled GEMM kernel — the search
-/// space of the genetic auto-tuner.
+/// Permutation of the within-tile `(i, p, j)` loop nest of [`gemm_tiled`]
+/// (`i` = output row, `p` = reduction index, `j` = output column).
+///
+/// Every permutation keeps each output element's reduction in ascending-`p`
+/// order onto the live running value, so all orders are bitwise-equal to
+/// [`gemm_naive`]; they differ only in memory traversal (see DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopOrder {
+    /// `i → j → p`: dot-product form; the accumulator stays in a register
+    /// across the whole k-tile, packed B is read column-strided.
+    Ijk,
+    /// `i → p → j`: axpy form streaming packed B rows (the default).
+    Ikj,
+    /// `p → i → j`: B-row-resident form; one packed row serves every `i`.
+    Kij,
+}
+
+impl LoopOrder {
+    /// All orders, in a fixed deterministic enumeration order.
+    pub const ALL: [LoopOrder; 3] = [LoopOrder::Ijk, LoopOrder::Ikj, LoopOrder::Kij];
+
+    /// Stable token used by the on-disk tuning cache and CLI output.
+    pub fn token(self) -> &'static str {
+        match self {
+            LoopOrder::Ijk => "ijk",
+            LoopOrder::Ikj => "ikj",
+            LoopOrder::Kij => "kij",
+        }
+    }
+
+    /// Inverse of [`LoopOrder::token`].
+    pub fn from_token(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|o| o.token() == s)
+    }
+}
+
+/// Register-blocked micro-kernel shape: an `MR x NR` block of C is held in
+/// local accumulators while the k-tile is folded onto it.
+///
+/// The block is *loaded* from C, accumulated in ascending-`p` order, and
+/// stored back — per element the identical `acc += a * b` sequence as the
+/// scalar kernels, so every shape is bitwise-equal to [`gemm_naive`]. Edge
+/// rows/columns that do not fill a block fall back to the scalar kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroKernel {
+    /// No register blocking (the default): plain scalar inner loops.
+    Scalar,
+    /// 4 rows x 1 column of C per accumulator block.
+    Mr4Nr1,
+    /// 4 rows x 4 columns of C per accumulator block.
+    Mr4Nr4,
+    /// 8 rows x 1 column of C per accumulator block.
+    Mr8Nr1,
+}
+
+impl MicroKernel {
+    /// All shapes, in a fixed deterministic enumeration order.
+    pub const ALL: [MicroKernel; 4] = [
+        MicroKernel::Scalar,
+        MicroKernel::Mr4Nr1,
+        MicroKernel::Mr4Nr4,
+        MicroKernel::Mr8Nr1,
+    ];
+
+    /// `(MR, NR)` accumulator block dimensions.
+    pub fn dims(self) -> (usize, usize) {
+        match self {
+            MicroKernel::Scalar => (1, 1),
+            MicroKernel::Mr4Nr1 => (4, 1),
+            MicroKernel::Mr4Nr4 => (4, 4),
+            MicroKernel::Mr8Nr1 => (8, 1),
+        }
+    }
+
+    /// Stable token used by the on-disk tuning cache and CLI output.
+    pub fn token(self) -> &'static str {
+        match self {
+            MicroKernel::Scalar => "scalar",
+            MicroKernel::Mr4Nr1 => "4x1",
+            MicroKernel::Mr4Nr4 => "4x4",
+            MicroKernel::Mr8Nr1 => "8x1",
+        }
+    }
+
+    /// Inverse of [`MicroKernel::token`].
+    pub fn from_token(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.token() == s)
+    }
+}
+
+/// Tiling/unrolling/variant configuration for the tiled GEMM kernel — the
+/// search space of the genetic auto-tuner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GemmParams {
     /// Tile height (rows of A / C).
@@ -14,8 +104,12 @@ pub struct GemmParams {
     pub tile_n: usize,
     /// Reduction tile depth.
     pub tile_k: usize,
-    /// Inner-loop unroll factor over `k` (1, 2, 4, or 8).
+    /// Inner-loop unroll factor (1, 2, 4, or 8).
     pub unroll: usize,
+    /// Within-tile loop-order permutation.
+    pub loop_order: LoopOrder,
+    /// Register-blocking micro-kernel shape.
+    pub micro: MicroKernel,
 }
 
 impl Default for GemmParams {
@@ -25,6 +119,8 @@ impl Default for GemmParams {
             tile_n: 32,
             tile_k: 32,
             unroll: 4,
+            loop_order: LoopOrder::Ikj,
+            micro: MicroKernel::Scalar,
         }
     }
 }
@@ -102,29 +198,289 @@ pub fn gemm_tiled(
                     packed[(p - p0) * w..(p - p0) * w + w]
                         .copy_from_slice(&b[p * n + j0..p * n + j1]);
                 }
-                for i in i0..i1 {
-                    for p in p0..p1 {
-                        let av = a[i * k + p];
-                        let brow = &packed[(p - p0) * w..(p - p0) * w + w];
-                        let crow = &mut chunk[(i - i0) * n + j0..(i - i0) * n + j1];
-                        let mut j = 0;
-                        // Unrolled inner loop.
-                        while j + params.unroll <= w {
-                            for u in 0..params.unroll {
-                                crow[j + u] += av * brow[j + u];
-                            }
-                            j += params.unroll;
-                        }
-                        while j < w {
-                            crow[j] += av * brow[j];
-                            j += 1;
-                        }
-                    }
-                }
+                tile_dispatch(a, &packed, chunk, i0, i1, p0, p1, j0, w, k, n, params);
             }
         }
     });
     c
+}
+
+/// Executes one `(i0..i1) x (p0..p1) x (j0..j0+w)` tile against the packed
+/// B panel, dispatching to the monomorphized variant selected by `params`.
+///
+/// Every variant performs, per output element, the identical sequence of
+/// `acc += a * b` operations in ascending-`p` order onto the live C value,
+/// so all dispatch outcomes are bitwise-equal (DESIGN.md §17).
+#[allow(clippy::too_many_arguments)]
+fn tile_dispatch(
+    a: &[f32],
+    packed: &[f32],
+    chunk: &mut [f32],
+    i0: usize,
+    i1: usize,
+    p0: usize,
+    p1: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+    params: GemmParams,
+) {
+    let unroll = params.unroll.max(1);
+    match (params.loop_order, params.micro) {
+        (LoopOrder::Ikj, MicroKernel::Scalar) => {
+            scalar_patch(
+                a, packed, chunk, i0, i0, i1, p0, p1, j0, 0, w, w, k, n, unroll,
+            );
+        }
+        (LoopOrder::Ijk, MicroKernel::Scalar) => {
+            tile_scalar_ijk(a, packed, chunk, i0, i1, p0, p1, j0, w, k, n, unroll);
+        }
+        (LoopOrder::Kij, MicroKernel::Scalar) => {
+            tile_scalar_kij(a, packed, chunk, i0, i1, p0, p1, j0, w, k, n, unroll);
+        }
+        (order, MicroKernel::Mr4Nr1) => {
+            tile_micro::<4, 1>(a, packed, chunk, i0, i1, p0, p1, j0, w, k, n, unroll, order);
+        }
+        (order, MicroKernel::Mr4Nr4) => {
+            tile_micro::<4, 4>(a, packed, chunk, i0, i1, p0, p1, j0, w, k, n, unroll, order);
+        }
+        (order, MicroKernel::Mr8Nr1) => {
+            tile_micro::<8, 1>(a, packed, chunk, i0, i1, p0, p1, j0, w, k, n, unroll, order);
+        }
+    }
+}
+
+/// `crow[j] += av * brow[j]` over the whole row, manually unrolled.
+#[inline(always)]
+fn scalar_axpy(crow: &mut [f32], brow: &[f32], av: f32, unroll: usize) {
+    let w = crow.len();
+    let mut j = 0;
+    while j + unroll <= w {
+        for u in 0..unroll {
+            crow[j + u] += av * brow[j + u];
+        }
+        j += unroll;
+    }
+    while j < w {
+        crow[j] += av * brow[j];
+        j += 1;
+    }
+}
+
+/// Scalar `i → p → j` (ikj) update of the `[ilo, ihi) x [jlo, jhi)` patch of
+/// the tile — the reference inner kernel, also used for micro-kernel edge
+/// remainders. `ibase` anchors row indexing into `chunk`; `jlo`/`jhi` are
+/// offsets within the packed panel of width `w`.
+#[allow(clippy::too_many_arguments)]
+fn scalar_patch(
+    a: &[f32],
+    packed: &[f32],
+    chunk: &mut [f32],
+    ibase: usize,
+    ilo: usize,
+    ihi: usize,
+    p0: usize,
+    p1: usize,
+    j0: usize,
+    jlo: usize,
+    jhi: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+    unroll: usize,
+) {
+    for i in ilo..ihi {
+        for p in p0..p1 {
+            let av = a[i * k + p];
+            let brow = &packed[(p - p0) * w + jlo..(p - p0) * w + jhi];
+            let crow = &mut chunk[(i - ibase) * n + j0 + jlo..(i - ibase) * n + j0 + jhi];
+            scalar_axpy(crow, brow, av, unroll);
+        }
+    }
+}
+
+/// Scalar `i → j → p` (ijk, dot-product form): the C element rides in a
+/// register across the whole k-tile; ascending-`p` accumulation preserved.
+#[allow(clippy::too_many_arguments)]
+fn tile_scalar_ijk(
+    a: &[f32],
+    packed: &[f32],
+    chunk: &mut [f32],
+    i0: usize,
+    i1: usize,
+    p0: usize,
+    p1: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+    unroll: usize,
+) {
+    let d = p1 - p0;
+    for i in i0..i1 {
+        let arow = &a[i * k + p0..i * k + p1];
+        let crow = &mut chunk[(i - i0) * n + j0..(i - i0) * n + j0 + w];
+        for (j, cj) in crow.iter_mut().enumerate() {
+            let mut acc = *cj;
+            let mut p = 0;
+            while p + unroll <= d {
+                for u in 0..unroll {
+                    acc += arow[p + u] * packed[(p + u) * w + j];
+                }
+                p += unroll;
+            }
+            while p < d {
+                acc += arow[p] * packed[p * w + j];
+                p += 1;
+            }
+            *cj = acc;
+        }
+    }
+}
+
+/// Scalar `p → i → j` (kij): one packed B row stays resident while every
+/// tile row consumes it; per-element accumulation order unchanged because
+/// `p` still ascends outermost.
+#[allow(clippy::too_many_arguments)]
+fn tile_scalar_kij(
+    a: &[f32],
+    packed: &[f32],
+    chunk: &mut [f32],
+    i0: usize,
+    i1: usize,
+    p0: usize,
+    p1: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+    unroll: usize,
+) {
+    for p in p0..p1 {
+        let brow = &packed[(p - p0) * w..(p - p0) * w + w];
+        for i in i0..i1 {
+            let av = a[i * k + p];
+            let crow = &mut chunk[(i - i0) * n + j0..(i - i0) * n + j0 + w];
+            scalar_axpy(crow, brow, av, unroll);
+        }
+    }
+}
+
+/// Register-blocked tile walk: full `MR x NR` blocks go through
+/// [`micro_block`]; remainder rows/columns fall back to the scalar patch
+/// kernel (per-element accumulation order is ascending-`p` in both, so the
+/// split is invisible in the bits). `Kij` walks column-blocks outermost,
+/// the other orders walk row-blocks outermost — block regions are disjoint
+/// so traversal order cannot change any element's value.
+#[allow(clippy::too_many_arguments)]
+fn tile_micro<const MR: usize, const NR: usize>(
+    a: &[f32],
+    packed: &[f32],
+    chunk: &mut [f32],
+    i0: usize,
+    i1: usize,
+    p0: usize,
+    p1: usize,
+    j0: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+    unroll: usize,
+    order: LoopOrder,
+) {
+    let rows = i1 - i0;
+    let bi_end = i0 + (rows / MR) * MR;
+    let bj_end = (w / NR) * NR;
+    match order {
+        LoopOrder::Kij => {
+            let mut jb = 0;
+            while jb < bj_end {
+                let mut ib = i0;
+                while ib < bi_end {
+                    micro_block::<MR, NR>(
+                        a, packed, chunk, i0, ib, p0, p1, j0, jb, w, k, n, unroll,
+                    );
+                    ib += MR;
+                }
+                jb += NR;
+            }
+        }
+        LoopOrder::Ijk | LoopOrder::Ikj => {
+            let mut ib = i0;
+            while ib < bi_end {
+                let mut jb = 0;
+                while jb < bj_end {
+                    micro_block::<MR, NR>(
+                        a, packed, chunk, i0, ib, p0, p1, j0, jb, w, k, n, unroll,
+                    );
+                    jb += NR;
+                }
+                ib += MR;
+            }
+        }
+    }
+    // Remainder columns of the fully-blocked rows, then remainder rows over
+    // the whole tile width — together with the blocks this partitions the
+    // tile exactly once.
+    if bj_end < w {
+        scalar_patch(
+            a, packed, chunk, i0, i0, bi_end, p0, p1, j0, bj_end, w, w, k, n, unroll,
+        );
+    }
+    if bi_end < i1 {
+        scalar_patch(
+            a, packed, chunk, i0, bi_end, i1, p0, p1, j0, 0, w, w, k, n, unroll,
+        );
+    }
+}
+
+/// One `MR x NR` register block: load the live C values, fold the whole
+/// k-tile onto them in ascending-`p` order, store back once. Per element
+/// this is the same `acc += a * b` sequence as the scalar kernels, so the
+/// result is bitwise identical.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_block<const MR: usize, const NR: usize>(
+    a: &[f32],
+    packed: &[f32],
+    chunk: &mut [f32],
+    ibase: usize,
+    ib: usize,
+    p0: usize,
+    p1: usize,
+    j0: usize,
+    jb: usize,
+    w: usize,
+    k: usize,
+    n: usize,
+    unroll: usize,
+) {
+    let mut acc = [[0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        let base = (ib + r - ibase) * n + j0 + jb;
+        row.copy_from_slice(&chunk[base..base + NR]);
+    }
+    let d = p1 - p0;
+    let mut p = 0;
+    while p < d {
+        // Unrolled over p; `steps` shrinks only at the tail of the k-tile.
+        let steps = unroll.min(d - p);
+        for s in 0..steps {
+            let brow = &packed[(p + s) * w + jb..(p + s) * w + jb + NR];
+            for (r, row) in acc.iter_mut().enumerate() {
+                let av = a[(ib + r) * k + p0 + p + s];
+                for (cc, bb) in row.iter_mut().zip(brow) {
+                    *cc += av * bb;
+                }
+            }
+        }
+        p += steps;
+    }
+    for (r, row) in acc.iter().enumerate() {
+        let base = (ib + r - ibase) * n + j0 + jb;
+        chunk[base..base + NR].copy_from_slice(row);
+    }
 }
 
 /// Batched `MatMul` with broadcasting over leading batch dimensions.
@@ -200,6 +556,19 @@ pub fn gemm(
     trans_a: bool,
     trans_b: bool,
 ) -> Result<Tensor, KernelError> {
+    gemm_with_params(a, b, c, trans_a, trans_b, GemmParams::default())
+}
+
+/// [`gemm`] using a specific tiled-kernel configuration (bitwise-equal to
+/// the default for every configuration).
+pub fn gemm_with_params(
+    a: &Tensor,
+    b: &Tensor,
+    c: Option<&Tensor>,
+    trans_a: bool,
+    trans_b: bool,
+    params: GemmParams,
+) -> Result<Tensor, KernelError> {
     let av = a.as_f32().map_err(|e| dtype_err("Gemm", e.to_string()))?;
     let bv = b.as_f32().map_err(|e| dtype_err("Gemm", e.to_string()))?;
     if a.rank() != 2 || b.rank() != 2 {
@@ -212,7 +581,7 @@ pub fn gemm(
     if ka != kb {
         return Err(shape_err("Gemm", format!("inner dims {ka} vs {kb}")));
     }
-    let mut out = gemm_tiled(&at.0, &bt.0, m, ka, n, GemmParams::default());
+    let mut out = gemm_tiled(&at.0, &bt.0, m, ka, n, params);
     if let Some(bias) = c {
         let bvv = bias
             .as_f32()
@@ -270,24 +639,44 @@ mod tests {
         let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
         let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 - 2.0).collect();
         let want = gemm_naive(&a, &b, m, k, n);
-        for params in [
+        let mut configs = vec![
             GemmParams::default(),
             GemmParams {
                 tile_m: 4,
                 tile_n: 8,
                 tile_k: 16,
                 unroll: 1,
+                ..GemmParams::default()
             },
             GemmParams {
                 tile_m: 64,
                 tile_n: 2,
                 tile_k: 3,
                 unroll: 8,
+                ..GemmParams::default()
             },
-        ] {
+        ];
+        for order in LoopOrder::ALL {
+            for micro in MicroKernel::ALL {
+                configs.push(GemmParams {
+                    loop_order: order,
+                    micro,
+                    ..GemmParams::default()
+                });
+                configs.push(GemmParams {
+                    tile_m: 8,
+                    tile_n: 4,
+                    tile_k: 5,
+                    unroll: 2,
+                    loop_order: order,
+                    micro,
+                });
+            }
+        }
+        for params in configs {
             let got = gemm_tiled(&a, &b, m, k, n, params);
             for (x, y) in want.iter().zip(&got) {
-                assert!((x - y).abs() < 1e-4, "params {params:?}");
+                assert_eq!(x.to_bits(), y.to_bits(), "params {params:?}");
             }
         }
     }

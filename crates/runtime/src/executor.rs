@@ -1508,7 +1508,7 @@ pub(crate) fn select_variants(
 ) -> (GemmParams, ConvParams) {
     let defaults = (GemmParams::default(), ConvParams::default());
     let Some(table) = table else {
-        if matches!(op, Op::MatMul | Op::Conv2d { .. }) {
+        if matches!(op, Op::MatMul | Op::Gemm { .. } | Op::Conv2d { .. }) {
             sod2_obs::counter_add("mvc.version_defaults", 1);
         }
         return defaults;
@@ -1520,6 +1520,18 @@ pub(crate) fn select_variants(
             if a.len() >= 2 && b.len() >= 2 {
                 sod2_obs::counter_add("mvc.version_hits", 1);
                 return (table.select(a[a.len() - 2], b[b.len() - 1]), defaults.1);
+            }
+            sod2_obs::counter_add("mvc.version_defaults", 1);
+            defaults
+        }
+        Op::Gemm { trans_a, trans_b } => {
+            let a = ins[0].shape();
+            let b = ins[1].shape();
+            if a.len() == 2 && b.len() == 2 {
+                let m = if *trans_a { a[1] } else { a[0] };
+                let n = if *trans_b { b[0] } else { b[1] };
+                sod2_obs::counter_add("mvc.version_hits", 1);
+                return (table.select(m, n), defaults.1);
             }
             sod2_obs::counter_add("mvc.version_defaults", 1);
             defaults

@@ -46,6 +46,7 @@ pub use executor::{
 };
 pub use passes::{eliminate_dead_nodes, fold_constants, PassStats};
 pub use tape::{
-    compile_tape, execute_tape, Instr, InstrKind, RegRelease, TapeChain, TapeProgram, TapeStats,
+    compile_tape, execute_tape, BakedVariant, Instr, InstrKind, RegRelease, TapeChain, TapeProgram,
+    TapeStats,
 };
 pub use trace::{ExecutionTrace, LatencyBreakdown, TraceEvent};

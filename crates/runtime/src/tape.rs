@@ -41,7 +41,7 @@ use crate::executor::{
 use crate::trace::{ExecutionTrace, TraceEvent};
 use sod2_fusion::FusionPlan;
 use sod2_ir::{Graph, NodeId, Op, TensorId};
-use sod2_kernels::execute_op_with_variants;
+use sod2_kernels::{execute_op_with_variants, ConvParams, GemmParams};
 use sod2_plan::TapeLayout;
 use sod2_tensor::{Data, Tensor};
 use std::collections::HashMap;
@@ -84,6 +84,21 @@ pub struct TapeChain {
     /// The tail member (its name labels fence diagnostics, as in the
     /// tree-walker where the tail performs the install).
     pub tail_nid: NodeId,
+}
+
+/// A tuned kernel variant baked into an instruction at compile time.
+///
+/// When RDP proves a hotspot node's output shape (`Known` under empty
+/// bindings), its shape class — and therefore its tuned version — is a
+/// compile-time constant, so the tape carries the selected parameters
+/// directly and dispatch skips runtime selection entirely. Nodes whose
+/// shapes stay data-dependent keep selecting per inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BakedVariant {
+    /// A tuned GEMM configuration (MatMul / Gemm anchors).
+    Gemm(GemmParams),
+    /// A tuned convolution configuration (Conv2d anchors).
+    Conv(ConvParams),
 }
 
 /// Instruction opcode.
@@ -141,6 +156,9 @@ pub struct Instr {
     pub group_tail: bool,
     /// Live non-control-flow results accumulate group cost.
     pub count_cost: bool,
+    /// Tuned kernel variant selected at compile time (RDP-known shapes);
+    /// `None` falls back to runtime selection.
+    pub variant: Option<BakedVariant>,
 }
 
 /// The compiled, immutable execution tape. `Arc`-share it across
@@ -226,6 +244,7 @@ impl TapeProgram {
 /// Returns [`ExecError::BadInputs`] for constants with unknown shapes
 /// and [`ExecError::Internal`] when the wave plan does not flatten to
 /// the execution order or a fused chain is malformed.
+#[allow(clippy::too_many_arguments)]
 pub fn compile_tape(
     graph: &Graph,
     layout: &TapeLayout,
@@ -234,6 +253,7 @@ pub fn compile_tape(
     fused_interpreter: bool,
     finite_outputs: Option<&[bool]>,
     wave_plan: Option<&WaveExecPlan>,
+    baked_variants: Option<&HashMap<NodeId, BakedVariant>>,
 ) -> Result<TapeProgram, ExecError> {
     if layout.releases.len() != node_order.len() {
         return Err(ExecError::Internal(format!(
@@ -329,6 +349,7 @@ pub fn compile_tape(
                         gidx,
                         group_tail,
                         count_cost: false,
+                        variant: None,
                     });
                     instr_of_pos.push(idx as u32);
                 }
@@ -383,6 +404,7 @@ pub fn compile_tape(
             gidx,
             group_tail,
             count_cost: !node.op.is_control_flow(),
+            variant: baked_variants.and_then(|m| m.get(&nid).copied()),
         });
         instr_of_pos.push(idx as u32);
     }
@@ -799,14 +821,14 @@ fn eval_plain_with_op(
                     arr[k] = live_slot(view, t)?;
                 }
                 let ins = &arr[..n_in];
-                let (gemm, conv) = select_variants(op, ins, cfg.version_table);
+                let (gemm, conv) = instr_variants(instr, op, ins, cfg);
                 execute_op_with_variants(op, ins, gemm, conv)?
             } else {
                 let mut ins: Vec<&Tensor> = Vec::with_capacity(n_in);
                 for &t in &instr.inputs {
                     ins.push(live_slot(view, t)?);
                 }
-                let (gemm, conv) = select_variants(op, &ins, cfg.version_table);
+                let (gemm, conv) = instr_variants(instr, op, &ins, cfg);
                 execute_op_with_variants(op, &ins, gemm, conv)?
             };
             Ok((outs.into_iter().map(Some).collect(), 0))
@@ -814,6 +836,28 @@ fn eval_plain_with_op(
         InstrKind::Chain(_) => Err(ExecError::Internal(
             "chain instruction reached the plain evaluator".into(),
         )),
+    }
+}
+
+/// Resolves the GEMM/CONV configurations for a kernel instruction: the
+/// compile-time baked variant when the tape carries one (zero runtime
+/// selection work), else the tree-walker's runtime selection path.
+fn instr_variants(
+    instr: &Instr,
+    op: &Op,
+    ins: &[&Tensor],
+    cfg: &ExecConfig<'_>,
+) -> (GemmParams, ConvParams) {
+    match instr.variant {
+        Some(BakedVariant::Gemm(g)) => {
+            sod2_obs::counter_add("mvc.variant_hits", 1);
+            (g, ConvParams::default())
+        }
+        Some(BakedVariant::Conv(c)) => {
+            sod2_obs::counter_add("mvc.variant_hits", 1);
+            (GemmParams::default(), c)
+        }
+        None => select_variants(op, ins, cfg.version_table),
     }
 }
 
